@@ -1,0 +1,115 @@
+// Ablation — unified vs. per-monitor logging, and blocking vs.
+// non-blocking audit delivery (design choices of §IV-A / §V-B).
+//
+//  (a) Unified logging: one Event Forwarder decodes each exit once and
+//      fans out to all auditors. The ablated variant attaches a separate
+//      forwarder+multiplexer stack per auditor, paying the decode/forward
+//      cost per monitor — the "co-deployed monitors" baseline the paper
+//      argues against.
+//  (b) Blocking audits charge analysis to the guest on every event;
+//      non-blocking audits (HyperTap's default) run in the container.
+#include <iostream>
+#include <memory>
+
+#include "auditors/goshd.hpp"
+#include "auditors/hrkd.hpp"
+#include "auditors/ped.hpp"
+#include "core/hypertap.hpp"
+#include "util/stats.hpp"
+#include "workloads/unixbench.hpp"
+#include "workloads/workload.hpp"
+
+using namespace hvsim;
+using namespace hypertap;
+using hvsim::util::TablePrinter;
+using hvsim::util::format_double;
+
+namespace {
+
+/// HT-Ninja variant whose audit blocks the VM (Ninja-with-pause).
+class BlockingHtNinja final : public auditors::HtNinja {
+ public:
+  bool blocking() const override { return true; }
+  Cycles audit_cost_cycles() const override { return 6'000; }  // ~2 us
+};
+
+struct RunSpec {
+  int forwarder_stacks = 1;  ///< 1 = unified; N = one stack per auditor
+  bool blocking = false;
+};
+
+double run(const RunSpec& rs, u64 seed) {
+  hv::MachineConfig mc;
+  mc.seed = seed;
+  os::KernelConfig kc;
+  kc.spawn_factory = workloads::standard_factory(nullptr);
+  os::Vm vm(mc, kc);
+
+  // Primary stack (owns the shared alarms/derivation).
+  HyperTap ht(vm);
+  auto add_auditors = [&](HyperTap& target) {
+    target.add_auditor(std::make_unique<auditors::Hrkd>(
+        auditors::Hrkd::Config{},
+        [&k = vm.kernel]() { return k.in_guest_view_pids(); }));
+    if (rs.blocking) {
+      target.add_auditor(std::make_unique<BlockingHtNinja>());
+    } else {
+      target.add_auditor(std::make_unique<auditors::HtNinja>());
+    }
+    target.add_auditor(
+        std::make_unique<auditors::Goshd>(vm.machine.num_vcpus()));
+  };
+  add_auditors(ht);
+
+  // Ablated variant: additional independent logging stacks, each paying
+  // its own forward cost on every exit.
+  std::vector<std::unique_ptr<HyperTap>> extra;
+  for (int i = 1; i < rs.forwarder_stacks; ++i) {
+    extra.push_back(std::make_unique<HyperTap>(vm));
+    add_auditors(*extra.back());
+  }
+
+  vm.kernel.boot();
+
+  // A syscall-heavy workload shows the channel cost most clearly.
+  auto suite = workloads::unixbench_suite();
+  const auto& spec = suite.back();  // System Call Overhead
+  SimTime done_at = -1;
+  auto w = workloads::make_unixbench(spec, seed);
+  w->set_on_done([&done_at, &vm](SimTime t) {
+    done_at = t;
+    vm.machine.request_stop();
+  });
+  vm.kernel.spawn("bench", 1000, 1000, 1, std::move(w), 0, 0);
+  vm.machine.run_for(120'000'000'000ll);
+  vm.machine.clear_stop();
+  return done_at > 0 ? static_cast<double>(done_at) / 1e9 : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "ABLATION: logging-channel design choices (System Call "
+               "Overhead benchmark, 3 auditors)\n\n";
+
+  const double unified = run({1, false}, 99);
+  const double triple = run({3, false}, 99);
+  const double blocking = run({1, true}, 99);
+
+  TablePrinter tp({"Configuration", "Completion (s)", "vs unified"});
+  auto rel = [unified](double v) {
+    return format_double((v - unified) / unified * 100.0, 1) + "%";
+  };
+  tp.add_row({"unified logging, non-blocking (HyperTap)",
+              format_double(unified, 3), "0.0%"});
+  tp.add_row({"one logging stack per monitor (x3)",
+              format_double(triple, 3), rel(triple)});
+  tp.add_row({"unified logging, blocking audits",
+              format_double(blocking, 3), rel(blocking)});
+  std::cout << tp.str();
+  std::cout << "\nUnifying the logging phase avoids paying the "
+               "decode+forward cost once per monitor; non-blocking "
+               "delivery keeps audit analysis off the guest's critical "
+               "path.\n";
+  return 0;
+}

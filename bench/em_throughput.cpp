@@ -1,0 +1,99 @@
+// Microbenchmark: the unified logging channel's data path.
+//
+// google-benchmark over (a) the lock-free SPSC ring that carries events
+// from the Event Forwarder to an auditing container, single-threaded and
+// with a real producer/consumer thread pair; and (b) Event Multiplexer
+// fan-out to multiple registered auditors.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "core/event.hpp"
+#include "core/event_multiplexer.hpp"
+#include "core/hypertap.hpp"
+#include "util/ring_buffer.hpp"
+
+using namespace hvsim;
+using namespace hypertap;
+
+namespace {
+
+Event make_event(u64 i) {
+  Event e;
+  e.kind = EventKind::kSyscall;
+  e.vcpu = static_cast<int>(i & 1);
+  e.time = static_cast<SimTime>(i);
+  e.sc_nr = static_cast<u8>(i % 20);
+  return e;
+}
+
+void BM_RingPushPop(benchmark::State& state) {
+  util::SpscRing<Event> ring(1024);
+  u64 i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.try_push(make_event(i++)));
+    auto popped = ring.try_pop();
+    benchmark::DoNotOptimize(popped);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_RingPushPop);
+
+void BM_RingThreaded(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    util::SpscRing<Event> ring(4096);
+    constexpr u64 kCount = 200'000;
+    state.ResumeTiming();
+
+    std::thread consumer([&ring]() {
+      u64 got = 0;
+      while (got < kCount) {
+        if (auto e = ring.try_pop()) {
+          benchmark::DoNotOptimize(*e);
+          ++got;
+        }
+      }
+    });
+    u64 sent = 0;
+    while (sent < kCount) {
+      if (ring.try_push(make_event(sent))) ++sent;
+    }
+    consumer.join();
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<i64>(kCount));
+  }
+}
+BENCHMARK(BM_RingThreaded)->Unit(benchmark::kMillisecond);
+
+class NullAuditor final : public Auditor {
+ public:
+  std::string name() const override { return "null"; }
+  EventMask subscriptions() const override { return kAllEvents; }
+  void on_event(const Event& e, AuditContext&) override {
+    benchmark::DoNotOptimize(e.time);
+  }
+};
+
+void BM_MultiplexerFanout(benchmark::State& state) {
+  const int n_auditors = static_cast<int>(state.range(0));
+  os::Vm vm;  // provides vCPU + hypervisor context for delivery
+  HyperTap ht(vm);
+  EventMultiplexer em;
+  std::vector<std::unique_ptr<NullAuditor>> auditors;
+  for (int i = 0; i < n_auditors; ++i) {
+    auditors.push_back(std::make_unique<NullAuditor>());
+    em.register_auditor(auditors.back().get(), ht.context());
+  }
+  u64 i = 0;
+  for (auto _ : state) {
+    em.deliver(vm.machine.vcpu(0), make_event(i++), ht.context());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          n_auditors);
+}
+BENCHMARK(BM_MultiplexerFanout)->Arg(1)->Arg(3)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Shared fault-injection sweep driver for the Fig. 4 / Fig. 5 benches.
+//
+// The paper's full campaign is 17,952 injections over 374 locations; the
+// default here subsamples locations with a stride so the bench finishes
+// in minutes, and HYPERTAP_FI_STRIDE=1 reproduces the full location set.
+#pragma once
+
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fi/campaign.hpp"
+#include "fi/locations.hpp"
+
+namespace htbench {
+
+using namespace hvsim;
+using namespace hypertap;
+
+struct SweepCase {
+  fi::RunConfig cfg;
+  fi::RunResult result;
+};
+
+inline int env_int(const char* name, int def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : def;
+}
+
+/// Run the campaign grid: every sampled location x 4 workloads x
+/// {transient, persistent} x {non-preemptible, preemptible}.
+inline std::vector<SweepCase> run_sweep(
+    const std::vector<os::KernelLocation>& locations, int stride,
+    u64 seed_base = 1,
+    const std::function<void(std::size_t, std::size_t)>& progress = {}) {
+  std::vector<fi::RunConfig> grid;
+  for (std::size_t i = 0; i < locations.size();
+       i += static_cast<std::size_t>(stride)) {
+    const auto& loc = locations[i];
+    // Probe-only (sleeping-wait) paths are evaluated separately at their
+    // natural weight (see fig4's probe mini-campaign).
+    if (loc.sleeping_wait) continue;
+    for (const fi::WorkloadKind wk : fi::kAllWorkloads) {
+      for (const bool transient : {true, false}) {
+        for (const bool preempt : {false, true}) {
+          fi::RunConfig cfg;
+          cfg.workload = wk;
+          cfg.transient = transient;
+          cfg.preemptible = preempt;
+          cfg.location = loc.id;
+          cfg.fault_class = fi::default_fault_class(loc, seed_base);
+          cfg.seed = seed_base * 1'000'003ull + loc.id * 17ull +
+                     static_cast<u64>(wk) * 5ull + (transient ? 2 : 0) +
+                     (preempt ? 1 : 0);
+          grid.push_back(cfg);
+        }
+      }
+    }
+  }
+
+  std::vector<SweepCase> out;
+  out.reserve(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    SweepCase c;
+    c.cfg = grid[i];
+    c.result = fi::run_one(c.cfg, locations);
+    out.push_back(std::move(c));
+    if (progress) progress(i + 1, grid.size());
+  }
+  return out;
+}
+
+}  // namespace htbench

@@ -1,0 +1,154 @@
+// Fig. 4 — Guest OS Hang Detection coverage.
+//
+// Regenerates the figure's rows: for each workload (Hanoi, make -j1,
+// make -j2, HTTP server) x fault persistence (transient, persistent) x
+// kernel build (non-preemptible, preemptible), the outcome breakdown
+// (Not Manifested / Not Detected / Not Activated / Partial Hang / Full
+// Hang) of spinlock-fault injections across the 374-location registry.
+//
+// Environment:
+//   HYPERTAP_FI_STRIDE  location subsampling stride (default 12;
+//                       1 = all 374 locations, the paper-scale campaign)
+#include <array>
+#include <iostream>
+#include <map>
+
+#include "fi_sweep.hpp"
+#include "util/stats.hpp"
+
+using namespace hvsim;
+using namespace hypertap;
+using hvsim::util::TablePrinter;
+using hvsim::util::percent;
+
+int main() {
+  const auto locations = fi::generate_locations();
+  const int stride = htbench::env_int("HYPERTAP_FI_STRIDE", 12);
+
+  std::cerr << "fig4: sweeping " << (locations.size() + stride - 1) / stride
+            << " locations x 4 workloads x 2 persistence x 2 kernels ...\n";
+  const auto cases = htbench::run_sweep(
+      locations, stride, 2014, [](std::size_t i, std::size_t n) {
+        if (i % 64 == 0) std::cerr << "  " << i << "/" << n << "\n";
+      });
+
+  // key: (workload, transient, preemptible)
+  struct Bucket {
+    std::array<u64, 5> outcome{};
+    u64 total = 0;
+  };
+  std::map<std::tuple<int, bool, bool>, Bucket> buckets;
+  u64 total = 0, manifested = 0, detected = 0, missed = 0, false_alarms = 0;
+  for (const auto& c : cases) {
+    auto& b = buckets[{static_cast<int>(c.cfg.workload), c.cfg.transient,
+                       c.cfg.preemptible}];
+    b.outcome[static_cast<std::size_t>(c.result.outcome)]++;
+    b.total++;
+    total++;
+    const bool hang = c.result.outcome == fi::Outcome::kPartialHang ||
+                      c.result.outcome == fi::Outcome::kFullHang;
+    const bool probe_hang = c.result.outcome == fi::Outcome::kNotDetected;
+    if (hang || probe_hang) ++manifested;
+    if (hang) ++detected;
+    if (probe_hang) ++missed;
+    if (c.result.goshd_false_alarm) ++false_alarms;
+  }
+
+  std::cout << "FIG 4: GOSHD hang-detection coverage (" << total
+            << " injections)\n\n";
+  TablePrinter tp({"Workload", "Fault", "Kernel", "NotManif", "NotDetect",
+                   "NotActiv", "Partial", "Full", "Partial%", "Full%"});
+  for (const auto& [key, b] : buckets) {
+    const auto [wk, transient, preempt] = key;
+    auto pct = [&b](fi::Outcome o) {
+      return percent(static_cast<double>(
+                         b.outcome[static_cast<std::size_t>(o)]) /
+                     static_cast<double>(b.total));
+    };
+    tp.add_row({to_string(static_cast<fi::WorkloadKind>(wk)),
+                transient ? "transient" : "persistent",
+                preempt ? "preempt" : "non-preempt",
+                pct(fi::Outcome::kNotManifested),
+                pct(fi::Outcome::kNotDetected),
+                pct(fi::Outcome::kNotActivated),
+                pct(fi::Outcome::kPartialHang),
+                pct(fi::Outcome::kFullHang),
+                pct(fi::Outcome::kPartialHang),
+                pct(fi::Outcome::kFullHang)});
+  }
+  std::cout << tp.str();
+
+  // Outcome breakdown by injected fault class (diagnostic view).
+  std::map<std::string, std::array<u64, 5>> by_class;
+  for (const auto& c : cases) {
+    by_class[to_string(c.cfg.fault_class)]
+            [static_cast<std::size_t>(c.result.outcome)]++;
+  }
+  std::cout << "\nBy fault class:\n";
+  TablePrinter tc({"Fault class", "NotManif", "NotDetect", "NotActiv",
+                   "Partial", "Full"});
+  for (const auto& [name, o] : by_class) {
+    tc.add_row({name, std::to_string(o[1]), std::to_string(o[2]),
+                std::to_string(o[0]), std::to_string(o[3]),
+                std::to_string(o[4])});
+  }
+  std::cout << tc.str();
+
+  // The probe-path (sleeping-wait) locations — the source of the paper's
+  // 24 misclassified "Not Detected" failures — run separately so location
+  // subsampling does not overweight them; their contribution is then
+  // folded in at their natural 2-in-374 frequency.
+  u64 probe_runs = 0, probe_missed = 0;
+  for (const auto& loc : locations) {
+    if (!loc.sleeping_wait) continue;
+    for (const fi::WorkloadKind wk : fi::kAllWorkloads) {
+      for (const bool transient : {true, false}) {
+        fi::RunConfig cfg;
+        cfg.workload = wk;
+        cfg.transient = transient;
+        cfg.location = loc.id;
+        cfg.fault_class = os::FaultClass::kMissingRelease;
+        cfg.seed = 4242 + loc.id;
+        const auto r = fi::run_one(cfg, locations);
+        ++probe_runs;
+        if (r.outcome == fi::Outcome::kNotDetected) ++probe_missed;
+      }
+    }
+  }
+  const double probe_miss_rate =
+      probe_runs ? static_cast<double>(probe_missed) /
+                       static_cast<double>(probe_runs)
+                 : 0.0;
+  // Natural weight of the probe paths in the full campaign.
+  const double probe_weight = 2.0 / 374.0;
+  const double est_missed_frac = probe_weight * probe_miss_rate;
+  const double hang_frac =
+      static_cast<double>(detected) / static_cast<double>(total);
+  const double est_coverage =
+      hang_frac / (hang_frac + est_missed_frac);
+
+  const double coverage =
+      manifested > 0
+          ? static_cast<double>(detected) / static_cast<double>(manifested)
+          : 0.0;
+  std::cout << "\nSummary (paper: ~82% of injections manifested as hangs; "
+               "coverage 99.8%; 18-26% partial hangs):\n";
+  std::cout << "  injections:            " << total << "\n";
+  std::cout << "  manifested as hangs:   " << manifested << " ("
+            << percent(static_cast<double>(manifested) /
+                       static_cast<double>(total))
+            << " of injections)\n";
+  std::cout << "  detected by GOSHD:     " << detected << " (coverage "
+            << percent(coverage) << " of sampled hangs)\n";
+  std::cout << "  probe-visible, missed: " << missed << "\n";
+  std::cout << "  GOSHD false alarms:    " << false_alarms << "\n";
+  std::cout << "\nProbe-path (SSH-server) locations: " << probe_missed
+            << "/" << probe_runs
+            << " injections wedge the probe while the kernel stays "
+               "healthy ('Not Detected').\n";
+  std::cout << "At their natural 2-in-374 weight, estimated full-campaign "
+               "coverage: "
+            << percent(est_coverage, 2)
+            << " (paper: 99.8%).\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Fig. 5 — Guest OS Hang Detection latency.
+//
+// CDF of GOSHD detection latency (fault activation -> alarm), comparing
+// the first (partial) hang alarm against the full-hang alarm — showing
+// how partial-hang detection buys tens of seconds over waiting for the
+// full hang, with >90% of first alarms within ~4-6 s.
+//
+// Environment: HYPERTAP_FI_STRIDE (default 24).
+#include <iostream>
+
+#include "fi_sweep.hpp"
+#include "util/stats.hpp"
+
+using namespace hvsim;
+using namespace hypertap;
+using hvsim::util::Samples;
+using hvsim::util::TablePrinter;
+using hvsim::util::format_double;
+
+int main() {
+  const auto locations = fi::generate_locations();
+  const int stride = htbench::env_int("HYPERTAP_FI_STRIDE", 24);
+
+  std::cerr << "fig5: sweeping with stride " << stride << " ...\n";
+  const auto cases = htbench::run_sweep(
+      locations, stride, 555, [](std::size_t i, std::size_t n) {
+        if (i % 64 == 0) std::cerr << "  " << i << "/" << n << "\n";
+      });
+
+  Samples first_alarm_s;   // first (partial) hang detection latency
+  Samples full_alarm_s;    // full-hang detection latency
+  u64 hangs = 0, fulls = 0;
+  for (const auto& c : cases) {
+    const auto& r = c.result;
+    if (r.first_alarm < 0 || r.activation < 0) continue;
+    ++hangs;
+    first_alarm_s.add(static_cast<double>(r.first_alarm - r.activation) /
+                      1e9);
+    if (r.full_alarm >= 0) {
+      ++fulls;
+      full_alarm_s.add(static_cast<double>(r.full_alarm - r.activation) /
+                       1e9);
+    }
+  }
+
+  std::cout << "FIG 5: GOSHD detection latency CDF (" << hangs
+            << " detected hangs, " << fulls << " full hangs)\n";
+  std::cout << "latency = fault activation -> GOSHD alarm; threshold 4 s\n\n";
+  TablePrinter tp({"Latency (s)", "First-hang CDF (blue)",
+                   "Full-hang CDF (red)"});
+  for (const double t : {4.0, 5.0, 6.0, 8.0, 10.0, 12.0, 16.0, 20.0, 24.0,
+                         28.0, 32.0, 40.0}) {
+    tp.add_row({format_double(t, 0),
+                first_alarm_s.empty()
+                    ? "-"
+                    : format_double(first_alarm_s.cdf_at(t) * 100.0, 1) + "%",
+                full_alarm_s.empty()
+                    ? "-"
+                    : format_double(full_alarm_s.cdf_at(t) * 100.0, 1) +
+                          "%"});
+  }
+  std::cout << tp.str();
+
+  if (!first_alarm_s.empty()) {
+    std::cout << "\nfirst-alarm latency:  median "
+              << format_double(first_alarm_s.percentile(50), 2) << " s, p90 "
+              << format_double(first_alarm_s.percentile(90), 2) << " s, max "
+              << format_double(first_alarm_s.max(), 2) << " s\n";
+  }
+  if (!full_alarm_s.empty()) {
+    std::cout << "full-hang latency:    median "
+              << format_double(full_alarm_s.percentile(50), 2) << " s, p90 "
+              << format_double(full_alarm_s.percentile(90), 2) << " s, max "
+              << format_double(full_alarm_s.max(), 2) << " s\n";
+    std::cout << "\npaper shape: >90% of hangs detected within ~4 s of "
+                 "manifesting; only ~54% of eventual full hangs are full "
+                 "after 4 s — partial-hang detection leads by tens of "
+                 "seconds.\n";
+  }
+  return 0;
+}

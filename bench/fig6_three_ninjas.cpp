@@ -1,0 +1,178 @@
+// Fig. 6 / §VIII-C2 — The three Ninjas vs transient + spamming + rootkit
+// attacks.
+//
+// The attack (repeated N times per configuration, randomly phased):
+// privilege escalation (CVE-2013-1763 style) + immediate rootkit hide +
+// privileged act + exit; end-to-end ~4 ms, optionally after spawning idle
+// processes to stretch the scanner (spamming).
+//
+//  * O-Ninja (in-guest, 0 s interval): detection collapses as idle
+//    processes are added (paper: ~10% @ 31 procs, 2-3% @ +100 idle,
+//    ~0% @ +200).
+//  * H-Ninja (hypervisor VMI, blocking): detection falls with the scan
+//    interval (paper: 100% @ 4 ms, ~60% @ 8 ms, small beyond 20 ms).
+//  * HT-Ninja (HyperTap, active): detects every attack.
+//
+// Environment: HYPERTAP_TRIALS (default 150; paper used 300).
+#include <cstdlib>
+#include <iostream>
+#include <set>
+
+#include "attacks/scenario.hpp"
+#include "auditors/ped.hpp"
+#include "core/hypertap.hpp"
+#include "util/stats.hpp"
+#include "vmi/h_ninja.hpp"
+#include "vmi/o_ninja.hpp"
+
+using namespace hvsim;
+using namespace hypertap;
+using hvsim::util::TablePrinter;
+using hvsim::util::percent;
+
+namespace {
+
+int env_int(const char* name, int def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : def;
+}
+
+struct TrialHarness {
+  os::Vm vm;
+  HyperTap ht;
+  u32 shell_pid = 0;
+
+  explicit TrialHarness() : ht(vm) {}
+
+  void boot_with_population(u32 n_spam) {
+    vm.kernel.boot();
+    shell_pid =
+        vm.kernel.spawn("bash", 1000, 1000, 1, attacks::make_idle_spam());
+    // The paper's baseline system has ~31 processes running.
+    for (int i = 0; i < 24; ++i) {
+      vm.kernel.spawn("daemon" + std::to_string(i), 1, 1, 1,
+                      attacks::make_idle_spam());
+    }
+    for (u32 i = 0; i < n_spam; ++i) {
+      vm.kernel.spawn("idle" + std::to_string(i), 1000, 1000, shell_pid,
+                      attacks::make_idle_spam());
+    }
+    vm.machine.run_for(1'000'000'000);
+  }
+
+  /// One attack trial; returns the attacker pid.
+  u32 run_trial() {
+    attacks::AttackPlan plan;
+    plan.rootkit = attacks::rootkit_by_name("Ivyl's Rootkit");
+    // The attacker's process (its shell session) exists well before the
+    // exploit fires — scanners have seen it as an ordinary user process.
+    // The random lead time also randomizes the attack phase relative to
+    // scanner cycles.
+    plan.escalate_after =
+        250'000'000 +
+        static_cast<SimTime>(vm.machine.rng().below(300'000'000));
+    plan.attacker_cpu = 1;  // scanners run on core 0 (dual-core testbed)
+    attacks::AttackDriver driver(vm.kernel, plan);
+    driver.set_existing_shell(shell_pid);
+    driver.launch();
+    vm.machine.run_for(plan.escalate_after + 80'000'000);
+    return driver.attacker_pid();
+  }
+};
+
+}  // namespace
+
+int main() {
+  const int trials = env_int("HYPERTAP_TRIALS", 150);
+  std::cout << "FIG 6 / Sec. VIII-C2: the three Ninjas, " << trials
+            << " attack trials per configuration\n\n";
+
+  // ---- O-Ninja vs spamming ---------------------------------------------
+  TablePrinter to({"Detector", "Configuration", "Detected", "Rate"});
+  for (const u32 n_spam : {0u, 100u, 200u, 500u}) {
+    TrialHarness h;
+    std::set<u32> detected;
+    vmi::ONinjaWorkload::Config ocfg;
+    ocfg.interval_us = 0;  // scan back-to-back, its strongest setting
+    h.vm.kernel.boot();
+    h.shell_pid = h.vm.kernel.spawn("bash", 1000, 1000, 1,
+                                    attacks::make_idle_spam());
+    h.vm.kernel.spawn(
+        "ninja", 0, 0, 1,
+        std::make_unique<vmi::ONinjaWorkload>(
+            ocfg, [&detected](u32 pid) { detected.insert(pid); }),
+        0, /*cpu=*/0);
+    for (int i = 0; i < 23; ++i)
+      h.vm.kernel.spawn("daemon" + std::to_string(i), 1, 1, 1,
+                        attacks::make_idle_spam());
+    for (u32 i = 0; i < n_spam; ++i)
+      h.vm.kernel.spawn("idle" + std::to_string(i), 1000, 1000,
+                        h.shell_pid, attacks::make_idle_spam());
+    h.vm.machine.run_for(2'000'000'000);
+
+    int hits = 0;
+    for (int t = 0; t < trials; ++t) {
+      const u32 pid = h.run_trial();
+      if (detected.count(pid)) ++hits;
+    }
+    to.add_row({"O-Ninja (0 s interval)",
+                n_spam == 0 ? "~31 processes"
+                            : "+" + std::to_string(n_spam) + " idle procs",
+                std::to_string(hits) + "/" + std::to_string(trials),
+                percent(static_cast<double>(hits) / trials)});
+    std::cerr << "  O-Ninja spam=" << n_spam << " done\n";
+  }
+  std::cout << to.str() << "\n";
+
+  // ---- H-Ninja vs interval ----------------------------------------------
+  TablePrinter th({"Detector", "Interval", "Detected", "Rate"});
+  for (const SimTime interval_ms : {4ll, 8ll, 20ll, 40ll}) {
+    TrialHarness h;
+    h.boot_with_population(0);
+    std::set<u32> detected;
+    vmi::HNinja::Config hcfg;
+    hcfg.interval = interval_ms * 1'000'000;
+    vmi::HNinja hninja(h.vm.machine.hypervisor(), h.vm.kernel.layout(),
+                       hcfg,
+                       [&detected](u32 pid) { detected.insert(pid); });
+    hninja.start(h.vm.machine);
+
+    int hits = 0;
+    for (int t = 0; t < trials; ++t) {
+      const u32 pid = h.run_trial();
+      if (detected.count(pid)) ++hits;
+    }
+    hninja.stop();
+    th.add_row({"H-Ninja (VMI, blocking)",
+                std::to_string(interval_ms) + " ms",
+                std::to_string(hits) + "/" + std::to_string(trials),
+                percent(static_cast<double>(hits) / trials)});
+    std::cerr << "  H-Ninja interval=" << interval_ms << "ms done\n";
+  }
+  std::cout << th.str() << "\n";
+
+  // ---- HT-Ninja -----------------------------------------------------------
+  {
+    TrialHarness h;
+    auto ninja_owned = std::make_unique<auditors::HtNinja>();
+    auto* ht_ninja = ninja_owned.get();
+    h.ht.add_auditor(std::move(ninja_owned));
+    h.boot_with_population(200);  // spammed AND rootkit-hidden
+
+    int hits = 0;
+    for (int t = 0; t < trials; ++t) {
+      const u32 pid = h.run_trial();
+      if (ht_ninja->flagged_pids().count(pid)) ++hits;
+    }
+    TablePrinter tt({"Detector", "Configuration", "Detected", "Rate"});
+    tt.add_row({"HT-Ninja (active)", "+200 idle procs, rootkit, ~4 ms",
+                std::to_string(hits) + "/" + std::to_string(trials),
+                percent(static_cast<double>(hits) / trials)});
+    std::cout << tt.str();
+  }
+
+  std::cout << "\npaper shape: O-Ninja ~10% -> 2-3% -> ~0% as spam grows; "
+               "H-Ninja 100% @4 ms collapsing with interval; HT-Ninja "
+               "100% in every scenario.\n";
+  return 0;
+}

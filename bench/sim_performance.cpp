@@ -1,0 +1,110 @@
+// Microbenchmark: the simulator itself — how many guest-seconds per real
+// second the substrate delivers under different monitoring loads, plus
+// boot latency and campaign-run cost. Useful for sizing the full-scale
+// Fig. 4 campaign.
+#include <benchmark/benchmark.h>
+
+#include "auditors/goshd.hpp"
+#include "auditors/hrkd.hpp"
+#include "auditors/ped.hpp"
+#include "core/hypertap.hpp"
+#include "fi/campaign.hpp"
+#include "fi/locations.hpp"
+#include "workloads/workload.hpp"
+
+using namespace hvsim;
+using namespace hypertap;
+
+namespace {
+
+class BusyApp final : public os::Workload {
+ public:
+  os::Action next(os::TaskCtx&) override {
+    switch (i_++ % 3) {
+      case 0: return os::ActCompute{500'000};
+      case 1: return os::ActSyscall{os::SYS_WRITE, 3, 2048};
+      default: return os::ActSyscall{os::SYS_GETPID};
+    }
+  }
+  int i_ = 0;
+};
+
+void BM_BootLatency(benchmark::State& state) {
+  for (auto _ : state) {
+    os::Vm vm;
+    vm.kernel.boot();
+    benchmark::DoNotOptimize(vm.kernel.layout().init_task);
+  }
+}
+BENCHMARK(BM_BootLatency)->Unit(benchmark::kMillisecond);
+
+void BM_GuestSecond(benchmark::State& state) {
+  // arg: 0 = unmonitored, 1 = all three sample monitors.
+  const bool monitored = state.range(0) != 0;
+  os::Vm vm;
+  HyperTap ht(vm);
+  if (monitored) {
+    ht.add_auditor(std::make_unique<auditors::Goshd>(2));
+    ht.add_auditor(std::make_unique<auditors::HtNinja>());
+    ht.add_auditor(std::make_unique<auditors::Hrkd>(
+        auditors::Hrkd::Config{},
+        [&k = vm.kernel]() { return k.in_guest_view_pids(); }));
+  }
+  vm.kernel.boot();
+  vm.kernel.spawn("busy", 1, 1, 1, std::make_unique<BusyApp>(), 0, 0);
+  for (auto _ : state) {
+    vm.machine.run_for(1'000'000'000);  // one guest second
+  }
+  state.SetLabel(monitored ? "all-three-monitors" : "unmonitored");
+}
+BENCHMARK(BM_GuestSecond)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_CampaignRun(benchmark::State& state) {
+  const auto locations = fi::generate_locations();
+  u64 seed = 0;
+  for (auto _ : state) {
+    fi::RunConfig cfg;
+    cfg.workload = fi::WorkloadKind::kMakeJ2;
+    cfg.location = static_cast<u16>(seed % 100);
+    cfg.fault_class = os::FaultClass::kMissingRelease;
+    cfg.seed = ++seed;
+    const auto res = fi::run_one(cfg, locations);
+    benchmark::DoNotOptimize(res.outcome);
+  }
+}
+BENCHMARK(BM_CampaignRun)->Unit(benchmark::kMillisecond);
+
+void BM_ExitEngineDispatch(benchmark::State& state) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  ht.add_auditor(std::make_unique<auditors::HtNinja>());
+  vm.kernel.boot();
+  arch::Vcpu& v = vm.machine.vcpu(0);
+  vm.machine.engine().for_all_controls(
+      [](hav::VmcsControls& c) { c.cr3_load_exiting = true; });
+  const u32 cr3 = v.regs().cr3;
+  for (auto _ : state) {
+    vm.machine.engine().write_cr3(v, cr3);  // exit + decode + fan-out
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_ExitEngineDispatch);
+
+void BM_TrustedDerivation(benchmark::State& state) {
+  // The auditing hot path: TR -> TSS.RSP0 -> thread_info -> task_struct.
+  os::Vm vm;
+  HyperTap ht(vm);
+  vm.kernel.boot();
+  vm.kernel.spawn("busy", 1, 1, 1, std::make_unique<BusyApp>(), 0, 0);
+  vm.machine.run_for(100'000'000);
+  for (auto _ : state) {
+    const GuestTaskView v = ht.os_state().current_task(0);
+    benchmark::DoNotOptimize(v.pid);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_TrustedDerivation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

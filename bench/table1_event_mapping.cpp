@@ -1,0 +1,142 @@
+// Table I — Summary of guest internal events and related VM Exit types.
+//
+// Exercises every interception category of §VI on a live guest and
+// reports, per guest-event class, the VM Exit type that captured it and
+// the number of events observed — the executable form of Table I.
+#include <iostream>
+
+#include "auditors/counters.hpp"
+#include "core/hypertap.hpp"
+#include "util/stats.hpp"
+
+using namespace hvsim;
+using namespace hypertap;
+using hvsim::util::TablePrinter;
+
+namespace {
+
+/// Touches every event source: syscalls, file and net I/O, and user
+/// memory reads/writes/fetches on a monitored page.
+class Exerciser final : public os::Workload {
+ public:
+  os::Action next(os::TaskCtx&) override {
+    switch (step_++ % 8) {
+      case 0: return os::ActCompute{400'000};
+      case 1: return os::ActSyscall{os::SYS_GETPID};
+      case 2: return os::ActSyscall{os::SYS_WRITE, 3, 4096};
+      case 3: return os::ActSyscall{os::SYS_NET_SEND, 0x11};
+      case 4: return os::ActUserTouch{/*exec=*/false, 64};
+      case 5: return os::ActUserTouch{/*exec=*/true, 128};
+      case 6: return os::ActSyscall{os::SYS_READ, 3, 1024};
+      default: return os::ActSyscall{os::SYS_YIELD};
+    }
+  }
+  std::string name() const override { return "exerciser"; }
+
+ private:
+  int step_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  os::KernelConfig kc;
+  kc.nic_mmio = true;  // NIC via MMIO doorbell: EPT-based I/O interception
+  os::Vm vm(hv::MachineConfig{}, kc);
+
+  HyperTap ht(vm);
+  auto counters_owned = std::make_unique<auditors::CounterExporter>(
+      vm.machine.num_vcpus());
+  auto* counters = counters_owned.get();
+  ht.add_auditor(std::move(counters_owned));
+
+  vm.kernel.boot();
+  const u32 pid = vm.kernel.spawn("exerciser", 1000, 1000, 1,
+                                  std::make_unique<Exerciser>());
+
+  // Fine-grained interception (§VI-D): protect the exerciser's user
+  // stack (writes) and code (execution) pages.
+  {
+    auto& hv = vm.machine.hypervisor();
+    const os::Task* t = vm.kernel.find_task(pid);
+    const auto stack_gpa =
+        hv.gva_to_gpa(t->pdba, os::USER_STACK_TOP - hvsim::PAGE_SIZE);
+    const auto code_gpa = hv.gva_to_gpa(t->pdba, os::USER_CODE_BASE);
+    hv.ept().write_protect(*stack_gpa, true);
+    hv.ept().exec_protect(*code_gpa, true);
+  }
+
+  vm.machine.run_for(10'000'000'000);
+
+  auto total = [&](EventKind k) {
+    u64 n = 0;
+    for (const auto& s : counters->samples())
+      for (const auto& per_cpu : s.counts)
+        n += per_cpu[static_cast<std::size_t>(k)];
+    return n;
+  };
+  const auto& eng = vm.machine.engine();
+
+  std::cout << "TABLE I: Guest internal events and related VM Exit types\n"
+            << "(10 s of guest time; 2 vCPUs; all interception classes "
+               "armed)\n\n";
+  TablePrinter tp({"Monitoring category", "Guest event", "VM Exit",
+                   "Architectural invariant", "Events observed"});
+  tp.add_row({"Context switch interception", "Process context switch",
+              "CR_ACCESS", "CR3 -> PDBA of running process",
+              std::to_string(total(EventKind::kProcessSwitch))});
+  tp.add_row({"Context switch interception", "Thread switch",
+              "EPT_VIOLATION", "TR -> TSS; TSS.RSP0 unique per thread",
+              std::to_string(total(EventKind::kThreadSwitch))});
+  tp.add_row({"System call interception", "Fast system call (SYSENTER)",
+              "WRMSR + EPT_VIOLATION",
+              "entry point held in IA32_SYSENTER_EIP MSR",
+              std::to_string(total(EventKind::kSyscall))});
+  tp.add_row({"System call interception", "MSR setup (boot)", "WRMSR",
+              "WRMSR is privileged and exits",
+              std::to_string(total(EventKind::kMsrWrite))});
+  tp.add_row({"I/O access interception", "Programmed I/O (disk cmds)",
+              "IO_INSTRUCTION", "IN/OUT exit in guest mode",
+              std::to_string(total(EventKind::kIo))});
+  tp.add_row({"I/O access interception", "Memory-mapped I/O (NIC)",
+              "EPT_VIOLATION", "device window is EPT-protected",
+              std::to_string(total(EventKind::kMmio))});
+  tp.add_row({"I/O access interception", "Hardware interrupt",
+              "EXTERNAL_INT", "interrupt delivery exits",
+              std::to_string(total(EventKind::kExternalInterrupt))});
+  tp.add_row({"I/O access interception", "I/O APIC access (EOI)",
+              "APIC_ACCESS", "APIC page access exits",
+              std::to_string(total(EventKind::kApicAccess))});
+  tp.add_row({"Low-level interception", "Memory access / instruction "
+              "execution", "EPT_VIOLATION",
+              "page R/W/X permissions in EPT",
+              std::to_string(total(EventKind::kMemAccess))});
+  std::cout << tp.str();
+
+  std::cout << "\nRaw exit counts (engine):\n";
+  TablePrinter raw({"Exit reason", "Count"});
+  for (u8 r = 0; r < static_cast<u8>(hav::ExitReason::kCount); ++r) {
+    const auto reason = static_cast<hav::ExitReason>(r);
+    raw.add_row({to_string(reason),
+                 std::to_string(eng.total_exit_count(reason))});
+  }
+  std::cout << raw.str();
+
+  // The legacy gate (Fig. 3D): a guest built with INT-0x80 syscalls makes
+  // the same workload produce EXCEPTION exits instead of EPT fetch traps.
+  os::KernelConfig legacy;
+  legacy.fast_syscalls = false;
+  os::Vm vm2(hv::MachineConfig{}, legacy);
+  HyperTap ht2(vm2);
+  ht2.add_auditor(std::make_unique<auditors::CounterExporter>(
+      vm2.machine.num_vcpus()));
+  vm2.kernel.boot();
+  vm2.kernel.spawn("exerciser", 1000, 1000, 1,
+                   std::make_unique<Exerciser>());
+  vm2.machine.run_for(2'000'000'000);
+  std::cout << "\nLegacy-gate guest (INT 0x80, 2 s): EXCEPTION exits = "
+            << vm2.machine.engine().total_exit_count(
+                   hav::ExitReason::kException)
+            << " (interrupt-based syscall interception, Fig. 3D)\n";
+  return 0;
+}

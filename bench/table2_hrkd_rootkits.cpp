@@ -1,0 +1,105 @@
+// Table II — Real-world rootkits evaluated with HRKD (all detected).
+//
+// For each rootkit in the catalog: hide a running process, then report
+// which views lose it (in-guest ps, VMI task-list walk) and whether HRKD
+// flags the hidden task. Also reports the Fig. 3A process-counting
+// cross-view numbers (trusted address-space count vs in-guest count).
+#include <algorithm>
+#include <iostream>
+
+#include "attacks/rootkit.hpp"
+#include "auditors/hrkd.hpp"
+#include "core/hypertap.hpp"
+#include "util/stats.hpp"
+#include "vmi/introspect.hpp"
+
+using namespace hvsim;
+using namespace hypertap;
+using hvsim::util::TablePrinter;
+
+namespace {
+
+class Busy final : public os::Workload {
+ public:
+  os::Action next(os::TaskCtx&) override {
+    if ((i_ ^= 1) != 0) return os::ActCompute{700'000};
+    return os::ActSyscall{os::SYS_GETPID};
+  }
+  std::string name() const override { return "malware"; }
+  int i_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "TABLE II: rootkits evaluated with HRKD\n\n";
+  TablePrinter tp({"Rootkit", "Target OS", "Hiding technique(s)",
+                   "ps sees it", "VMI sees it", "trusted/ps count",
+                   "HRKD verdict"});
+
+  bool all_detected = true;
+  for (const auto& spec : attacks::rootkit_catalog()) {
+    // Match the guest flavor to the rootkit's target OS, as in the paper:
+    // Windows guests use the INT 0x2E syscall convention.
+    os::KernelConfig kc;
+    if (spec.target_os.rfind("Win", 0) == 0) {
+      kc.fast_syscalls = false;
+      kc.syscall_vector = os::SYSCALL_INT_VECTOR_NT;
+    }
+    os::Vm vm(hv::MachineConfig{}, kc);
+    HyperTap ht(vm);
+    auto hrkd_owned = std::make_unique<auditors::Hrkd>(
+        auditors::Hrkd::Config{},
+        [&k = vm.kernel]() { return k.in_guest_view_pids(); });
+    auto* hrkd = hrkd_owned.get();
+    ht.add_auditor(std::move(hrkd_owned));
+    vm.kernel.boot();
+    const u32 pid =
+        vm.kernel.spawn("malware", 1000, 1000, 1, std::make_unique<Busy>());
+    // A few visible peers.
+    for (int i = 0; i < 3; ++i)
+      vm.kernel.spawn("app" + std::to_string(i), 1000, 1000, 1,
+                      std::make_unique<Busy>());
+    vm.machine.run_for(1'000'000'000);
+
+    attacks::Rootkit rk(vm.kernel, spec);
+    rk.hide(pid);
+    vm.machine.run_for(2'000'000'000);
+
+    vmi::Introspector vmi(vm.machine.hypervisor(), vm.kernel.layout());
+    const auto guest_view = vm.kernel.in_guest_view_pids();
+    const auto vmi_view = vmi.list_pids();
+    const bool in_ps =
+        std::count(guest_view.begin(), guest_view.end(), pid) > 0;
+    const bool in_vmi =
+        std::count(vmi_view.begin(), vmi_view.end(), pid) > 0;
+    const bool flagged = hrkd->hidden_pids().count(pid) != 0;
+    all_detected = all_detected && flagged;
+
+    // Fig. 3A process counting: trusted address-space count vs the
+    // number of user processes the guest admits to.
+    const u32 trusted = hrkd->count_address_spaces(ht.context());
+    u32 guest_user_procs = 0;
+    for (const u32 p : guest_view) {
+      const os::Task* t = vm.kernel.find_task(p);
+      if (t != nullptr && !t->is_kthread()) ++guest_user_procs;
+    }
+
+    std::string techniques;
+    for (const auto t : spec.techniques) {
+      if (!techniques.empty()) techniques += ", ";
+      techniques += to_string(t);
+    }
+    tp.add_row({spec.name, spec.target_os, techniques,
+                in_ps ? "yes" : "no", in_vmi ? "yes" : "no",
+                std::to_string(trusted) + "/" +
+                    std::to_string(guest_user_procs),
+                flagged ? "DETECTED" : "MISSED"});
+  }
+  std::cout << tp.str();
+  std::cout << "\nAll rootkits detected: " << (all_detected ? "YES" : "NO")
+            << " (paper: all detected)\n";
+  std::cout << "A trusted count exceeding the in-guest count reveals "
+               "hidden address spaces regardless of hiding technique.\n";
+  return all_detected ? 0 : 1;
+}

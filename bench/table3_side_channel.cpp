@@ -1,0 +1,66 @@
+// Table III — Predicting Ninja's monitoring interval through the /proc
+// side channel.
+//
+// An unprivileged guest process polls /proc/<ninja-pid>/stat and times the
+// Sleep->Running transitions. For each configured O-Ninja interval
+// (1/2/4/8 s) we report the predicted interval statistics over 30
+// samples, as in the paper's Table III.
+#include <iostream>
+
+#include "attacks/side_channel.hpp"
+#include "core/hypertap.hpp"
+#include "util/stats.hpp"
+#include "vmi/o_ninja.hpp"
+
+using namespace hvsim;
+using namespace hypertap;
+using hvsim::util::Samples;
+using hvsim::util::TablePrinter;
+using hvsim::util::format_double;
+
+int main() {
+  std::cout << "TABLE III: predicting Ninja's monitoring interval "
+               "(seconds), 30 samples per row\n\n";
+  TablePrinter tp({"Ninja's interval", "Predicted mean", "Min", "Max",
+                   "SD"});
+
+  for (const u32 interval_s : {1u, 2u, 4u, 8u}) {
+    os::Vm vm;
+    HyperTap ht(vm);  // attached but idle: the attack is guest-only
+    vm.kernel.boot();
+
+    vmi::ONinjaWorkload::Config ocfg;
+    ocfg.interval_us = interval_s * 1'000'000;
+    const u32 ninja_pid = vm.kernel.spawn(
+        "ninja", 0, 0, 1,
+        std::make_unique<vmi::ONinjaWorkload>(ocfg, nullptr));
+
+    attacks::SideChannelProbe::Config scfg;
+    scfg.target_pid = ninja_pid;
+    auto probe_owned = std::make_unique<attacks::SideChannelProbe>(scfg);
+    auto* probe = probe_owned.get();
+    vm.kernel.spawn("attacker", 1000, 1000, 1, std::move(probe_owned), 0,
+                    /*cpu=*/1);  // other vCPU: poll while ninja sleeps
+
+    // Run until we have 31 wake-ups (30 intervals).
+    while (probe->wake_times().size() < 31 &&
+           vm.machine.now() < static_cast<SimTime>(interval_s) *
+                                  40'000'000'000ll) {
+      vm.machine.run_for(2'000'000'000);
+    }
+
+    Samples s;
+    for (const double d : probe->predicted_intervals()) {
+      s.add(d);
+      if (s.count() >= 30) break;
+    }
+    tp.add_row({std::to_string(interval_s),
+                format_double(s.mean(), 5), format_double(s.min(), 5),
+                format_double(s.max(), 5), format_double(s.stddev(), 5)});
+  }
+  std::cout << tp.str();
+  std::cout << "\npaper shape: predictions match the configured interval "
+               "to sub-millisecond accuracy (SD < 1 ms), enabling timed "
+               "transient attacks.\n";
+  return 0;
+}

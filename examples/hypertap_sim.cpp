@@ -1,0 +1,316 @@
+// hypertap_sim — command-line driver for the whole stack.
+//
+// Compose a guest, monitors, workloads, attacks and faults from flags and
+// watch the alarm stream. Examples:
+//
+//   # healthy guest, all monitors, 20 s
+//   ./hypertap_sim --monitors=goshd,hrkd,ped --duration=20
+//
+//   # hang injection under make, watch GOSHD (one line):
+//   ./hypertap_sim --monitors=goshd --workload=make
+//                  --fault=missing-release --fault-location=0 --duration=30
+//
+//   # rootkit + transient escalation vs PED and HRKD
+//   ./hypertap_sim --monitors=hrkd,ped --attack=suckit --duration=10
+//
+//   # Windows-flavor guest with int-0x2E syscalls
+//   ./hypertap_sim --flavor=windows --monitors=ped --attack=fu
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attacks/scenario.hpp"
+#include "auditors/anomaly.hpp"
+#include "auditors/counters.hpp"
+#include "auditors/goshd.hpp"
+#include "auditors/hrkd.hpp"
+#include "auditors/integrity_guard.hpp"
+#include "auditors/ped.hpp"
+#include "auditors/syscall_trace.hpp"
+#include "auditors/tss_integrity.hpp"
+#include "core/hypertap.hpp"
+#include "fi/campaign.hpp"
+#include "fi/fault.hpp"
+#include "fi/locations.hpp"
+#include "util/names.hpp"
+#include "workloads/hanoi.hpp"
+#include "workloads/httpd.hpp"
+#include "workloads/make.hpp"
+#include "workloads/workload.hpp"
+
+using namespace hvsim;
+using namespace hypertap;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> kv;
+
+  bool has(const std::string& k) const { return kv.count(k) != 0; }
+  std::string get(const std::string& k, const std::string& def = "") const {
+    const auto it = kv.find(k);
+    return it == kv.end() ? def : it->second;
+  }
+  long num(const std::string& k, long def) const {
+    const auto it = kv.find(k);
+    return it == kv.end() ? def : std::stol(it->second);
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    std::string s = argv[i];
+    if (s.rfind("--", 0) != 0) continue;
+    s = s.substr(2);
+    const auto eq = s.find('=');
+    if (eq == std::string::npos) {
+      a.kv[s] = "1";
+    } else {
+      a.kv[s.substr(0, eq)] = s.substr(eq + 1);
+    }
+  }
+  return a;
+}
+
+std::vector<std::string> split(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+os::FaultClass parse_fault(const std::string& s) {
+  if (s == "missing-release") return os::FaultClass::kMissingRelease;
+  if (s == "wrong-order") return os::FaultClass::kWrongOrder;
+  if (s == "missing-pair") return os::FaultClass::kMissingPair;
+  if (s == "missing-irq-restore") return os::FaultClass::kMissingIrqRestore;
+  throw std::invalid_argument("unknown fault class: " + s);
+}
+
+int usage() {
+  std::cout <<
+      "hypertap_sim — drive a monitored VM from the command line\n\n"
+      "  --duration=SECONDS       simulated runtime (default 10)\n"
+      "  --vcpus=N                vCPUs (default 2)\n"
+      "  --seed=N                 deterministic seed (default 42)\n"
+      "  --flavor=linux|windows   syscall convention (default linux)\n"
+      "  --preemptible            build the guest kernel with preemption\n"
+      "  --monitors=a,b,...       goshd hrkd ped tss trace counters\n"
+      "                           guard guard-prevent anomaly (default: all three)\n"
+      "  --rhc                    enable the Remote Health Checker\n"
+      "  --workload=NAME          hanoi | make | make2 | httpd | busy (default busy)\n"
+      "  --attack=ROOTKIT         run the Fig. 6 attack with that rootkit\n"
+      "                           (fu, suckit, afx, ... or 'none' for exploit only)\n"
+      "  --spam=N                 idle processes spawned before the attack\n"
+      "  --fault=CLASS            missing-release | wrong-order | missing-pair |\n"
+      "                           missing-irq-restore\n"
+      "  --fault-location=N       injectable location id (0-373)\n"
+      "  --transient              fault activates only once\n"
+      "  --verbose                print each alarm as it is raised\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  if (args.has("help")) return usage();
+
+  const auto locations = fi::generate_locations();
+
+  hv::MachineConfig mc;
+  mc.num_vcpus = static_cast<int>(args.num("vcpus", 2));
+  mc.seed = static_cast<u64>(args.num("seed", 42));
+  os::KernelConfig kc;
+  kc.preemptible = args.has("preemptible");
+  kc.spawn_factory = workloads::standard_factory(&locations);
+  if (args.get("flavor") == "windows") {
+    kc.fast_syscalls = false;
+    kc.syscall_vector = os::SYSCALL_INT_VECTOR_NT;
+  }
+  os::Vm vm(mc, kc);
+  vm.kernel.register_locations(locations);
+
+  // Fault plan (armed before boot so early activations count).
+  std::unique_ptr<fi::FaultPlan> fault;
+  if (args.has("fault")) {
+    fi::FaultSpec spec;
+    spec.location = static_cast<u16>(args.num("fault-location", 0));
+    spec.fault_class = parse_fault(args.get("fault"));
+    spec.transient = args.has("transient");
+    fault = std::make_unique<fi::FaultPlan>(
+        spec, [&m = vm.machine]() { return m.now(); });
+    vm.kernel.set_location_hook(fault.get());
+  }
+
+  HyperTap::Options opts;
+  opts.enable_rhc = args.has("rhc");
+  HyperTap ht(vm, opts);
+  if (args.has("verbose")) {
+    ht.alarms().set_callback([](const Alarm& a) {
+      std::cout << "[" << util::format_time(a.time) << "] " << a.auditor
+                << ": " << a.type << " — " << a.detail;
+      if (a.pid != 0) std::cout << " (pid " << a.pid << ")";
+      std::cout << "\n";
+    });
+  }
+
+  const auto monitors = split(args.get("monitors", "goshd,hrkd,ped"));
+  const bool want_guard_attach_post_boot =
+      std::count(monitors.begin(), monitors.end(), "guard") +
+          std::count(monitors.begin(), monitors.end(), "guard-prevent") >
+      0;
+  for (const auto& m : monitors) {
+    if (m == "goshd") {
+      ht.add_auditor(std::make_unique<auditors::Goshd>(mc.num_vcpus));
+    } else if (m == "hrkd") {
+      ht.add_auditor(std::make_unique<auditors::Hrkd>(
+          auditors::Hrkd::Config{},
+          [&k = vm.kernel]() { return k.in_guest_view_pids(); }));
+    } else if (m == "ped") {
+      ht.add_auditor(std::make_unique<auditors::HtNinja>());
+    } else if (m == "tss") {
+      ht.add_auditor(
+          std::make_unique<auditors::TssIntegrity>(mc.num_vcpus));
+    } else if (m == "trace") {
+      ht.add_auditor(std::make_unique<auditors::SyscallTrace>());
+    } else if (m == "counters") {
+      ht.add_auditor(
+          std::make_unique<auditors::CounterExporter>(mc.num_vcpus));
+    } else if (m == "anomaly") {
+      ht.add_auditor(std::make_unique<auditors::AnomalyDetector>());
+    } else if (m == "guard" || m == "guard-prevent") {
+      // attached after boot (needs the published layout)
+    } else {
+      std::cerr << "unknown monitor: " << m << "\n";
+      return 2;
+    }
+  }
+
+  vm.kernel.boot();
+  if (want_guard_attach_post_boot) {
+    auditors::KernelIntegrityGuard::Config gcfg;
+    gcfg.prevent =
+        std::count(monitors.begin(), monitors.end(), "guard-prevent") > 0;
+    ht.add_auditor(std::make_unique<auditors::KernelIntegrityGuard>(
+        vm.kernel.layout(), gcfg));
+  }
+
+  // Workload.
+  const std::string wl = args.get("workload", "busy");
+  util::Rng wrng(mc.seed ^ 0xC11u);
+  if (wl == "hanoi") {
+    vm.kernel.spawn("hanoi", 1000, 1000, 1,
+                    std::make_unique<workloads::HanoiWorkload>(
+                        workloads::HanoiWorkload::Config{}, &locations,
+                        wrng.next()));
+  } else if (wl == "make" || wl == "make2") {
+    const int jobs = wl == "make2" ? 2 : 1;
+    for (int j = 0; j < jobs; ++j) {
+      vm.kernel.spawn("make", 1000, 1000, 1,
+                      std::make_unique<workloads::MakeJobWorkload>(
+                          workloads::MakeJobWorkload::Config{}, &locations,
+                          wrng.next()));
+    }
+  } else if (wl == "httpd") {
+    for (int w = 0; w < 2; ++w) {
+      vm.kernel.spawn("httpd", 30, 30, 1,
+                      std::make_unique<workloads::HttpdWorkerWorkload>(
+                          workloads::HttpdWorkerWorkload::Config{},
+                          &locations, wrng.next()));
+    }
+    auto gen = std::make_shared<workloads::HttpLoadGenerator>(vm.kernel,
+                                                              200.0);
+    vm.machine.add_net_tx_sink(gen->response_sink());
+    gen->start(vm.machine);
+    // keep the generator alive for the run
+    vm.machine.schedule(args.num("duration", 10) * 1'000'000'000L,
+                        [gen]() { gen->stop(); });
+  } else {
+    class BusyApp final : public os::Workload {
+     public:
+      os::Action next(os::TaskCtx&) override {
+        switch (i_++ % 3) {
+          case 0: return os::ActCompute{500'000};
+          case 1: return os::ActSyscall{os::SYS_WRITE, 3, 2048};
+          default: return os::ActSyscall{os::SYS_GETPID};
+        }
+      }
+      int i_ = 0;
+    };
+    vm.kernel.spawn("busy", 1000, 1000, 1, std::make_unique<BusyApp>());
+  }
+
+  // Attack (launched after 1 s of steady state).
+  std::unique_ptr<attacks::AttackDriver> attack;
+  if (args.has("attack")) {
+    attacks::AttackPlan plan;
+    plan.n_spam = static_cast<u32>(args.num("spam", 0));
+    const std::string rk = args.get("attack");
+    if (rk != "none") {
+      // accept lowercase prefixes of catalog names
+      for (const auto& spec : attacks::rootkit_catalog()) {
+        std::string lower = spec.name;
+        for (char& ch : lower)
+          ch = static_cast<char>(tolower(static_cast<unsigned char>(ch)));
+        if (lower.rfind(rk, 0) == 0) {
+          plan.rootkit = spec;
+          break;
+        }
+      }
+      if (!plan.rootkit) {
+        std::cerr << "unknown rootkit: " << rk << "\n";
+        return 2;
+      }
+    }
+    attack = std::make_unique<attacks::AttackDriver>(vm.kernel, plan);
+    vm.machine.schedule(1'000'000'000, [&attack]() { attack->launch(); });
+  }
+
+  const SimTime duration = args.num("duration", 10) * 1'000'000'000L;
+  vm.machine.run_for(duration);
+
+  // ------------------------------ Report --------------------------------
+  std::cout << "=== hypertap_sim report ===\n";
+  std::cout << "simulated time: " << util::format_time(vm.machine.now())
+            << ", VM exits: " << ht.forwarder().exits_observed()
+            << ", events forwarded: " << ht.forwarder().events_forwarded()
+            << "\n";
+  if (fault) {
+    std::cout << "fault: " << to_string(fault->spec().fault_class)
+              << " at location " << fault->spec().location << " — "
+              << (fault->activated()
+                      ? "activated at " +
+                            util::format_time(fault->first_activation())
+                      : "never activated")
+              << "\n";
+  }
+  if (attack) {
+    std::cout << "attack: escalated at "
+              << util::format_time(attack->times().escalated)
+              << ", hidden at " << util::format_time(attack->times().hidden)
+              << "\n";
+  }
+  if (ht.rhc() != nullptr) {
+    std::cout << "RHC: " << ht.rhc()->samples_received() << " samples, "
+              << ht.rhc()->alerts().size() << " liveness alerts\n";
+  }
+  std::map<std::string, int> by_type;
+  for (const auto& a : ht.alarms().all()) {
+    ++by_type[a.auditor + "/" + a.type];
+  }
+  std::cout << "alarms (" << ht.alarms().all().size() << "):\n";
+  for (const auto& [k, n] : by_type) {
+    std::cout << "  " << k << " x" << n << "\n";
+  }
+  if (ht.alarms().all().empty()) std::cout << "  (none)\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Privilege-escalation demo: the transient attack of §VIII-C (spam +
+// CVE-2013-1763-style exploit + rootkit + quick exit) against all three
+// Ninjas at once — O-Ninja in the guest, H-Ninja at the hypervisor with
+// passive VMI, and HT-Ninja on HyperTap's active monitoring.
+//
+//   $ ./examples/privilege_escalation_demo
+#include <iostream>
+
+#include "attacks/scenario.hpp"
+#include "auditors/ped.hpp"
+#include "core/hypertap.hpp"
+#include "util/names.hpp"
+#include "vmi/h_ninja.hpp"
+#include "vmi/o_ninja.hpp"
+
+using namespace hypertap;
+using hvsim::util::format_time;
+
+int main() {
+  os::Vm vm;
+  HyperTap ht(vm);
+  auto ninja_owned = std::make_unique<auditors::HtNinja>();
+  auto* ht_ninja = ninja_owned.get();
+  ht.add_auditor(std::move(ninja_owned));
+  vm.kernel.boot();
+
+  // O-Ninja: in-guest scanner, 1 s interval (its default).
+  SimTime o_detect = -1;
+  vmi::ONinjaWorkload::Config ocfg;
+  auto oninja = std::make_unique<vmi::ONinjaWorkload>(
+      ocfg, [&](u32) { o_detect = vm.machine.now(); });
+  vm.kernel.spawn("ninja", 0, 0, 1, std::move(oninja));
+
+  // H-Ninja: hypervisor-level passive VMI, 1 s interval.
+  SimTime h_detect = -1;
+  vmi::HNinja h_ninja(vm.machine.hypervisor(), vm.kernel.layout(),
+                      vmi::HNinja::Config{},
+                      [&](u32) { h_detect = vm.machine.now(); });
+  h_ninja.start(vm.machine);
+
+  // HT-Ninja detection time via the alarm callback.
+  SimTime ht_detect = -1;
+  ht.alarms().set_callback([&](const Alarm& a) {
+    if (a.type == "priv-escalation" && ht_detect < 0)
+      ht_detect = a.time;
+  });
+
+  vm.machine.run_for(2'000'000'000);
+
+  // The attack: 100 spam processes, exploit, Ivyl rootkit, act, exit.
+  attacks::AttackPlan plan;
+  plan.n_spam = 100;
+  plan.rootkit = attacks::rootkit_by_name("Ivyl's Rootkit");
+  attacks::AttackDriver attack(vm.kernel, plan);
+  attack.launch();
+
+  vm.machine.run_for(8'000'000'000);
+
+  std::cout << "=== The three Ninjas vs a transient attack ===\n";
+  std::cout << "attack timeline:\n";
+  std::cout << "  escalated (euid=0): "
+            << format_time(attack.times().escalated) << "\n";
+  std::cout << "  rootkit hid pid:    "
+            << format_time(attack.times().hidden) << "\n";
+  std::cout << "  attacker exited:    "
+            << format_time(attack.times().exited) << "\n\n";
+
+  auto verdict = [](SimTime t) {
+    return t >= 0 ? "DETECTED at " + format_time(t)
+                  : std::string("missed");
+  };
+  std::cout << "O-Ninja  (in-guest, passive 1s):    " << verdict(o_detect)
+            << "\n";
+  std::cout << "H-Ninja  (hypervisor, passive 1s):  " << verdict(h_detect)
+            << "\n";
+  std::cout << "HT-Ninja (HyperTap, active):        " << verdict(ht_detect)
+            << "\n";
+  std::cout << "\nHT-Ninja flagged pids: ";
+  for (u32 p : ht_ninja->flagged_pids()) std::cout << p << " ";
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Rootkit hunt: install each rootkit from the Table II catalog against a
+// busy process and compare three views of the system —
+//   (1) in-guest ps (syscalls through the possibly-hijacked table),
+//   (2) structure-walking VMI (task-list walk in guest memory),
+//   (3) HRKD's trusted view (context-switch interception + Fig. 3A
+//       process counting).
+//
+//   $ ./examples/rootkit_hunt
+#include <algorithm>
+#include <iostream>
+
+#include "attacks/rootkit.hpp"
+#include "auditors/hrkd.hpp"
+#include "core/hypertap.hpp"
+#include "vmi/introspect.hpp"
+
+using namespace hypertap;
+
+namespace {
+
+class Busy final : public os::Workload {
+ public:
+  os::Action next(os::TaskCtx&) override {
+    if ((i_ ^= 1) != 0) return os::ActCompute{800'000};
+    return os::ActSyscall{os::SYS_GETPID};
+  }
+  std::string name() const override { return "malware"; }
+  int i_ = 0;
+};
+
+bool contains(const std::vector<u32>& v, u32 pid) {
+  return std::find(v.begin(), v.end(), pid) != v.end();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Rootkit hunt: three views of a hidden process ===\n\n";
+  for (const auto& spec : attacks::rootkit_catalog()) {
+    os::Vm vm;
+    HyperTap ht(vm);
+    auto hrkd_owned = std::make_unique<auditors::Hrkd>(
+        auditors::Hrkd::Config{},
+        [&k = vm.kernel]() { return k.in_guest_view_pids(); });
+    auto* hrkd = hrkd_owned.get();
+    ht.add_auditor(std::move(hrkd_owned));
+    vm.kernel.boot();
+
+    const u32 pid =
+        vm.kernel.spawn("malware", 1000, 1000, 1, std::make_unique<Busy>());
+    vm.machine.run_for(1'000'000'000);
+
+    attacks::Rootkit rk(vm.kernel, spec);
+    rk.hide(pid);
+    vm.machine.run_for(2'000'000'000);
+
+    vmi::Introspector vmi(vm.machine.hypervisor(), vm.kernel.layout());
+    const bool in_guest = contains(vm.kernel.in_guest_view_pids(), pid);
+    const bool in_vmi = contains(vmi.list_pids(), pid);
+    const bool hrkd_flagged = hrkd->hidden_pids().count(pid) != 0;
+
+    std::string techniques;
+    for (const auto t : spec.techniques) {
+      if (!techniques.empty()) techniques += ", ";
+      techniques += to_string(t);
+    }
+    std::cout << spec.name << " (" << techniques << ")\n";
+    std::cout << "  in-guest ps sees pid:  " << (in_guest ? "yes" : "no")
+              << "\n";
+    std::cout << "  VMI list walk sees it: " << (in_vmi ? "yes" : "no")
+              << "\n";
+    std::cout << "  HRKD verdict:          "
+              << (hrkd_flagged ? "HIDDEN TASK DETECTED" : "missed!")
+              << "\n\n";
+  }
+  return 0;
+}

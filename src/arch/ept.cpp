@@ -1,0 +1,26 @@
+#include "arch/ept.hpp"
+
+namespace hvsim::arch {
+
+const char* to_string(Access a) {
+  switch (a) {
+    case Access::kRead: return "read";
+    case Access::kWrite: return "write";
+    case Access::kExecute: return "execute";
+  }
+  return "?";
+}
+
+void Ept::write_protect(Gpa gpa, bool protect) {
+  EptPerm p = get(gpa);
+  p.w = !protect;
+  set(gpa, p);
+}
+
+void Ept::exec_protect(Gpa gpa, bool protect) {
+  EptPerm p = get(gpa);
+  p.x = !protect;
+  set(gpa, p);
+}
+
+}  // namespace hvsim::arch

@@ -1,0 +1,64 @@
+// Extended Page Tables (EPT) model.
+//
+// Guest-physical memory is backed 1:1 by PhysMem; what EPT contributes in
+// this simulation is the per-page permission set (read / write / execute)
+// that the hypervisor manipulates to receive EPT_VIOLATION VM Exits — the
+// mechanism behind thread-switch interception (write-protected TSS pages,
+// Fig. 3B), fast-system-call interception (execute-protected entry page,
+// Fig. 3E), and MMIO trapping.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace hvsim::arch {
+
+enum class Access : u8 { kRead = 0, kWrite = 1, kExecute = 2 };
+
+const char* to_string(Access a);
+
+struct EptPerm {
+  bool r = true;
+  bool w = true;
+  bool x = true;
+
+  bool allows(Access a) const {
+    switch (a) {
+      case Access::kRead: return r;
+      case Access::kWrite: return w;
+      case Access::kExecute: return x;
+    }
+    return false;
+  }
+  bool operator==(const EptPerm&) const = default;
+};
+
+class Ept {
+ public:
+  explicit Ept(u32 num_pages) : perms_(num_pages) {}
+
+  // check() bounds-validates, so plain indexing below is safe (and keeps
+  // GCC from flagging the deliberately-throwing test paths).
+  EptPerm get(Gpa gpa) const { return perms_[page_number(check(gpa))]; }
+  void set(Gpa gpa, EptPerm p) { perms_[page_number(check(gpa))] = p; }
+
+  /// Convenience: write-protect / execute-protect the page containing gpa.
+  void write_protect(Gpa gpa, bool protect);
+  void exec_protect(Gpa gpa, bool protect);
+
+  bool check_access(Gpa gpa, Access a) const { return get(gpa).allows(a); }
+
+  u32 num_pages() const { return static_cast<u32>(perms_.size()); }
+
+ private:
+  Gpa check(Gpa gpa) const {
+    if (page_number(gpa) >= perms_.size())
+      throw std::out_of_range("EPT access beyond guest-physical range");
+    return gpa;
+  }
+  std::vector<EptPerm> perms_;
+};
+
+}  // namespace hvsim::arch

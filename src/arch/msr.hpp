@@ -1,0 +1,29 @@
+// Model-Specific Registers relevant to fast-system-call interception
+// (Fig. 3E): SYSENTER reads its target from IA32_SYSENTER_EIP, and MSRs can
+// only be written through the privileged WRMSR instruction, which causes a
+// WRMSR VM Exit when MSR-exiting is enabled.
+#pragma once
+
+#include <unordered_map>
+
+#include "util/types.hpp"
+
+namespace hvsim::arch {
+
+inline constexpr u32 IA32_SYSENTER_CS = 0x174;
+inline constexpr u32 IA32_SYSENTER_ESP = 0x175;
+inline constexpr u32 IA32_SYSENTER_EIP = 0x176;
+
+class MsrFile {
+ public:
+  u64 read(u32 index) const {
+    const auto it = values_.find(index);
+    return it == values_.end() ? 0 : it->second;
+  }
+  void write(u32 index, u64 value) { values_[index] = value; }
+
+ private:
+  std::unordered_map<u32, u64> values_;
+};
+
+}  // namespace hvsim::arch

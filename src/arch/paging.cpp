@@ -1,0 +1,38 @@
+#include "arch/paging.hpp"
+
+namespace hvsim::arch {
+
+std::optional<Translation> walk(const PhysMem& mem, Gpa pdba, Gva va) {
+  if ((pdba & PAGE_MASK) != 0) return std::nullopt;
+  if (static_cast<std::size_t>(pdba) + PAGE_SIZE > mem.size())
+    return std::nullopt;
+
+  const u32 pde_idx = va >> 22;
+  const u32 pte_idx = (va >> PAGE_SHIFT) & 0x3FF;
+
+  const u32 pde = mem.rd32(pdba + pde_idx * 4);
+  if (!(pde & PTE_PRESENT)) return std::nullopt;
+  const Gpa pt_base = pde & PTE_FRAME_MASK;
+  if (static_cast<std::size_t>(pt_base) + PAGE_SIZE > mem.size())
+    return std::nullopt;
+
+  const u32 pte = mem.rd32(pt_base + pte_idx * 4);
+  if (!(pte & PTE_PRESENT)) return std::nullopt;
+
+  Translation t;
+  t.gpa = (pte & PTE_FRAME_MASK) | (va & PAGE_MASK);
+  t.writable = (pte & PTE_WRITE) && (pde & PTE_WRITE);
+  t.user = (pte & PTE_USER) && (pde & PTE_USER);
+  if (static_cast<std::size_t>(t.gpa) >= mem.size()) return std::nullopt;
+  return t;
+}
+
+void unmap_page(PhysMem& mem, Gpa pdba, Gva va) {
+  const u32 pde_idx = va >> 22;
+  const u32 pte_idx = (va >> PAGE_SHIFT) & 0x3FF;
+  const u32 pde = mem.rd32(pdba + pde_idx * 4);
+  if (!(pde & PTE_PRESENT)) return;
+  mem.wr32((pde & PTE_FRAME_MASK) + pte_idx * 4, 0);
+}
+
+}  // namespace hvsim::arch

@@ -1,0 +1,53 @@
+// Classic x86 two-level paging: a 4 KiB page directory of 1024 PDEs, each
+// pointing at a 4 KiB page table of 1024 PTEs. All structures live in guest
+// physical memory, so page walks read actual guest bytes — exactly what the
+// paper's process-counting algorithm (Fig. 3A) depends on when it validates
+// a PDBA by translating a known GVA under it.
+#pragma once
+
+#include <optional>
+
+#include "arch/phys_mem.hpp"
+#include "util/types.hpp"
+
+namespace hvsim::arch {
+
+// PTE/PDE flag bits (x86 names).
+inline constexpr u32 PTE_PRESENT = 1u << 0;
+inline constexpr u32 PTE_WRITE = 1u << 1;
+inline constexpr u32 PTE_USER = 1u << 2;
+inline constexpr u32 PTE_FRAME_MASK = ~PAGE_MASK;
+
+struct Translation {
+  Gpa gpa = 0;
+  bool writable = false;
+  bool user = false;
+};
+
+/// Walk the two-level structure rooted at `pdba` (a page-aligned GPA).
+/// Returns nullopt if any level is not present or `pdba` is out of range.
+std::optional<Translation> walk(const PhysMem& mem, Gpa pdba, Gva va);
+
+/// Map a single 4 KiB page `va -> pa`. `alloc_frame` is called when a page
+/// table must be created; it must return a zeroed, page-aligned GPA.
+template <typename FrameAlloc>
+void map_page(PhysMem& mem, Gpa pdba, Gva va, Gpa pa, u32 flags,
+              FrameAlloc&& alloc_frame) {
+  const u32 pde_idx = va >> 22;
+  const u32 pte_idx = (va >> PAGE_SHIFT) & 0x3FF;
+  const Gpa pde_addr = pdba + pde_idx * 4;
+  u32 pde = mem.rd32(pde_addr);
+  if (!(pde & PTE_PRESENT)) {
+    const Gpa pt = alloc_frame();
+    pde = (pt & PTE_FRAME_MASK) | PTE_PRESENT | PTE_WRITE | PTE_USER;
+    mem.wr32(pde_addr, pde);
+  }
+  const Gpa pt_base = pde & PTE_FRAME_MASK;
+  mem.wr32(pt_base + pte_idx * 4,
+           (pa & PTE_FRAME_MASK) | (flags & PAGE_MASK) | PTE_PRESENT);
+}
+
+/// Remove the mapping for `va` (no-op if absent).
+void unmap_page(PhysMem& mem, Gpa pdba, Gva va);
+
+}  // namespace hvsim::arch

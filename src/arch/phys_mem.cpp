@@ -1,0 +1,25 @@
+#include "arch/phys_mem.hpp"
+
+namespace hvsim::arch {
+
+PhysMem::PhysMem(std::size_t bytes) : bytes_(bytes, 0) {
+  if (bytes == 0 || (bytes & PAGE_MASK) != 0)
+    throw std::invalid_argument("PhysMem size must be a nonzero page multiple");
+}
+
+void PhysMem::read_bytes(Gpa a, void* dst, std::size_t n) const {
+  check(a, n);
+  std::memcpy(dst, bytes_.data() + a, n);
+}
+
+void PhysMem::write_bytes(Gpa a, const void* src, std::size_t n) {
+  check(a, n);
+  std::memcpy(bytes_.data() + a, src, n);
+}
+
+void PhysMem::zero_page(Gpa page_aligned) {
+  check(page_aligned, PAGE_SIZE);
+  std::memset(bytes_.data() + page_aligned, 0, PAGE_SIZE);
+}
+
+}  // namespace hvsim::arch

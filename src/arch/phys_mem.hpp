@@ -1,0 +1,67 @@
+// Guest physical memory: a flat, bounds-checked byte array.
+//
+// Every guest-visible data structure in the simulation — page directories,
+// page tables, TSS segments, task_structs, thread_infos, kernel stacks and
+// the system-call table — lives in this array as real bytes. Introspection
+// tools (VMI), rootkits and HyperTap's derivation code all operate on the
+// same bytes, which is what makes semantic-gap attacks meaningful.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace hvsim::arch {
+
+class PhysMem {
+ public:
+  /// Size must be page-aligned.
+  explicit PhysMem(std::size_t bytes);
+
+  std::size_t size() const { return bytes_.size(); }
+  u32 num_pages() const { return static_cast<u32>(bytes_.size() >> PAGE_SHIFT); }
+
+  u8 rd8(Gpa a) const { return bytes_.at(check(a, 1)); }
+  u16 rd16(Gpa a) const { return rd<u16>(a); }
+  u32 rd32(Gpa a) const { return rd<u32>(a); }
+  u64 rd64(Gpa a) const { return rd<u64>(a); }
+
+  void wr8(Gpa a, u8 v) { bytes_.at(check(a, 1)) = v; }
+  void wr16(Gpa a, u16 v) { wr<u16>(a, v); }
+  void wr32(Gpa a, u32 v) { wr<u32>(a, v); }
+  void wr64(Gpa a, u64 v) { wr<u64>(a, v); }
+
+  void read_bytes(Gpa a, void* dst, std::size_t n) const;
+  void write_bytes(Gpa a, const void* src, std::size_t n);
+
+  /// Zero a whole physical page (used when the guest frees a frame, so that
+  /// stale page-directory base addresses fail validity tests).
+  void zero_page(Gpa page_aligned);
+
+  std::span<const u8> bytes() const { return bytes_; }
+
+ private:
+  template <typename T>
+  T rd(Gpa a) const {
+    T v;
+    std::memcpy(&v, bytes_.data() + check(a, sizeof(T)), sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void wr(Gpa a, T v) {
+    std::memcpy(bytes_.data() + check(a, sizeof(T)), &v, sizeof(T));
+  }
+
+  std::size_t check(Gpa a, std::size_t n) const {
+    if (static_cast<std::size_t>(a) + n > bytes_.size())
+      throw std::out_of_range("guest-physical access out of range");
+    return a;
+  }
+
+  std::vector<u8> bytes_;
+};
+
+}  // namespace hvsim::arch

@@ -1,0 +1,20 @@
+// Task-State Segment layout.
+//
+// The architectural invariant HyperTap leans on (§VI-A2): TR always points
+// at the TSS of the running task, and TSS.RSP0 — the privilege-level-0
+// stack pointer loaded by the CPU on every user→kernel transition — is
+// unique per thread, so it serves as a thread identifier.
+//
+// We model the 32-bit TSS layout where the ring-0 stack pointer lives at
+// offset 4 (the historical ESP0 slot; the paper and this code call it RSP0).
+#pragma once
+
+#include "util/types.hpp"
+
+namespace hvsim::arch {
+
+inline constexpr u32 TSS_SIZE = 104;
+/// Byte offset of the ring-0 stack pointer within the TSS.
+inline constexpr u32 TSS_RSP0_OFFSET = 4;
+
+}  // namespace hvsim::arch

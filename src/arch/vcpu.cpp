@@ -1,0 +1,3 @@
+// Vcpu is header-only today; this TU anchors the header for the library
+// build and will host out-of-line additions as the model grows.
+#include "arch/vcpu.hpp"

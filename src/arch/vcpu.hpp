@@ -1,0 +1,68 @@
+// Virtual CPU: register file, MSRs, local clock and exit statistics.
+//
+// With HAV, each vCPU occupies a physical core until the next VM Exit;
+// per-vCPU local time plus a global minimum-time scheduling loop in
+// hv::Machine gives a deterministic multiprocessor simulation.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "arch/msr.hpp"
+#include "util/types.hpp"
+
+namespace hvsim::arch {
+
+/// General-purpose register names (the subset syscall ABIs use).
+enum class Gpr : u8 { RAX = 0, RBX, RCX, RDX, RSI, RDI, RBP, RSP_USER };
+inline constexpr std::size_t kNumGpr = 8;
+
+struct RegisterFile {
+  /// Page Directory Base Register — the process identity invariant.
+  u32 cr3 = 0;
+  /// Task Register: GVA of the current TSS — the task identity invariant.
+  Gva tr = 0;
+  /// Kernel stack pointer of the running thread.
+  u32 rsp = 0;
+  /// Instruction pointer (tracked coarsely; used for syscall entry checks).
+  u32 rip = 0;
+  /// Current privilege level: 3 = user, 0 = kernel.
+  u8 cpl = 3;
+  /// Interrupt flag (IF). Cleared by cli / missing-irq-restore faults.
+  bool interrupts_enabled = true;
+  std::array<u32, kNumGpr> gpr{};
+
+  u32 reg(Gpr r) const { return gpr[static_cast<std::size_t>(r)]; }
+  void set_reg(Gpr r, u32 v) { gpr[static_cast<std::size_t>(r)] = v; }
+};
+
+class Vcpu {
+ public:
+  explicit Vcpu(int id) : id_(id) {}
+
+  int id() const { return id_; }
+
+  RegisterFile& regs() { return regs_; }
+  const RegisterFile& regs() const { return regs_; }
+
+  MsrFile& msrs() { return msrs_; }
+  const MsrFile& msrs() const { return msrs_; }
+
+  /// Per-vCPU local simulated time.
+  SimTime now() const { return local_time_; }
+  void advance(SimTime ns) { local_time_ += ns; }
+  void advance_cycles(Cycles c) { local_time_ += cycles_to_ns(c); }
+  void set_now(SimTime t) { local_time_ = t; }
+
+  u64 total_exits() const { return total_exits_; }
+  void count_exit() { ++total_exits_; }
+
+ private:
+  int id_;
+  RegisterFile regs_;
+  MsrFile msrs_;
+  SimTime local_time_ = 0;
+  u64 total_exits_ = 0;
+};
+
+}  // namespace hvsim::arch

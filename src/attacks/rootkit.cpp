@@ -1,0 +1,148 @@
+#include "attacks/rootkit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "os/layout.hpp"
+
+namespace hypertap::attacks {
+
+const char* to_string(HideTechnique t) {
+  switch (t) {
+    case HideTechnique::kDkom: return "DKOM";
+    case HideTechnique::kSyscallHijack: return "Hijack system calls";
+    case HideTechnique::kKmem: return "kmem";
+  }
+  return "?";
+}
+
+const std::vector<RootkitSpec>& rootkit_catalog() {
+  // Table II, verbatim.
+  static const std::vector<RootkitSpec> catalog = {
+      {"FU", "Win XP, Vista", {HideTechnique::kDkom}},
+      {"HideProc", "Win XP, Vista", {HideTechnique::kDkom}},
+      {"AFX", "Win XP, Vista", {HideTechnique::kSyscallHijack}},
+      {"HideToolz", "Win XP, Vista, 7", {HideTechnique::kSyscallHijack}},
+      {"HE4Hook", "Win XP", {HideTechnique::kSyscallHijack}},
+      {"BH-Rootkit-NT", "Win XP, Vista", {HideTechnique::kSyscallHijack}},
+      {"Ivyl's Rootkit", "Linux >2.6.29", {HideTechnique::kSyscallHijack}},
+      {"Enyelkm 1.2", "Linux 2.6",
+       {HideTechnique::kKmem, HideTechnique::kSyscallHijack}},
+      {"SucKIT", "Linux 2.6",
+       {HideTechnique::kKmem, HideTechnique::kDkom}},
+      {"PhalanX", "Linux 2.6",
+       {HideTechnique::kKmem, HideTechnique::kDkom}},
+  };
+  return catalog;
+}
+
+const RootkitSpec& rootkit_by_name(const std::string& name) {
+  for (const auto& s : rootkit_catalog()) {
+    if (s.name == name) return s;
+  }
+  throw std::invalid_argument("unknown rootkit: " + name);
+}
+
+Rootkit::Rootkit(os::Kernel& kernel, RootkitSpec spec)
+    : kernel_(kernel), spec_(std::move(spec)) {}
+
+Rootkit::~Rootkit() { uninstall(); }
+
+
+u32 Rootkit::rd32(Gpa gpa) const {
+  return kernel_.machine().mem().rd32(gpa);
+}
+
+void Rootkit::wr32(Gpa gpa, u32 value) {
+  if (vcpu_ != nullptr) {
+    // The module's store instruction: traverses paging + EPT, so a
+    // write-protected page raises an EPT_VIOLATION (and the hypervisor
+    // may refuse to commit it).
+    kernel_.machine().engine().guest_write(
+        *vcpu_, os::KERNEL_BASE + gpa, value, 4);
+    return;
+  }
+  kernel_.machine().mem().wr32(gpa, value);
+}
+
+bool Rootkit_has(const RootkitSpec& s, HideTechnique t) {
+  return std::find(s.techniques.begin(), s.techniques.end(), t) !=
+         s.techniques.end();
+}
+
+void Rootkit::hide(u32 pid) {
+  hidden_.insert(pid);
+  if (Rootkit_has(spec_, HideTechnique::kDkom)) dkom_unlink(pid);
+  if (Rootkit_has(spec_, HideTechnique::kSyscallHijack) ||
+      Rootkit_has(spec_, HideTechnique::kKmem)) {
+    // kmem-only hiding uses the same table patch, written through raw
+    // memory instead of module-load relocation — identical guest state.
+    if (Rootkit_has(spec_, HideTechnique::kSyscallHijack) ||
+        !Rootkit_has(spec_, HideTechnique::kDkom)) {
+      install_hijack();
+    }
+  }
+}
+
+void Rootkit::dkom_unlink(u32 pid) {
+  // Walk the guest-memory task list like a kernel module would and splice
+  // the victim out (Direct Kernel Object Manipulation).
+  const Gva head = kernel_.layout().init_task;
+  Gva cur = rd32(head - os::KERNEL_BASE + os::TS_NEXT);
+  u32 guard = 0;
+  while (cur != head && cur != 0 && guard++ < 100'000) {
+    const Gpa gpa = cur - os::KERNEL_BASE;
+    if (rd32(gpa + os::TS_PID) == pid) {
+      const Gva next = rd32(gpa + os::TS_NEXT);
+      const Gva prev = rd32(gpa + os::TS_PREV);
+      wr32(prev - os::KERNEL_BASE + os::TS_NEXT, next);
+      wr32(next - os::KERNEL_BASE + os::TS_PREV, prev);
+      // Keep stale pointers in the victim (real DKOM rootkits often do),
+      // but zero them here so the kernel's own exit-unlink is a no-op.
+      wr32(gpa + os::TS_NEXT, 0);
+      wr32(gpa + os::TS_PREV, 0);
+      return;
+    }
+    cur = rd32(gpa + os::TS_NEXT);
+  }
+}
+
+void Rootkit::install_hijack() {
+  if (hijack_installed_) return;
+  hijack_installed_ = true;
+
+  const Gpa table_gpa = kernel_.layout().syscall_table - os::KERNEL_BASE;
+  saved_list_entry_ = rd32(table_gpa + os::SYS_PROC_LIST * 4u);
+  saved_stat_entry_ = rd32(table_gpa + os::SYS_PROC_STAT * 4u);
+
+  // "Load the module": register wrapper entry points in kernel text, then
+  // patch the dispatch table in guest memory to point at them.
+  const Gva list_wrapper = kernel_.register_handler(
+      os::SYS_PROC_LIST,
+      [this](os::Task&, const std::array<u32, 3>&, os::SyscallOutcome& out) {
+        std::erase_if(out.data,
+                      [this](u32 pid) { return hidden_.count(pid) != 0; });
+        out.result = static_cast<u32>(out.data.size());
+      });
+  const Gva stat_wrapper = kernel_.register_handler(
+      os::SYS_PROC_STAT,
+      [this](os::Task&, const std::array<u32, 3>& args,
+             os::SyscallOutcome& out) {
+        if (hidden_.count(args[0]) != 0) {
+          out.result = 0xFFFF'FFFFu;  // ENOENT: pid "does not exist"
+          out.data.clear();
+        }
+      });
+  wr32(table_gpa + os::SYS_PROC_LIST * 4u, list_wrapper);
+  wr32(table_gpa + os::SYS_PROC_STAT * 4u, stat_wrapper);
+}
+
+void Rootkit::uninstall() {
+  if (!hijack_installed_) return;
+  const Gpa table_gpa = kernel_.layout().syscall_table - os::KERNEL_BASE;
+  wr32(table_gpa + os::SYS_PROC_LIST * 4u, saved_list_entry_);
+  wr32(table_gpa + os::SYS_PROC_STAT * 4u, saved_stat_entry_);
+  hijack_installed_ = false;
+}
+
+}  // namespace hypertap::attacks

@@ -1,0 +1,87 @@
+// Rootkit simulations — the catalog of Table II.
+//
+// Each named rootkit hides processes using the same class of mechanism as
+// its real-world counterpart, operating on the same state a real kernel
+// rootkit corrupts:
+//
+//  * DKOM: unlink the victim's task_struct from the kernel task list in
+//    guest memory (FU/HideProc-style). The scheduler still runs the task
+//    (it schedules from run queues), but every list walker — in-guest ps,
+//    /proc, and structure-walking VMI — loses sight of it.
+//  * Syscall hijacking: overwrite entries of the syscall dispatch table in
+//    guest memory with the address of a loaded-module wrapper that filters
+//    the victim pid out of results (AFX/HideToolz-style). Defeats in-guest
+//    tools; VMI still sees the task.
+//  * kmem patching: the same data manipulations performed through raw
+//    memory writes (/dev/kmem) instead of module code (SucKIT-style).
+//
+// HRKD detects all of them because context-switch interception is
+// independent of both the task list and the syscall table.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "os/kernel.hpp"
+
+namespace hypertap::attacks {
+
+using namespace hvsim;
+
+enum class HideTechnique : u8 { kDkom, kSyscallHijack, kKmem };
+
+const char* to_string(HideTechnique t);
+
+struct RootkitSpec {
+  std::string name;
+  std::string target_os;  ///< as reported in Table II (flavor label)
+  std::vector<HideTechnique> techniques;
+};
+
+/// The ten real-world rootkits of Table II.
+const std::vector<RootkitSpec>& rootkit_catalog();
+const RootkitSpec& rootkit_by_name(const std::string& name);
+
+/// An installed rootkit instance in a guest.
+class Rootkit {
+ public:
+  Rootkit(os::Kernel& kernel, RootkitSpec spec);
+  ~Rootkit();
+
+  /// Route the rootkit's stores through the architectural access path of
+  /// `vcpu` (kernel-module code executing MOVs) instead of raw memory
+  /// patching. EPT write-protection — e.g. the KernelIntegrityGuard —
+  /// then traps, and can even veto, the manipulation.
+  void set_vcpu(arch::Vcpu* vcpu) { vcpu_ = vcpu; }
+
+  Rootkit(const Rootkit&) = delete;
+  Rootkit& operator=(const Rootkit&) = delete;
+
+  /// Hide `pid` using every technique in the spec.
+  void hide(u32 pid);
+
+  /// Undo the hijack (DKOM unlinks are not restored — like real rootkits,
+  /// unhiding re-links only on demand).
+  void uninstall();
+
+  const RootkitSpec& spec() const { return spec_; }
+  const std::set<u32>& hidden_pids() const { return hidden_; }
+
+ private:
+  void dkom_unlink(u32 pid);
+  void install_hijack();
+  u32 rd32(Gpa gpa) const;
+  void wr32(Gpa gpa, u32 value);
+
+  os::Kernel& kernel_;
+  RootkitSpec spec_;
+  arch::Vcpu* vcpu_ = nullptr;
+  std::set<u32> hidden_;
+  bool hijack_installed_ = false;
+  Gva saved_list_entry_ = 0;
+  Gva saved_stat_entry_ = 0;
+};
+
+}  // namespace hypertap::attacks

@@ -1,0 +1,100 @@
+#include "attacks/scenario.hpp"
+
+namespace hypertap::attacks {
+
+namespace {
+
+class IdleSpamWorkload final : public os::Workload {
+ public:
+  os::Action next(os::TaskCtx&) override {
+    return os::ActSyscall{os::SYS_NANOSLEEP, 2'000'000};  // 2 s naps
+  }
+  std::string name() const override { return "idle"; }
+};
+
+/// The attack process: a state machine that calls back into the driver at
+/// the escalation and hiding points (those transitions are kernel-state
+/// effects of the exploit/module load, not user instructions).
+class AttackerWorkload final : public os::Workload {
+ public:
+  AttackerWorkload(const AttackPlan* plan, AttackTimestamps* times,
+                   std::function<void(SimTime)> escalate,
+                   std::function<void(SimTime)> hide)
+      : plan_(plan), times_(times), escalate_(std::move(escalate)),
+        hide_(std::move(hide)) {}
+
+  os::Action next(os::TaskCtx& ctx) override {
+    switch (step_++) {
+      case 0:  // setup: prepare the exploit
+        times_->started = ctx.now;
+        return os::ActCompute{ns_to_cycles(plan_->escalate_after)};
+      case 1:  // run the exploit (kernel effect applied via callback)
+        escalate_(ctx.now);
+        // Exposure window: the attacker assembles/loads the rootkit.
+        return os::ActCompute{plan_->pre_hide_cycles};
+      case 2:  // rootkit active
+        hide_(ctx.now);
+        if (!plan_->act) { ++step_; return os::ActCompute{10'000}; }
+        return os::ActSyscall{os::SYS_OPEN, 99};
+      case 3:  // the privileged act: read "sensitive data"
+        return os::ActSyscall{os::SYS_READ, 3, 8192};
+      case 4:
+        times_->acted = ctx.now;
+        if (!plan_->exit_after) { step_ = 100; return os::ActCompute{30'000}; }
+        times_->exited = ctx.now;
+        return os::ActExit{};
+      default:  // non-transient attacks linger quietly
+        return os::ActSyscall{os::SYS_NANOSLEEP, 500'000};
+    }
+  }
+
+  std::string name() const override { return "attacker"; }
+
+ private:
+  const AttackPlan* plan_;
+  AttackTimestamps* times_;
+  std::function<void(SimTime)> escalate_;
+  std::function<void(SimTime)> hide_;
+  int step_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<os::Workload> make_idle_spam() {
+  return std::make_unique<IdleSpamWorkload>();
+}
+
+AttackDriver::AttackDriver(os::Kernel& kernel, AttackPlan plan,
+                           u32 attacker_uid)
+    : kernel_(kernel), plan_(std::move(plan)), uid_(attacker_uid) {}
+
+void AttackDriver::launch() {
+  // The attacker's login shell: an unprivileged parent, so the escalated
+  // child violates Ninja's magic-group rule.
+  if (shell_pid_ == 0) {
+    shell_pid_ = kernel_.spawn("bash", uid_, uid_, 1, make_idle_spam());
+  }
+  for (u32 i = 0; i < plan_.n_spam; ++i) {
+    kernel_.spawn("idle" + std::to_string(i), uid_, uid_, shell_pid_,
+                  make_idle_spam());
+  }
+  auto escalate_cb = [this](SimTime t) {
+    escalate(kernel_, attacker_pid_, plan_.exploit);
+    times_.escalated = t;
+  };
+  auto hide_cb = [this](SimTime t) {
+    if (plan_.rootkit) {
+      rootkit_ = std::make_unique<Rootkit>(kernel_, *plan_.rootkit);
+      rootkit_->hide(attacker_pid_);
+    }
+    times_.hidden = t;
+  };
+  attacker_pid_ = kernel_.spawn(
+      "sh", uid_, uid_, shell_pid_,
+      std::make_unique<AttackerWorkload>(&plan_, &times_,
+                                         std::move(escalate_cb),
+                                         std::move(hide_cb)),
+      0, plan_.attacker_cpu);
+}
+
+}  // namespace hypertap::attacks

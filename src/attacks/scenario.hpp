@@ -1,0 +1,84 @@
+// Attack scenarios of §VIII-C: transient, spamming, and rootkit-combined
+// privilege-escalation attacks, packaged as guest workloads plus a host
+// driver that records attack-phase timestamps.
+//
+// The canonical "three Ninjas" attack (§VIII-C2):
+//   1. spawn N idle processes (spamming);
+//   2. run the CVE-2013-1763 exploit -> euid 0;
+//   3. immediately install a rootkit to vanish from the process list;
+//   4. act (privileged file I/O);
+//   5. exit (transience).
+// End to end it takes ~4 ms of guest time, matching the paper's measured
+// attack duration.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "attacks/exploit.hpp"
+#include "attacks/rootkit.hpp"
+#include "os/kernel.hpp"
+
+namespace hypertap::attacks {
+
+struct AttackTimestamps {
+  SimTime started = -1;
+  SimTime escalated = -1;
+  SimTime hidden = -1;
+  SimTime acted = -1;
+  SimTime exited = -1;
+};
+
+struct AttackPlan {
+  /// Idle processes to pre-spawn (the spamming component).
+  u32 n_spam = 0;
+  /// Delay from attacker-process start to running the exploit.
+  SimTime escalate_after = 200'000;  // 0.2 ms of setup
+  /// Guest work between escalation and the rootkit being active (the
+  /// exposure window a passive scanner must hit): ~4 ms total attack.
+  Cycles pre_hide_cycles = 11'000'000;  // ~3.7 ms at 3 GHz
+  ExploitKind exploit = ExploitKind::kKernelOob;
+  /// Rootkit to install after escalation (nullopt = stay visible).
+  std::optional<RootkitSpec> rootkit;
+  /// Perform privileged I/O after hiding (the "copy sensitive data" act).
+  bool act = true;
+  /// Terminate after acting (the transient component).
+  bool exit_after = true;
+  /// CPU affinity of the attacker process (-1 = scheduler's choice).
+  int attacker_cpu = -1;
+};
+
+/// The attacker's terminal session: spawns the spam and the attack
+/// process into an already-running guest, applies the exploit/rootkit at
+/// the scripted points, and records timestamps.
+class AttackDriver {
+ public:
+  AttackDriver(os::Kernel& kernel, AttackPlan plan, u32 attacker_uid = 1000);
+
+  /// Launch at the current simulated time. Safe to call once.
+  void launch();
+
+  /// Reuse an existing login shell instead of spawning one (repeated
+  /// trials against the same guest).
+  void set_existing_shell(u32 pid) { shell_pid_ = pid; }
+
+  const AttackTimestamps& times() const { return times_; }
+  u32 attacker_pid() const { return attacker_pid_; }
+  u32 shell_pid() const { return shell_pid_; }
+  bool finished() const { return times_.exited >= 0 || !plan_.exit_after; }
+
+ private:
+  os::Kernel& kernel_;
+  AttackPlan plan_;
+  u32 uid_;
+  u32 attacker_pid_ = 0;
+  u32 shell_pid_ = 0;
+  AttackTimestamps times_;
+  std::unique_ptr<Rootkit> rootkit_;
+};
+
+/// Idle process used for spamming (sleeps in long stretches).
+std::unique_ptr<os::Workload> make_idle_spam();
+
+}  // namespace hypertap::attacks

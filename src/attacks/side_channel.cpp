@@ -1,0 +1,37 @@
+#include "attacks/side_channel.hpp"
+
+#include "os/layout.hpp"
+#include "os/syscalls.hpp"
+
+namespace hypertap::attacks {
+
+void SideChannelProbe::on_syscall_data(u8 nr, const std::vector<u32>& data) {
+  if (nr == os::SYS_PROC_STAT) stat_ = data;
+}
+
+os::Action SideChannelProbe::next(os::TaskCtx& ctx) {
+  if (!polling_) {
+    polling_ = true;
+    stat_.clear();
+    return os::ActSyscall{os::SYS_PROC_STAT, cfg_.target_pid};
+  }
+  polling_ = false;
+  if (stat_.size() >= 4) {
+    const u32 state = stat_[3];
+    if (last_state_ == os::TASK_SLEEPING && state == os::TASK_RUNNING) {
+      wakes_.push_back(ctx.now);
+    }
+    last_state_ = state;
+  }
+  return os::ActSyscall{os::SYS_NANOSLEEP, cfg_.poll_period_us};
+}
+
+std::vector<double> SideChannelProbe::predicted_intervals() const {
+  std::vector<double> out;
+  for (std::size_t i = 1; i < wakes_.size(); ++i) {
+    out.push_back(static_cast<double>(wakes_[i] - wakes_[i - 1]) / 1e9);
+  }
+  return out;
+}
+
+}  // namespace hypertap::attacks

@@ -1,0 +1,46 @@
+// /proc side-channel attack (§VIII-C1, Table III).
+//
+// The attacker polls /proc/<ninja_pid>/stat and watches the process-state
+// letter flip between Sleep and Running. Each Sleep->Running transition is
+// a scan wake-up; the deltas between wake-ups reveal Ninja's monitoring
+// interval — and therefore when it is safe to run a transient attack.
+// (H-Ninja does not expose a /proc entry in the target VM, so this
+// particular channel fails against it — as the paper notes.)
+#pragma once
+
+#include <vector>
+
+#include "os/task.hpp"
+
+namespace hypertap::attacks {
+
+using namespace hvsim;
+
+class SideChannelProbe final : public os::Workload {
+ public:
+  struct Config {
+    u32 target_pid = 0;
+    u32 poll_period_us = 100;  // 0.1 ms polling
+  };
+
+  explicit SideChannelProbe(Config cfg) : cfg_(cfg) {}
+
+  os::Action next(os::TaskCtx& ctx) override;
+  void on_syscall_data(u8 nr, const std::vector<u32>& data) override;
+  std::string name() const override { return "sidechan"; }
+
+  /// Observed Sleep->Running transition times of the target.
+  const std::vector<SimTime>& wake_times() const { return wakes_; }
+
+  /// Deltas between consecutive wake-ups, in seconds.
+  std::vector<double> predicted_intervals() const;
+
+ private:
+  Config cfg_;
+  bool polling_ = false;
+  u32 last_state_ = ~0u;
+  std::vector<u32> stat_;
+  std::vector<SimTime> wakes_;
+};
+
+}  // namespace hypertap::attacks

@@ -1,0 +1,37 @@
+#include "auditors/anomaly.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace hypertap::auditors {
+
+void AnomalyDetector::on_timer(SimTime now, AuditContext& ctx) {
+  std::array<u64, kFeatures> window = live_;
+  live_.fill(0);
+  ++windows_seen_;
+
+  if (windows_seen_ <= cfg_.training_windows) {
+    for (std::size_t f = 0; f < kFeatures; ++f) {
+      training_[f].add(static_cast<double>(window[f]));
+    }
+    return;
+  }
+
+  bool anomalous = false;
+  for (std::size_t f = 0; f < kFeatures; ++f) {
+    const double sd =
+        std::max(training_[f].stddev(), cfg_.min_stddev);
+    last_z_[f] =
+        (static_cast<double>(window[f]) - training_[f].mean()) / sd;
+    anomalous = anomalous || std::abs(last_z_[f]) > cfg_.z_threshold;
+  }
+  if (!anomalous) return;
+  ++anomalies_;
+  std::ostringstream detail;
+  detail << "z-scores: switches=" << last_z_[0]
+         << " syscalls=" << last_z_[1] << " io=" << last_z_[2];
+  ctx.alarms().raise(Alarm{now, name(), "anomaly", detail.str(), -1, 0});
+}
+
+}  // namespace hypertap::auditors

@@ -1,0 +1,71 @@
+// Out-of-band statistical failure detection (Vigilant [21], §II/§VII-D):
+// learn the guest's normal event-rate profile from HyperTap's unified
+// logging stream, then flag windows whose feature vector deviates.
+//
+// Features per window: thread-switch rate, syscall rate, and I/O rate per
+// vCPU. Training runs for the first N windows; afterwards a window whose
+// z-score exceeds the threshold on any feature raises an "anomaly" alarm.
+// A hang collapses the switch rate, a fork bomb explodes the syscall
+// rate — both land far outside the learned band without any policy
+// being written for them.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/auditor.hpp"
+#include "util/stats.hpp"
+
+namespace hypertap::auditors {
+
+class AnomalyDetector final : public Auditor {
+ public:
+  struct Config {
+    SimTime window = 500'000'000;  // 0.5 s
+    u32 training_windows = 12;
+    double z_threshold = 4.5;
+    /// Features with a training stddev below this floor use the floor
+    /// (guards against zero-variance features).
+    double min_stddev = 2.0;
+  };
+
+  static constexpr std::size_t kFeatures = 3;  // switches, syscalls, io
+
+  explicit AnomalyDetector(Config cfg) : cfg_(cfg) {}
+  AnomalyDetector() : AnomalyDetector(Config{}) {}
+
+  std::string name() const override { return "Anomaly"; }
+  EventMask subscriptions() const override {
+    return event_bit(EventKind::kThreadSwitch) |
+           event_bit(EventKind::kSyscall) | event_bit(EventKind::kIo);
+  }
+  SimTime timer_period() const override { return cfg_.window; }
+  Cycles audit_cost_cycles() const override { return 50; }
+
+  void on_event(const Event& e, AuditContext&) override {
+    switch (e.kind) {
+      case EventKind::kThreadSwitch: ++live_[0]; break;
+      case EventKind::kSyscall: ++live_[1]; break;
+      case EventKind::kIo: ++live_[2]; break;
+      default: break;
+    }
+  }
+
+  void on_timer(SimTime now, AuditContext& ctx) override;
+
+  bool trained() const { return windows_seen_ >= cfg_.training_windows; }
+  u64 anomalous_windows() const { return anomalies_; }
+  /// Last computed z-scores (diagnostics).
+  const std::array<double, kFeatures>& last_z() const { return last_z_; }
+
+ private:
+  Config cfg_;
+  std::array<u64, kFeatures> live_{};
+  std::array<util::OnlineStats, kFeatures> training_;
+  std::array<double, kFeatures> last_z_{};
+  u32 windows_seen_ = 0;
+  u64 anomalies_ = 0;
+};
+
+}  // namespace hypertap::auditors

@@ -1,0 +1,15 @@
+#include "auditors/counters.hpp"
+
+namespace hypertap::auditors {
+
+double CounterExporter::last_rate(EventKind kind) const {
+  if (samples_.empty()) return 0.0;
+  const auto& s = samples_.back();
+  u64 total = 0;
+  for (const auto& per_cpu : s.counts)
+    total += per_cpu[static_cast<std::size_t>(kind)];
+  return static_cast<double>(total) /
+         (static_cast<double>(cfg_.window) / 1e9);
+}
+
+}  // namespace hypertap::auditors

@@ -1,0 +1,66 @@
+// Counter-exporting auditor: windowed per-kind event counts per vCPU —
+// the feature stream an out-of-band ML failure detector (Vigilant [21],
+// §II/§VII-D) would consume. HyperTap's unified logging makes such
+// features available without touching the guest.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/auditor.hpp"
+
+namespace hypertap::auditors {
+
+class CounterExporter final : public Auditor {
+ public:
+  struct Config {
+    SimTime window = 1'000'000'000;  // 1 s
+  };
+
+  struct WindowSample {
+    SimTime end = 0;
+    /// [vcpu][kind] counts within the window.
+    std::vector<std::array<u64, static_cast<std::size_t>(EventKind::kCount)>>
+        counts;
+  };
+
+  CounterExporter(int num_vcpus, Config cfg)
+      : cfg_(cfg), num_vcpus_(num_vcpus) {
+    reset_window();
+  }
+  explicit CounterExporter(int num_vcpus)
+      : CounterExporter(num_vcpus, Config{}) {}
+
+  std::string name() const override { return "Counters"; }
+  EventMask subscriptions() const override { return kAllEvents; }
+  SimTime timer_period() const override { return cfg_.window; }
+  Cycles audit_cost_cycles() const override { return 40; }
+
+  void on_event(const Event& e, AuditContext&) override {
+    ++live_[e.vcpu][static_cast<std::size_t>(e.kind)];
+  }
+
+  void on_timer(SimTime now, AuditContext&) override {
+    samples_.push_back(WindowSample{now, live_});
+    reset_window();
+  }
+
+  const std::vector<WindowSample>& samples() const { return samples_; }
+
+  /// Rate of `kind` events in the most recent completed window (events/s).
+  double last_rate(EventKind kind) const;
+
+ private:
+  void reset_window() {
+    live_.assign(num_vcpus_, {});
+  }
+
+  Config cfg_;
+  int num_vcpus_;
+  std::vector<std::array<u64, static_cast<std::size_t>(EventKind::kCount)>>
+      live_;
+  std::vector<WindowSample> samples_;
+};
+
+}  // namespace hypertap::auditors

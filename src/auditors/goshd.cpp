@@ -1,0 +1,77 @@
+#include "auditors/goshd.hpp"
+
+#include <algorithm>
+
+namespace hypertap::auditors {
+
+Goshd::Goshd(int num_vcpus, Config cfg)
+    : cfg_(cfg),
+      threshold_(cfg.threshold),
+      profiling_(cfg.profile_duration > 0),
+      last_switch_(num_vcpus, 0),
+      seen_(num_vcpus, false),
+      hung_(num_vcpus, false),
+      detect_time_(num_vcpus, 0) {}
+
+void Goshd::on_event(const Event& e, AuditContext& ctx) {
+  const int cpu = e.vcpu;
+  if (profiling_) {
+    if (profile_end_ == 0) profile_end_ = e.time + cfg_.profile_duration;
+    if (seen_.at(cpu)) {
+      profiled_max_gap_ =
+          std::max(profiled_max_gap_, e.time - last_switch_.at(cpu));
+    }
+    if (e.time >= profile_end_) {
+      profiling_ = false;
+      threshold_ = std::max<SimTime>(
+          static_cast<SimTime>(cfg_.profile_factor *
+                               static_cast<double>(profiled_max_gap_)),
+          cfg_.min_threshold);
+    }
+  }
+  last_switch_.at(cpu) = e.time;
+  seen_.at(cpu) = true;
+  if (hung_.at(cpu)) {
+    // Scheduling resumed: clear the hang verdict (the alarm history keeps
+    // the record).
+    hung_.at(cpu) = false;
+    ctx.alarms().raise(Alarm{e.time, name(), "vcpu-hang-cleared",
+                             "scheduling resumed", cpu, 0});
+    full_reported_ = false;
+  }
+}
+
+void Goshd::on_timer(SimTime now, AuditContext& ctx) {
+  if (profiling_) return;  // calibration phase: no verdicts yet
+  for (std::size_t cpu = 0; cpu < hung_.size(); ++cpu) {
+    if (!seen_[cpu] || hung_[cpu]) continue;
+    if (now - last_switch_[cpu] > threshold_) {
+      hung_[cpu] = true;
+      detect_time_[cpu] = now;
+      ctx.alarms().raise(Alarm{now, name(), "vcpu-hang",
+                               "no context switches within threshold",
+                               static_cast<int>(cpu), 0});
+    }
+  }
+  if (!full_reported_ && all_hung()) {
+    full_reported_ = true;
+    full_hang_time_ = now;
+    ctx.alarms().raise(
+        Alarm{now, name(), "full-hang", "all vCPUs hung", -1, 0});
+  }
+}
+
+bool Goshd::any_hung() const {
+  for (bool h : hung_)
+    if (h) return true;
+  return false;
+}
+
+bool Goshd::all_hung() const {
+  for (std::size_t i = 0; i < hung_.size(); ++i) {
+    if (!seen_[i] || !hung_[i]) return false;
+  }
+  return !hung_.empty();
+}
+
+}  // namespace hypertap::auditors

@@ -1,0 +1,73 @@
+// GOSHD — Guest OS Hang Detection (§VII-A).
+//
+// Failure model: the OS is hung on a vCPU when it stops scheduling tasks
+// there. GOSHD watches the thread-switch event stream per vCPU; if a vCPU
+// produces no switch events for the threshold (2x the profiled maximum
+// scheduling timeslice — 4 s, as in the paper), it declares that vCPU
+// hung. vCPUs are monitored independently, which is what detects PARTIAL
+// hangs — the failure mode heartbeat probes miss.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/auditor.hpp"
+
+namespace hypertap::auditors {
+
+class Goshd final : public Auditor {
+ public:
+  struct Config {
+    SimTime threshold = 4'000'000'000;     // 4 s (2x profiled max timeslice)
+    SimTime check_period = 250'000'000;    // 0.25 s
+    /// Nonzero: profile the guest for this long first, then set the
+    /// threshold to profile_factor x the longest observed scheduling gap
+    /// (the paper's calibration procedure, §VIII-A1). Hang detection is
+    /// inactive while profiling.
+    SimTime profile_duration = 0;
+    double profile_factor = 2.0;
+    /// Auto-threshold floor (guards against unnaturally quiet profiles).
+    SimTime min_threshold = 1'000'000'000;
+  };
+
+  Goshd(int num_vcpus, Config cfg);
+  explicit Goshd(int num_vcpus) : Goshd(num_vcpus, Config{}) {}
+
+  std::string name() const override { return "GOSHD"; }
+  EventMask subscriptions() const override {
+    return event_bit(EventKind::kThreadSwitch) |
+           event_bit(EventKind::kProcessSwitch);
+  }
+  SimTime timer_period() const override { return cfg_.check_period; }
+
+  void on_event(const Event& e, AuditContext& ctx) override;
+  void on_timer(SimTime now, AuditContext& ctx) override;
+
+  bool vcpu_hung(int cpu) const { return hung_.at(cpu); }
+  bool any_hung() const;
+  bool all_hung() const;
+  /// Time GOSHD first declared each vCPU hung (0 = never).
+  SimTime hang_detect_time(int cpu) const { return detect_time_.at(cpu); }
+  SimTime full_hang_time() const { return full_hang_time_; }
+
+  /// Effective threshold (after profiling, if enabled).
+  SimTime threshold() const { return threshold_; }
+  bool profiling() const { return profiling_; }
+  /// Longest inter-switch gap observed while profiling.
+  SimTime profiled_max_gap() const { return profiled_max_gap_; }
+
+ private:
+  Config cfg_;
+  SimTime threshold_ = 0;
+  bool profiling_ = false;
+  SimTime profile_end_ = 0;
+  SimTime profiled_max_gap_ = 0;
+  std::vector<SimTime> last_switch_;
+  std::vector<bool> seen_;  ///< first event observed (monitoring active)
+  std::vector<bool> hung_;
+  std::vector<SimTime> detect_time_;
+  SimTime full_hang_time_ = 0;
+  bool full_reported_ = false;
+};
+
+}  // namespace hypertap::auditors

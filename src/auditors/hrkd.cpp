@@ -1,0 +1,73 @@
+#include "auditors/hrkd.hpp"
+
+#include <algorithm>
+
+namespace hypertap::auditors {
+
+Hrkd::Hrkd(Config cfg, std::function<std::vector<u32>()> comparison_view)
+    : cfg_(cfg), comparison_view_(std::move(comparison_view)) {}
+
+void Hrkd::on_event(const Event& e, AuditContext& ctx) {
+  if (e.kind == EventKind::kProcessSwitch) {
+    // Fig. 3A: PDBA_set += new CR3 value.
+    if (e.cr3_new != 0) pdba_set_.insert(e.cr3_new);
+    return;
+  }
+  // Thread switch: inspect the task being scheduled in.
+  const GuestTaskView v = ctx.os().task_from_rsp0(e.vcpu, e.rsp0);
+  inspect(v, e.time, ctx);
+}
+
+void Hrkd::inspect(const GuestTaskView& v, SimTime now, AuditContext& ctx) {
+  if (!v.valid) return;
+  if (cfg_.ignore_idle && (v.pid == 0 || v.pid >= 0x8000u)) return;
+  seen_pids_[v.pid] = SeenTask{now, v.task_gva};
+  (void)ctx;
+}
+
+u32 Hrkd::count_address_spaces(AuditContext& ctx) {
+  // Fig. 3A "Count the Virtual Address Spaces": test each PDBA by
+  // translating a known GVA under it; remove the ones that fail.
+  auto& hv = ctx.hypervisor();
+  for (auto it = pdba_set_.begin(); it != pdba_set_.end();) {
+    if (!hv.gva_to_gpa(*it, cfg_.known_gva)) {
+      it = pdba_set_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return static_cast<u32>(pdba_set_.size());
+}
+
+void Hrkd::on_timer(SimTime now, AuditContext& ctx) {
+  count_address_spaces(ctx);
+  if (!comparison_view_) return;
+  const std::vector<u32> view = comparison_view_();
+
+  // Cross-validate: every recently-scheduled, still-live task must appear
+  // in the comparison view. Liveness is re-derived from guest memory so
+  // tasks that exited between switch and check don't trip the alarm.
+  const SimTime window = 2 * cfg_.check_period;
+  const Gpa cr3 = ctx.hypervisor().vcpu(0).regs().cr3;
+  for (auto it = seen_pids_.begin(); it != seen_pids_.end();) {
+    if (now - it->second.last_seen > window) {
+      it = seen_pids_.erase(it);
+      continue;
+    }
+    const u32 pid = it->first;
+    const GuestTaskView live = ctx.os().read_task(cr3, it->second.task_gva);
+    const bool still_alive =
+        live.valid && live.pid == pid && live.state != 3 /*zombie*/;
+    if (still_alive &&
+        std::find(view.begin(), view.end(), pid) == view.end() &&
+        hidden_.insert(pid).second) {
+      ctx.alarms().raise(Alarm{now, name(), "hidden-task",
+                               "task runs on CPU but is missing from the "
+                               "comparison view",
+                               -1, pid});
+    }
+    ++it;
+  }
+}
+
+}  // namespace hypertap::auditors

@@ -1,0 +1,76 @@
+// HRKD — Hidden RootKit Detection (§VII-B).
+//
+// Inspects every process/thread that actually uses a vCPU — interception
+// happens at context switches, so hiding a task from OS-level lists cannot
+// keep it off the inspection list. Two mechanisms from §VI-A:
+//
+//  * Process counting (Fig. 3A): maintain the set of PDBAs observed in
+//    CR_ACCESS events; validate each by translating a known GVA under it
+//    (dead address spaces fail the walk). The set size is the trusted
+//    process count.
+//  * Thread-switch inspection (Fig. 3B): at each TSS.RSP0 store, derive
+//    the scheduled task through the trusted chain and cross-validate its
+//    pid against an untrusted comparison view (in-guest ps, or a VMI task
+//    list). A pid that runs but is absent from the view is hidden.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/auditor.hpp"
+
+namespace hypertap::auditors {
+
+class Hrkd final : public Auditor {
+ public:
+  struct Config {
+    SimTime check_period = 400'000'000;  // 0.4 s
+    /// A GVA mapped in every valid address space (kernel base) used by
+    /// the Fig. 3A validity test.
+    Gva known_gva = 0xC0000000u;
+    /// Ignore per-CPU idle threads (pid 0 / 0x8000+): they are scheduled
+    /// but legitimately absent from process lists.
+    bool ignore_idle = true;
+  };
+
+  /// `comparison_view` returns the pid set some untrusted source reports
+  /// (in-guest task manager via syscalls, or a VMI list walk).
+  Hrkd(Config cfg, std::function<std::vector<u32>()> comparison_view);
+
+  std::string name() const override { return "HRKD"; }
+  EventMask subscriptions() const override {
+    return event_bit(EventKind::kProcessSwitch) |
+           event_bit(EventKind::kThreadSwitch);
+  }
+  SimTime timer_period() const override { return cfg_.check_period; }
+
+  void on_event(const Event& e, AuditContext& ctx) override;
+  void on_timer(SimTime now, AuditContext& ctx) override;
+
+  /// Fig. 3A: validate PDBA_set and return the trusted address-space
+  /// count.
+  u32 count_address_spaces(AuditContext& ctx);
+
+  const std::set<u32>& pdba_set() const { return pdba_set_; }
+  /// pids flagged as hidden so far.
+  const std::set<u32>& hidden_pids() const { return hidden_; }
+  /// Number of pids currently in the trusted scheduled view.
+  std::size_t scheduled_count() const { return seen_pids_.size(); }
+
+ private:
+  struct SeenTask {
+    SimTime last_seen = 0;
+    Gva task_gva = 0;
+  };
+  void inspect(const GuestTaskView& v, SimTime now, AuditContext& ctx);
+
+  Config cfg_;
+  std::function<std::vector<u32>()> comparison_view_;
+  std::set<u32> pdba_set_;
+  std::map<u32, SeenTask> seen_pids_;
+  std::set<u32> hidden_;
+};
+
+}  // namespace hypertap::auditors

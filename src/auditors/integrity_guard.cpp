@@ -1,0 +1,38 @@
+#include "auditors/integrity_guard.hpp"
+
+#include "os/syscalls.hpp"
+
+namespace hypertap::auditors {
+
+void KernelIntegrityGuard::on_attach(AuditContext& ctx) {
+  auto& hv = ctx.hypervisor();
+  if (cfg_.protect_syscall_table && layout_.syscall_table != 0) {
+    const Gpa cr3 = hv.vcpu(0).regs().cr3;
+    const auto gpa = hv.gva_to_gpa(cr3, layout_.syscall_table);
+    if (!gpa) return;
+    const u32 size = layout_.num_syscalls * 4u;
+    guarded_.emplace_back(*gpa, size);
+    if (cfg_.prevent) {
+      hv.protect_writes(*gpa, size);
+    } else {
+      hv.ept().write_protect(*gpa, true);
+    }
+  }
+}
+
+void KernelIntegrityGuard::on_event(const Event& e, AuditContext& ctx) {
+  if (e.access != arch::Access::kWrite) return;
+  for (const auto& [base, size] : guarded_) {
+    if (e.gpa >= base && e.gpa < base + size) {
+      ++attempts_;
+      ctx.alarms().raise(Alarm{
+          e.time, name(), "kernel-data-tamper",
+          cfg_.prevent ? "syscall-table store trapped and DENIED"
+                       : "syscall-table store trapped",
+          e.vcpu, 0});
+      return;
+    }
+  }
+}
+
+}  // namespace hypertap::auditors

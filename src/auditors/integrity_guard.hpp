@@ -1,0 +1,51 @@
+// Kernel-integrity guard: the runtime-checking integration the paper
+// proposes in §VII-D ([32]/[33] — SVA-style memory safety with hypervisor
+// support).
+//
+// Write-protects security-critical kernel data — here the system-call
+// dispatch table — via EPT. In detect mode, tampering raises an alarm; in
+// prevent mode the hypervisor additionally *refuses to emulate* the store
+// (Hypervisor::protect_writes), so syscall-hijack rootkits fail outright.
+// This closes the loop from monitoring to enforcement without touching
+// the guest OS.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/auditor.hpp"
+#include "os/layout.hpp"
+
+namespace hypertap::auditors {
+
+class KernelIntegrityGuard final : public Auditor {
+ public:
+  struct Config {
+    bool protect_syscall_table = true;
+    /// Deny tampering stores (true) or only alarm on them (false).
+    bool prevent = false;
+  };
+
+  KernelIntegrityGuard(os::OsLayout layout, Config cfg)
+      : layout_(layout), cfg_(cfg) {}
+  explicit KernelIntegrityGuard(os::OsLayout layout)
+      : KernelIntegrityGuard(layout, Config{}) {}
+
+  std::string name() const override { return "KIntegrity"; }
+  EventMask subscriptions() const override {
+    return event_bit(EventKind::kMemAccess);
+  }
+
+  void on_attach(AuditContext& ctx) override;
+  void on_event(const Event& e, AuditContext& ctx) override;
+
+  u64 tamper_attempts() const { return attempts_; }
+
+ private:
+  os::OsLayout layout_;
+  Config cfg_;
+  std::vector<std::pair<Gpa, u32>> guarded_;  ///< (gpa, size)
+  u64 attempts_ = 0;
+};
+
+}  // namespace hypertap::auditors

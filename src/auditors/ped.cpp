@@ -1,0 +1,62 @@
+#include "auditors/ped.hpp"
+
+#include "os/layout.hpp"
+#include "os/syscalls.hpp"
+
+namespace hypertap::auditors {
+
+bool HtNinja::violates_rule(const Config& cfg, u32 euid, u32 flags,
+                            u32 exe_id, u32 parent_uid, bool is_kthread) {
+  if (euid != 0) return false;
+  if (is_kthread) return false;
+  if (cfg.honor_whitelist_flag && (flags & os::TASK_FLAG_WHITELISTED))
+    return false;
+  if (cfg.whitelist_exes.count(exe_id) != 0) return false;
+  return cfg.magic_uids.count(parent_uid) == 0;
+}
+
+void HtNinja::on_event(const Event& e, AuditContext& ctx) {
+  if (e.kind == EventKind::kThreadSwitch) {
+    const GuestTaskView v = ctx.os().task_from_rsp0(e.vcpu, e.rsp0);
+    if (!v.valid) return;
+    // Checkpoint (i): first context switch of each process.
+    if (first_switch_seen_.insert(v.pid).second) check(v, e.time, ctx);
+    return;
+  }
+  // Checkpoint (ii): every I/O-related syscall.
+  if (!os::is_io_syscall(e.sc_nr)) return;
+  const GuestTaskView v = ctx.os().current_task(e.vcpu);
+  if (v.valid) check(v, e.time, ctx);
+}
+
+void HtNinja::check(const GuestTaskView& v, SimTime now, AuditContext& ctx) {
+  const bool is_kthread = (v.flags & os::TASK_FLAG_KTHREAD) != 0 ||
+                          v.pid == 0 || v.pid >= 0x8000u;
+  const u32 parent_uid =
+      ctx.os()
+          .parent_uid(ctx.hypervisor().vcpu(0).regs().cr3, v)
+          .value_or(~0u);
+  u32 judged_parent_uid = parent_uid;
+  if (cfg_.remember_first_parent && !is_kthread) {
+    const auto [it, inserted] =
+        first_parent_uid_.try_emplace(v.pid, parent_uid);
+    if (!inserted && cfg_.magic_uids.count(it->second) == 0) {
+      // The original parent was unauthorized: reparenting to init must
+      // not launder the lineage.
+      judged_parent_uid = it->second;
+    }
+  }
+  if (!violates_rule(cfg_, v.euid, v.flags, v.exe_id, judged_parent_uid,
+                     is_kthread))
+    return;
+  if (flagged_.insert(v.pid).second) {
+    ctx.alarms().raise(Alarm{now, name(), "priv-escalation",
+                             "root process '" + v.comm +
+                                 "' with unauthorized parent",
+                             -1, v.pid});
+    if (cfg_.pause_on_detect > 0) ctx.pause_vm(cfg_.pause_on_detect);
+    if (response_) response_(v.pid);
+  }
+}
+
+}  // namespace hypertap::auditors

@@ -1,0 +1,78 @@
+// PED / HT-Ninja — Privilege Escalation Detection (§VII-C).
+//
+// Ninja's rule, transplanted from passive in-guest scanning to active
+// hypervisor monitoring: a root process (euid 0) whose parent is not owned
+// by a "magic"-group user — and which is neither a whitelisted setuid
+// executable nor a kernel thread — is privilege-escalated.
+//
+// Checkpoints (§VII-C): (i) the first context switch of each process, and
+// (ii) every I/O-related system call — so the check runs *before*
+// unauthorized file/network actions, with no polling window to slip
+// through. All state is read through architectural invariants (TR/CR3),
+// never through /proc.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/auditor.hpp"
+
+namespace hypertap::auditors {
+
+class HtNinja : public Auditor {
+ public:
+  struct Config {
+    /// uids authorized to parent root processes (Ninja's "magic" group).
+    std::set<u32> magic_uids = {0};
+    /// exe_ids of whitelisted setuid programs.
+    std::set<u32> whitelist_exes;
+    /// Honor the task_struct whitelist flag (setuid-binary marker).
+    bool honor_whitelist_flag = true;
+    /// Pause the VM briefly on detection (blocking containment, §V-B).
+    SimTime pause_on_detect = 0;
+    /// Orphan-reparenting hardening: remember each process's parent uid
+    /// the FIRST time it is seen and judge against the stricter of the
+    /// first-seen and current parent. Without this, an attacker whose
+    /// login shell exits gets reparented to init (uid 0, magic) and the
+    /// escalated child sails past the parent check.
+    bool remember_first_parent = true;
+  };
+
+  explicit HtNinja(Config cfg) : cfg_(std::move(cfg)) {}
+  HtNinja() : HtNinja(Config{}) {}
+
+  std::string name() const override { return "HT-Ninja"; }
+  EventMask subscriptions() const override {
+    return event_bit(EventKind::kThreadSwitch) |
+           event_bit(EventKind::kSyscall);
+  }
+
+  void on_event(const Event& e, AuditContext& ctx) override;
+
+  const std::set<u32>& flagged_pids() const { return flagged_; }
+
+  /// Out-of-band response invoked on each new detection (e.g. an
+  /// orchestrator that kills the process, snapshots the VM, or quarantines
+  /// the network). Mirrors Ninja's optional process-termination behaviour.
+  void set_response(std::function<void(u32 pid)> response) {
+    response_ = std::move(response);
+  }
+
+  /// The shared checking rule (also used by the O-Ninja / H-Ninja
+  /// baselines so all three Ninjas enforce identical policy).
+  static bool violates_rule(const Config& cfg, u32 euid, u32 flags,
+                            u32 exe_id, u32 parent_uid, bool is_kthread);
+
+ private:
+  void check(const GuestTaskView& v, SimTime now, AuditContext& ctx);
+
+  Config cfg_;
+  std::set<u32> first_switch_seen_;
+  std::set<u32> flagged_;
+  std::map<u32, u32> first_parent_uid_;  ///< pid -> parent uid at first sight
+  std::function<void(u32)> response_;
+};
+
+}  // namespace hypertap::auditors

@@ -1,0 +1,27 @@
+#include "auditors/recorder.hpp"
+
+#include <ostream>
+
+namespace hypertap::auditors {
+
+std::vector<Event> EventRecorder::query(
+    SimTime from, SimTime to,
+    const std::function<bool(const Event&)>& pred) const {
+  std::vector<Event> out;
+  for (const auto& e : trace_) {
+    if (e.time < from || e.time >= to) continue;
+    if (pred && !pred(e)) continue;
+    out.push_back(e);
+  }
+  return out;
+}
+
+void EventRecorder::dump(std::ostream& os, std::size_t max_lines) const {
+  const std::size_t start =
+      trace_.size() > max_lines ? trace_.size() - max_lines : 0;
+  for (std::size_t i = start; i < trace_.size(); ++i) {
+    os << trace_[i].describe() << "\n";
+  }
+}
+
+}  // namespace hypertap::auditors

@@ -1,0 +1,52 @@
+// Event recorder: a bounded, queryable trace of the unified logging
+// stream — the forensic complement to online auditors (Ether-style [19]
+// execution recording, but online and bounded).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "core/auditor.hpp"
+
+namespace hypertap::auditors {
+
+class EventRecorder final : public Auditor {
+ public:
+  struct Config {
+    std::size_t capacity = 65'536;  ///< ring of most recent events
+    EventMask mask = kAllEvents;
+  };
+
+  explicit EventRecorder(Config cfg) : cfg_(cfg) {}
+  EventRecorder() : EventRecorder(Config{}) {}
+
+  std::string name() const override { return "Recorder"; }
+  EventMask subscriptions() const override { return cfg_.mask; }
+  Cycles audit_cost_cycles() const override { return 80; }
+
+  void on_event(const Event& e, AuditContext&) override {
+    trace_.push_back(e);
+    ++recorded_;
+    if (trace_.size() > cfg_.capacity) trace_.pop_front();
+  }
+
+  const std::deque<Event>& trace() const { return trace_; }
+  u64 recorded() const { return recorded_; }
+
+  /// Events in [from, to) matching `pred` (empty pred = all).
+  std::vector<Event> query(
+      SimTime from, SimTime to,
+      const std::function<bool(const Event&)>& pred = {}) const;
+
+  /// Human-readable dump of the latest `max_lines` events.
+  void dump(std::ostream& os, std::size_t max_lines = 100) const;
+
+ private:
+  Config cfg_;
+  std::deque<Event> trace_;
+  u64 recorded_ = 0;
+};
+
+}  // namespace hypertap::auditors

@@ -1,0 +1,33 @@
+#include "auditors/syscall_trace.hpp"
+
+#include "os/syscalls.hpp"
+
+namespace hypertap::auditors {
+
+void SyscallTrace::on_event(const Event& e, AuditContext& ctx) {
+  // Identify the calling process through the trusted derivation.
+  const GuestTaskView v = ctx.os().current_task(e.vcpu);
+  if (!v.valid) return;
+  if (!cfg_.pids.empty() && cfg_.pids.count(v.pid) == 0) return;
+
+  auto& h = history_[v.pid];
+  h.push_back(e.sc_nr);
+  if (h.size() > cfg_.history_per_pid) h.pop_front();
+  ++counts_[e.sc_nr];
+  ++total_;
+
+  if (cfg_.deny.count(e.sc_nr) != 0 && denied_flagged_.insert(v.pid).second) {
+    ctx.alarms().raise(Alarm{e.time, name(), "denied-syscall",
+                             std::string(os::syscall_name(e.sc_nr)) +
+                                 " by '" + v.comm + "'",
+                             e.vcpu, v.pid});
+  }
+}
+
+const std::deque<u8>& SyscallTrace::history(u32 pid) const {
+  static const std::deque<u8> empty;
+  const auto it = history_.find(pid);
+  return it == history_.end() ? empty : it->second;
+}
+
+}  // namespace hypertap::auditors

@@ -1,0 +1,51 @@
+// Syscall-trace auditor: the class of security tools built on system-call
+// interception the paper cites ([29][30][31] — interposition policies and
+// trace-based intrusion detection). Records per-pid syscall sequences and
+// enforces a deny-list policy.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/auditor.hpp"
+
+namespace hypertap::auditors {
+
+class SyscallTrace final : public Auditor {
+ public:
+  struct Config {
+    std::size_t history_per_pid = 64;
+    /// Syscall numbers that raise a policy alarm (e.g. forbid SYS_SPAWN
+    /// for a sandboxed workload).
+    std::set<u8> deny;
+    /// Restrict tracing to these pids (empty = all).
+    std::set<u32> pids;
+  };
+
+  explicit SyscallTrace(Config cfg) : cfg_(std::move(cfg)) {}
+  SyscallTrace() : SyscallTrace(Config{}) {}
+
+  std::string name() const override { return "SyscallTrace"; }
+  EventMask subscriptions() const override {
+    return event_bit(EventKind::kSyscall);
+  }
+
+  void on_event(const Event& e, AuditContext& ctx) override;
+
+  const std::deque<u8>& history(u32 pid) const;
+  u64 count(u8 nr) const { return counts_.at(nr); }
+  u64 total() const { return total_; }
+
+ private:
+  Config cfg_;
+  std::map<u32, std::deque<u8>> history_;
+  std::array<u64, 256> counts_{};
+  u64 total_ = 0;
+  std::set<u32> denied_flagged_;
+};
+
+}  // namespace hypertap::auditors

@@ -1,0 +1,2 @@
+// TssIntegrity is header-only; this TU anchors it in the library.
+#include "auditors/tss_integrity.hpp"

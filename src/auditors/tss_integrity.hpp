@@ -1,0 +1,46 @@
+// TSS integrity checking (Fig. 3C).
+//
+// The thread-switch interception trusts TR; an attacker who could relocate
+// the TSS (LTR with a forged descriptor) would redirect the derivation. On
+// the first CR_ACCESS the auditor snapshots each vCPU's TR; on every
+// subsequent exit it compares — a change means the TSS was relocated.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/auditor.hpp"
+
+namespace hypertap::auditors {
+
+class TssIntegrity final : public Auditor {
+ public:
+  explicit TssIntegrity(int num_vcpus)
+      : saved_tr_(num_vcpus, 0), alerted_(num_vcpus, false) {}
+
+  std::string name() const override { return "TSS-Integrity"; }
+  EventMask subscriptions() const override { return kAllEvents; }
+
+  void on_event(const Event& e, AuditContext& ctx) override {
+    Gva& saved = saved_tr_.at(e.vcpu);
+    if (saved == 0) {
+      saved = e.reg_tr;
+      return;
+    }
+    if (e.reg_tr != saved && !alerted_.at(e.vcpu)) {
+      alerted_.at(e.vcpu) = true;
+      ctx.alarms().raise(Alarm{e.time, name(), "tss-relocation",
+                               "TR changed after boot", e.vcpu, 0});
+    }
+  }
+
+  Cycles audit_cost_cycles() const override { return 120; }
+
+  bool alerted(int vcpu) const { return alerted_.at(vcpu); }
+
+ private:
+  std::vector<Gva> saved_tr_;
+  std::vector<bool> alerted_;
+};
+
+}  // namespace hypertap::auditors

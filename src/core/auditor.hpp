@@ -1,0 +1,114 @@
+// The auditing-phase API: auditors, their execution context, and alarms.
+//
+// Auditors implement RnS policies independently of each other and of the
+// shared logging channel (§V-B). They receive events, may derive guest
+// state through the trusted OsStateDerivation, raise alarms, and — for
+// blocking policies — pause the target VM during analysis.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/event.hpp"
+#include "core/os_state.hpp"
+#include "hv/hypervisor.hpp"
+
+namespace hypertap {
+
+struct Alarm {
+  SimTime time = 0;
+  std::string auditor;
+  std::string type;    ///< e.g. "vcpu-hang", "hidden-task", "priv-escalation"
+  std::string detail;
+  int vcpu = -1;
+  u32 pid = 0;
+};
+
+/// Collects alarms; optionally invokes a callback per alarm (used by
+/// experiment drivers to timestamp detections).
+class AlarmSink {
+ public:
+  void raise(Alarm a) {
+    if (on_alarm_) on_alarm_(a);
+    alarms_.push_back(std::move(a));
+  }
+  const std::vector<Alarm>& all() const { return alarms_; }
+  std::vector<Alarm> of_type(const std::string& type) const {
+    std::vector<Alarm> out;
+    for (const auto& a : alarms_)
+      if (a.type == type) out.push_back(a);
+    return out;
+  }
+  bool any_of_type(const std::string& type) const {
+    for (const auto& a : alarms_)
+      if (a.type == type) return true;
+    return false;
+  }
+  void set_callback(std::function<void(const Alarm&)> cb) {
+    on_alarm_ = std::move(cb);
+  }
+  void clear() { alarms_.clear(); }
+
+ private:
+  std::vector<Alarm> alarms_;
+  std::function<void(const Alarm&)> on_alarm_;
+};
+
+/// Everything an auditor may touch. Note there is no route to guest-OS
+/// data except through the trusted derivation and raw helper reads — the
+/// framework's root-of-trust discipline.
+class AuditContext {
+ public:
+  AuditContext(hv::Hypervisor& hv, const OsStateDerivation& derivation,
+               AlarmSink& alarms)
+      : hv_(hv), derivation_(derivation), alarms_(alarms) {}
+
+  hv::Hypervisor& hypervisor() { return hv_; }
+  const OsStateDerivation& os() const { return derivation_; }
+  AlarmSink& alarms() { return alarms_; }
+
+  /// Blocking analysis support (§V-B): freeze the VM while auditing.
+  void pause_vm(SimTime duration) { hv_.pause_guest(duration); }
+
+ private:
+  hv::Hypervisor& hv_;
+  const OsStateDerivation& derivation_;
+  AlarmSink& alarms_;
+};
+
+class Auditor {
+ public:
+  virtual ~Auditor() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Which event kinds this auditor registers for.
+  virtual EventMask subscriptions() const = 0;
+
+  /// Called for every matching event.
+  virtual void on_event(const Event& e, AuditContext& ctx) = 0;
+
+  /// Called once when the auditor is registered.
+  virtual void on_attach(AuditContext& ctx) { (void)ctx; }
+
+  /// Nonzero = the auditor wants periodic callbacks (e.g. GOSHD's
+  /// threshold checks).
+  virtual SimTime timer_period() const { return 0; }
+  virtual void on_timer(SimTime now, AuditContext& ctx) {
+    (void)now;
+    (void)ctx;
+  }
+
+  /// Blocking auditors run their analysis before the VM resumes; their
+  /// audit cost is charged to the guest. Non-blocking (default) auditors
+  /// run in parallel inside their container.
+  virtual bool blocking() const { return false; }
+
+  /// Cycle cost of analyzing one event (charged to the guest only when
+  /// blocking; tracked as container CPU time otherwise).
+  virtual Cycles audit_cost_cycles() const { return 900; }
+};
+
+}  // namespace hypertap

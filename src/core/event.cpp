@@ -1,0 +1,50 @@
+#include "core/event.hpp"
+
+#include <sstream>
+
+#include "os/syscalls.hpp"
+
+namespace hypertap {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kProcessSwitch: return "process-switch";
+    case EventKind::kThreadSwitch: return "thread-switch";
+    case EventKind::kSyscall: return "syscall";
+    case EventKind::kIo: return "io";
+    case EventKind::kMmio: return "mmio";
+    case EventKind::kExternalInterrupt: return "external-interrupt";
+    case EventKind::kMsrWrite: return "msr-write";
+    case EventKind::kApicAccess: return "apic-access";
+    case EventKind::kMemAccess: return "mem-access";
+    case EventKind::kCount: break;
+  }
+  return "?";
+}
+
+std::string Event::describe() const {
+  std::ostringstream os;
+  os << to_string(kind) << " vcpu" << vcpu << " t=" << time;
+  switch (kind) {
+    case EventKind::kProcessSwitch:
+      os << " cr3 " << std::hex << cr3_old << "->" << cr3_new;
+      break;
+    case EventKind::kThreadSwitch:
+      os << " rsp0=" << std::hex << rsp0;
+      break;
+    case EventKind::kSyscall:
+      os << " " << os::syscall_name(sc_nr) << "(" << sc_args[0] << ", "
+         << sc_args[1] << ", " << sc_args[2] << ")"
+         << (sc_fast ? " [sysenter]" : " [int80]");
+      break;
+    case EventKind::kIo:
+      os << (io_is_write ? " out " : " in ") << std::hex << io_port
+         << " val=" << io_value;
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace hypertap

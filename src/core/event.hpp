@@ -1,0 +1,76 @@
+// HyperTap events: what the shared logging channel carries.
+//
+// An Event is the decoded form of a VM Exit plus the architectural state
+// snapshot the paper's algorithms read (registers at exit time). It is a
+// flat value type so it can travel through the lock-free ring buffer
+// between the Event Forwarder (hypervisor exit path) and auditing
+// containers without allocation.
+#pragma once
+
+#include <string>
+
+#include "arch/ept.hpp"
+#include "hav/exit.hpp"
+#include "util/types.hpp"
+
+namespace hypertap {
+
+using namespace hvsim;
+
+enum class EventKind : u8 {
+  kProcessSwitch = 0,  ///< CR3 load (CR_ACCESS)
+  kThreadSwitch,       ///< TSS.RSP0 store (EPT_VIOLATION on TSS page)
+  kSyscall,            ///< INT 0x80 EXCEPTION or SYSENTER-entry fetch
+  kIo,                 ///< IN/OUT (IO_INSTRUCTION)
+  kMmio,               ///< EPT_VIOLATION in an MMIO window
+  kExternalInterrupt,
+  kMsrWrite,
+  kApicAccess,
+  kMemAccess,  ///< other EPT violations (fine-grained interception)
+  kCount,
+};
+
+const char* to_string(EventKind k);
+
+using EventMask = u32;
+
+constexpr EventMask event_bit(EventKind k) {
+  return 1u << static_cast<u32>(k);
+}
+
+/// Every event kind (used by integrity checkers that audit on any exit).
+inline constexpr EventMask kAllEvents =
+    (1u << static_cast<u32>(EventKind::kCount)) - 1;
+
+struct Event {
+  EventKind kind = EventKind::kProcessSwitch;
+  hav::ExitReason reason = hav::ExitReason::kCrAccess;
+  int vcpu = 0;
+  SimTime time = 0;
+
+  // Architectural-state snapshot (the root of trust): captured from the
+  // VMCS guest-state area at exit time.
+  u32 reg_cr3 = 0;
+  Gva reg_tr = 0;
+  u32 reg_rsp = 0;
+
+  // Kind-specific payload.
+  u32 cr3_old = 0, cr3_new = 0;         // kProcessSwitch
+  u32 rsp0 = 0;                         // kThreadSwitch: new kernel stack top
+  u8 sc_nr = 0;                         // kSyscall
+  u32 sc_args[3] = {0, 0, 0};
+  bool sc_fast = false;
+  u16 io_port = 0;                      // kIo
+  bool io_is_write = false;
+  u32 io_value = 0;
+  u32 msr_index = 0;                    // kMsrWrite
+  u64 msr_value = 0;
+  u8 int_vector = 0;                    // kExternalInterrupt
+  Gva gva = 0;                          // kMmio / kMemAccess
+  Gpa gpa = 0;
+  arch::Access access = arch::Access::kRead;
+
+  std::string describe() const;
+};
+
+}  // namespace hypertap

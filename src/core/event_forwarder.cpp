@@ -1,0 +1,217 @@
+#include "core/event_forwarder.hpp"
+
+#include "arch/msr.hpp"
+#include "os/syscalls.hpp"
+#include "util/log.hpp"
+
+namespace hypertap {
+
+EventForwarder::EventForwarder(hv::Hypervisor& hv, EventMultiplexer& em,
+                               AuditContext& ctx, Config cfg)
+    : hv_(hv), em_(em), ctx_(ctx), cfg_(cfg),
+      tss_rsp0_gpa_(hv.num_vcpus(), 0) {
+  hv_.add_observer(this);
+}
+
+EventForwarder::~EventForwarder() { hv_.remove_observer(this); }
+
+void EventForwarder::set_mask(EventMask mask) {
+  mask_ = mask;
+  const bool want_switches =
+      mask & (event_bit(EventKind::kProcessSwitch) |
+              event_bit(EventKind::kThreadSwitch));
+  const bool want_syscalls = mask & event_bit(EventKind::kSyscall);
+
+  hv_.engine().for_all_controls([&](hav::VmcsControls& c) {
+    // Thread-switch interception arms itself at the first CR_ACCESS, so
+    // CR3 exiting is needed for both switch kinds (Fig. 3A/3B).
+    c.cr3_load_exiting = want_switches || want_syscalls ? true : false;
+    // Fig. 3D: both the Linux (0x80) and Windows (0x2E) syscall gates.
+    c.exception_bitmap.set(os::SYSCALL_INT_VECTOR, want_syscalls);
+    c.exception_bitmap.set(os::SYSCALL_INT_VECTOR_NT, want_syscalls);
+    c.msr_write_exiting = want_syscalls;
+    c.apic_access_exiting =
+        (mask & event_bit(EventKind::kApicAccess)) != 0;
+  });
+
+  // Late attach: if the guest is already running, the arming triggers
+  // (first CR3 write, SYSENTER MSR write) have already happened — read
+  // the live state instead of waiting for exits that will never come.
+  if (mask & event_bit(EventKind::kThreadSwitch)) {
+    if (!tss_armed_ && hv_.vcpu(0).regs().tr != 0) arm_thread_interception();
+  }
+  if (want_syscalls && !sysenter_armed_) {
+    const u64 eip = hv_.vcpu(0).msrs().read(arch::IA32_SYSENTER_EIP);
+    if (eip != 0) arm_sysenter(static_cast<Gva>(eip));
+  }
+}
+
+void EventForwarder::arm_thread_interception() {
+  // Fig. 3B: for each vCPU, locate the TSS through TR and write-protect
+  // the page that contains it.
+  for (int i = 0; i < hv_.num_vcpus(); ++i) {
+    const Gva tr = hv_.vcpu(i).regs().tr;
+    if (tr == 0) return;  // guest not far enough into boot; retry later
+    const auto gpa =
+        hv_.gva_to_gpa(hv_.vcpu(i).regs().cr3, tr + arch::TSS_RSP0_OFFSET);
+    if (!gpa) return;
+    tss_rsp0_gpa_[i] = *gpa;
+  }
+  for (int i = 0; i < hv_.num_vcpus(); ++i) {
+    hv_.ept().write_protect(tss_rsp0_gpa_[i], true);
+  }
+  tss_armed_ = true;
+  HVSIM_DEBUG("EF: thread-switch interception armed");
+}
+
+void EventForwarder::arm_sysenter(Gva entry) {
+  sysenter_entry_ = entry;
+  const auto gpa = hv_.gva_to_gpa(hv_.vcpu(0).regs().cr3, entry);
+  if (!gpa) return;
+  sysenter_page_ = page_base(*gpa);
+  hv_.ept().exec_protect(sysenter_page_, true);
+  sysenter_armed_ = true;
+  HVSIM_DEBUG("EF: fast-syscall interception armed at " << std::hex << entry);
+}
+
+void EventForwarder::emit(arch::Vcpu& vcpu, Event e) {
+  e.vcpu = vcpu.id();
+  e.time = vcpu.now();
+  e.reg_cr3 = vcpu.regs().cr3;
+  e.reg_tr = vcpu.regs().tr;
+  e.reg_rsp = vcpu.regs().rsp;
+  if ((mask_ & event_bit(e.kind)) == 0) return;
+  vcpu.advance_cycles(cfg_.forward_cycles);
+  ++forwarded_;
+  em_.deliver(vcpu, e, ctx_);
+}
+
+void EventForwarder::on_vm_exit(arch::Vcpu& vcpu, const hav::Exit& exit) {
+  ++exits_observed_;
+  em_.sample_raw_exit(exit.time);
+
+  switch (exit.reason) {
+    case hav::ExitReason::kCrAccess: {
+      const auto& q = std::get<hav::CrAccessQual>(exit.qual);
+      if ((mask_ & event_bit(EventKind::kThreadSwitch)) && !tss_armed_) {
+        arm_thread_interception();
+      }
+      // Retry fast-syscall arming: the WRMSR may have happened before
+      // paging was live (or before we attached).
+      if ((mask_ & event_bit(EventKind::kSyscall)) && !sysenter_armed_) {
+        const u64 eip = vcpu.msrs().read(arch::IA32_SYSENTER_EIP);
+        if (eip != 0) arm_sysenter(static_cast<Gva>(eip));
+      }
+      Event e;
+      e.kind = EventKind::kProcessSwitch;
+      e.reason = exit.reason;
+      e.cr3_old = q.old_value;
+      e.cr3_new = q.new_value;
+      emit(vcpu, e);
+      break;
+    }
+    case hav::ExitReason::kException: {
+      const auto& q = std::get<hav::ExceptionQual>(exit.qual);
+      if (q.software && (q.vector == os::SYSCALL_INT_VECTOR ||
+                         q.vector == os::SYSCALL_INT_VECTOR_NT)) {
+        Event e;
+        e.kind = EventKind::kSyscall;
+        e.reason = exit.reason;
+        e.sc_fast = false;
+        e.sc_nr = static_cast<u8>(vcpu.regs().reg(arch::Gpr::RAX));
+        e.sc_args[0] = vcpu.regs().reg(arch::Gpr::RBX);
+        e.sc_args[1] = vcpu.regs().reg(arch::Gpr::RCX);
+        e.sc_args[2] = vcpu.regs().reg(arch::Gpr::RDX);
+        emit(vcpu, e);
+      }
+      break;
+    }
+    case hav::ExitReason::kWrmsr: {
+      const auto& q = std::get<hav::WrmsrQual>(exit.qual);
+      if (q.index == arch::IA32_SYSENTER_EIP &&
+          (mask_ & event_bit(EventKind::kSyscall))) {
+        arm_sysenter(static_cast<Gva>(q.value));
+      }
+      Event e;
+      e.kind = EventKind::kMsrWrite;
+      e.reason = exit.reason;
+      e.msr_index = q.index;
+      e.msr_value = q.value;
+      emit(vcpu, e);
+      break;
+    }
+    case hav::ExitReason::kEptViolation: {
+      const auto& q = std::get<hav::EptViolationQual>(exit.qual);
+      if (q.access == arch::Access::kWrite && tss_armed_ &&
+          q.gpa == tss_rsp0_gpa_[vcpu.id()]) {
+        // Fig. 3B: [Addr] <- V where Addr == &TSS.RSP0: V is the kernel
+        // stack top of the thread being switched in.
+        Event e;
+        e.kind = EventKind::kThreadSwitch;
+        e.reason = exit.reason;
+        e.rsp0 = static_cast<u32>(q.value);
+        e.gva = q.gva;
+        e.gpa = q.gpa;
+        emit(vcpu, e);
+        break;
+      }
+      if (q.access == arch::Access::kExecute && sysenter_armed_ &&
+          page_base(q.gpa) == sysenter_page_) {
+        // Fig. 3E: execution of the protected syscall entry point.
+        Event e;
+        e.kind = EventKind::kSyscall;
+        e.reason = exit.reason;
+        e.sc_fast = true;
+        e.sc_nr = static_cast<u8>(vcpu.regs().reg(arch::Gpr::RAX));
+        e.sc_args[0] = vcpu.regs().reg(arch::Gpr::RBX);
+        e.sc_args[1] = vcpu.regs().reg(arch::Gpr::RCX);
+        e.sc_args[2] = vcpu.regs().reg(arch::Gpr::RDX);
+        emit(vcpu, e);
+        break;
+      }
+      Event e;
+      e.kind = q.gpa >= hv_.phys_mem().size() - (1u << 20)
+                   ? EventKind::kMmio
+                   : EventKind::kMemAccess;
+      e.reason = exit.reason;
+      e.gva = q.gva;
+      e.gpa = q.gpa;
+      e.access = q.access;
+      emit(vcpu, e);
+      break;
+    }
+    case hav::ExitReason::kIoInstruction: {
+      const auto& q = std::get<hav::IoQual>(exit.qual);
+      Event e;
+      e.kind = EventKind::kIo;
+      e.reason = exit.reason;
+      e.io_port = q.port;
+      e.io_is_write = q.is_write;
+      e.io_value = q.value;
+      emit(vcpu, e);
+      break;
+    }
+    case hav::ExitReason::kExternalInterrupt: {
+      const auto& q = std::get<hav::ExtIntQual>(exit.qual);
+      Event e;
+      e.kind = EventKind::kExternalInterrupt;
+      e.reason = exit.reason;
+      e.int_vector = q.vector;
+      emit(vcpu, e);
+      break;
+    }
+    case hav::ExitReason::kApicAccess: {
+      const auto& q = std::get<hav::ApicAccessQual>(exit.qual);
+      Event e;
+      e.kind = EventKind::kApicAccess;
+      e.reason = exit.reason;
+      e.gva = q.offset;
+      emit(vcpu, e);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace hypertap

@@ -1,0 +1,76 @@
+// Event Forwarder (§V-C): the hook in the hypervisor's exit path — the
+// simulation analogue of the <100-line KVM patch.
+//
+// Decodes VM Exits into HyperTap events, implements the interception
+// algorithms of Fig. 3:
+//  - Fig. 3A/3B arming: on the first CR_ACCESS, write-protect the page of
+//    each vCPU's TSS (located through TR — an architectural invariant).
+//  - Fig. 3E: learn the SYSENTER entry from WRMSR and execute-protect its
+//    page; a fetch of that page is a fast system call.
+//  - Fig. 3D: software interrupt 0x80 exits are interrupt-based syscalls.
+#pragma once
+
+#include <vector>
+
+#include "arch/tss.hpp"
+#include "core/event_multiplexer.hpp"
+#include "hv/hypervisor.hpp"
+
+namespace hypertap {
+
+class EventForwarder final : public hv::ExitObserver {
+ public:
+  struct Config {
+    /// Non-blocking forward cost on the exit path, charged to the guest.
+    Cycles forward_cycles = 300;
+  };
+
+  EventForwarder(hv::Hypervisor& hv, EventMultiplexer& em, AuditContext& ctx,
+                 Config cfg);
+  EventForwarder(hv::Hypervisor& hv, EventMultiplexer& em, AuditContext& ctx)
+      : EventForwarder(hv, em, ctx, Config{}) {}
+  ~EventForwarder() override;
+
+  EventForwarder(const EventForwarder&) = delete;
+  EventForwarder& operator=(const EventForwarder&) = delete;
+
+  /// Program VMCS controls / EPT protections for the union of auditor
+  /// subscriptions. Safe to call repeatedly (e.g. when auditors come and
+  /// go); arming that depends on runtime state (TR, MSRs) is retried as
+  /// the state becomes available.
+  void set_mask(EventMask mask);
+  EventMask mask() const { return mask_; }
+
+  // hv::ExitObserver
+  void on_vm_exit(arch::Vcpu& vcpu, const hav::Exit& exit) override;
+
+  u64 events_forwarded() const { return forwarded_; }
+  u64 exits_observed() const { return exits_observed_; }
+
+  /// True once the TSS pages are write-protected (Fig. 3B armed).
+  bool thread_interception_armed() const { return tss_armed_; }
+  bool syscall_interception_armed() const { return sysenter_armed_; }
+
+ private:
+  void arm_thread_interception();
+  void arm_sysenter(Gva entry);
+  void emit(arch::Vcpu& vcpu, Event e);
+
+  hv::Hypervisor& hv_;
+  EventMultiplexer& em_;
+  AuditContext& ctx_;
+  Config cfg_;
+  EventMask mask_ = 0;
+
+  bool tss_armed_ = false;
+  std::vector<Gpa> tss_rsp0_gpa_;  ///< per-vCPU GPA of TSS.RSP0
+
+  Gva sysenter_entry_ = 0;
+  Gpa sysenter_page_ = 0;
+  bool sysenter_armed_ = false;
+
+  u64 forwarded_ = 0;
+  u64 exits_observed_ = 0;
+};
+
+}  // namespace hypertap

@@ -1,0 +1,2 @@
+// EventMultiplexer is header-only; this TU anchors it in the library.
+#include "core/event_multiplexer.hpp"

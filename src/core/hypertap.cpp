@@ -1,0 +1,48 @@
+#include "core/hypertap.hpp"
+
+namespace hypertap {
+
+HyperTap::HyperTap(os::Vm& vm, Options opts)
+    : vm_(vm),
+      derivation_(vm.machine.hypervisor(), vm.kernel.layout()),
+      ctx_(vm.machine.hypervisor(), derivation_, alarms_),
+      em_(opts.multiplexer) {
+  forwarder_ = std::make_unique<EventForwarder>(
+      vm.machine.hypervisor(), em_, ctx_, opts.forwarder);
+  if (opts.enable_rhc) {
+    rhc_ = std::make_unique<Rhc>(opts.rhc);
+    em_.set_rhc(rhc_.get());
+    rhc_->start(vm.machine);
+  }
+}
+
+void HyperTap::add_auditor(std::unique_ptr<Auditor> auditor) {
+  Auditor* a = auditor.get();
+  auditors_.push_back(std::move(auditor));
+  em_.register_auditor(a, ctx_);
+  forwarder_->set_mask(em_.combined_mask());
+
+  const SimTime period = a->timer_period();
+  if (period > 0) {
+    vm_.machine.schedule_every(period, [this, a]() {
+      // Stop the timer chain if the auditor has been removed.
+      bool alive = false;
+      for (const auto& owned : auditors_) {
+        if (owned.get() == a) alive = true;
+      }
+      if (!alive) return false;
+      a->on_timer(vm_.machine.now(), ctx_);
+      return true;
+    });
+  }
+}
+
+void HyperTap::remove_auditor(const Auditor* auditor) {
+  em_.unregister_auditor(auditor);
+  std::erase_if(auditors_, [auditor](const std::unique_ptr<Auditor>& p) {
+    return p.get() == auditor;
+  });
+  forwarder_->set_mask(em_.combined_mask());
+}
+
+}  // namespace hypertap

@@ -1,0 +1,73 @@
+// HyperTap facade: wires the Event Forwarder, Event Multiplexer, trusted
+// OS-state derivation, Remote Health Checker, and auditor timers onto a
+// simulated VM.
+//
+// Usage:
+//   os::Vm vm;
+//   hypertap::HyperTap ht(vm);           // attach BEFORE boot for
+//   ht.add_auditor(std::make_unique<auditors::Goshd>(...));
+//   vm.kernel.boot();                    //   boot-time events
+//   vm.machine.run_for(10_s);
+//   ... inspect ht.alarms() ...
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/auditor.hpp"
+#include "core/event_forwarder.hpp"
+#include "core/event_multiplexer.hpp"
+#include "core/os_state.hpp"
+#include "core/rhc.hpp"
+#include "os/kernel.hpp"
+
+namespace hypertap {
+
+class HyperTap {
+ public:
+  struct Options {
+    bool enable_rhc = false;
+    Rhc::Config rhc;
+    EventForwarder::Config forwarder;
+    EventMultiplexer::Config multiplexer;
+  };
+
+  HyperTap(os::Vm& vm, Options opts);
+  explicit HyperTap(os::Vm& vm) : HyperTap(vm, Options{}) {}
+
+  /// Register an auditor; reprograms VMCS controls to the union of all
+  /// auditor subscriptions and starts the auditor's periodic timer.
+  void add_auditor(std::unique_ptr<Auditor> auditor);
+
+  /// Remove an auditor by pointer (as returned from auditor<T>()).
+  void remove_auditor(const Auditor* auditor);
+
+  AlarmSink& alarms() { return alarms_; }
+  const AlarmSink& alarms() const { return alarms_; }
+  EventForwarder& forwarder() { return *forwarder_; }
+  EventMultiplexer& multiplexer() { return em_; }
+  OsStateDerivation& os_state() { return derivation_; }
+  Rhc* rhc() { return rhc_ ? rhc_.get() : nullptr; }
+  AuditContext& context() { return ctx_; }
+
+  /// Find the first auditor of a concrete type (test/bench convenience).
+  template <typename T>
+  T* auditor() {
+    for (const auto& a : auditors_) {
+      if (auto* p = dynamic_cast<T*>(a.get())) return p;
+    }
+    return nullptr;
+  }
+
+ private:
+  os::Vm& vm_;
+  AlarmSink alarms_;
+  OsStateDerivation derivation_;
+  AuditContext ctx_;
+  EventMultiplexer em_;
+  std::unique_ptr<EventForwarder> forwarder_;
+  std::unique_ptr<Rhc> rhc_;
+  std::vector<std::unique_ptr<Auditor>> auditors_;
+};
+
+}  // namespace hypertap

@@ -1,0 +1,65 @@
+#include "core/os_state.hpp"
+
+#include "arch/tss.hpp"
+
+namespace hypertap {
+
+u32 OsStateDerivation::rd32(Gpa pdba, Gva gva) const {
+  const auto v = hv_.read_guest(pdba, gva, 4);
+  return v ? static_cast<u32>(*v) : 0;
+}
+
+GuestTaskView OsStateDerivation::current_task(int vcpu) const {
+  const auto& regs = hv_.vcpu(vcpu).regs();
+  // TR is the invariant entry point; the TSS it designates holds RSP0.
+  const Gva tss = regs.tr;
+  if (tss == 0) return {};
+  const u32 rsp0 = rd32(regs.cr3, tss + arch::TSS_RSP0_OFFSET);
+  if (rsp0 == 0) return {};
+  return task_from_rsp0(vcpu, rsp0);
+}
+
+GuestTaskView OsStateDerivation::task_from_rsp0(int vcpu, u32 rsp0) const {
+  const auto& regs = hv_.vcpu(vcpu).regs();
+  const Gva ti = os::thread_info_of(rsp0);
+  const Gva task_gva = rd32(regs.cr3, ti + os::TI_TASK);
+  if (task_gva == 0) return {};
+  return read_task(regs.cr3, task_gva);
+}
+
+GuestTaskView OsStateDerivation::read_task(Gpa pdba, Gva task_gva) const {
+  GuestTaskView v;
+  const auto probe = hv_.read_guest(pdba, task_gva + os::TS_PID, 4);
+  if (!probe) return v;
+  v.valid = true;
+  v.task_gva = task_gva;
+  v.pid = static_cast<u32>(*probe);
+  v.uid = rd32(pdba, task_gva + os::TS_UID);
+  v.euid = rd32(pdba, task_gva + os::TS_EUID);
+  v.ppid = rd32(pdba, task_gva + os::TS_PPID);
+  v.state = rd32(pdba, task_gva + os::TS_STATE);
+  v.flags = rd32(pdba, task_gva + os::TS_FLAGS);
+  v.exe_id = rd32(pdba, task_gva + os::TS_EXE_ID);
+  v.pdba = rd32(pdba, task_gva + os::TS_PDBA);
+  v.parent_gva = rd32(pdba, task_gva + os::TS_PARENT);
+  char comm[os::TS_COMM_LEN + 1] = {};
+  for (u32 i = 0; i < os::TS_COMM_LEN; i += 4) {
+    const u32 word = rd32(pdba, task_gva + os::TS_COMM + i);
+    comm[i] = static_cast<char>(word);
+    comm[i + 1] = static_cast<char>(word >> 8);
+    comm[i + 2] = static_cast<char>(word >> 16);
+    comm[i + 3] = static_cast<char>(word >> 24);
+  }
+  v.comm = comm;
+  return v;
+}
+
+std::optional<u32> OsStateDerivation::parent_uid(
+    Gpa pdba, const GuestTaskView& t) const {
+  if (!t.valid || t.parent_gva == 0) return std::nullopt;
+  const auto v = hv_.read_guest(pdba, t.parent_gva + os::TS_UID, 4);
+  if (!v) return std::nullopt;
+  return static_cast<u32>(*v);
+}
+
+}  // namespace hypertap

@@ -1,0 +1,68 @@
+// Trusted OS-state derivation (§IV-B, §VII-C).
+//
+// Architectural invariants are the root of trust: derivation always starts
+// from register state (TR, CR3, the RSP0 captured at a thread-switch
+// event), never from OS-managed entry points like the task list head.
+//
+//   TR ──► TSS ──► RSP0 ──► thread_info (stack-base mask) ──► task_struct
+//
+// From the task_struct we read uid/euid/ppid/comm — values an attacker can
+// fake for *list walkers* by unlinking the structure, but not for this
+// derivation, because the structure is found through the hardware's own
+// idea of "the running thread".
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "hv/hypervisor.hpp"
+#include "os/layout.hpp"
+
+namespace hypertap {
+
+using namespace hvsim;
+
+/// A view of one guest task, derived from hardware state.
+struct GuestTaskView {
+  bool valid = false;
+  Gva task_gva = 0;
+  u32 pid = 0;
+  u32 uid = 0;
+  u32 euid = 0;
+  u32 ppid = 0;
+  u32 state = 0;
+  u32 flags = 0;
+  u32 exe_id = 0;
+  u32 pdba = 0;
+  Gva parent_gva = 0;
+  std::string comm;
+};
+
+class OsStateDerivation {
+ public:
+  OsStateDerivation(const hv::Hypervisor& hv, os::OsLayout layout)
+      : hv_(hv), layout_(layout) {}
+
+  const os::OsLayout& layout() const { return layout_; }
+
+  /// The running task of `vcpu`, via TR -> TSS.RSP0.
+  GuestTaskView current_task(int vcpu) const;
+
+  /// The task owning kernel stack top `rsp0` (e.g. the value captured by a
+  /// thread-switch event).
+  GuestTaskView task_from_rsp0(int vcpu, u32 rsp0) const;
+
+  /// Decode a task_struct at `task_gva`, reading through `pdba`.
+  GuestTaskView read_task(Gpa pdba, Gva task_gva) const;
+
+  /// uid of the parent of `t` (follows t.parent_gva).
+  std::optional<u32> parent_uid(Gpa pdba, const GuestTaskView& t) const;
+
+ private:
+  u32 rd32(Gpa pdba, Gva gva) const;
+
+  const hv::Hypervisor& hv_;
+  os::OsLayout layout_;
+};
+
+}  // namespace hypertap

@@ -1,0 +1,28 @@
+#include "core/rhc.hpp"
+
+namespace hypertap {
+
+void Rhc::start(hv::HostServices& host) {
+  last_sample_ = host.now();
+  // The RHC lives on an external machine; its check loop is a host event
+  // chain independent of guest progress.
+  struct Checker {
+    Rhc* rhc;
+    hv::HostServices* host;
+    void operator()() {
+      const SimTime now = host->now();
+      if (now - rhc->last_sample_ > rhc->cfg_.alert_threshold) {
+        if (!rhc->in_alert_) {
+          rhc->alerts_.push_back(now);
+          rhc->in_alert_ = true;
+        }
+      } else {
+        rhc->in_alert_ = false;
+      }
+      host->schedule(now + rhc->cfg_.check_period, Checker{rhc, host});
+    }
+  };
+  host.schedule(host.now() + cfg_.check_period, Checker{this, &host});
+}
+
+}  // namespace hypertap

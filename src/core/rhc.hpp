@@ -1,0 +1,55 @@
+// Remote Health Checker (§V-C): a heartbeat server for the monitor itself.
+//
+// The Event Multiplexer samples the VM Exit stream to the RHC (modeled as
+// an object with its own clock on a "separate machine"). If no samples
+// arrive for the alert threshold, the RHC raises a liveness alert — either
+// the VM is no longer producing exits (hypervisor wedged) or the logging
+// channel died.
+#pragma once
+
+#include <vector>
+
+#include "hv/host_services.hpp"
+#include "util/types.hpp"
+
+namespace hypertap {
+
+using namespace hvsim;
+
+class Rhc {
+ public:
+  struct Config {
+    /// Forward one of every N exits to the RHC.
+    u32 sample_every = 64;
+    SimTime check_period = 500'000'000;    // 0.5 s
+    SimTime alert_threshold = 3'000'000'000;  // 3 s
+  };
+
+  explicit Rhc(Config cfg) : cfg_(cfg) {}
+  Rhc() : Rhc(Config{}) {}
+
+  const Config& config() const { return cfg_; }
+
+  /// A sampled event arrived over the (virtual) network.
+  void on_sample(SimTime t) {
+    last_sample_ = t;
+    ++samples_;
+  }
+
+  /// Begin periodic liveness checks on the given host clock.
+  void start(hv::HostServices& host);
+
+  u64 samples_received() const { return samples_; }
+  SimTime last_sample() const { return last_sample_; }
+  const std::vector<SimTime>& alerts() const { return alerts_; }
+  bool alerted() const { return !alerts_.empty(); }
+
+ private:
+  Config cfg_;
+  SimTime last_sample_ = 0;
+  u64 samples_ = 0;
+  std::vector<SimTime> alerts_;
+  bool in_alert_ = false;
+};
+
+}  // namespace hypertap

@@ -1,0 +1,328 @@
+#include "fi/campaign.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "auditors/goshd.hpp"
+#include "core/hypertap.hpp"
+#include "fi/locations.hpp"
+#include "workloads/hanoi.hpp"
+#include "workloads/httpd.hpp"
+#include "workloads/make.hpp"
+#include "workloads/workload.hpp"
+
+namespace hypertap::fi {
+
+const char* to_string(WorkloadKind w) {
+  switch (w) {
+    case WorkloadKind::kHanoi: return "Hanoi Tower";
+    case WorkloadKind::kMakeJ1: return "make -j1";
+    case WorkloadKind::kMakeJ2: return "make -j2";
+    case WorkloadKind::kHttpd: return "HTTP server";
+  }
+  return "?";
+}
+
+const char* to_string(Outcome o) {
+  switch (o) {
+    case Outcome::kNotActivated: return "Not Activated";
+    case Outcome::kNotManifested: return "Not Manifested";
+    case Outcome::kNotDetected: return "Not Detected";
+    case Outcome::kPartialHang: return "Partial Hang";
+    case Outcome::kFullHang: return "Full Hang";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr u32 kProbeTokenBase = 0x5000'0000u;
+
+/// A background system daemon (syslogd / klogd / a network service):
+/// wakes periodically and crosses kernel paths of its subsystems. These
+/// are why a SUSE guest exercises most injectable locations no matter
+/// which benchmark workload runs on top.
+class SystemDaemon final : public os::Workload {
+ public:
+  SystemDaemon(std::vector<os::Subsystem> subs, u32 period_us,
+               const std::vector<os::KernelLocation>* locs, u64 seed)
+      : subs_(std::move(subs)), period_us_(period_us),
+        picker_(locs, seed), rng_(seed ^ 0xDAE11011u) {}
+
+  os::Action next(os::TaskCtx&) override {
+    if ((step_++ & 1) != 0) {
+      const u32 jitter = static_cast<u32>(rng_.below(period_us_ / 2 + 1));
+      return os::ActSyscall{os::SYS_NANOSLEEP, period_us_ + jitter};
+    }
+    const os::Subsystem s = subs_[step_ / 2 % subs_.size()];
+    if (const auto loc = picker_.pick(s)) return os::ActKernelCall{*loc};
+    return os::ActCompute{20'000};
+  }
+  std::string name() const override { return "daemon"; }
+
+ private:
+  std::vector<os::Subsystem> subs_;
+  u32 period_us_;
+  workloads::LocationPicker picker_;
+  util::Rng rng_;
+  u32 step_ = 0;
+};
+
+/// SSH-like external probe session: touch a char-device (probe) path and
+/// a net path, then echo back over the NIC.
+class ProbeWorkload final : public os::Workload {
+ public:
+  ProbeWorkload(u16 probe_loc, std::optional<u16> net_loc, u32 token)
+      : probe_loc_(probe_loc), net_loc_(net_loc), token_(token) {}
+
+  os::Action next(os::TaskCtx&) override {
+    switch (step_++) {
+      case 0: return os::ActKernelCall{probe_loc_};
+      case 1:
+        if (net_loc_) return os::ActKernelCall{*net_loc_};
+        return os::ActCompute{10'000};
+      case 2: return os::ActSyscall{os::SYS_NET_SEND, token_};
+      default: return os::ActExit{};
+    }
+  }
+  std::string name() const override { return "sshd-probe"; }
+
+ private:
+  u16 probe_loc_;
+  std::optional<u16> net_loc_;
+  u32 token_;
+  int step_ = 0;
+};
+
+}  // namespace
+
+RunResult run_one(const RunConfig& cfg,
+                  const std::vector<os::KernelLocation>& locations) {
+  using workloads::LocationPicker;
+
+  hv::MachineConfig mc;
+  mc.num_vcpus = 2;
+  mc.timer_period = cfg.timer_period;
+  mc.max_step = cfg.timer_period;
+  mc.seed = cfg.seed;
+  // The campaign guest is small; a compact address space keeps per-run
+  // boot cost low so the full 374-location grid stays tractable.
+  mc.phys_mem_bytes = 16ull << 20;
+
+  os::KernelConfig kc;
+  kc.preemptible = cfg.preemptible;
+  kc.spawn_factory = workloads::standard_factory(&locations);
+
+  os::Vm vm(mc, kc);
+  vm.kernel.register_locations(locations);
+
+  FaultPlan plan(FaultSpec{cfg.location, cfg.fault_class, cfg.transient},
+                 [&m = vm.machine]() { return m.now(); });
+  vm.kernel.set_location_hook(&plan);
+
+  HyperTap ht(vm);
+  auditors::Goshd::Config gcfg;
+  gcfg.threshold = cfg.detect_threshold;
+  auto goshd_owned =
+      std::make_unique<auditors::Goshd>(vm.machine.num_vcpus(), gcfg);
+  auditors::Goshd* goshd = goshd_owned.get();
+  ht.add_auditor(std::move(goshd_owned));
+
+  vm.kernel.boot();
+
+  // System daemons: baseline kernel-path activity on every subsystem
+  // (journalling, logging, network keepalives), split across both vCPUs.
+  util::Rng wrng(cfg.seed ^ 0x77AD5EEDull);
+  vm.kernel.spawn("syslogd", 0, 0, 1,
+                  std::make_unique<SystemDaemon>(
+                      std::vector<os::Subsystem>{os::Subsystem::kExt3,
+                                                 os::Subsystem::kBlock},
+                      45'000, &locations, wrng.next()),
+                  0, 0);
+  vm.kernel.spawn("klogd", 0, 0, 1,
+                  std::make_unique<SystemDaemon>(
+                      std::vector<os::Subsystem>{os::Subsystem::kCharDev,
+                                                 os::Subsystem::kCore},
+                      60'000, &locations, wrng.next()),
+                  0, 1);
+  vm.kernel.spawn("netd", 0, 0, 1,
+                  std::make_unique<SystemDaemon>(
+                      std::vector<os::Subsystem>{os::Subsystem::kNet},
+                      50'000, &locations, wrng.next()),
+                  0, 1);
+  // Mirrored (slower) daemons on the opposite vCPUs: journalling and cron
+  // activity is not CPU-affine, so leaked locks eventually see contention
+  // from both cores.
+  vm.kernel.spawn("jbd2", 0, 0, 1,
+                  std::make_unique<SystemDaemon>(
+                      std::vector<os::Subsystem>{os::Subsystem::kExt3,
+                                                 os::Subsystem::kBlock},
+                      450'000, &locations, wrng.next()),
+                  0, 1);
+  vm.kernel.spawn("crond", 0, 0, 1,
+                  std::make_unique<SystemDaemon>(
+                      std::vector<os::Subsystem>{os::Subsystem::kCore,
+                                                 os::Subsystem::kNet,
+                                                 os::Subsystem::kCharDev},
+                      400'000, &locations, wrng.next()),
+                  0, 0);
+
+  // Workload processes.
+  bool workload_finite = true;
+  int done_needed = 0;
+  int done_count = 0;
+  SimTime last_done = -1;
+  auto on_done = [&done_count, &last_done](SimTime t) {
+    ++done_count;
+    last_done = t;
+  };
+
+  std::unique_ptr<workloads::HttpLoadGenerator> loadgen;
+  switch (cfg.workload) {
+    case WorkloadKind::kHanoi: {
+      workloads::HanoiWorkload::Config hc;
+      hc.total_cycles = 24'000'000'000ull;  // ~8 s
+      auto w = std::make_unique<workloads::HanoiWorkload>(hc, &locations,
+                                                          wrng.next());
+      w->set_on_done(on_done);
+      done_needed = 1;
+      vm.kernel.spawn("hanoi", 1000, 1000, 1, std::move(w));
+      break;
+    }
+    case WorkloadKind::kMakeJ1:
+    case WorkloadKind::kMakeJ2: {
+      const int jobs = cfg.workload == WorkloadKind::kMakeJ2 ? 2 : 1;
+      done_needed = jobs;
+      for (int j = 0; j < jobs; ++j) {
+        workloads::MakeJobWorkload::Config mcfg;
+        mcfg.units = 140 / jobs;
+        auto w = std::make_unique<workloads::MakeJobWorkload>(
+            mcfg, &locations, wrng.next());
+        w->set_on_done(on_done);
+        vm.kernel.spawn("make", 1000, 1000, 1, std::move(w));
+      }
+      break;
+    }
+    case WorkloadKind::kHttpd: {
+      workload_finite = false;
+      for (int wk = 0; wk < 2; ++wk) {
+        workloads::HttpdWorkerWorkload::Config hcfg;
+        auto w = std::make_unique<workloads::HttpdWorkerWorkload>(
+            hcfg, &locations, wrng.next());
+        vm.kernel.spawn("httpd", 30, 30, 1, std::move(w));
+      }
+      loadgen = std::make_unique<workloads::HttpLoadGenerator>(vm.kernel,
+                                                               220.0);
+      loadgen->start(vm.machine);
+      break;
+    }
+  }
+
+  // External SSH-like probe: launched every 2 s, expected to echo within
+  // 3 s; unanswered probes mean "the machine looks hung from outside".
+  std::map<u32, SimTime> probe_sent;
+  std::map<u32, bool> probe_answered;
+  vm.machine.add_net_tx_sink([&probe_answered](int, u32 v) {
+    if ((v & 0xF000'0000u) == kProbeTokenBase) probe_answered[v] = true;
+  });
+  // The probe path includes the two probe-only locations (alternating).
+  std::vector<u16> probe_locs;
+  std::vector<u16> net_locs;
+  for (const auto& l : locations) {
+    if (l.sleeping_wait) probe_locs.push_back(l.id);
+    else if (l.subsystem == os::Subsystem::kNet) net_locs.push_back(l.id);
+  }
+  u32 probe_seq = 0;
+  vm.machine.schedule_every(2'000'000'000, [&]() {
+    const u32 token = kProbeTokenBase | ++probe_seq;
+    probe_sent[token] = vm.machine.now();
+    probe_answered[token] = false;
+    const u16 ploc = probe_locs.empty()
+                         ? net_locs.at(probe_seq % net_locs.size())
+                         : probe_locs[probe_seq % probe_locs.size()];
+    std::optional<u16> nloc;
+    if (!net_locs.empty()) nloc = net_locs[probe_seq % net_locs.size()];
+    vm.kernel.spawn("sshd", 0, 0, 1,
+                    std::make_unique<ProbeWorkload>(ploc, nloc, token),
+                    0, static_cast<int>(probe_seq % 2));
+    return true;
+  });
+
+  auto probe_hung_now = [&]() {
+    const SimTime now = vm.machine.now();
+    for (const auto& [token, t_sent] : probe_sent) {
+      if (!probe_answered[token] && now - t_sent > 3'000'000'000) return true;
+    }
+    return false;
+  };
+
+  // ---- Drive the experiment ------------------------------------------
+  const SimTime hard_end = cfg.max_workload_time + cfg.propagation_window +
+                           15'000'000'000;
+  RunResult res;
+  while (vm.machine.now() < hard_end) {
+    vm.machine.run_for(1'000'000'000);
+    const SimTime now = vm.machine.now();
+
+    if (res.first_alarm < 0) {
+      for (int c = 0; c < vm.machine.num_vcpus(); ++c) {
+        if (goshd->hang_detect_time(c) > 0) {
+          res.first_alarm = res.first_alarm < 0
+                                ? goshd->hang_detect_time(c)
+                                : std::min(res.first_alarm,
+                                           goshd->hang_detect_time(c));
+        }
+      }
+    }
+    if (res.full_alarm < 0 && goshd->full_hang_time() > 0) {
+      res.full_alarm = goshd->full_hang_time();
+    }
+
+    if (res.full_alarm > 0 && now > res.full_alarm + 2'000'000'000) break;
+    if (res.first_alarm > 0 &&
+        now > res.first_alarm + cfg.propagation_window) {
+      break;
+    }
+    if (res.first_alarm < 0) {
+      const bool workload_over =
+          workload_finite ? (done_count >= done_needed)
+                          : now > cfg.max_workload_time;
+      if (workload_over) {
+        const SimTime grace =
+            plan.activated() || probe_hung_now() ? 10'000'000'000
+                                                 : 4'000'000'000;
+        const SimTime over_at = workload_finite && last_done > 0
+                                    ? last_done
+                                    : cfg.max_workload_time;
+        if (now > over_at + grace) break;
+      }
+    }
+  }
+
+  // ---- Classify -------------------------------------------------------
+  res.activated = plan.activated();
+  res.activation = plan.first_activation();
+  res.probe_hang = probe_hung_now();
+  for (int c = 0; c < vm.machine.num_vcpus(); ++c) {
+    if (goshd->hang_detect_time(c) > 0) ++res.vcpus_hung;
+  }
+
+  if (!res.activated) {
+    res.outcome = Outcome::kNotActivated;
+    // A GOSHD alarm without an armed fault would be a false positive.
+    res.goshd_false_alarm = res.first_alarm > 0;
+    return res;
+  }
+  if (res.first_alarm < 0) {
+    res.outcome =
+        res.probe_hang ? Outcome::kNotDetected : Outcome::kNotManifested;
+    return res;
+  }
+  res.outcome =
+      res.full_alarm > 0 ? Outcome::kFullHang : Outcome::kPartialHang;
+  return res;
+}
+
+}  // namespace hypertap::fi

@@ -1,0 +1,65 @@
+// Fault-injection campaign driver (§VIII-A2): one injection experiment =
+// one freshly booted VM + workload + armed fault + GOSHD, classified into
+// the paper's five outcomes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fi/fault.hpp"
+#include "os/klocation.hpp"
+
+namespace hypertap::fi {
+
+enum class WorkloadKind : u8 { kHanoi, kMakeJ1, kMakeJ2, kHttpd };
+const char* to_string(WorkloadKind w);
+inline constexpr WorkloadKind kAllWorkloads[] = {
+    WorkloadKind::kHanoi, WorkloadKind::kMakeJ1, WorkloadKind::kMakeJ2,
+    WorkloadKind::kHttpd};
+
+/// The five outcomes of §VIII-A2.
+enum class Outcome : u8 {
+  kNotActivated,
+  kNotManifested,
+  kNotDetected,  ///< external probe reports hang, GOSHD silent
+  kPartialHang,
+  kFullHang,
+};
+const char* to_string(Outcome o);
+
+struct RunConfig {
+  WorkloadKind workload = WorkloadKind::kMakeJ2;
+  bool preemptible = false;
+  bool transient = true;
+  u16 location = 0;
+  os::FaultClass fault_class = os::FaultClass::kMissingRelease;
+  u64 seed = 1;
+
+  /// GOSHD threshold: 2x profiled max scheduling timeslice (paper: 4 s).
+  SimTime detect_threshold = 4'000'000'000;
+  /// Hang-propagation observation window after the first alarm. The paper
+  /// watches 10 min; we scale to 45 s of simulated time (hang cascades in
+  /// this kernel play out within seconds — see EXPERIMENTS.md).
+  SimTime propagation_window = 45'000'000'000;
+  /// Cap on the healthy portion of the run.
+  SimTime max_workload_time = 25'000'000'000;
+  /// Guest timer period (coarser than default for campaign throughput).
+  SimTime timer_period = 2'000'000;
+};
+
+struct RunResult {
+  Outcome outcome = Outcome::kNotActivated;
+  bool activated = false;
+  SimTime activation = -1;
+  SimTime first_alarm = -1;  ///< first per-vCPU hang alarm (partial)
+  SimTime full_alarm = -1;   ///< all-vCPUs-hung alarm
+  bool probe_hang = false;
+  bool goshd_false_alarm = false;
+  int vcpus_hung = 0;
+};
+
+/// Execute one injection experiment.
+RunResult run_one(const RunConfig& cfg,
+                  const std::vector<os::KernelLocation>& locations);
+
+}  // namespace hypertap::fi

@@ -1,0 +1,2 @@
+// FaultPlan is header-only; this TU anchors it in the library.
+#include "fi/fault.hpp"

@@ -1,0 +1,53 @@
+// Fault plans: arm one fault at one location, transient or persistent.
+//
+// §VIII-A2: a transient fault activates only the first time its location
+// executes; a persistent fault activates on every execution (and so can
+// hang additional independent threads — the mechanism behind the
+// transient/persistent differences in Fig. 4).
+#pragma once
+
+#include <functional>
+
+#include "os/klocation.hpp"
+#include "util/types.hpp"
+
+namespace hypertap::fi {
+
+using namespace hvsim;
+
+struct FaultSpec {
+  u16 location = 0;
+  os::FaultClass fault_class = os::FaultClass::kMissingRelease;
+  bool transient = true;
+};
+
+class FaultPlan final : public os::LocationHook {
+ public:
+  FaultPlan(FaultSpec spec, std::function<SimTime()> clock)
+      : spec_(spec), clock_(std::move(clock)) {}
+
+  os::FaultClass on_location(u16 location, u32 pid) override {
+    (void)pid;
+    if (location != spec_.location) return os::FaultClass::kNone;
+    ++executions_;
+    if (spec_.transient && activations_ >= 1) return os::FaultClass::kNone;
+    ++activations_;
+    if (first_activation_ < 0 && clock_) first_activation_ = clock_();
+    return spec_.fault_class;
+  }
+
+  const FaultSpec& spec() const { return spec_; }
+  bool activated() const { return activations_ > 0; }
+  u64 activations() const { return activations_; }
+  u64 executions() const { return executions_; }
+  SimTime first_activation() const { return first_activation_; }
+
+ private:
+  FaultSpec spec_;
+  std::function<SimTime()> clock_;
+  u64 executions_ = 0;
+  u64 activations_ = 0;
+  SimTime first_activation_ = -1;
+};
+
+}  // namespace hypertap::fi

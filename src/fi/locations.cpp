@@ -1,0 +1,100 @@
+#include "fi/locations.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace hypertap::fi {
+
+namespace {
+
+/// Skewed pick: a few hot locks take most references (u^2 bias).
+u16 pick_lock(util::Rng& rng, u16 base, u16 size) {
+  const double u = rng.uniform();
+  return base + static_cast<u16>(u * u * size);
+}
+
+/// Dedicated (per-location) lock ids grow upward from here: code paths
+/// guarded by locks nothing else takes — leaks on these produce the
+/// long-lived partial hangs of Fig. 4.
+u16 g_next_private_lock = 200;
+
+void emit(std::vector<os::KernelLocation>& out, util::Rng& rng,
+          os::Subsystem sub, u16 base, u16 size, u32 count) {
+  // Canonical nesting patterns: real kernels take the same ordered lock
+  // pairs from many call sites (inode->page, queue->device, ...). Nested
+  // locations share these pairs, which is what lets one inverted-order
+  // execution (the wrong-order fault) deadlock against a correct one.
+  std::array<std::pair<u16, u16>, 3> pairs;
+  for (auto& p : pairs) {
+    p.first = pick_lock(rng, base, size);
+    p.second = pick_lock(rng, base, size);
+    if (p.second == p.first) p.second = base + (p.second - base + 1) % size;
+  }
+  for (u32 i = 0; i < count; ++i) {
+    os::KernelLocation loc;
+    loc.id = static_cast<u16>(out.size());
+    loc.subsystem = sub;
+    if (rng.chance(0.25)) {
+      // A nested section following one of the subsystem's canonical
+      // lock-ordering patterns.
+      const auto& p = pairs[rng.below(pairs.size())];
+      loc.lock_a = p.first;
+      loc.lock_b = p.second;
+    } else if (rng.chance(0.45) && g_next_private_lock < 511) {
+      loc.lock_a = g_next_private_lock++;  // cold, location-private lock
+    } else {
+      loc.lock_a = pick_lock(rng, base, size);  // shared subsystem lock
+    }
+    // Critical sections 4-70 us, skewed short.
+    loc.cs_cycles = 12'000 + static_cast<Cycles>(rng.exponential(40'000));
+    if (loc.cs_cycles > 210'000) loc.cs_cycles = 210'000;
+    loc.irqs_off = rng.chance(0.12);
+    out.push_back(loc);
+  }
+}
+
+}  // namespace
+
+std::vector<os::KernelLocation> generate_locations(u64 seed) {
+  util::Rng rng(seed);
+  g_next_private_lock = 200;
+  std::vector<os::KernelLocation> out;
+  out.reserve(kNumLocations);
+  emit(out, rng, os::Subsystem::kCore, LockPools::core_base,
+       LockPools::core_size, 120);
+  emit(out, rng, os::Subsystem::kExt3, LockPools::ext3_base,
+       LockPools::ext3_size, 92);
+  emit(out, rng, os::Subsystem::kBlock, LockPools::block_base,
+       LockPools::block_size, 70);
+  emit(out, rng, os::Subsystem::kCharDev, LockPools::char_base,
+       LockPools::char_size, 40);
+  emit(out, rng, os::Subsystem::kNet, LockPools::net_base,
+       LockPools::net_size, 50);
+  // Two probe-only, mutex-like (sleeping-wait) paths: the SSH-server
+  // request path of §VIII-A3's misclassified failures. Contended waiters
+  // sleep, so a leak here wedges the probe without hanging any vCPU.
+  for (u32 i = 0; i < 2; ++i) {
+    os::KernelLocation loc;
+    loc.id = static_cast<u16>(out.size());
+    loc.subsystem = os::Subsystem::kCharDev;
+    loc.lock_a = static_cast<u16>(LockPools::probe_base + i);
+    loc.cs_cycles = 30'000;
+    loc.sleeping_wait = true;
+    out.push_back(loc);
+  }
+  return out;
+}
+
+os::FaultClass default_fault_class(const os::KernelLocation& loc, u64 seed) {
+  util::Rng rng(seed ^ (0x9E37u + loc.id * 0x85EBCA77u));
+  if (loc.irqs_off && rng.chance(0.6)) {
+    return os::FaultClass::kMissingIrqRestore;
+  }
+  if (loc.lock_b >= 0 && rng.chance(0.25)) {
+    return os::FaultClass::kWrongOrder;
+  }
+  return rng.chance(0.7) ? os::FaultClass::kMissingRelease
+                         : os::FaultClass::kMissingPair;
+}
+
+}  // namespace hypertap::fi

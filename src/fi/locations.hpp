@@ -1,0 +1,40 @@
+// Fault-injection location registry.
+//
+// §VIII-A2: 374 injectable locations on the kernel's execution paths,
+// covering core kernel functions and frequently used modules (ext3, char,
+// block — plus the net paths our workloads and the SSH-like probe
+// exercise). Locations share spinlocks within their subsystem (a few hot
+// locks, many cold ones) so that a leaked lock can cascade across
+// unrelated code paths — the propagation dynamics behind partial-vs-full
+// hangs.
+#pragma once
+
+#include <vector>
+
+#include "os/klocation.hpp"
+#include "util/rng.hpp"
+
+namespace hypertap::fi {
+
+using namespace hvsim;
+
+inline constexpr u32 kNumLocations = 374;
+
+/// Lock-id pools per subsystem (within os::LockTable's 256 kernel locks).
+struct LockPools {
+  static constexpr u16 core_base = 0, core_size = 40;
+  static constexpr u16 ext3_base = 40, ext3_size = 40;
+  static constexpr u16 block_base = 80, block_size = 30;
+  static constexpr u16 char_base = 110, char_size = 20;
+  static constexpr u16 net_base = 130, net_size = 30;
+  static constexpr u16 probe_base = 160, probe_size = 2;
+};
+
+/// Deterministically generate the standard 374-location registry.
+std::vector<os::KernelLocation> generate_locations(u64 seed = 2014);
+
+/// Pick a sensible fault class for a location (wrong-order needs a lock
+/// pair, missing-irq-restore needs an irq section), seeded per location.
+os::FaultClass default_fault_class(const os::KernelLocation& loc, u64 seed);
+
+}  // namespace hypertap::fi

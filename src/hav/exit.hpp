@@ -1,0 +1,90 @@
+// VM Exit events — the root-of-trust event source of the whole framework.
+//
+// Table I of the paper maps guest operations to exit reasons:
+//   process switch  -> CR_ACCESS        (CR3 write)
+//   thread switch   -> EPT_VIOLATION    (write-protected TSS page)
+//   int-based syscall -> EXCEPTION      (software interrupt in the bitmap)
+//   fast syscall    -> WRMSR + EPT_VIOLATION (execute-protected entry)
+//   programmed I/O  -> IO_INSTRUCTION
+//   MMIO            -> EPT_VIOLATION
+//   HW interrupt    -> EXTERNAL_INTERRUPT
+//   APIC access     -> APIC_ACCESS
+#pragma once
+
+#include <variant>
+
+#include "arch/ept.hpp"
+#include "util/types.hpp"
+
+namespace hvsim::hav {
+
+enum class ExitReason : u8 {
+  kCrAccess = 0,
+  kException,
+  kWrmsr,
+  kEptViolation,
+  kIoInstruction,
+  kExternalInterrupt,
+  kApicAccess,
+  kHlt,
+  kCount,
+};
+
+const char* to_string(ExitReason r);
+
+struct CrAccessQual {
+  u8 cr = 3;
+  u32 old_value = 0;
+  u32 new_value = 0;
+};
+
+struct ExceptionQual {
+  u8 vector = 0;
+  bool software = false;  ///< true for INT n software interrupts
+};
+
+struct WrmsrQual {
+  u32 index = 0;
+  u64 value = 0;
+};
+
+struct EptViolationQual {
+  arch::Access access = arch::Access::kRead;
+  Gva gva = 0;
+  Gpa gpa = 0;
+  /// For write violations: the value the guest was storing (the hypervisor
+  /// needs it to emulate the store — and the thread-switch interception
+  /// algorithm reads the new RSP0 from it).
+  u64 value = 0;
+  u8 size = 0;
+};
+
+struct IoQual {
+  u16 port = 0;
+  bool is_write = false;
+  u32 value = 0;
+  u8 size = 4;
+};
+
+struct ExtIntQual {
+  u8 vector = 0;
+};
+
+struct ApicAccessQual {
+  u32 offset = 0;
+};
+
+struct HltQual {};
+
+using ExitQual = std::variant<CrAccessQual, ExceptionQual, WrmsrQual,
+                              EptViolationQual, IoQual, ExtIntQual,
+                              ApicAccessQual, HltQual>;
+
+struct Exit {
+  ExitReason reason = ExitReason::kCrAccess;
+  int vcpu_id = 0;
+  SimTime time = 0;
+  ExitQual qual;
+};
+
+}  // namespace hvsim::hav

@@ -1,0 +1,181 @@
+#include "hav/exit_engine.hpp"
+
+namespace hvsim::hav {
+
+const char* to_string(ExitReason r) {
+  switch (r) {
+    case ExitReason::kCrAccess: return "CR_ACCESS";
+    case ExitReason::kException: return "EXCEPTION";
+    case ExitReason::kWrmsr: return "WRMSR";
+    case ExitReason::kEptViolation: return "EPT_VIOLATION";
+    case ExitReason::kIoInstruction: return "IO_INSTRUCTION";
+    case ExitReason::kExternalInterrupt: return "EXTERNAL_INTERRUPT";
+    case ExitReason::kApicAccess: return "APIC_ACCESS";
+    case ExitReason::kHlt: return "HLT";
+    case ExitReason::kCount: break;
+  }
+  return "?";
+}
+
+Cycles ExitCostModel::handler_cost(ExitReason r) const {
+  switch (r) {
+    case ExitReason::kCrAccess: return cr_access;
+    case ExitReason::kException: return exception;
+    case ExitReason::kWrmsr: return wrmsr;
+    case ExitReason::kEptViolation: return ept_violation;
+    case ExitReason::kIoInstruction: return io;
+    case ExitReason::kExternalInterrupt: return external_interrupt;
+    case ExitReason::kApicAccess: return apic_access;
+    case ExitReason::kHlt: return hlt;
+    case ExitReason::kCount: break;
+  }
+  return 0;
+}
+
+ExitEngine::ExitEngine(arch::PhysMem& mem, arch::Ept& ept, int num_vcpus)
+    : mem_(mem), ept_(ept), controls_(num_vcpus), counts_(num_vcpus) {
+  for (auto& c : counts_) c.fill(0);
+}
+
+void ExitEngine::for_all_controls(
+    const std::function<void(VmcsControls&)>& fn) {
+  for (auto& c : controls_) fn(c);
+}
+
+ExitDisposition ExitEngine::raise(arch::Vcpu& vcpu, ExitReason reason,
+                                  ExitQual qual) {
+  vcpu.count_exit();
+  ++counts_.at(vcpu.id())[static_cast<std::size_t>(reason)];
+  vcpu.advance_cycles(costs_.base + costs_.handler_cost(reason));
+  if (sink_ == nullptr) return {};
+  Exit exit;
+  exit.reason = reason;
+  exit.vcpu_id = vcpu.id();
+  exit.time = vcpu.now();
+  exit.qual = std::move(qual);
+  return sink_->on_exit(vcpu, exit);
+}
+
+void ExitEngine::write_cr3(arch::Vcpu& vcpu, u32 value) {
+  if (controls_.at(vcpu.id()).cr3_load_exiting) {
+    raise(vcpu, ExitReason::kCrAccess,
+          CrAccessQual{3, vcpu.regs().cr3, value});
+  }
+  vcpu.regs().cr3 = value;
+}
+
+void ExitEngine::write_tr(arch::Vcpu& vcpu, Gva tss_gva) {
+  vcpu.regs().tr = tss_gva;
+}
+
+void ExitEngine::software_interrupt(arch::Vcpu& vcpu, u8 vector) {
+  if (controls_.at(vcpu.id()).exception_bitmap.test(vector)) {
+    raise(vcpu, ExitReason::kException, ExceptionQual{vector, true});
+  }
+  vcpu.regs().cpl = 0;  // the gate transfers to ring 0
+}
+
+void ExitEngine::wrmsr(arch::Vcpu& vcpu, u32 index, u64 value) {
+  if (controls_.at(vcpu.id()).msr_write_exiting) {
+    raise(vcpu, ExitReason::kWrmsr, WrmsrQual{index, value});
+  }
+  vcpu.msrs().write(index, value);
+}
+
+arch::Translation ExitEngine::translate_or_fault(arch::Vcpu& vcpu,
+                                                 Gva gva) const {
+  const auto t = arch::walk(mem_, vcpu.regs().cr3, gva);
+  if (!t) throw GuestPageFault(gva);
+  return *t;
+}
+
+void ExitEngine::execute_at(arch::Vcpu& vcpu, Gva gva) {
+  const auto t = translate_or_fault(vcpu, gva);
+  vcpu.regs().rip = gva;
+  if (!ept_.check_access(t.gpa, arch::Access::kExecute)) {
+    EptViolationQual q;
+    q.access = arch::Access::kExecute;
+    q.gva = gva;
+    q.gpa = t.gpa;
+    raise(vcpu, ExitReason::kEptViolation, q);
+    // The hypervisor emulates/steps over the protected instruction; guest
+    // execution then proceeds. The protection itself stays armed.
+  }
+}
+
+void ExitEngine::guest_write(arch::Vcpu& vcpu, Gva gva, u64 value, u8 size) {
+  const auto t = translate_or_fault(vcpu, gva);
+  bool commit = true;
+  if (!ept_.check_access(t.gpa, arch::Access::kWrite)) {
+    EptViolationQual q;
+    q.access = arch::Access::kWrite;
+    q.gva = gva;
+    q.gpa = t.gpa;
+    q.value = value;
+    q.size = size;
+    commit = raise(vcpu, ExitReason::kEptViolation, q).commit;
+  }
+  if (!commit) return;
+  switch (size) {
+    case 1: mem_.wr8(t.gpa, static_cast<u8>(value)); break;
+    case 2: mem_.wr16(t.gpa, static_cast<u16>(value)); break;
+    case 4: mem_.wr32(t.gpa, static_cast<u32>(value)); break;
+    case 8: mem_.wr64(t.gpa, value); break;
+    default: throw std::invalid_argument("bad guest_write size");
+  }
+}
+
+u64 ExitEngine::guest_read(arch::Vcpu& vcpu, Gva gva, u8 size) {
+  const auto t = translate_or_fault(vcpu, gva);
+  if (!ept_.check_access(t.gpa, arch::Access::kRead)) {
+    EptViolationQual q;
+    q.access = arch::Access::kRead;
+    q.gva = gva;
+    q.gpa = t.gpa;
+    q.size = size;
+    raise(vcpu, ExitReason::kEptViolation, q);
+  }
+  switch (size) {
+    case 1: return mem_.rd8(t.gpa);
+    case 2: return mem_.rd16(t.gpa);
+    case 4: return mem_.rd32(t.gpa);
+    case 8: return mem_.rd64(t.gpa);
+    default: throw std::invalid_argument("bad guest_read size");
+  }
+}
+
+u32 ExitEngine::io_port(arch::Vcpu& vcpu, u16 port, bool is_write, u32 value,
+                        u8 size) {
+  if (controls_.at(vcpu.id()).io_exiting) {
+    const auto d =
+        raise(vcpu, ExitReason::kIoInstruction, IoQual{port, is_write, value, size});
+    if (!is_write) return d.io_value;
+  }
+  return 0;
+}
+
+void ExitEngine::external_interrupt(arch::Vcpu& vcpu, u8 vector) {
+  if (controls_.at(vcpu.id()).external_interrupt_exiting) {
+    raise(vcpu, ExitReason::kExternalInterrupt, ExtIntQual{vector});
+  }
+}
+
+void ExitEngine::hlt(arch::Vcpu& vcpu) {
+  if (controls_.at(vcpu.id()).hlt_exiting) {
+    raise(vcpu, ExitReason::kHlt, HltQual{});
+  }
+}
+
+void ExitEngine::apic_access(arch::Vcpu& vcpu, u32 offset) {
+  if (controls_.at(vcpu.id()).apic_access_exiting) {
+    raise(vcpu, ExitReason::kApicAccess, ApicAccessQual{offset});
+  }
+}
+
+u64 ExitEngine::total_exit_count(ExitReason r) const {
+  u64 total = 0;
+  for (const auto& c : counts_) total += c[static_cast<std::size_t>(r)];
+  return total;
+}
+
+}  // namespace hvsim::hav

@@ -1,0 +1,143 @@
+// The trap half of trap-and-emulate.
+//
+// The guest kernel model performs every *architectural* operation through
+// this engine: CR3 loads, TR loads, software interrupts, WRMSR, SYSENTER
+// dispatch, guest-virtual memory accesses, port I/O and interrupt delivery.
+// The engine consults the per-vCPU VMCS controls and EPT permissions; when
+// an operation is restricted it synthesizes a VM Exit, charges the
+// calibrated exit cost to the vCPU's clock, and hands the exit to the
+// ExitSink (the hypervisor). Afterwards the operation is completed
+// ("emulated") unless the sink suppressed it.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+
+#include "arch/ept.hpp"
+#include "arch/paging.hpp"
+#include "arch/phys_mem.hpp"
+#include "arch/vcpu.hpp"
+#include "hav/exit.hpp"
+#include "hav/vmcs.hpp"
+
+namespace hvsim::hav {
+
+/// What the exit handler decided about the trapped operation.
+struct ExitDisposition {
+  /// For EPT write violations: false means the hypervisor consumed the
+  /// access itself (e.g. MMIO) and the engine must not commit it to RAM.
+  bool commit = true;
+  /// For IO reads: the value produced by device emulation.
+  u32 io_value = 0;
+};
+
+class ExitSink {
+ public:
+  virtual ~ExitSink() = default;
+  virtual ExitDisposition on_exit(arch::Vcpu& vcpu, const Exit& exit) = 0;
+};
+
+/// Cycle costs of VM Exit round trips, per reason (DESIGN.md §6).
+struct ExitCostModel {
+  Cycles base = 1200;  ///< hardware guest->host->guest transition
+  Cycles cr_access = 500;
+  Cycles exception = 600;
+  Cycles wrmsr = 400;
+  Cycles ept_violation = 1600;
+  Cycles io = 3000;
+  Cycles external_interrupt = 800;
+  Cycles apic_access = 700;
+  Cycles hlt = 300;
+
+  Cycles handler_cost(ExitReason r) const;
+};
+
+/// Raised when the guest touches an unmapped GVA — a guest-level fault the
+/// miniature kernel never commits (it would be a kernel bug), so it is a
+/// hard error in the simulation.
+struct GuestPageFault : std::runtime_error {
+  explicit GuestPageFault(Gva va)
+      : std::runtime_error("guest page fault"), gva(va) {}
+  Gva gva;
+};
+
+class ExitEngine {
+ public:
+  ExitEngine(arch::PhysMem& mem, arch::Ept& ept, int num_vcpus);
+
+  void set_sink(ExitSink* sink) { sink_ = sink; }
+
+  VmcsControls& controls(int vcpu_id) { return controls_.at(vcpu_id); }
+  const VmcsControls& controls(int vcpu_id) const {
+    return controls_.at(vcpu_id);
+  }
+  /// Apply `fn` to every vCPU's controls (monitors configure all alike).
+  void for_all_controls(const std::function<void(VmcsControls&)>& fn);
+
+  ExitCostModel& costs() { return costs_; }
+
+  // --- Architectural operations performed by the guest ------------------
+
+  /// MOV CR3, value (process switch).
+  void write_cr3(arch::Vcpu& vcpu, u32 value);
+
+  /// LTR — load task register (TSS relocation; no exit in the base model,
+  /// the TSS-integrity auditor detects it from saved state instead).
+  void write_tr(arch::Vcpu& vcpu, Gva tss_gva);
+
+  /// INT n.
+  void software_interrupt(arch::Vcpu& vcpu, u8 vector);
+
+  /// WRMSR.
+  void wrmsr(arch::Vcpu& vcpu, u32 index, u64 value);
+
+  /// Instruction fetch at `gva` (used for SYSENTER target dispatch).
+  void execute_at(arch::Vcpu& vcpu, Gva gva);
+
+  /// Guest-virtual memory write of `size` bytes (1/2/4/8).
+  void guest_write(arch::Vcpu& vcpu, Gva gva, u64 value, u8 size);
+
+  /// Guest-virtual memory read of `size` bytes.
+  u64 guest_read(arch::Vcpu& vcpu, Gva gva, u8 size);
+
+  /// IN/OUT. For reads, returns the device-provided value.
+  u32 io_port(arch::Vcpu& vcpu, u16 port, bool is_write, u32 value, u8 size);
+
+  /// Hardware interrupt arrival while the vCPU is in guest mode.
+  void external_interrupt(arch::Vcpu& vcpu, u8 vector);
+
+  /// HLT from the guest idle loop.
+  void hlt(arch::Vcpu& vcpu);
+
+  /// Guest access to the virtual-APIC page (e.g. the EOI write at the end
+  /// of an interrupt service routine).
+  void apic_access(arch::Vcpu& vcpu, u32 offset);
+
+  // --- Introspection helpers (host-side, no exits, no guest cost) -------
+
+  /// Translate using an explicit PDBA (the paper's gva_to_gpa helper).
+  std::optional<arch::Translation> translate(Gpa pdba, Gva gva) const {
+    return arch::walk(mem_, pdba, gva);
+  }
+
+  u64 exit_count(int vcpu_id, ExitReason r) const {
+    return counts_.at(vcpu_id)[static_cast<std::size_t>(r)];
+  }
+  u64 total_exit_count(ExitReason r) const;
+
+ private:
+  ExitDisposition raise(arch::Vcpu& vcpu, ExitReason reason, ExitQual qual);
+  arch::Translation translate_or_fault(arch::Vcpu& vcpu, Gva gva) const;
+
+  arch::PhysMem& mem_;
+  arch::Ept& ept_;
+  ExitSink* sink_ = nullptr;
+  ExitCostModel costs_;
+  std::vector<VmcsControls> controls_;
+  std::vector<std::array<u64, static_cast<std::size_t>(ExitReason::kCount)>>
+      counts_;
+};
+
+}  // namespace hvsim::hav

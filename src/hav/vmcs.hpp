@@ -1,0 +1,33 @@
+// VMCS-like execution controls: which guest operations cause VM Exits.
+//
+// HyperTap programs these per the union of events its registered auditors
+// need; everything else runs exit-free, which is where the low overhead of
+// selective monitoring comes from.
+#pragma once
+
+#include <bitset>
+
+#include "util/types.hpp"
+
+namespace hvsim::hav {
+
+struct VmcsControls {
+  /// MOV-to-CR3 causes CR_ACCESS exits (process-switch interception).
+  bool cr3_load_exiting = false;
+  /// Software interrupt vectors that cause EXCEPTION exits
+  /// (Intel VT-x EXCEPTION_BITMAP; int-based syscall interception).
+  std::bitset<256> exception_bitmap;
+  /// WRMSR causes WRMSR exits (fast-syscall entry discovery).
+  bool msr_write_exiting = false;
+  /// IN/OUT cause IO_INSTRUCTION exits. Unconditionally on in real
+  /// hypervisors that emulate devices; kept on by default.
+  bool io_exiting = true;
+  /// Hardware interrupts cause EXTERNAL_INTERRUPT exits.
+  bool external_interrupt_exiting = true;
+  /// HLT causes exits (lets the host reclaim an idle core).
+  bool hlt_exiting = true;
+  /// Accesses to the virtual-APIC page cause APIC_ACCESS exits.
+  bool apic_access_exiting = false;
+};
+
+}  // namespace hvsim::hav

@@ -1,0 +1,68 @@
+// Interfaces between the host machine, the hypervisor and the guest OS.
+//
+// hv::Machine drives execution; the guest kernel implements GuestOs and is
+// stepped by the machine; host-side components (device models, monitors,
+// the fault-injection campaign) use HostServices to schedule work in
+// simulated time.
+#pragma once
+
+#include <functional>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace hvsim::hv {
+
+/// Interrupt vectors used by the simulated platform.
+inline constexpr u8 TIMER_VECTOR = 0x20;
+inline constexpr u8 DISK_VECTOR = 0x21;
+inline constexpr u8 NET_VECTOR = 0x22;
+
+/// I/O ports of the simulated devices.
+inline constexpr u16 PORT_CONSOLE = 0x3F8;
+inline constexpr u16 PORT_DISK_CMD = 0x1F0;
+inline constexpr u16 PORT_NET_TX = 0x2F0;
+
+/// Host-side services available to device models and monitors.
+class HostServices {
+ public:
+  virtual ~HostServices() = default;
+
+  /// Host wall-clock in simulated nanoseconds (the minimum across vCPUs,
+  /// i.e. no scheduled callback runs "in the past" of any later step).
+  virtual SimTime now() const = 0;
+
+  /// Run `fn` once at simulated time `at` (clamped to now()).
+  virtual void schedule(SimTime at, std::function<void()> fn) = 0;
+
+  /// Queue a hardware interrupt for a vCPU; it is delivered (as an
+  /// EXTERNAL_INTERRUPT VM Exit followed by the guest ISR) the next time
+  /// that vCPU steps with interrupts enabled.
+  virtual void raise_irq(int vcpu, u8 vector) = 0;
+
+  /// The machine's deterministic random source.
+  virtual util::Rng& rng() = 0;
+};
+
+/// What the machine needs from the guest operating system.
+class GuestOs {
+ public:
+  virtual ~GuestOs() = default;
+
+  /// Advance vCPU `cpu` by up to `budget` nanoseconds of guest execution.
+  /// Must consume at least some time (idle guests execute HLT).
+  virtual void step_vcpu(int cpu, SimTime budget) = 0;
+
+  /// Timer-interrupt service routine (invoked after the external-interrupt
+  /// VM Exit has been delivered and accounted).
+  virtual void timer_tick(int cpu) = 0;
+
+  /// Device-interrupt service routine.
+  virtual void handle_irq(int cpu, u8 vector) = 0;
+
+  /// True when the guest scheduler on `cpu` would make forward progress if
+  /// stepped (used only for simulation fast-forwarding decisions).
+  virtual bool cpu_idle(int cpu) const = 0;
+};
+
+}  // namespace hvsim::hv

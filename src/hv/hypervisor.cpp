@@ -1,0 +1,133 @@
+#include "hv/hypervisor.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace hvsim::hv {
+
+Hypervisor::Hypervisor(arch::PhysMem& mem, arch::Ept& ept,
+                       hav::ExitEngine& engine,
+                       std::vector<arch::Vcpu*> vcpus)
+    : mem_(mem), ept_(ept), engine_(engine), vcpus_(std::move(vcpus)) {}
+
+void Hypervisor::add_mmio_region(Gpa base, u32 size) {
+  mmio_.push_back({base, size});
+  for (Gpa p = page_base(base); p < base + size; p += PAGE_SIZE) {
+    ept_.set(p, arch::EptPerm{false, false, false});
+  }
+}
+
+bool Hypervisor::in_mmio(Gpa gpa) const {
+  return std::any_of(mmio_.begin(), mmio_.end(), [gpa](const MmioRegion& r) {
+    return gpa >= r.base && gpa < r.base + r.size;
+  });
+}
+
+void Hypervisor::protect_writes(Gpa base, u32 size) {
+  write_denied_.push_back({base, size});
+  for (Gpa p = page_base(base); p < base + size; p += PAGE_SIZE) {
+    ept_.write_protect(p, true);
+  }
+}
+
+void Hypervisor::unprotect_writes(Gpa base, u32 size) {
+  std::erase_if(write_denied_, [base, size](const MmioRegion& r) {
+    return r.base == base && r.size == size;
+  });
+  // Lift the EPT protection only for pages no longer covered by any
+  // remaining denied region.
+  for (Gpa p = page_base(base); p < base + size; p += PAGE_SIZE) {
+    const bool still = std::any_of(
+        write_denied_.begin(), write_denied_.end(),
+        [p](const MmioRegion& r) {
+          return p + PAGE_SIZE > page_base(r.base) && p < r.base + r.size;
+        });
+    if (!still) ept_.write_protect(p, false);
+  }
+}
+
+void Hypervisor::add_observer(ExitObserver* obs) { observers_.push_back(obs); }
+
+void Hypervisor::remove_observer(ExitObserver* obs) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), obs),
+                   observers_.end());
+}
+
+hav::ExitDisposition Hypervisor::on_exit(arch::Vcpu& vcpu,
+                                         const hav::Exit& exit) {
+  hav::ExitDisposition disp;
+  switch (exit.reason) {
+    case hav::ExitReason::kIoInstruction: {
+      const auto& q = std::get<hav::IoQual>(exit.qual);
+      if (backend_ != nullptr) {
+        if (q.is_write) {
+          backend_->io_write(vcpu.id(), q.port, q.value, q.size);
+        } else {
+          disp.io_value = backend_->io_read(vcpu.id(), q.port, q.size);
+        }
+      }
+      break;
+    }
+    case hav::ExitReason::kEptViolation: {
+      const auto& q = std::get<hav::EptViolationQual>(exit.qual);
+      if (q.access == arch::Access::kWrite && in_mmio(q.gpa)) {
+        if (backend_ != nullptr)
+          backend_->mmio_write(vcpu.id(), q.gpa, q.value, q.size);
+        disp.commit = false;  // device consumed the store
+      } else if (q.access == arch::Access::kWrite &&
+                 std::any_of(write_denied_.begin(), write_denied_.end(),
+                             [&q](const MmioRegion& r) {
+                               return q.gpa >= r.base &&
+                                      q.gpa < r.base + r.size;
+                             })) {
+        // Active protection: refuse to emulate the tampering store.
+        disp.commit = false;
+        ++writes_denied_;
+      }
+      // Monitored RAM pages (e.g. write-protected TSS): the hypervisor
+      // emulates the store — disp.commit stays true and the engine commits.
+      break;
+    }
+    default:
+      break;
+  }
+  for (ExitObserver* obs : observers_) obs->on_vm_exit(vcpu, exit);
+  return disp;
+}
+
+std::optional<Gpa> Hypervisor::gva_to_gpa(Gpa pdba, Gva gva) const {
+  const auto t = arch::walk(mem_, pdba, gva);
+  if (!t) return std::nullopt;
+  return t->gpa;
+}
+
+std::optional<u64> Hypervisor::read_guest(Gpa pdba, Gva gva, u8 size) const {
+  const auto gpa = gva_to_gpa(pdba, gva);
+  if (!gpa) return std::nullopt;
+  switch (size) {
+    case 1: return mem_.rd8(*gpa);
+    case 2: return mem_.rd16(*gpa);
+    case 4: return mem_.rd32(*gpa);
+    case 8: return mem_.rd64(*gpa);
+    default: return std::nullopt;
+  }
+}
+
+bool Hypervisor::write_guest(Gpa pdba, Gva gva, u64 value, u8 size) {
+  const auto gpa = gva_to_gpa(pdba, gva);
+  if (!gpa) return false;
+  switch (size) {
+    case 1: mem_.wr8(*gpa, static_cast<u8>(value)); return true;
+    case 2: mem_.wr16(*gpa, static_cast<u16>(value)); return true;
+    case 4: mem_.wr32(*gpa, static_cast<u32>(value)); return true;
+    case 8: mem_.wr64(*gpa, value); return true;
+    default: return false;
+  }
+}
+
+void Hypervisor::pause_guest(SimTime duration) {
+  if (controller_ != nullptr) controller_->pause_guest(duration);
+}
+
+}  // namespace hvsim::hv

@@ -1,0 +1,120 @@
+// The KVM-like hypervisor: exit handling, device routing, and the Helper
+// APIs the paper's Event Forwarder exports to auditors (guest register
+// access, gva_to_gpa translation, guest memory reads, VM pause/resume).
+//
+// HyperTap's Event Forwarder registers here as an ExitObserver — the
+// simulation analogue of the <100-line KVM patch described in §V-C.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "arch/ept.hpp"
+#include "arch/paging.hpp"
+#include "arch/phys_mem.hpp"
+#include "arch/vcpu.hpp"
+#include "hav/exit_engine.hpp"
+
+namespace hvsim::hv {
+
+/// Device emulation backend (implemented by hv::Machine's device hub).
+class DeviceBackend {
+ public:
+  virtual ~DeviceBackend() = default;
+  virtual void io_write(int vcpu, u16 port, u32 value, u8 size) = 0;
+  virtual u32 io_read(int vcpu, u16 port, u8 size) = 0;
+  virtual void mmio_write(int vcpu, Gpa gpa, u64 value, u8 size) = 0;
+};
+
+/// Observer of VM Exit events. Called after the hypervisor's own handling,
+/// with full access to the vCPU state captured at the exit.
+class ExitObserver {
+ public:
+  virtual ~ExitObserver() = default;
+  virtual void on_vm_exit(arch::Vcpu& vcpu, const hav::Exit& exit) = 0;
+};
+
+/// Control interface the hypervisor offers auditors (pause/resume the VM).
+class VmController {
+ public:
+  virtual ~VmController() = default;
+  /// Freeze all vCPUs for `duration` of simulated time.
+  virtual void pause_guest(SimTime duration) = 0;
+};
+
+class Hypervisor final : public hav::ExitSink {
+ public:
+  Hypervisor(arch::PhysMem& mem, arch::Ept& ept, hav::ExitEngine& engine,
+             std::vector<arch::Vcpu*> vcpus);
+
+  void set_device_backend(DeviceBackend* backend) { backend_ = backend; }
+  void set_vm_controller(VmController* controller) {
+    controller_ = controller;
+  }
+
+  /// Declare [base, base+size) as an MMIO window: reads/writes are routed
+  /// to the device backend instead of RAM, and its EPT permissions are
+  /// cleared so every access traps.
+  void add_mmio_region(Gpa base, u32 size);
+
+  /// Active protection (§VII-D's runtime-checking integration): guest
+  /// stores into [base, base+size) are trapped via EPT write-protection
+  /// AND refused — the hypervisor declines to emulate them, so the guest
+  /// state is never corrupted. Observers still see the attempt.
+  void protect_writes(Gpa base, u32 size);
+  void unprotect_writes(Gpa base, u32 size);
+  u64 writes_denied() const { return writes_denied_; }
+
+  void add_observer(ExitObserver* obs);
+  void remove_observer(ExitObserver* obs);
+
+  // hav::ExitSink
+  hav::ExitDisposition on_exit(arch::Vcpu& vcpu, const hav::Exit& exit) override;
+
+  // ------------------- Helper APIs (paper §V-C) -------------------------
+
+  int num_vcpus() const { return static_cast<int>(vcpus_.size()); }
+  arch::Vcpu& vcpu(int id) { return *vcpus_.at(id); }
+  const arch::Vcpu& vcpu(int id) const { return *vcpus_.at(id); }
+
+  /// Translate a guest virtual address under an explicit page-directory
+  /// base. Returns nullopt for UNMAPPED_GVA.
+  std::optional<Gpa> gva_to_gpa(Gpa pdba, Gva gva) const;
+
+  /// Read guest memory through a page walk (1/2/4/8 bytes). Host-side:
+  /// produces no VM Exits and charges no guest time.
+  std::optional<u64> read_guest(Gpa pdba, Gva gva, u8 size) const;
+
+  /// Write guest memory through a page walk (used by attack simulations —
+  /// e.g. kmem-style patching — and test fixtures).
+  bool write_guest(Gpa pdba, Gva gva, u64 value, u8 size);
+
+  arch::PhysMem& phys_mem() { return mem_; }
+  const arch::PhysMem& phys_mem() const { return mem_; }
+  arch::Ept& ept() { return ept_; }
+  hav::ExitEngine& engine() { return engine_; }
+
+  /// Pause every vCPU for `duration` (blocking auditor analysis, §V-B).
+  void pause_guest(SimTime duration);
+
+ private:
+  bool in_mmio(Gpa gpa) const;
+
+  arch::PhysMem& mem_;
+  arch::Ept& ept_;
+  hav::ExitEngine& engine_;
+  std::vector<arch::Vcpu*> vcpus_;
+  DeviceBackend* backend_ = nullptr;
+  VmController* controller_ = nullptr;
+  std::vector<ExitObserver*> observers_;
+  struct MmioRegion {
+    Gpa base;
+    u32 size;
+  };
+  std::vector<MmioRegion> mmio_;
+  std::vector<MmioRegion> write_denied_;
+  u64 writes_denied_ = 0;
+};
+
+}  // namespace hvsim::hv

@@ -1,0 +1,188 @@
+#include "hv/machine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace hvsim::hv {
+
+Machine::Machine(MachineConfig cfg)
+    : cfg_(cfg),
+      mem_(cfg.phys_mem_bytes),
+      ept_(static_cast<u32>(cfg.phys_mem_bytes >> PAGE_SHIFT)),
+      engine_(mem_, ept_, cfg.num_vcpus),
+      rng_(cfg.seed),
+      pending_irqs_(cfg.num_vcpus),
+      next_timer_(cfg.num_vcpus, cfg.timer_period) {
+  if (cfg.num_vcpus < 1) throw std::invalid_argument("need >= 1 vCPU");
+  vcpus_.reserve(cfg.num_vcpus);
+  std::vector<arch::Vcpu*> raw;
+  for (int i = 0; i < cfg.num_vcpus; ++i) {
+    vcpus_.push_back(std::make_unique<arch::Vcpu>(i));
+    raw.push_back(vcpus_.back().get());
+  }
+  hypervisor_ = std::make_unique<Hypervisor>(mem_, ept_, engine_, raw);
+  hypervisor_->set_device_backend(this);
+  hypervisor_->set_vm_controller(this);
+  engine_.set_sink(hypervisor_.get());
+
+  mmio_base_ = static_cast<Gpa>(cfg.phys_mem_bytes - cfg.mmio_window);
+  hypervisor_->add_mmio_region(mmio_base_, cfg.mmio_window);
+}
+
+Machine::~Machine() = default;
+
+SimTime Machine::now() const {
+  SimTime t = vcpus_.front()->now();
+  for (const auto& v : vcpus_) t = std::min(t, v->now());
+  return std::max(t, host_now_);
+}
+
+int Machine::min_time_vcpu() const {
+  int best = 0;
+  for (int i = 1; i < num_vcpus(); ++i) {
+    if (vcpus_[i]->now() < vcpus_[best]->now()) best = i;
+  }
+  return best;
+}
+
+void Machine::schedule(SimTime at, std::function<void()> fn) {
+  host_events_.push(HostEvent{std::max(at, host_now_), event_seq_++,
+                              std::move(fn)});
+}
+
+void Machine::schedule_every(SimTime period, std::function<bool()> fn) {
+  // Self-rescheduling closure; stops when the callback returns false.
+  auto shared = std::make_shared<std::function<bool()>>(std::move(fn));
+  schedule(now() + period, [this, period, shared]() {
+    if (!(*shared)()) return;
+    schedule_every(period, *shared);
+  });
+}
+
+void Machine::raise_irq(int vcpu, u8 vector) {
+  pending_irqs_.at(vcpu).push_back(vector);
+}
+
+void Machine::drain_host_events(SimTime up_to) {
+  while (!host_events_.empty() && host_events_.top().at <= up_to && !stop_) {
+    HostEvent ev = host_events_.top();
+    host_events_.pop();
+    host_now_ = std::max(host_now_, ev.at);
+    ev.fn();
+  }
+}
+
+void Machine::step() {
+  const int cpu = min_time_vcpu();
+  arch::Vcpu& v = *vcpus_[cpu];
+  const SimTime t = v.now();
+
+  drain_host_events(t);
+  if (stop_) return;
+  host_now_ = std::max(host_now_, t);
+
+  // Pending device interrupts first (if the guest will take them).
+  auto& pending = pending_irqs_[cpu];
+  if (!pending.empty() && v.regs().interrupts_enabled) {
+    const u8 vec = pending.front();
+    pending.erase(pending.begin());
+    ++irqs_delivered_;
+    engine_.external_interrupt(v, vec);
+    if (guest_ != nullptr) {
+      if (vec == TIMER_VECTOR) {
+        guest_->timer_tick(cpu);
+      } else {
+        guest_->handle_irq(cpu, vec);
+      }
+    }
+    if (v.now() == t) v.advance(1'000);  // forward progress guarantee
+    return;
+  }
+
+  // Platform timer.
+  if (t >= next_timer_[cpu]) {
+    next_timer_[cpu] = t + cfg_.timer_period;
+    if (v.regs().interrupts_enabled) {
+      ++irqs_delivered_;
+      engine_.external_interrupt(v, TIMER_VECTOR);
+      if (guest_ != nullptr) guest_->timer_tick(cpu);
+      if (v.now() == t) v.advance(1'000);
+      return;
+    }
+    // Interrupts masked: the tick is lost (this is exactly how a
+    // missing-irq-restore fault starves the scheduler).
+  }
+
+  SimTime budget = std::min(next_timer_[cpu] - v.now(), cfg_.max_step);
+  // Don't let an idle (HLT-ing) or compute-bound vCPU sail past the next
+  // host event: device completions must be able to interrupt promptly.
+  if (!host_events_.empty()) {
+    budget = std::min(budget,
+                      std::max<SimTime>(host_events_.top().at - t, 1'000));
+  }
+  if (guest_ != nullptr) {
+    guest_->step_vcpu(cpu, budget);
+  }
+  if (v.now() == t) v.advance(budget);  // never let time stall
+}
+
+bool Machine::run_until(SimTime t_end) {
+  while (!stop_) {
+    const int cpu = min_time_vcpu();
+    if (vcpus_[cpu]->now() >= t_end) break;
+    step();
+  }
+  if (!stop_) drain_host_events(t_end);
+  host_now_ = std::max(host_now_, stop_ ? host_now_ : t_end);
+  return !stop_;
+}
+
+void Machine::io_write(int vcpu, u16 port, u32 value, u8 size) {
+  (void)size;
+  switch (port) {
+    case PORT_CONSOLE:
+      HVSIM_DEBUG("console[" << vcpu << "]: " << value);
+      break;
+    case PORT_DISK_CMD: {
+      // value encodes the transfer size in bytes; completion raises the
+      // disk IRQ on vCPU 0 (typical single-queue routing).
+      const SimTime latency =
+          cfg_.disk_base_latency +
+          cfg_.disk_per_kib * ((value + 1023) / 1024);
+      const SimTime start = std::max(now(), disk_busy_until_);
+      disk_busy_until_ = start + latency;
+      schedule(disk_busy_until_, [this]() { raise_irq(0, DISK_VECTOR); });
+      break;
+    }
+    case PORT_NET_TX:
+      for (const auto& sink : net_tx_) sink(vcpu, value);
+      break;
+    default:
+      break;
+  }
+}
+
+u32 Machine::io_read(int vcpu, u16 port, u8 size) {
+  (void)vcpu;
+  (void)port;
+  (void)size;
+  return 0;
+}
+
+void Machine::mmio_write(int vcpu, Gpa gpa, u64 value, u8 size) {
+  (void)size;
+  // The MMIO window doubles as a doorbell-style NIC: writes transmit.
+  if (gpa < mmio_base_) return;
+  for (const auto& sink : net_tx_) sink(vcpu, static_cast<u32>(value));
+}
+
+void Machine::pause_guest(SimTime duration) {
+  const SimTime resume_at = now() + duration;
+  for (auto& v : vcpus_) {
+    if (v->now() < resume_at) v->set_now(resume_at);
+  }
+}
+
+}  // namespace hvsim::hv

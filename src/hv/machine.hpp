@@ -1,0 +1,149 @@
+// The simulated host machine: guest physical memory, EPT, vCPUs, the exit
+// engine, the hypervisor, platform devices (timer, disk, NIC, console) and
+// the deterministic discrete-event execution loop.
+//
+// Execution model: each vCPU carries its own local simulated clock; the
+// machine always steps the vCPU with the smallest local time, delivering
+// due host events (device completions, monitor timers, attack drivers)
+// first. Host-event skew relative to other vCPUs is bounded by the maximum
+// step quantum (default: one timer period).
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "arch/ept.hpp"
+#include "arch/phys_mem.hpp"
+#include "arch/vcpu.hpp"
+#include "hav/exit_engine.hpp"
+#include "hv/host_services.hpp"
+#include "hv/hypervisor.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace hvsim::hv {
+
+struct MachineConfig {
+  int num_vcpus = 2;
+  std::size_t phys_mem_bytes = 64ull << 20;  ///< 64 MiB guest RAM
+  /// Guest timer-interrupt period (per vCPU).
+  SimTime timer_period = 1'000'000;  // 1 ms
+  /// Maximum guest-execution quantum per step.
+  SimTime max_step = 1'000'000;  // 1 ms
+  u64 seed = 42;
+  /// Disk service time: base + per-KiB transfer cost.
+  SimTime disk_base_latency = 25'000;  // 25 us
+  SimTime disk_per_kib = 3'000;        // 3 us/KiB
+  /// Size of the MMIO window carved from the top of the GPA space.
+  u32 mmio_window = 1u << 20;
+};
+
+class Machine final : public HostServices,
+                      public DeviceBackend,
+                      public VmController {
+ public:
+  explicit Machine(MachineConfig cfg = {});
+  ~Machine() override;
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const MachineConfig& config() const { return cfg_; }
+  arch::PhysMem& mem() { return mem_; }
+  arch::Ept& ept() { return ept_; }
+  hav::ExitEngine& engine() { return engine_; }
+  Hypervisor& hypervisor() { return *hypervisor_; }
+  const Hypervisor& hypervisor() const { return *hypervisor_; }
+  int num_vcpus() const { return static_cast<int>(vcpus_.size()); }
+  arch::Vcpu& vcpu(int id) { return *vcpus_.at(id); }
+
+  Gpa mmio_base() const { return mmio_base_; }
+
+  void set_guest(GuestOs* guest) { guest_ = guest; }
+
+  /// Run the machine until simulated time `t_end` (absolute).
+  /// Returns false if stopped early via request_stop().
+  bool run_until(SimTime t_end);
+  /// Run for `dt` more simulated nanoseconds.
+  bool run_for(SimTime dt) { return run_until(now() + dt); }
+
+  void request_stop() { stop_ = true; }
+  void clear_stop() { stop_ = false; }
+
+  /// Register a sink for guest network transmissions (heartbeat
+  /// receivers, the HTTP load generator's response path, probes, ...).
+  /// Every sink sees every transmitted value.
+  void add_net_tx_sink(std::function<void(int vcpu, u32 value)> sink) {
+    net_tx_.push_back(std::move(sink));
+  }
+
+  // HostServices
+  SimTime now() const override;
+  void schedule(SimTime at, std::function<void()> fn) override;
+  void raise_irq(int vcpu, u8 vector) override;
+  util::Rng& rng() override { return rng_; }
+
+  /// Convenience: run `fn` every `period`, starting at now()+period, until
+  /// the machine is destroyed or `fn` returns false.
+  void schedule_every(SimTime period, std::function<bool()> fn);
+
+  // DeviceBackend
+  void io_write(int vcpu, u16 port, u32 value, u8 size) override;
+  u32 io_read(int vcpu, u16 port, u8 size) override;
+  void mmio_write(int vcpu, Gpa gpa, u64 value, u8 size) override;
+
+  // VmController
+  void pause_guest(SimTime duration) override;
+
+  /// Total external-interrupt deliveries (diagnostics).
+  u64 irqs_delivered() const { return irqs_delivered_; }
+
+  /// Earliest pending host event (guest idle loops stop there so device
+  /// completions interrupt promptly); max SimTime when none pending.
+  SimTime next_host_event_at() const {
+    return host_events_.empty()
+               ? std::numeric_limits<SimTime>::max()
+               : host_events_.top().at;
+  }
+
+ private:
+  void step();
+  int min_time_vcpu() const;
+  void drain_host_events(SimTime up_to);
+
+  struct HostEvent {
+    SimTime at;
+    u64 seq;
+    std::function<void()> fn;
+    bool operator>(const HostEvent& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  MachineConfig cfg_;
+  arch::PhysMem mem_;
+  arch::Ept ept_;
+  std::vector<std::unique_ptr<arch::Vcpu>> vcpus_;
+  hav::ExitEngine engine_;
+  std::unique_ptr<Hypervisor> hypervisor_;
+  GuestOs* guest_ = nullptr;
+  util::Rng rng_;
+
+  std::priority_queue<HostEvent, std::vector<HostEvent>, std::greater<>>
+      host_events_;
+  u64 event_seq_ = 0;
+  SimTime host_now_ = 0;
+  std::vector<std::vector<u8>> pending_irqs_;
+  std::vector<SimTime> next_timer_;
+  bool stop_ = false;
+
+  std::vector<std::function<void(int, u32)>> net_tx_;
+  SimTime disk_busy_until_ = 0;
+  Gpa mmio_base_ = 0;
+  u64 irqs_delivered_ = 0;
+};
+
+}  // namespace hvsim::hv

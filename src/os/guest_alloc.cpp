@@ -1,0 +1,93 @@
+#include "os/guest_alloc.hpp"
+
+namespace hvsim::os {
+namespace {
+constexpr u32 kClasses[] = {32, 64, 128, 256, 512, 1024, 2048, 4096};
+constexpr u32 kNumClasses = 8;
+}  // namespace
+
+FrameAllocator::FrameAllocator(arch::PhysMem& mem, Gpa start, Gpa end)
+    : mem_(mem), bump_(page_base(start + PAGE_MASK)), end_(page_base(end)) {
+  if (bump_ >= end_) throw std::invalid_argument("empty frame region");
+}
+
+Gpa FrameAllocator::alloc() {
+  ++in_use_;
+  if (!free_list_.empty()) {
+    const Gpa f = free_list_.back();
+    free_list_.pop_back();
+    return f;  // zeroed at free time
+  }
+  if (bump_ + PAGE_SIZE > end_) throw std::bad_alloc();
+  const Gpa f = bump_;
+  bump_ += PAGE_SIZE;
+  return f;
+}
+
+Gpa FrameAllocator::alloc_contiguous(u32 n, u32 align_pages) {
+  if (n == 2 && align_pages == 2 && !free_stacks_.empty()) {
+    const Gpa f = free_stacks_.back();
+    free_stacks_.pop_back();
+    in_use_ += n;
+    return f;
+  }
+  const u32 align = align_pages * PAGE_SIZE;
+  const Gpa base = (bump_ + align - 1) / align * align;
+  // Return any skipped frames to the free list rather than leaking them.
+  for (Gpa f = bump_; f < base; f += PAGE_SIZE) free_list_.push_back(f);
+  if (base + n * PAGE_SIZE > end_) throw std::bad_alloc();
+  bump_ = base + n * PAGE_SIZE;
+  in_use_ += n;
+  return base;
+}
+
+void FrameAllocator::free(Gpa frame) {
+  mem_.zero_page(frame);
+  free_list_.push_back(frame);
+  --in_use_;
+}
+
+void FrameAllocator::free_contiguous(Gpa base, u32 n) {
+  for (u32 i = 0; i < n; ++i) mem_.zero_page(base + i * PAGE_SIZE);
+  if (n == 2 && (base % (2 * PAGE_SIZE)) == 0) {
+    free_stacks_.push_back(base);
+  } else {
+    for (u32 i = 0; i < n; ++i) free_list_.push_back(base + i * PAGE_SIZE);
+  }
+  in_use_ -= n;
+}
+
+KernelHeap::KernelHeap(FrameAllocator& frames, arch::PhysMem& mem)
+    : frames_(frames), mem_(mem), free_lists_(kNumClasses) {}
+
+Gpa KernelHeap::kmalloc(u32 size) {
+  const u32 cls = size_class(size);
+  auto& list = free_lists_[cls];
+  if (list.empty()) {
+    const Gpa frame = frames_.alloc();
+    const u32 obj = kClasses[cls];
+    for (u32 off = 0; off + obj <= PAGE_SIZE; off += obj)
+      list.push_back(frame + off);
+  }
+  const Gpa g = list.back();
+  list.pop_back();
+  // Scrub: reused objects must come back zeroed, like fresh frames.
+  std::vector<u8> zeros(kClasses[cls], 0);
+  mem_.write_bytes(g, zeros.data(), zeros.size());
+  ++live_;
+  return g;
+}
+
+void KernelHeap::kfree(Gpa gpa, u32 size) {
+  free_lists_[size_class(size)].push_back(gpa);
+  --live_;
+}
+
+u32 KernelHeap::size_class(u32 size) {
+  for (u32 i = 0; i < kNumClasses; ++i) {
+    if (size <= kClasses[i]) return i;
+  }
+  throw std::invalid_argument("kmalloc size too large");
+}
+
+}  // namespace hvsim::os

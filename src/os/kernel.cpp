@@ -1,0 +1,547 @@
+// Kernel core: construction, boot, process lifecycle, guest-memory task
+// list maintenance, interrupt service routines, and the GuestOs stepping
+// entry points. Scheduling lives in sched.cpp, syscalls in syscalls.cpp,
+// /proc walking in procfs.cpp.
+#include "os/kernel.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "arch/paging.hpp"
+#include "arch/tss.hpp"
+#include "util/log.hpp"
+
+namespace hvsim::os {
+
+namespace {
+
+/// Background housekeeping thread: wakes periodically, does a little work
+/// (occasionally through an instrumented core-kernel path), sleeps again.
+/// Its cadence guarantees that a healthy vCPU context-switches at least
+/// every ~1.3 s, well inside GOSHD's 4 s threshold.
+class KworkerWorkload final : public Workload {
+ public:
+  KworkerWorkload(const Kernel* kernel, SimTime period, u64 seed)
+      : kernel_(kernel), period_us_(static_cast<u32>(period / 1000)),
+        rng_(seed) {}
+
+  Action next(TaskCtx& ctx) override {
+    (void)ctx;
+    switch (phase_++ % 3) {
+      case 0: {
+        const u32 jitter = static_cast<u32>(rng_.below(period_us_ / 3 + 1));
+        return ActSyscall{SYS_NANOSLEEP, period_us_ + jitter};
+      }
+      case 1:
+        return ActCompute{20'000};
+      default: {
+        // Touch a core-kernel locked path now and then.
+        const auto& locs = kernel_->locations();
+        std::vector<u16> core;
+        for (const auto& l : locs) {
+          if (l.subsystem == Subsystem::kCore && !l.sleeping_wait)
+            core.push_back(l.id);
+        }
+        if (core.empty() || !rng_.chance(0.5)) return ActCompute{10'000};
+        return ActKernelCall{core[rng_.below(core.size())]};
+      }
+    }
+  }
+
+  std::string name() const override { return "kworker"; }
+
+ private:
+  const Kernel* kernel_;
+  u32 period_us_;
+  util::Rng rng_;
+  int phase_ = 0;
+};
+
+}  // namespace
+
+Kernel::Kernel(hv::Machine& machine, KernelConfig cfg)
+    : machine_(machine),
+      cfg_(std::move(cfg)),
+      mem_(machine.mem()),
+      frames_(mem_, 0x0010'0000, machine.mmio_base()),
+      heap_(frames_, mem_),
+      rng_(machine.rng().next()) {}
+
+Kernel::~Kernel() = default;
+
+// --------------------------- Boot sequence ------------------------------
+
+void Kernel::build_kernel_page_tables() {
+  // One page table per 4 MiB of guest-physical space; shared by every
+  // address space via identical PDEs (the Linux "kernel half").
+  const u32 phys = static_cast<u32>(mem_.size());
+  for (Gpa chunk = 0; chunk < phys; chunk += (1u << 22)) {
+    const Gpa pt = frames_.alloc();
+    kernel_page_tables_.push_back(pt);
+    for (u32 i = 0; i < 1024; ++i) {
+      const Gpa pa = chunk + i * PAGE_SIZE;
+      if (pa >= phys) break;
+      mem_.wr32(pt + i * 4, (pa & arch::PTE_FRAME_MASK) | arch::PTE_PRESENT |
+                                arch::PTE_WRITE);
+    }
+  }
+}
+
+Gpa Kernel::new_page_directory() {
+  const Gpa pd = frames_.alloc();
+  const u32 first_kernel_pde = KERNEL_BASE >> 22;
+  for (u32 i = 0; i < kernel_page_tables_.size(); ++i) {
+    mem_.wr32(pd + (first_kernel_pde + i) * 4,
+              (kernel_page_tables_[i] & arch::PTE_FRAME_MASK) |
+                  arch::PTE_PRESENT | arch::PTE_WRITE);
+  }
+  return pd;
+}
+
+Gva Kernel::register_handler(
+    u8 nr, std::function<void(Task&, const std::array<u32, 3>&,
+                              SyscallOutcome&)>
+               wrapper) {
+  if (next_text_gva_ == 0 || (next_text_gva_ & PAGE_MASK) == 0) {
+    next_text_gva_ = KERNEL_BASE + frames_.alloc();
+  }
+  const Gva entry = next_text_gva_;
+  next_text_gva_ += 16;  // entry stubs are 16 bytes apart
+  handler_registry_[entry] = HandlerImpl{nr, std::move(wrapper)};
+  return entry;
+}
+
+void Kernel::setup_vcpu(int cpu) {
+  arch::Vcpu& v = machine_.vcpu(cpu);
+  // TSS: one page per vCPU so write-protecting it is surgical.
+  const Gpa tss = frames_.alloc();
+  tss_gpa_.push_back(tss);
+  tss_gva_.push_back(KERNEL_BASE + tss);
+  machine_.engine().write_tr(v, tss_gva_.back());
+  // SYSENTER target (per-CPU MSR, same value everywhere).
+  machine_.engine().wrmsr(v, arch::IA32_SYSENTER_EIP, layout_.sysenter_entry);
+}
+
+void Kernel::create_swapper(int cpu) {
+  auto t = std::make_unique<Task>();
+  t->pid = (cpu == 0) ? 0 : 0x8000u + static_cast<u32>(cpu);
+  t->cpu = cpu;
+  t->comm = "swapper/" + std::to_string(cpu);
+  t->kstack_gpa = frames_.alloc_contiguous(2, 2);
+  t->kstack_base = KERNEL_BASE + t->kstack_gpa;
+  t->rsp0 = t->kstack_base + KSTACK_SIZE;
+  t->ti_gva = t->kstack_base;
+  t->state = RunState::kRunning;
+  t->pdba = 0;  // kernel thread
+
+  t->ts_gpa = heap_.kmalloc(TS_SIZE);
+  t->ts_gva = KERNEL_BASE + t->ts_gpa;
+  ts_write(*t, TS_PID, t->pid);
+  ts_write(*t, TS_STATE, TASK_RUNNING);
+  ts_write(*t, TS_NEXT, t->ts_gva);
+  ts_write(*t, TS_PREV, t->ts_gva);
+  ts_write(*t, TS_KSTACK, t->kstack_base);
+  ts_write(*t, TS_THREAD_INFO, t->ti_gva);
+  ts_write(*t, TS_FLAGS, TASK_FLAG_KTHREAD);
+  char comm[TS_COMM_LEN] = {};
+  std::strncpy(comm, t->comm.c_str(), TS_COMM_LEN - 1);
+  mem_.write_bytes(t->ts_gpa + TS_COMM, comm, TS_COMM_LEN);
+  // thread_info
+  mem_.wr32(t->kstack_gpa + TI_TASK, t->ts_gva);
+  mem_.wr32(t->kstack_gpa + TI_CPU, static_cast<u32>(cpu));
+
+  if (cpu == 0) layout_.init_task = t->ts_gva;
+
+  swapper_.push_back(t.get());
+  current_.push_back(t.get());
+  tasks_.push_back(std::move(t));
+}
+
+void Kernel::boot() {
+  if (booted_) throw std::logic_error("kernel already booted");
+  const int ncpu = machine_.num_vcpus();
+
+  build_kernel_page_tables();
+  init_pgd_ = new_page_directory();
+
+  // Kernel text: the SYSENTER entry point gets its own page so that
+  // execute-protecting it (Fig. 3E) traps only system calls.
+  layout_.sysenter_entry = KERNEL_BASE + frames_.alloc();
+
+  // Native syscall handlers, registered in text and published through the
+  // in-guest-memory dispatch table.
+  syscall_table_gpa_ = heap_.kmalloc(NUM_SYSCALLS * 4);
+  layout_.syscall_table = KERNEL_BASE + syscall_table_gpa_;
+  layout_.num_syscalls = NUM_SYSCALLS;
+  handler_gvas_.resize(NUM_SYSCALLS);
+  for (u8 nr = 0; nr < NUM_SYSCALLS; ++nr) {
+    handler_gvas_[nr] = register_handler(nr, nullptr);
+    mem_.wr32(syscall_table_gpa_ + nr * 4u, handler_gvas_[nr]);
+  }
+
+  runqueue_.resize(ncpu);
+  need_resched_.assign(ncpu, false);
+  last_switch_.assign(ncpu, 0);
+  switch_count_.assign(ncpu, 0);
+
+  // Paging comes up first (the first CR3 loads — the trigger monitors arm
+  // on, Fig. 3B/3C), then per-CPU state (TR, SYSENTER MSRs, swapper) and
+  // the initial RSP0 stores.
+  for (int cpu = 0; cpu < ncpu; ++cpu) {
+    machine_.engine().write_cr3(machine_.vcpu(cpu), init_pgd_);
+  }
+  for (int cpu = 0; cpu < ncpu; ++cpu) {
+    setup_vcpu(cpu);
+    create_swapper(cpu);
+  }
+  for (int cpu = 0; cpu < ncpu; ++cpu) {
+    arch::Vcpu& v = machine_.vcpu(cpu);
+    machine_.engine().guest_write(v, tss_gva_[cpu] + arch::TSS_RSP0_OFFSET,
+                                  swapper_[cpu]->rsp0, 4);
+    v.regs().rsp = swapper_[cpu]->rsp0 - 64;
+    v.regs().cpl = 0;
+  }
+
+  booted_ = true;
+
+  // init is pid 1, then per-CPU housekeeping threads.
+  create_init();
+  for (int cpu = 0; cpu < ncpu; ++cpu) {
+    spawn_kthread(
+        "kworker/" + std::to_string(cpu),
+        std::make_unique<KworkerWorkload>(
+            this, cfg_.kworker_period + 100'000'000 * cpu, rng_.next()),
+        cpu);
+  }
+}
+
+namespace {
+/// init: sleeps forever in 500 ms chunks (it only exists to parent
+/// processes and to give the task list a recognizable pid 1).
+class InitWorkload final : public Workload {
+ public:
+  Action next(TaskCtx&) override { return ActSyscall{SYS_NANOSLEEP, 500'000}; }
+  std::string name() const override { return "init"; }
+};
+}  // namespace
+
+void Kernel::create_init() {
+  spawn("init", 0, 0, 0, std::make_unique<InitWorkload>(), 0, 0);
+}
+
+// -------------------------- Process lifecycle ---------------------------
+
+u32 Kernel::spawn(const std::string& comm, u32 uid, u32 euid, u32 ppid,
+                  std::unique_ptr<Workload> workload, u32 exe_id, int cpu,
+                  u32 extra_flags) {
+  if (!booted_) throw std::logic_error("spawn before boot");
+  auto t = std::make_unique<Task>();
+  t->pid = next_pid_++;
+  t->cpu = (cpu >= 0) ? cpu : (next_cpu_rr_++ % machine_.num_vcpus());
+  t->comm = comm;
+  t->exe_id = exe_id;
+  t->workload = std::move(workload);
+  t->start_time = machine_.now();
+
+  // Address space: page directory + user code and stack pages.
+  t->pdba = new_page_directory();
+  auto alloc_pt = [this, task = t.get()]() {
+    const Gpa f = frames_.alloc();
+    task->pt_frames.push_back(f);
+    return f;
+  };
+  for (u32 i = 0; i < USER_CODE_PAGES; ++i) {
+    const Gpa f = frames_.alloc();
+    t->user_frames.push_back(f);
+    arch::map_page(mem_, t->pdba, USER_CODE_BASE + i * PAGE_SIZE, f,
+                   arch::PTE_USER, alloc_pt);
+  }
+  for (u32 i = 0; i < USER_STACK_PAGES; ++i) {
+    const Gpa f = frames_.alloc();
+    t->user_frames.push_back(f);
+    arch::map_page(mem_, t->pdba,
+                   USER_STACK_TOP - (i + 1) * PAGE_SIZE, f,
+                   arch::PTE_USER | arch::PTE_WRITE, alloc_pt);
+  }
+
+  // Kernel stack + thread_info.
+  t->kstack_gpa = frames_.alloc_contiguous(2, 2);
+  t->kstack_base = KERNEL_BASE + t->kstack_gpa;
+  t->rsp0 = t->kstack_base + KSTACK_SIZE;
+  t->ti_gva = t->kstack_base;
+  mem_.wr32(t->kstack_gpa + TI_TASK, 0);  // set below once ts exists
+  mem_.wr32(t->kstack_gpa + TI_CPU, static_cast<u32>(t->cpu));
+
+  // task_struct in guest memory.
+  t->ts_gpa = heap_.kmalloc(TS_SIZE);
+  t->ts_gva = KERNEL_BASE + t->ts_gpa;
+  mem_.wr32(t->kstack_gpa + TI_TASK, t->ts_gva);
+  ts_write(*t, TS_PID, t->pid);
+  ts_write(*t, TS_UID, uid);
+  ts_write(*t, TS_EUID, euid);
+  ts_write(*t, TS_STATE, TASK_RUNNING);
+  const Task* parent = find_task(ppid);
+  ts_write(*t, TS_PARENT, parent != nullptr ? parent->ts_gva
+                                            : layout_.init_task);
+  ts_write(*t, TS_PDBA, t->pdba);
+  ts_write(*t, TS_KSTACK, t->kstack_base);
+  ts_write(*t, TS_THREAD_INFO, t->ti_gva);
+  ts_write(*t, TS_FLAGS, extra_flags);
+  mem_.wr64(t->ts_gpa + TS_START_TIME, static_cast<u64>(t->start_time));
+  ts_write(*t, TS_PPID, ppid);
+  ts_write(*t, TS_EXE_ID, exe_id);
+  char comm_buf[TS_COMM_LEN] = {};
+  std::strncpy(comm_buf, comm.c_str(), TS_COMM_LEN - 1);
+  mem_.write_bytes(t->ts_gpa + TS_COMM, comm_buf, TS_COMM_LEN);
+
+  link_into_task_list(t.get());
+
+  Task* raw = t.get();
+  tasks_.push_back(std::move(t));
+  raw->state = RunState::kRunnable;
+  enqueue(raw);
+  if (current_.at(raw->cpu) == swapper_.at(raw->cpu))
+    need_resched_.at(raw->cpu) = true;
+  return raw->pid;
+}
+
+u32 Kernel::spawn_kthread(const std::string& comm,
+                          std::unique_ptr<Workload> w, int cpu) {
+  auto t = std::make_unique<Task>();
+  t->pid = next_pid_++;
+  t->cpu = cpu;
+  t->comm = comm;
+  t->workload = std::move(w);
+  t->pdba = 0;
+  t->start_time = machine_.now();
+
+  t->kstack_gpa = frames_.alloc_contiguous(2, 2);
+  t->kstack_base = KERNEL_BASE + t->kstack_gpa;
+  t->rsp0 = t->kstack_base + KSTACK_SIZE;
+  t->ti_gva = t->kstack_base;
+  mem_.wr32(t->kstack_gpa + TI_CPU, static_cast<u32>(cpu));
+
+  t->ts_gpa = heap_.kmalloc(TS_SIZE);
+  t->ts_gva = KERNEL_BASE + t->ts_gpa;
+  mem_.wr32(t->kstack_gpa + TI_TASK, t->ts_gva);
+  ts_write(*t, TS_PID, t->pid);
+  ts_write(*t, TS_STATE, TASK_RUNNING);
+  ts_write(*t, TS_PARENT, layout_.init_task);
+  ts_write(*t, TS_KSTACK, t->kstack_base);
+  ts_write(*t, TS_THREAD_INFO, t->ti_gva);
+  ts_write(*t, TS_FLAGS, TASK_FLAG_KTHREAD);
+  mem_.wr64(t->ts_gpa + TS_START_TIME, static_cast<u64>(t->start_time));
+  char comm_buf[TS_COMM_LEN] = {};
+  std::strncpy(comm_buf, comm.c_str(), TS_COMM_LEN - 1);
+  mem_.write_bytes(t->ts_gpa + TS_COMM, comm_buf, TS_COMM_LEN);
+
+  link_into_task_list(t.get());
+
+  Task* raw = t.get();
+  tasks_.push_back(std::move(t));
+  raw->state = RunState::kRunnable;
+  enqueue(raw);
+  return raw->pid;
+}
+
+void Kernel::link_into_task_list(Task* t) {
+  // Insert at the tail: between init_task's prev and init_task.
+  const Gpa head_gpa = layout_.init_task - KERNEL_BASE;
+  const Gva tail_gva = mem_.rd32(head_gpa + TS_PREV);
+  const Gpa tail_gpa = tail_gva - KERNEL_BASE;
+  mem_.wr32(t->ts_gpa + TS_NEXT, layout_.init_task);
+  mem_.wr32(t->ts_gpa + TS_PREV, tail_gva);
+  mem_.wr32(tail_gpa + TS_NEXT, t->ts_gva);
+  mem_.wr32(head_gpa + TS_PREV, t->ts_gva);
+}
+
+void Kernel::unlink_from_task_list(Task* t) {
+  const Gva next = mem_.rd32(t->ts_gpa + TS_NEXT);
+  const Gva prev = mem_.rd32(t->ts_gpa + TS_PREV);
+  if (next == 0 && prev == 0) return;  // already unlinked (e.g. by a rootkit)
+  mem_.wr32(prev - KERNEL_BASE + TS_NEXT, next);
+  mem_.wr32(next - KERNEL_BASE + TS_PREV, prev);
+  mem_.wr32(t->ts_gpa + TS_NEXT, 0);
+  mem_.wr32(t->ts_gpa + TS_PREV, 0);
+}
+
+void Kernel::exit_task(int cpu, Task* t) {
+  t->exited = true;
+  t->state = RunState::kZombie;
+  ts_write(*t, TS_STATE, TASK_ZOMBIE);
+  // Orphan reparenting: children of the dying process become init's
+  // (uid-0) children — which is why Ninja-style parent checks need the
+  // first-seen parent, not just the current one (see HtNinja::Config).
+  for (const auto& other : tasks_) {
+    if (other->state == RunState::kZombie || other.get() == t) continue;
+    if (ts_read(*other, TS_PPID) == t->pid) {
+      ts_write(*other, TS_PPID, 1);
+      const Task* init = find_task(1);
+      ts_write(*other, TS_PARENT,
+               init != nullptr ? init->ts_gva : layout_.init_task);
+    }
+  }
+  unlink_from_task_list(t);
+  destroy_task(t);
+  // Robust-futex-style cleanup: release user locks the task held and
+  // drop it from waiter queues.
+  for (u32 l = 0; l < locks_.num_user_locks(); ++l) {
+    UserLock& ul = locks_.user_lock(l);
+    auto& wq = ul.waiter_pids;
+    wq.erase(std::remove(wq.begin(), wq.end(), t->pid), wq.end());
+    if (ul.held && ul.holder_pid == t->pid) {
+      ul.held = false;
+      ul.holder_pid = 0;
+      while (!wq.empty()) {
+        Task* w = find_task(wq.front());
+        wq.pop_front();
+        if (w != nullptr && w->state == RunState::kSleeping &&
+            w->blocked_on == BlockReason::kLockWait) {
+          wake(w);
+        }
+      }
+    }
+  }
+  // Purge from any wait queue the task might sit on.
+  auto purge = [t](std::deque<Task*>& q) {
+    q.erase(std::remove(q.begin(), q.end(), t), q.end());
+  };
+  purge(disk_waiters_);
+  purge(net_waiters_);
+  for (auto& [id, p] : pipes_) {
+    purge(p.read_waiters);
+    purge(p.write_waiters);
+  }
+  auto& rq = runqueue_.at(t->cpu);
+  rq.erase(std::remove(rq.begin(), rq.end(), t), rq.end());
+  if (current_.at(cpu) == t) reschedule(cpu);
+}
+
+void Kernel::destroy_task(Task* t) {
+  // exit_mm: no vCPU may keep the dying address space loaded once the
+  // page directory is freed; fall back to the kernel-only directory.
+  for (int cpu = 0; cpu < machine_.num_vcpus(); ++cpu) {
+    arch::Vcpu& v = machine_.vcpu(cpu);
+    if (t->pdba != 0 && v.regs().cr3 == t->pdba) {
+      machine_.engine().write_cr3(v, init_pgd_);
+    }
+  }
+  // Free (and zero) the address space — stale PDBAs then fail the
+  // Fig. 3A validity test.
+  for (const Gpa f : t->user_frames) frames_.free(f);
+  t->user_frames.clear();
+  for (const Gpa f : t->pt_frames) frames_.free(f);
+  t->pt_frames.clear();
+  if (t->pdba != 0) {
+    frames_.free(t->pdba);
+    t->pdba = 0;
+  }
+  frames_.free_contiguous(t->kstack_gpa, 2);
+  heap_.kfree(t->ts_gpa, TS_SIZE);
+}
+
+// ------------------------------ Lookup ----------------------------------
+
+Task* Kernel::find_task(u32 pid) {
+  for (auto& t : tasks_) {
+    if (t->pid == pid && t->state != RunState::kZombie) return t.get();
+  }
+  return nullptr;
+}
+
+const Task* Kernel::find_task(u32 pid) const {
+  return const_cast<Kernel*>(this)->find_task(pid);
+}
+
+std::vector<u32> Kernel::live_pids() const {
+  std::vector<u32> pids;
+  for (const auto& t : tasks_) {
+    if (t->state == RunState::kZombie) continue;
+    if (t->pid == 0 || t->pid >= 0x8000u) continue;  // swappers
+    pids.push_back(t->pid);
+  }
+  return pids;
+}
+
+// ------------------------------ ISRs ------------------------------------
+
+void Kernel::timer_tick(int cpu) {
+  arch::Vcpu& v = machine_.vcpu(cpu);
+  v.advance_cycles(cfg_.isr_cycles);
+  machine_.engine().apic_access(v, 0xB0);  // EOI
+  Task* cur = current_.at(cpu);
+  if (cur != swapper_.at(cpu) && v.now() >= cur->slice_end) {
+    need_resched_.at(cpu) = true;
+  }
+  if (need_resched_.at(cpu) && can_preempt(*cur)) reschedule(cpu);
+}
+
+void Kernel::handle_irq(int cpu, u8 vector) {
+  arch::Vcpu& v = machine_.vcpu(cpu);
+  v.advance_cycles(cfg_.isr_cycles);
+  machine_.engine().apic_access(v, 0xB0);
+  switch (vector) {
+    case hv::DISK_VECTOR: {
+      if (disk_waiters_.empty()) break;
+      Task* t = disk_waiters_.front();
+      disk_waiters_.pop_front();
+      t->sc_result = t->sc_args[1];  // bytes transferred
+      t->sc_ready = true;
+      wake(t);
+      break;
+    }
+    case hv::NET_VECTOR: {
+      while (!net_waiters_.empty() && !net_rx_.empty()) {
+        Task* t = net_waiters_.front();
+        net_waiters_.pop_front();
+        t->sc_result = net_rx_.front();
+        net_rx_.pop_front();
+        t->sc_ready = true;
+        wake(t);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Kernel::deliver_packet(u32 payload) {
+  net_rx_.push_back(payload);
+  machine_.raise_irq(0, hv::NET_VECTOR);
+}
+
+// --------------------------- Guest-memory utils -------------------------
+
+u32 Kernel::ts_read(const Task& t, u32 offset) const {
+  return mem_.rd32(t.ts_gpa + offset);
+}
+
+void Kernel::ts_write(Task& t, u32 offset, u32 value) {
+  mem_.wr32(t.ts_gpa + offset, value);
+}
+
+void Kernel::register_locations(std::vector<KernelLocation> locs) {
+  for (u32 i = 0; i < locs.size(); ++i) {
+    if (locs[i].id != i)
+      throw std::invalid_argument("location ids must be dense and ordered");
+    if (locs[i].lock_a >= locks_.num_kernel_locks() ||
+        (locs[i].lock_b >= 0 &&
+         static_cast<u32>(locs[i].lock_b) >= locks_.num_kernel_locks()))
+      throw std::invalid_argument("location lock id out of range");
+  }
+  locations_ = std::move(locs);
+}
+
+bool Kernel::cpu_idle(int cpu) const {
+  return current_.at(cpu) == swapper_.at(cpu) && runqueue_.at(cpu).empty();
+}
+
+bool Kernel::vcpu_scheduling_stalled(int cpu, SimTime window) const {
+  if (cpu_idle(cpu)) return false;
+  return machine_.vcpu(cpu).now() - last_switch_.at(cpu) > window;
+}
+
+Kernel::Pipe& Kernel::pipe(u32 id) { return pipes_[id]; }
+
+}  // namespace hvsim::os

@@ -1,0 +1,305 @@
+// The miniature guest operating system.
+//
+// A memory-accurate model of a Linux-like kernel: per-vCPU round-robin
+// scheduling driven by timer interrupts, task_struct/thread_info objects
+// laid out in guest physical memory, a syscall table dispatched through
+// guest memory, kernel spinlocks with preemptible/non-preemptible builds,
+// a /proc view, pipes, disk and network I/O — everything the paper's three
+// auditors, two Ninja baselines, rootkits and fault-injection campaign
+// need to behave like their real-world counterparts.
+//
+// Every *architectural* operation (CR3 load, TSS.RSP0 store, INT 0x80,
+// SYSENTER dispatch, WRMSR, port I/O) is performed through the HAV exit
+// engine, so enabling the corresponding VMCS control or EPT protection
+// makes this kernel observable exactly as §VI describes.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hv/machine.hpp"
+#include "os/guest_alloc.hpp"
+#include "os/klocation.hpp"
+#include "os/layout.hpp"
+#include "os/spinlock.hpp"
+#include "os/syscalls.hpp"
+#include "os/task.hpp"
+
+namespace hvsim::os {
+
+/// Creates the Workload for an exe_id at SYS_SPAWN time.
+using WorkloadFactory =
+    std::function<std::unique_ptr<Workload>(u32 exe_id, util::Rng& rng)>;
+
+struct KernelConfig {
+  /// CONFIG_PREEMPT: in-kernel execution is preemptible outside
+  /// preempt_count>0 sections.
+  bool preemptible = false;
+  /// Use SYSENTER (fast syscalls) instead of software interrupts.
+  bool fast_syscalls = true;
+  /// Software-interrupt gate for legacy syscalls: 0x80 (Linux flavor) or
+  /// 0x2E (Windows flavor).
+  u8 syscall_vector = SYSCALL_INT_VECTOR;
+  SimTime timeslice = 4'000'000;  // 4 ms
+  /// Native costs (cycles), calibrated per DESIGN.md §6.
+  Cycles ctx_switch_cycles = 45'000;  // ~15 us VM-effective switch
+  Cycles sched_cycles = 3'000;
+  Cycles isr_cycles = 1'200;
+  Cycles syscall_base_cycles = 1'800;
+  Cycles proc_entry_cycles = 9'000;  ///< per-process cost of a /proc scan
+  /// Background housekeeping (kworker) wake period; jittered per CPU.
+  SimTime kworker_period = 900'000'000;  // 0.9 s
+  /// Transmit packets through the NIC's MMIO doorbell instead of port
+  /// I/O (exercises EPT-based MMIO interception, Table I).
+  bool nic_mmio = false;
+  WorkloadFactory spawn_factory;
+};
+
+struct SyscallOutcome {
+  SyscallOutcome() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): `return {value};` is the
+  // idiomatic handler return for a plain result.
+  SyscallOutcome(u32 r) : result(r) {}
+
+  u32 result = 0;
+  std::vector<u32> data;
+  bool block = false;
+  BlockReason reason = BlockReason::kNone;
+};
+
+class Kernel final : public hv::GuestOs {
+ public:
+  Kernel(hv::Machine& machine, KernelConfig cfg = {});
+  ~Kernel() override;
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// Build page tables, TSS per vCPU, the syscall table; write the
+  /// SYSENTER MSRs; start swapper/kworker threads and init (pid 1).
+  /// Monitors that want boot-time events must attach before this.
+  void boot();
+  bool booted() const { return booted_; }
+
+  // ------------------------- GuestOs interface -------------------------
+  void step_vcpu(int cpu, SimTime budget) override;
+  void timer_tick(int cpu) override;
+  void handle_irq(int cpu, u8 vector) override;
+  bool cpu_idle(int cpu) const override;
+
+  // --------------------------- Process API ------------------------------
+
+  /// Create a user process. `cpu` = -1 picks round-robin affinity.
+  /// Returns the pid.
+  u32 spawn(const std::string& comm, u32 uid, u32 euid, u32 ppid,
+            std::unique_ptr<Workload> workload, u32 exe_id = 0, int cpu = -1,
+            u32 extra_flags = 0);
+
+  /// Create a kernel thread (borrows the previous mm; no CR3 switch).
+  u32 spawn_kthread(const std::string& comm, std::unique_ptr<Workload> w,
+                    int cpu);
+
+  Task* find_task(u32 pid);
+  const Task* find_task(u32 pid) const;
+  /// Host-side ground truth (excludes swappers), for cross-view tests.
+  std::vector<u32> live_pids() const;
+  /// What an in-guest administrator tool (ps / Task Manager) reports:
+  /// the process list obtained through the — possibly hijacked — syscall
+  /// table, walking the — possibly DKOM-manipulated — guest task list.
+  std::vector<u32> in_guest_view_pids();
+  std::size_t num_tasks() const { return tasks_.size(); }
+
+  // ----------------------- Introspection metadata ----------------------
+
+  const OsLayout& layout() const { return layout_; }
+  const KernelConfig& config() const { return cfg_; }
+  Gva tss_gva(int cpu) const { return tss_gva_.at(cpu); }
+
+  // --------------------------- Oracle hooks ----------------------------
+  // Ground truth used by experiment classification — NOT used by monitors.
+
+  SimTime last_context_switch(int cpu) const { return last_switch_.at(cpu); }
+  u64 context_switch_count(int cpu) const { return switch_count_.at(cpu); }
+  /// A vCPU is truly hung if its current task is stuck (spinning forever /
+  /// irqs dead) so that no scheduling has happened for `window`.
+  bool vcpu_scheduling_stalled(int cpu, SimTime window) const;
+
+  // ------------------------ Locations & faults -------------------------
+
+  void register_locations(std::vector<KernelLocation> locs);
+  const std::vector<KernelLocation>& locations() const { return locations_; }
+  void set_location_hook(LocationHook* hook) { location_hook_ = hook; }
+
+  LockTable& locks() { return locks_; }
+
+  // ----------------------------- Devices -------------------------------
+
+  /// Deliver an inbound network packet (HTTP request id, probe echo, ...):
+  /// queues payload and raises the NIC IRQ.
+  void deliver_packet(u32 payload);
+
+  // ------------------------- Guest-memory utils ------------------------
+
+  /// Read/write fields of guest objects by GPA (kernel-internal accesses;
+  /// unmonitored, as in a real kernel they are plain loads and stores).
+  u32 ts_read(const Task& t, u32 offset) const;
+  void ts_write(Task& t, u32 offset, u32 value);
+
+  hv::Machine& machine() { return machine_; }
+
+  /// Charged statistics for tests.
+  u64 total_syscalls() const { return total_syscalls_; }
+
+ private:
+  // Boot helpers.
+  void build_kernel_page_tables();
+  Gpa new_page_directory();
+  void setup_vcpu(int cpu);
+  void create_swapper(int cpu);
+  void create_init();
+
+  // Scheduling.
+  Task* current(int cpu) { return current_.at(cpu); }
+  bool can_preempt(const Task& t) const;
+  void enqueue(Task* t);
+  Task* pick_next(int cpu);
+  void reschedule(int cpu);
+  void context_switch(int cpu, Task* next);
+  void wake(Task* t);
+  void block_current(int cpu, BlockReason reason);
+
+  // Execution machine.
+  void run_current(int cpu, SimTime until);
+  void start_action(int cpu, Task* t, const Action& a, SimTime until);
+  void run_compute(int cpu, Task* t, SimTime until);
+  void step_location(int cpu, Task* t, SimTime until);
+  void step_spin(int cpu, Task* t, SimTime until);
+  bool try_lock_kernel(Task* t, u32 lock_id, bool sleeping_wait);
+  void unlock_kernel(Task* t, u32 lock_id);
+  void step_userlock_action(int cpu, Task* t, const ActUserLock& a);
+  void step_userlock(int cpu, Task* t, SimTime until);
+
+  // Syscalls.
+  void do_syscall(int cpu, Task* t, u8 nr, u32 a, u32 b, u32 c);
+  void finish_syscall(int cpu, Task* t, u32 result,
+                      const std::vector<u32>& data);
+  SyscallOutcome dispatch_syscall(int cpu, Task* t, u8 nr, u32 a, u32 b,
+                                  u32 c);
+  // Handler implementations (syscalls.cpp).
+  SyscallOutcome sys_getpid(int cpu, Task* t, u32 a, u32 b, u32 c);
+  SyscallOutcome sys_file_io(int cpu, Task* t, u8 nr, u32 a, u32 b);
+  SyscallOutcome sys_proc_list(int cpu, Task* t);
+  SyscallOutcome sys_proc_stat(int cpu, Task* t, u32 pid);
+  SyscallOutcome sys_nanosleep(int cpu, Task* t, u32 usec);
+  SyscallOutcome sys_spawn(int cpu, Task* t, u32 exe_id, u32 flags);
+  SyscallOutcome sys_exit(int cpu, Task* t);
+  SyscallOutcome sys_yield(int cpu, Task* t);
+  SyscallOutcome sys_gettime(int cpu, Task* t);
+  SyscallOutcome sys_pipe_write(int cpu, Task* t, u32 pipe_id, u32 bytes);
+  SyscallOutcome sys_pipe_read(int cpu, Task* t, u32 pipe_id, u32 bytes);
+  SyscallOutcome sys_kill(int cpu, Task* t, u32 pid);
+  SyscallOutcome sys_seteuid(int cpu, Task* t, u32 euid);
+  SyscallOutcome sys_net_send(int cpu, Task* t, u32 value);
+  SyscallOutcome sys_net_recv(int cpu, Task* t);
+  SyscallOutcome sys_getuid_impl(int cpu, Task* t);
+  /// Timer-driven sleep expiry; re-arms itself while the target CPU has
+  /// interrupts disabled (a dead timer starves its sleepers).
+  void try_timer_wake(u32 pid);
+
+  // /proc helpers (procfs.cpp) — these walk the GUEST-MEMORY task list,
+  // which is why DKOM hides processes from them.
+  std::vector<u32> walk_guest_task_list(u32* cost_entries) const;
+  const Task* guest_list_find(u32 pid) const;
+
+  // Process teardown.
+  void exit_task(int cpu, Task* t);
+  void destroy_task(Task* t);
+  void link_into_task_list(Task* t);
+  void unlink_from_task_list(Task* t);
+
+  // Pipes.
+  struct Pipe {
+    u32 bytes = 0;
+    u32 capacity = 65'536;
+    std::deque<Task*> read_waiters;
+    std::deque<Task*> write_waiters;
+  };
+  Pipe& pipe(u32 id);
+
+  hv::Machine& machine_;
+  KernelConfig cfg_;
+  arch::PhysMem& mem_;
+  FrameAllocator frames_;
+  KernelHeap heap_;
+  util::Rng rng_;
+  bool booted_ = false;
+
+  OsLayout layout_;
+  Gpa init_pgd_ = 0;  ///< boot (kernel-only) page directory
+  Gpa syscall_table_gpa_ = 0;
+  std::vector<Gva> handler_gvas_;  ///< per-syscall entry address (text)
+  /// Registry: handler entry GVA -> syscall number it implements, plus
+  /// hijack wrappers registered by "loaded modules" (rootkits).
+  struct HandlerImpl {
+    u8 nr = 0;
+    /// Wrapper (nullptr = native handler). Receives the caller, the
+    /// syscall arguments and the native outcome, and may rewrite the
+    /// outcome (e.g. filter hidden pids).
+    std::function<void(Task&, const std::array<u32, 3>&, SyscallOutcome&)>
+        wrapper;
+  };
+  std::unordered_map<Gva, HandlerImpl> handler_registry_;
+  Gva next_text_gva_ = 0;
+
+  std::vector<Gva> tss_gva_;
+  std::vector<Gpa> tss_gpa_;
+  std::vector<Gpa> kernel_page_tables_;
+
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<Task*> swapper_;
+  std::vector<Task*> current_;
+  std::vector<std::deque<Task*>> runqueue_;
+  std::vector<bool> need_resched_;
+  std::vector<SimTime> last_switch_;
+  std::vector<u64> switch_count_;
+  int next_cpu_rr_ = 0;
+  u32 next_pid_ = 1;
+
+  LockTable locks_;
+  std::vector<KernelLocation> locations_;
+  LocationHook* location_hook_ = nullptr;
+
+  std::deque<Task*> disk_waiters_;
+  std::deque<Task*> net_waiters_;
+  std::deque<u32> net_rx_;
+  std::unordered_map<u32, Pipe> pipes_;
+
+  u64 total_syscalls_ = 0;
+
+ public:
+  /// Registers a hijackable handler entry in kernel text and returns its
+  /// GVA. Used by the kernel itself at boot and by rootkit simulations
+  /// ("loading a module"). The wrapper post-processes the native outcome
+  /// of syscall `nr`.
+  Gva register_handler(
+      u8 nr, std::function<void(Task&, const std::array<u32, 3>&,
+                                SyscallOutcome&)>
+                 wrapper);
+};
+
+/// Convenience aggregate wiring a Machine and a Kernel together.
+struct Vm {
+  explicit Vm(hv::MachineConfig mc = {}, KernelConfig kc = {})
+      : machine(mc), kernel(machine, std::move(kc)) {
+    machine.set_guest(&kernel);
+  }
+  hv::Machine machine;
+  Kernel kernel;
+};
+
+}  // namespace hvsim::os

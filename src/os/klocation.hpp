@@ -1,0 +1,63 @@
+// Instrumented kernel code paths ("locations") and the fault hook.
+//
+// The fault-injection study of §VIII-A targets lock-handling code: missing
+// spinlock releases, wrong lock orderings, missing unlock/lock pairs and
+// missing interrupt-state restorations. Each KernelLocation models one
+// injectable site: the lock(s) a real kernel function would take, how long
+// its critical section runs, and whether it disables interrupts.
+//
+// The kernel consults a LocationHook (implemented by fi::FaultPlan) every
+// time a location executes; the hook decides whether the armed fault
+// activates on this execution (transient: first only; persistent: every).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace hvsim::os {
+
+enum class Subsystem : u8 { kCore = 0, kExt3, kBlock, kCharDev, kNet, kCount };
+
+const char* to_string(Subsystem s);
+
+enum class FaultClass : u8 {
+  kNone = 0,
+  kMissingRelease,    ///< exit path skips the spin_unlock
+  kWrongOrder,        ///< acquires the lock pair in inverted order
+  kMissingPair,       ///< skips a paired unlock/lock, leaving the lock held
+  kMissingIrqRestore, ///< leaves interrupts disabled after the section
+  kCount,
+};
+
+const char* to_string(FaultClass c);
+
+struct KernelLocation {
+  u16 id = 0;
+  Subsystem subsystem = Subsystem::kCore;
+  /// Primary spinlock guarding the section.
+  u16 lock_a = 0;
+  /// Second lock for nested sections (enables wrong-ordering deadlocks);
+  /// -1 if the section takes a single lock.
+  i32 lock_b = -1;
+  /// Critical-section length.
+  Cycles cs_cycles = 30'000;  // ~10 us
+  /// Section runs with interrupts disabled (cli/sti pair).
+  bool irqs_off = false;
+  /// Contended waiters sleep instead of spinning (mutex-like paths, e.g.
+  /// the SSH-probe request path — the source of the paper's 24
+  /// probe-visible-but-not-kernel-hang misclassifications).
+  bool sleeping_wait = false;
+};
+
+class LocationHook {
+ public:
+  virtual ~LocationHook() = default;
+  /// Called at every execution of `location` by process `pid`; returns the
+  /// fault class to apply to THIS execution (kNone = behave correctly).
+  virtual FaultClass on_location(u16 location, u32 pid) = 0;
+};
+
+}  // namespace hvsim::os

@@ -1,0 +1,83 @@
+// Guest kernel memory layout: virtual-address map and the byte-level
+// layout of kernel data structures.
+//
+// These offsets play the role of kernel debug symbols (System.map +
+// struct offsets). HyperTap's OS-state derivation consumes them too, but —
+// per the paper's root-of-trust argument (§IV-B) — an attacker can freely
+// *change values* in these structures (uid fields, list pointers) yet
+// cannot practically change the *layout*, because all kernel code
+// referencing the fields would need to be rewritten and every object
+// relocated. The simulation enforces the same asymmetry: attack code may
+// rewrite any guest bytes, while the layout constants are fixed at boot.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace hvsim::os {
+
+/// Start of the kernel's virtual mapping of all physical memory
+/// (gva = KERNEL_BASE + gpa), present in every address space.
+inline constexpr Gva KERNEL_BASE = 0xC0000000u;
+
+/// User-space layout for ordinary processes.
+inline constexpr Gva USER_CODE_BASE = 0x08048000u;
+inline constexpr Gva USER_STACK_TOP = 0xBFFFE000u;
+inline constexpr u32 USER_CODE_PAGES = 2;
+inline constexpr u32 USER_STACK_PAGES = 2;
+
+/// Kernel stacks are 8 KiB and 8 KiB-aligned; thread_info sits at the
+/// stack base so it can be recovered from any stack pointer by masking —
+/// the derivation HyperTap performs from TSS.RSP0 (§VII-C).
+inline constexpr u32 KSTACK_SIZE = 8192;
+
+// --- task_struct field offsets (bytes) ---------------------------------
+inline constexpr u32 TS_PID = 0;
+inline constexpr u32 TS_UID = 4;
+inline constexpr u32 TS_EUID = 8;
+inline constexpr u32 TS_STATE = 12;
+inline constexpr u32 TS_PARENT = 16;   ///< GVA of parent task_struct
+inline constexpr u32 TS_NEXT = 20;     ///< GVA, circular doubly-linked list
+inline constexpr u32 TS_PREV = 24;     ///< GVA
+inline constexpr u32 TS_PDBA = 28;     ///< GPA of the page directory (CR3)
+inline constexpr u32 TS_KSTACK = 32;   ///< GVA of kernel stack base
+inline constexpr u32 TS_THREAD_INFO = 36;  ///< GVA
+inline constexpr u32 TS_COMM = 40;     ///< 16 bytes, NUL-padded
+inline constexpr u32 TS_COMM_LEN = 16;
+inline constexpr u32 TS_FLAGS = 56;
+inline constexpr u32 TS_START_TIME = 60;  ///< u64 (ns)
+inline constexpr u32 TS_PPID = 68;
+inline constexpr u32 TS_EXE_ID = 72;
+inline constexpr u32 TS_SIZE = 80;
+
+// task_struct flag bits.
+inline constexpr u32 TASK_FLAG_KTHREAD = 1u << 0;
+/// setuid executables exempted by Ninja's white list (§VII-C).
+inline constexpr u32 TASK_FLAG_WHITELISTED = 1u << 1;
+
+// TS_STATE values (mirrors /proc state letters R/S/Z).
+inline constexpr u32 TASK_RUNNING = 0;
+inline constexpr u32 TASK_SLEEPING = 1;
+inline constexpr u32 TASK_ZOMBIE = 3;
+
+// --- thread_info field offsets (at kernel-stack base) -------------------
+inline constexpr u32 TI_TASK = 0;  ///< GVA of owning task_struct
+inline constexpr u32 TI_CPU = 4;
+inline constexpr u32 TI_FLAGS = 8;
+inline constexpr u32 TI_PREEMPT_COUNT = 12;
+inline constexpr u32 TI_SIZE = 16;
+
+/// Round a kernel stack pointer down to its thread_info.
+constexpr Gva thread_info_of(u32 ksp) {
+  return (ksp - 1) & ~(KSTACK_SIZE - 1);
+}
+
+/// The "System.map" a monitoring tool is given about this guest kernel.
+struct OsLayout {
+  Gva init_task = 0;      ///< list head of the task list
+  Gva syscall_table = 0;  ///< array of handler entry GVAs
+  u32 num_syscalls = 0;
+  Gva sysenter_entry = 0;  ///< fast-syscall entry point (text)
+  u32 kstack_size = KSTACK_SIZE;
+};
+
+}  // namespace hvsim::os

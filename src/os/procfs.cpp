@@ -1,0 +1,124 @@
+// /proc support: enumeration and per-pid stat by walking the task list in
+// GUEST MEMORY — the property that makes DKOM effective against in-guest
+// tools: an unlinked task_struct simply never appears during the walk,
+// even though the scheduler (which uses run queues) keeps running it.
+#include "os/kernel.hpp"
+
+namespace hvsim::os {
+
+namespace {
+constexpr u32 kWalkLimit = 100'000;
+}
+
+std::vector<u32> Kernel::walk_guest_task_list(u32* cost_entries) const {
+  std::vector<u32> pids;
+  u32 entries = 0;
+  const Gva head = layout_.init_task;
+  Gva cur = mem_.rd32(head - KERNEL_BASE + TS_NEXT);
+  while (cur != head && cur != 0 && entries < kWalkLimit) {
+    ++entries;
+    const Gpa gpa = cur - KERNEL_BASE;
+    pids.push_back(mem_.rd32(gpa + TS_PID));
+    cur = mem_.rd32(gpa + TS_NEXT);
+  }
+  if (cost_entries != nullptr) *cost_entries = entries;
+  return pids;
+}
+
+std::vector<u32> Kernel::in_guest_view_pids() {
+  const Gva entry = mem_.rd32(syscall_table_gpa_ + SYS_PROC_LIST * 4u);
+  const auto it = handler_registry_.find(entry);
+  SyscallOutcome out;
+  out.data = walk_guest_task_list(nullptr);
+  out.result = static_cast<u32>(out.data.size());
+  if (it != handler_registry_.end() && it->second.wrapper) {
+    Task* caller = find_task(1);  // the admin shell runs under init here
+    if (caller != nullptr) {
+      it->second.wrapper(*caller, std::array<u32, 3>{0, 0, 0}, out);
+    }
+  }
+  return out.data;
+}
+
+const Task* Kernel::guest_list_find(u32 pid) const {
+  const Gva head = layout_.init_task;
+  Gva cur = mem_.rd32(head - KERNEL_BASE + TS_NEXT);
+  u32 guard = 0;
+  while (cur != head && cur != 0 && guard++ < kWalkLimit) {
+    const Gpa gpa = cur - KERNEL_BASE;
+    if (mem_.rd32(gpa + TS_PID) == pid) {
+      return find_task(pid);
+    }
+    cur = mem_.rd32(gpa + TS_NEXT);
+  }
+  return nullptr;
+}
+
+const char* syscall_name(u8 nr) {
+  switch (nr) {
+    case SYS_GETPID: return "getpid";
+    case SYS_OPEN: return "open";
+    case SYS_READ: return "read";
+    case SYS_WRITE: return "write";
+    case SYS_LSEEK: return "lseek";
+    case SYS_CLOSE: return "close";
+    case SYS_PROC_LIST: return "proc_list";
+    case SYS_PROC_STAT: return "proc_stat";
+    case SYS_NANOSLEEP: return "nanosleep";
+    case SYS_SPAWN: return "spawn";
+    case SYS_EXIT: return "exit";
+    case SYS_YIELD: return "yield";
+    case SYS_GETTIME: return "gettime";
+    case SYS_PIPE_WRITE: return "pipe_write";
+    case SYS_PIPE_READ: return "pipe_read";
+    case SYS_KILL: return "kill";
+    case SYS_SETEUID: return "seteuid";
+    case SYS_NET_SEND: return "net_send";
+    case SYS_NET_RECV: return "net_recv";
+    case SYS_GETUID: return "getuid";
+    default: return "?";
+  }
+}
+
+bool is_io_syscall(u8 nr) {
+  switch (nr) {
+    case SYS_OPEN:
+    case SYS_READ:
+    case SYS_WRITE:
+    case SYS_LSEEK:
+    case SYS_CLOSE:
+    case SYS_PIPE_WRITE:
+    case SYS_PIPE_READ:
+    case SYS_NET_SEND:
+    case SYS_NET_RECV:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* to_string(Subsystem s) {
+  switch (s) {
+    case Subsystem::kCore: return "core";
+    case Subsystem::kExt3: return "ext3";
+    case Subsystem::kBlock: return "block";
+    case Subsystem::kCharDev: return "char";
+    case Subsystem::kNet: return "net";
+    case Subsystem::kCount: break;
+  }
+  return "?";
+}
+
+const char* to_string(FaultClass c) {
+  switch (c) {
+    case FaultClass::kNone: return "none";
+    case FaultClass::kMissingRelease: return "missing-release";
+    case FaultClass::kWrongOrder: return "wrong-order";
+    case FaultClass::kMissingPair: return "missing-pair";
+    case FaultClass::kMissingIrqRestore: return "missing-irq-restore";
+    case FaultClass::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace hvsim::os

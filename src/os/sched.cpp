@@ -1,0 +1,514 @@
+// Scheduler and task execution machine: round-robin runqueues, context
+// switching through the architectural invariants (CR3 load + TSS.RSP0
+// store), spinlock acquisition with preemptible/non-preemptible waits, and
+// the per-action stepping of user programs.
+#include <stdexcept>
+
+#include "arch/tss.hpp"
+#include "os/kernel.hpp"
+#include "util/log.hpp"
+
+namespace hvsim::os {
+
+namespace {
+constexpr Cycles kLockAcquireCycles = 200;
+constexpr Cycles kKernelEntryCycles = 300;
+constexpr i32 kUserLockBit = 0x10000;
+}  // namespace
+
+// ----------------------------- Scheduling -------------------------------
+
+bool Kernel::can_preempt(const Task& t) const {
+  if (!t.in_kernel) return true;
+  return cfg_.preemptible && t.preempt_count == 0;
+}
+
+void Kernel::enqueue(Task* t) { runqueue_.at(t->cpu).push_back(t); }
+
+Task* Kernel::pick_next(int cpu) {
+  auto& rq = runqueue_.at(cpu);
+  while (!rq.empty()) {
+    Task* t = rq.front();
+    rq.pop_front();
+    if (t->state == RunState::kRunnable || t->state == RunState::kSpinning)
+      return t;
+  }
+  return nullptr;
+}
+
+void Kernel::reschedule(int cpu) {
+  arch::Vcpu& v = machine_.vcpu(cpu);
+  v.advance_cycles(cfg_.sched_cycles);
+  need_resched_.at(cpu) = false;
+
+  Task* prev = current_.at(cpu);
+  Task* next = pick_next(cpu);
+  const bool prev_runnable =
+      prev != nullptr && !prev->exited &&
+      (prev->state == RunState::kRunning ||
+       prev->state == RunState::kSpinning) &&
+      prev != swapper_.at(cpu);
+
+  if (next == nullptr) {
+    if (prev_runnable) {  // sole runnable task: keep it, refresh its slice
+      prev->slice_end = v.now() + cfg_.timeslice;
+      return;
+    }
+    next = swapper_.at(cpu);
+  }
+  if (next == prev) {
+    prev->slice_end = v.now() + cfg_.timeslice;
+    return;
+  }
+  if (prev_runnable) {
+    if (prev->state == RunState::kRunning) prev->state = RunState::kRunnable;
+    enqueue(prev);
+  }
+  context_switch(cpu, next);
+}
+
+void Kernel::context_switch(int cpu, Task* next) {
+  arch::Vcpu& v = machine_.vcpu(cpu);
+  // Process switch: load the next address space — unless the next task is
+  // a kernel thread, which borrows the current mm (paper §VI-A, fn. 3).
+  if (!next->is_kthread() && next->pdba != v.regs().cr3) {
+    machine_.engine().write_cr3(v, next->pdba);
+  }
+  // Thread switch: the TSS.RSP0 store every task switch performs — the
+  // hardware operation thread-switch interception traps (Fig. 3B).
+  machine_.engine().guest_write(
+      v, tss_gva_.at(cpu) + arch::TSS_RSP0_OFFSET, next->rsp0, 4);
+  v.regs().rsp = next->rsp0 - 96;
+  v.advance_cycles(cfg_.ctx_switch_cycles);
+
+  if (next->state == RunState::kRunnable) next->state = RunState::kRunning;
+  if (next != swapper_.at(cpu)) ts_write(*next, TS_STATE, TASK_RUNNING);
+  next->slice_end = v.now() + cfg_.timeslice;
+  ++next->n_switched_in;
+  current_.at(cpu) = next;
+  last_switch_.at(cpu) = v.now();
+  ++switch_count_.at(cpu);
+}
+
+void Kernel::wake(Task* t) {
+  if (t->exited || t->state != RunState::kSleeping) return;
+  t->state = RunState::kRunnable;
+  t->blocked_on = BlockReason::kNone;
+  ts_write(*t, TS_STATE, TASK_RUNNING);
+  enqueue(t);
+  if (current_.at(t->cpu) == swapper_.at(t->cpu))
+    need_resched_.at(t->cpu) = true;
+}
+
+void Kernel::block_current(int cpu, BlockReason reason) {
+  Task* t = current_.at(cpu);
+  t->state = RunState::kSleeping;
+  t->blocked_on = reason;
+  ts_write(*t, TS_STATE, TASK_SLEEPING);
+  reschedule(cpu);
+}
+
+// --------------------------- GuestOs stepping ---------------------------
+
+void Kernel::step_vcpu(int cpu, SimTime budget) {
+  arch::Vcpu& v = machine_.vcpu(cpu);
+  const SimTime end = v.now() + budget;
+  int guard = 0;
+  while (v.now() < end) {
+    if (++guard > 100'000)
+      throw std::logic_error("kernel step made no progress");
+    Task* cur = current_.at(cpu);
+    if (cur == swapper_.at(cpu) && !runqueue_.at(cpu).empty()) {
+      reschedule(cpu);
+      continue;
+    }
+    if (need_resched_.at(cpu) && can_preempt(*cur)) {
+      reschedule(cpu);
+      continue;
+    }
+    run_current(cpu, end);
+    // An idle vCPU that has reached the next host event yields back to
+    // the machine so the event (and any interrupt it raises) lands now.
+    if (current_.at(cpu) == swapper_.at(cpu) && runqueue_.at(cpu).empty() &&
+        machine_.next_host_event_at() <= v.now()) {
+      break;
+    }
+  }
+}
+
+void Kernel::run_current(int cpu, SimTime until) {
+  arch::Vcpu& v = machine_.vcpu(cpu);
+  Task* t = current_.at(cpu);
+
+  if (t == swapper_.at(cpu)) {
+    machine_.engine().hlt(v);
+    // Halt until the budget ends or the next host event (device
+    // completion, sleep expiry) — whichever comes first.
+    SimTime stop_at = until;
+    const SimTime ev = machine_.next_host_event_at();
+    if (ev < stop_at) stop_at = std::max(ev, v.now() + 1'000);
+    if (v.now() < stop_at) v.set_now(stop_at);
+    return;
+  }
+  // Pending kills land at the user-mode boundary; a task wedged inside
+  // the kernel (spinning on a leaked lock, holding others) is unkillable,
+  // just like a task stuck in D/R state on real Linux.
+  if (t->kill_pending && !t->in_kernel) {
+    exit_task(cpu, t);
+    return;
+  }
+  if (t->state == RunState::kSpinning) {
+    step_spin(cpu, t, until);
+    return;
+  }
+  if (t->ploc.active) {
+    step_location(cpu, t, until);
+    return;
+  }
+  // A user-lock waiter woken from its adaptive sleep re-enters the
+  // acquisition loop.
+  if (t->spin_lock >= kUserLockBit) {
+    t->state = RunState::kSpinning;
+    step_spin(cpu, t, until);
+    return;
+  }
+  if (t->in_syscall) {
+    if (!t->sc_ready)
+      throw std::logic_error("runnable task stuck in incomplete syscall");
+    const std::vector<u32> data = std::move(t->sc_data);
+    t->sc_data.clear();
+    t->sc_ready = false;
+    finish_syscall(cpu, t, t->sc_result, data);
+    return;
+  }
+  if (t->pending_compute > 0) {
+    run_compute(cpu, t, until);
+    return;
+  }
+
+  TaskCtx ctx{t->pid, v.now(), t->last_result, &rng_};
+  start_action(cpu, t, t->workload->next(ctx), until);
+}
+
+void Kernel::start_action(int cpu, Task* t, const Action& a, SimTime until) {
+  arch::Vcpu& v = machine_.vcpu(cpu);
+  if (const auto* c = std::get_if<ActCompute>(&a)) {
+    t->pending_compute = c->cycles;
+    run_compute(cpu, t, until);
+    return;
+  }
+  if (const auto* s = std::get_if<ActSyscall>(&a)) {
+    do_syscall(cpu, t, s->nr, s->a, s->b, s->c);
+    return;
+  }
+  if (const auto* k = std::get_if<ActKernelCall>(&a)) {
+    if (k->location >= locations_.size()) {
+      v.advance_cycles(kKernelEntryCycles);  // unknown location: no-op
+      return;
+    }
+    const KernelLocation& loc = locations_[k->location];
+    FaultClass fc = FaultClass::kNone;
+    if (location_hook_ != nullptr)
+      fc = location_hook_->on_location(k->location, t->pid);
+
+    auto& pl = t->ploc;
+    pl = PendingLocation{};
+    pl.active = true;
+    pl.location = k->location;
+    pl.fault_class = static_cast<u8>(fc);
+    const bool invert =
+        fc == FaultClass::kWrongOrder && loc.lock_b >= 0;
+    pl.first_lock = invert ? loc.lock_b : static_cast<i32>(loc.lock_a);
+    pl.second_lock = loc.lock_b >= 0
+                         ? (invert ? static_cast<i32>(loc.lock_a) : loc.lock_b)
+                         : -1;
+    t->in_kernel = true;
+    v.advance_cycles(kKernelEntryCycles);
+    if (loc.irqs_off) v.regs().interrupts_enabled = false;
+    step_location(cpu, t, until);
+    return;
+  }
+  if (const auto* u = std::get_if<ActUserLock>(&a)) {
+    step_userlock_action(cpu, t, *u);
+    return;
+  }
+  if (std::get_if<ActExit>(&a) != nullptr) {
+    // Modeled as the exit syscall so monitors see it.
+    do_syscall(cpu, t, SYS_EXIT, 0, 0, 0);
+    return;
+  }
+  if (const auto* m = std::get_if<ActUserTouch>(&a)) {
+    if (t->is_kthread()) {
+      v.advance_cycles(100);
+      return;
+    }
+    const u32 off = m->offset & PAGE_MASK;
+    if (m->exec) {
+      machine_.engine().execute_at(v, USER_CODE_BASE + off);
+    } else {
+      machine_.engine().guest_write(v, USER_STACK_TOP - PAGE_SIZE + off,
+                                    0xDEADBEEF, 4);
+    }
+    v.advance_cycles(60);
+    return;
+  }
+  throw std::logic_error("unhandled action");
+}
+
+void Kernel::run_compute(int cpu, Task* t, SimTime until) {
+  arch::Vcpu& v = machine_.vcpu(cpu);
+  const SimTime want = cycles_to_ns(t->pending_compute);
+  const SimTime give = std::min<SimTime>(want, std::max<SimTime>(
+                                                   until - v.now(), 1'000));
+  v.advance(give);
+  const Cycles done = ns_to_cycles(give);
+  t->pending_compute = done >= t->pending_compute ? 0
+                                                  : t->pending_compute - done;
+}
+
+// --------------------------- Kernel locations ---------------------------
+
+bool Kernel::try_lock_kernel(Task* t, u32 lock_id, bool sleeping_wait) {
+  (void)sleeping_wait;
+  SpinLock& l = locks_.kernel_lock(lock_id);
+  if (l.held) return false;
+  l.held = true;
+  l.holder_pid = t->pid;
+  return true;
+}
+
+void Kernel::unlock_kernel(Task* t, u32 lock_id) {
+  (void)t;
+  SpinLock& l = locks_.kernel_lock(lock_id);
+  l.held = false;
+  l.holder_pid = 0;
+  // Wake sleeping (mutex-like) waiters; spin waiters poll on their own.
+  while (!l.sleep_waiter_pids.empty()) {
+    const u32 pid = l.sleep_waiter_pids.front();
+    l.sleep_waiter_pids.pop_front();
+    Task* w = find_task(pid);
+    if (w != nullptr && w->state == RunState::kSleeping &&
+        w->blocked_on == BlockReason::kLockWait) {
+      wake(w);
+      break;  // one wakeup per release
+    }
+  }
+}
+
+void Kernel::step_location(int cpu, Task* t, SimTime until) {
+  arch::Vcpu& v = machine_.vcpu(cpu);
+  auto& pl = t->ploc;
+  const KernelLocation& loc = locations_.at(pl.location);
+
+  auto acquire_phase = [&](i32 lock_id, bool& holds, u8 next_phase) {
+    if (try_lock_kernel(t, static_cast<u32>(lock_id), loc.sleeping_wait)) {
+      holds = true;
+      ++t->preempt_count;
+      pl.phase = next_phase;
+      if (next_phase == 2) pl.cs_remaining = loc.cs_cycles;
+      v.advance_cycles(kLockAcquireCycles);
+      return true;
+    }
+    if (loc.sleeping_wait) {
+      locks_.kernel_lock(static_cast<u32>(lock_id))
+          .sleep_waiter_pids.push_back(t->pid);
+      v.advance_cycles(kLockAcquireCycles);
+      block_current(cpu, BlockReason::kLockWait);
+      return false;
+    }
+    // Contended spinlock: spin with preemption disabled (both kernel
+    // builds), pinning this vCPU until the lock is released.
+    t->state = RunState::kSpinning;
+    t->spin_lock = lock_id;
+    t->spin_preemptible = false;
+    ++t->preempt_count;
+    step_spin(cpu, t, until);
+    return false;
+  };
+
+  switch (pl.phase) {
+    case 0: {
+      u8 next_phase = pl.second_lock >= 0 ? 1 : 2;
+      // An inverted-order execution (the wrong-order fault) does real
+      // work between the two acquires — that window is what races with
+      // normal-order lock users and produces the deadlock.
+      if (pl.second_lock >= 0 &&
+          static_cast<FaultClass>(pl.fault_class) ==
+              FaultClass::kWrongOrder) {
+        next_phase = 4;
+        pl.gap_remaining = 90'000'000;  // ~30 ms inter-acquire window
+      }
+      if (!acquire_phase(pl.first_lock, pl.holds_first, next_phase))
+        return;
+      break;
+    }
+    case 4: {  // inter-acquire computation while holding the first lock
+      const SimTime want = cycles_to_ns(pl.gap_remaining);
+      const SimTime give =
+          std::min<SimTime>(want, std::max<SimTime>(until - v.now(), 1'000));
+      v.advance(give);
+      const Cycles done = ns_to_cycles(give);
+      pl.gap_remaining =
+          done >= pl.gap_remaining ? 0 : pl.gap_remaining - done;
+      if (pl.gap_remaining == 0) pl.phase = 1;
+      break;
+    }
+    case 1:
+      if (!acquire_phase(pl.second_lock, pl.holds_second, 2)) return;
+      break;
+    case 2: {  // critical section
+      const SimTime want = cycles_to_ns(pl.cs_remaining);
+      const SimTime give =
+          std::min<SimTime>(want, std::max<SimTime>(until - v.now(), 1'000));
+      v.advance(give);
+      const Cycles done = ns_to_cycles(give);
+      pl.cs_remaining = done >= pl.cs_remaining ? 0 : pl.cs_remaining - done;
+      if (pl.cs_remaining == 0) pl.phase = 3;
+      break;
+    }
+    case 3: {  // release / exit path — where the injected faults live
+      const auto fc = static_cast<FaultClass>(pl.fault_class);
+      bool release_first = true;
+      bool release_second = true;
+      if (fc == FaultClass::kMissingRelease) {
+        release_first = false;  // the primary unlock is the one missing
+      } else if (fc == FaultClass::kMissingIrqRestore) {
+        // The skipped exit path is a spin_unlock_irqrestore: both the
+        // unlock and the interrupt restore are lost.
+        release_first = false;
+      } else if (fc == FaultClass::kMissingPair) {
+        // The paired unlock/lock around a nested operation is skipped,
+        // leaving the innermost lock held.
+        if (pl.holds_second) {
+          release_second = false;
+        } else {
+          release_first = false;
+        }
+      }
+      if (pl.holds_second) {
+        if (release_second) unlock_kernel(t, static_cast<u32>(pl.second_lock));
+        --t->preempt_count;
+        pl.holds_second = false;
+      }
+      if (pl.holds_first) {
+        if (release_first) unlock_kernel(t, static_cast<u32>(pl.first_lock));
+        --t->preempt_count;
+        pl.holds_first = false;
+      }
+      if (loc.irqs_off && fc != FaultClass::kMissingIrqRestore) {
+        v.regs().interrupts_enabled = true;
+      }
+      v.advance_cycles(kLockAcquireCycles);
+      pl.active = false;
+      t->in_kernel = false;
+      break;
+    }
+    default:
+      throw std::logic_error("bad location phase");
+  }
+}
+
+void Kernel::step_spin(int cpu, Task* t, SimTime until) {
+  arch::Vcpu& v = machine_.vcpu(cpu);
+  if (t->spin_lock >= kUserLockBit) {
+    step_userlock(cpu, t, until);
+    return;
+  }
+  // Kernel spinlock poll: retry, else burn the remaining budget.
+  auto& pl = t->ploc;
+  const u32 lock_id = static_cast<u32>(t->spin_lock);
+  SpinLock& l = locks_.kernel_lock(lock_id);
+  if (!l.held) {
+    l.held = true;
+    l.holder_pid = t->pid;
+    t->state = RunState::kRunning;
+    t->spin_lock = -1;
+    // preempt_count was raised when the spin began; keep it for the CS.
+    if (pl.phase == 0) {
+      pl.holds_first = true;
+      if (pl.second_lock >= 0 &&
+          static_cast<FaultClass>(pl.fault_class) ==
+              FaultClass::kWrongOrder) {
+        pl.phase = 4;  // inverted order: compute before the second lock
+        pl.gap_remaining = 90'000'000;
+      } else {
+        pl.phase = pl.second_lock >= 0 ? 1 : 2;
+      }
+    } else {
+      pl.holds_second = true;
+      pl.phase = 2;
+    }
+    if (pl.phase == 2) pl.cs_remaining = locations_.at(pl.location).cs_cycles;
+    v.advance_cycles(kLockAcquireCycles);
+    return;
+  }
+  if (v.now() < until) v.set_now(until);
+}
+
+void Kernel::step_userlock_action(int cpu, Task* t, const ActUserLock& a) {
+  arch::Vcpu& v = machine_.vcpu(cpu);
+  UserLock& ul = locks_.user_lock(a.lock);
+  if (!a.acquire) {
+    if (ul.held && ul.holder_pid == t->pid) {
+      ul.held = false;
+      ul.holder_pid = 0;
+      // Wake adaptive sleepers; they race to re-acquire.
+      while (!ul.waiter_pids.empty()) {
+        Task* w = find_task(ul.waiter_pids.front());
+        ul.waiter_pids.pop_front();
+        if (w != nullptr && w->state == RunState::kSleeping &&
+            w->blocked_on == BlockReason::kLockWait) {
+          wake(w);
+        }
+      }
+    }
+    v.advance_cycles(kLockAcquireCycles);
+    return;
+  }
+  if (!ul.held) {
+    ul.held = true;
+    ul.holder_pid = t->pid;
+    v.advance_cycles(kLockAcquireCycles);
+    return;
+  }
+  // Contended: the adaptive path enters the kernel and spins. The wait is
+  // preemptible (preempt_count stays 0) — so on a preemptible kernel the
+  // spinner can be descheduled, while a non-preemptible kernel pins the
+  // vCPU (§VIII-A3's T2 example).
+  t->state = RunState::kSpinning;
+  t->spin_lock = kUserLockBit | a.lock;
+  t->spin_preemptible = true;
+  t->in_kernel = true;
+  v.advance_cycles(kKernelEntryCycles);
+}
+
+void Kernel::step_userlock(int cpu, Task* t, SimTime until) {
+  arch::Vcpu& v = machine_.vcpu(t->cpu);
+  UserLock& ul = locks_.user_lock(static_cast<u32>(t->spin_lock) & 0xFFFF);
+  if (!ul.held || find_task(ul.holder_pid) == nullptr) {
+    // Free (or abandoned by a dead owner): take it.
+    ul.held = true;
+    ul.holder_pid = t->pid;
+    t->state = RunState::kRunning;
+    t->spin_lock = -1;
+    t->in_kernel = false;
+    v.advance_cycles(kLockAcquireCycles);
+    return;
+  }
+  // Adaptive wait: keep spinning only while the owner is actually
+  // on-CPU (it will release soon — or it is wedged, which is §VIII-A3's
+  // hang scenario). If the owner is descheduled, sleep until release.
+  const Task* owner = find_task(ul.holder_pid);
+  const bool owner_on_cpu =
+      owner->state == RunState::kRunning ||
+      (owner->state == RunState::kSpinning &&
+       current_.at(owner->cpu) == owner);
+  if (!owner_on_cpu) {
+    ul.waiter_pids.push_back(t->pid);
+    block_current(cpu, BlockReason::kLockWait);
+    return;
+  }
+  if (v.now() < until) v.set_now(until);
+}
+
+}  // namespace hvsim::os

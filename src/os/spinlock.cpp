@@ -1,0 +1,11 @@
+#include "os/spinlock.hpp"
+
+namespace hvsim::os {
+
+u32 LockTable::kernel_locks_held() const {
+  u32 n = 0;
+  for (const auto& l : kernel_) n += l.held ? 1 : 0;
+  return n;
+}
+
+}  // namespace hvsim::os

@@ -1,0 +1,52 @@
+// Kernel spinlocks and user-level locks.
+//
+// These are semantic models, not byte-level guest structures: what matters
+// for hang genesis is who holds what and who is spinning, which the kernel
+// tracks host-side. (The memory the locks protect is irrelevant to the
+// experiments.)
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace hvsim::os {
+
+struct SpinLock {
+  bool held = false;
+  u32 holder_pid = 0;
+  /// Waiters on mutex-like (sleeping_wait) paths; spin waiters poll.
+  std::deque<u32> sleep_waiter_pids;
+};
+
+struct UserLock {
+  bool held = false;
+  u32 holder_pid = 0;
+  /// Adaptive waiters that went to sleep because the owner was not
+  /// on-CPU; release wakes them to retry.
+  std::deque<u32> waiter_pids;
+};
+
+class LockTable {
+ public:
+  explicit LockTable(u32 num_kernel_locks = 512, u32 num_user_locks = 64)
+      : kernel_(num_kernel_locks), user_(num_user_locks) {}
+
+  SpinLock& kernel_lock(u32 id) { return kernel_.at(id); }
+  const SpinLock& kernel_lock(u32 id) const { return kernel_.at(id); }
+  UserLock& user_lock(u32 id) { return user_.at(id); }
+
+  u32 num_kernel_locks() const { return static_cast<u32>(kernel_.size()); }
+  u32 num_user_locks() const { return static_cast<u32>(user_.size()); }
+
+  /// Number of kernel locks currently held (diagnostics / tests).
+  u32 kernel_locks_held() const;
+
+ private:
+  std::vector<SpinLock> kernel_;
+  std::vector<UserLock> user_;
+};
+
+}  // namespace hvsim::os

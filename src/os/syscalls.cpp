@@ -1,0 +1,345 @@
+// System call entry, dispatch through the guest-memory table, and the
+// native handler implementations.
+#include "arch/vcpu.hpp"
+#include "os/kernel.hpp"
+
+namespace hvsim::os {
+
+namespace {
+constexpr u32 kError = 0xFFFF'FFFFu;
+constexpr Cycles kFileMetaCycles = 2'000;
+constexpr Cycles kCopyPerKiB = 700;
+constexpr Cycles kSpawnCycles = 400'000;  // fork+exec ~130 us
+}  // namespace
+
+void Kernel::do_syscall(int cpu, Task* t, u8 nr, u32 a, u32 b, u32 c) {
+  arch::Vcpu& v = machine_.vcpu(cpu);
+  // Parameters travel in general-purpose registers — what the EXCEPTION /
+  // EPT_VIOLATION exit handler snapshots (Fig. 3D/3E).
+  v.regs().set_reg(arch::Gpr::RAX, nr);
+  v.regs().set_reg(arch::Gpr::RBX, a);
+  v.regs().set_reg(arch::Gpr::RCX, b);
+  v.regs().set_reg(arch::Gpr::RDX, c);
+
+  t->in_kernel = true;
+  t->in_syscall = true;
+  t->sc_nr = nr;
+  t->sc_args[0] = a;
+  t->sc_args[1] = b;
+  t->sc_args[2] = c;
+  t->sc_ready = false;
+
+  if (cfg_.fast_syscalls) {
+    // SYSENTER: jump to the MSR-published entry point; if HyperTap has
+    // execute-protected that page this fetch raises an EPT_VIOLATION.
+    machine_.engine().execute_at(v, layout_.sysenter_entry);
+  } else {
+    machine_.engine().software_interrupt(v, cfg_.syscall_vector);
+  }
+  v.regs().cpl = 0;
+  v.advance_cycles(cfg_.syscall_base_cycles);
+  ++t->n_syscalls;
+  ++total_syscalls_;
+
+  SyscallOutcome out = dispatch_syscall(cpu, t, nr, a, b, c);
+  if (t->exited) return;
+  if (out.block) {
+    block_current(cpu, out.reason);
+    return;
+  }
+  finish_syscall(cpu, t, out.result, out.data);
+}
+
+SyscallOutcome Kernel::dispatch_syscall(int cpu, Task* t, u8 nr, u32 a,
+                                        u32 b, u32 c) {
+  if (nr >= NUM_SYSCALLS) return {kError};
+  // Read the handler entry address from the table *in guest memory*: this
+  // is the hijack point syscall-table rootkits overwrite.
+  const Gva entry = mem_.rd32(syscall_table_gpa_ + nr * 4u);
+  const auto it = handler_registry_.find(entry);
+  if (it == handler_registry_.end()) return {kError};
+  const HandlerImpl& impl = it->second;
+
+  SyscallOutcome out;
+  switch (impl.nr) {
+    case SYS_GETPID: out = sys_getpid(cpu, t, a, b, c); break;
+    case SYS_OPEN:
+    case SYS_CLOSE:
+    case SYS_LSEEK:
+    case SYS_READ:
+    case SYS_WRITE: out = sys_file_io(cpu, t, impl.nr, a, b); break;
+    case SYS_PROC_LIST: out = sys_proc_list(cpu, t); break;
+    case SYS_PROC_STAT: out = sys_proc_stat(cpu, t, a); break;
+    case SYS_NANOSLEEP: out = sys_nanosleep(cpu, t, a); break;
+    case SYS_SPAWN: out = sys_spawn(cpu, t, a, b); break;
+    case SYS_EXIT: out = sys_exit(cpu, t); break;
+    case SYS_YIELD: out = sys_yield(cpu, t); break;
+    case SYS_GETTIME: out = sys_gettime(cpu, t); break;
+    case SYS_PIPE_WRITE: out = sys_pipe_write(cpu, t, a, b); break;
+    case SYS_PIPE_READ: out = sys_pipe_read(cpu, t, a, b); break;
+    case SYS_KILL: out = sys_kill(cpu, t, a); break;
+    case SYS_SETEUID: out = sys_seteuid(cpu, t, a); break;
+    case SYS_NET_SEND: out = sys_net_send(cpu, t, a); break;
+    case SYS_NET_RECV: out = sys_net_recv(cpu, t); break;
+    case SYS_GETUID: out = sys_getuid_impl(cpu, t); break;
+    default: out = {kError}; break;
+  }
+  if (!out.block && impl.wrapper) {
+    impl.wrapper(*t, std::array<u32, 3>{a, b, c}, out);
+  }
+  return out;
+}
+
+void Kernel::finish_syscall(int cpu, Task* t, u32 result,
+                            const std::vector<u32>& data) {
+  arch::Vcpu& v = machine_.vcpu(cpu);
+  if (!data.empty() && t->workload) t->workload->on_syscall_data(t->sc_nr, data);
+  t->last_result = result;
+  v.regs().set_reg(arch::Gpr::RAX, result);
+  t->in_syscall = false;
+  t->in_kernel = false;
+  v.regs().cpl = 3;
+}
+
+// ------------------------------ Handlers --------------------------------
+
+SyscallOutcome Kernel::sys_getpid(int cpu, Task* t, u32, u32, u32) {
+  (void)cpu;
+  return {t->pid};
+}
+
+SyscallOutcome Kernel::sys_getuid_impl(int cpu, Task* t) {
+  (void)cpu;
+  return {ts_read(*t, TS_UID)};
+}
+
+SyscallOutcome Kernel::sys_file_io(int cpu, Task* t, u8 nr, u32 fd,
+                                   u32 bytes) {
+  arch::Vcpu& v = machine_.vcpu(cpu);
+  (void)fd;
+  switch (nr) {
+    case SYS_OPEN:
+    case SYS_CLOSE:
+    case SYS_LSEEK:
+      v.advance_cycles(kFileMetaCycles);
+      return {3};  // a plausible fd
+    case SYS_READ:
+    case SYS_WRITE: {
+      v.advance_cycles(kFileMetaCycles + kCopyPerKiB * ((bytes + 1023) / 1024));
+      // Issue the device command (IO_INSTRUCTION exit) and wait for the
+      // completion interrupt.
+      machine_.engine().io_port(v, hv::PORT_DISK_CMD, /*is_write=*/true,
+                                bytes, 4);
+      disk_waiters_.push_back(t);
+      SyscallOutcome out;
+      out.block = true;
+      out.reason = BlockReason::kDisk;
+      return out;
+    }
+    default:
+      return {kError};
+  }
+}
+
+SyscallOutcome Kernel::sys_proc_list(int cpu, Task* t) {
+  arch::Vcpu& v = machine_.vcpu(cpu);
+  (void)t;
+  u32 entries = 0;
+  SyscallOutcome out;
+  out.data = walk_guest_task_list(&entries);
+  out.result = static_cast<u32>(out.data.size());
+  v.advance_cycles(cfg_.proc_entry_cycles * entries);
+  return out;
+}
+
+SyscallOutcome Kernel::sys_proc_stat(int cpu, Task* t, u32 pid) {
+  arch::Vcpu& v = machine_.vcpu(cpu);
+  (void)t;
+  v.advance_cycles(cfg_.proc_entry_cycles);
+  const Task* target = guest_list_find(pid);
+  if (target == nullptr) return {kError};
+  SyscallOutcome out;
+  out.result = 0;
+  out.data = {ts_read(*target, TS_UID), ts_read(*target, TS_EUID),
+              ts_read(*target, TS_PPID), ts_read(*target, TS_STATE),
+              ts_read(*target, TS_EXE_ID), ts_read(*target, TS_FLAGS)};
+  return out;
+}
+
+SyscallOutcome Kernel::sys_nanosleep(int cpu, Task* t, u32 usec) {
+  (void)cpu;
+  const u32 pid = t->pid;
+  // Sleep expiry is timer-tick aligned (like a real tick-based kernel)
+  // plus a little dispatch noise — the jitter the /proc side channel of
+  // Table III observes.
+  const SimTime period = machine_.config().timer_period;
+  const SimTime base = machine_.vcpu(cpu).now() + SimTime{usec} * 1'000;
+  const SimTime aligned = (base / period + 1) * period;
+  const SimTime wake_at =
+      aligned + static_cast<SimTime>(rng_.below(80'000));
+  machine_.schedule(wake_at, [this, pid]() { try_timer_wake(pid); });
+  SyscallOutcome out;
+  out.block = true;
+  out.reason = BlockReason::kSleepTimer;
+  return out;
+}
+
+void Kernel::try_timer_wake(u32 pid) {
+  // Sleep expiry rides the per-CPU timer: if interrupts are dead on the
+  // task's CPU (missing-irq-restore fault), the wakeup cannot fire — the
+  // scheduler there starves, which is how such faults manifest as hangs.
+  Task* task = find_task(pid);
+  if (task == nullptr || task->blocked_on != BlockReason::kSleepTimer)
+    return;
+  if (!machine_.vcpu(task->cpu).regs().interrupts_enabled) {
+    machine_.schedule(machine_.now() + 10'000'000,
+                      [this, pid]() { try_timer_wake(pid); });
+    return;
+  }
+  task->sc_result = 0;
+  task->sc_ready = true;
+  wake(task);
+}
+
+SyscallOutcome Kernel::sys_spawn(int cpu, Task* t, u32 exe_id, u32 flags) {
+  arch::Vcpu& v = machine_.vcpu(cpu);
+  v.advance_cycles(kSpawnCycles);
+  if (!cfg_.spawn_factory) return {kError};
+  auto w = cfg_.spawn_factory(exe_id, rng_);
+  if (w == nullptr) return {kError};
+  const std::string name = "exe" + std::to_string(exe_id);
+  const u32 pid = spawn(name, ts_read(*t, TS_UID), ts_read(*t, TS_EUID),
+                        t->pid, std::move(w), exe_id, -1, flags);
+  return {pid};
+}
+
+SyscallOutcome Kernel::sys_exit(int cpu, Task* t) {
+  exit_task(cpu, t);
+  return {};
+}
+
+SyscallOutcome Kernel::sys_yield(int cpu, Task* t) {
+  (void)t;
+  need_resched_.at(cpu) = true;
+  return {0};
+}
+
+SyscallOutcome Kernel::sys_gettime(int cpu, Task* t) {
+  (void)t;
+  return {static_cast<u32>(machine_.vcpu(cpu).now() / 1'000)};
+}
+
+SyscallOutcome Kernel::sys_pipe_write(int cpu, Task* t, u32 pipe_id,
+                                      u32 bytes) {
+  arch::Vcpu& v = machine_.vcpu(cpu);
+  Pipe& p = pipe(pipe_id);
+  v.advance_cycles(kCopyPerKiB * ((bytes + 1023) / 1024) + 5'000);
+  if (p.bytes + bytes > p.capacity) {
+    p.write_waiters.push_back(t);
+    SyscallOutcome out;
+    out.block = true;
+    out.reason = BlockReason::kPipeWrite;
+    return out;
+  }
+  p.bytes += bytes;
+  // Complete one pending reader, if any.
+  if (!p.read_waiters.empty()) {
+    Task* r = p.read_waiters.front();
+    p.read_waiters.pop_front();
+    const u32 want = r->sc_args[1];
+    const u32 got = std::min(want, p.bytes);
+    p.bytes -= got;
+    r->sc_result = got;
+    r->sc_ready = true;
+    wake(r);
+  }
+  return {bytes};
+}
+
+SyscallOutcome Kernel::sys_pipe_read(int cpu, Task* t, u32 pipe_id,
+                                     u32 bytes) {
+  arch::Vcpu& v = machine_.vcpu(cpu);
+  Pipe& p = pipe(pipe_id);
+  v.advance_cycles(kCopyPerKiB * ((bytes + 1023) / 1024) + 5'000);
+  if (p.bytes == 0) {
+    p.read_waiters.push_back(t);
+    SyscallOutcome out;
+    out.block = true;
+    out.reason = BlockReason::kPipeRead;
+    return out;
+  }
+  const u32 got = std::min(bytes, p.bytes);
+  p.bytes -= got;
+  // Unblock one pending writer, if any (space just appeared).
+  if (!p.write_waiters.empty()) {
+    Task* w = p.write_waiters.front();
+    const u32 wbytes = w->sc_args[1];
+    if (p.bytes + wbytes <= p.capacity) {
+      p.write_waiters.pop_front();
+      p.bytes += wbytes;
+      w->sc_result = wbytes;
+      w->sc_ready = true;
+      wake(w);
+    }
+  }
+  return {got};
+}
+
+SyscallOutcome Kernel::sys_kill(int cpu, Task* t, u32 pid) {
+  Task* target = find_task(pid);
+  if (target == nullptr) return {kError};
+  const u32 my_euid = ts_read(*t, TS_EUID);
+  if (my_euid != 0 && ts_read(*target, TS_UID) != ts_read(*t, TS_UID))
+    return {kError};
+  if (target == t) {
+    exit_task(cpu, t);
+    return {};
+  }
+  if (target->state == RunState::kRunning ||
+      target->state == RunState::kSpinning) {
+    target->kill_pending = true;  // dies at its next user-mode boundary
+  } else {
+    exit_task(cpu, target);
+  }
+  return {0};
+}
+
+SyscallOutcome Kernel::sys_seteuid(int cpu, Task* t, u32 euid) {
+  (void)cpu;
+  const u32 cur_euid = ts_read(*t, TS_EUID);
+  const u32 flags = ts_read(*t, TS_FLAGS);
+  if (cur_euid != 0 && (flags & TASK_FLAG_WHITELISTED) == 0) return {kError};
+  ts_write(*t, TS_EUID, euid);
+  return {0};
+}
+
+SyscallOutcome Kernel::sys_net_send(int cpu, Task* t, u32 value) {
+  (void)t;
+  arch::Vcpu& v = machine_.vcpu(cpu);
+  if (cfg_.nic_mmio) {
+    // MMIO doorbell: a store into the device window -> EPT_VIOLATION,
+    // routed to the device model by the hypervisor.
+    machine_.engine().guest_write(
+        v, KERNEL_BASE + machine_.mmio_base(), value, 4);
+  } else {
+    machine_.engine().io_port(v, hv::PORT_NET_TX, /*is_write=*/true, value,
+                              4);
+  }
+  return {0};
+}
+
+SyscallOutcome Kernel::sys_net_recv(int cpu, Task* t) {
+  (void)cpu;
+  if (!net_rx_.empty()) {
+    const u32 payload = net_rx_.front();
+    net_rx_.pop_front();
+    return {payload};
+  }
+  net_waiters_.push_back(t);
+  SyscallOutcome out;
+  out.block = true;
+  out.reason = BlockReason::kNet;
+  return out;
+}
+
+}  // namespace hvsim::os

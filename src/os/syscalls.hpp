@@ -1,0 +1,50 @@
+// System call numbers and the in-guest-memory dispatch table contract.
+//
+// Dispatch is faithful to the attack surface: the kernel reads the handler
+// entry address from the syscall table *in guest memory* and maps it to an
+// implementation through a registry keyed by that address. A rootkit that
+// overwrites a table slot with the address of its own (registered) wrapper
+// therefore really does hijack dispatch, exactly like AFX/HideToolz-style
+// rootkits hijack NtQuerySystemInformation / getdents.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace hvsim::os {
+
+enum Syscall : u8 {
+  SYS_GETPID = 0,
+  SYS_OPEN = 1,
+  SYS_READ = 2,
+  SYS_WRITE = 3,
+  SYS_LSEEK = 4,
+  SYS_CLOSE = 5,
+  SYS_PROC_LIST = 6,  ///< enumerate pids (getdents on /proc)
+  SYS_PROC_STAT = 7,  ///< read /proc/<pid>/stat: uid, euid, ppid, state
+  SYS_NANOSLEEP = 8,
+  SYS_SPAWN = 9,  ///< fork+exec of exe_id `a`; returns child pid
+  SYS_EXIT = 10,
+  SYS_YIELD = 11,
+  SYS_GETTIME = 12,  ///< guest-visible clock, microseconds
+  SYS_PIPE_WRITE = 13,
+  SYS_PIPE_READ = 14,
+  SYS_KILL = 15,
+  SYS_SETEUID = 16,
+  SYS_NET_SEND = 17,
+  SYS_NET_RECV = 18,
+  SYS_GETUID = 19,
+  NUM_SYSCALLS = 20,
+};
+
+const char* syscall_name(u8 nr);
+
+/// Syscalls PED (HT-Ninja) classifies as I/O-related — the active-
+/// monitoring checkpoints of §VII-C ("every I/O-related system call").
+bool is_io_syscall(u8 nr);
+
+/// The legacy software-interrupt vectors for system calls: Linux uses
+/// INT 0x80, Windows uses INT 0x2E (Fig. 3D covers both).
+inline constexpr u8 SYSCALL_INT_VECTOR = 0x80;
+inline constexpr u8 SYSCALL_INT_VECTOR_NT = 0x2E;
+
+}  // namespace hvsim::os

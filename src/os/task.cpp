@@ -1,0 +1,16 @@
+#include "os/task.hpp"
+
+namespace hvsim::os {
+
+const char* to_string(RunState s) {
+  switch (s) {
+    case RunState::kRunnable: return "runnable";
+    case RunState::kRunning: return "running";
+    case RunState::kSleeping: return "sleeping";
+    case RunState::kSpinning: return "spinning";
+    case RunState::kZombie: return "zombie";
+  }
+  return "?";
+}
+
+}  // namespace hvsim::os

@@ -1,0 +1,203 @@
+// Guest tasks: the host-side control block mirroring a task_struct that
+// lives in guest memory, and the Workload abstraction guest programs are
+// written against.
+//
+// Authoritative process identity (pid, uid, euid, parent, list linkage,
+// PDBA, comm, flags) is stored *in guest memory* — the kernel reads and
+// writes it there — so that rootkits can manipulate it and monitoring
+// tools can (try to) read it. The host-side Task only carries scheduling
+// and execution-machine state that a real kernel would keep in registers
+// and on the kernel stack.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace hvsim::os {
+
+class Kernel;
+
+// ----------------------------- Actions ---------------------------------
+// A workload is a deterministic state machine that emits one action at a
+// time; the kernel executes actions on the task's behalf (think of it as
+// the user-mode program text).
+
+/// Burn CPU in user mode.
+struct ActCompute {
+  Cycles cycles;
+};
+
+/// Invoke a system call (user->kernel transition via INT 0x80 or SYSENTER
+/// per kernel configuration).
+struct ActSyscall {
+  u8 nr;
+  u32 a = 0;
+  u32 b = 0;
+  u32 c = 0;
+};
+
+/// Exercise an instrumented kernel code path (a fault-injection location):
+/// spinlock-protected critical section, optionally irq-disabling.
+struct ActKernelCall {
+  u16 location;
+};
+
+/// Acquire/release a user-level lock. Contended acquisition enters the
+/// kernel and spins; the wait is preemptible only on a preemptible kernel
+/// (this reproduces the partial-vs-full-hang dynamics of §VIII-A3).
+struct ActUserLock {
+  u16 lock;
+  bool acquire;
+};
+
+/// Terminate the process.
+struct ActExit {};
+
+/// Touch user memory through the architectural access path: a data write
+/// to the user stack or an instruction fetch from the user code segment.
+/// With EPT protections set by a monitor, these are the fine-grained
+/// interception events of §VI-D.
+struct ActUserTouch {
+  bool exec = false;
+  u32 offset = 0;  ///< within the page
+};
+
+using Action = std::variant<ActCompute, ActSyscall, ActKernelCall,
+                            ActUserLock, ActExit, ActUserTouch>;
+
+// ----------------------------- Workload --------------------------------
+
+/// Context a workload sees when deciding its next action.
+struct TaskCtx {
+  u32 pid = 0;
+  SimTime now = 0;
+  /// Result of the most recent syscall (value register).
+  u32 last_result = 0;
+  util::Rng* rng = nullptr;
+};
+
+/// A guest user program. Implementations live in src/workloads (plus the
+/// in-guest agents: O-Ninja, attack payloads, probes).
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Produce the next action. Called exactly once per completed action.
+  virtual Action next(TaskCtx& ctx) = 0;
+
+  /// Data-carrying syscall results (e.g. the pid list from SYS_PROC_LIST)
+  /// are delivered here — the analogue of the kernel copying to a user
+  /// buffer.
+  virtual void on_syscall_data(u8 nr, const std::vector<u32>& data) {
+    (void)nr;
+    (void)data;
+  }
+
+  /// Optional label used in diagnostics.
+  virtual std::string name() const { return "workload"; }
+};
+
+// ------------------------------- Task -----------------------------------
+
+enum class RunState : u8 {
+  kRunnable,   ///< on a runqueue, not current
+  kRunning,    ///< current on its CPU
+  kSleeping,   ///< blocked (syscall wait, nanosleep, ...)
+  kSpinning,   ///< burning CPU waiting on a lock (counts as running)
+  kZombie,
+};
+
+const char* to_string(RunState s);
+
+enum class BlockReason : u8 {
+  kNone = 0,
+  kDisk,
+  kNet,
+  kPipeRead,
+  kPipeWrite,
+  kSleepTimer,
+  kLockWait,  ///< sleeping (mutex-like) lock acquisition
+  kForever,   ///< lost wakeup (probe-path fault model)
+};
+
+/// Progress through an instrumented kernel location (spinlock section).
+struct PendingLocation {
+  bool active = false;
+  u16 location = 0;
+  u8 phase = 0;  ///< 0: acquire first, 1: acquire second, 2: critical
+                 ///< section, 3: release/finish, 4: inter-acquire gap
+                 ///< (inverted-order executions compute between locks)
+  /// Fault-behaviour decision made at entry (one decision per execution).
+  u8 fault_class = 0;
+  Cycles cs_remaining = 0;
+  Cycles gap_remaining = 0;
+  /// Which lock ids this execution takes, in order (after any inversion).
+  i32 first_lock = -1;
+  i32 second_lock = -1;
+  bool holds_first = false;
+  bool holds_second = false;
+};
+
+struct Task {
+  // Identity (mirrors guest memory; the guest copy is authoritative for
+  // anything monitors read).
+  u32 pid = 0;
+  Gva ts_gva = 0;   ///< task_struct GVA
+  Gpa ts_gpa = 0;   ///< same object, physical
+  Gpa pdba = 0;     ///< page directory GPA; 0 for kernel threads (borrow mm)
+  Gva kstack_base = 0;
+  Gpa kstack_gpa = 0;
+  u32 rsp0 = 0;     ///< kernel stack top — the thread identifier invariant
+  Gva ti_gva = 0;   ///< thread_info
+  u32 exe_id = 0;
+  std::string comm;
+  /// Frames owned by this process (freed — and zeroed — at exit).
+  std::vector<Gpa> pt_frames;
+  std::vector<Gpa> user_frames;
+
+  // Scheduling.
+  int cpu = 0;  ///< static affinity (assignment at spawn)
+  RunState state = RunState::kRunnable;
+  SimTime slice_end = 0;
+  bool in_kernel = false;
+  int preempt_count = 0;
+
+  // Spin wait.
+  i32 spin_lock = -1;        ///< kernel lock id, or user lock id + bit 16
+  bool spin_preemptible = false;
+
+  // Kernel-location state machine.
+  PendingLocation ploc;
+
+  // Syscall state machine.
+  bool in_syscall = false;
+  u8 sc_nr = 0;
+  u32 sc_args[3] = {0, 0, 0};
+  bool sc_ready = false;   ///< blocked syscall completed; result available
+  u32 sc_result = 0;
+  std::vector<u32> sc_data;
+  BlockReason blocked_on = BlockReason::kNone;
+  SimTime wake_at = 0;
+
+  // User program.
+  std::unique_ptr<Workload> workload;
+  Cycles pending_compute = 0;
+  u32 last_result = 0;
+  bool exited = false;
+  bool kill_pending = false;
+
+  // Statistics.
+  u64 n_syscalls = 0;
+  u64 n_switched_in = 0;
+  SimTime start_time = 0;
+
+  bool is_kthread() const { return pdba == 0; }
+};
+
+}  // namespace hvsim::os

@@ -1,0 +1,52 @@
+// Minimal severity-filtered logging for the library. Off by default so the
+// benches stay quiet; tests and examples can raise the level.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace hvsim::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+LogLevel& log_level();
+
+inline void set_log_level(LogLevel lvl) { log_level() = lvl; }
+
+inline LogLevel& log_level() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+inline const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    default: return "OFF";
+  }
+}
+
+inline void log_line(LogLevel lvl, const std::string& msg) {
+  if (lvl < log_level()) return;
+  std::cerr << "[" << level_name(lvl) << "] " << msg << "\n";
+}
+
+}  // namespace hvsim::util
+
+#define HVSIM_LOG(lvl, expr)                                         \
+  do {                                                               \
+    if ((lvl) >= ::hvsim::util::log_level()) {                       \
+      std::ostringstream hvsim_log_os_;                              \
+      hvsim_log_os_ << expr;                                         \
+      ::hvsim::util::log_line((lvl), hvsim_log_os_.str());           \
+    }                                                                \
+  } while (0)
+
+#define HVSIM_DEBUG(expr) HVSIM_LOG(::hvsim::util::LogLevel::kDebug, expr)
+#define HVSIM_INFO(expr) HVSIM_LOG(::hvsim::util::LogLevel::kInfo, expr)
+#define HVSIM_WARN(expr) HVSIM_LOG(::hvsim::util::LogLevel::kWarn, expr)
+#define HVSIM_ERROR(expr) HVSIM_LOG(::hvsim::util::LogLevel::kError, expr)

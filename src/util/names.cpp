@@ -1,0 +1,28 @@
+#include "util/names.hpp"
+
+#include <sstream>
+
+#include "util/stats.hpp"
+
+namespace hvsim::util {
+
+std::string format_time(SimTime ns) {
+  const double v = static_cast<double>(ns);
+  if (ns < 1'000) return format_double(v, 0) + " ns";
+  if (ns < 1'000'000) return format_double(v / 1e3, 2) + " us";
+  if (ns < 1'000'000'000) return format_double(v / 1e6, 2) + " ms";
+  return format_double(v / 1e9, 2) + " s";
+}
+
+std::string format_count(u64 n) {
+  const double v = static_cast<double>(n);
+  if (n < 10'000) {
+    std::ostringstream os;
+    os << n;
+    return os.str();
+  }
+  if (n < 10'000'000) return format_double(v / 1e3, 1) + "k";
+  return format_double(v / 1e6, 1) + "M";
+}
+
+}  // namespace hvsim::util

@@ -1,0 +1,16 @@
+// Human-readable formatting helpers shared by tests, benches and examples.
+#pragma once
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace hvsim::util {
+
+/// "1.234 ms", "12.0 s", "420 ns" — pick the natural unit.
+std::string format_time(SimTime ns);
+
+/// "12.3k", "4.5M" — compact counts for tables.
+std::string format_count(u64 n);
+
+}  // namespace hvsim::util

@@ -1,0 +1,72 @@
+// Lock-free single-producer / single-consumer ring buffer.
+//
+// This is the data structure backing HyperTap's Event Multiplexer channel
+// between the Event Forwarder (producer: the hypervisor exit path) and each
+// auditing container (consumer). The simulation itself is single-threaded
+// and deterministic, but the buffer is a real concurrent structure and is
+// exercised multi-threaded in tests and in bench/em_throughput.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace hvsim::util {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to the next power of two; one slot is reserved
+  /// to distinguish full from empty, so usable capacity is `capacity()`.
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity + 1) cap <<= 1;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return buf_.size() - 1; }
+
+  /// Producer side. Returns false when the ring is full (event dropped —
+  /// the Event Multiplexer counts drops per auditor).
+  bool try_push(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) return false;
+    buf_[head] = std::move(value);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.
+  std::optional<T> try_pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
+    T value = std::move(buf_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return value;
+  }
+
+  bool empty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+  std::size_t size() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace hvsim::util

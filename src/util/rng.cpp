@@ -1,0 +1,80 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace hvsim::util {
+namespace {
+
+u64 splitmix64(u64& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  u64 z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(u64 seed) {
+  u64 sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+u64 Rng::next() {
+  const u64 result = rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+u64 Rng::below(u64 bound) {
+  // Debiased modulo via rejection sampling.
+  const u64 threshold = (0 - bound) % bound;
+  for (;;) {
+    const u64 r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+i64 Rng::range(i64 lo, i64 hi) {
+  return lo + static_cast<i64>(below(static_cast<u64>(hi - lo + 1)));
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::exponential(double mean) {
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+Rng Rng::fork() { return Rng(next()); }
+
+}  // namespace hvsim::util

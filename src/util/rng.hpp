@@ -1,0 +1,49 @@
+// Deterministic PRNG used throughout the simulation.
+//
+// All stochastic behaviour in the simulator (scheduling jitter, device
+// latencies, fault-injection sampling, attack timing) flows from instances
+// of this generator so that every experiment is reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/types.hpp"
+
+namespace hvsim::util {
+
+/// xoshiro256** seeded through SplitMix64. Small, fast, and good enough for
+/// simulation purposes; not cryptographic.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  u64 next();
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  u64 below(u64 bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  i64 range(i64 lo, i64 hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normal via Box-Muller.
+  double normal(double mean, double stddev);
+
+  /// Derive an independent child generator (for sub-experiments).
+  Rng fork();
+
+ private:
+  u64 s_[4];
+};
+
+}  // namespace hvsim::util

@@ -1,0 +1,136 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace hvsim::util {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void Samples::add(double x) {
+  xs_.push_back(x);
+  sorted_ = false;
+}
+
+void Samples::sort() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::mean() const {
+  if (xs_.empty()) return 0.0;
+  return std::accumulate(xs_.begin(), xs_.end(), 0.0) /
+         static_cast<double>(xs_.size());
+}
+
+double Samples::stddev() const {
+  if (xs_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : xs_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs_.size() - 1));
+}
+
+double Samples::min() const {
+  sort();
+  return xs_.empty() ? 0.0 : xs_.front();
+}
+
+double Samples::max() const {
+  sort();
+  return xs_.empty() ? 0.0 : xs_.back();
+}
+
+double Samples::percentile(double p) const {
+  if (xs_.empty()) throw std::logic_error("percentile of empty sample set");
+  sort();
+  if (p <= 0) return xs_.front();
+  if (p >= 100) return xs_.back();
+  const double rank = p / 100.0 * static_cast<double>(xs_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= xs_.size()) return xs_.back();
+  return xs_[lo] * (1.0 - frac) + xs_[lo + 1] * frac;
+}
+
+double Samples::cdf_at(double x) const {
+  sort();
+  if (xs_.empty()) return 0.0;
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  return static_cast<double>(it - xs_.begin()) /
+         static_cast<double>(xs_.size());
+}
+
+std::vector<double> Samples::cdf(const std::vector<double>& grid) const {
+  std::vector<double> out;
+  out.reserve(grid.size());
+  for (double g : grid) out.push_back(cdf_at(g));
+  return out;
+}
+
+std::string format_double(double v, int decimals) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << v;
+  return os.str();
+}
+
+std::string percent(double fraction, int decimals) {
+  return format_double(fraction * 100.0, decimals) + "%";
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::str() const {
+  std::vector<std::size_t> w(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) w[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      w[i] = std::max(w[i], row[i].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << "| " << row[i] << std::string(w[i] - row[i].size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  emit_row(headers_);
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    os << "|" << std::string(w[i] + 2, '-');
+  os << "|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+}  // namespace hvsim::util

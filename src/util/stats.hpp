@@ -1,0 +1,81 @@
+// Small statistics toolkit used by the benchmark harnesses: online
+// mean/variance (Welford), percentiles, and empirical CDFs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace hvsim::util {
+
+/// Streaming mean / variance / min / max accumulator.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A collected sample set supporting percentiles and CDF evaluation.
+class Samples {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { xs_.reserve(n); }
+
+  std::size_t count() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  /// Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+
+  /// Fraction of samples <= x.
+  double cdf_at(double x) const;
+
+  /// Evaluate the empirical CDF at each point in `grid`.
+  std::vector<double> cdf(const std::vector<double>& grid) const;
+
+  const std::vector<double>& values() const { return xs_; }
+
+ private:
+  void sort() const;
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+};
+
+/// Render a ratio as a fixed-width percentage string, e.g. "12.3%".
+std::string percent(double fraction, int decimals = 1);
+
+/// Simple fixed-column table printer for bench output.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  /// Format the table; column widths fit the widest cell.
+  std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string format_double(double v, int decimals);
+
+}  // namespace hvsim::util

@@ -1,0 +1,62 @@
+// Common scalar types shared by every layer of the simulator.
+//
+// The simulated guest is a 32-bit x86-style machine: guest virtual and
+// guest physical addresses are 32 bits wide, pages are 4 KiB, and the
+// paging structures are the classic two-level page directory / page table.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hvsim {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Guest virtual address.
+using Gva = u32;
+/// Guest physical address.
+using Gpa = u32;
+
+/// Simulated time in nanoseconds since machine power-on.
+using SimTime = i64;
+
+/// CPU cycles (converted to SimTime through CPU_HZ).
+using Cycles = u64;
+
+inline constexpr u32 PAGE_SHIFT = 12;
+inline constexpr u32 PAGE_SIZE = 1u << PAGE_SHIFT;
+inline constexpr u32 PAGE_MASK = PAGE_SIZE - 1;
+
+/// Simulated CPU frequency: 3 GHz (the paper's testbed is an i5 3.07 GHz).
+inline constexpr u64 CPU_HZ = 3'000'000'000ull;
+
+/// Convert a cycle count to simulated nanoseconds (rounding up so that
+/// nonzero work always advances time).
+constexpr SimTime cycles_to_ns(Cycles c) {
+  return static_cast<SimTime>((c * 1'000'000'000ull + CPU_HZ - 1) / CPU_HZ);
+}
+
+constexpr Cycles ns_to_cycles(SimTime ns) {
+  return static_cast<Cycles>(ns) * CPU_HZ / 1'000'000'000ull;
+}
+
+constexpr SimTime operator""_us(unsigned long long v) {
+  return static_cast<SimTime>(v) * 1'000;
+}
+constexpr SimTime operator""_ms(unsigned long long v) {
+  return static_cast<SimTime>(v) * 1'000'000;
+}
+constexpr SimTime operator""_s(unsigned long long v) {
+  return static_cast<SimTime>(v) * 1'000'000'000;
+}
+
+constexpr Gpa page_base(Gpa a) { return a & ~PAGE_MASK; }
+constexpr u32 page_offset(u32 a) { return a & PAGE_MASK; }
+constexpr u32 page_number(Gpa a) { return a >> PAGE_SHIFT; }
+
+}  // namespace hvsim

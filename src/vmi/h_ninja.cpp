@@ -1,0 +1,49 @@
+#include "vmi/h_ninja.hpp"
+
+#include "os/layout.hpp"
+
+namespace hypertap::vmi {
+
+HNinja::HNinja(hv::Hypervisor& hv, os::OsLayout layout, Config cfg,
+               std::function<void(u32 pid)> on_detect)
+    : hv_(hv), vmi_(hv, layout), cfg_(cfg),
+      on_detect_(std::move(on_detect)) {}
+
+u32 HNinja::parent_uid_of(const VmiTask& t) const {
+  const auto parent = vmi_.find(t.ppid);
+  return parent ? parent->uid : ~0u;
+}
+
+void HNinja::scan(SimTime now) {
+  (void)now;
+  const auto tasks = vmi_.list_tasks();
+  if (cfg_.blocking) {
+    hv_.pause_guest(static_cast<SimTime>(tasks.size()) *
+                    cfg_.per_process_pause);
+  }
+  for (const auto& t : tasks) {
+    const bool is_kthread = (t.flags & os::TASK_FLAG_KTHREAD) != 0;
+    if (auditors::HtNinja::violates_rule(cfg_.rule, t.euid, t.flags,
+                                         t.exe_id, parent_uid_of(t),
+                                         is_kthread)) {
+      if (flagged_.insert(t.pid).second && on_detect_) on_detect_(t.pid);
+    }
+  }
+  ++scans_;
+}
+
+void HNinja::start(hv::HostServices& host) {
+  running_ = true;
+  struct Tick {
+    HNinja* self;
+    hv::HostServices* host;
+    void operator()() {
+      if (!self->running_) return;
+      self->scan(host->now());
+      host->schedule(host->now() + self->cfg_.interval, Tick{self, host});
+    }
+  };
+  host.schedule(host.now() + cfg_.interval, Tick{this, &host});
+}
+
+}  // namespace hypertap::vmi

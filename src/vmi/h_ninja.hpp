@@ -1,0 +1,54 @@
+// H-Ninja: Ninja's rule re-implemented at the hypervisor level with
+// traditional passive VMI (§VIII-C). Each scan pauses the VM (blocking —
+// which defeats spamming), walks the task list with the Introspector, and
+// applies the same rule as O-Ninja and HT-Ninja. Still passive (polling
+// interval -> transient attacks slip through) and still built on an OS
+// invariant (the task list -> DKOM slips through).
+#pragma once
+
+#include <functional>
+#include <set>
+
+#include "auditors/ped.hpp"
+#include "hv/host_services.hpp"
+#include "vmi/introspect.hpp"
+
+namespace hypertap::vmi {
+
+class HNinja {
+ public:
+  struct Config {
+    SimTime interval = 1'000'000'000;  // 1 s (Ninja's default)
+    auditors::HtNinja::Config rule;
+    /// VMI read cost per process (charged as VM pause time — the scan is
+    /// atomic/blocking).
+    SimTime per_process_pause = 4'000;  // 4 us
+    bool blocking = true;
+  };
+
+  HNinja(hv::Hypervisor& hv, os::OsLayout layout, Config cfg,
+         std::function<void(u32 pid)> on_detect);
+
+  /// Begin periodic scans on the host clock.
+  void start(hv::HostServices& host);
+  void stop() { running_ = false; }
+
+  /// One scan, immediately (also used by tests).
+  void scan(SimTime now);
+
+  u64 scans_completed() const { return scans_; }
+  const std::set<u32>& flagged() const { return flagged_; }
+
+ private:
+  u32 parent_uid_of(const VmiTask& t) const;
+
+  hv::Hypervisor& hv_;
+  Introspector vmi_;
+  Config cfg_;
+  std::function<void(u32)> on_detect_;
+  std::set<u32> flagged_;
+  u64 scans_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace hypertap::vmi

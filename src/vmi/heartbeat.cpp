@@ -1,0 +1,27 @@
+#include "vmi/heartbeat.hpp"
+
+namespace hypertap::vmi {
+
+void HeartbeatMonitor::start(hv::HostServices& host) {
+  last_progress_ = host.now();
+  struct Tick {
+    HeartbeatMonitor* self;
+    hv::HostServices* host;
+    void operator()() {
+      const SimTime now = host->now();
+      if (self->beats_ != self->beats_at_last_check_) {
+        self->beats_at_last_check_ = self->beats_;
+        self->last_progress_ = now;
+        self->in_alert_ = false;
+      } else if (now - self->last_progress_ > self->cfg_.alert_threshold &&
+                 !self->in_alert_) {
+        self->alerts_.push_back(now);
+        self->in_alert_ = true;
+      }
+      host->schedule(now + self->cfg_.check_period, Tick{self, host});
+    }
+  };
+  host.schedule(host.now() + cfg_.check_period, Tick{this, &host});
+}
+
+}  // namespace hypertap::vmi

@@ -1,0 +1,73 @@
+// Heartbeat-based hang detection: the external-probe baseline whose
+// blind spot motivates GOSHD (§VII-A). A guest process periodically sends
+// a beat over the NIC; an external monitor alerts when beats stop. In a
+// multiprocessor VM, a partial hang leaves the heartbeat thread's vCPU
+// healthy — the monitor keeps reporting all-clear while half the OS is
+// dead.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "hv/host_services.hpp"
+#include "os/syscalls.hpp"
+#include "os/task.hpp"
+
+namespace hypertap::vmi {
+
+using namespace hvsim;
+
+/// Guest process: sleep(period); send beat; repeat.
+class HeartbeatSender final : public os::Workload {
+ public:
+  HeartbeatSender(u32 token, u32 period_us)
+      : token_(token), period_us_(period_us) {}
+
+  os::Action next(os::TaskCtx&) override {
+    if ((phase_++ & 1) == 0)
+      return os::ActSyscall{os::SYS_NANOSLEEP, period_us_};
+    return os::ActSyscall{os::SYS_NET_SEND, token_};
+  }
+  std::string name() const override { return "heartbeatd"; }
+
+ private:
+  u32 token_;
+  u32 period_us_;
+  u32 phase_ = 0;
+};
+
+/// External monitor: attach its sink to Machine::add_net_tx_sink and start
+/// the periodic check.
+class HeartbeatMonitor {
+ public:
+  struct Config {
+    SimTime check_period = 1'000'000'000;
+    SimTime alert_threshold = 5'000'000'000;
+  };
+
+  HeartbeatMonitor(u32 token, Config cfg) : token_(token), cfg_(cfg) {}
+
+  /// The sink to register with the machine.
+  std::function<void(int, u32)> sink() {
+    return [this](int, u32 value) {
+      if (value == token_) ++beats_;
+    };
+  }
+
+  void start(hv::HostServices& host);
+
+  u64 beats() const { return beats_; }
+  bool alerted() const { return !alerts_.empty(); }
+  const std::vector<SimTime>& alerts() const { return alerts_; }
+
+ private:
+  u32 token_;
+  Config cfg_;
+  u64 beats_ = 0;
+  u64 beats_at_last_check_ = 0;
+  SimTime last_progress_ = 0;
+  std::vector<SimTime> alerts_;
+  bool in_alert_ = false;
+};
+
+}  // namespace hypertap::vmi

@@ -1,0 +1,57 @@
+#include "vmi/introspect.hpp"
+
+namespace hypertap::vmi {
+
+u32 Introspector::rd32(Gva gva) const {
+  const auto v = hv_.read_guest(hv_.vcpu(0).regs().cr3, gva, 4);
+  return v ? static_cast<u32>(*v) : 0;
+}
+
+VmiTask Introspector::read_task(Gva task_gva) const {
+  VmiTask t;
+  t.task_gva = task_gva;
+  t.pid = rd32(task_gva + os::TS_PID);
+  t.uid = rd32(task_gva + os::TS_UID);
+  t.euid = rd32(task_gva + os::TS_EUID);
+  t.ppid = rd32(task_gva + os::TS_PPID);
+  t.state = rd32(task_gva + os::TS_STATE);
+  t.flags = rd32(task_gva + os::TS_FLAGS);
+  t.exe_id = rd32(task_gva + os::TS_EXE_ID);
+  char comm[os::TS_COMM_LEN + 1] = {};
+  for (u32 i = 0; i < os::TS_COMM_LEN; i += 4) {
+    const u32 w = rd32(task_gva + os::TS_COMM + i);
+    comm[i] = static_cast<char>(w);
+    comm[i + 1] = static_cast<char>(w >> 8);
+    comm[i + 2] = static_cast<char>(w >> 16);
+    comm[i + 3] = static_cast<char>(w >> 24);
+  }
+  t.comm = comm;
+  return t;
+}
+
+std::vector<VmiTask> Introspector::list_tasks(u32 max_entries) const {
+  std::vector<VmiTask> out;
+  const Gva head = layout_.init_task;
+  if (head == 0) return out;
+  Gva cur = rd32(head + os::TS_NEXT);
+  while (cur != head && cur != 0 && out.size() < max_entries) {
+    out.push_back(read_task(cur));
+    cur = rd32(cur + os::TS_NEXT);
+  }
+  return out;
+}
+
+std::optional<VmiTask> Introspector::find(u32 pid) const {
+  for (const auto& t : list_tasks()) {
+    if (t.pid == pid) return t;
+  }
+  return std::nullopt;
+}
+
+std::vector<u32> Introspector::list_pids() const {
+  std::vector<u32> pids;
+  for (const auto& t : list_tasks()) pids.push_back(t.pid);
+  return pids;
+}
+
+}  // namespace hypertap::vmi

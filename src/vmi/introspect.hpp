@@ -1,0 +1,56 @@
+// Traditional structure-walking Virtual Machine Introspection (the
+// XenAccess/VMWatcher/LibVMI approach the paper contrasts with, §II/§IV-B).
+//
+// Starts from an OS-invariant entry point — the init_task symbol — and
+// walks the kernel's task list in guest memory. Strongly isolated from the
+// guest, but it *trusts OS-managed data*: a DKOM rootkit that unlinks a
+// task_struct makes the task invisible here, which is exactly the
+// semantic-gap vulnerability HyperTap's architectural invariants close.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hv/hypervisor.hpp"
+#include "os/layout.hpp"
+
+namespace hypertap::vmi {
+
+using namespace hvsim;
+
+struct VmiTask {
+  u32 pid = 0;
+  u32 uid = 0;
+  u32 euid = 0;
+  u32 ppid = 0;
+  u32 state = 0;
+  u32 flags = 0;
+  u32 exe_id = 0;
+  Gva task_gva = 0;
+  std::string comm;
+};
+
+class Introspector {
+ public:
+  Introspector(const hv::Hypervisor& hv, os::OsLayout layout)
+      : hv_(hv), layout_(layout) {}
+
+  /// Walk the guest task list. `max_entries` guards against cyclic
+  /// corruption.
+  std::vector<VmiTask> list_tasks(u32 max_entries = 65'536) const;
+
+  std::optional<VmiTask> find(u32 pid) const;
+
+  /// pids only (comparison view for HRKD cross-validation).
+  std::vector<u32> list_pids() const;
+
+ private:
+  u32 rd32(Gva gva) const;
+  VmiTask read_task(Gva task_gva) const;
+
+  const hv::Hypervisor& hv_;
+  os::OsLayout layout_;
+};
+
+}  // namespace hypertap::vmi

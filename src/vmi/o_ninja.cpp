@@ -1,0 +1,97 @@
+#include "vmi/o_ninja.hpp"
+
+#include "os/layout.hpp"
+#include "os/syscalls.hpp"
+
+namespace hypertap::vmi {
+
+// stat layout produced by SYS_PROC_STAT: {uid, euid, ppid, state, exe_id,
+// flags}.
+namespace {
+constexpr std::size_t kStatUid = 0;
+constexpr std::size_t kStatEuid = 1;
+constexpr std::size_t kStatPpid = 2;
+constexpr std::size_t kStatExe = 4;
+constexpr std::size_t kStatFlags = 5;
+}  // namespace
+
+void ONinjaWorkload::on_syscall_data(u8 nr, const std::vector<u32>& data) {
+  if (nr == os::SYS_PROC_LIST) {
+    pids_ = data;
+  } else if (nr == os::SYS_PROC_STAT) {
+    if (pending_ == PendingStat::kParent) {
+      stat_parent_ = data;
+    } else {
+      stat_self_ = data;
+    }
+    pending_ = PendingStat::kNone;
+  }
+}
+
+os::Action ONinjaWorkload::next(os::TaskCtx& ctx) {
+  switch (phase_) {
+    case Phase::kList:
+      idx_ = 0;
+      phase_ = Phase::kStatSelf;
+      return os::ActSyscall{os::SYS_PROC_LIST};
+
+    case Phase::kStatSelf: {
+      if (idx_ >= pids_.size()) {
+        ++scans_;
+        phase_ = Phase::kSleep;
+        // Per-scan bookkeeping before sleeping.
+        return os::ActCompute{50'000};
+      }
+      stat_self_.clear();
+      stat_parent_.clear();
+      phase_ = Phase::kStatParent;
+      pending_ = PendingStat::kSelf;
+      return os::ActSyscall{os::SYS_PROC_STAT, pids_[idx_]};
+    }
+
+    case Phase::kStatParent: {
+      if (ctx.last_result != 0 || stat_self_.empty()) {
+        // Process vanished mid-scan: skip it.
+        ++idx_;
+        phase_ = Phase::kStatSelf;
+        return os::ActCompute{10'000};
+      }
+      phase_ = Phase::kJudge;
+      pending_ = PendingStat::kParent;
+      return os::ActSyscall{os::SYS_PROC_STAT, stat_self_[kStatPpid]};
+    }
+
+    case Phase::kJudge: {
+      const u32 parent_uid =
+          (ctx.last_result == 0 && !stat_parent_.empty())
+              ? stat_parent_[kStatUid]
+              : ~0u;
+      // Kernel-parented processes (init: ppid 0) have no /proc parent
+      // entry and are part of Ninja's implicit trust base.
+      const bool kernel_parent =
+          !stat_self_.empty() && stat_self_[kStatPpid] == 0;
+      if (!stat_self_.empty() && !kernel_parent) {
+        const u32 pid = pids_[idx_];
+        const bool is_kthread =
+            (stat_self_[kStatFlags] & os::TASK_FLAG_KTHREAD) != 0;
+        if (auditors::HtNinja::violates_rule(
+                cfg_.rule, stat_self_[kStatEuid], stat_self_[kStatFlags],
+                stat_self_[kStatExe], parent_uid, is_kthread)) {
+          if (flagged_.insert(pid).second && on_detect_) on_detect_(pid);
+        }
+      }
+      ++idx_;
+      phase_ = Phase::kStatSelf;
+      // The dominant per-process cost: parsing /proc text, group lookups.
+      return os::ActCompute{cfg_.per_process_cycles};
+    }
+
+    case Phase::kSleep:
+      phase_ = Phase::kList;
+      if (cfg_.interval_us == 0) return os::ActCompute{10'000};
+      return os::ActSyscall{os::SYS_NANOSLEEP, cfg_.interval_us};
+  }
+  return os::ActCompute{1'000};
+}
+
+}  // namespace hypertap::vmi

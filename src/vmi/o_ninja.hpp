@@ -1,0 +1,61 @@
+// O-Ninja: the original in-guest, passive-polling privilege-escalation
+// detector (§VII-C / §VIII-C). Runs as a guest process; each scan iterates
+// /proc via system calls and applies Ninja's rule. Its weaknesses are the
+// point of the comparison: the scan takes guest time proportional to the
+// process count (spamming), its interval is observable through /proc (side
+// channel), and anything shorter-lived than a scan cycle escapes it
+// (transient attacks).
+#pragma once
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "auditors/ped.hpp"
+#include "os/task.hpp"
+
+namespace hypertap::vmi {
+
+using namespace hvsim;
+
+class ONinjaWorkload final : public os::Workload {
+ public:
+  struct Config {
+    /// Sleep between scans; 0 = scan back-to-back.
+    u32 interval_us = 1'000'000;
+    auditors::HtNinja::Config rule;
+    /// Per-process analysis cost: /proc file opens, parsing, group
+    /// lookups (calibrated to O-Ninja scan behaviour, see EXPERIMENTS.md).
+    Cycles per_process_cycles = 3'600'000;  // ~1.2 ms
+  };
+
+  /// `on_detect(pid)` fires (host-side) when a scan flags a process.
+  ONinjaWorkload(Config cfg, std::function<void(u32 pid)> on_detect)
+      : cfg_(cfg), on_detect_(std::move(on_detect)) {}
+
+  os::Action next(os::TaskCtx& ctx) override;
+  void on_syscall_data(u8 nr, const std::vector<u32>& data) override;
+  std::string name() const override { return "o-ninja"; }
+
+  u64 scans_completed() const { return scans_; }
+  const std::set<u32>& flagged() const { return flagged_; }
+
+ private:
+  enum class Phase : u8 { kList, kStatSelf, kStatParent, kJudge, kSleep };
+  enum class PendingStat : u8 { kNone, kSelf, kParent };
+
+  Config cfg_;
+  std::function<void(u32)> on_detect_;
+
+  Phase phase_ = Phase::kList;
+  PendingStat pending_ = PendingStat::kNone;
+  std::vector<u32> pids_;
+  std::size_t idx_ = 0;
+  // /proc/<pid>/stat of the process under inspection and of its parent.
+  std::vector<u32> stat_self_;
+  std::vector<u32> stat_parent_;
+  std::set<u32> flagged_;
+  u64 scans_ = 0;
+};
+
+}  // namespace hypertap::vmi

@@ -1,0 +1,15 @@
+#include "workloads/hanoi.hpp"
+
+namespace hypertap::workloads {
+
+os::Action HanoiWorkload::next(os::TaskCtx& ctx) {
+  if (done_cycles_ >= cfg_.total_cycles) return finish(ctx);
+  if (rng_.chance(cfg_.kernel_call_p)) {
+    if (const auto loc = picker_.pick(os::Subsystem::kCore))
+      return os::ActKernelCall{*loc};
+  }
+  done_cycles_ += cfg_.chunk;
+  return os::ActCompute{cfg_.chunk};
+}
+
+}  // namespace hypertap::workloads

@@ -1,0 +1,34 @@
+// "Tower of Hanoi" — the CPU-bound, single-task workload of §VIII-A2.
+// Mostly user-mode recursion; rare excursions into core-kernel paths
+// (stack growth, timers), so it activates few fault locations.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace hypertap::workloads {
+
+class HanoiWorkload final : public FiniteWorkload {
+ public:
+  struct Config {
+    /// Total solve time at 3 GHz: ~12 s of computation.
+    Cycles total_cycles = 36'000'000'000ull;
+    Cycles chunk = 30'000'000;  // 10 ms recursion bursts
+    /// Probability of touching a core-kernel path between bursts.
+    double kernel_call_p = 0.12;
+  };
+
+  HanoiWorkload(Config cfg, const std::vector<os::KernelLocation>* locs,
+                u64 seed)
+      : cfg_(cfg), picker_(locs, seed), rng_(seed ^ 0x44A401u) {}
+
+  os::Action next(os::TaskCtx& ctx) override;
+  std::string name() const override { return "hanoi"; }
+
+ private:
+  Config cfg_;
+  LocationPicker picker_;
+  util::Rng rng_;
+  Cycles done_cycles_ = 0;
+};
+
+}  // namespace hypertap::workloads

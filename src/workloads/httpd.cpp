@@ -1,0 +1,56 @@
+#include "workloads/httpd.hpp"
+
+#include "os/syscalls.hpp"
+
+namespace hypertap::workloads {
+
+os::Action HttpdWorkerWorkload::next(os::TaskCtx& ctx) {
+  switch (step_++) {
+    case 0:
+      return os::ActSyscall{os::SYS_NET_RECV};
+    case 1:
+      current_req_ = ctx.last_result;
+      if (const auto loc = picker_.pick(os::Subsystem::kNet))
+        return os::ActKernelCall{*loc};
+      return os::ActCompute{30'000};
+    case 2:
+      return os::ActUserLock{cfg_.session_lock, true};
+    case 3:
+      if (const auto loc = picker_.pick(os::Subsystem::kCore))
+        return os::ActKernelCall{*loc};
+      return os::ActCompute{30'000};
+    case 4:
+      return os::ActUserLock{cfg_.session_lock, false};
+    case 5:
+      return os::ActCompute{cfg_.handle_cycles};
+    case 6:
+      return os::ActSyscall{os::SYS_READ, 3, 8'192};  // static content
+    default:
+      step_ = 0;
+      ++served_;
+      return os::ActSyscall{os::SYS_NET_SEND,
+                            current_req_ | HTTP_RESPONSE_BIT};
+  }
+}
+
+void HttpLoadGenerator::start(hv::HostServices& host) {
+  running_ = true;
+  const SimTime gap = static_cast<SimTime>(1e9 / rate_);
+  struct Tick {
+    HttpLoadGenerator* self;
+    hv::HostServices* host;
+    SimTime gap;
+    void operator()() {
+      if (!self->running_) return;
+      self->kernel_.deliver_packet(static_cast<u32>(++self->sent_));
+      // Jitter the arrival process a little (open-loop load).
+      const SimTime next =
+          host->now() + gap / 2 +
+          static_cast<SimTime>(host->rng().below(static_cast<u64>(gap)));
+      host->schedule(next, Tick{self, host, gap});
+    }
+  };
+  host.schedule(host.now() + gap, Tick{this, &host, gap});
+}
+
+}  // namespace hypertap::workloads

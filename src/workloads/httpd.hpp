@@ -1,0 +1,68 @@
+// HTTP server workload (§VIII-A2): worker processes block in net_recv,
+// handle requests (net kernel paths + a shared session-table user lock),
+// and transmit responses. The load generator — the paper's ApacheBench on
+// a separate machine — is a host-side request driver.
+#pragma once
+
+#include "hv/host_services.hpp"
+#include "os/kernel.hpp"
+#include "workloads/workload.hpp"
+
+namespace hypertap::workloads {
+
+/// Response tokens are request ids with this bit set.
+inline constexpr u32 HTTP_RESPONSE_BIT = 0x4000'0000u;
+
+class HttpdWorkerWorkload final : public os::Workload {
+ public:
+  struct Config {
+    u16 session_lock = 2;  ///< user lock shared between workers
+    Cycles handle_cycles = 6'000'000;  // ~2 ms per request
+  };
+
+  HttpdWorkerWorkload(Config cfg, const std::vector<os::KernelLocation>* locs,
+                      u64 seed)
+      : cfg_(cfg), picker_(locs, seed) {}
+
+  os::Action next(os::TaskCtx& ctx) override;
+  std::string name() const override { return "httpd"; }
+
+  u64 requests_served() const { return served_; }
+
+ private:
+  Config cfg_;
+  LocationPicker picker_;
+  int step_ = 0;
+  u32 current_req_ = 0;
+  u64 served_ = 0;
+};
+
+/// ApacheBench stand-in: delivers `rate` requests/second to the guest NIC
+/// and counts responses seen on the TX sink (register it with
+/// Machine::add_net_tx_sink).
+class HttpLoadGenerator {
+ public:
+  HttpLoadGenerator(os::Kernel& kernel, double rate_per_s)
+      : kernel_(kernel), rate_(rate_per_s) {}
+
+  void start(hv::HostServices& host);
+  void stop() { running_ = false; }
+
+  std::function<void(int, u32)> response_sink() {
+    return [this](int, u32 v) {
+      if (v & HTTP_RESPONSE_BIT) ++responses_;
+    };
+  }
+
+  u64 sent() const { return sent_; }
+  u64 responses() const { return responses_; }
+
+ private:
+  os::Kernel& kernel_;
+  double rate_;
+  bool running_ = false;
+  u64 sent_ = 0;
+  u64 responses_ = 0;
+};
+
+}  // namespace hypertap::workloads

@@ -1,0 +1,44 @@
+#include "workloads/make.hpp"
+
+#include "os/syscalls.hpp"
+
+namespace hypertap::workloads {
+
+os::Action MakeJobWorkload::next(os::TaskCtx& ctx) {
+  if (unit_ >= cfg_.units) return finish(ctx);
+  switch (step_++) {
+    case 0:  // check the dependency database (shared user lock)
+      return os::ActUserLock{cfg_.dep_db_lock, true};
+    case 1:
+      if (const auto loc = picker_.pick(os::Subsystem::kCore))
+        return os::ActKernelCall{*loc};
+      return os::ActCompute{20'000};
+    case 2:
+      return os::ActUserLock{cfg_.dep_db_lock, false};
+    case 3:
+      return os::ActSyscall{os::SYS_OPEN, 4};
+    case 4:
+      return os::ActSyscall{os::SYS_READ, 3, 32'768};
+    case 5:
+      if (rng_.chance(cfg_.spawn_cc1_p)) {
+        return os::ActSyscall{os::SYS_SPAWN, EXE_CC1};
+      }
+      return os::ActCompute{cfg_.compile_cycles};
+    case 6:
+      if (const auto loc = picker_.pick(os::Subsystem::kExt3))
+        return os::ActKernelCall{*loc};
+      return os::ActCompute{20'000};
+    case 7:
+      if (const auto loc = picker_.pick(os::Subsystem::kBlock))
+        return os::ActKernelCall{*loc};
+      return os::ActCompute{20'000};
+    case 8:
+      return os::ActSyscall{os::SYS_WRITE, 3, 16'384};
+    default:
+      step_ = 0;
+      ++unit_;
+      return os::ActSyscall{os::SYS_CLOSE, 3};
+  }
+}
+
+}  // namespace hypertap::workloads

@@ -1,0 +1,38 @@
+// "make -jN": the libxml-compilation workload of §VIII-A2. Each compile
+// unit reads sources, computes, writes objects, and crosses ext3/block
+// kernel paths; parallel jobs serialize briefly on a user-level lock (the
+// shared dependency database) — the T1/T2 user-lock interaction behind the
+// preemptible-kernel partial-hang discussion of §VIII-A3.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace hypertap::workloads {
+
+class MakeJobWorkload final : public FiniteWorkload {
+ public:
+  struct Config {
+    u32 units = 220;             ///< compile units this job handles
+    Cycles compile_cycles = 45'000'000;  // ~15 ms per unit
+    u16 dep_db_lock = 1;         ///< user lock shared between jobs
+    double spawn_cc1_p = 0.12;   ///< fraction of units via child cc1
+  };
+
+  MakeJobWorkload(Config cfg, const std::vector<os::KernelLocation>* locs,
+                  u64 seed)
+      : cfg_(cfg), picker_(locs, seed), rng_(seed ^ 0x6D616B65u) {}
+
+  os::Action next(os::TaskCtx& ctx) override;
+  std::string name() const override { return "make"; }
+
+  u32 units_done() const { return unit_; }
+
+ private:
+  Config cfg_;
+  LocationPicker picker_;
+  util::Rng rng_;
+  u32 unit_ = 0;
+  int step_ = 0;
+};
+
+}  // namespace hypertap::workloads

@@ -1,0 +1,58 @@
+// UnixBench-like microbenchmark suite (Fig. 7's workloads).
+//
+// Each benchmark is a fixed amount of work; the harness measures the
+// simulated completion time under different monitor configurations and
+// reports relative overhead. Workload mix mirrors the figure: two CPU
+// benchmarks, three file-copy sizes, pipe throughput, pipe-based context
+// switching, execl/process creation, shell scripts, syscall overhead.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace hypertap::workloads {
+
+enum class BenchCategory : u8 { kCpu, kDiskIo, kContextSwitch, kSyscall,
+                                kProcess };
+
+const char* to_string(BenchCategory c);
+
+struct UnixBenchSpec {
+  std::string label;
+  BenchCategory category = BenchCategory::kCpu;
+  enum class Kind : u8 {
+    kCompute,
+    kFileCopy,
+    kPipeThroughput,
+    kPipePingPong,  ///< needs a partner process (make_pingpong_partner)
+    kSpawnLoop,
+    kShellScript,
+    kSyscallLoop,
+  } kind = Kind::kCompute;
+
+  // Parameters (meaning depends on kind).
+  u64 total_cycles = 0;   ///< kCompute
+  u32 buf_bytes = 1024;   ///< kFileCopy
+  u32 iterations = 1000;  ///< blocks / rounds / spawns / loops
+  u32 concurrency = 1;    ///< kShellScript children per iteration
+};
+
+/// The Fig. 7 suite, in figure order.
+std::vector<UnixBenchSpec> unixbench_suite();
+
+/// Instantiate the main benchmark process for `spec`.
+std::unique_ptr<FiniteWorkload> make_unixbench(const UnixBenchSpec& spec,
+                                               u64 seed);
+
+/// Partner process for kPipePingPong (pin both to the same vCPU).
+std::unique_ptr<os::Workload> make_pingpong_partner(u32 rounds);
+
+/// Pipe ids used by the pipe benchmarks.
+inline constexpr u32 PIPE_SELF = 10;
+inline constexpr u32 PIPE_AB = 11;
+inline constexpr u32 PIPE_BA = 12;
+
+}  // namespace hypertap::workloads

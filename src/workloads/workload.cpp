@@ -1,0 +1,103 @@
+#include "workloads/workload.hpp"
+
+#include "os/syscalls.hpp"
+
+namespace hypertap::workloads {
+
+LocationPicker::LocationPicker(const std::vector<os::KernelLocation>* locs,
+                               u64 seed)
+    : by_subsystem_(static_cast<std::size_t>(os::Subsystem::kCount)),
+      rng_(seed) {
+  if (locs == nullptr) return;
+  for (const auto& l : *locs) {
+    if (l.sleeping_wait) continue;  // probe-only paths
+    by_subsystem_[static_cast<std::size_t>(l.subsystem)].push_back(l.id);
+  }
+}
+
+std::optional<u16> LocationPicker::pick(os::Subsystem s) {
+  const auto& pool = by_subsystem_[static_cast<std::size_t>(s)];
+  if (pool.empty()) return std::nullopt;
+  return pool[rng_.below(pool.size())];
+}
+
+namespace {
+
+class NoopWorkload final : public os::Workload {
+ public:
+  os::Action next(os::TaskCtx&) override {
+    if (step_++ == 0) return os::ActCompute{30'000};  // ~10 us of "main"
+    return os::ActExit{};
+  }
+  std::string name() const override { return "noop"; }
+  int step_ = 0;
+};
+
+class Cc1Workload final : public os::Workload {
+ public:
+  Cc1Workload(const std::vector<os::KernelLocation>* locs, u64 seed)
+      : picker_(locs, seed) {}
+
+  os::Action next(os::TaskCtx&) override {
+    switch (step_++) {
+      case 0: return os::ActSyscall{os::SYS_OPEN, 5};
+      case 1: return os::ActSyscall{os::SYS_READ, 3, 16'384};
+      case 2: return os::ActCompute{18'000'000};  // ~6 ms of compilation
+      case 3:
+        if (auto loc = picker_.pick(os::Subsystem::kExt3))
+          return os::ActKernelCall{*loc};
+        return os::ActCompute{10'000};
+      case 4: return os::ActSyscall{os::SYS_WRITE, 3, 8'192};
+      case 5: return os::ActSyscall{os::SYS_CLOSE, 3};
+      default: return os::ActExit{};
+    }
+  }
+  std::string name() const override { return "cc1"; }
+
+ private:
+  LocationPicker picker_;
+  int step_ = 0;
+};
+
+class IdleForever final : public os::Workload {
+ public:
+  os::Action next(os::TaskCtx&) override {
+    return os::ActSyscall{os::SYS_NANOSLEEP, 2'000'000};
+  }
+  std::string name() const override { return "idle"; }
+};
+
+class ScriptChild final : public os::Workload {
+ public:
+  explicit ScriptChild(u64 seed) : rng_(seed) {}
+  os::Action next(os::TaskCtx&) override {
+    if (step_ >= 6) return os::ActExit{};
+    switch (step_++ % 3) {
+      case 0: return os::ActSyscall{os::SYS_READ, 3, 1024};
+      case 1: return os::ActCompute{900'000 + rng_.below(600'000)};
+      default: return os::ActSyscall{os::SYS_WRITE, 3, 512};
+    }
+  }
+  std::string name() const override { return "script"; }
+
+ private:
+  util::Rng rng_;
+  int step_ = 0;
+};
+
+}  // namespace
+
+std::function<std::unique_ptr<os::Workload>(u32, util::Rng&)>
+standard_factory(const std::vector<os::KernelLocation>* locs) {
+  return [locs](u32 exe_id, util::Rng& rng) -> std::unique_ptr<os::Workload> {
+    switch (exe_id) {
+      case EXE_NOOP: return std::make_unique<NoopWorkload>();
+      case EXE_CC1: return std::make_unique<Cc1Workload>(locs, rng.next());
+      case EXE_IDLE: return std::make_unique<IdleForever>();
+      case EXE_SCRIPT: return std::make_unique<ScriptChild>(rng.next());
+      default: return std::make_unique<NoopWorkload>();
+    }
+  };
+}
+
+}  // namespace hypertap::workloads

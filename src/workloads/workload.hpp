@@ -1,0 +1,67 @@
+// Workload toolkit: finite workloads with completion callbacks, the
+// kernel-location picker that gives each workload its subsystem profile,
+// and the exe-id factory used by SYS_SPAWN.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "os/klocation.hpp"
+#include "os/task.hpp"
+#include "util/rng.hpp"
+
+namespace hypertap::workloads {
+
+using namespace hvsim;
+
+/// Executable ids understood by the standard spawn factory.
+enum ExeId : u32 {
+  EXE_NOOP = 1,   ///< exits immediately (execl/process-creation benches)
+  EXE_CC1 = 2,    ///< short compile burst then exit (make's children)
+  EXE_IDLE = 3,   ///< sleeps forever
+  EXE_SCRIPT = 4, ///< small file-I/O + compute mix then exit (shell child)
+};
+
+/// A workload that ends: fires `on_done` once, then exits the process.
+class FiniteWorkload : public os::Workload {
+ public:
+  void set_on_done(std::function<void(SimTime)> cb) {
+    on_done_ = std::move(cb);
+  }
+  bool done() const { return done_; }
+
+ protected:
+  os::Action finish(os::TaskCtx& ctx) {
+    if (!done_) {
+      done_ = true;
+      if (on_done_) on_done_(ctx.now);
+    }
+    return os::ActExit{};
+  }
+
+ private:
+  std::function<void(SimTime)> on_done_;
+  bool done_ = false;
+};
+
+/// Picks fault-injectable kernel locations by subsystem, skipping
+/// sleeping-wait (probe-only) paths. Deterministic per seed.
+class LocationPicker {
+ public:
+  LocationPicker(const std::vector<os::KernelLocation>* locs, u64 seed);
+
+  /// A random location of subsystem `s`; nullopt when none registered.
+  std::optional<u16> pick(os::Subsystem s);
+
+ private:
+  std::vector<std::vector<u16>> by_subsystem_;
+  util::Rng rng_;
+};
+
+/// Standard SYS_SPAWN factory resolving the ExeId catalog.
+std::function<std::unique_ptr<os::Workload>(u32, util::Rng&)>
+standard_factory(const std::vector<os::KernelLocation>* locs);
+
+}  // namespace hypertap::workloads

@@ -1,0 +1,208 @@
+// Unit tests: architectural model (physical memory, paging, EPT, vCPU).
+#include <gtest/gtest.h>
+
+#include "arch/ept.hpp"
+#include "arch/msr.hpp"
+#include "arch/paging.hpp"
+#include "arch/phys_mem.hpp"
+#include "arch/tss.hpp"
+#include "arch/vcpu.hpp"
+
+namespace hvsim::arch {
+namespace {
+
+constexpr std::size_t kMem = 1u << 20;  // 1 MiB
+
+TEST(PhysMem, ReadWriteWidths) {
+  PhysMem mem(kMem);
+  mem.wr8(0x10, 0xAB);
+  mem.wr16(0x20, 0xBEEF);
+  mem.wr32(0x30, 0xDEADBEEF);
+  mem.wr64(0x40, 0x0123456789ABCDEFull);
+  EXPECT_EQ(mem.rd8(0x10), 0xAB);
+  EXPECT_EQ(mem.rd16(0x20), 0xBEEF);
+  EXPECT_EQ(mem.rd32(0x30), 0xDEADBEEFu);
+  EXPECT_EQ(mem.rd64(0x40), 0x0123456789ABCDEFull);
+}
+
+TEST(PhysMem, LittleEndianLayout) {
+  PhysMem mem(kMem);
+  mem.wr32(0x100, 0x04030201);
+  EXPECT_EQ(mem.rd8(0x100), 1);
+  EXPECT_EQ(mem.rd8(0x103), 4);
+}
+
+TEST(PhysMem, BoundsChecked) {
+  PhysMem mem(kMem);
+  EXPECT_THROW(mem.rd32(kMem - 2), std::out_of_range);
+  EXPECT_THROW(mem.wr8(static_cast<Gpa>(kMem), 0), std::out_of_range);
+  EXPECT_NO_THROW(mem.rd32(kMem - 4));
+}
+
+TEST(PhysMem, RejectsBadSizes) {
+  EXPECT_THROW(PhysMem(0), std::invalid_argument);
+  EXPECT_THROW(PhysMem(PAGE_SIZE + 1), std::invalid_argument);
+}
+
+TEST(PhysMem, BulkAndZero) {
+  PhysMem mem(kMem);
+  const char data[] = "hypertap";
+  mem.write_bytes(PAGE_SIZE + 5, data, sizeof(data));
+  char out[sizeof(data)] = {};
+  mem.read_bytes(PAGE_SIZE + 5, out, sizeof(data));
+  EXPECT_STREQ(out, "hypertap");
+  mem.zero_page(PAGE_SIZE);
+  EXPECT_EQ(mem.rd8(PAGE_SIZE + 5), 0);
+}
+
+class PagingTest : public ::testing::Test {
+ protected:
+  PagingTest() : mem(kMem) {}
+  Gpa alloc() {
+    const Gpa f = next;
+    next += PAGE_SIZE;
+    return f;
+  }
+  PhysMem mem;
+  Gpa next = 0x10000;
+};
+
+TEST_F(PagingTest, MapAndWalk) {
+  const Gpa pd = alloc();
+  map_page(mem, pd, 0x08048000, 0x40000, PTE_USER | PTE_WRITE,
+           [this]() { return alloc(); });
+  const auto t = walk(mem, pd, 0x08048123);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->gpa, 0x40123u);
+  EXPECT_TRUE(t->writable);
+  EXPECT_TRUE(t->user);
+}
+
+TEST_F(PagingTest, UnmappedReturnsNullopt) {
+  const Gpa pd = alloc();
+  EXPECT_FALSE(walk(mem, pd, 0x08048000).has_value());
+  map_page(mem, pd, 0x08048000, 0x40000, 0, [this]() { return alloc(); });
+  // Same page table, different page: still unmapped.
+  EXPECT_FALSE(walk(mem, pd, 0x08049000).has_value());
+}
+
+TEST_F(PagingTest, ReadOnlyMapping) {
+  const Gpa pd = alloc();
+  map_page(mem, pd, 0xC0000000, 0x50000, 0, [this]() { return alloc(); });
+  const auto t = walk(mem, pd, 0xC0000000);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_FALSE(t->writable);
+  EXPECT_FALSE(t->user);
+}
+
+TEST_F(PagingTest, TwoPagesShareOnePageTable) {
+  const Gpa pd = alloc();
+  int pt_allocs = 0;
+  auto count_alloc = [this, &pt_allocs]() {
+    ++pt_allocs;
+    return alloc();
+  };
+  map_page(mem, pd, 0x08048000, 0x40000, 0, count_alloc);
+  map_page(mem, pd, 0x08049000, 0x41000, 0, count_alloc);
+  EXPECT_EQ(pt_allocs, 1) << "same 4 MiB region -> same page table";
+  map_page(mem, pd, 0xC0000000, 0x42000, 0, count_alloc);
+  EXPECT_EQ(pt_allocs, 2);
+}
+
+TEST_F(PagingTest, UnmapPage) {
+  const Gpa pd = alloc();
+  map_page(mem, pd, 0x08048000, 0x40000, 0, [this]() { return alloc(); });
+  unmap_page(mem, pd, 0x08048000);
+  EXPECT_FALSE(walk(mem, pd, 0x08048000).has_value());
+  unmap_page(mem, pd, 0xBAD00000);  // no-op on absent mappings
+}
+
+TEST_F(PagingTest, InvalidPdbaFailsWalk) {
+  // Unaligned, out-of-range, and zeroed page directories all fail — the
+  // property the Fig. 3A validity test depends on.
+  EXPECT_FALSE(walk(mem, 0x123, 0xC0000000).has_value());
+  EXPECT_FALSE(walk(mem, static_cast<Gpa>(kMem), 0xC0000000).has_value());
+  const Gpa pd = alloc();  // zeroed
+  EXPECT_FALSE(walk(mem, pd, 0xC0000000).has_value());
+}
+
+TEST_F(PagingTest, WalkRejectsOutOfRangeFrames) {
+  const Gpa pd = alloc();
+  // Forge a PTE pointing beyond physical memory.
+  map_page(mem, pd, 0x08048000, 0x40000, 0, [this]() { return alloc(); });
+  const u32 pde = mem.rd32(pd + (0x08048000u >> 22) * 4);
+  const Gpa pt = pde & PTE_FRAME_MASK;
+  mem.wr32(pt + ((0x08048000u >> 12) & 0x3FF) * 4,
+           0xFFFFF000u | PTE_PRESENT);
+  EXPECT_FALSE(walk(mem, pd, 0x08048000).has_value());
+}
+
+TEST(Ept, DefaultsToFullAccess) {
+  Ept ept(16);
+  EXPECT_TRUE(ept.check_access(0x3000, Access::kRead));
+  EXPECT_TRUE(ept.check_access(0x3000, Access::kWrite));
+  EXPECT_TRUE(ept.check_access(0x3000, Access::kExecute));
+}
+
+TEST(Ept, WriteProtectIsPageGranular) {
+  Ept ept(16);
+  ept.write_protect(0x3123, true);
+  EXPECT_FALSE(ept.check_access(0x3FFF, Access::kWrite));
+  EXPECT_TRUE(ept.check_access(0x3FFF, Access::kRead));
+  EXPECT_TRUE(ept.check_access(0x4000, Access::kWrite)) << "next page";
+  ept.write_protect(0x3123, false);
+  EXPECT_TRUE(ept.check_access(0x3000, Access::kWrite));
+}
+
+TEST(Ept, ExecProtect) {
+  Ept ept(16);
+  ept.exec_protect(0x5000, true);
+  EXPECT_FALSE(ept.check_access(0x5800, Access::kExecute));
+  EXPECT_TRUE(ept.check_access(0x5800, Access::kWrite));
+}
+
+TEST(Ept, OutOfRangeThrows) {
+  Ept ept(16);
+  // volatile keeps the out-of-range constant out of the optimizer's view
+  // (it would otherwise warn about the deliberately-invalid access).
+  volatile Gpa bad = 16 * PAGE_SIZE;
+  EXPECT_THROW(ept.get(bad), std::out_of_range);
+}
+
+TEST(Msr, ReadWriteAndDefault) {
+  MsrFile msrs;
+  EXPECT_EQ(msrs.read(IA32_SYSENTER_EIP), 0u);
+  msrs.write(IA32_SYSENTER_EIP, 0xC0001000);
+  EXPECT_EQ(msrs.read(IA32_SYSENTER_EIP), 0xC0001000u);
+}
+
+TEST(Vcpu, RegistersAndClock) {
+  Vcpu v(1);
+  EXPECT_EQ(v.id(), 1);
+  v.regs().set_reg(Gpr::RAX, 42);
+  EXPECT_EQ(v.regs().reg(Gpr::RAX), 42u);
+  EXPECT_EQ(v.now(), 0);
+  v.advance(100);
+  v.advance_cycles(3);  // 1 ns
+  EXPECT_EQ(v.now(), 101);
+  v.set_now(5'000);
+  EXPECT_EQ(v.now(), 5'000);
+}
+
+TEST(Vcpu, DefaultsMatchPowerOn) {
+  Vcpu v(0);
+  EXPECT_EQ(v.regs().cr3, 0u);
+  EXPECT_EQ(v.regs().tr, 0u);
+  EXPECT_EQ(v.regs().cpl, 3);
+  EXPECT_TRUE(v.regs().interrupts_enabled);
+  EXPECT_EQ(v.total_exits(), 0u);
+}
+
+TEST(Tss, LayoutConstants) {
+  EXPECT_EQ(TSS_RSP0_OFFSET, 4u);
+  EXPECT_GE(TSS_SIZE, TSS_RSP0_OFFSET + 4);
+  EXPECT_LE(TSS_SIZE, PAGE_SIZE);
+}
+
+}  // namespace
+}  // namespace hvsim::arch

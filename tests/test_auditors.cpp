@@ -1,0 +1,273 @@
+// Unit tests: the auditors — GOSHD thresholds and recovery, HRKD process
+// counting, PED rule matrix, syscall-trace policy.
+#include <gtest/gtest.h>
+
+#include "attacks/exploit.hpp"
+#include "auditors/goshd.hpp"
+#include "auditors/hrkd.hpp"
+#include "auditors/ped.hpp"
+#include "auditors/syscall_trace.hpp"
+#include "core/hypertap.hpp"
+
+namespace hypertap {
+namespace {
+
+class Busy final : public os::Workload {
+ public:
+  os::Action next(os::TaskCtx&) override {
+    if ((i_ ^= 1) != 0) return os::ActCompute{400'000};
+    return os::ActSyscall{os::SYS_GETPID};
+  }
+  int i_ = 0;
+};
+
+class SleepLoop final : public os::Workload {
+ public:
+  os::Action next(os::TaskCtx&) override {
+    return os::ActSyscall{os::SYS_NANOSLEEP, 200'000};
+  }
+};
+
+// ------------------------------ GOSHD -----------------------------------
+
+class GoshdThreshold : public ::testing::TestWithParam<SimTime> {};
+
+TEST_P(GoshdThreshold, NoFalseAlarmOnHealthyGuest) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  auditors::Goshd::Config cfg;
+  cfg.threshold = GetParam();
+  auto g = std::make_unique<auditors::Goshd>(vm.machine.num_vcpus(), cfg);
+  auto* gp = g.get();
+  ht.add_auditor(std::move(g));
+  vm.kernel.boot();
+  vm.kernel.spawn("busy", 1, 1, 1, std::make_unique<Busy>());
+  vm.machine.run_for(12'000'000'000);
+  EXPECT_FALSE(gp->any_hung());
+  EXPECT_TRUE(ht.alarms().all().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, GoshdThreshold,
+                         ::testing::Values(4'000'000'000ll, 6'000'000'000ll,
+                                           10'000'000'000ll));
+
+TEST(Goshd, TightThresholdEventuallyFalseAlarms) {
+  // A threshold below the scheduling quiet time must fire on an idle-ish
+  // guest — the reason the paper sets it to 2x the profiled max slice.
+  os::Vm vm;
+  HyperTap ht(vm);
+  auditors::Goshd::Config cfg;
+  cfg.threshold = 100'000'000;  // 100 ms: far below kworker cadence
+  auto g = std::make_unique<auditors::Goshd>(vm.machine.num_vcpus(), cfg);
+  auto* gp = g.get();
+  ht.add_auditor(std::move(g));
+  vm.kernel.boot();
+  vm.machine.run_for(10'000'000'000);
+  EXPECT_TRUE(gp->any_hung()) << "too-tight threshold false alarms";
+}
+
+TEST(Goshd, RecoveryClearsVerdict) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  auditors::Goshd::Config cfg;
+  cfg.threshold = 1'000'000'000;
+  auto g = std::make_unique<auditors::Goshd>(vm.machine.num_vcpus(), cfg);
+  auto* gp = g.get();
+  ht.add_auditor(std::move(g));
+  vm.kernel.boot();
+  // Quiesce: a tight threshold plus an idle guest will (falsely) trip.
+  vm.machine.run_for(3'000'000'000);
+  // Whatever the state, new scheduling activity must clear verdicts.
+  vm.kernel.spawn("busy", 1, 1, 1, std::make_unique<Busy>(), 0, 0);
+  vm.kernel.spawn("busy", 1, 1, 1, std::make_unique<Busy>(), 0, 1);
+  vm.machine.run_for(2'000'000'000);
+  EXPECT_FALSE(gp->vcpu_hung(0));
+  EXPECT_FALSE(gp->vcpu_hung(1));
+}
+
+// ------------------------------ HRKD ------------------------------------
+
+TEST(Hrkd, ProcessCountTracksSpawnsAndExits) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  auto h = std::make_unique<auditors::Hrkd>(
+      auditors::Hrkd::Config{},
+      [&k = vm.kernel]() { return k.in_guest_view_pids(); });
+  auto* hp = h.get();
+  ht.add_auditor(std::move(h));
+  vm.kernel.boot();
+  vm.machine.run_for(1'000'000'000);
+  const u32 base = hp->count_address_spaces(ht.context());
+
+  std::vector<u32> pids;
+  for (int i = 0; i < 4; ++i) {
+    pids.push_back(
+        vm.kernel.spawn("p", 1, 1, 1, std::make_unique<Busy>()));
+  }
+  vm.machine.run_for(1'000'000'000);
+  EXPECT_EQ(hp->count_address_spaces(ht.context()), base + 4);
+
+  // Fig. 3A validity test: dead address spaces disappear from the count.
+  for (const u32 pid : pids) {
+    os::Task* t = vm.kernel.find_task(pid);
+    ASSERT_NE(t, nullptr);
+    t->kill_pending = true;
+  }
+  vm.machine.run_for(1'000'000'000);
+  EXPECT_EQ(hp->count_address_spaces(ht.context()), base);
+}
+
+TEST(Hrkd, NoFalseHiddenOnProcessChurn) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  auto h = std::make_unique<auditors::Hrkd>(
+      auditors::Hrkd::Config{},
+      [&k = vm.kernel]() { return k.in_guest_view_pids(); });
+  auto* hp = h.get();
+  ht.add_auditor(std::move(h));
+  vm.kernel.boot();
+  class Brief final : public os::Workload {
+   public:
+    os::Action next(os::TaskCtx&) override {
+      if (i_++ < 30) return os::ActCompute{400'000};
+      return os::ActExit{};
+    }
+    int i_ = 0;
+  };
+  for (int round = 0; round < 20; ++round) {
+    vm.kernel.spawn("brief", 1, 1, 1, std::make_unique<Brief>());
+    vm.machine.run_for(300'000'000);
+  }
+  EXPECT_TRUE(hp->hidden_pids().empty())
+      << "short-lived processes must not be flagged";
+  EXPECT_FALSE(ht.alarms().any_of_type("hidden-task"));
+}
+
+// ------------------------------- PED ------------------------------------
+
+TEST(PedRule, Matrix) {
+  auditors::HtNinja::Config cfg;
+  cfg.magic_uids = {0};
+  cfg.whitelist_exes = {42};
+  // (euid, flags, exe, parent_uid, kthread) -> violation?
+  EXPECT_FALSE(auditors::HtNinja::violates_rule(cfg, 1000, 0, 0, 1000,
+                                                false))
+      << "not root";
+  EXPECT_TRUE(auditors::HtNinja::violates_rule(cfg, 0, 0, 0, 1000, false))
+      << "root child of non-magic user";
+  EXPECT_FALSE(auditors::HtNinja::violates_rule(cfg, 0, 0, 0, 0, false))
+      << "root child of root";
+  EXPECT_FALSE(auditors::HtNinja::violates_rule(
+      cfg, 0, os::TASK_FLAG_WHITELISTED, 0, 1000, false))
+      << "whitelisted setuid";
+  EXPECT_FALSE(auditors::HtNinja::violates_rule(cfg, 0, 0, 42, 1000, false))
+      << "whitelisted exe id";
+  EXPECT_FALSE(auditors::HtNinja::violates_rule(cfg, 0, 0, 0, 1000, true))
+      << "kernel thread";
+  // Custom magic group.
+  cfg.magic_uids = {0, 500};
+  EXPECT_FALSE(auditors::HtNinja::violates_rule(cfg, 0, 0, 0, 500, false));
+  EXPECT_TRUE(auditors::HtNinja::violates_rule(cfg, 0, 0, 0, 501, false));
+}
+
+TEST(Ped, DetectsViaIoSyscallAfterFirstSwitch) {
+  // Escalation AFTER the first context switch: only the I/O-syscall
+  // checkpoint can catch it (the transient-attack case).
+  os::Vm vm;
+  HyperTap ht(vm);
+  auto n = std::make_unique<auditors::HtNinja>();
+  auto* np = n.get();
+  ht.add_auditor(std::move(n));
+  vm.kernel.boot();
+  const u32 shell =
+      vm.kernel.spawn("bash", 1000, 1000, 1, std::make_unique<SleepLoop>());
+  const u32 pid =
+      vm.kernel.spawn("sh", 1000, 1000, shell, std::make_unique<Busy>());
+  vm.machine.run_for(1'000'000'000);
+  EXPECT_TRUE(np->flagged_pids().empty());
+
+  attacks::escalate(vm.kernel, pid, attacks::ExploitKind::kKernelOob);
+  // Busy does getpid (not an I/O syscall) -> not checked yet...
+  vm.machine.run_for(100'000'000);
+  // ...but an open/read gets checked immediately.
+  os::Task* t = vm.kernel.find_task(pid);
+  ASSERT_NE(t, nullptr);
+  t->workload = std::make_unique<SleepLoop>();  // sleeps (not I/O)
+  vm.machine.run_for(300'000'000);
+  class OneRead final : public os::Workload {
+   public:
+    os::Action next(os::TaskCtx&) override {
+      if (i_++ == 0) return os::ActSyscall{os::SYS_READ, 3, 512};
+      return os::ActSyscall{os::SYS_NANOSLEEP, 300'000};
+    }
+    int i_ = 0;
+  };
+  t->workload = std::make_unique<OneRead>();
+  vm.machine.run_for(500'000'000);
+  EXPECT_TRUE(np->flagged_pids().count(pid));
+}
+
+TEST(Ped, GlibcOriginExploitStripsWhitelist) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  auto n = std::make_unique<auditors::HtNinja>();
+  auto* np = n.get();
+  ht.add_auditor(std::move(n));
+  vm.kernel.boot();
+  const u32 shell =
+      vm.kernel.spawn("bash", 1000, 1000, 1, std::make_unique<SleepLoop>());
+  // A setuid binary the attacker subverts through the loader bug.
+  const u32 pid = vm.kernel.spawn("victim-suid", 1000, 1000, shell,
+                                  std::make_unique<Busy>(), 0, -1,
+                                  os::TASK_FLAG_WHITELISTED);
+  attacks::escalate(vm.kernel, pid, attacks::ExploitKind::kGlibcOrigin);
+  vm.machine.run_for(1'000'000'000);
+  EXPECT_TRUE(np->flagged_pids().count(pid))
+      << "the exploit's code is not the whitelisted binary anymore";
+}
+
+// --------------------------- Syscall trace -------------------------------
+
+TEST(SyscallTrace, DenyListFlagsOnce) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  auditors::SyscallTrace::Config cfg;
+  cfg.deny = {os::SYS_NET_SEND};
+  auto tr = std::make_unique<auditors::SyscallTrace>(cfg);
+  auto* trp = tr.get();
+  ht.add_auditor(std::move(tr));
+  vm.kernel.boot();
+  class Sender final : public os::Workload {
+   public:
+    os::Action next(os::TaskCtx&) override {
+      if (i_++ % 2 == 0) return os::ActSyscall{os::SYS_NET_SEND, 1};
+      return os::ActCompute{500'000};
+    }
+    int i_ = 0;
+  };
+  const u32 pid =
+      vm.kernel.spawn("sandboxed", 1, 1, 1, std::make_unique<Sender>());
+  vm.machine.run_for(1'000'000'000);
+  const auto alarms = ht.alarms().of_type("denied-syscall");
+  ASSERT_EQ(alarms.size(), 1u) << "flag once per pid";
+  EXPECT_EQ(alarms[0].pid, pid);
+  EXPECT_GT(trp->count(os::SYS_NET_SEND), 10u);
+}
+
+TEST(SyscallTrace, HistoryBoundedPerPid) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  auditors::SyscallTrace::Config cfg;
+  cfg.history_per_pid = 8;
+  auto tr = std::make_unique<auditors::SyscallTrace>(cfg);
+  auto* trp = tr.get();
+  ht.add_auditor(std::move(tr));
+  vm.kernel.boot();
+  const u32 pid = vm.kernel.spawn("p", 1, 1, 1, std::make_unique<Busy>());
+  vm.machine.run_for(1'000'000'000);
+  EXPECT_LE(trp->history(pid).size(), 8u);
+  EXPECT_TRUE(trp->history(99999).empty());
+}
+
+}  // namespace
+}  // namespace hypertap

@@ -1,0 +1,165 @@
+// Parameterized classification tests: every fault class x persistence on
+// well-exercised locations, plus non-default machine shapes.
+#include <gtest/gtest.h>
+
+#include "auditors/goshd.hpp"
+#include "core/hypertap.hpp"
+#include "fi/campaign.hpp"
+#include "fi/locations.hpp"
+#include "workloads/workload.hpp"
+
+namespace hypertap {
+namespace {
+
+const std::vector<os::KernelLocation>& locs() {
+  static const auto l = fi::generate_locations();
+  return l;
+}
+
+// ---------------------- Fault-class classification -----------------------
+
+struct MatrixCase {
+  os::FaultClass cls;
+  bool transient;
+};
+
+class FaultMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(FaultMatrix, ClassificationIsSane) {
+  const MatrixCase& mc = GetParam();
+  // Pick a location compatible with the class.
+  u16 location = 0;
+  if (mc.cls == os::FaultClass::kWrongOrder) {
+    for (const auto& l : locs()) {
+      if (l.lock_b >= 0 && !l.sleeping_wait) {
+        location = l.id;
+        break;
+      }
+    }
+  } else if (mc.cls == os::FaultClass::kMissingIrqRestore) {
+    for (const auto& l : locs()) {
+      if (l.irqs_off && !l.sleeping_wait) {
+        location = l.id;
+        break;
+      }
+    }
+  }
+
+  fi::RunConfig cfg;
+  cfg.workload = fi::WorkloadKind::kHttpd;  // busiest, activates fastest
+  cfg.location = location;
+  cfg.fault_class = mc.cls;
+  cfg.transient = mc.transient;
+  cfg.seed = 99;
+  const fi::RunResult res = fi::run_one(cfg, locs());
+
+  EXPECT_TRUE(res.activated) << "httpd+daemons must reach the location";
+  // Whatever the outcome, the classification must be self-consistent.
+  switch (res.outcome) {
+    case fi::Outcome::kNotActivated:
+      FAIL() << "contradicts activation";
+      break;
+    case fi::Outcome::kFullHang:
+      EXPECT_GT(res.full_alarm, 0);
+      [[fallthrough]];
+    case fi::Outcome::kPartialHang:
+      EXPECT_GT(res.first_alarm, 0);
+      EXPECT_GE(res.first_alarm - res.activation, cfg.detect_threshold);
+      EXPECT_GT(res.vcpus_hung, 0);
+      break;
+    case fi::Outcome::kNotManifested:
+      EXPECT_LT(res.first_alarm, 0);
+      EXPECT_FALSE(res.probe_hang);
+      break;
+    case fi::Outcome::kNotDetected:
+      EXPECT_LT(res.first_alarm, 0);
+      EXPECT_TRUE(res.probe_hang);
+      break;
+  }
+  EXPECT_FALSE(res.goshd_false_alarm);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, FaultMatrix,
+    ::testing::Values(
+        MatrixCase{os::FaultClass::kMissingRelease, true},
+        MatrixCase{os::FaultClass::kMissingRelease, false},
+        MatrixCase{os::FaultClass::kMissingPair, true},
+        MatrixCase{os::FaultClass::kMissingPair, false},
+        MatrixCase{os::FaultClass::kWrongOrder, false},
+        MatrixCase{os::FaultClass::kMissingIrqRestore, true},
+        MatrixCase{os::FaultClass::kMissingIrqRestore, false}),
+    [](const ::testing::TestParamInfo<MatrixCase>& info) {
+      std::string n = to_string(info.param.cls);
+      for (char& c : n)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return n + (info.param.transient ? "_transient" : "_persistent");
+    });
+
+// -------------------------- Machine shapes -------------------------------
+
+class BusyApp final : public os::Workload {
+ public:
+  os::Action next(os::TaskCtx&) override {
+    switch (i_++ % 3) {
+      case 0: return os::ActCompute{500'000};
+      case 1: return os::ActSyscall{os::SYS_WRITE, 3, 1024};
+      default: return os::ActSyscall{os::SYS_GETPID};
+    }
+  }
+  int i_ = 0;
+};
+
+class VcpuCount : public ::testing::TestWithParam<int> {};
+
+TEST_P(VcpuCount, MonitorsWorkOnAnyShape) {
+  hv::MachineConfig mc;
+  mc.num_vcpus = GetParam();
+  os::Vm vm(mc);
+  HyperTap ht(vm);
+  ht.add_auditor(std::make_unique<auditors::Goshd>(mc.num_vcpus));
+  vm.kernel.boot();
+  for (int i = 0; i < mc.num_vcpus; ++i) {
+    vm.kernel.spawn("busy", 1, 1, 1, std::make_unique<BusyApp>(), 0, i);
+  }
+  vm.machine.run_for(8'000'000'000);
+  EXPECT_TRUE(ht.alarms().all().empty());
+  EXPECT_TRUE(ht.forwarder().thread_interception_armed());
+  for (int cpu = 0; cpu < mc.num_vcpus; ++cpu) {
+    EXPECT_GT(vm.kernel.context_switch_count(cpu), 10u) << "cpu " << cpu;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, VcpuCount, ::testing::Values(1, 2, 4, 8));
+
+TEST(MachineShape, SmallMemoryGuestBootsAndRuns) {
+  hv::MachineConfig mc;
+  mc.phys_mem_bytes = 8ull << 20;  // 8 MiB
+  os::Vm vm(mc);
+  vm.kernel.boot();
+  vm.kernel.spawn("busy", 1, 1, 1, std::make_unique<BusyApp>());
+  EXPECT_TRUE(vm.machine.run_for(1'000'000'000));
+  EXPECT_GT(vm.kernel.total_syscalls(), 100u);
+}
+
+TEST(MachineShape, ManyProcessesWithinSmallMemory) {
+  hv::MachineConfig mc;
+  mc.phys_mem_bytes = 32ull << 20;
+  os::Vm vm(mc);
+  vm.kernel.boot();
+  class Nap final : public os::Workload {
+   public:
+    os::Action next(os::TaskCtx&) override {
+      return os::ActSyscall{os::SYS_NANOSLEEP, 1'000'000};
+    }
+  };
+  for (int i = 0; i < 400; ++i) {
+    vm.kernel.spawn("idle" + std::to_string(i), 1, 1, 1,
+                    std::make_unique<Nap>());
+  }
+  EXPECT_TRUE(vm.machine.run_for(2'000'000'000));
+  EXPECT_EQ(vm.kernel.live_pids().size(), 403u);
+}
+
+}  // namespace
+}  // namespace hypertap

@@ -1,0 +1,115 @@
+// HyperTap core wiring: event forwarding, interception arming, trusted
+// OS-state derivation, RHC liveness, and the basic auditors on a healthy
+// guest (no false alarms).
+#include <gtest/gtest.h>
+
+#include "auditors/counters.hpp"
+#include "auditors/goshd.hpp"
+#include "auditors/hrkd.hpp"
+#include "auditors/ped.hpp"
+#include "auditors/syscall_trace.hpp"
+#include "auditors/tss_integrity.hpp"
+#include "core/hypertap.hpp"
+
+namespace hypertap {
+namespace {
+
+class IoLoop final : public os::Workload {
+ public:
+  os::Action next(os::TaskCtx&) override {
+    switch (i_++ % 3) {
+      case 0: return os::ActCompute{100'000};
+      case 1: return os::ActSyscall{os::SYS_WRITE, 3, 4096};
+      default: return os::ActSyscall{os::SYS_GETPID};
+    }
+  }
+  int i_ = 0;
+};
+
+struct Fixture {
+  Fixture() : ht(vm) {}
+  os::Vm vm;
+  HyperTap ht;
+};
+
+TEST(Core, ForwarderArmsAndForwards) {
+  Fixture f;
+  auto* trace = new auditors::SyscallTrace();
+  f.ht.add_auditor(std::unique_ptr<Auditor>(trace));
+  f.ht.add_auditor(std::make_unique<auditors::Goshd>(f.vm.machine.num_vcpus()));
+  f.vm.kernel.boot();
+  f.vm.kernel.spawn("io", 1000, 1000, 1, std::make_unique<IoLoop>());
+  f.vm.machine.run_for(2'000'000'000);
+
+  EXPECT_TRUE(f.ht.forwarder().thread_interception_armed());
+  EXPECT_TRUE(f.ht.forwarder().syscall_interception_armed());
+  EXPECT_GT(trace->total(), 50u);
+  // getpid and write both traced
+  EXPECT_GT(trace->count(os::SYS_WRITE), 10u);
+  EXPECT_GT(trace->count(os::SYS_GETPID), 10u);
+}
+
+TEST(Core, TrustedDerivationMatchesKernelTruth) {
+  Fixture f;
+  f.ht.add_auditor(std::make_unique<auditors::Goshd>(f.vm.machine.num_vcpus()));
+  f.vm.kernel.boot();
+  const u32 pid = f.vm.kernel.spawn("io", 1234, 1234, 1,
+                                    std::make_unique<IoLoop>(), 7, 0);
+  f.vm.machine.run_for(500'000'000);
+
+  // Derive whatever runs on vCPU 0 and compare against the kernel's truth.
+  const GuestTaskView v = f.ht.os_state().current_task(0);
+  ASSERT_TRUE(v.valid);
+  const os::Task* t = f.vm.kernel.find_task(v.pid);
+  if (v.pid == pid) {
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(v.uid, 1234u);
+    EXPECT_EQ(v.euid, 1234u);
+    EXPECT_EQ(v.exe_id, 7u);
+    EXPECT_EQ(v.comm, "io");
+    EXPECT_EQ(v.ppid, 1u);
+  }
+}
+
+TEST(Core, NoFalseAlarmsOnHealthyGuest) {
+  Fixture f;
+  f.ht.add_auditor(std::make_unique<auditors::Goshd>(f.vm.machine.num_vcpus()));
+  f.ht.add_auditor(std::make_unique<auditors::HtNinja>());
+  f.ht.add_auditor(std::make_unique<auditors::TssIntegrity>(
+      f.vm.machine.num_vcpus()));
+  auto hrkd = std::make_unique<auditors::Hrkd>(
+      auditors::Hrkd::Config{},
+      [&k = f.vm.kernel]() { return k.in_guest_view_pids(); });
+  f.ht.add_auditor(std::move(hrkd));
+  f.vm.kernel.boot();
+  f.vm.kernel.spawn("io", 1000, 1000, 1, std::make_unique<IoLoop>());
+  f.vm.machine.run_for(10'000'000'000);  // 10 s
+
+  for (const auto& a : f.ht.alarms().all()) {
+    ADD_FAILURE() << "unexpected alarm: " << a.auditor << "/" << a.type
+                  << " " << a.detail << " pid=" << a.pid;
+  }
+}
+
+TEST(Core, RhcStaysQuietWhileEventsFlowAndAlertsWhenTheyStop) {
+  os::Vm vm;
+  HyperTap::Options opts;
+  opts.enable_rhc = true;
+  HyperTap ht(vm, opts);
+  ht.add_auditor(std::make_unique<auditors::CounterExporter>(
+      vm.machine.num_vcpus()));
+  vm.kernel.boot();
+  vm.machine.run_for(5'000'000'000);
+  ASSERT_NE(ht.rhc(), nullptr);
+  EXPECT_GT(ht.rhc()->samples_received(), 10u);
+  EXPECT_FALSE(ht.rhc()->alerted());
+
+  // Sever the logging channel (simulate EF/EM death): exits continue but
+  // samples stop -> the RHC must notice.
+  vm.machine.hypervisor().remove_observer(&ht.forwarder());
+  vm.machine.run_for(5'000'000'000);
+  EXPECT_TRUE(ht.rhc()->alerted());
+}
+
+}  // namespace
+}  // namespace hypertap

@@ -1,0 +1,327 @@
+// Unit tests: HyperTap core — event decoding, forwarder arming/masking,
+// multiplexer fan-out and costs, RHC cadence, trusted state derivation.
+#include <gtest/gtest.h>
+
+#include "auditors/counters.hpp"
+#include "auditors/tss_integrity.hpp"
+#include "core/hypertap.hpp"
+#include "os/kernel.hpp"
+
+namespace hypertap {
+namespace {
+
+class CollectingAuditor final : public Auditor {
+ public:
+  explicit CollectingAuditor(EventMask mask, std::string n = "collector")
+      : mask_(mask), name_(std::move(n)) {}
+  std::string name() const override { return name_; }
+  EventMask subscriptions() const override { return mask_; }
+  void on_event(const Event& e, AuditContext&) override {
+    events.push_back(e);
+  }
+  std::vector<Event> events;
+
+ private:
+  EventMask mask_;
+  std::string name_;
+};
+
+class IoApp final : public os::Workload {
+ public:
+  os::Action next(os::TaskCtx&) override {
+    switch (i_++ % 3) {
+      case 0: return os::ActCompute{300'000};
+      case 1: return os::ActSyscall{os::SYS_WRITE, 3, 2048};
+      default: return os::ActSyscall{os::SYS_GETPID};
+    }
+  }
+  int i_ = 0;
+};
+
+TEST(EventBits, MaskAlgebra) {
+  const EventMask m = event_bit(EventKind::kSyscall) |
+                      event_bit(EventKind::kThreadSwitch);
+  EXPECT_TRUE(m & event_bit(EventKind::kSyscall));
+  EXPECT_FALSE(m & event_bit(EventKind::kIo));
+  EXPECT_EQ(kAllEvents & event_bit(EventKind::kMemAccess),
+            event_bit(EventKind::kMemAccess));
+}
+
+TEST(EventNames, AllNamedAndDescribable) {
+  for (u8 k = 0; k < static_cast<u8>(EventKind::kCount); ++k) {
+    EXPECT_STRNE(to_string(static_cast<EventKind>(k)), "?");
+    Event e;
+    e.kind = static_cast<EventKind>(k);
+    EXPECT_FALSE(e.describe().empty());
+  }
+}
+
+TEST(Forwarder, MaskGatesForwarding) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  auto* sys = new CollectingAuditor(event_bit(EventKind::kSyscall), "sys");
+  ht.add_auditor(std::unique_ptr<Auditor>(sys));
+  vm.kernel.boot();
+  vm.kernel.spawn("io", 1, 1, 1, std::make_unique<IoApp>());
+  vm.machine.run_for(500'000'000);
+  ASSERT_FALSE(sys->events.empty());
+  for (const auto& e : sys->events) {
+    EXPECT_EQ(e.kind, EventKind::kSyscall);
+  }
+}
+
+TEST(Forwarder, SyscallEventCarriesRegisters) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  auto* sys = new CollectingAuditor(event_bit(EventKind::kSyscall), "sys");
+  ht.add_auditor(std::unique_ptr<Auditor>(sys));
+  vm.kernel.boot();
+  vm.kernel.spawn("io", 1, 1, 1, std::make_unique<IoApp>());
+  vm.machine.run_for(500'000'000);
+  bool saw_write = false;
+  for (const auto& e : sys->events) {
+    EXPECT_TRUE(e.sc_fast) << "default kernel config uses SYSENTER";
+    EXPECT_NE(e.reg_tr, 0u) << "register snapshot present";
+    if (e.sc_nr == os::SYS_WRITE) {
+      saw_write = true;
+      EXPECT_EQ(e.sc_args[0], 3u);
+      EXPECT_EQ(e.sc_args[1], 2048u);
+    }
+  }
+  EXPECT_TRUE(saw_write);
+}
+
+TEST(Forwarder, Int80PathWhenFastSyscallsDisabled) {
+  os::KernelConfig kc;
+  kc.fast_syscalls = false;
+  os::Vm vm(hv::MachineConfig{}, kc);
+  HyperTap ht(vm);
+  auto* sys = new CollectingAuditor(event_bit(EventKind::kSyscall), "sys");
+  ht.add_auditor(std::unique_ptr<Auditor>(sys));
+  vm.kernel.boot();
+  vm.kernel.spawn("io", 1, 1, 1, std::make_unique<IoApp>());
+  vm.machine.run_for(500'000'000);
+  ASSERT_FALSE(sys->events.empty());
+  for (const auto& e : sys->events) {
+    EXPECT_FALSE(e.sc_fast) << "legacy INT 0x80 interception (Fig. 3D)";
+    EXPECT_EQ(e.reason, hav::ExitReason::kException);
+  }
+}
+
+TEST(Forwarder, LateAttachArmsFromLiveState) {
+  // Attach HyperTap AFTER the guest booted: arming cannot rely on
+  // observing the boot-time WRMSR / first CR3 write.
+  os::Vm vm;
+  vm.kernel.boot();
+  vm.machine.run_for(200'000'000);
+  HyperTap ht(vm);
+  auto* sw = new CollectingAuditor(
+      event_bit(EventKind::kThreadSwitch) | event_bit(EventKind::kSyscall),
+      "late");
+  ht.add_auditor(std::unique_ptr<Auditor>(sw));
+  EXPECT_TRUE(ht.forwarder().thread_interception_armed());
+  EXPECT_TRUE(ht.forwarder().syscall_interception_armed());
+  vm.kernel.spawn("io", 1, 1, 1, std::make_unique<IoApp>());
+  vm.machine.run_for(500'000'000);
+  EXPECT_FALSE(sw->events.empty());
+}
+
+TEST(Forwarder, RemovingAuditorsDropsControls) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  auto* sys = new CollectingAuditor(event_bit(EventKind::kSyscall), "sys");
+  ht.add_auditor(std::unique_ptr<Auditor>(sys));
+  vm.kernel.boot();
+  EXPECT_TRUE(vm.machine.engine().controls(0).msr_write_exiting);
+  ht.remove_auditor(sys);
+  EXPECT_FALSE(vm.machine.engine().controls(0).msr_write_exiting);
+  EXPECT_FALSE(vm.machine.engine().controls(0).cr3_load_exiting);
+}
+
+TEST(Forwarder, ThreadSwitchEventCarriesNewRsp0) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  auto* sw = new CollectingAuditor(event_bit(EventKind::kThreadSwitch), "t");
+  ht.add_auditor(std::unique_ptr<Auditor>(sw));
+  vm.kernel.boot();
+  const u32 pid = vm.kernel.spawn("io", 1, 1, 1, std::make_unique<IoApp>(),
+                                  0, 0);
+  vm.machine.run_for(500'000'000);
+  const os::Task* t = vm.kernel.find_task(pid);
+  ASSERT_NE(t, nullptr);
+  bool saw_task = false;
+  for (const auto& e : sw->events) {
+    if (e.rsp0 == t->rsp0) saw_task = true;
+  }
+  EXPECT_TRUE(saw_task) << "the task's kernel stack top appears in the "
+                           "thread-switch stream";
+}
+
+TEST(Multiplexer, FanOutRespectsSubscriptions) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  auto* a = new CollectingAuditor(event_bit(EventKind::kSyscall), "a");
+  auto* b = new CollectingAuditor(event_bit(EventKind::kProcessSwitch), "b");
+  ht.add_auditor(std::unique_ptr<Auditor>(a));
+  ht.add_auditor(std::unique_ptr<Auditor>(b));
+  vm.kernel.boot();
+  vm.kernel.spawn("io", 1, 1, 1, std::make_unique<IoApp>());
+  vm.machine.run_for(500'000'000);
+  EXPECT_FALSE(a->events.empty());
+  EXPECT_FALSE(b->events.empty());
+  for (const auto& e : a->events) EXPECT_EQ(e.kind, EventKind::kSyscall);
+  for (const auto& e : b->events)
+    EXPECT_EQ(e.kind, EventKind::kProcessSwitch);
+  // Delivery counters match.
+  for (const auto& r : ht.multiplexer().registrations()) {
+    if (r.auditor == a) {
+      EXPECT_EQ(r.delivered, a->events.size());
+    }
+    if (r.auditor == b) {
+      EXPECT_EQ(r.delivered, b->events.size());
+    }
+  }
+}
+
+TEST(Multiplexer, NonBlockingAccruesContainerCycles) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  auto* a = new CollectingAuditor(kAllEvents, "a");
+  ht.add_auditor(std::unique_ptr<Auditor>(a));
+  vm.kernel.boot();
+  vm.machine.run_for(500'000'000);
+  const auto& regs = ht.multiplexer().registrations();
+  ASSERT_EQ(regs.size(), 1u);
+  EXPECT_GT(regs[0].container_cycles, 0u)
+      << "audit work runs on container CPU";
+}
+
+TEST(Multiplexer, BlockingAuditorChargesGuest) {
+  class BlockingAuditor final : public Auditor {
+   public:
+    std::string name() const override { return "blocking"; }
+    EventMask subscriptions() const override {
+      return event_bit(EventKind::kSyscall);
+    }
+    bool blocking() const override { return true; }
+    Cycles audit_cost_cycles() const override { return 60'000; }  // 20 us
+    void on_event(const Event&, AuditContext&) override { ++n; }
+    u64 n = 0;
+  };
+
+  auto run_one = [](bool blocking) {
+    os::Vm vm;
+    HyperTap ht(vm);
+    if (blocking) {
+      ht.add_auditor(std::make_unique<BlockingAuditor>());
+    } else {
+      ht.add_auditor(std::unique_ptr<Auditor>(
+          new CollectingAuditor(event_bit(EventKind::kSyscall), "nb")));
+    }
+    vm.kernel.boot();
+    u64 done = 0;
+    class Loop final : public os::Workload {
+     public:
+      explicit Loop(u64* done) : done_(done) {}
+      os::Action next(os::TaskCtx&) override {
+        ++*done_;
+        return os::ActSyscall{os::SYS_GETPID};
+      }
+      u64* done_;
+    };
+    vm.kernel.spawn("loop", 1, 1, 1, std::make_unique<Loop>(&done), 0, 0);
+    vm.machine.run_for(1'000'000'000);
+    return done;
+  };
+  const u64 nb = run_one(false);
+  const u64 bl = run_one(true);
+  EXPECT_LT(bl, nb) << "blocking audits slow the guest down";
+  EXPECT_GT(bl, 0u);
+}
+
+TEST(Rhc, SamplesEveryNthExit) {
+  os::Vm vm;
+  HyperTap::Options opts;
+  opts.enable_rhc = true;
+  opts.rhc.sample_every = 10;
+  HyperTap ht(vm, opts);
+  vm.kernel.boot();
+  vm.machine.run_for(1'000'000'000);
+  ASSERT_NE(ht.rhc(), nullptr);
+  const u64 exits = ht.forwarder().exits_observed();
+  const u64 samples = ht.rhc()->samples_received();
+  EXPECT_NEAR(static_cast<double>(samples),
+              static_cast<double>(exits) / 10.0,
+              static_cast<double>(exits) / 50.0);
+}
+
+TEST(OsState, InvalidInputsYieldInvalidViews) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  vm.kernel.boot();
+  const auto& d = ht.os_state();
+  // rsp0 pointing nowhere -> invalid view, no crash.
+  EXPECT_FALSE(d.task_from_rsp0(0, 0x1000).valid);
+  EXPECT_FALSE(d.read_task(vm.machine.vcpu(0).regs().cr3, 0x1000).valid);
+  GuestTaskView none;
+  EXPECT_FALSE(d.parent_uid(0, none).has_value());
+}
+
+TEST(OsState, DerivesKernelThreadsToo) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  vm.kernel.boot();
+  // Force a derivation for every context the scheduler produces over a
+  // while; every valid view must correspond to a real task.
+  bool saw_kthread = false;
+  for (int i = 0; i < 50; ++i) {
+    vm.machine.run_for(20'000'000);
+    for (int cpu = 0; cpu < vm.machine.num_vcpus(); ++cpu) {
+      const GuestTaskView v = ht.os_state().current_task(cpu);
+      if (!v.valid) continue;
+      if (v.flags & os::TASK_FLAG_KTHREAD) saw_kthread = true;
+      const os::Task* t = vm.kernel.find_task(v.pid);
+      if (v.pid != 0 && v.pid < 0x8000u && t != nullptr) {
+        EXPECT_EQ(t->ts_gva, v.task_gva);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_kthread);
+}
+
+TEST(TssIntegrity, DetectsTssRelocation) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  auto tss_owned =
+      std::make_unique<auditors::TssIntegrity>(vm.machine.num_vcpus());
+  auto* tss = tss_owned.get();
+  ht.add_auditor(std::move(tss_owned));
+  ht.add_auditor(std::make_unique<auditors::CounterExporter>(
+      vm.machine.num_vcpus()));  // keep the event stream flowing
+  vm.kernel.boot();
+  vm.machine.run_for(500'000'000);
+  EXPECT_FALSE(tss->alerted(0));
+
+  // Malicious LTR: point TR at attacker-controlled memory (Fig. 3C).
+  vm.machine.engine().write_tr(vm.machine.vcpu(0), 0xC0200000);
+  vm.machine.run_for(500'000'000);
+  EXPECT_TRUE(tss->alerted(0));
+  EXPECT_TRUE(ht.alarms().any_of_type("tss-relocation"));
+}
+
+TEST(Counters, WindowedRates) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  auto c_owned = std::make_unique<auditors::CounterExporter>(
+      vm.machine.num_vcpus());
+  auto* c = c_owned.get();
+  ht.add_auditor(std::move(c_owned));
+  vm.kernel.boot();
+  vm.machine.run_for(3'000'000'000);
+  EXPECT_GE(c->samples().size(), 2u);
+  // Timer interrupts run at ~1 kHz per vCPU.
+  EXPECT_NEAR(c->last_rate(EventKind::kExternalInterrupt), 2000.0, 400.0);
+}
+
+}  // namespace
+}  // namespace hypertap

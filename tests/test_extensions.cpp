@@ -1,0 +1,186 @@
+// Tests for the extension monitors (§VII-D directions): the kernel-
+// integrity guard (detect and prevent modes), the anomaly detector, and
+// PED's active response.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "attacks/rootkit.hpp"
+#include "attacks/scenario.hpp"
+#include "auditors/anomaly.hpp"
+#include "auditors/goshd.hpp"
+#include "auditors/integrity_guard.hpp"
+#include "auditors/ped.hpp"
+#include "core/hypertap.hpp"
+#include "fi/locations.hpp"
+#include "workloads/workload.hpp"
+
+namespace hypertap {
+namespace {
+
+class Busy final : public os::Workload {
+ public:
+  os::Action next(os::TaskCtx&) override {
+    if ((i_ ^= 1) != 0) return os::ActCompute{400'000};
+    return os::ActSyscall{os::SYS_GETPID};
+  }
+  int i_ = 0;
+};
+
+struct GuardFixture {
+  explicit GuardFixture(bool prevent) : ht(vm) {
+    auditors::KernelIntegrityGuard::Config cfg;
+    cfg.prevent = prevent;
+    vm.kernel.boot();  // layout must exist before the guard attaches
+    auto g = std::make_unique<auditors::KernelIntegrityGuard>(
+        vm.kernel.layout(), cfg);
+    guard = g.get();
+    ht.add_auditor(std::move(g));
+    victim = vm.kernel.spawn("m", 1000, 1000, 1, std::make_unique<Busy>());
+    vm.machine.run_for(500'000'000);
+  }
+  os::Vm vm;
+  HyperTap ht;
+  auditors::KernelIntegrityGuard* guard = nullptr;
+  u32 victim = 0;
+};
+
+TEST(IntegrityGuard, DetectsSyscallTableTampering) {
+  GuardFixture f(/*prevent=*/false);
+  attacks::Rootkit rk(f.vm.kernel, attacks::rootkit_by_name("AFX"));
+  rk.set_vcpu(&f.vm.machine.vcpu(1));  // module stores via the arch path
+  rk.hide(f.victim);
+  f.vm.machine.run_for(200'000'000);
+  EXPECT_GE(f.guard->tamper_attempts(), 1u);
+  EXPECT_TRUE(f.ht.alarms().any_of_type("kernel-data-tamper"));
+  // Detect-only: the hijack still landed.
+  const auto view = f.vm.kernel.in_guest_view_pids();
+  EXPECT_EQ(std::count(view.begin(), view.end(), f.victim), 0);
+}
+
+TEST(IntegrityGuard, PreventsSyscallTableTampering) {
+  GuardFixture f(/*prevent=*/true);
+  const u64 denied_before = f.vm.machine.hypervisor().writes_denied();
+  attacks::Rootkit rk(f.vm.kernel, attacks::rootkit_by_name("AFX"));
+  rk.set_vcpu(&f.vm.machine.vcpu(1));
+  rk.hide(f.victim);
+  f.vm.machine.run_for(200'000'000);
+  EXPECT_GT(f.vm.machine.hypervisor().writes_denied(), denied_before);
+  EXPECT_TRUE(f.ht.alarms().any_of_type("kernel-data-tamper"));
+  // The store was refused: the hijack never landed; ps still sees the pid.
+  const auto view = f.vm.kernel.in_guest_view_pids();
+  EXPECT_EQ(std::count(view.begin(), view.end(), f.victim), 1)
+      << "prevention kept the dispatch table intact";
+}
+
+TEST(IntegrityGuard, GuestKeepsRunningUnderProtection) {
+  GuardFixture f(/*prevent=*/true);
+  // Ordinary syscall traffic must be unaffected by the protection.
+  const u64 before = f.vm.kernel.total_syscalls();
+  f.vm.machine.run_for(1'000'000'000);
+  EXPECT_GT(f.vm.kernel.total_syscalls(), before + 100);
+  EXPECT_FALSE(f.ht.alarms().any_of_type("kernel-data-tamper"));
+}
+
+TEST(IntegrityGuard, HostLevelPatchingStaysInvisible) {
+  // kmem-style patching that bypasses the vCPU (raw DMA-like writes) is
+  // outside the guard's trap surface — documenting the boundary.
+  GuardFixture f(/*prevent=*/true);
+  attacks::Rootkit rk(f.vm.kernel, attacks::rootkit_by_name("AFX"));
+  rk.hide(f.victim);  // no vcpu set: raw patch
+  f.vm.machine.run_for(200'000'000);
+  EXPECT_EQ(f.guard->tamper_attempts(), 0u);
+  const auto view = f.vm.kernel.in_guest_view_pids();
+  EXPECT_EQ(std::count(view.begin(), view.end(), f.victim), 0);
+}
+
+TEST(Anomaly, TrainsQuietlyOnSteadyLoad) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  auto a = std::make_unique<auditors::AnomalyDetector>();
+  auto* ap = a.get();
+  ht.add_auditor(std::move(a));
+  vm.kernel.boot();
+  vm.kernel.spawn("busy", 1, 1, 1, std::make_unique<Busy>(), 0, 0);
+  vm.machine.run_for(15'000'000'000);
+  EXPECT_TRUE(ap->trained());
+  EXPECT_EQ(ap->anomalous_windows(), 0u);
+}
+
+TEST(Anomaly, FlagsEventRateCollapse) {
+  // Train on a busy guest, then hang the busy task's vCPU: switch and
+  // syscall rates collapse -> anomaly with no policy written for "hang".
+  const auto locs = fi::generate_locations();
+  os::Vm vm;
+  vm.kernel.register_locations(locs);
+  class FaultAt final : public os::LocationHook {
+   public:
+    os::FaultClass on_location(u16 loc, u32) override {
+      return loc == 0 ? os::FaultClass::kMissingRelease
+                      : os::FaultClass::kNone;
+    }
+  };
+  FaultAt fault;
+
+  HyperTap ht(vm);
+  auto a = std::make_unique<auditors::AnomalyDetector>();
+  auto* ap = a.get();
+  ht.add_auditor(std::move(a));
+  vm.kernel.boot();
+  class BusySys final : public os::Workload {
+   public:
+    os::Action next(os::TaskCtx&) override {
+      if ((i_ ^= 1) != 0) return os::ActSyscall{os::SYS_WRITE, 3, 1024};
+      return os::ActCompute{300'000};
+    }
+    int i_ = 0;
+  };
+  vm.kernel.spawn("svc", 1, 1, 1, std::make_unique<BusySys>(), 0, 0);
+  vm.kernel.spawn("svc", 1, 1, 1, std::make_unique<BusySys>(), 0, 1);
+  vm.machine.run_for(10'000'000'000);
+  ASSERT_TRUE(ap->trained());
+  ASSERT_EQ(ap->anomalous_windows(), 0u);
+
+  // Inject the hang: both workers spin on the leaked lock eventually.
+  vm.kernel.set_location_hook(&fault);
+  class HitLoc final : public os::Workload {
+   public:
+    os::Action next(os::TaskCtx&) override { return os::ActKernelCall{0}; }
+  };
+  vm.kernel.spawn("trigger", 1, 1, 1, std::make_unique<HitLoc>(), 0, 0);
+  vm.kernel.spawn("trigger", 1, 1, 1, std::make_unique<HitLoc>(), 0, 1);
+  vm.machine.run_for(8'000'000'000);
+  EXPECT_GT(ap->anomalous_windows(), 0u);
+  EXPECT_TRUE(ht.alarms().any_of_type("anomaly"));
+}
+
+TEST(PedResponse, ResponseHookAndPauseFireOnDetection) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  auditors::HtNinja::Config cfg;
+  cfg.pause_on_detect = 200'000'000;
+  auto n = std::make_unique<auditors::HtNinja>(cfg);
+  auto* np = n.get();
+  std::vector<u32> killed;
+  np->set_response([&vm, &killed](u32 pid) {
+    killed.push_back(pid);
+    os::Task* t = vm.kernel.find_task(pid);
+    if (t != nullptr) t->kill_pending = true;  // management-plane kill
+  });
+  ht.add_auditor(std::move(n));
+  vm.kernel.boot();
+
+  attacks::AttackPlan plan;
+  plan.exit_after = false;  // the attacker would linger...
+  attacks::AttackDriver attack(vm.kernel, plan);
+  attack.launch();
+  vm.machine.run_for(3'000'000'000);
+
+  ASSERT_EQ(killed.size(), 1u);
+  EXPECT_EQ(killed[0], attack.attacker_pid());
+  // ...but the response terminated it.
+  EXPECT_EQ(vm.kernel.find_task(attack.attacker_pid()), nullptr);
+}
+
+}  // namespace
+}  // namespace hypertap

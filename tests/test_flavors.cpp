@@ -1,0 +1,132 @@
+// Tests: guest flavors (Windows-style INT 0x2E syscalls) and GOSHD's
+// profiling-based threshold calibration (§VIII-A1).
+#include <gtest/gtest.h>
+
+#include "auditors/goshd.hpp"
+#include "attacks/rootkit.hpp"
+#include "auditors/hrkd.hpp"
+#include "auditors/syscall_trace.hpp"
+#include "core/hypertap.hpp"
+#include "fi/locations.hpp"
+#include "workloads/workload.hpp"
+
+namespace hypertap {
+namespace {
+
+class IoApp final : public os::Workload {
+ public:
+  os::Action next(os::TaskCtx&) override {
+    switch (i_++ % 3) {
+      case 0: return os::ActCompute{300'000};
+      case 1: return os::ActSyscall{os::SYS_WRITE, 3, 2048};
+      default: return os::ActSyscall{os::SYS_GETPID};
+    }
+  }
+  int i_ = 0;
+};
+
+TEST(WindowsFlavor, Int2eSyscallsAreIntercepted) {
+  // A Windows-style guest issues syscalls through INT 0x2E; Fig. 3D's
+  // algorithm covers that gate as well.
+  os::KernelConfig kc;
+  kc.fast_syscalls = false;
+  kc.syscall_vector = os::SYSCALL_INT_VECTOR_NT;
+  os::Vm vm(hv::MachineConfig{}, kc);
+  HyperTap ht(vm);
+  auto* trace = new auditors::SyscallTrace();
+  ht.add_auditor(std::unique_ptr<Auditor>(trace));
+  vm.kernel.boot();
+  vm.kernel.spawn("winapp", 1000, 1000, 1, std::make_unique<IoApp>());
+  vm.machine.run_for(1'000'000'000);
+  EXPECT_GT(trace->total(), 100u);
+  EXPECT_GT(trace->count(os::SYS_WRITE), 10u);
+  // The exits really are EXCEPTION exits (not EPT fetch traps).
+  EXPECT_GT(vm.machine.engine().total_exit_count(
+                hav::ExitReason::kException),
+            100u);
+}
+
+TEST(WindowsFlavor, HrkdCatalogClaimsWindowsCoverage) {
+  // Table II's Windows rootkits run against the Windows-flavor guest too:
+  // the counting technique needs no OS-specific adjustment (§VIII-B1).
+  os::KernelConfig kc;
+  kc.fast_syscalls = false;
+  kc.syscall_vector = os::SYSCALL_INT_VECTOR_NT;
+  os::Vm vm(hv::MachineConfig{}, kc);
+  HyperTap ht(vm);
+  auto hrkd = std::make_unique<auditors::Hrkd>(
+      auditors::Hrkd::Config{},
+      [&k = vm.kernel]() { return k.in_guest_view_pids(); });
+  auto* hp = hrkd.get();
+  ht.add_auditor(std::move(hrkd));
+  vm.kernel.boot();
+  const u32 pid =
+      vm.kernel.spawn("malware", 1000, 1000, 1, std::make_unique<IoApp>());
+  vm.machine.run_for(1'000'000'000);
+  attacks::Rootkit rk(vm.kernel, attacks::rootkit_by_name("FU"));
+  rk.hide(pid);
+  vm.machine.run_for(2'000'000'000);
+  EXPECT_TRUE(hp->hidden_pids().count(pid));
+}
+
+TEST(GoshdProfile, CalibratesToTwiceObservedMaxGap) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  auditors::Goshd::Config cfg;
+  cfg.profile_duration = 5'000'000'000;  // 5 s calibration
+  auto g = std::make_unique<auditors::Goshd>(vm.machine.num_vcpus(), cfg);
+  auto* gp = g.get();
+  ht.add_auditor(std::move(g));
+  vm.kernel.boot();
+  vm.kernel.spawn("busy", 1, 1, 1, std::make_unique<IoApp>(), 0, 0);
+  EXPECT_TRUE(gp->profiling());
+  vm.machine.run_for(6'000'000'000);
+  EXPECT_FALSE(gp->profiling());
+  EXPECT_GT(gp->profiled_max_gap(), 0);
+  EXPECT_GE(gp->threshold(), cfg.min_threshold);
+  // threshold ~= 2x the profiled gap (unless clamped by the floor).
+  if (2 * gp->profiled_max_gap() > cfg.min_threshold) {
+    EXPECT_EQ(gp->threshold(), 2 * gp->profiled_max_gap());
+  }
+  // And stays quiet on the healthy guest afterwards.
+  vm.machine.run_for(10'000'000'000);
+  EXPECT_FALSE(gp->any_hung());
+}
+
+TEST(GoshdProfile, StillDetectsHangsAfterCalibration) {
+  const auto locs = fi::generate_locations();
+  os::Vm vm;
+  vm.kernel.register_locations(locs);
+  class FaultAt final : public os::LocationHook {
+   public:
+    os::FaultClass on_location(u16 loc, u32) override {
+      return loc == 0 ? os::FaultClass::kMissingRelease
+                      : os::FaultClass::kNone;
+    }
+  };
+  FaultAt fault;
+
+  HyperTap ht(vm);
+  auditors::Goshd::Config cfg;
+  cfg.profile_duration = 4'000'000'000;
+  auto g = std::make_unique<auditors::Goshd>(vm.machine.num_vcpus(), cfg);
+  auto* gp = g.get();
+  ht.add_auditor(std::move(g));
+  vm.kernel.boot();
+  vm.kernel.spawn("busy", 1, 1, 1, std::make_unique<IoApp>(), 0, 0);
+  vm.machine.run_for(6'000'000'000);
+  ASSERT_FALSE(gp->profiling());
+
+  vm.kernel.set_location_hook(&fault);
+  class HitLoc final : public os::Workload {
+   public:
+    os::Action next(os::TaskCtx&) override { return os::ActKernelCall{0}; }
+  };
+  vm.kernel.spawn("t0", 1, 1, 1, std::make_unique<HitLoc>(), 0, 0);
+  vm.kernel.spawn("t1", 1, 1, 1, std::make_unique<HitLoc>(), 0, 1);
+  vm.machine.run_for(gp->threshold() + 8'000'000'000);
+  EXPECT_TRUE(gp->any_hung());
+}
+
+}  // namespace
+}  // namespace hypertap

@@ -1,0 +1,215 @@
+// Unit tests: HAV exit engine — VMCS controls, exit generation, EPT
+// violations, cost accounting, and the sink protocol.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hav/exit_engine.hpp"
+
+namespace hvsim::hav {
+namespace {
+
+class RecordingSink final : public ExitSink {
+ public:
+  ExitDisposition on_exit(arch::Vcpu&, const Exit& exit) override {
+    exits.push_back(exit);
+    return disposition;
+  }
+  std::vector<Exit> exits;
+  ExitDisposition disposition;
+};
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : mem(1u << 20), ept(256), engine(mem, ept, 2) {
+    engine.set_sink(&sink);
+    // Identity-map a page directory for the vCPU so guest accesses work.
+    pd = 0x10000;
+    map(0xC0000000, 0x20000, arch::PTE_WRITE);
+    vcpu0.regs().cr3 = pd;
+  }
+
+  void map(Gva va, Gpa pa, u32 flags) {
+    arch::map_page(mem, pd, va, pa, flags, [this]() {
+      const Gpa f = next_frame;
+      next_frame += PAGE_SIZE;
+      return f;
+    });
+  }
+
+  arch::PhysMem mem;
+  arch::Ept ept;
+  ExitEngine engine;
+  RecordingSink sink;
+  arch::Vcpu vcpu0{0};
+  Gpa pd = 0;
+  Gpa next_frame = 0x30000;
+};
+
+TEST_F(EngineTest, Cr3WriteExitsOnlyWhenEnabled) {
+  engine.write_cr3(vcpu0, 0x5000);
+  EXPECT_TRUE(sink.exits.empty());
+  EXPECT_EQ(vcpu0.regs().cr3, 0x5000u);
+
+  engine.controls(0).cr3_load_exiting = true;
+  engine.write_cr3(vcpu0, 0x6000);
+  ASSERT_EQ(sink.exits.size(), 1u);
+  EXPECT_EQ(sink.exits[0].reason, ExitReason::kCrAccess);
+  const auto& q = std::get<CrAccessQual>(sink.exits[0].qual);
+  EXPECT_EQ(q.old_value, 0x5000u);
+  EXPECT_EQ(q.new_value, 0x6000u);
+  EXPECT_EQ(vcpu0.regs().cr3, 0x6000u);
+}
+
+TEST_F(EngineTest, ControlsArePerVcpu) {
+  arch::Vcpu vcpu1{1};
+  engine.controls(0).cr3_load_exiting = true;
+  engine.write_cr3(vcpu1, 0x7000);  // vCPU 1 not configured
+  EXPECT_TRUE(sink.exits.empty());
+  engine.for_all_controls(
+      [](VmcsControls& c) { c.cr3_load_exiting = true; });
+  engine.write_cr3(vcpu1, 0x8000);
+  EXPECT_EQ(sink.exits.size(), 1u);
+}
+
+TEST_F(EngineTest, ExceptionBitmapFiltersVectors) {
+  engine.controls(0).exception_bitmap.set(0x80);
+  engine.software_interrupt(vcpu0, 0x21);
+  EXPECT_TRUE(sink.exits.empty());
+  engine.software_interrupt(vcpu0, 0x80);
+  ASSERT_EQ(sink.exits.size(), 1u);
+  const auto& q = std::get<ExceptionQual>(sink.exits[0].qual);
+  EXPECT_EQ(q.vector, 0x80);
+  EXPECT_TRUE(q.software);
+  EXPECT_EQ(vcpu0.regs().cpl, 0) << "gate transfers to ring 0";
+}
+
+TEST_F(EngineTest, WrmsrExitAndApply) {
+  engine.controls(0).msr_write_exiting = true;
+  engine.wrmsr(vcpu0, arch::IA32_SYSENTER_EIP, 0xC0001234);
+  ASSERT_EQ(sink.exits.size(), 1u);
+  const auto& q = std::get<WrmsrQual>(sink.exits[0].qual);
+  EXPECT_EQ(q.index, arch::IA32_SYSENTER_EIP);
+  EXPECT_EQ(q.value, 0xC0001234u);
+  EXPECT_EQ(vcpu0.msrs().read(arch::IA32_SYSENTER_EIP), 0xC0001234u);
+}
+
+TEST_F(EngineTest, GuestReadWriteThroughPaging) {
+  engine.guest_write(vcpu0, 0xC0000010, 0xAABBCCDD, 4);
+  EXPECT_TRUE(sink.exits.empty());
+  EXPECT_EQ(mem.rd32(0x20010), 0xAABBCCDDu);
+  EXPECT_EQ(engine.guest_read(vcpu0, 0xC0000010, 4), 0xAABBCCDDu);
+}
+
+TEST_F(EngineTest, GuestAccessSizes) {
+  engine.guest_write(vcpu0, 0xC0000020, 0x11, 1);
+  engine.guest_write(vcpu0, 0xC0000022, 0x2222, 2);
+  engine.guest_write(vcpu0, 0xC0000028, 0x8888888899999999ull, 8);
+  EXPECT_EQ(engine.guest_read(vcpu0, 0xC0000020, 1), 0x11u);
+  EXPECT_EQ(engine.guest_read(vcpu0, 0xC0000022, 2), 0x2222u);
+  EXPECT_EQ(engine.guest_read(vcpu0, 0xC0000028, 8),
+            0x8888888899999999ull);
+  EXPECT_THROW(engine.guest_write(vcpu0, 0xC0000020, 0, 3),
+               std::invalid_argument);
+}
+
+TEST_F(EngineTest, UnmappedGvaFaults) {
+  EXPECT_THROW(engine.guest_read(vcpu0, 0xDEAD0000, 4), GuestPageFault);
+}
+
+TEST_F(EngineTest, WriteProtectedPageViolatesAndCommits) {
+  ept.write_protect(0x20000, true);
+  engine.guest_write(vcpu0, 0xC0000040, 0x1234, 4);
+  ASSERT_EQ(sink.exits.size(), 1u);
+  EXPECT_EQ(sink.exits[0].reason, ExitReason::kEptViolation);
+  const auto& q = std::get<EptViolationQual>(sink.exits[0].qual);
+  EXPECT_EQ(q.access, arch::Access::kWrite);
+  EXPECT_EQ(q.gva, 0xC0000040u);
+  EXPECT_EQ(q.gpa, 0x20040u);
+  EXPECT_EQ(q.value, 0x1234u);
+  // Default disposition: hypervisor emulated the store.
+  EXPECT_EQ(mem.rd32(0x20040), 0x1234u);
+}
+
+TEST_F(EngineTest, SinkCanSuppressCommit) {
+  ept.write_protect(0x20000, true);
+  sink.disposition.commit = false;
+  engine.guest_write(vcpu0, 0xC0000040, 0x1234, 4);
+  EXPECT_EQ(mem.rd32(0x20040), 0u) << "MMIO-style suppression";
+}
+
+TEST_F(EngineTest, ExecProtectedFetchViolates) {
+  ept.exec_protect(0x20000, true);
+  engine.execute_at(vcpu0, 0xC0000100);
+  ASSERT_EQ(sink.exits.size(), 1u);
+  const auto& q = std::get<EptViolationQual>(sink.exits[0].qual);
+  EXPECT_EQ(q.access, arch::Access::kExecute);
+  EXPECT_EQ(vcpu0.regs().rip, 0xC0000100u);
+}
+
+TEST_F(EngineTest, IoPortExitsAndReturnsDeviceValue) {
+  sink.disposition.io_value = 0x77;
+  const u32 v = engine.io_port(vcpu0, 0x1F0, /*is_write=*/false, 0, 4);
+  EXPECT_EQ(v, 0x77u);
+  ASSERT_EQ(sink.exits.size(), 1u);
+  const auto& q = std::get<IoQual>(sink.exits[0].qual);
+  EXPECT_EQ(q.port, 0x1F0);
+  EXPECT_FALSE(q.is_write);
+}
+
+TEST_F(EngineTest, ExternalInterruptAndHlt) {
+  engine.external_interrupt(vcpu0, 0x20);
+  engine.hlt(vcpu0);
+  ASSERT_EQ(sink.exits.size(), 2u);
+  EXPECT_EQ(sink.exits[0].reason, ExitReason::kExternalInterrupt);
+  EXPECT_EQ(sink.exits[1].reason, ExitReason::kHlt);
+}
+
+TEST_F(EngineTest, ApicAccessGated) {
+  engine.apic_access(vcpu0, 0xB0);
+  EXPECT_TRUE(sink.exits.empty());
+  engine.controls(0).apic_access_exiting = true;
+  engine.apic_access(vcpu0, 0xB0);
+  EXPECT_EQ(sink.exits.size(), 1u);
+}
+
+TEST_F(EngineTest, ExitsChargeTimeAndCount) {
+  engine.controls(0).cr3_load_exiting = true;
+  const SimTime before = vcpu0.now();
+  engine.write_cr3(vcpu0, 0x9000);
+  EXPECT_GT(vcpu0.now(), before) << "exit cost charged";
+  EXPECT_EQ(vcpu0.total_exits(), 1u);
+  EXPECT_EQ(engine.exit_count(0, ExitReason::kCrAccess), 1u);
+  EXPECT_EQ(engine.total_exit_count(ExitReason::kCrAccess), 1u);
+}
+
+TEST_F(EngineTest, NoExitNoCharge) {
+  const SimTime before = vcpu0.now();
+  engine.write_cr3(vcpu0, 0x9000);  // cr3 exiting disabled
+  EXPECT_EQ(vcpu0.now(), before);
+}
+
+TEST_F(EngineTest, ExitCarriesTimestampAndVcpu) {
+  engine.controls(0).cr3_load_exiting = true;
+  vcpu0.set_now(12'345);
+  engine.write_cr3(vcpu0, 0x9000);
+  EXPECT_EQ(sink.exits[0].vcpu_id, 0);
+  EXPECT_EQ(sink.exits[0].time, vcpu0.now());
+}
+
+TEST(ExitCostModel, AllReasonsHaveCosts) {
+  ExitCostModel m;
+  for (u8 r = 0; r < static_cast<u8>(ExitReason::kCount); ++r) {
+    EXPECT_GT(m.handler_cost(static_cast<ExitReason>(r)), 0u)
+        << to_string(static_cast<ExitReason>(r));
+  }
+}
+
+TEST(ExitReasonNames, AllNamed) {
+  for (u8 r = 0; r < static_cast<u8>(ExitReason::kCount); ++r) {
+    EXPECT_STRNE(to_string(static_cast<ExitReason>(r)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace hvsim::hav

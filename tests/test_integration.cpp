@@ -1,0 +1,198 @@
+// Integration & property tests across the whole stack: determinism,
+// monitor co-existence, and the unified-logging cost claim.
+#include <gtest/gtest.h>
+
+#include "attacks/scenario.hpp"
+#include "auditors/goshd.hpp"
+#include "auditors/hrkd.hpp"
+#include "auditors/ped.hpp"
+#include "core/hypertap.hpp"
+#include "fi/locations.hpp"
+#include "workloads/unixbench.hpp"
+#include "workloads/workload.hpp"
+
+namespace hypertap {
+namespace {
+
+enum class Monitors { kNone, kHrkd, kNinja, kAll };
+
+double run_unixbench(const workloads::UnixBenchSpec& spec, Monitors m,
+                     u64 seed) {
+  hv::MachineConfig mc;
+  mc.seed = seed;
+  os::KernelConfig kc;
+  kc.spawn_factory = workloads::standard_factory(nullptr);
+  os::Vm vm(mc, kc);
+  HyperTap ht(vm);
+  if (m == Monitors::kHrkd || m == Monitors::kAll) {
+    ht.add_auditor(std::make_unique<auditors::Hrkd>(
+        auditors::Hrkd::Config{},
+        [&k = vm.kernel]() { return k.in_guest_view_pids(); }));
+  }
+  if (m == Monitors::kNinja || m == Monitors::kAll) {
+    ht.add_auditor(std::make_unique<auditors::HtNinja>());
+  }
+  if (m == Monitors::kAll) {
+    ht.add_auditor(
+        std::make_unique<auditors::Goshd>(vm.machine.num_vcpus()));
+  }
+  vm.kernel.boot();
+  SimTime done_at = -1;
+  auto w = workloads::make_unixbench(spec, seed);
+  w->set_on_done([&done_at, &vm](SimTime t) {
+    done_at = t;
+    vm.machine.request_stop();
+  });
+  vm.kernel.spawn("bench", 1000, 1000, 1, std::move(w), 0, 0);
+  vm.machine.run_for(120'000'000'000ll);
+  vm.machine.clear_stop();
+  return done_at > 0 ? static_cast<double>(done_at) : -1.0;
+}
+
+TEST(Integration, MonitoringNeverSpeedsUpTheGuest) {
+  const auto suite = workloads::unixbench_suite();
+  // Pick the syscall benchmark — the most monitor-sensitive one.
+  const auto& spec = suite.back();
+  const double base = run_unixbench(spec, Monitors::kNone, 9);
+  const double hrkd = run_unixbench(spec, Monitors::kHrkd, 9);
+  const double ninja = run_unixbench(spec, Monitors::kNinja, 9);
+  const double all = run_unixbench(spec, Monitors::kAll, 9);
+  ASSERT_GT(base, 0);
+  EXPECT_GE(hrkd, base * 0.999);
+  EXPECT_GE(ninja, base * 0.999);
+  EXPECT_GE(all, base * 0.999);
+}
+
+TEST(Integration, CombinedCostIsNearMaxNotSum) {
+  // The paper's headline unified-logging claim (Fig. 7 discussion): the
+  // overhead of all monitors together is close to the most expensive
+  // single monitor and well below the sum of individual overheads.
+  const auto suite = workloads::unixbench_suite();
+  const auto& spec = suite.back();  // System Call Overhead
+  const double base = run_unixbench(spec, Monitors::kNone, 5);
+  const double hrkd = run_unixbench(spec, Monitors::kHrkd, 5);
+  const double ninja = run_unixbench(spec, Monitors::kNinja, 5);
+  const double all = run_unixbench(spec, Monitors::kAll, 5);
+  ASSERT_GT(base, 0);
+  const double oh_hrkd = hrkd - base;
+  const double oh_ninja = ninja - base;
+  const double oh_all = all - base;
+  const double oh_max = std::max(oh_hrkd, oh_ninja);
+  const double oh_sum = oh_hrkd + oh_ninja;
+  EXPECT_LE(oh_all, oh_max * 1.35 + base * 0.01)
+      << "combined ~ max single monitor";
+  if (oh_hrkd > base * 0.001) {  // only meaningful if both monitors cost
+    EXPECT_LT(oh_all, oh_sum) << "combined < sum of individual overheads";
+  }
+}
+
+TEST(Integration, FullySeededRunsAreBitIdentical) {
+  auto run = [](u64 seed) {
+    hv::MachineConfig mc;
+    mc.seed = seed;
+    os::Vm vm(mc);
+    HyperTap ht(vm);
+    ht.add_auditor(std::make_unique<auditors::HtNinja>());
+    vm.kernel.boot();
+    attacks::AttackPlan plan;
+    plan.rootkit = attacks::rootkit_by_name("SucKIT");
+    attacks::AttackDriver d(vm.kernel, plan);
+    d.launch();
+    vm.machine.run_for(3'000'000'000);
+    struct Result {
+      u64 exits;
+      u64 switches0, switches1;
+      SimTime escalated;
+      std::size_t alarms;
+    };
+    return Result{vm.machine.vcpu(0).total_exits(),
+                  vm.kernel.context_switch_count(0),
+                  vm.kernel.context_switch_count(1), d.times().escalated,
+                  ht.alarms().all().size()};
+  };
+  const auto a = run(77);
+  const auto b = run(77);
+  EXPECT_EQ(a.exits, b.exits);
+  EXPECT_EQ(a.switches0, b.switches0);
+  EXPECT_EQ(a.switches1, b.switches1);
+  EXPECT_EQ(a.escalated, b.escalated);
+  EXPECT_EQ(a.alarms, b.alarms);
+}
+
+TEST(Integration, AllMonitorsCoexistDuringCombinedIncident) {
+  // Rootkit + escalation + a hang fault, all at once: each auditor flags
+  // its own incident, none interferes with the others.
+  const auto locs = fi::generate_locations();
+  os::KernelConfig kc;
+  kc.spawn_factory = workloads::standard_factory(&locs);
+  os::Vm vm(hv::MachineConfig{}, kc);
+  vm.kernel.register_locations(locs);
+  class AlwaysFault final : public os::LocationHook {
+   public:
+    os::FaultClass on_location(u16 loc, u32) override {
+      return loc == 40 ? os::FaultClass::kMissingRelease
+                       : os::FaultClass::kNone;
+    }
+  };
+  AlwaysFault fault;
+  vm.kernel.set_location_hook(&fault);
+
+  HyperTap ht(vm);
+  ht.add_auditor(std::make_unique<auditors::Goshd>(vm.machine.num_vcpus()));
+  ht.add_auditor(std::make_unique<auditors::HtNinja>());
+  ht.add_auditor(std::make_unique<auditors::Hrkd>(
+      auditors::Hrkd::Config{},
+      [&k = vm.kernel]() { return k.in_guest_view_pids(); }));
+  vm.kernel.boot();
+
+  // Security incident: transient attack with a rootkit (stays resident).
+  attacks::AttackPlan plan;
+  plan.rootkit = attacks::rootkit_by_name("SucKIT");
+  plan.exit_after = false;  // keep the escalated process for HRKD to see
+  attacks::AttackDriver attack(vm.kernel, plan);
+  attack.launch();
+  vm.machine.run_for(2'000'000'000);
+
+  // Reliability incident: hang vCPU 1 via the leaked ext3 lock.
+  class HitLoc final : public os::Workload {
+   public:
+    os::Action next(os::TaskCtx&) override {
+      if ((i_ ^= 1) != 0) return os::ActKernelCall{40};
+      return os::ActCompute{2'000'000};
+    }
+    int i_ = 0;
+  };
+  vm.kernel.spawn("w1", 1, 1, 1, std::make_unique<HitLoc>(), 0, 1);
+  vm.kernel.spawn("w2", 1, 1, 1, std::make_unique<HitLoc>(), 0, 1);
+  vm.machine.run_for(12'000'000'000);
+
+  EXPECT_TRUE(ht.alarms().any_of_type("priv-escalation"));
+  EXPECT_TRUE(ht.alarms().any_of_type("hidden-task"));
+  EXPECT_TRUE(ht.alarms().any_of_type("vcpu-hang"));
+}
+
+TEST(Integration, EventStreamSurvivesHighChurn) {
+  os::KernelConfig kc;
+  kc.spawn_factory = workloads::standard_factory(nullptr);
+  os::Vm vm(hv::MachineConfig{}, kc);
+  HyperTap ht(vm);
+  ht.add_auditor(std::make_unique<auditors::HtNinja>());
+  vm.kernel.boot();
+  // A fork storm: hundreds of short-lived processes.
+  class Storm final : public os::Workload {
+   public:
+    os::Action next(os::TaskCtx&) override {
+      if (i_++ % 2 == 0)
+        return os::ActSyscall{os::SYS_SPAWN, workloads::EXE_NOOP};
+      return os::ActCompute{200'000};
+    }
+    int i_ = 0;
+  };
+  vm.kernel.spawn("storm", 1000, 1000, 1, std::make_unique<Storm>());
+  EXPECT_TRUE(vm.machine.run_for(5'000'000'000));
+  EXPECT_GT(ht.forwarder().events_forwarded(), 1'000u);
+  EXPECT_TRUE(ht.alarms().of_type("priv-escalation").empty());
+}
+
+}  // namespace
+}  // namespace hypertap

@@ -1,0 +1,121 @@
+// Negative-space tests: the boundaries the paper itself documents.
+//
+//  * §VIII-C2: attacks that execute inside WHITELISTED processes evade
+//    all three Ninjas (the checking rules skip them by design).
+//  * §VII-B3: code-injection attacks that reuse an existing CR3/RSP0
+//    produce no new identifiers, so HRKD (by design) does not see them.
+//  * §VII-B: hidden KERNEL THREADS are detected just like processes —
+//    RSP0-based inspection needs no address space.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "attacks/exploit.hpp"
+#include "attacks/rootkit.hpp"
+#include "auditors/hrkd.hpp"
+#include "auditors/ped.hpp"
+#include "core/hypertap.hpp"
+#include "vmi/introspect.hpp"
+
+namespace hypertap {
+namespace {
+
+class Busy final : public os::Workload {
+ public:
+  os::Action next(os::TaskCtx&) override {
+    if ((i_ ^= 1) != 0) return os::ActCompute{400'000};
+    return os::ActSyscall{os::SYS_WRITE, 3, 512};
+  }
+  int i_ = 0;
+};
+
+TEST(Limitations, WhitelistedCompromiseEvadesAllNinjas) {
+  // A buffer overflow inside a whitelisted setuid binary: the attacker
+  // runs with euid 0 AND the whitelist flag. Ninja's rules (all three
+  // implementations share them) skip whitelisted processes — the paper's
+  // acknowledged blind spot.
+  os::Vm vm;
+  HyperTap ht(vm);
+  auto n = std::make_unique<auditors::HtNinja>();
+  auto* np = n.get();
+  ht.add_auditor(std::move(n));
+  vm.kernel.boot();
+  const u32 shell =
+      vm.kernel.spawn("bash", 1000, 1000, 1, std::make_unique<Busy>());
+  const u32 victim =
+      vm.kernel.spawn("suid-helper", 1000, 1000, shell,
+                      std::make_unique<Busy>(), 42, -1,
+                      os::TASK_FLAG_WHITELISTED);
+  // The overflow hijacks control INSIDE the whitelisted image; unlike the
+  // glibc-$ORIGIN loader attack, the flag legitimately stays set.
+  os::Task* t = vm.kernel.find_task(victim);
+  vm.kernel.ts_write(*t, os::TS_EUID, 0);
+  vm.machine.run_for(2'000'000'000);
+  EXPECT_FALSE(np->flagged_pids().count(victim))
+      << "documented limitation: whitelisted context is exempt";
+}
+
+TEST(Limitations, CodeInjectionReusingIdentifiersEvadesHrkd) {
+  // §VII-B3: an attack that runs inside an EXISTING process (reusing its
+  // CR3 and RSP0) creates no new identifiers. HRKD's trusted view and the
+  // in-guest view agree, so nothing is flagged — the paper explicitly
+  // scopes this class out ("such attacks are code injection, not
+  // rootkits").
+  os::Vm vm;
+  HyperTap ht(vm);
+  auto h = std::make_unique<auditors::Hrkd>(
+      auditors::Hrkd::Config{},
+      [&k = vm.kernel]() { return k.in_guest_view_pids(); });
+  auto* hp = h.get();
+  ht.add_auditor(std::move(h));
+  vm.kernel.boot();
+  const u32 host_proc =
+      vm.kernel.spawn("victim", 1000, 1000, 1, std::make_unique<Busy>());
+  vm.machine.run_for(1'000'000'000);
+  // "Inject code": the victim's behaviour changes, but its pid, PDBA and
+  // kernel stack stay the same.
+  vm.kernel.find_task(host_proc)->workload = std::make_unique<Busy>();
+  vm.machine.run_for(2'000'000'000);
+  EXPECT_TRUE(hp->hidden_pids().empty());
+  EXPECT_TRUE(ht.alarms().all().empty());
+}
+
+TEST(Limitations, HiddenKernelThreadIsStillDetected) {
+  // The positive counterpart (§VII-B2): a DKOM-hidden KERNEL THREAD has
+  // no address space of its own, yet RSP0-based inspection flags it.
+  os::Vm vm;
+  HyperTap ht(vm);
+  auto h = std::make_unique<auditors::Hrkd>(
+      auditors::Hrkd::Config{},
+      [&k = vm.kernel]() { return k.in_guest_view_pids(); });
+  auto* hp = h.get();
+  ht.add_auditor(std::move(h));
+  vm.kernel.boot();
+  // A malicious kernel thread doing periodic work.
+  class EvilKthread final : public os::Workload {
+   public:
+    os::Action next(os::TaskCtx&) override {
+      if ((i_ ^= 1) != 0) return os::ActCompute{600'000};
+      return os::ActSyscall{os::SYS_NANOSLEEP, 5'000};
+    }
+    int i_ = 0;
+  };
+  const u32 kpid = vm.kernel.spawn_kthread(
+      "kworker/evil", std::make_unique<EvilKthread>(), 0);
+  vm.machine.run_for(1'000'000'000);
+
+  attacks::Rootkit rk(vm.kernel, attacks::rootkit_by_name("SucKIT"));
+  rk.hide(kpid);
+  const auto view = vm.kernel.in_guest_view_pids();
+  ASSERT_EQ(std::count(view.begin(), view.end(), kpid), 0);
+  vm.machine.run_for(2'000'000'000);
+  EXPECT_TRUE(hp->hidden_pids().count(kpid))
+      << "kernel threads are inspected via RSP0, no PDBA required";
+  // And the process-counting view is unaffected (kthreads have no PDBA):
+  // detection came from the thread-switch channel.
+  vmi::Introspector vmi(vm.machine.hypervisor(), vm.kernel.layout());
+  EXPECT_FALSE(vmi.find(kpid).has_value()) << "DKOM hid it from VMI";
+}
+
+}  // namespace
+}  // namespace hypertap

@@ -1,0 +1,229 @@
+// Tests: the multi-VM host (Fig. 2 deployment) and the threaded auditing
+// container channel, plus seed-sweep properties across the stack.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "attacks/rootkit.hpp"
+#include "attacks/scenario.hpp"
+#include "auditors/goshd.hpp"
+#include "auditors/hrkd.hpp"
+#include "auditors/ped.hpp"
+#include "core/async_channel.hpp"
+#include "core/hypertap.hpp"
+#include "fi/locations.hpp"
+#include "hv/multi_vm.hpp"
+#include "workloads/workload.hpp"
+
+namespace hypertap {
+namespace {
+
+class Busy final : public os::Workload {
+ public:
+  os::Action next(os::TaskCtx&) override {
+    if ((i_ ^= 1) != 0) return os::ActCompute{400'000};
+    return os::ActSyscall{os::SYS_WRITE, 3, 1024};
+  }
+  int i_ = 0;
+};
+
+// ---------------------------- Multi-VM host ------------------------------
+
+TEST(MultiVm, ClocksAdvanceTogether) {
+  hv::MultiVmHost host;
+  host.add_vm();
+  host.add_vm();
+  host.vm(0).kernel.boot();
+  host.vm(1).kernel.boot();
+  host.run_for(2'000'000'000);
+  const SimTime a = host.vm(0).machine.now();
+  const SimTime b = host.vm(1).machine.now();
+  EXPECT_GE(a, 2'000'000'000);
+  EXPECT_GE(b, 2'000'000'000);
+  EXPECT_LT(std::abs(a - b), 50'000'000) << "bounded skew";
+}
+
+TEST(MultiVm, PerVmAuditorsAreIsolated) {
+  // Attack VM 0; VM 1's auditors must stay silent, and vice versa a hang
+  // in VM 1 must not alarm VM 0's HyperTap — the paper's per-VM auditing
+  // container isolation.
+  hv::MultiVmHost host;
+  host.add_vm();
+  host.add_vm();
+
+  HyperTap ht0(host.vm(0));
+  HyperTap ht1(host.vm(1));
+  ht0.add_auditor(std::make_unique<auditors::HtNinja>());
+  ht1.add_auditor(std::make_unique<auditors::HtNinja>());
+  host.vm(0).kernel.boot();
+  host.vm(1).kernel.boot();
+  host.vm(1).kernel.spawn("app", 1000, 1000, 1, std::make_unique<Busy>());
+  host.run_for(1'000'000'000);
+
+  attacks::AttackPlan plan;
+  plan.rootkit = attacks::rootkit_by_name("SucKIT");
+  attacks::AttackDriver attack(host.vm(0).kernel, plan);
+  attack.launch();
+  host.run_for(3'000'000'000);
+
+  EXPECT_TRUE(ht0.alarms().any_of_type("priv-escalation"));
+  EXPECT_TRUE(ht1.alarms().all().empty())
+      << "the clean VM's auditors saw nothing";
+}
+
+TEST(MultiVm, HangInOneVmDoesNotAlarmTheOther) {
+  const auto locs = fi::generate_locations();
+  hv::MultiVmHost host;
+  host.add_vm();
+  host.add_vm();
+  host.vm(0).kernel.register_locations(locs);
+  class FaultAt final : public os::LocationHook {
+   public:
+    os::FaultClass on_location(u16 loc, u32) override {
+      return loc == 0 ? os::FaultClass::kMissingRelease
+                      : os::FaultClass::kNone;
+    }
+  };
+  static FaultAt fault;
+  host.vm(0).kernel.set_location_hook(&fault);
+
+  HyperTap ht0(host.vm(0));
+  HyperTap ht1(host.vm(1));
+  ht0.add_auditor(std::make_unique<auditors::Goshd>(2));
+  ht1.add_auditor(std::make_unique<auditors::Goshd>(2));
+  host.vm(0).kernel.boot();
+  host.vm(1).kernel.boot();
+  class HitLoc final : public os::Workload {
+   public:
+    os::Action next(os::TaskCtx&) override { return os::ActKernelCall{0}; }
+  };
+  host.vm(0).kernel.spawn("t0", 1, 1, 1, std::make_unique<HitLoc>(), 0, 0);
+  host.vm(0).kernel.spawn("t1", 1, 1, 1, std::make_unique<HitLoc>(), 0, 1);
+  host.vm(1).kernel.spawn("app", 1, 1, 1, std::make_unique<Busy>());
+  host.run_for(12'000'000'000);
+
+  EXPECT_TRUE(ht0.alarms().any_of_type("vcpu-hang"));
+  EXPECT_TRUE(ht1.alarms().all().empty());
+}
+
+// ------------------------- Async auditor channel -------------------------
+
+class CountingAuditor final : public Auditor {
+ public:
+  std::string name() const override { return "counting"; }
+  EventMask subscriptions() const override {
+    return event_bit(EventKind::kSyscall);
+  }
+  void on_event(const Event&, AuditContext&) override {
+    n.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::atomic<u64> n{0};
+};
+
+TEST(AsyncChannel, DeliversAllEventsAcrossThreads) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  vm.kernel.boot();
+  CountingAuditor auditor;
+  AsyncAuditorChannel chan(auditor, ht.context(), 1u << 14);
+
+  Event e;
+  e.kind = EventKind::kSyscall;
+  constexpr u64 kCount = 100'000;
+  u64 accepted = 0;
+  for (u64 i = 0; i < kCount; ++i) {
+    e.time = static_cast<SimTime>(i);
+    while (!chan.publish(e)) {
+      std::this_thread::yield();  // ring full: wait for the container
+    }
+    ++accepted;
+  }
+  chan.stop();
+  EXPECT_EQ(accepted, kCount);
+  EXPECT_EQ(auditor.n.load(), kCount);
+  const auto s = chan.stats();
+  EXPECT_EQ(s.audited, kCount);
+}
+
+TEST(AsyncChannel, FiltersUnsubscribedKinds) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  vm.kernel.boot();
+  CountingAuditor auditor;
+  AsyncAuditorChannel chan(auditor, ht.context(), 64);
+  Event e;
+  e.kind = EventKind::kIo;  // not subscribed
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(chan.publish(e));
+  chan.stop();
+  EXPECT_EQ(auditor.n.load(), 0u);
+  EXPECT_EQ(chan.stats().enqueued, 0u);
+}
+
+TEST(AsyncChannel, OverloadDropsInsteadOfBlocking) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  vm.kernel.boot();
+  // A deliberately slow auditor with a tiny ring: the producer must never
+  // block; drops are counted.
+  class SlowAuditor final : public Auditor {
+   public:
+    std::string name() const override { return "slow"; }
+    EventMask subscriptions() const override { return kAllEvents; }
+    void on_event(const Event&, AuditContext&) override {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  };
+  SlowAuditor auditor;
+  AsyncAuditorChannel chan(auditor, ht.context(), 16);
+  Event e;
+  e.kind = EventKind::kSyscall;
+  for (int i = 0; i < 5'000; ++i) chan.publish(e);
+  chan.stop();
+  const auto s = chan.stats();
+  EXPECT_GT(s.dropped, 0u) << "tiny ring must overflow";
+  EXPECT_EQ(s.enqueued, 5'000u);
+}
+
+// --------------------------- Seed-sweep properties -----------------------
+
+class SeedSweep : public ::testing::TestWithParam<u64> {};
+
+TEST_P(SeedSweep, DerivationMatchesTruthAndNoFalseAlarms) {
+  hv::MachineConfig mc;
+  mc.seed = GetParam();
+  os::KernelConfig kc;
+  kc.spawn_factory = workloads::standard_factory(nullptr);
+  os::Vm vm(mc, kc);
+  HyperTap ht(vm);
+  ht.add_auditor(std::make_unique<auditors::Goshd>(vm.machine.num_vcpus()));
+  ht.add_auditor(std::make_unique<auditors::HtNinja>());
+  ht.add_auditor(std::make_unique<auditors::Hrkd>(
+      auditors::Hrkd::Config{},
+      [&k = vm.kernel]() { return k.in_guest_view_pids(); }));
+  vm.kernel.boot();
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 3; ++i) {
+    vm.kernel.spawn("app" + std::to_string(i),
+                    1000 + static_cast<u32>(rng.below(5)), 1000, 1,
+                    std::make_unique<Busy>());
+  }
+  for (int step = 0; step < 40; ++step) {
+    vm.machine.run_for(200'000'000);
+    // Derivation property: any valid current-task view names a real task.
+    for (int cpu = 0; cpu < vm.machine.num_vcpus(); ++cpu) {
+      const GuestTaskView v = ht.os_state().current_task(cpu);
+      if (!v.valid || v.pid == 0 || v.pid >= 0x8000u) continue;
+      const os::Task* t = vm.kernel.find_task(v.pid);
+      if (t != nullptr) {
+        EXPECT_EQ(t->ts_gva, v.task_gva) << "seed " << GetParam();
+      }
+    }
+  }
+  EXPECT_TRUE(ht.alarms().all().empty()) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42));
+
+}  // namespace
+}  // namespace hypertap

@@ -1,0 +1,637 @@
+// Unit tests: the guest kernel — boot invariants, process lifecycle and
+// guest-memory structures, scheduling, syscalls, locks and fault-location
+// semantics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/tss.hpp"
+#include "fi/locations.hpp"
+#include "os/kernel.hpp"
+#include "workloads/workload.hpp"
+
+namespace hvsim::os {
+namespace {
+
+using hypertap::fi::generate_locations;
+
+class Spin final : public Workload {
+ public:
+  Action next(TaskCtx&) override { return ActCompute{500'000}; }
+};
+
+class Sleeper final : public Workload {
+ public:
+  explicit Sleeper(u32 usec = 100'000) : usec_(usec) {}
+  Action next(TaskCtx&) override { return ActSyscall{SYS_NANOSLEEP, usec_}; }
+  u32 usec_;
+};
+
+class Once final : public Workload {
+ public:
+  explicit Once(Action a) : action_(std::move(a)) {}
+  Action next(TaskCtx& ctx) override {
+    if (step_++ == 0) return action_;
+    last_result = ctx.last_result;
+    return ActSyscall{SYS_NANOSLEEP, 500'000};
+  }
+  u32 last_result = 0xFEFEFEFE;
+
+ private:
+  Action action_;
+  int step_ = 0;
+};
+
+struct OsTest : ::testing::Test {
+  OsTest() {
+    vm.kernel.boot();
+  }
+  Vm vm;
+};
+
+// ------------------------------ Boot ------------------------------------
+
+TEST_F(OsTest, BootPublishesLayout) {
+  const OsLayout& l = vm.kernel.layout();
+  EXPECT_NE(l.init_task, 0u);
+  EXPECT_NE(l.syscall_table, 0u);
+  EXPECT_NE(l.sysenter_entry, 0u);
+  EXPECT_EQ(l.num_syscalls, static_cast<u32>(NUM_SYSCALLS));
+  EXPECT_EQ(l.kstack_size, KSTACK_SIZE);
+}
+
+TEST_F(OsTest, BootSetsArchitecturalState) {
+  for (int cpu = 0; cpu < vm.machine.num_vcpus(); ++cpu) {
+    const auto& regs = vm.machine.vcpu(cpu).regs();
+    EXPECT_NE(regs.cr3, 0u) << "paging live";
+    EXPECT_EQ(regs.tr, vm.kernel.tss_gva(cpu)) << "TR -> TSS";
+    EXPECT_EQ(vm.machine.vcpu(cpu).msrs().read(arch::IA32_SYSENTER_EIP),
+              vm.kernel.layout().sysenter_entry);
+  }
+}
+
+TEST_F(OsTest, InitAndKworkersExist) {
+  const auto pids = vm.kernel.live_pids();
+  // init + one kworker per vCPU.
+  EXPECT_EQ(pids.size(), 1u + vm.machine.num_vcpus());
+  EXPECT_NE(vm.kernel.find_task(1), nullptr);
+  EXPECT_EQ(vm.kernel.find_task(1)->comm, "init");
+}
+
+TEST_F(OsTest, DoubleBootThrows) {
+  EXPECT_THROW(vm.kernel.boot(), std::logic_error);
+}
+
+TEST_F(OsTest, SpawnBeforeBootThrows) {
+  Vm fresh;
+  EXPECT_THROW(fresh.kernel.spawn("x", 0, 0, 1, std::make_unique<Spin>()),
+               std::logic_error);
+}
+
+// ------------------------- Guest data structures ------------------------
+
+TEST_F(OsTest, TaskStructBytesMatchSpawnArgs) {
+  const u32 pid = vm.kernel.spawn("myproc", 500, 501, 1,
+                                  std::make_unique<Spin>(), 77, 1,
+                                  TASK_FLAG_WHITELISTED);
+  const Task* t = vm.kernel.find_task(pid);
+  ASSERT_NE(t, nullptr);
+  auto& mem = vm.machine.mem();
+  EXPECT_EQ(mem.rd32(t->ts_gpa + TS_PID), pid);
+  EXPECT_EQ(mem.rd32(t->ts_gpa + TS_UID), 500u);
+  EXPECT_EQ(mem.rd32(t->ts_gpa + TS_EUID), 501u);
+  EXPECT_EQ(mem.rd32(t->ts_gpa + TS_PPID), 1u);
+  EXPECT_EQ(mem.rd32(t->ts_gpa + TS_EXE_ID), 77u);
+  EXPECT_EQ(mem.rd32(t->ts_gpa + TS_FLAGS), TASK_FLAG_WHITELISTED);
+  EXPECT_EQ(mem.rd32(t->ts_gpa + TS_PDBA), t->pdba);
+  EXPECT_EQ(mem.rd32(t->ts_gpa + TS_THREAD_INFO), t->ti_gva);
+  char comm[TS_COMM_LEN] = {};
+  mem.read_bytes(t->ts_gpa + TS_COMM, comm, TS_COMM_LEN);
+  EXPECT_STREQ(comm, "myproc");
+  // thread_info back-pointer.
+  EXPECT_EQ(mem.rd32(t->kstack_gpa + TI_TASK), t->ts_gva);
+}
+
+TEST_F(OsTest, KernelStackAlignmentInvariant) {
+  for (int i = 0; i < 10; ++i) {
+    const u32 pid =
+        vm.kernel.spawn("p", 1, 1, 1, std::make_unique<Sleeper>());
+    const Task* t = vm.kernel.find_task(pid);
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->kstack_gpa % KSTACK_SIZE, 0u) << "8 KiB aligned";
+    EXPECT_EQ(t->rsp0, t->kstack_base + KSTACK_SIZE);
+    // The thread_info mask trick must recover the stack base.
+    EXPECT_EQ(thread_info_of(t->rsp0), t->kstack_base);
+    EXPECT_EQ(thread_info_of(t->rsp0 - 100), t->kstack_base);
+  }
+}
+
+TEST_F(OsTest, GuestTaskListIsCircularAndComplete) {
+  std::set<u32> spawned;
+  for (int i = 0; i < 5; ++i) {
+    spawned.insert(
+        vm.kernel.spawn("p" + std::to_string(i), 1, 1, 1,
+                        std::make_unique<Sleeper>()));
+  }
+  const auto view = vm.kernel.in_guest_view_pids();
+  for (const u32 pid : spawned) {
+    EXPECT_EQ(std::count(view.begin(), view.end(), pid), 1) << pid;
+  }
+  // Walk backwards through prev pointers: same membership.
+  auto& mem = vm.machine.mem();
+  const Gva head = vm.kernel.layout().init_task;
+  std::set<u32> back;
+  Gva cur = mem.rd32(head - KERNEL_BASE + TS_PREV);
+  int guard = 0;
+  while (cur != head && guard++ < 1000) {
+    back.insert(mem.rd32(cur - KERNEL_BASE + TS_PID));
+    cur = mem.rd32(cur - KERNEL_BASE + TS_PREV);
+  }
+  for (const u32 pid : spawned) EXPECT_TRUE(back.count(pid)) << pid;
+}
+
+TEST_F(OsTest, UniquePdbaPerProcess) {
+  std::set<Gpa> pdbas;
+  for (int i = 0; i < 8; ++i) {
+    const u32 pid =
+        vm.kernel.spawn("p", 1, 1, 1, std::make_unique<Sleeper>());
+    const Task* t = vm.kernel.find_task(pid);
+    EXPECT_TRUE(pdbas.insert(t->pdba).second) << "PDBA must be unique";
+  }
+}
+
+TEST_F(OsTest, ExitReclaimsMemoryAndInvalidatesPdba) {
+  const u32 frames_before = 0;  // measured via spawn/exit delta below
+  (void)frames_before;
+  class ExitSoon final : public Workload {
+   public:
+    Action next(TaskCtx&) override { return ActExit{}; }
+  };
+  const u32 pid =
+      vm.kernel.spawn("brief", 1, 1, 1, std::make_unique<ExitSoon>());
+  const Task* t = vm.kernel.find_task(pid);
+  ASSERT_NE(t, nullptr);
+  const Gpa pdba = t->pdba;
+  auto& hv = vm.machine.hypervisor();
+  EXPECT_TRUE(hv.gva_to_gpa(pdba, KERNEL_BASE).has_value());
+
+  vm.machine.run_for(100'000'000);
+  EXPECT_EQ(vm.kernel.find_task(pid), nullptr);
+  // The freed (zeroed) page directory no longer translates — the Fig. 3A
+  // validity-test property.
+  EXPECT_FALSE(hv.gva_to_gpa(pdba, KERNEL_BASE).has_value());
+  // And the pid is gone from the guest list.
+  const auto view = vm.kernel.in_guest_view_pids();
+  EXPECT_EQ(std::count(view.begin(), view.end(), pid), 0);
+}
+
+TEST_F(OsTest, SpawnExitChurnDoesNotLeakFrames) {
+  class ExitSoon final : public Workload {
+   public:
+    Action next(TaskCtx&) override { return ActExit{}; }
+  };
+  // Warm-up churn to populate free lists.
+  for (int i = 0; i < 5; ++i)
+    vm.kernel.spawn("c", 1, 1, 1, std::make_unique<ExitSoon>());
+  vm.machine.run_for(300'000'000);
+  const std::size_t live_before = vm.kernel.num_tasks();
+  for (int round = 0; round < 30; ++round) {
+    vm.kernel.spawn("c", 1, 1, 1, std::make_unique<ExitSoon>());
+    vm.machine.run_for(50'000'000);
+  }
+  // Task objects accumulate host-side (zombies), but live pids do not.
+  EXPECT_EQ(vm.kernel.live_pids().size(), 3u);  // init + 2 kworkers
+  EXPECT_GT(vm.kernel.num_tasks(), live_before);
+}
+
+// ---------------------------- Scheduling --------------------------------
+
+TEST_F(OsTest, RoundRobinSharesCpu) {
+  const u32 a = vm.kernel.spawn("a", 1, 1, 1, std::make_unique<Spin>(), 0, 0);
+  const u32 b = vm.kernel.spawn("b", 1, 1, 1, std::make_unique<Spin>(), 0, 0);
+  vm.machine.run_for(2'000'000'000);
+  const Task* ta = vm.kernel.find_task(a);
+  const Task* tb = vm.kernel.find_task(b);
+  EXPECT_GT(ta->n_switched_in, 50u);
+  EXPECT_GT(tb->n_switched_in, 50u);
+  const double ratio = static_cast<double>(ta->n_switched_in) /
+                       static_cast<double>(tb->n_switched_in);
+  EXPECT_NEAR(ratio, 1.0, 0.2) << "round robin should be fair";
+}
+
+TEST_F(OsTest, AffinityPinsTask) {
+  const u32 pid =
+      vm.kernel.spawn("pinned", 1, 1, 1, std::make_unique<Spin>(), 0, 1);
+  vm.machine.run_for(500'000'000);
+  EXPECT_EQ(vm.kernel.find_task(pid)->cpu, 1);
+}
+
+TEST_F(OsTest, HealthyCpusKeepSwitching) {
+  // Even with one CPU-bound task per CPU, housekeeping guarantees context
+  // switches well inside GOSHD's threshold — the no-false-alarm property.
+  vm.kernel.spawn("hog0", 1, 1, 1, std::make_unique<Spin>(), 0, 0);
+  vm.kernel.spawn("hog1", 1, 1, 1, std::make_unique<Spin>(), 0, 1);
+  vm.machine.run_for(1'000'000'000);
+  for (int cpu = 0; cpu < 2; ++cpu) {
+    SimTime max_gap = 0;
+    const SimTime start = vm.machine.now();
+    SimTime last = vm.kernel.last_context_switch(cpu);
+    for (int i = 0; i < 80; ++i) {
+      vm.machine.run_for(100'000'000);
+      const SimTime now_switch = vm.kernel.last_context_switch(cpu);
+      if (now_switch != last) {
+        last = now_switch;
+      }
+      max_gap = std::max(max_gap, vm.machine.now() - last);
+    }
+    (void)start;
+    EXPECT_LT(max_gap, 2'000'000'000) << "cpu " << cpu
+                                      << ": profiled max timeslice";
+  }
+}
+
+TEST_F(OsTest, SchedulingStallOracle) {
+  EXPECT_FALSE(vm.kernel.vcpu_scheduling_stalled(0, 4'000'000'000));
+  vm.machine.run_for(1'000'000'000);
+  EXPECT_FALSE(vm.kernel.vcpu_scheduling_stalled(0, 4'000'000'000));
+}
+
+// ----------------------------- Syscalls ---------------------------------
+
+TEST_F(OsTest, GetpidReturnsPid) {
+  auto w = std::make_unique<Once>(Action{ActSyscall{SYS_GETPID}});
+  Once* wp = w.get();
+  const u32 pid = vm.kernel.spawn("p", 1, 1, 1, std::move(w));
+  vm.machine.run_for(100'000'000);
+  EXPECT_EQ(wp->last_result, pid);
+}
+
+TEST_F(OsTest, GetuidReadsGuestMemory) {
+  auto w = std::make_unique<Once>(Action{ActSyscall{SYS_GETUID}});
+  Once* wp = w.get();
+  const u32 pid = vm.kernel.spawn("p", 1234, 1234, 1, std::move(w));
+  vm.machine.run_for(100'000'000);
+  EXPECT_EQ(wp->last_result, 1234u);
+  (void)pid;
+}
+
+TEST_F(OsTest, SeteuidRequiresPrivilege) {
+  auto w1 = std::make_unique<Once>(Action{ActSyscall{SYS_SETEUID, 0}});
+  Once* unpriv = w1.get();
+  const u32 p1 = vm.kernel.spawn("unpriv", 1000, 1000, 1, std::move(w1));
+  auto w2 = std::make_unique<Once>(Action{ActSyscall{SYS_SETEUID, 0}});
+  const u32 p2 = vm.kernel.spawn("setuidbin", 1000, 1000, 1, std::move(w2),
+                                 0, -1, TASK_FLAG_WHITELISTED);
+  vm.machine.run_for(200'000'000);
+  EXPECT_EQ(unpriv->last_result, 0xFFFFFFFFu) << "EPERM";
+  EXPECT_EQ(vm.kernel.ts_read(*vm.kernel.find_task(p1), TS_EUID), 1000u);
+  EXPECT_EQ(vm.kernel.ts_read(*vm.kernel.find_task(p2), TS_EUID), 0u)
+      << "whitelisted setuid binary may raise euid";
+}
+
+TEST_F(OsTest, KillPermissions) {
+  const u32 victim =
+      vm.kernel.spawn("victim", 1000, 1000, 1, std::make_unique<Sleeper>());
+  auto wa = std::make_unique<Once>(Action{ActSyscall{SYS_KILL, victim}});
+  Once* other = wa.get();
+  vm.kernel.spawn("other", 2000, 2000, 1, std::move(wa));
+  vm.machine.run_for(200'000'000);
+  EXPECT_EQ(other->last_result, 0xFFFFFFFFu) << "different uid, not root";
+  ASSERT_NE(vm.kernel.find_task(victim), nullptr);
+
+  vm.kernel.spawn("root", 0, 0, 1,
+                  std::make_unique<Once>(Action{ActSyscall{SYS_KILL,
+                                                           victim}}));
+  vm.machine.run_for(300'000'000);
+  EXPECT_EQ(vm.kernel.find_task(victim), nullptr) << "root may kill";
+}
+
+TEST_F(OsTest, NanosleepDurationRoughlyHonored) {
+  class TimedSleep final : public Workload {
+   public:
+    Action next(TaskCtx& ctx) override {
+      switch (step_++) {
+        case 0: start = ctx.now; return ActSyscall{SYS_NANOSLEEP, 50'000};
+        case 1: end = ctx.now; [[fallthrough]];
+        default: return ActSyscall{SYS_NANOSLEEP, 500'000};
+      }
+    }
+    SimTime start = 0, end = 0;
+    int step_ = 0;
+  };
+  auto w = std::make_unique<TimedSleep>();
+  TimedSleep* wp = w.get();
+  vm.kernel.spawn("s", 1, 1, 1, std::move(w));
+  vm.machine.run_for(300'000'000);
+  const SimTime slept = wp->end - wp->start;
+  EXPECT_GE(slept, 50'000'000) << "at least the requested time";
+  EXPECT_LT(slept, 60'000'000) << "tick-aligned, not wildly more";
+}
+
+TEST_F(OsTest, ProcListMatchesLivePids) {
+  for (int i = 0; i < 4; ++i)
+    vm.kernel.spawn("p", 1, 1, 1, std::make_unique<Sleeper>());
+  const auto truth = vm.kernel.live_pids();
+  const auto view = vm.kernel.in_guest_view_pids();
+  // Every live pid except swappers appears exactly once.
+  for (const u32 pid : truth) {
+    EXPECT_EQ(std::count(view.begin(), view.end(), pid), 1) << pid;
+  }
+  EXPECT_EQ(view.size(), truth.size());
+}
+
+TEST_F(OsTest, ProcStatReportsStateTransitions) {
+  class StatOnce final : public Workload {
+   public:
+    explicit StatOnce(u32 target) : target_(target) {}
+    Action next(TaskCtx&) override {
+      if (step_++ == 0) return ActSyscall{SYS_PROC_STAT, target_};
+      return ActSyscall{SYS_NANOSLEEP, 300'000};
+    }
+    void on_syscall_data(u8 nr, const std::vector<u32>& d) override {
+      if (nr == SYS_PROC_STAT) stat = d;
+    }
+    std::vector<u32> stat;
+    u32 target_;
+    int step_ = 0;
+  };
+  const u32 sleeper =
+      vm.kernel.spawn("sleepy", 42, 43, 1, std::make_unique<Sleeper>(),
+                      9, 0);
+  vm.machine.run_for(200'000'000);  // sleeper is now blocked
+  auto w = std::make_unique<StatOnce>(sleeper);
+  StatOnce* wp = w.get();
+  vm.kernel.spawn("stat", 1, 1, 1, std::move(w), 0, 1);
+  vm.machine.run_for(200'000'000);
+  ASSERT_EQ(wp->stat.size(), 6u);
+  EXPECT_EQ(wp->stat[0], 42u);                 // uid
+  EXPECT_EQ(wp->stat[1], 43u);                 // euid
+  EXPECT_EQ(wp->stat[2], 1u);                  // ppid
+  EXPECT_EQ(wp->stat[3], TASK_SLEEPING);       // state
+  EXPECT_EQ(wp->stat[4], 9u);                  // exe id
+}
+
+TEST_F(OsTest, SpawnSyscallUsesFactory) {
+  Vm fvm(hv::MachineConfig{}, [] {
+    KernelConfig kc;
+    kc.spawn_factory = hypertap::workloads::standard_factory(nullptr);
+    return kc;
+  }());
+  fvm.kernel.boot();
+  auto w = std::make_unique<Once>(
+      Action{ActSyscall{SYS_SPAWN, hypertap::workloads::EXE_IDLE}});
+  Once* wp = w.get();
+  const u32 parent = fvm.kernel.spawn("parent", 7, 7, 1, std::move(w));
+  fvm.machine.run_for(300'000'000);
+  const u32 child = wp->last_result;
+  ASSERT_NE(child, 0xFFFFFFFFu);
+  const Task* t = fvm.kernel.find_task(child);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(fvm.kernel.ts_read(*t, TS_UID), 7u) << "child inherits uid";
+  EXPECT_EQ(fvm.kernel.ts_read(*t, TS_PPID), parent);
+}
+
+TEST_F(OsTest, SpawnWithoutFactoryFails) {
+  auto w = std::make_unique<Once>(Action{ActSyscall{SYS_SPAWN, 1}});
+  Once* wp = w.get();
+  vm.kernel.spawn("p", 1, 1, 1, std::move(w));
+  vm.machine.run_for(100'000'000);
+  EXPECT_EQ(wp->last_result, 0xFFFFFFFFu);
+}
+
+TEST_F(OsTest, UnknownSyscallReturnsError) {
+  auto w = std::make_unique<Once>(Action{ActSyscall{200}});
+  Once* wp = w.get();
+  vm.kernel.spawn("p", 1, 1, 1, std::move(w));
+  vm.machine.run_for(100'000'000);
+  EXPECT_EQ(wp->last_result, 0xFFFFFFFFu);
+}
+
+TEST_F(OsTest, GettimeTracksSimClock) {
+  auto w = std::make_unique<Once>(Action{ActSyscall{SYS_GETTIME}});
+  Once* wp = w.get();
+  vm.kernel.spawn("p", 1, 1, 1, std::move(w));
+  vm.machine.run_for(200'000'000);
+  EXPECT_GT(wp->last_result, 0u);
+  EXPECT_LT(wp->last_result, 300'000u) << "microseconds";
+}
+
+// ------------------------------ Pipes -----------------------------------
+
+TEST_F(OsTest, PipeBlocksReaderUntilWrite) {
+  class Reader final : public Workload {
+   public:
+    Action next(TaskCtx& ctx) override {
+      if (step_++ == 0) return ActSyscall{SYS_PIPE_READ, 5, 100};
+      got = ctx.last_result;
+      return ActSyscall{SYS_NANOSLEEP, 300'000};
+    }
+    u32 got = 0;
+    int step_ = 0;
+  };
+  auto r = std::make_unique<Reader>();
+  Reader* rp = r.get();
+  vm.kernel.spawn("reader", 1, 1, 1, std::move(r), 0, 0);
+  vm.machine.run_for(300'000'000);
+  EXPECT_EQ(rp->got, 0u) << "still blocked";
+  vm.kernel.spawn("writer", 1, 1, 1,
+                  std::make_unique<Once>(
+                      Action{ActSyscall{SYS_PIPE_WRITE, 5, 100}}),
+                  0, 1);
+  vm.machine.run_for(300'000'000);
+  EXPECT_EQ(rp->got, 100u);
+}
+
+// --------------------------- Kernel locations ---------------------------
+
+struct LocationTest : OsTest {
+  LocationTest() {
+    locs = generate_locations();
+    vm.kernel.register_locations(locs);
+  }
+  std::vector<KernelLocation> locs;
+};
+
+TEST_F(LocationTest, HealthyLocationReleasesLocks) {
+  vm.kernel.spawn("p", 1, 1, 1,
+                  std::make_unique<Once>(Action{ActKernelCall{0}}));
+  vm.machine.run_for(100'000'000);
+  EXPECT_EQ(vm.kernel.locks().kernel_locks_held(), 0u);
+}
+
+class OneShotFault final : public LocationHook {
+ public:
+  OneShotFault(u16 loc, FaultClass cls) : loc_(loc), cls_(cls) {}
+  FaultClass on_location(u16 location, u32) override {
+    if (location != loc_) return FaultClass::kNone;
+    ++hits;
+    return fired_++ == 0 ? cls_ : FaultClass::kNone;
+  }
+  u16 loc_;
+  FaultClass cls_;
+  int fired_ = 0;
+  int hits = 0;
+};
+
+TEST_F(LocationTest, MissingReleaseLeaksTheLock) {
+  OneShotFault fault(0, FaultClass::kMissingRelease);
+  vm.kernel.set_location_hook(&fault);
+  vm.kernel.spawn("p", 1, 1, 1,
+                  std::make_unique<Once>(Action{ActKernelCall{0}}));
+  vm.machine.run_for(100'000'000);
+  EXPECT_EQ(fault.hits, 1);
+  EXPECT_TRUE(vm.kernel.locks().kernel_lock(locs[0].lock_a).held);
+}
+
+TEST_F(LocationTest, SecondAcquirerSpinsForever) {
+  OneShotFault fault(0, FaultClass::kMissingRelease);
+  vm.kernel.set_location_hook(&fault);
+  vm.kernel.spawn("leaker", 1, 1, 1,
+                  std::make_unique<Once>(Action{ActKernelCall{0}}), 0, 0);
+  vm.machine.run_for(100'000'000);
+  const u32 spinner = vm.kernel.spawn(
+      "spinner", 1, 1, 1,
+      std::make_unique<Once>(Action{ActKernelCall{0}}), 0, 1);
+  vm.machine.run_for(500'000'000);
+  EXPECT_EQ(vm.kernel.find_task(spinner)->state, RunState::kSpinning);
+  // The spinner pins vCPU 1: no context switches there.
+  EXPECT_TRUE(vm.kernel.vcpu_scheduling_stalled(1, 400'000'000));
+}
+
+TEST_F(LocationTest, MissingIrqRestoreKillsTimer) {
+  // Find an irq-disabling location.
+  u16 irq_loc = 0xFFFF;
+  for (const auto& l : locs) {
+    if (l.irqs_off && !l.sleeping_wait) {
+      irq_loc = l.id;
+      break;
+    }
+  }
+  ASSERT_NE(irq_loc, 0xFFFF);
+  OneShotFault fault(irq_loc, FaultClass::kMissingIrqRestore);
+  vm.kernel.set_location_hook(&fault);
+  vm.kernel.spawn("p", 1, 1, 1,
+                  std::make_unique<Once>(Action{ActKernelCall{irq_loc}}),
+                  0, 0);
+  vm.machine.run_for(200'000'000);
+  ASSERT_EQ(fault.fired_, 1);
+  EXPECT_FALSE(vm.machine.vcpu(0).regs().interrupts_enabled);
+}
+
+TEST_F(LocationTest, SleepingWaitBlocksInsteadOfSpinning) {
+  u16 probe_loc = 0xFFFF;
+  for (const auto& l : locs) {
+    if (l.sleeping_wait) {
+      probe_loc = l.id;
+      break;
+    }
+  }
+  ASSERT_NE(probe_loc, 0xFFFF);
+  OneShotFault fault(probe_loc, FaultClass::kMissingRelease);
+  vm.kernel.set_location_hook(&fault);
+  vm.kernel.spawn("leaker", 1, 1, 1,
+                  std::make_unique<Once>(Action{ActKernelCall{probe_loc}}),
+                  0, 0);
+  vm.machine.run_for(100'000'000);
+  const u32 waiter = vm.kernel.spawn(
+      "waiter", 1, 1, 1,
+      std::make_unique<Once>(Action{ActKernelCall{probe_loc}}), 0, 1);
+  vm.machine.run_for(500'000'000);
+  EXPECT_EQ(vm.kernel.find_task(waiter)->state, RunState::kSleeping)
+      << "mutex-like wait sleeps";
+  EXPECT_FALSE(vm.kernel.vcpu_scheduling_stalled(1, 400'000'000))
+      << "the vCPU is NOT pinned";
+}
+
+TEST_F(LocationTest, RegisterRejectsBadIds) {
+  auto bad = locs;
+  bad[5].id = 99;
+  EXPECT_THROW(vm.kernel.register_locations(bad), std::invalid_argument);
+}
+
+// ------------------------------ User locks -------------------------------
+
+// §VIII-A3's T1/T2 scenario: T1 takes the user lock lu, then wedges
+// inside the kernel (spinning on a spinlock leaked by an injected fault).
+// T2's adaptive acquisition of lu keeps spinning because the owner is
+// on-CPU — and whether T2's spin pins its vCPU depends on kernel
+// preemption.
+struct UserLockHangRig {
+  explicit UserLockHangRig(bool preemptible) {
+    KernelConfig kc;
+    kc.preemptible = preemptible;
+    vm = std::make_unique<Vm>(hv::MachineConfig{}, kc);
+    locs = generate_locations();
+    vm->kernel.register_locations(locs);
+    vm->kernel.set_location_hook(&fault);
+    vm->kernel.boot();
+
+    // Leak location 0's lock so the next acquirer wedges.
+    class Leak final : public Workload {
+     public:
+      Action next(TaskCtx&) override {
+        if (step_++ == 0) return ActKernelCall{0};
+        return ActSyscall{SYS_NANOSLEEP, 500'000};
+      }
+      int step_ = 0;
+    };
+    // T1: take lu, then hit the poisoned location -> spins forever
+    // on-CPU while holding lu.
+    class T1 final : public Workload {
+     public:
+      Action next(TaskCtx&) override {
+        switch (step_++) {
+          case 0: return ActUserLock{3, true};
+          default: return ActKernelCall{0};
+        }
+      }
+      int step_ = 0;
+    };
+    class T2 final : public Workload {
+     public:
+      Action next(TaskCtx&) override {
+        if (step_++ == 0) return ActUserLock{3, true};
+        return ActCompute{1'000'000};
+      }
+      int step_ = 0;
+    };
+    vm->kernel.spawn("leaker", 1, 1, 1, std::make_unique<Leak>(), 0, 0);
+    vm->machine.run_for(100'000'000);
+    vm->kernel.spawn("t1", 1, 1, 1, std::make_unique<T1>(), 0, 0);
+    vm->machine.run_for(100'000'000);
+    waiter = vm->kernel.spawn("t2", 1, 1, 1, std::make_unique<T2>(), 0, 1);
+    vm->machine.run_for(2'000'000'000);
+  }
+
+  struct FaultAt0 final : LocationHook {
+    FaultClass on_location(u16 loc, u32) override {
+      if (loc != 0) return FaultClass::kNone;
+      return fired++ == 0 ? FaultClass::kMissingRelease : FaultClass::kNone;
+    }
+    int fired = 0;
+  };
+  FaultAt0 fault;
+  std::vector<KernelLocation> locs;
+  std::unique_ptr<Vm> vm;
+  u32 waiter = 0;
+};
+
+TEST(OsUserLock, NonPreemptibleKernelWaiterPinsItsVcpu) {
+  UserLockHangRig rig(/*preemptible=*/false);
+  EXPECT_EQ(rig.vm->kernel.find_task(rig.waiter)->state,
+            RunState::kSpinning);
+  EXPECT_TRUE(rig.vm->kernel.vcpu_scheduling_stalled(1, 1'500'000'000))
+      << "T2's hang propagated: full hang";
+}
+
+TEST(OsPreempt, PreemptibleKernelUnpinsUserLockWaiter) {
+  UserLockHangRig rig(/*preemptible=*/true);
+  EXPECT_EQ(rig.vm->kernel.find_task(rig.waiter)->state,
+            RunState::kSpinning);
+  // §VIII-A3: with CONFIG_PREEMPT the spinning waiter is descheduled so
+  // the vCPU keeps scheduling — the hang stays partial.
+  EXPECT_FALSE(rig.vm->kernel.vcpu_scheduling_stalled(1, 1'500'000'000));
+}
+
+}  // namespace
+}  // namespace hvsim::os

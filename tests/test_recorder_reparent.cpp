@@ -1,0 +1,168 @@
+// Tests: the event recorder, orphan reparenting, and PED's first-parent
+// hardening against the reparenting-laundering evasion.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "attacks/exploit.hpp"
+#include "auditors/ped.hpp"
+#include "auditors/recorder.hpp"
+#include "core/hypertap.hpp"
+
+namespace hypertap {
+namespace {
+
+class Busy final : public os::Workload {
+ public:
+  os::Action next(os::TaskCtx&) override {
+    if ((i_ ^= 1) != 0) return os::ActCompute{400'000};
+    return os::ActSyscall{os::SYS_WRITE, 3, 512};
+  }
+  int i_ = 0;
+};
+
+class ExitSoon final : public os::Workload {
+ public:
+  explicit ExitSoon(int steps = 5) : steps_(steps) {}
+  os::Action next(os::TaskCtx&) override {
+    if (i_++ < steps_) return os::ActCompute{400'000};
+    return os::ActExit{};
+  }
+  int steps_;
+  int i_ = 0;
+};
+
+// ------------------------------ Recorder --------------------------------
+
+TEST(Recorder, CapturesAndQueriesTrace) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  auditors::EventRecorder::Config cfg;
+  cfg.mask = event_bit(EventKind::kSyscall);
+  auto rec = std::make_unique<auditors::EventRecorder>(cfg);
+  auto* rp = rec.get();
+  ht.add_auditor(std::move(rec));
+  vm.kernel.boot();
+  vm.kernel.spawn("app", 1, 1, 1, std::make_unique<Busy>());
+  vm.machine.run_for(1'000'000'000);
+
+  EXPECT_GT(rp->recorded(), 100u);
+  EXPECT_EQ(rp->trace().size(), rp->recorded()) << "under capacity";
+  // Timestamps are monotone per vCPU (cross-vCPU skew is bounded by the
+  // machine's step quantum, so the global order is only approximate —
+  // just like multi-core trace buffers on real hardware).
+  std::map<int, SimTime> last_per_cpu;
+  for (const auto& e : rp->trace()) {
+    const auto it = last_per_cpu.find(e.vcpu);
+    if (it != last_per_cpu.end()) {
+      EXPECT_LE(it->second, e.time);
+    }
+    last_per_cpu[e.vcpu] = e.time;
+  }
+  // Time+predicate query.
+  const auto writes = rp->query(
+      0, vm.machine.now(),
+      [](const Event& e) { return e.sc_nr == os::SYS_WRITE; });
+  EXPECT_GT(writes.size(), 10u);
+  for (const auto& e : writes) EXPECT_EQ(e.sc_nr, os::SYS_WRITE);
+
+  std::ostringstream os;
+  rp->dump(os, 5);
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(Recorder, RingIsBounded) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  auditors::EventRecorder::Config cfg;
+  cfg.capacity = 100;
+  auto rec = std::make_unique<auditors::EventRecorder>(cfg);
+  auto* rp = rec.get();
+  ht.add_auditor(std::move(rec));
+  vm.kernel.boot();
+  vm.kernel.spawn("app", 1, 1, 1, std::make_unique<Busy>());
+  vm.machine.run_for(2'000'000'000);
+  EXPECT_GT(rp->recorded(), 100u);
+  EXPECT_EQ(rp->trace().size(), 100u);
+  // The retained window is the most recent one.
+  EXPECT_GT(rp->trace().front().time, 0);
+}
+
+// --------------------------- Reparenting --------------------------------
+
+TEST(Reparent, OrphansBecomeInitChildren) {
+  os::Vm vm;
+  vm.kernel.boot();
+  const u32 parent =
+      vm.kernel.spawn("parent", 1000, 1000, 1, std::make_unique<ExitSoon>());
+  const u32 child = vm.kernel.spawn("child", 1000, 1000, parent,
+                                    std::make_unique<Busy>());
+  ASSERT_EQ(vm.kernel.ts_read(*vm.kernel.find_task(child), os::TS_PPID),
+            parent);
+  vm.machine.run_for(500'000'000);  // parent exits
+  ASSERT_EQ(vm.kernel.find_task(parent), nullptr);
+  const os::Task* c = vm.kernel.find_task(child);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(vm.kernel.ts_read(*c, os::TS_PPID), 1u);
+  const os::Task* init = vm.kernel.find_task(1);
+  EXPECT_EQ(vm.kernel.ts_read(*c, os::TS_PARENT), init->ts_gva);
+}
+
+// The evasion: attacker shell spawns the payload, shell exits, payload is
+// reparented to init (uid 0, in the magic group), THEN escalates.
+struct LaunderingFixture {
+  explicit LaunderingFixture(bool harden) : ht(vm) {
+    auditors::HtNinja::Config cfg;
+    cfg.remember_first_parent = harden;
+    auto n = std::make_unique<auditors::HtNinja>(cfg);
+    ninja = n.get();
+    ht.add_auditor(std::move(n));
+    vm.kernel.boot();
+    const u32 shell = vm.kernel.spawn("bash", 1000, 1000, 1,
+                                      std::make_unique<ExitSoon>(10));
+    payload = vm.kernel.spawn("payload", 1000, 1000, shell,
+                              std::make_unique<Busy>());
+    // Let PED see the payload with its real (unauthorized) parent, let
+    // the shell exit, then escalate.
+    vm.machine.run_for(1'000'000'000);
+    EXPECT_EQ(vm.kernel.ts_read(*vm.kernel.find_task(payload), os::TS_PPID),
+              1u)
+        << "shell gone, payload laundered to init";
+    attacks::escalate(vm.kernel, payload, attacks::ExploitKind::kKernelOob);
+    vm.machine.run_for(1'000'000'000);
+  }
+  os::Vm vm;
+  HyperTap ht;
+  auditors::HtNinja* ninja = nullptr;
+  u32 payload = 0;
+};
+
+TEST(Reparent, LaunderingEvadesUnhardenedPed) {
+  LaunderingFixture f(/*harden=*/false);
+  EXPECT_FALSE(f.ninja->flagged_pids().count(f.payload))
+      << "current-parent-only check is blind after reparenting";
+}
+
+TEST(Reparent, FirstParentHardeningCatchesLaundering) {
+  LaunderingFixture f(/*harden=*/true);
+  EXPECT_TRUE(f.ninja->flagged_pids().count(f.payload));
+  EXPECT_TRUE(f.ht.alarms().any_of_type("priv-escalation"));
+}
+
+TEST(Reparent, HardeningDoesNotFlagLegitimateOrphans) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  ht.add_auditor(std::make_unique<auditors::HtNinja>());
+  vm.kernel.boot();
+  // An unprivileged daemon whose launcher exits: orphaned but never root.
+  const u32 launcher = vm.kernel.spawn("launcher", 1000, 1000, 1,
+                                       std::make_unique<ExitSoon>());
+  vm.kernel.spawn("daemon", 1000, 1000, launcher,
+                  std::make_unique<Busy>());
+  vm.machine.run_for(3'000'000'000);
+  EXPECT_TRUE(ht.alarms().all().empty());
+}
+
+}  // namespace
+}  // namespace hypertap

@@ -1,0 +1,210 @@
+// End-to-end scenario tests: the three monitors against real injected
+// faults and attacks — the functional claims of §VIII in miniature.
+#include <gtest/gtest.h>
+
+#include "attacks/exploit.hpp"
+#include "attacks/rootkit.hpp"
+#include "attacks/scenario.hpp"
+#include "auditors/goshd.hpp"
+#include "auditors/hrkd.hpp"
+#include "auditors/ped.hpp"
+#include "core/hypertap.hpp"
+#include "fi/campaign.hpp"
+#include "fi/locations.hpp"
+#include "vmi/introspect.hpp"
+#include "workloads/make.hpp"
+#include "workloads/workload.hpp"
+
+namespace hypertap {
+namespace {
+
+const std::vector<os::KernelLocation>& locs() {
+  static const auto l = fi::generate_locations();
+  return l;
+}
+
+TEST(Scenario, InjectedHangIsDetectedByGoshd) {
+  // Pick a core location that make exercises; missing release on a hot
+  // lock should hang at least one vCPU.
+  fi::RunConfig cfg;
+  cfg.workload = fi::WorkloadKind::kMakeJ2;
+  cfg.location = 0;  // core subsystem
+  cfg.fault_class = os::FaultClass::kMissingRelease;
+  cfg.transient = false;
+  cfg.seed = 7;
+  const fi::RunResult res = fi::run_one(cfg, locs());
+  ASSERT_TRUE(res.activated);
+  EXPECT_TRUE(res.outcome == fi::Outcome::kPartialHang ||
+              res.outcome == fi::Outcome::kFullHang)
+      << to_string(res.outcome);
+  EXPECT_GT(res.first_alarm, res.activation);
+  // Detection latency is at least the threshold, bounded by threshold +
+  // propagation slack.
+  EXPECT_GE(res.first_alarm - res.activation, cfg.detect_threshold);
+}
+
+TEST(Scenario, HealthyRunProducesNoAlarms) {
+  // Armed location but a no-op fault class: the run is fault-free even
+  // though the location is exercised -> GOSHD must stay silent and the
+  // probe must stay green.
+  fi::RunConfig cfg;
+  cfg.workload = fi::WorkloadKind::kHanoi;
+  cfg.location = 300;
+  cfg.fault_class = os::FaultClass::kNone;
+  cfg.seed = 11;
+  const fi::RunResult res = fi::run_one(cfg, locs());
+  EXPECT_LT(res.first_alarm, 0);
+  EXPECT_FALSE(res.probe_hang);
+  EXPECT_FALSE(res.goshd_false_alarm);
+}
+
+TEST(Scenario, ProbeOnlyFaultIsNotDetected) {
+  // The sleeping-wait probe path: the probe wedges, the kernel stays
+  // healthy -> the paper's "Not Detected" misclassification bucket.
+  const auto& L = locs();
+  u16 probe_loc = 0;
+  for (const auto& l : L) {
+    if (l.sleeping_wait) {
+      probe_loc = l.id;
+      break;
+    }
+  }
+  ASSERT_NE(probe_loc, 0);
+  fi::RunConfig cfg;
+  cfg.workload = fi::WorkloadKind::kHttpd;
+  cfg.location = probe_loc;
+  cfg.fault_class = os::FaultClass::kMissingRelease;
+  cfg.transient = false;
+  cfg.seed = 13;
+  const fi::RunResult res = fi::run_one(cfg, L);
+  ASSERT_TRUE(res.activated);
+  EXPECT_EQ(res.outcome, fi::Outcome::kNotDetected);
+  EXPECT_TRUE(res.probe_hang);
+}
+
+struct AttackFixture {
+  AttackFixture() : ht(vm) {
+    auto hrkd_ptr = std::make_unique<auditors::Hrkd>(
+        auditors::Hrkd::Config{},
+        [this]() { return vm.kernel.in_guest_view_pids(); });
+    hrkd = hrkd_ptr.get();
+    ht.add_auditor(std::move(hrkd_ptr));
+    auto ninja_ptr = std::make_unique<auditors::HtNinja>();
+    ninja = ninja_ptr.get();
+    ht.add_auditor(std::move(ninja_ptr));
+    vm.kernel.boot();
+    // Steady background activity.
+    victim_pid = vm.kernel.spawn("victim", 1000, 1000, 1,
+                                 attacks::make_idle_spam());
+    vm.machine.run_for(1'000'000'000);
+  }
+  os::Vm vm;
+  HyperTap ht;
+  auditors::Hrkd* hrkd = nullptr;
+  auditors::HtNinja* ninja = nullptr;
+  u32 victim_pid = 0;
+};
+
+class RootkitDetection
+    : public ::testing::TestWithParam<attacks::RootkitSpec> {};
+
+TEST_P(RootkitDetection, HrkdFlagsHiddenTask) {
+  AttackFixture f;
+  // Hide a busy process so it keeps getting scheduled.
+  class Busy final : public os::Workload {
+   public:
+    os::Action next(os::TaskCtx&) override {
+      if ((i_ ^= 1) != 0) return os::ActCompute{600'000};
+      return os::ActSyscall{os::SYS_GETPID};
+    }
+    int i_ = 0;
+  };
+  const u32 pid =
+      f.vm.kernel.spawn("malware", 1000, 1000, 1, std::make_unique<Busy>());
+  f.vm.machine.run_for(1'000'000'000);
+
+  attacks::Rootkit rk(f.vm.kernel, GetParam());
+  rk.hide(pid);
+
+  // The in-guest view must no longer contain the pid...
+  const auto view = f.vm.kernel.in_guest_view_pids();
+  EXPECT_EQ(std::count(view.begin(), view.end(), pid), 0)
+      << GetParam().name << " failed to hide";
+
+  // ...but HRKD flags it within a couple of check periods.
+  f.vm.machine.run_for(2'000'000'000);
+  EXPECT_TRUE(f.ht.alarms().any_of_type("hidden-task"))
+      << GetParam().name;
+  EXPECT_TRUE(f.hrkd->hidden_pids().count(pid)) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2Catalog, RootkitDetection,
+    ::testing::ValuesIn(attacks::rootkit_catalog()),
+    [](const ::testing::TestParamInfo<attacks::RootkitSpec>& info) {
+      std::string n = info.param.name;
+      for (char& c : n)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return n;
+    });
+
+TEST(Scenario, DkomDefeatsVmiButNotHrkd) {
+  AttackFixture f;
+  vmi::Introspector vmi(f.vm.machine.hypervisor(), f.vm.kernel.layout());
+  ASSERT_TRUE(vmi.find(f.victim_pid).has_value());
+
+  attacks::Rootkit rk(f.vm.kernel, attacks::rootkit_by_name("FU"));
+  rk.hide(f.victim_pid);
+  EXPECT_FALSE(vmi.find(f.victim_pid).has_value())
+      << "DKOM should defeat structure-walking VMI";
+}
+
+TEST(Scenario, SyscallHijackDoesNotDefeatVmi) {
+  AttackFixture f;
+  vmi::Introspector vmi(f.vm.machine.hypervisor(), f.vm.kernel.layout());
+  attacks::Rootkit rk(f.vm.kernel, attacks::rootkit_by_name("AFX"));
+  rk.hide(f.victim_pid);
+  // Hidden from in-guest tools...
+  const auto view = f.vm.kernel.in_guest_view_pids();
+  EXPECT_EQ(std::count(view.begin(), view.end(), f.victim_pid), 0);
+  // ...but the VMI list walk still sees the task.
+  EXPECT_TRUE(vmi.find(f.victim_pid).has_value());
+}
+
+TEST(Scenario, TransientEscalationDetectedByHtNinja) {
+  AttackFixture f;
+  attacks::AttackPlan plan;
+  plan.rootkit = attacks::rootkit_by_name("Ivyl's Rootkit");
+  attacks::AttackDriver attack(f.vm.kernel, plan);
+  attack.launch();
+  f.vm.machine.run_for(2'000'000'000);
+
+  EXPECT_GE(attack.times().escalated, 0);
+  EXPECT_GE(attack.times().exited, 0) << "attack should be transient";
+  EXPECT_TRUE(f.ht.alarms().any_of_type("priv-escalation"));
+  EXPECT_TRUE(f.ninja->flagged_pids().count(attack.attacker_pid()));
+}
+
+TEST(Scenario, WhitelistedSetuidIsNotFlagged) {
+  AttackFixture f;
+  // A legitimate setuid program raising euid through the sanctioned path.
+  class Setuid final : public os::Workload {
+   public:
+    os::Action next(os::TaskCtx&) override {
+      switch (s_++) {
+        case 0: return os::ActSyscall{os::SYS_SETEUID, 0};
+        case 1: return os::ActSyscall{os::SYS_OPEN, 1};
+        case 2: return os::ActSyscall{os::SYS_READ, 3, 4096};
+        default: return os::ActSyscall{os::SYS_NANOSLEEP, 100'000};
+      }
+    }
+    int s_ = 0;
+  };
+  f.vm.kernel.spawn("passwd", 1000, 1000, 1, std::make_unique<Setuid>(), 0,
+                    -1, os::TASK_FLAG_WHITELISTED);
+  f.vm.machine.run_for(2'000'000'000);
+  EXPECT_FALSE(f.ht.alarms().any_of_type("priv-escalation"));
+}
+
+}  // namespace
+}  // namespace hypertap

@@ -1,0 +1,56 @@
+// End-to-end substrate smoke tests: boot the guest, run workloads, verify
+// that time advances, scheduling happens, and exits are generated.
+#include <gtest/gtest.h>
+
+#include "os/kernel.hpp"
+
+namespace hvsim {
+namespace {
+
+using os::ActCompute;
+using os::ActSyscall;
+using os::Action;
+using os::TaskCtx;
+
+class SpinForever final : public os::Workload {
+ public:
+  Action next(TaskCtx&) override { return ActCompute{300'000}; }
+};
+
+class SyscallLoop final : public os::Workload {
+ public:
+  Action next(TaskCtx& ctx) override {
+    (void)ctx;
+    if (++i_ % 2 == 0) return ActSyscall{os::SYS_GETPID};
+    return ActCompute{50'000};
+  }
+  int i_ = 0;
+};
+
+TEST(Smoke, BootAndIdle) {
+  os::Vm vm;
+  vm.kernel.boot();
+  EXPECT_TRUE(vm.kernel.booted());
+  EXPECT_TRUE(vm.machine.run_for(2'000'000'000));  // 2 s
+  // Timer interrupts happened on both vCPUs.
+  EXPECT_GT(vm.machine.engine().total_exit_count(
+                hav::ExitReason::kExternalInterrupt),
+            1000u);
+  // kworkers caused context switches on every CPU.
+  for (int cpu = 0; cpu < vm.machine.num_vcpus(); ++cpu) {
+    EXPECT_GT(vm.kernel.context_switch_count(cpu), 0u) << "cpu " << cpu;
+  }
+}
+
+TEST(Smoke, ComputeAndSyscalls) {
+  os::Vm vm;
+  vm.kernel.boot();
+  vm.kernel.spawn("spin", 1000, 1000, 1, std::make_unique<SpinForever>());
+  vm.kernel.spawn("sys", 1000, 1000, 1, std::make_unique<SyscallLoop>());
+  EXPECT_TRUE(vm.machine.run_for(1'000'000'000));
+  EXPECT_GT(vm.kernel.total_syscalls(), 100u);
+  EXPECT_EQ(vm.kernel.live_pids().size(), 5u);  // init, 2 kworkers, 2 procs
+}
+
+}  // namespace
+}  // namespace hvsim

@@ -1,0 +1,277 @@
+// Unit tests: util layer (rng, stats, ring buffer, formatting).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "util/names.hpp"
+#include "util/ring_buffer.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace hvsim {
+namespace {
+
+// ------------------------------ types ----------------------------------
+
+TEST(Types, CycleTimeConversionRoundsUp) {
+  EXPECT_EQ(cycles_to_ns(0), 0);
+  EXPECT_EQ(cycles_to_ns(3), 1);  // 3 cycles @ 3 GHz = 1 ns
+  EXPECT_EQ(cycles_to_ns(1), 1);  // rounds up: nonzero work takes time
+  EXPECT_EQ(cycles_to_ns(3'000'000'000ull), 1'000'000'000);
+}
+
+TEST(Types, NsToCycles) {
+  EXPECT_EQ(ns_to_cycles(1'000'000'000), 3'000'000'000ull);
+  EXPECT_EQ(ns_to_cycles(1), 3u);
+}
+
+TEST(Types, TimeLiterals) {
+  EXPECT_EQ(4_us, 4'000);
+  EXPECT_EQ(4_ms, 4'000'000);
+  EXPECT_EQ(4_s, 4'000'000'000);
+}
+
+TEST(Types, PageHelpers) {
+  EXPECT_EQ(page_base(0x12345), 0x12000u);
+  EXPECT_EQ(page_offset(0x12345), 0x345u);
+  EXPECT_EQ(page_number(0x12345), 0x12u);
+}
+
+// ------------------------------- rng -----------------------------------
+
+TEST(Rng, DeterministicPerSeed) {
+  util::Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    const u64 va = a.next();
+    EXPECT_EQ(va, b.next());
+  }
+  // Different seed diverges (overwhelmingly likely).
+  util::Rng a2(7);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a2.next() == c.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowIsInRange) {
+  util::Rng r(3);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  util::Rng r(5);
+  std::set<u64> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(r.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive) {
+  util::Rng r(9);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const i64 v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo = lo || v == -3;
+    hi = hi || v == 3;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  util::Rng r(11);
+  double acc = 0;
+  for (int i = 0; i < 100'000; ++i) acc += r.uniform();
+  EXPECT_NEAR(acc / 100'000, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes) {
+  util::Rng r(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  util::Rng r(17);
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) hits += r.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100'000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  util::Rng r(19);
+  double acc = 0;
+  for (int i = 0; i < 100'000; ++i) acc += r.exponential(5.0);
+  EXPECT_NEAR(acc / 100'000, 5.0, 0.15);
+}
+
+TEST(Rng, NormalMoments) {
+  util::Rng r(23);
+  util::OnlineStats s;
+  for (int i = 0; i < 100'000; ++i) s.add(r.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ForkIndependence) {
+  util::Rng parent(31);
+  util::Rng child = parent.fork();
+  // Child stream differs from the parent's continued stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next() == child.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+// ------------------------------ stats ----------------------------------
+
+TEST(OnlineStats, Welford) {
+  util::OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, EmptyAndSingle) {
+  util::OnlineStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  s.add(42.0);
+  EXPECT_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Samples, Percentiles) {
+  util::Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(s.percentile(90), 90.1, 0.2);
+}
+
+TEST(Samples, PercentileOfEmptyThrows) {
+  util::Samples s;
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+}
+
+TEST(Samples, Cdf) {
+  util::Samples s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(10.0), 1.0);
+  const auto grid = s.cdf({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(grid[0], 0.25);
+  EXPECT_DOUBLE_EQ(grid[1], 0.75);
+}
+
+TEST(Samples, AddAfterSortStaysCorrect) {
+  util::Samples s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);  // forces a sort
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  util::TablePrinter tp({"a", "long-header"});
+  tp.add_row({"xxxx", "1"});
+  const std::string out = tp.str();
+  EXPECT_NE(out.find("| a    | long-header |"), std::string::npos);
+  EXPECT_NE(out.find("| xxxx | 1           |"), std::string::npos);
+}
+
+TEST(Format, PercentAndDouble) {
+  EXPECT_EQ(util::percent(0.123), "12.3%");
+  EXPECT_EQ(util::percent(1.0, 0), "100%");
+  EXPECT_EQ(util::format_double(3.14159, 2), "3.14");
+}
+
+TEST(Format, Time) {
+  EXPECT_EQ(util::format_time(420), "420 ns");
+  EXPECT_EQ(util::format_time(1'500), "1.50 us");
+  EXPECT_EQ(util::format_time(2'500'000), "2.50 ms");
+  EXPECT_EQ(util::format_time(3'000'000'000), "3.00 s");
+}
+
+TEST(Format, Count) {
+  EXPECT_EQ(util::format_count(999), "999");
+  EXPECT_EQ(util::format_count(25'000), "25.0k");
+  EXPECT_EQ(util::format_count(12'000'000), "12.0M");
+}
+
+// --------------------------- ring buffer -------------------------------
+
+TEST(SpscRing, PushPopOrder) {
+  util::SpscRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.try_push(i));
+  for (int i = 0; i < 5; ++i) {
+    const auto v = ring.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(SpscRing, CapacityAndFull) {
+  util::SpscRing<int> ring(4);
+  const std::size_t cap = ring.capacity();
+  EXPECT_GE(cap, 4u);
+  for (std::size_t i = 0; i < cap; ++i)
+    EXPECT_TRUE(ring.try_push(static_cast<int>(i)));
+  EXPECT_FALSE(ring.try_push(999)) << "ring should be full";
+  EXPECT_EQ(ring.size(), cap);
+}
+
+TEST(SpscRing, WrapAround) {
+  util::SpscRing<int> ring(4);
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_TRUE(ring.try_push(round));
+    const auto v = ring.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, round);
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, TwoThreadStress) {
+  util::SpscRing<u64> ring(256);
+  constexpr u64 kCount = 500'000;
+  std::atomic<bool> fail{false};
+  std::thread consumer([&]() {
+    u64 expected = 0;
+    while (expected < kCount) {
+      if (auto v = ring.try_pop()) {
+        if (*v != expected) {
+          fail = true;
+          return;
+        }
+        ++expected;
+      }
+    }
+  });
+  for (u64 i = 0; i < kCount;) {
+    if (ring.try_push(i)) ++i;
+  }
+  consumer.join();
+  EXPECT_FALSE(fail.load()) << "out-of-order or corrupted element";
+  EXPECT_TRUE(ring.empty());
+}
+
+}  // namespace
+}  // namespace hvsim

@@ -1,0 +1,301 @@
+// Unit tests: the baselines — structure-walking VMI, O-Ninja, H-Ninja and
+// the heartbeat monitor.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "attacks/exploit.hpp"
+#include "attacks/rootkit.hpp"
+#include "core/hypertap.hpp"
+#include "fi/campaign.hpp"
+#include "fi/locations.hpp"
+#include "vmi/h_ninja.hpp"
+#include "vmi/heartbeat.hpp"
+#include "vmi/introspect.hpp"
+#include "vmi/o_ninja.hpp"
+
+namespace hypertap {
+namespace {
+
+class Busy final : public os::Workload {
+ public:
+  os::Action next(os::TaskCtx&) override {
+    if ((i_ ^= 1) != 0) return os::ActCompute{400'000};
+    return os::ActSyscall{os::SYS_GETPID};
+  }
+  int i_ = 0;
+};
+
+class SleepLoop final : public os::Workload {
+ public:
+  os::Action next(os::TaskCtx&) override {
+    return os::ActSyscall{os::SYS_NANOSLEEP, 300'000};
+  }
+};
+
+// ---------------------------- Introspector -------------------------------
+
+class KillOnce final : public os::Workload {
+ public:
+  explicit KillOnce(u32 target) : target_(target) {}
+  os::Action next(os::TaskCtx&) override {
+    if (step_++ == 0) return os::ActSyscall{os::SYS_KILL, target_};
+    return os::ActExit{};
+  }
+
+ private:
+  u32 target_;
+  int step_ = 0;
+};
+
+TEST(Introspector, MirrorsGuestTruthUnderChurn) {
+  // Property: across random spawn/exit churn, the VMI task list always
+  // matches the kernel's live-pid truth (no attacks in play).
+  os::Vm vm;
+  vm.kernel.boot();
+  util::Rng rng(77);
+  std::set<u32> live;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      live.insert(vm.kernel.spawn("p", 10 + i, 10 + i, 1,
+                                  std::make_unique<SleepLoop>()));
+    }
+    if (!live.empty() && rng.chance(0.5)) {
+      const u32 victim = *live.begin();
+      live.erase(victim);
+      vm.kernel.spawn("killer", 0, 0, 1,
+                      std::make_unique<KillOnce>(victim));
+    }
+    vm.machine.run_for(200'000'000);
+
+    vmi::Introspector vmi(vm.machine.hypervisor(), vm.kernel.layout());
+    const auto tasks = vmi.list_tasks();
+    const auto truth = vm.kernel.live_pids();
+    std::set<u32> vmi_pids;
+    for (const auto& t : tasks) vmi_pids.insert(t.pid);
+    for (const u32 pid : truth) {
+      EXPECT_TRUE(vmi_pids.count(pid))
+          << "pid " << pid << " round " << round;
+    }
+    EXPECT_EQ(vmi_pids.size(), truth.size()) << "round " << round;
+  }
+}
+
+TEST(Introspector, ReadsCredentialFields) {
+  os::Vm vm;
+  vm.kernel.boot();
+  const u32 pid = vm.kernel.spawn("creds", 111, 222, 1,
+                                  std::make_unique<SleepLoop>(), 9);
+  vm.machine.run_for(100'000'000);
+  vmi::Introspector vmi(vm.machine.hypervisor(), vm.kernel.layout());
+  const auto t = vmi.find(pid);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->uid, 111u);
+  EXPECT_EQ(t->euid, 222u);
+  EXPECT_EQ(t->ppid, 1u);
+  EXPECT_EQ(t->exe_id, 9u);
+  EXPECT_EQ(t->comm, "creds");
+}
+
+TEST(Introspector, FindMissingPid) {
+  os::Vm vm;
+  vm.kernel.boot();
+  vmi::Introspector vmi(vm.machine.hypervisor(), vm.kernel.layout());
+  EXPECT_FALSE(vmi.find(4242).has_value());
+}
+
+// ------------------------------ O-Ninja ----------------------------------
+
+TEST(ONinja, DetectsPersistentEscalation) {
+  // A lingering escalated process is exactly what passive polling is good
+  // at: O-Ninja must find it within a couple of scan periods.
+  os::Vm vm;
+  HyperTap ht(vm);  // unused; O-Ninja is in-guest
+  vm.kernel.boot();
+  std::set<u32> detected;
+  vmi::ONinjaWorkload::Config ocfg;
+  ocfg.interval_us = 500'000;
+  vm.kernel.spawn("ninja", 0, 0, 1,
+                  std::make_unique<vmi::ONinjaWorkload>(
+                      ocfg, [&detected](u32 p) { detected.insert(p); }),
+                  0, 0);
+  const u32 shell =
+      vm.kernel.spawn("bash", 1000, 1000, 1, std::make_unique<SleepLoop>());
+  const u32 bad =
+      vm.kernel.spawn("sh", 1000, 1000, shell, std::make_unique<Busy>(), 0,
+                      1);
+  attacks::escalate(vm.kernel, bad, attacks::ExploitKind::kKernelOob);
+  vm.machine.run_for(5'000'000'000);
+  EXPECT_TRUE(detected.count(bad));
+}
+
+TEST(ONinja, IgnoresLegitimateRootProcesses) {
+  os::Vm vm;
+  vm.kernel.boot();
+  std::set<u32> detected;
+  vmi::ONinjaWorkload::Config ocfg;
+  ocfg.interval_us = 300'000;
+  vm.kernel.spawn("ninja", 0, 0, 1,
+                  std::make_unique<vmi::ONinjaWorkload>(
+                      ocfg, [&detected](u32 p) { detected.insert(p); }),
+                  0, 0);
+  // Root daemon parented by init (root): authorized.
+  vm.kernel.spawn("rootd", 0, 0, 1, std::make_unique<Busy>());
+  vm.machine.run_for(3'000'000'000);
+  EXPECT_TRUE(detected.empty());
+}
+
+TEST(ONinja, MissesDkomHiddenProcess) {
+  os::Vm vm;
+  vm.kernel.boot();
+  std::set<u32> detected;
+  vmi::ONinjaWorkload::Config ocfg;
+  ocfg.interval_us = 300'000;
+  vm.kernel.spawn("ninja", 0, 0, 1,
+                  std::make_unique<vmi::ONinjaWorkload>(
+                      ocfg, [&detected](u32 p) { detected.insert(p); }),
+                  0, 0);
+  const u32 shell =
+      vm.kernel.spawn("bash", 1000, 1000, 1, std::make_unique<SleepLoop>());
+  const u32 bad =
+      vm.kernel.spawn("sh", 1000, 1000, shell, std::make_unique<Busy>(), 0,
+                      1);
+  attacks::escalate(vm.kernel, bad, attacks::ExploitKind::kKernelOob);
+  attacks::Rootkit rk(vm.kernel, attacks::rootkit_by_name("SucKIT"));
+  rk.hide(bad);
+  vm.machine.run_for(4'000'000'000);
+  EXPECT_FALSE(detected.count(bad)) << "DKOM defeats /proc scanning";
+}
+
+// ------------------------------ H-Ninja ----------------------------------
+
+TEST(HNinja, DetectsPersistentEscalation) {
+  os::Vm vm;
+  vm.kernel.boot();
+  std::set<u32> detected;
+  vmi::HNinja hn(vm.machine.hypervisor(), vm.kernel.layout(),
+                 vmi::HNinja::Config{},
+                 [&detected](u32 p) { detected.insert(p); });
+  hn.start(vm.machine);
+  const u32 shell =
+      vm.kernel.spawn("bash", 1000, 1000, 1, std::make_unique<SleepLoop>());
+  const u32 bad =
+      vm.kernel.spawn("sh", 1000, 1000, shell, std::make_unique<Busy>());
+  attacks::escalate(vm.kernel, bad, attacks::ExploitKind::kKernelOob);
+  vm.machine.run_for(3'000'000'000);
+  EXPECT_TRUE(detected.count(bad));
+  EXPECT_GE(hn.scans_completed(), 2u);
+}
+
+TEST(HNinja, BlockingScanPausesGuest) {
+  os::Vm vm;
+  vm.kernel.boot();
+  for (int i = 0; i < 50; ++i)
+    vm.kernel.spawn("filler", 1, 1, 1, std::make_unique<SleepLoop>());
+  vmi::HNinja::Config cfg;
+  cfg.interval = 10'000'000;  // 10 ms: scans dominate
+  cfg.per_process_pause = 40'000;  // exaggerated for measurability
+  vmi::HNinja hn(vm.machine.hypervisor(), vm.kernel.layout(), cfg, nullptr);
+  hn.start(vm.machine);
+
+  // Measure guest progress (a compute workload) with and without scans.
+  u64 with = 0;
+  class Counter final : public os::Workload {
+   public:
+    explicit Counter(u64* n) : n_(n) {}
+    os::Action next(os::TaskCtx&) override {
+      ++*n_;
+      return os::ActCompute{3'000'000};  // 1 ms
+    }
+    u64* n_;
+  };
+  vm.kernel.spawn("count", 1, 1, 1, std::make_unique<Counter>(&with), 0, 0);
+  vm.machine.run_for(2'000'000'000);
+  hn.stop();
+  // >50 procs x 40 us pause per 10 ms interval ≈ 20% of wall time paused.
+  EXPECT_LT(with, 1'900u) << "blocking scans must cost guest time";
+  EXPECT_GT(with, 1'000u);
+}
+
+TEST(HNinja, MissesDkomHiddenProcess) {
+  os::Vm vm;
+  vm.kernel.boot();
+  std::set<u32> detected;
+  vmi::HNinja hn(vm.machine.hypervisor(), vm.kernel.layout(),
+                 vmi::HNinja::Config{},
+                 [&detected](u32 p) { detected.insert(p); });
+  hn.start(vm.machine);
+  const u32 shell =
+      vm.kernel.spawn("bash", 1000, 1000, 1, std::make_unique<SleepLoop>());
+  const u32 bad =
+      vm.kernel.spawn("sh", 1000, 1000, shell, std::make_unique<Busy>());
+  attacks::escalate(vm.kernel, bad, attacks::ExploitKind::kKernelOob);
+  attacks::Rootkit rk(vm.kernel, attacks::rootkit_by_name("PhalanX"));
+  rk.hide(bad);
+  vm.machine.run_for(3'000'000'000);
+  EXPECT_FALSE(detected.count(bad))
+      << "DKOM also defeats hypervisor-level list walking";
+}
+
+// ----------------------------- Heartbeat ---------------------------------
+
+TEST(Heartbeat, BeatsFlowOnHealthyGuest) {
+  os::Vm vm;
+  vmi::HeartbeatMonitor hb(0xBEA7u, {});
+  vm.machine.add_net_tx_sink(hb.sink());
+  vm.kernel.boot();
+  hb.start(vm.machine);
+  vm.kernel.spawn("heartbeatd", 0, 0, 1,
+                  std::make_unique<vmi::HeartbeatSender>(0xBEA7u, 500'000),
+                  0, 0);
+  vm.machine.run_for(10'000'000'000);
+  EXPECT_GT(hb.beats(), 10u);
+  EXPECT_FALSE(hb.alerted());
+}
+
+TEST(Heartbeat, MissesPartialHangOnOtherCpu) {
+  // The paper's §VIII-A3 observation: a partial hang on another vCPU
+  // leaves the heartbeat thread healthy — the monitor stays green.
+  const auto locs = fi::generate_locations();
+  os::KernelConfig kc;
+  os::Vm vm(hv::MachineConfig{}, kc);
+  vm.kernel.register_locations(locs);
+  class AlwaysFault final : public os::LocationHook {
+   public:
+    os::FaultClass on_location(u16 loc, u32) override {
+      return loc == 120 ? os::FaultClass::kMissingRelease
+                        : os::FaultClass::kNone;
+    }
+  };
+  AlwaysFault fault;
+  vm.kernel.set_location_hook(&fault);
+
+  vmi::HeartbeatMonitor hb(0xBEA7u, {});
+  vm.machine.add_net_tx_sink(hb.sink());
+  vm.kernel.boot();
+  hb.start(vm.machine);
+  vm.kernel.spawn("heartbeatd", 0, 0, 1,
+                  std::make_unique<vmi::HeartbeatSender>(0xBEA7u, 500'000),
+                  0, /*cpu=*/0);
+  // Two tasks on vCPU 1 hammer location 120 (ext3): leak then spin.
+  class HitLoc final : public os::Workload {
+   public:
+    os::Action next(os::TaskCtx&) override {
+      if ((i_ ^= 1) != 0) return os::ActKernelCall{120};
+      return os::ActCompute{2'000'000};
+    }
+    int i_ = 0;
+  };
+  vm.kernel.spawn("w1", 1, 1, 1, std::make_unique<HitLoc>(), 0, 1);
+  vm.kernel.spawn("w2", 1, 1, 1, std::make_unique<HitLoc>(), 0, 1);
+  vm.machine.run_for(15'000'000'000);
+
+  EXPECT_TRUE(vm.kernel.vcpu_scheduling_stalled(1, 5'000'000'000))
+      << "vCPU 1 should be hung";
+  EXPECT_FALSE(hb.alerted()) << "heartbeat blind to the partial hang";
+  EXPECT_GT(hb.beats(), 20u);
+}
+
+}  // namespace
+}  // namespace hypertap

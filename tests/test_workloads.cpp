@@ -1,0 +1,211 @@
+// Unit tests: workload implementations — UnixBench suite (parameterized),
+// make/hanoi/httpd progress, the location picker, the spawn factory.
+#include <gtest/gtest.h>
+
+#include "fi/locations.hpp"
+#include "os/kernel.hpp"
+#include "workloads/hanoi.hpp"
+#include "workloads/httpd.hpp"
+#include "workloads/make.hpp"
+#include "workloads/unixbench.hpp"
+#include "workloads/workload.hpp"
+
+namespace hypertap::workloads {
+namespace {
+
+os::KernelConfig factory_config() {
+  os::KernelConfig kc;
+  kc.spawn_factory = standard_factory(nullptr);
+  return kc;
+}
+
+// ------------------------- UnixBench suite (TEST_P) ----------------------
+
+class UnixBenchSuite : public ::testing::TestWithParam<UnixBenchSpec> {};
+
+TEST_P(UnixBenchSuite, RunsToCompletion) {
+  const UnixBenchSpec& spec = GetParam();
+  os::Vm vm(hv::MachineConfig{}, factory_config());
+  vm.kernel.boot();
+
+  SimTime done_at = -1;
+  auto w = make_unixbench(spec, 1);
+  w->set_on_done([&done_at, &vm](SimTime t) {
+    done_at = t;
+    vm.machine.request_stop();
+  });
+  if (spec.kind == UnixBenchSpec::Kind::kPipePingPong) {
+    vm.kernel.spawn("partner", 1, 1, 1,
+                    make_pingpong_partner(spec.iterations), 0, 0);
+  }
+  vm.kernel.spawn("bench", 1, 1, 1, std::move(w), 0, 0);
+  vm.machine.run_for(120'000'000'000ll);
+  vm.machine.clear_stop();
+  ASSERT_GT(done_at, 0) << spec.label << " did not finish";
+  EXPECT_LT(done_at, 60'000'000'000ll) << spec.label << " absurdly slow";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, UnixBenchSuite, ::testing::ValuesIn(unixbench_suite()),
+    [](const ::testing::TestParamInfo<UnixBenchSpec>& info) {
+      std::string n = info.param.label;
+      for (char& c : n)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return n;
+    });
+
+TEST(UnixBench, SuiteCoversAllCategories) {
+  const auto suite = unixbench_suite();
+  EXPECT_EQ(suite.size(), 12u) << "the 12 rows of Fig. 7";
+  std::set<BenchCategory> cats;
+  for (const auto& s : suite) cats.insert(s.category);
+  EXPECT_GE(cats.size(), 4u);
+  for (const auto& s : suite) {
+    EXPECT_FALSE(s.label.empty());
+    EXPECT_STRNE(to_string(s.category), "?");
+  }
+}
+
+// ------------------------------ Hanoi ------------------------------------
+
+TEST(Hanoi, FinishesInExpectedTime) {
+  const auto locs = hypertap::fi::generate_locations();
+  os::Vm vm(hv::MachineConfig{}, factory_config());
+  vm.kernel.register_locations(locs);
+  vm.kernel.boot();
+  HanoiWorkload::Config cfg;
+  cfg.total_cycles = 3'000'000'000ull;  // 1 s of compute
+  auto w = std::make_unique<HanoiWorkload>(cfg, &locs, 5);
+  SimTime done_at = -1;
+  w->set_on_done([&done_at](SimTime t) { done_at = t; });
+  vm.kernel.spawn("hanoi", 1, 1, 1, std::move(w), 0, 0);
+  vm.machine.run_for(5'000'000'000);
+  ASSERT_GT(done_at, 0);
+  EXPECT_GE(done_at, 1'000'000'000) << "at least the pure compute time";
+  EXPECT_LT(done_at, 2'500'000'000) << "kernel calls add modest overhead";
+}
+
+// ------------------------------- make ------------------------------------
+
+TEST(Make, CompletesUnitsAndUsesUserLock) {
+  const auto locs = hypertap::fi::generate_locations();
+  os::Vm vm(hv::MachineConfig{}, factory_config());
+  vm.kernel.register_locations(locs);
+  vm.kernel.boot();
+  MakeJobWorkload::Config cfg;
+  cfg.units = 25;
+  auto w = std::make_unique<MakeJobWorkload>(cfg, &locs, 5);
+  auto* wp = w.get();
+  SimTime done_at = -1;
+  w->set_on_done([&done_at](SimTime t) { done_at = t; });
+  vm.kernel.spawn("make", 1, 1, 1, std::move(w), 0, 0);
+  vm.machine.run_for(30'000'000'000ll);
+  EXPECT_GT(done_at, 0);
+  EXPECT_EQ(wp->units_done(), 25u);
+  // The dependency-database user lock ends up released.
+  EXPECT_FALSE(vm.kernel.locks().user_lock(cfg.dep_db_lock).held);
+}
+
+TEST(Make, TwoJobsShareTheDepLockWithoutDeadlock) {
+  const auto locs = hypertap::fi::generate_locations();
+  os::Vm vm(hv::MachineConfig{}, factory_config());
+  vm.kernel.register_locations(locs);
+  vm.kernel.boot();
+  int done = 0;
+  for (int j = 0; j < 2; ++j) {
+    MakeJobWorkload::Config cfg;
+    cfg.units = 15;
+    auto w = std::make_unique<MakeJobWorkload>(cfg, &locs, 5 + j);
+    w->set_on_done([&done](SimTime) { ++done; });
+    vm.kernel.spawn("make", 1, 1, 1, std::move(w), 0, j);
+  }
+  vm.machine.run_for(30'000'000'000ll);
+  EXPECT_EQ(done, 2);
+}
+
+// ------------------------------- httpd -----------------------------------
+
+TEST(Httpd, ServesLoadWithResponses) {
+  const auto locs = hypertap::fi::generate_locations();
+  os::Vm vm(hv::MachineConfig{}, factory_config());
+  vm.kernel.register_locations(locs);
+  vm.kernel.boot();
+  HttpdWorkerWorkload::Config cfg;
+  std::vector<HttpdWorkerWorkload*> workers;
+  for (int i = 0; i < 2; ++i) {
+    auto w = std::make_unique<HttpdWorkerWorkload>(cfg, &locs, 30 + i);
+    workers.push_back(w.get());
+    vm.kernel.spawn("httpd", 30, 30, 1, std::move(w));
+  }
+  HttpLoadGenerator gen(vm.kernel, 150.0);
+  vm.machine.add_net_tx_sink(gen.response_sink());
+  gen.start(vm.machine);
+  vm.machine.run_for(5'000'000'000);
+  gen.stop();
+  EXPECT_GT(gen.sent(), 500u);
+  EXPECT_GT(gen.responses(), gen.sent() * 8 / 10)
+      << "most requests answered";
+  const u64 served = workers[0]->requests_served() +
+                     workers[1]->requests_served();
+  EXPECT_EQ(served, gen.responses());
+}
+
+// --------------------------- Location picker -----------------------------
+
+TEST(LocationPicker, RespectsSubsystemAndSkipsSleeping) {
+  const auto locs = hypertap::fi::generate_locations();
+  LocationPicker picker(&locs, 3);
+  for (int i = 0; i < 200; ++i) {
+    const auto id = picker.pick(os::Subsystem::kExt3);
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(locs[*id].subsystem, os::Subsystem::kExt3);
+    EXPECT_FALSE(locs[*id].sleeping_wait);
+  }
+  // The char pool contains the probe-only paths: they must never come up.
+  for (int i = 0; i < 200; ++i) {
+    const auto id = picker.pick(os::Subsystem::kCharDev);
+    ASSERT_TRUE(id.has_value());
+    EXPECT_FALSE(locs[*id].sleeping_wait);
+  }
+}
+
+TEST(LocationPicker, EmptyRegistry) {
+  LocationPicker picker(nullptr, 3);
+  EXPECT_FALSE(picker.pick(os::Subsystem::kCore).has_value());
+}
+
+// ------------------------------ Factory ----------------------------------
+
+TEST(Factory, AllExeIdsProduceWorkloads) {
+  auto factory = standard_factory(nullptr);
+  util::Rng rng(1);
+  for (const u32 exe : {u32{EXE_NOOP}, u32{EXE_CC1}, u32{EXE_IDLE},
+                        u32{EXE_SCRIPT}, u32{999}}) {
+    auto w = factory(exe, rng);
+    ASSERT_NE(w, nullptr) << exe;
+  }
+}
+
+TEST(Factory, NoopChildExitsQuickly) {
+  os::Vm vm(hv::MachineConfig{}, factory_config());
+  vm.kernel.boot();
+  class SpawnOnce final : public os::Workload {
+   public:
+    os::Action next(os::TaskCtx& ctx) override {
+      if (step_++ == 0) return os::ActSyscall{os::SYS_SPAWN, EXE_NOOP};
+      if (child == 0) child = ctx.last_result;
+      return os::ActSyscall{os::SYS_NANOSLEEP, 400'000};
+    }
+    u32 child = 0;
+    int step_ = 0;
+  };
+  auto w = std::make_unique<SpawnOnce>();
+  auto* wp = w.get();
+  vm.kernel.spawn("parent", 1, 1, 1, std::move(w));
+  vm.machine.run_for(1'000'000'000);
+  ASSERT_NE(wp->child, 0u);
+  EXPECT_EQ(vm.kernel.find_task(wp->child), nullptr) << "noop exited";
+}
+
+}  // namespace
+}  // namespace hypertap::workloads
