@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_goshd_threshold.dir/ablation_goshd_threshold.cpp.o"
+  "CMakeFiles/ablation_goshd_threshold.dir/ablation_goshd_threshold.cpp.o.d"
+  "ablation_goshd_threshold"
+  "ablation_goshd_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_goshd_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

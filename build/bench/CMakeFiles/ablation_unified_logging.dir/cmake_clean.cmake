@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_unified_logging.dir/ablation_unified_logging.cpp.o"
+  "CMakeFiles/ablation_unified_logging.dir/ablation_unified_logging.cpp.o.d"
+  "ablation_unified_logging"
+  "ablation_unified_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_unified_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em_throughput.dir/em_throughput.cpp.o"
+  "CMakeFiles/em_throughput.dir/em_throughput.cpp.o.d"
+  "em_throughput"
+  "em_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

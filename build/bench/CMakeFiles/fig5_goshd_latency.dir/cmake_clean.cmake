@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_goshd_latency.dir/fig5_goshd_latency.cpp.o"
+  "CMakeFiles/fig5_goshd_latency.dir/fig5_goshd_latency.cpp.o.d"
+  "fig5_goshd_latency"
+  "fig5_goshd_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_goshd_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

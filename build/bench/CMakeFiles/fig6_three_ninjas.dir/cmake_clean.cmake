@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_three_ninjas.dir/fig6_three_ninjas.cpp.o"
+  "CMakeFiles/fig6_three_ninjas.dir/fig6_three_ninjas.cpp.o.d"
+  "fig6_three_ninjas"
+  "fig6_three_ninjas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_three_ninjas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

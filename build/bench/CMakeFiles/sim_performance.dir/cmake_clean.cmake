@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_performance.dir/sim_performance.cpp.o"
+  "CMakeFiles/sim_performance.dir/sim_performance.cpp.o.d"
+  "sim_performance"
+  "sim_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_event_mapping.dir/table1_event_mapping.cpp.o"
+  "CMakeFiles/table1_event_mapping.dir/table1_event_mapping.cpp.o.d"
+  "table1_event_mapping"
+  "table1_event_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_event_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_hrkd_rootkits.dir/table2_hrkd_rootkits.cpp.o"
+  "CMakeFiles/table2_hrkd_rootkits.dir/table2_hrkd_rootkits.cpp.o.d"
+  "table2_hrkd_rootkits"
+  "table2_hrkd_rootkits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_hrkd_rootkits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_side_channel.dir/table3_side_channel.cpp.o"
+  "CMakeFiles/table3_side_channel.dir/table3_side_channel.cpp.o.d"
+  "table3_side_channel"
+  "table3_side_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_side_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

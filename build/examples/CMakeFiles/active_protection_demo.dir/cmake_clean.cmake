@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_protection_demo.dir/active_protection_demo.cpp.o"
+  "CMakeFiles/active_protection_demo.dir/active_protection_demo.cpp.o.d"
+  "active_protection_demo"
+  "active_protection_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_protection_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hang_detection_demo.dir/hang_detection_demo.cpp.o"
+  "CMakeFiles/hang_detection_demo.dir/hang_detection_demo.cpp.o.d"
+  "hang_detection_demo"
+  "hang_detection_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hang_detection_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypertap_sim.dir/hypertap_sim.cpp.o"
+  "CMakeFiles/hypertap_sim.dir/hypertap_sim.cpp.o.d"
+  "hypertap_sim"
+  "hypertap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypertap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privilege_escalation_demo.dir/privilege_escalation_demo.cpp.o"
+  "CMakeFiles/privilege_escalation_demo.dir/privilege_escalation_demo.cpp.o.d"
+  "privilege_escalation_demo"
+  "privilege_escalation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privilege_escalation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootkit_hunt.dir/rootkit_hunt.cpp.o"
+  "CMakeFiles/rootkit_hunt.dir/rootkit_hunt.cpp.o.d"
+  "rootkit_hunt"
+  "rootkit_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootkit_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

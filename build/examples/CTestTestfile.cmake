@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example.quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example.quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.hang_detection_demo "/root/repo/build/examples/hang_detection_demo")
+set_tests_properties(example.hang_detection_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;10;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.rootkit_hunt "/root/repo/build/examples/rootkit_hunt")
+set_tests_properties(example.rootkit_hunt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;11;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.active_protection_demo "/root/repo/build/examples/active_protection_demo")
+set_tests_properties(example.active_protection_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;12;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.privilege_escalation_demo "/root/repo/build/examples/privilege_escalation_demo")
+set_tests_properties(example.privilege_escalation_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.hypertap_sim "/root/repo/build/examples/hypertap_sim" "--monitors=goshd,hrkd,ped" "--attack=suckit" "--duration=4" "--verbose")
+set_tests_properties(example.hypertap_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.hypertap_sim_fault "/root/repo/build/examples/hypertap_sim" "--monitors=goshd" "--workload=make2" "--fault=missing-release" "--fault-location=0" "--duration=20")
+set_tests_properties(example.hypertap_sim_fault PROPERTIES  PASS_REGULAR_EXPRESSION "vcpu-hang" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/ept.cpp" "src/CMakeFiles/hypertap.dir/arch/ept.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/arch/ept.cpp.o.d"
+  "/root/repo/src/arch/paging.cpp" "src/CMakeFiles/hypertap.dir/arch/paging.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/arch/paging.cpp.o.d"
+  "/root/repo/src/arch/phys_mem.cpp" "src/CMakeFiles/hypertap.dir/arch/phys_mem.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/arch/phys_mem.cpp.o.d"
+  "/root/repo/src/arch/vcpu.cpp" "src/CMakeFiles/hypertap.dir/arch/vcpu.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/arch/vcpu.cpp.o.d"
+  "/root/repo/src/attacks/exploit.cpp" "src/CMakeFiles/hypertap.dir/attacks/exploit.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/attacks/exploit.cpp.o.d"
+  "/root/repo/src/attacks/rootkit.cpp" "src/CMakeFiles/hypertap.dir/attacks/rootkit.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/attacks/rootkit.cpp.o.d"
+  "/root/repo/src/attacks/scenario.cpp" "src/CMakeFiles/hypertap.dir/attacks/scenario.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/attacks/scenario.cpp.o.d"
+  "/root/repo/src/attacks/side_channel.cpp" "src/CMakeFiles/hypertap.dir/attacks/side_channel.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/attacks/side_channel.cpp.o.d"
+  "/root/repo/src/auditors/anomaly.cpp" "src/CMakeFiles/hypertap.dir/auditors/anomaly.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/auditors/anomaly.cpp.o.d"
+  "/root/repo/src/auditors/counters.cpp" "src/CMakeFiles/hypertap.dir/auditors/counters.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/auditors/counters.cpp.o.d"
+  "/root/repo/src/auditors/goshd.cpp" "src/CMakeFiles/hypertap.dir/auditors/goshd.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/auditors/goshd.cpp.o.d"
+  "/root/repo/src/auditors/hrkd.cpp" "src/CMakeFiles/hypertap.dir/auditors/hrkd.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/auditors/hrkd.cpp.o.d"
+  "/root/repo/src/auditors/integrity_guard.cpp" "src/CMakeFiles/hypertap.dir/auditors/integrity_guard.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/auditors/integrity_guard.cpp.o.d"
+  "/root/repo/src/auditors/ped.cpp" "src/CMakeFiles/hypertap.dir/auditors/ped.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/auditors/ped.cpp.o.d"
+  "/root/repo/src/auditors/recorder.cpp" "src/CMakeFiles/hypertap.dir/auditors/recorder.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/auditors/recorder.cpp.o.d"
+  "/root/repo/src/auditors/syscall_trace.cpp" "src/CMakeFiles/hypertap.dir/auditors/syscall_trace.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/auditors/syscall_trace.cpp.o.d"
+  "/root/repo/src/auditors/tss_integrity.cpp" "src/CMakeFiles/hypertap.dir/auditors/tss_integrity.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/auditors/tss_integrity.cpp.o.d"
+  "/root/repo/src/core/event.cpp" "src/CMakeFiles/hypertap.dir/core/event.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/core/event.cpp.o.d"
+  "/root/repo/src/core/event_forwarder.cpp" "src/CMakeFiles/hypertap.dir/core/event_forwarder.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/core/event_forwarder.cpp.o.d"
+  "/root/repo/src/core/event_multiplexer.cpp" "src/CMakeFiles/hypertap.dir/core/event_multiplexer.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/core/event_multiplexer.cpp.o.d"
+  "/root/repo/src/core/hypertap.cpp" "src/CMakeFiles/hypertap.dir/core/hypertap.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/core/hypertap.cpp.o.d"
+  "/root/repo/src/core/os_state.cpp" "src/CMakeFiles/hypertap.dir/core/os_state.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/core/os_state.cpp.o.d"
+  "/root/repo/src/core/rhc.cpp" "src/CMakeFiles/hypertap.dir/core/rhc.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/core/rhc.cpp.o.d"
+  "/root/repo/src/fi/campaign.cpp" "src/CMakeFiles/hypertap.dir/fi/campaign.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/fi/campaign.cpp.o.d"
+  "/root/repo/src/fi/fault.cpp" "src/CMakeFiles/hypertap.dir/fi/fault.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/fi/fault.cpp.o.d"
+  "/root/repo/src/fi/locations.cpp" "src/CMakeFiles/hypertap.dir/fi/locations.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/fi/locations.cpp.o.d"
+  "/root/repo/src/hav/exit_engine.cpp" "src/CMakeFiles/hypertap.dir/hav/exit_engine.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/hav/exit_engine.cpp.o.d"
+  "/root/repo/src/hv/hypervisor.cpp" "src/CMakeFiles/hypertap.dir/hv/hypervisor.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/hv/hypervisor.cpp.o.d"
+  "/root/repo/src/hv/machine.cpp" "src/CMakeFiles/hypertap.dir/hv/machine.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/hv/machine.cpp.o.d"
+  "/root/repo/src/os/guest_alloc.cpp" "src/CMakeFiles/hypertap.dir/os/guest_alloc.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/os/guest_alloc.cpp.o.d"
+  "/root/repo/src/os/kernel.cpp" "src/CMakeFiles/hypertap.dir/os/kernel.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/os/kernel.cpp.o.d"
+  "/root/repo/src/os/procfs.cpp" "src/CMakeFiles/hypertap.dir/os/procfs.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/os/procfs.cpp.o.d"
+  "/root/repo/src/os/sched.cpp" "src/CMakeFiles/hypertap.dir/os/sched.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/os/sched.cpp.o.d"
+  "/root/repo/src/os/spinlock.cpp" "src/CMakeFiles/hypertap.dir/os/spinlock.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/os/spinlock.cpp.o.d"
+  "/root/repo/src/os/syscalls.cpp" "src/CMakeFiles/hypertap.dir/os/syscalls.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/os/syscalls.cpp.o.d"
+  "/root/repo/src/os/task.cpp" "src/CMakeFiles/hypertap.dir/os/task.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/os/task.cpp.o.d"
+  "/root/repo/src/util/names.cpp" "src/CMakeFiles/hypertap.dir/util/names.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/util/names.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/hypertap.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/hypertap.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/util/stats.cpp.o.d"
+  "/root/repo/src/vmi/h_ninja.cpp" "src/CMakeFiles/hypertap.dir/vmi/h_ninja.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/vmi/h_ninja.cpp.o.d"
+  "/root/repo/src/vmi/heartbeat.cpp" "src/CMakeFiles/hypertap.dir/vmi/heartbeat.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/vmi/heartbeat.cpp.o.d"
+  "/root/repo/src/vmi/introspect.cpp" "src/CMakeFiles/hypertap.dir/vmi/introspect.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/vmi/introspect.cpp.o.d"
+  "/root/repo/src/vmi/o_ninja.cpp" "src/CMakeFiles/hypertap.dir/vmi/o_ninja.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/vmi/o_ninja.cpp.o.d"
+  "/root/repo/src/workloads/hanoi.cpp" "src/CMakeFiles/hypertap.dir/workloads/hanoi.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/workloads/hanoi.cpp.o.d"
+  "/root/repo/src/workloads/httpd.cpp" "src/CMakeFiles/hypertap.dir/workloads/httpd.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/workloads/httpd.cpp.o.d"
+  "/root/repo/src/workloads/make.cpp" "src/CMakeFiles/hypertap.dir/workloads/make.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/workloads/make.cpp.o.d"
+  "/root/repo/src/workloads/unixbench.cpp" "src/CMakeFiles/hypertap.dir/workloads/unixbench.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/workloads/unixbench.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/CMakeFiles/hypertap.dir/workloads/workload.cpp.o" "gcc" "src/CMakeFiles/hypertap.dir/workloads/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

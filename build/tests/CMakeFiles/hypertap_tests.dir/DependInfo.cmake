@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_arch.cpp" "tests/CMakeFiles/hypertap_tests.dir/test_arch.cpp.o" "gcc" "tests/CMakeFiles/hypertap_tests.dir/test_arch.cpp.o.d"
+  "/root/repo/tests/test_attacks_fi.cpp" "tests/CMakeFiles/hypertap_tests.dir/test_attacks_fi.cpp.o" "gcc" "tests/CMakeFiles/hypertap_tests.dir/test_attacks_fi.cpp.o.d"
+  "/root/repo/tests/test_auditors.cpp" "tests/CMakeFiles/hypertap_tests.dir/test_auditors.cpp.o" "gcc" "tests/CMakeFiles/hypertap_tests.dir/test_auditors.cpp.o.d"
+  "/root/repo/tests/test_campaign_matrix.cpp" "tests/CMakeFiles/hypertap_tests.dir/test_campaign_matrix.cpp.o" "gcc" "tests/CMakeFiles/hypertap_tests.dir/test_campaign_matrix.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/hypertap_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/hypertap_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_core_more.cpp" "tests/CMakeFiles/hypertap_tests.dir/test_core_more.cpp.o" "gcc" "tests/CMakeFiles/hypertap_tests.dir/test_core_more.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/hypertap_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/hypertap_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_flavors.cpp" "tests/CMakeFiles/hypertap_tests.dir/test_flavors.cpp.o" "gcc" "tests/CMakeFiles/hypertap_tests.dir/test_flavors.cpp.o.d"
+  "/root/repo/tests/test_hav.cpp" "tests/CMakeFiles/hypertap_tests.dir/test_hav.cpp.o" "gcc" "tests/CMakeFiles/hypertap_tests.dir/test_hav.cpp.o.d"
+  "/root/repo/tests/test_hv.cpp" "tests/CMakeFiles/hypertap_tests.dir/test_hv.cpp.o" "gcc" "tests/CMakeFiles/hypertap_tests.dir/test_hv.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/hypertap_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/hypertap_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_limitations.cpp" "tests/CMakeFiles/hypertap_tests.dir/test_limitations.cpp.o" "gcc" "tests/CMakeFiles/hypertap_tests.dir/test_limitations.cpp.o.d"
+  "/root/repo/tests/test_multivm_async.cpp" "tests/CMakeFiles/hypertap_tests.dir/test_multivm_async.cpp.o" "gcc" "tests/CMakeFiles/hypertap_tests.dir/test_multivm_async.cpp.o.d"
+  "/root/repo/tests/test_os.cpp" "tests/CMakeFiles/hypertap_tests.dir/test_os.cpp.o" "gcc" "tests/CMakeFiles/hypertap_tests.dir/test_os.cpp.o.d"
+  "/root/repo/tests/test_paper_claims.cpp" "tests/CMakeFiles/hypertap_tests.dir/test_paper_claims.cpp.o" "gcc" "tests/CMakeFiles/hypertap_tests.dir/test_paper_claims.cpp.o.d"
+  "/root/repo/tests/test_recorder_reparent.cpp" "tests/CMakeFiles/hypertap_tests.dir/test_recorder_reparent.cpp.o" "gcc" "tests/CMakeFiles/hypertap_tests.dir/test_recorder_reparent.cpp.o.d"
+  "/root/repo/tests/test_scenarios.cpp" "tests/CMakeFiles/hypertap_tests.dir/test_scenarios.cpp.o" "gcc" "tests/CMakeFiles/hypertap_tests.dir/test_scenarios.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/hypertap_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/hypertap_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_stress.cpp" "tests/CMakeFiles/hypertap_tests.dir/test_stress.cpp.o" "gcc" "tests/CMakeFiles/hypertap_tests.dir/test_stress.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/hypertap_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/hypertap_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_vmi.cpp" "tests/CMakeFiles/hypertap_tests.dir/test_vmi.cpp.o" "gcc" "tests/CMakeFiles/hypertap_tests.dir/test_vmi.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/hypertap_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/hypertap_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hypertap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
