@@ -61,6 +61,22 @@ void Goshd::on_timer(SimTime now, AuditContext& ctx) {
   }
 }
 
+void Goshd::resync(AuditContext& ctx) {
+  // After event loss the per-vCPU switch history is untrustworthy in both
+  // directions: missed switches would fake a hang, and a hang that began
+  // during the gap has no alarm yet. Re-derive activity from the trusted
+  // chain (TR -> TSS -> RSP0 -> task) and re-arm detection from "now" — a
+  // real hang re-trips within one threshold, a healthy vCPU stays silent.
+  const SimTime now = ctx.now();
+  for (std::size_t cpu = 0; cpu < last_switch_.size(); ++cpu) {
+    const GuestTaskView v = ctx.os().current_task(static_cast<int>(cpu));
+    if (v.valid) seen_[cpu] = true;
+    last_switch_[cpu] = now;
+    hung_[cpu] = false;
+  }
+  full_reported_ = false;
+}
+
 bool Goshd::any_hung() const {
   for (bool h : hung_)
     if (h) return true;

@@ -42,6 +42,7 @@ class Goshd final : public Auditor {
 
   void on_event(const Event& e, AuditContext& ctx) override;
   void on_timer(SimTime now, AuditContext& ctx) override;
+  void resync(AuditContext& ctx) override;
 
   bool vcpu_hung(int cpu) const { return hung_.at(cpu); }
   bool any_hung() const;

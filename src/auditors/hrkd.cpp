@@ -25,6 +25,24 @@ void Hrkd::inspect(const GuestTaskView& v, SimTime now, AuditContext& ctx) {
   (void)ctx;
 }
 
+void Hrkd::resync(AuditContext& ctx) {
+  // The scheduled-task shadow may be both stale (tasks that exited during
+  // the gap) and hollow (switches it never saw). Rebuild from hardware
+  // state: each vCPU's live CR3 re-seeds PDBA_set, and the running task is
+  // re-derived through TR -> TSS -> RSP0. Tasks not on CPU right now are
+  // re-observed at their next thread switch; the hidden-pid history is an
+  // alarm record and survives.
+  const SimTime now = ctx.now();
+  seen_pids_.clear();
+  auto& hv = ctx.hypervisor();
+  for (int cpu = 0; cpu < hv.num_vcpus(); ++cpu) {
+    const u32 cr3 = static_cast<u32>(hv.vcpu(cpu).regs().cr3);
+    if (cr3 != 0) pdba_set_.insert(cr3);
+    const GuestTaskView v = ctx.os().current_task(cpu);
+    inspect(v, now, ctx);
+  }
+}
+
 u32 Hrkd::count_address_spaces(AuditContext& ctx) {
   // Fig. 3A "Count the Virtual Address Spaces": test each PDBA by
   // translating a known GVA under it; remove the ones that fail.

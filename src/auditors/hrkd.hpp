@@ -48,6 +48,7 @@ class Hrkd final : public Auditor {
 
   void on_event(const Event& e, AuditContext& ctx) override;
   void on_timer(SimTime now, AuditContext& ctx) override;
+  void resync(AuditContext& ctx) override;
 
   /// Fig. 3A: validate PDBA_set and return the trusted address-space
   /// count.

@@ -29,6 +29,22 @@ void HtNinja::on_event(const Event& e, AuditContext& ctx) {
   if (v.valid) check(v, e.time, ctx);
 }
 
+void HtNinja::resync(AuditContext& ctx) {
+  // A missed first-switch or I/O-syscall checkpoint must not become a
+  // permanent blind spot: forget which pids were already checked so every
+  // process is re-judged at its next checkpoint, and judge what is on CPU
+  // right now straight from the trusted derivation. The first-seen parent
+  // memory and the flagged set survive — they only ever make the rule
+  // stricter.
+  first_switch_seen_.clear();
+  auto& hv = ctx.hypervisor();
+  const SimTime now = ctx.now();
+  for (int cpu = 0; cpu < hv.num_vcpus(); ++cpu) {
+    const GuestTaskView v = ctx.os().current_task(cpu);
+    if (v.valid) check(v, now, ctx);
+  }
+}
+
 void HtNinja::check(const GuestTaskView& v, SimTime now, AuditContext& ctx) {
   const bool is_kthread = (v.flags & os::TASK_FLAG_KTHREAD) != 0 ||
                           v.pid == 0 || v.pid >= 0x8000u;

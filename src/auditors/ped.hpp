@@ -50,6 +50,7 @@ class HtNinja : public Auditor {
   }
 
   void on_event(const Event& e, AuditContext& ctx) override;
+  void resync(AuditContext& ctx) override;
 
   const std::set<u32>& flagged_pids() const { return flagged_; }
 

@@ -7,10 +7,33 @@
 // parallel, and overload is visible as counted drops instead of guest
 // stalls. It is unit-tested and benchmarked (bench/em_throughput) and can
 // be composed with any Auditor.
+//
+// Monitor-side fault tolerance:
+//  * Overflow policy — a full ring can drop the newest event (default,
+//    never blocks), drop the oldest buffered event (keeps the freshest
+//    state flowing to the auditor), or block the producer for a bounded
+//    time before dropping.
+//  * Loss is never silent — every drop is stamped into the next delivered
+//    event's `gap_before`, and the consumer raises Auditor::on_gap before
+//    the next audit so stateful auditors resynchronize instead of rotting.
+//  * High-watermark callback — edge-triggered backpressure signal when
+//    ring occupancy crosses a configurable fraction (e.g. to shed load or
+//    alarm before events are actually lost).
+//  * Drain-deadline watchdog — if the ring stays non-empty with no
+//    consumer progress past the deadline, the consumer is declared
+//    stalled and the channel degrades to synchronous delivery on the
+//    producer thread (liveness over ordering); when the consumer comes
+//    back it is resynchronized through on_gap before resuming.
+//  * The idle consumer spins briefly, then parks on a condition variable —
+//    an idle channel does not burn a core.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 #include "core/auditor.hpp"
@@ -20,41 +43,157 @@ namespace hypertap {
 
 class AsyncAuditorChannel {
  public:
+  enum class OverflowPolicy : u8 {
+    kDropNewest,       ///< full ring: drop the incoming event (never block)
+    kDropOldest,       ///< full ring: discard the oldest buffered event
+    kBlockWithTimeout  ///< full ring: wait briefly for space, then drop
+  };
+
+  struct Config {
+    std::size_t capacity = 4096;
+    OverflowPolicy policy = OverflowPolicy::kDropNewest;
+    /// kBlockWithTimeout: longest publish() may wait for ring space.
+    std::chrono::microseconds block_timeout{200};
+    /// Occupancy fraction firing the high-watermark callback
+    /// (edge-triggered; re-arms once occupancy falls below half of it).
+    double high_watermark = 0.75;
+    /// Consumer liveness: ring non-empty with no consumer progress for
+    /// this long => consumer stalled, degrade to synchronous delivery.
+    std::chrono::milliseconds drain_deadline{50};
+    /// Idle consumer: spin-yield this many times before parking.
+    u32 spin_before_park = 256;
+    /// Park timeout (bounds wakeup staleness if a notify is missed).
+    std::chrono::microseconds park_interval{500};
+  };
+
   struct Stats {
-    u64 enqueued = 0;
-    u64 dropped = 0;
-    u64 audited = 0;
+    u64 enqueued = 0;  ///< subscribed events offered to the ring
+    u64 dropped = 0;   ///< total losses, all causes
+    u64 audited = 0;   ///< events the consumer delivered to the auditor
+    // Loss breakdown.
+    u64 dropped_newest = 0;      ///< full ring, drop-newest (or fallback)
+    u64 dropped_oldest = 0;      ///< full ring, oldest discarded instead
+    u64 dropped_after_stop = 0;  ///< publish() after stop(): refused
+    u64 dropped_stalled = 0;     ///< stalled consumer held the audit lock
+    u64 block_timeouts = 0;      ///< kBlockWithTimeout waits that expired
+    // Degradation / resync visibility.
+    u64 sync_delivered = 0;   ///< delivered synchronously while stalled
+    u64 gaps_signalled = 0;   ///< on_gap notifications raised
+    u64 watermark_hits = 0;   ///< high-watermark edge crossings
+    u64 stalls_detected = 0;  ///< watchdog stall verdicts
+    u64 auditor_faults = 0;   ///< auditor exceptions absorbed here
   };
 
   /// The channel does not own the auditor or the context; both must
-  /// outlive it. `capacity` is the ring depth (events buffered while the
-  /// container is busy).
-  AsyncAuditorChannel(Auditor& auditor, AuditContext& ctx,
-                      std::size_t capacity = 4096)
-      : auditor_(auditor), ctx_(ctx), ring_(capacity) {
+  /// outlive it.
+  AsyncAuditorChannel(Auditor& auditor, AuditContext& ctx, Config cfg)
+      : auditor_(auditor), ctx_(ctx), cfg_(cfg), ring_(cfg.capacity) {
+    wm_slots_ = static_cast<std::size_t>(
+        static_cast<double>(ring_.capacity()) * cfg_.high_watermark);
+    if (wm_slots_ == 0) wm_slots_ = 1;
     consumer_ = std::thread([this]() { drain(); });
   }
+  AsyncAuditorChannel(Auditor& auditor, AuditContext& ctx,
+                      std::size_t capacity = 4096)
+      : AsyncAuditorChannel(auditor, ctx, with_capacity(capacity)) {}
 
   ~AsyncAuditorChannel() { stop(); }
 
   AsyncAuditorChannel(const AsyncAuditorChannel&) = delete;
   AsyncAuditorChannel& operator=(const AsyncAuditorChannel&) = delete;
 
-  /// Producer side (the exit path): never blocks. Full ring = drop, which
-  /// the EM accounts per auditor.
+  /// Producer side (the exit path). Returns false when the event was lost
+  /// (counted, and surfaced to the auditor as a gap). Blocks only under
+  /// kBlockWithTimeout, and then only up to `block_timeout`.
   bool publish(const Event& e) {
     if ((auditor_.subscriptions() & event_bit(e.kind)) == 0) return true;
-    ++enqueued_;
-    if (ring_.try_push(e)) return true;
-    ++dropped_;
+    if (stopping_.load(std::memory_order_acquire)) {
+      // The consumer is gone (or going): whatever lands in the ring now
+      // would never be audited. Refuse loudly instead of losing silently.
+      dropped_after_stop_.fetch_add(1, std::memory_order_relaxed);
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    enqueued_.fetch_add(1, std::memory_order_relaxed);
+    check_consumer_liveness();
+    if (stalled_.load(std::memory_order_acquire)) return publish_stalled(e);
+
+    Event copy = e;
+    copy.gap_before = pending_gap_;
+    if (ring_.try_push(copy)) return on_pushed();
+
+    switch (cfg_.policy) {
+      case OverflowPolicy::kDropNewest:
+        break;  // drop below
+      case OverflowPolicy::kDropOldest: {
+        // Ask the consumer to discard one buffered event, then wait
+        // briefly for the slot. SPSC stays intact: only the consumer pops.
+        skip_credit_.fetch_add(1, std::memory_order_release);
+        for (int i = 0; i < 64; ++i) {
+          if (ring_.try_push(copy)) return on_pushed();
+          std::this_thread::yield();
+        }
+        // Consumer did not move (likely stalled): revoke the credit if it
+        // is still unspent, so a later pop is not discarded by mistake.
+        u32 c = skip_credit_.load(std::memory_order_relaxed);
+        while (c > 0 && !skip_credit_.compare_exchange_weak(
+                            c, c - 1, std::memory_order_relaxed)) {
+        }
+        if (ring_.try_push(copy)) return on_pushed();
+        break;
+      }
+      case OverflowPolicy::kBlockWithTimeout: {
+        const auto deadline =
+            std::chrono::steady_clock::now() + cfg_.block_timeout;
+        while (std::chrono::steady_clock::now() < deadline) {
+          if (ring_.try_push(copy)) return on_pushed();
+          check_consumer_liveness();
+          if (stalled_.load(std::memory_order_acquire)) {
+            return publish_stalled(e);
+          }
+          std::this_thread::yield();
+        }
+        block_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+    }
+    ++pending_gap_;
+    dropped_newest_.fetch_add(1, std::memory_order_relaxed);
+    dropped_.fetch_add(1, std::memory_order_relaxed);
     return false;
+  }
+
+  /// Edge-triggered occupancy signal; invoked on the producer thread.
+  void set_high_watermark_callback(
+      std::function<void(std::size_t size, std::size_t capacity)> cb) {
+    watermark_cb_ = std::move(cb);
   }
 
   /// Stop the container thread after draining what is queued.
   void stop() {
     if (!consumer_.joinable()) return;
-    stopping_.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lk(park_mu_);
+      stopping_.store(true, std::memory_order_release);
+    }
+    park_cv_.notify_one();
     consumer_.join();
+    // A drop burst with no later successful push (e.g. right before
+    // shutdown) has no event to piggyback its gap marker on — surface it
+    // now so the loss is never silent.
+    if (pending_gap_ > 0) {
+      gaps_signalled_.fetch_add(1, std::memory_order_relaxed);
+      try {
+        auditor_.on_gap(pending_gap_, ctx_);
+      } catch (...) {
+        auditor_faults_.fetch_add(1, std::memory_order_relaxed);
+      }
+      pending_gap_ = 0;
+    }
+  }
+
+  bool consumer_stalled() const {
+    return stalled_.load(std::memory_order_acquire);
   }
 
   Stats stats() const {
@@ -62,32 +201,199 @@ class AsyncAuditorChannel {
     s.enqueued = enqueued_.load(std::memory_order_relaxed);
     s.dropped = dropped_.load(std::memory_order_relaxed);
     s.audited = audited_.load(std::memory_order_relaxed);
+    s.dropped_newest = dropped_newest_.load(std::memory_order_relaxed);
+    s.dropped_oldest = dropped_oldest_.load(std::memory_order_relaxed);
+    s.dropped_after_stop =
+        dropped_after_stop_.load(std::memory_order_relaxed);
+    s.dropped_stalled = dropped_stalled_.load(std::memory_order_relaxed);
+    s.block_timeouts = block_timeouts_.load(std::memory_order_relaxed);
+    s.sync_delivered = sync_delivered_.load(std::memory_order_relaxed);
+    s.gaps_signalled = gaps_signalled_.load(std::memory_order_relaxed);
+    s.watermark_hits = watermark_hits_.load(std::memory_order_relaxed);
+    s.stalls_detected = stalls_detected_.load(std::memory_order_relaxed);
+    s.auditor_faults = auditor_faults_.load(std::memory_order_relaxed);
     return s;
   }
 
  private:
+  static Config with_capacity(std::size_t capacity) {
+    Config c;
+    c.capacity = capacity;
+    return c;
+  }
+
+  /// Producer-side bookkeeping after a successful push.
+  bool on_pushed() {
+    pending_gap_ = 0;
+    const std::size_t size = ring_.size();
+    if (!wm_fired_ && size >= wm_slots_) {
+      wm_fired_ = true;
+      watermark_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (watermark_cb_) watermark_cb_(size, ring_.capacity());
+    } else if (wm_fired_ && size < wm_slots_ / 2) {
+      wm_fired_ = false;
+    }
+    if (parked_.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lk(park_mu_);
+      park_cv_.notify_one();
+    }
+    return true;
+  }
+
+  /// Watchdog (producer side): ring non-empty + no consumer progress past
+  /// the drain deadline => consumer stalled.
+  void check_consumer_liveness() {
+    if (stalled_.load(std::memory_order_relaxed)) return;
+    if (ring_.empty()) {
+      watch_since_ = {};
+      return;
+    }
+    const u64 p = progress_.load(std::memory_order_acquire);
+    const auto now = std::chrono::steady_clock::now();
+    if (watch_since_ == std::chrono::steady_clock::time_point{} ||
+        p != watch_progress_) {
+      watch_progress_ = p;
+      watch_since_ = now;
+      return;
+    }
+    if (now - watch_since_ >= cfg_.drain_deadline) {
+      stalls_detected_.fetch_add(1, std::memory_order_relaxed);
+      stalled_.store(true, std::memory_order_release);
+    }
+  }
+
+  /// Degraded mode: deliver on the producer thread, synchronously. The
+  /// audit lock keeps the auditor single-threaded; if the consumer is
+  /// wedged *inside* on_event (holding the lock), the event is dropped
+  /// rather than blocking the exit path.
+  bool publish_stalled(const Event& e) {
+    std::unique_lock<std::mutex> lk(audit_mu_, std::try_to_lock);
+    if (!lk.owns_lock()) {
+      ++pending_gap_;
+      dropped_stalled_.fetch_add(1, std::memory_order_relaxed);
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    Event copy = e;
+    copy.gap_before = pending_gap_;
+    pending_gap_ = 0;
+    deliver(copy);
+    sync_delivered_.fetch_add(1, std::memory_order_relaxed);
+    sync_since_stall_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Deliver one event (gap first, then the event), absorbing auditor
+  /// exceptions — a crashing auditor must not kill either thread.
+  /// Caller holds audit_mu_.
+  void deliver(const Event& e) {
+    try {
+      if (e.gap_before > 0) {
+        gaps_signalled_.fetch_add(1, std::memory_order_relaxed);
+        auditor_.on_gap(e.gap_before, ctx_);
+      }
+      auditor_.on_event(e, ctx_);
+    } catch (...) {
+      auditor_faults_.fetch_add(1, std::memory_order_relaxed);
+    }
+    audited_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   void drain() {
+    u32 idle = 0;
+    u64 consumer_gap = 0;  // drop-oldest discards awaiting an on_gap
     for (;;) {
       if (auto e = ring_.try_pop()) {
-        auditor_.on_event(*e, ctx_);
-        audited_.fetch_add(1, std::memory_order_relaxed);
+        progress_.fetch_add(1, std::memory_order_release);
+        idle = 0;
+        u32 credit = skip_credit_.load(std::memory_order_acquire);
+        bool discard = false;
+        while (credit > 0) {
+          if (skip_credit_.compare_exchange_weak(
+                  credit, credit - 1, std::memory_order_acq_rel)) {
+            discard = true;
+            break;
+          }
+        }
+        if (discard) {
+          // Drop-oldest: this event makes room; it becomes part of the
+          // gap the auditor is told about.
+          consumer_gap += 1 + e->gap_before;
+          dropped_oldest_.fetch_add(1, std::memory_order_relaxed);
+          dropped_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        std::lock_guard<std::mutex> lk(audit_mu_);
+        if (stalled_.exchange(false, std::memory_order_acq_rel)) {
+          // Back from a stall: events were sync-delivered out of order
+          // around the ring — resynchronize before resuming in-order
+          // consumption. (The producer re-arms its own watchdog window:
+          // progress_ already advanced, so the next liveness check resets
+          // watch_since_ — watch state stays producer-only.)
+          consumer_gap += sync_since_stall_.exchange(
+              0, std::memory_order_relaxed);
+        }
+        Event ev = *e;
+        ev.gap_before += static_cast<u32>(consumer_gap);
+        consumer_gap = 0;
+        deliver(ev);
         continue;
       }
       if (stopping_.load(std::memory_order_acquire) && ring_.empty()) {
         return;
       }
-      std::this_thread::yield();
+      if (++idle < cfg_.spin_before_park) {
+        std::this_thread::yield();
+        continue;
+      }
+      idle = 0;
+      std::unique_lock<std::mutex> lk(park_mu_);
+      parked_.store(true, std::memory_order_seq_cst);
+      if (ring_.empty() && !stopping_.load(std::memory_order_acquire)) {
+        park_cv_.wait_for(lk, cfg_.park_interval);
+      }
+      parked_.store(false, std::memory_order_seq_cst);
     }
   }
 
   Auditor& auditor_;
   AuditContext& ctx_;
+  Config cfg_;
   util::SpscRing<Event> ring_;
   std::thread consumer_;
   std::atomic<bool> stopping_{false};
+
+  // Producer-only state.
+  u32 pending_gap_ = 0;  ///< drops since the last successful push
+  bool wm_fired_ = false;
+  std::size_t wm_slots_ = 0;
+  u64 watch_progress_ = 0;
+  std::chrono::steady_clock::time_point watch_since_{};
+  std::function<void(std::size_t, std::size_t)> watermark_cb_;
+
+  // Shared state.
+  std::atomic<u64> progress_{0};     ///< consumer pops (liveness signal)
+  std::atomic<u32> skip_credit_{0};  ///< drop-oldest discards requested
+  std::atomic<bool> stalled_{false};
+  std::atomic<u64> sync_since_stall_{0};
+  std::atomic<bool> parked_{false};
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  std::mutex audit_mu_;  ///< auditor is single-threaded across modes
+
   std::atomic<u64> enqueued_{0};
   std::atomic<u64> dropped_{0};
   std::atomic<u64> audited_{0};
+  std::atomic<u64> dropped_newest_{0};
+  std::atomic<u64> dropped_oldest_{0};
+  std::atomic<u64> dropped_after_stop_{0};
+  std::atomic<u64> dropped_stalled_{0};
+  std::atomic<u64> block_timeouts_{0};
+  std::atomic<u64> sync_delivered_{0};
+  std::atomic<u64> gaps_signalled_{0};
+  std::atomic<u64> watermark_hits_{0};
+  std::atomic<u64> stalls_detected_{0};
+  std::atomic<u64> auditor_faults_{0};
 };
 
 }  // namespace hypertap

@@ -72,10 +72,17 @@ class AuditContext {
   /// Blocking analysis support (§V-B): freeze the VM while auditing.
   void pause_vm(SimTime duration) { hv_.pause_guest(duration); }
 
+  /// Simulated time, for auditors that must re-baseline out-of-band
+  /// (resync after event loss). 0 when no clock is wired (bare contexts
+  /// in unit tests).
+  SimTime now() const { return clock_ ? clock_() : 0; }
+  void set_clock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+
  private:
   hv::Hypervisor& hv_;
   const OsStateDerivation& derivation_;
   AlarmSink& alarms_;
+  std::function<SimTime()> clock_;
 };
 
 class Auditor {
@@ -89,6 +96,20 @@ class Auditor {
 
   /// Called for every matching event.
   virtual void on_event(const Event& e, AuditContext& ctx) = 0;
+
+  /// Called when the delivery path lost events this auditor had subscribed
+  /// to (`missed` is a lower bound): ring overflow, a quarantine window, or
+  /// a detected sequence gap. Default: fall back to a full resync, since a
+  /// stateful auditor cannot know which updates it missed.
+  virtual void on_gap(u64 missed, AuditContext& ctx) {
+    (void)missed;
+    resync(ctx);
+  }
+
+  /// Rebuild shadow state from the trusted OS-state derivation so the
+  /// auditor continues from a known-good baseline instead of silently
+  /// stale state. Default: stateless auditor, nothing to rebuild.
+  virtual void resync(AuditContext& ctx) { (void)ctx; }
 
   /// Called once when the auditor is registered.
   virtual void on_attach(AuditContext& ctx) { (void)ctx; }

@@ -48,6 +48,14 @@ struct Event {
   int vcpu = 0;
   SimTime time = 0;
 
+  /// Monotonic per-source sequence number (1-based; 0 = unsequenced).
+  /// Stamped by the Event Forwarder on the exit path; consumers use gaps
+  /// in the sequence to detect lost events and trigger auditor resync.
+  u64 seq = 0;
+  /// Number of events this source dropped immediately before this one
+  /// (in-band loss marker set by overflowing channels; 0 = no loss).
+  u32 gap_before = 0;
+
   // Architectural-state snapshot (the root of trust): captured from the
   // VMCS guest-state area at exit time.
   u32 reg_cr3 = 0;

@@ -81,8 +81,8 @@ void EventForwarder::emit(arch::Vcpu& vcpu, Event e) {
   e.reg_tr = vcpu.regs().tr;
   e.reg_rsp = vcpu.regs().rsp;
   if ((mask_ & event_bit(e.kind)) == 0) return;
+  e.seq = ++forwarded_;
   vcpu.advance_cycles(cfg_.forward_cycles);
-  ++forwarded_;
   em_.deliver(vcpu, e, ctx_);
 }
 

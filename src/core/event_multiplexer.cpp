@@ -1,2 +1,120 @@
-// EventMultiplexer is header-only; this TU anchors it in the library.
 #include "core/event_multiplexer.hpp"
+
+namespace hypertap {
+
+// Precondition: r.breaker.allow(now) returned true (call admitted).
+bool EventMultiplexer::supervised_call(Registration& r, const Event* e,
+                                       SimTime now, AuditContext& ctx) {
+  try {
+    // Re-admission (half-open probe) with losses outstanding: let the
+    // auditor resynchronize from trusted state before it judges anything.
+    if (r.missed_while_open > 0) {
+      const u64 missed = r.missed_while_open;
+      r.missed_while_open = 0;
+      ++r.resyncs;
+      r.auditor->on_gap(missed, ctx);
+    }
+    // In-band loss marker from an upstream channel (ring overflow).
+    if (e != nullptr && e->gap_before > 0) {
+      ++r.resyncs;
+      r.auditor->on_gap(e->gap_before, ctx);
+    }
+    if (e != nullptr) {
+      r.auditor->on_event(*e, ctx);
+    } else {
+      r.auditor->on_timer(now, ctx);
+    }
+    if (r.breaker.on_success()) {
+      ctx.alarms().raise(Alarm{now, "monitor", "auditor-recovered",
+                               r.auditor->name() +
+                                   " probe succeeded; breaker closed",
+                               -1, 0});
+    }
+    return true;
+  } catch (const std::exception& ex) {
+    record_fault(r, ex.what(), now, ctx);
+    return false;
+  } catch (...) {
+    record_fault(r, "non-standard exception", now, ctx);
+    return false;
+  }
+}
+
+void EventMultiplexer::record_fault(Registration& r, const char* what,
+                                    SimTime now, AuditContext& ctx) {
+  r.last_fault = what;
+  ++r.faults;
+  ++total_faults_;
+  if (r.breaker.on_failure(now)) {
+    ctx.alarms().raise(Alarm{now, "monitor", "auditor-quarantined",
+                             r.auditor->name() + ": " + r.last_fault, -1, 0});
+  }
+}
+
+void EventMultiplexer::deliver(arch::Vcpu& vcpu, const Event& e,
+                               AuditContext& ctx) {
+  if (rhc_ != nullptr && ++sample_counter_ >= rhc_->config().sample_every) {
+    sample_counter_ = 0;
+    rhc_->on_sample(e.time);
+  }
+  const EventMask bit = event_bit(e.kind);
+  for (auto& r : regs_) {
+    if ((r.auditor->subscriptions() & bit) == 0) continue;
+    if (cfg_.supervise && !r.breaker.allow(e.time)) {
+      // Quarantined: suppress (and count — the probe's on_gap replays it).
+      ++r.missed_while_open;
+      ++r.missed_total;
+      ++total_suppressed_;
+      continue;
+    }
+    ++r.delivered;
+    ++total_delivered_;
+    if (r.auditor->blocking()) {
+      vcpu.advance_cycles(r.auditor->audit_cost_cycles());
+    } else {
+      vcpu.advance_cycles(cfg_.enqueue_cycles);
+      r.container_cycles += r.auditor->audit_cost_cycles();
+    }
+    if (!cfg_.supervise) {
+      r.auditor->on_event(e, ctx);
+      continue;
+    }
+    // Fast path: healthy auditor, nothing to replay. The try/catch costs
+    // nothing until a throw; the cold fault/recovery paths stay
+    // out-of-line in supervised_call/record_fault.
+    if (r.breaker.state() == resilience::BreakerState::kClosed &&
+        r.missed_while_open == 0 && e.gap_before == 0) [[likely]] {
+      try {
+        r.auditor->on_event(e, ctx);
+        r.breaker.on_success();  // closed stays closed; resets the streak
+      } catch (const std::exception& ex) {
+        record_fault(r, ex.what(), e.time, ctx);
+      } catch (...) {
+        record_fault(r, "non-standard exception", e.time, ctx);
+      }
+      continue;
+    }
+    supervised_call(r, &e, e.time, ctx);
+  }
+}
+
+bool EventMultiplexer::dispatch_timer(Auditor* a, SimTime now,
+                                      AuditContext& ctx) {
+  for (auto& r : regs_) {
+    if (r.auditor != a) continue;
+    if (!cfg_.supervise) {
+      a->on_timer(now, ctx);
+      return true;
+    }
+    // A quarantined auditor's timer is suppressed, but the tick still
+    // drives the open -> half-open transition so auditors that are mostly
+    // timer-driven (GOSHD) can be probed and recover without waiting for
+    // a subscribed event.
+    if (!r.breaker.allow(now)) return false;
+    return supervised_call(r, nullptr, now, ctx);
+  }
+  // Not registered (racing removal): drop the tick.
+  return false;
+}
+
+}  // namespace hypertap

@@ -7,15 +7,28 @@
 // tracked per auditor. Blocking auditors execute before the guest resumes
 // and their audit cost is charged to the vCPU (the trade-off Fig. 6's
 // spamming attack motivates).
+//
+// The multiplexer also supervises the auditors (monitor-side fault
+// tolerance): an auditor exception is absorbed here — never unwinding into
+// the exit path — counted per registration, and after a run of consecutive
+// failures the auditor is quarantined behind a circuit breaker. While open,
+// its subscribed events are suppressed (and counted); after a cooldown a
+// half-open probe re-admits it, first replaying the loss through
+// Auditor::on_gap so the auditor resynchronizes from trusted state before
+// judging new events. Quarantine entry/exit raise "monitor"-sourced alarms
+// through the AlarmSink, so monitor health is observable in the same
+// channel as guest health.
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "arch/vcpu.hpp"
 #include "core/auditor.hpp"
 #include "core/event.hpp"
 #include "core/rhc.hpp"
+#include "resilience/circuit_breaker.hpp"
 
 namespace hypertap {
 
@@ -24,6 +37,10 @@ class EventMultiplexer {
   struct Config {
     /// Per-auditor non-blocking enqueue cost, charged to the guest.
     Cycles enqueue_cycles = 60;
+    /// Catch auditor exceptions and quarantine repeat offenders. Off =
+    /// legacy fail-fast behaviour (exceptions unwind to the caller).
+    bool supervise = true;
+    resilience::CircuitBreaker::Config breaker;
   };
 
   explicit EventMultiplexer(Config cfg) : cfg_(cfg) {}
@@ -34,10 +51,21 @@ class EventMultiplexer {
     u64 delivered = 0;
     /// Container CPU spent auditing (non-blocking analysis time).
     Cycles container_cycles = 0;
+
+    // ---- Supervision state (monitor-side fault tolerance) ----
+    resilience::CircuitBreaker breaker;
+    u64 faults = 0;             ///< exceptions absorbed from this auditor
+    u64 missed_while_open = 0;  ///< subscribed events suppressed right now
+    u64 missed_total = 0;       ///< lifetime suppressed events
+    u64 resyncs = 0;            ///< on_gap notifications delivered
+    std::string last_fault;     ///< what() of the most recent exception
   };
 
   void register_auditor(Auditor* a, AuditContext& ctx) {
-    regs_.push_back(Registration{a});
+    Registration r;
+    r.auditor = a;
+    r.breaker = resilience::CircuitBreaker(cfg_.breaker);
+    regs_.push_back(std::move(r));
     a->on_attach(ctx);
   }
 
@@ -55,24 +83,17 @@ class EventMultiplexer {
   void set_rhc(Rhc* rhc) { rhc_ = rhc; }
 
   /// Fan an event out (called by the Event Forwarder on the exit path).
-  void deliver(arch::Vcpu& vcpu, const Event& e, AuditContext& ctx) {
-    if (rhc_ != nullptr && ++sample_counter_ >= rhc_->config().sample_every) {
-      sample_counter_ = 0;
-      rhc_->on_sample(e.time);
-    }
-    const EventMask bit = event_bit(e.kind);
-    for (auto& r : regs_) {
-      if ((r.auditor->subscriptions() & bit) == 0) continue;
-      ++r.delivered;
-      ++total_delivered_;
-      if (r.auditor->blocking()) {
-        vcpu.advance_cycles(r.auditor->audit_cost_cycles());
-      } else {
-        vcpu.advance_cycles(cfg_.enqueue_cycles);
-        r.container_cycles += r.auditor->audit_cost_cycles();
-      }
-      r.auditor->on_event(e, ctx);
-    }
+  void deliver(arch::Vcpu& vcpu, const Event& e, AuditContext& ctx);
+
+  /// Supervised periodic-callback dispatch (the HyperTap timer chain).
+  /// Returns false when the tick was suppressed by an open breaker.
+  bool dispatch_timer(Auditor* a, SimTime now, AuditContext& ctx);
+
+  /// Is this auditor currently quarantined (breaker not closed)?
+  bool quarantined(const Auditor* a) const {
+    const Registration* r = find(a);
+    return r != nullptr &&
+           r->breaker.state() != resilience::BreakerState::kClosed;
   }
 
   /// Drive RHC sampling for exits that decode to no subscribed event (the
@@ -85,14 +106,33 @@ class EventMultiplexer {
   }
 
   const std::vector<Registration>& registrations() const { return regs_; }
+  const Registration* find(const Auditor* a) const {
+    for (const auto& r : regs_)
+      if (r.auditor == a) return &r;
+    return nullptr;
+  }
   u64 total_delivered() const { return total_delivered_; }
+  u64 total_faults() const { return total_faults_; }
+  u64 total_suppressed() const { return total_suppressed_; }
 
  private:
+  /// One supervised call into the auditor (event when `e` != nullptr,
+  /// timer tick otherwise). Precondition: the breaker admitted the call.
+  /// Returns true when the call completed normally.
+  bool supervised_call(Registration& r, const Event* e, SimTime now,
+                       AuditContext& ctx);
+  /// Cold path shared by deliver()'s fast path and supervised_call():
+  /// count the absorbed exception and quarantine on threshold.
+  void record_fault(Registration& r, const char* what, SimTime now,
+                    AuditContext& ctx);
+
   Config cfg_;
   std::vector<Registration> regs_;
   Rhc* rhc_ = nullptr;
   u32 sample_counter_ = 0;
   u64 total_delivered_ = 0;
+  u64 total_faults_ = 0;
+  u64 total_suppressed_ = 0;
 };
 
 }  // namespace hypertap

@@ -7,6 +7,7 @@ HyperTap::HyperTap(os::Vm& vm, Options opts)
       derivation_(vm.machine.hypervisor(), vm.kernel.layout()),
       ctx_(vm.machine.hypervisor(), derivation_, alarms_),
       em_(opts.multiplexer) {
+  ctx_.set_clock([&m = vm.machine]() { return m.now(); });
   forwarder_ = std::make_unique<EventForwarder>(
       vm.machine.hypervisor(), em_, ctx_, opts.forwarder);
   if (opts.enable_rhc) {
@@ -31,7 +32,9 @@ void HyperTap::add_auditor(std::unique_ptr<Auditor> auditor) {
         if (owned.get() == a) alive = true;
       }
       if (!alive) return false;
-      a->on_timer(vm_.machine.now(), ctx_);
+      // Supervised dispatch: a throwing or quarantined auditor must not
+      // take the timer wheel (or the simulation loop) down with it.
+      em_.dispatch_timer(a, vm_.machine.now(), ctx_);
       return true;
     });
   }

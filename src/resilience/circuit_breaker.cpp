@@ -1,0 +1,14 @@
+#include "resilience/circuit_breaker.hpp"
+
+namespace hypertap::resilience {
+
+const char* to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+}  // namespace hypertap::resilience

@@ -1,0 +1,106 @@
+// Circuit breaker for monitor-side fault tolerance.
+//
+// The paper's reliability pillars (GOSHD/HRKD/PED) assume the monitoring
+// pipeline itself never fails; production does not. A crashing auditor must
+// not unwind through the Event Multiplexer into the hypervisor exit path —
+// instead it is quarantined behind this breaker:
+//
+//   closed ──(N consecutive failures)──► open ──(cooldown)──► half-open
+//     ▲                                                           │
+//     └──────────────(probe succeeds)◄──────────────┐  (probe fails: reopen)
+//
+// All times are simulated time (the breaker is driven from the exit path
+// and auditor timers, both of which carry SimTime).
+#pragma once
+
+#include "util/types.hpp"
+
+namespace hypertap::resilience {
+
+using namespace hvsim;
+
+enum class BreakerState : u8 { kClosed, kOpen, kHalfOpen };
+
+const char* to_string(BreakerState s);
+
+class CircuitBreaker {
+ public:
+  struct Config {
+    /// Consecutive failures that trip the breaker open.
+    u32 failure_threshold = 3;
+    /// Open -> half-open (admit one probe) after this long.
+    SimTime cooldown = 500'000'000;  // 0.5 s
+  };
+
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(Config cfg) : cfg_(cfg) {}
+
+  BreakerState state() const { return state_; }
+  u32 consecutive_failures() const { return consecutive_failures_; }
+  u64 trips() const { return trips_; }
+  u64 failures() const { return failures_; }
+  SimTime opened_at() const { return opened_at_; }
+
+  /// May this call proceed? Handles the open -> half-open transition as a
+  /// side effect: the first admission after the cooldown is the probe.
+  bool allow(SimTime now) {
+    switch (state_) {
+      case BreakerState::kClosed:
+        return true;
+      case BreakerState::kOpen:
+        if (now - opened_at_ >= cfg_.cooldown) {
+          state_ = BreakerState::kHalfOpen;
+          return true;  // the probe
+        }
+        return false;
+      case BreakerState::kHalfOpen:
+        // One probe in flight at a time; the supervisor is single-threaded
+        // per breaker, so a second allow() before the probe's verdict means
+        // the probe succeeded synchronously — treat as admitted.
+        return true;
+    }
+    return true;
+  }
+
+  /// The admitted call completed normally. Returns true when this closes a
+  /// previously tripped breaker (recovery — caller raises the all-clear).
+  bool on_success() {
+    consecutive_failures_ = 0;
+    if (state_ != BreakerState::kClosed) {
+      state_ = BreakerState::kClosed;
+      return true;
+    }
+    return false;
+  }
+
+  /// The admitted call threw. Returns true when this trips the breaker
+  /// open (quarantine starts — caller raises the monitor-health alarm).
+  bool on_failure(SimTime now) {
+    ++failures_;
+    if (state_ == BreakerState::kHalfOpen) {
+      // Failed probe: straight back to quarantine for another cooldown.
+      state_ = BreakerState::kOpen;
+      opened_at_ = now;
+      ++trips_;
+      return true;
+    }
+    if (++consecutive_failures_ >= cfg_.failure_threshold &&
+        state_ == BreakerState::kClosed) {
+      state_ = BreakerState::kOpen;
+      opened_at_ = now;
+      ++trips_;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  Config cfg_;
+  BreakerState state_ = BreakerState::kClosed;
+  u32 consecutive_failures_ = 0;
+  u64 failures_ = 0;
+  u64 trips_ = 0;
+  SimTime opened_at_ = 0;
+};
+
+}  // namespace hypertap::resilience

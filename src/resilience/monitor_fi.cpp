@@ -1,0 +1,331 @@
+#include "resilience/monitor_fi.hpp"
+
+#include <algorithm>
+
+#include "attacks/rootkit.hpp"
+#include "attacks/scenario.hpp"
+#include "auditors/goshd.hpp"
+#include "auditors/hrkd.hpp"
+#include "auditors/ped.hpp"
+#include "core/hypertap.hpp"
+#include "fi/locations.hpp"
+#include "os/kernel.hpp"
+#include "os/syscalls.hpp"
+
+namespace hypertap::resilience {
+
+const char* to_string(MonitorFaultKind k) {
+  switch (k) {
+    case MonitorFaultKind::kNone: return "none";
+    case MonitorFaultKind::kThrow: return "throw";
+    case MonitorFaultKind::kStall: return "stall";
+    case MonitorFaultKind::kCorruptEvent: return "corrupt-event";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Steady background activity: alternating compute and I/O so every
+/// auditor keeps receiving its subscribed events.
+class Busy final : public os::Workload {
+ public:
+  os::Action next(os::TaskCtx&) override {
+    if ((i_ ^= 1) != 0) return os::ActCompute{400'000};
+    return os::ActSyscall{os::SYS_WRITE, 3, 1024};
+  }
+  std::string name() const override { return "busy"; }
+  int i_ = 0;
+};
+
+/// Repeatedly crosses fault location 0 (hangs once the hook arms it).
+class HitLoc final : public os::Workload {
+ public:
+  os::Action next(os::TaskCtx&) override { return os::ActKernelCall{0}; }
+  std::string name() const override { return "hitloc"; }
+};
+
+class FaultAtZero final : public os::LocationHook {
+ public:
+  os::FaultClass on_location(u16 loc, u32) override {
+    return loc == 0 && armed_ ? os::FaultClass::kMissingRelease
+                              : os::FaultClass::kNone;
+  }
+  void arm() { armed_ = true; }
+
+ private:
+  bool armed_ = false;
+};
+
+/// Force `cycles` quarantine/recovery rounds on the given wrapped
+/// auditors, recording per-cycle quarantine and recovery latency from the
+/// monitor-health alarm stream.
+void force_crash_cycles(os::Vm& vm, HyperTap& ht,
+                        const std::vector<FaultyAuditor*>& targets,
+                        const CampaignConfig& cfg, CampaignResult& res) {
+  auto count_of = [&ht](const char* type) {
+    return ht.alarms().of_type(type).size();
+  };
+  for (u32 cycle = 0; cycle < cfg.crash_cycles; ++cycle) {
+    const std::size_t q0 = count_of("auditor-quarantined");
+    const std::size_t r0 = count_of("auditor-recovered");
+    const SimTime armed_at = vm.machine.now();
+    for (FaultyAuditor* t : targets) {
+      t->arm(MonitorFaultSpec{MonitorFaultKind::kThrow,
+                              cfg.failure_threshold,
+                              std::chrono::microseconds{0}, cfg.seed});
+    }
+    // Run until every target has been quarantined (bounded).
+    for (int step = 0; step < 40; ++step) {
+      vm.machine.run_for(100'000'000);
+      const bool all_q = std::all_of(
+          targets.begin(), targets.end(), [&ht](FaultyAuditor* t) {
+            return ht.multiplexer().quarantined(t);
+          });
+      if (all_q) break;
+    }
+    const auto quarantined = ht.alarms().of_type("auditor-quarantined");
+    for (std::size_t i = q0; i < quarantined.size(); ++i) {
+      res.quarantine_latency.push_back(quarantined[i].time - armed_at);
+    }
+    // Run until every target has recovered (cooldown + probe, bounded).
+    for (int step = 0; step < 60; ++step) {
+      vm.machine.run_for(100'000'000);
+      const bool none_q = std::none_of(
+          targets.begin(), targets.end(), [&ht](FaultyAuditor* t) {
+            return ht.multiplexer().quarantined(t);
+          });
+      if (none_q && count_of("auditor-recovered") >= r0 + targets.size())
+        break;
+    }
+    const auto recovered = ht.alarms().of_type("auditor-recovered");
+    const SimTime q_at =
+        quarantined.size() > q0 ? quarantined[q0].time : armed_at;
+    for (std::size_t i = r0; i < recovered.size(); ++i) {
+      res.recovery_latency.push_back(recovered[i].time - q_at);
+    }
+  }
+}
+
+SimTime last_alarm_time(const HyperTap& ht, const char* type) {
+  SimTime t = -1;
+  for (const auto& a : ht.alarms().all()) {
+    if (a.type == type) t = std::max(t, a.time);
+  }
+  return t;
+}
+
+bool detected_after(const HyperTap& ht, const char* type, SimTime after) {
+  for (const auto& a : ht.alarms().all()) {
+    if (a.type == type && a.time > after) return true;
+  }
+  return false;
+}
+
+void absorb_multiplexer_stats(HyperTap& ht, CampaignResult& res) {
+  const auto& em = ht.multiplexer();
+  res.faults_absorbed += em.total_faults();
+  for (const auto& r : em.registrations()) {
+    res.resyncs += r.resyncs;
+    if (r.breaker.state() != BreakerState::kClosed) {
+      res.all_breakers_closed = false;
+    }
+  }
+}
+
+}  // namespace
+
+CampaignResult run_monitor_campaign(const CampaignConfig& cfg) {
+  CampaignResult res;
+  res.all_breakers_closed = true;
+
+  HyperTap::Options opts;
+  opts.multiplexer.breaker.failure_threshold = cfg.failure_threshold;
+  opts.multiplexer.breaker.cooldown = cfg.cooldown;
+
+  // ---- Phase A: security auditors (HRKD + HT-Ninja) under crashes, then
+  // the Table II / Fig. 6 attacks after recovery. ----
+  {
+    hv::MachineConfig mc;
+    mc.seed = cfg.seed;
+    os::KernelConfig kc;
+    os::Vm vm(mc, kc);
+    HyperTap ht(vm, opts);
+
+    auto hrkd_owned = std::make_unique<auditors::Hrkd>(
+        auditors::Hrkd::Config{},
+        [&k = vm.kernel]() { return k.in_guest_view_pids(); });
+    auditors::Hrkd* hrkd = hrkd_owned.get();
+    auto hrkd_fi = std::make_unique<FaultyAuditor>(std::move(hrkd_owned));
+    FaultyAuditor* hrkd_w = hrkd_fi.get();
+    ht.add_auditor(std::move(hrkd_fi));
+
+    auto ninja_fi = std::make_unique<FaultyAuditor>(
+        std::make_unique<auditors::HtNinja>());
+    FaultyAuditor* ninja_w = ninja_fi.get();
+    ht.add_auditor(std::move(ninja_fi));
+
+    vm.kernel.boot();
+    vm.kernel.spawn("victim", 1000, 1000, 1, attacks::make_idle_spam());
+    vm.kernel.spawn("app", 1000, 1000, 1, std::make_unique<Busy>());
+    vm.machine.run_for(1'000'000'000);
+
+    force_crash_cycles(vm, ht, {hrkd_w, ninja_w}, cfg, res);
+
+    if (cfg.inject_corruption) {
+      // Corrupted events must be shrugged off (invalid derivations), not
+      // crash the pipeline or fake detections.
+      hrkd_w->arm(MonitorFaultSpec{MonitorFaultKind::kCorruptEvent, 50,
+                                   std::chrono::microseconds{0}, cfg.seed});
+      ninja_w->arm(MonitorFaultSpec{MonitorFaultKind::kCorruptEvent, 50,
+                                    std::chrono::microseconds{0}, cfg.seed});
+      vm.machine.run_for(500'000'000);
+    }
+
+    res.false_positive = detected_after(ht, "hidden-task", -1) ||
+                         detected_after(ht, "priv-escalation", -1);
+
+    const SimTime recovered_at = last_alarm_time(ht, "auditor-recovered");
+
+    // Attacks, strictly after the last recovery: hide a busy process
+    // (HRKD's Table II scenario) and run the transient escalation attack
+    // (HT-Ninja's Fig. 6 scenario).
+    const u32 mal = vm.kernel.spawn("malware", 1000, 1000, 1,
+                                    std::make_unique<Busy>());
+    vm.machine.run_for(1'000'000'000);
+    attacks::Rootkit rk(vm.kernel, attacks::rootkit_by_name("FU"));
+    rk.hide(mal);
+
+    attacks::AttackPlan plan;
+    plan.rootkit = attacks::rootkit_by_name("Ivyl's Rootkit");
+    attacks::AttackDriver attack(vm.kernel, plan);
+    attack.launch();
+    vm.machine.run_for(2'500'000'000);
+
+    res.hrkd_detected_post_recovery =
+        detected_after(ht, "hidden-task", recovered_at) &&
+        hrkd->hidden_pids().count(mal) != 0;
+    res.ped_detected_post_recovery =
+        detected_after(ht, "priv-escalation", recovered_at);
+
+    res.quarantines += ht.alarms().of_type("auditor-quarantined").size();
+    res.recoveries += ht.alarms().of_type("auditor-recovered").size();
+    absorb_multiplexer_stats(ht, res);
+  }
+
+  // ---- Phase B: the reliability auditor (GOSHD) under crashes, then an
+  // injected kernel hang after recovery. ----
+  {
+    const auto locs = fi::generate_locations();
+    hv::MachineConfig mc;
+    mc.num_vcpus = 2;
+    mc.seed = cfg.seed ^ 0xB0B0B0B0ull;
+    os::KernelConfig kc;
+    os::Vm vm(mc, kc);
+    vm.kernel.register_locations(locs);
+    FaultAtZero hook;
+    vm.kernel.set_location_hook(&hook);
+
+    HyperTap ht(vm, opts);
+    auditors::Goshd::Config gcfg;
+    gcfg.threshold = cfg.goshd_threshold;
+    auto goshd_fi = std::make_unique<FaultyAuditor>(
+        std::make_unique<auditors::Goshd>(vm.machine.num_vcpus(), gcfg));
+    FaultyAuditor* goshd_w = goshd_fi.get();
+    ht.add_auditor(std::move(goshd_fi));
+
+    vm.kernel.boot();
+    vm.kernel.spawn("busy0", 1, 1, 1, std::make_unique<Busy>(), 0, 0);
+    vm.kernel.spawn("busy1", 1, 1, 1, std::make_unique<Busy>(), 0, 1);
+    vm.machine.run_for(1'000'000'000);
+
+    force_crash_cycles(vm, ht, {goshd_w}, cfg, res);
+
+    const SimTime recovered_at = last_alarm_time(ht, "auditor-recovered");
+    if (detected_after(ht, "vcpu-hang", -1)) res.false_positive = true;
+
+    // Hang both vCPUs through the leaked-lock fault at location 0.
+    hook.arm();
+    vm.kernel.spawn("t0", 1, 1, 1, std::make_unique<HitLoc>(), 0, 0);
+    vm.kernel.spawn("t1", 1, 1, 1, std::make_unique<HitLoc>(), 0, 1);
+    vm.machine.run_for(cfg.goshd_threshold + 4'000'000'000);
+
+    res.goshd_detected_post_recovery =
+        detected_after(ht, "vcpu-hang", recovered_at);
+
+    res.quarantines += ht.alarms().of_type("auditor-quarantined").size();
+    res.recoveries += ht.alarms().of_type("auditor-recovered").size();
+    absorb_multiplexer_stats(ht, res);
+  }
+
+  return res;
+}
+
+namespace {
+
+class CountingInner final : public Auditor {
+ public:
+  std::string name() const override { return "counting"; }
+  EventMask subscriptions() const override {
+    return event_bit(EventKind::kSyscall);
+  }
+  void on_event(const Event&, AuditContext&) override { ++n_; }
+  u64 n() const { return n_; }
+
+ private:
+  u64 n_ = 0;  ///< AsyncAuditorChannel serializes delivery (audit lock)
+};
+
+}  // namespace
+
+ChannelStressResult run_channel_stress(const ChannelStressConfig& cfg) {
+  ChannelStressResult res;
+
+  hv::MachineConfig mc;
+  os::KernelConfig kc;
+  os::Vm vm(mc, kc);
+  HyperTap ht(vm);
+  vm.kernel.boot();
+
+  auto inner = std::make_unique<CountingInner>();
+  CountingInner* counter = inner.get();
+  FaultyAuditor fa(std::move(inner));
+  if (cfg.audit_stall.count() > 0) {
+    fa.arm(MonitorFaultSpec{MonitorFaultKind::kStall,
+                            cfg.stall_burst == 0 ? cfg.events
+                                                 : cfg.stall_burst,
+                            cfg.audit_stall, 1});
+  }
+
+  AsyncAuditorChannel::Config ccfg;
+  ccfg.capacity = cfg.ring_capacity;
+  ccfg.policy = cfg.policy;
+  ccfg.drain_deadline = cfg.drain_deadline;
+  AsyncAuditorChannel chan(fa, ht.context(), ccfg);
+
+  Event e;
+  e.kind = EventKind::kSyscall;
+  for (u64 i = 0; i < cfg.events; ++i) {
+    e.time = static_cast<SimTime>(i);
+    e.seq = i + 1;
+    chan.publish(e);
+    if (cfg.publish_gap.count() > 0) {
+      std::this_thread::sleep_for(cfg.publish_gap);
+    }
+  }
+  // Give a stalled consumer a chance to come back before shutdown.
+  for (int i = 0; i < 200 && chan.consumer_stalled(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const bool still_stalled = chan.consumer_stalled();
+  chan.stop();
+
+  res.stats = chan.stats();
+  res.inner_events = counter->n();
+  res.gaps_seen = fa.gaps_seen();
+  res.stall_detected = res.stats.stalls_detected > 0;
+  res.consumer_recovered = res.stall_detected && !still_stalled;
+  return res;
+}
+
+}  // namespace hypertap::resilience

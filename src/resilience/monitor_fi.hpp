@@ -1,0 +1,198 @@
+// Monitor-side fault injection (the `src/fi` idea aimed at the monitor
+// itself): the paper's campaign injects faults into the *guest* and asks
+// whether the monitor notices; this harness injects faults into the
+// *monitoring pipeline* — throwing auditors, stalled auditing containers,
+// corrupted events, forced ring overflows — and asks whether the pipeline
+// survives, quarantines, resynchronizes, and still detects the paper's
+// attack scenarios afterwards.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/auditor.hpp"
+#include "core/async_channel.hpp"
+#include "util/rng.hpp"
+
+namespace hypertap::resilience {
+
+enum class MonitorFaultKind : u8 {
+  kNone,
+  kThrow,         ///< auditor throws from on_event (crash)
+  kStall,         ///< auditor wedges in on_event (wall-clock sleep)
+  kCorruptEvent,  ///< event fields scrambled before the auditor sees them
+};
+const char* to_string(MonitorFaultKind k);
+
+/// The exception type injected crashes throw.
+struct MonitorFault : std::runtime_error {
+  explicit MonitorFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct MonitorFaultSpec {
+  MonitorFaultKind kind = MonitorFaultKind::kThrow;
+  /// Number of consecutive subscribed events affected once armed.
+  u64 burst = 3;
+  /// kStall: wall-clock wedge per affected event.
+  std::chrono::microseconds stall{0};
+  /// kCorruptEvent scrambling seed.
+  u64 seed = 1;
+};
+
+/// Decorator: wraps a real auditor and injects monitor faults on the
+/// delivery path while transparently forwarding everything else —
+/// including on_gap/resync, so recovery flows into the wrapped auditor.
+class FaultyAuditor final : public Auditor {
+ public:
+  explicit FaultyAuditor(std::unique_ptr<Auditor> inner)
+      : inner_(std::move(inner)), rng_(0xF1F1F1F1ull) {}
+
+  /// Arm: the next `spec.burst` subscribed events suffer `spec.kind`.
+  void arm(MonitorFaultSpec spec) {
+    spec_ = spec;
+    armed_ = spec.burst;
+    rng_ = util::Rng(spec.seed ^ 0xF1F1F1F1ull);
+  }
+
+  std::string name() const override { return inner_->name(); }
+  EventMask subscriptions() const override { return inner_->subscriptions(); }
+  SimTime timer_period() const override { return inner_->timer_period(); }
+  bool blocking() const override { return inner_->blocking(); }
+  Cycles audit_cost_cycles() const override {
+    return inner_->audit_cost_cycles();
+  }
+  void on_attach(AuditContext& ctx) override { inner_->on_attach(ctx); }
+  void on_timer(SimTime now, AuditContext& ctx) override {
+    inner_->on_timer(now, ctx);
+  }
+  void on_gap(u64 missed, AuditContext& ctx) override {
+    ++gaps_seen_;
+    inner_->on_gap(missed, ctx);
+  }
+  void resync(AuditContext& ctx) override {
+    ++resyncs_seen_;
+    inner_->resync(ctx);
+  }
+
+  void on_event(const Event& e, AuditContext& ctx) override {
+    ++events_;
+    if (armed_ > 0) {
+      --armed_;
+      ++injected_;
+      switch (spec_.kind) {
+        case MonitorFaultKind::kThrow:
+          throw MonitorFault("injected auditor crash");
+        case MonitorFaultKind::kStall:
+          std::this_thread::sleep_for(spec_.stall);
+          break;
+        case MonitorFaultKind::kCorruptEvent: {
+          Event c = e;
+          corrupt(c);
+          inner_->on_event(c, ctx);
+          return;
+        }
+        case MonitorFaultKind::kNone:
+          break;
+      }
+    }
+    inner_->on_event(e, ctx);
+  }
+
+  Auditor& inner() { return *inner_; }
+  u64 events() const { return events_; }
+  u64 injected() const { return injected_; }
+  u64 gaps_seen() const { return gaps_seen_; }
+  u64 resyncs_seen() const { return resyncs_seen_; }
+  bool armed() const { return armed_ > 0; }
+
+ private:
+  void corrupt(Event& e) {
+    // Scramble exactly the fields the stateful auditors key on.
+    e.rsp0 = static_cast<u32>(rng_.next());
+    e.cr3_new = static_cast<u32>(rng_.next());
+    e.sc_nr = static_cast<u8>(rng_.next());
+    e.reg_cr3 = static_cast<u32>(rng_.next());
+  }
+
+  std::unique_ptr<Auditor> inner_;
+  MonitorFaultSpec spec_;
+  u64 armed_ = 0;
+  u64 events_ = 0;
+  u64 injected_ = 0;
+  u64 gaps_seen_ = 0;
+  u64 resyncs_seen_ = 0;
+  util::Rng rng_;
+};
+
+// ------------------------------------------------------------------------
+// Campaign: crash/corrupt the three paper auditors mid-run, verify
+// quarantine + resync + post-recovery detection of the paper scenarios.
+// ------------------------------------------------------------------------
+
+struct CampaignConfig {
+  u64 seed = 1;
+  /// Breaker tuning for the run.
+  u32 failure_threshold = 3;
+  SimTime cooldown = 500'000'000;  // 0.5 s
+  /// Quarantine/recovery cycles forced per auditor before the attacks.
+  u32 crash_cycles = 2;
+  /// Also inject a corruption burst (must be survived without crashing).
+  bool inject_corruption = true;
+  /// GOSHD threshold for the reliability phase (small keeps runs quick).
+  SimTime goshd_threshold = 1'500'000'000;
+};
+
+struct CampaignResult {
+  // Pipeline health.
+  u64 faults_absorbed = 0;  ///< exceptions the multiplexers caught
+  u64 quarantines = 0;      ///< auditor-quarantined alarms raised
+  u64 recoveries = 0;       ///< auditor-recovered alarms raised
+  u64 resyncs = 0;          ///< on_gap notifications delivered
+  bool all_breakers_closed = false;  ///< nothing left quarantined at end
+  bool false_positive = false;  ///< detection alarm before any attack ran
+  // Detection after the last recovery (the paper scenarios still work).
+  bool hrkd_detected_post_recovery = false;
+  bool ped_detected_post_recovery = false;
+  bool goshd_detected_post_recovery = false;
+  // Latency samples (simulated time), one per forced cycle.
+  std::vector<SimTime> quarantine_latency;  ///< fault armed -> quarantined
+  std::vector<SimTime> recovery_latency;    ///< quarantined -> recovered
+};
+
+CampaignResult run_monitor_campaign(const CampaignConfig& cfg);
+
+// ------------------------------------------------------------------------
+// Channel stress: overflow policies + stalled consumer on the real
+// threaded channel.
+// ------------------------------------------------------------------------
+
+struct ChannelStressConfig {
+  AsyncAuditorChannel::OverflowPolicy policy =
+      AsyncAuditorChannel::OverflowPolicy::kDropNewest;
+  std::size_t ring_capacity = 32;
+  u64 events = 20'000;
+  /// Per-event auditor wedge (drives overflow and, when >= the channel's
+  /// drain deadline, the stall watchdog).
+  std::chrono::microseconds audit_stall{20};
+  /// Only the first `stall_burst` events wedge (0 = all of them).
+  u64 stall_burst = 0;
+  std::chrono::milliseconds drain_deadline{50};
+  /// Producer pacing between publishes (lets a stall play out in time).
+  std::chrono::microseconds publish_gap{0};
+};
+
+struct ChannelStressResult {
+  AsyncAuditorChannel::Stats stats;
+  u64 inner_events = 0;   ///< events the wrapped auditor actually saw
+  u64 gaps_seen = 0;      ///< on_gap notifications at the auditor
+  bool stall_detected = false;
+  bool consumer_recovered = false;  ///< channel left degraded mode again
+};
+
+ChannelStressResult run_channel_stress(const ChannelStressConfig& cfg);
+
+}  // namespace hypertap::resilience

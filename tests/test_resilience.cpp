@@ -1,0 +1,478 @@
+// Monitor-side fault tolerance: circuit-breaker supervision in the Event
+// Multiplexer, resync-after-loss in the stateful auditors, overflow
+// policies and the stall watchdog in the async channel, and the end-to-end
+// monitor fault-injection campaign.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "attacks/rootkit.hpp"
+#include "attacks/scenario.hpp"
+#include "auditors/goshd.hpp"
+#include "auditors/hrkd.hpp"
+#include "auditors/ped.hpp"
+#include "core/async_channel.hpp"
+#include "core/hypertap.hpp"
+#include "fi/locations.hpp"
+#include "resilience/circuit_breaker.hpp"
+#include "resilience/monitor_fi.hpp"
+#include "workloads/workload.hpp"
+
+namespace hypertap {
+namespace {
+
+using resilience::BreakerState;
+using resilience::CircuitBreaker;
+using resilience::FaultyAuditor;
+using resilience::MonitorFaultKind;
+using resilience::MonitorFaultSpec;
+
+// ---------------------------------------------------------------------
+// Circuit breaker state machine.
+// ---------------------------------------------------------------------
+
+TEST(CircuitBreaker, TripsAfterConsecutiveFailures) {
+  CircuitBreaker::Config cfg;
+  cfg.failure_threshold = 3;
+  cfg.cooldown = 1000;
+  CircuitBreaker b(cfg);
+
+  EXPECT_TRUE(b.allow(0));
+  EXPECT_FALSE(b.on_failure(10));
+  EXPECT_FALSE(b.on_failure(20));
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_TRUE(b.on_failure(30)) << "third consecutive failure must trip";
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_EQ(b.trips(), 1u);
+
+  // Quarantined until the cooldown elapses.
+  EXPECT_FALSE(b.allow(31));
+  EXPECT_FALSE(b.allow(1029));
+  // First admission after the cooldown is the half-open probe.
+  EXPECT_TRUE(b.allow(1030));
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+  EXPECT_TRUE(b.on_success()) << "closing a tripped breaker reports recovery";
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, FailedProbeReopens) {
+  CircuitBreaker::Config cfg;
+  cfg.failure_threshold = 2;
+  cfg.cooldown = 1000;
+  CircuitBreaker b(cfg);
+
+  b.on_failure(0);
+  ASSERT_TRUE(b.on_failure(1));
+  ASSERT_TRUE(b.allow(1001));  // probe
+  EXPECT_TRUE(b.on_failure(1001)) << "failed probe re-quarantines";
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_EQ(b.trips(), 2u);
+  // A fresh cooldown starts from the failed probe.
+  EXPECT_FALSE(b.allow(1500));
+  EXPECT_TRUE(b.allow(2001));
+  EXPECT_TRUE(b.on_success());
+  EXPECT_EQ(b.consecutive_failures(), 0u);
+}
+
+TEST(CircuitBreaker, SuccessResetsConsecutiveCount) {
+  CircuitBreaker::Config cfg;
+  cfg.failure_threshold = 3;
+  CircuitBreaker b(cfg);
+  b.on_failure(0);
+  b.on_failure(1);
+  EXPECT_FALSE(b.on_success()) << "closed stays closed: no recovery alarm";
+  b.on_failure(2);
+  b.on_failure(3);
+  EXPECT_EQ(b.state(), BreakerState::kClosed)
+      << "non-consecutive failures must not trip";
+  EXPECT_TRUE(b.on_failure(4));
+}
+
+// ---------------------------------------------------------------------
+// Event Multiplexer supervision.
+// ---------------------------------------------------------------------
+
+class CountingAuditor final : public Auditor {
+ public:
+  std::string name() const override { return "counting"; }
+  EventMask subscriptions() const override {
+    return event_bit(EventKind::kSyscall) |
+           event_bit(EventKind::kThreadSwitch);
+  }
+  void on_event(const Event& e, AuditContext&) override {
+    ++events_;
+    EXPECT_GT(e.seq, last_seq_) << "forwarder seq must be monotonic";
+    last_seq_ = e.seq;
+  }
+  u64 events() const { return events_; }
+
+ private:
+  u64 events_ = 0;
+  u64 last_seq_ = 0;
+};
+
+class Busy final : public os::Workload {
+ public:
+  os::Action next(os::TaskCtx&) override {
+    if ((i_ ^= 1) != 0) return os::ActCompute{400'000};
+    return os::ActSyscall{os::SYS_WRITE, 3, 1024};
+  }
+  std::string name() const override { return "busy"; }
+  int i_ = 0;
+};
+
+struct SupervisionFixture {
+  explicit SupervisionFixture(HyperTap::Options opts) : ht(vm, opts) {
+    auto faulty_owned = std::make_unique<FaultyAuditor>(
+        std::make_unique<CountingAuditor>());
+    faulty = faulty_owned.get();
+    ht.add_auditor(std::move(faulty_owned));
+    auto sibling_owned = std::make_unique<CountingAuditor>();
+    sibling = sibling_owned.get();
+    ht.add_auditor(std::move(sibling_owned));
+    vm.kernel.boot();
+    vm.kernel.spawn("app", 1000, 1000, 1, std::make_unique<Busy>());
+  }
+  static HyperTap::Options fast_breaker() {
+    HyperTap::Options o;
+    o.multiplexer.breaker.failure_threshold = 3;
+    o.multiplexer.breaker.cooldown = 300'000'000;  // 0.3 s
+    return o;
+  }
+  os::Vm vm;
+  HyperTap ht;
+  FaultyAuditor* faulty = nullptr;
+  CountingAuditor* sibling = nullptr;
+};
+
+TEST(Supervision, ThrowingAuditorQuarantinedSiblingsUndisturbed) {
+  SupervisionFixture f(SupervisionFixture::fast_breaker());
+  f.vm.machine.run_for(500'000'000);
+  const u64 sibling_before = f.sibling->events();
+
+  // Throw on every subscribed event from now on.
+  f.faulty->arm(MonitorFaultSpec{MonitorFaultKind::kThrow, u64(-1),
+                                 std::chrono::microseconds{0}, 1});
+  // The exception is absorbed on the exit path — run_for must not throw.
+  EXPECT_NO_THROW(f.vm.machine.run_for(1'000'000'000));
+
+  auto& em = f.ht.multiplexer();
+  EXPECT_TRUE(em.quarantined(f.faulty));
+  EXPECT_GE(em.total_faults(), 3u);
+  EXPECT_GT(em.total_suppressed(), 0u)
+      << "events for the quarantined auditor are suppressed, not delivered";
+  EXPECT_TRUE(f.ht.alarms().any_of_type("auditor-quarantined"));
+  EXPECT_GT(f.sibling->events(), sibling_before)
+      << "sibling auditor keeps receiving events throughout";
+
+  const auto* reg = em.find(f.faulty);
+  ASSERT_NE(reg, nullptr);
+  EXPECT_EQ(reg->last_fault, "injected auditor crash");
+  EXPECT_GT(reg->missed_total, 0u);
+}
+
+TEST(Supervision, HalfOpenProbeReadmitsAndResyncs) {
+  SupervisionFixture f(SupervisionFixture::fast_breaker());
+  f.vm.machine.run_for(500'000'000);
+
+  // Exactly threshold throws: trips the breaker, then the fault is gone.
+  f.faulty->arm(MonitorFaultSpec{MonitorFaultKind::kThrow, 3,
+                                 std::chrono::microseconds{0}, 1});
+  f.vm.machine.run_for(200'000'000);
+  ASSERT_TRUE(f.ht.multiplexer().quarantined(f.faulty));
+  const u64 events_at_quarantine = f.faulty->events();
+
+  // Cooldown passes; the next subscribed event is the probe. It succeeds,
+  // the breaker closes, and the auditor is first resynchronized through
+  // on_gap with the count of suppressed events.
+  f.vm.machine.run_for(1'000'000'000);
+  EXPECT_FALSE(f.ht.multiplexer().quarantined(f.faulty));
+  EXPECT_TRUE(f.ht.alarms().any_of_type("auditor-recovered"));
+  EXPECT_GT(f.faulty->events(), events_at_quarantine)
+      << "recovered auditor receives events again";
+  EXPECT_GE(f.faulty->gaps_seen(), 1u)
+      << "loss must be surfaced via on_gap before new events";
+
+  const auto* reg = f.ht.multiplexer().find(f.faulty);
+  ASSERT_NE(reg, nullptr);
+  EXPECT_GE(reg->resyncs, 1u);
+  EXPECT_EQ(reg->missed_while_open, 0u) << "gap consumed at re-admission";
+}
+
+TEST(Supervision, DisabledSupervisionPropagatesLegacyBehaviour) {
+  HyperTap::Options opts;
+  opts.multiplexer.supervise = false;
+  SupervisionFixture f(opts);
+  f.vm.machine.run_for(100'000'000);
+  f.faulty->arm(MonitorFaultSpec{MonitorFaultKind::kThrow, 1,
+                                 std::chrono::microseconds{0}, 1});
+  EXPECT_THROW(f.vm.machine.run_for(1'000'000'000),
+               resilience::MonitorFault)
+      << "supervise=false restores fail-fast semantics";
+}
+
+TEST(Supervision, CorruptedEventsDoNotCrashOrFakeDetections) {
+  os::Vm vm;
+  HyperTap ht(vm, SupervisionFixture::fast_breaker());
+  auto hrkd_owned = std::make_unique<auditors::Hrkd>(
+      auditors::Hrkd::Config{},
+      [&k = vm.kernel]() { return k.in_guest_view_pids(); });
+  auto faulty_owned = std::make_unique<FaultyAuditor>(std::move(hrkd_owned));
+  FaultyAuditor* faulty = faulty_owned.get();
+  ht.add_auditor(std::move(faulty_owned));
+  vm.kernel.boot();
+  vm.kernel.spawn("app", 1000, 1000, 1, std::make_unique<Busy>());
+  vm.machine.run_for(500'000'000);
+
+  faulty->arm(MonitorFaultSpec{MonitorFaultKind::kCorruptEvent, 200,
+                               std::chrono::microseconds{0}, 99});
+  EXPECT_NO_THROW(vm.machine.run_for(1'000'000'000));
+  EXPECT_FALSE(ht.multiplexer().quarantined(faulty))
+      << "garbage events yield invalid derivations, not crashes";
+  EXPECT_FALSE(ht.alarms().any_of_type("hidden-task"))
+      << "corrupted events must not produce detections";
+}
+
+// ---------------------------------------------------------------------
+// Resync-after-loss: the paper scenarios still detect after a forced gap.
+// ---------------------------------------------------------------------
+
+TEST(Resync, HrkdDetectsHiddenTaskAfterForcedGap) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  auto hrkd_owned = std::make_unique<auditors::Hrkd>(
+      auditors::Hrkd::Config{},
+      [&k = vm.kernel]() { return k.in_guest_view_pids(); });
+  auditors::Hrkd* hrkd = hrkd_owned.get();
+  ht.add_auditor(std::move(hrkd_owned));
+  vm.kernel.boot();
+  vm.kernel.spawn("victim", 1000, 1000, 1, attacks::make_idle_spam());
+  const u32 mal =
+      vm.kernel.spawn("malware", 1000, 1000, 1, std::make_unique<Busy>());
+  vm.machine.run_for(1'000'000'000);
+
+  // Forced loss: the shadow state is rebuilt from CR3/TR-derived truth.
+  hrkd->on_gap(1000, ht.context());
+  EXPECT_FALSE(hrkd->pdba_set().empty())
+      << "resync re-seeds PDBA_set from live per-vCPU CR3";
+
+  attacks::Rootkit rk(vm.kernel, attacks::rootkit_by_name("FU"));
+  rk.hide(mal);
+  vm.machine.run_for(2'000'000'000);
+  EXPECT_TRUE(ht.alarms().any_of_type("hidden-task"));
+  EXPECT_TRUE(hrkd->hidden_pids().count(mal));
+}
+
+TEST(Resync, PedDetectsEscalationAfterForcedGap) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  auto ninja_owned = std::make_unique<auditors::HtNinja>();
+  auditors::HtNinja* ninja = ninja_owned.get();
+  ht.add_auditor(std::move(ninja_owned));
+  vm.kernel.boot();
+  vm.kernel.spawn("victim", 1000, 1000, 1, attacks::make_idle_spam());
+  vm.machine.run_for(1'000'000'000);
+
+  ninja->on_gap(1000, ht.context());
+
+  attacks::AttackPlan plan;
+  plan.rootkit = attacks::rootkit_by_name("Ivyl's Rootkit");
+  attacks::AttackDriver attack(vm.kernel, plan);
+  attack.launch();
+  vm.machine.run_for(2'000'000'000);
+  EXPECT_TRUE(ht.alarms().any_of_type("priv-escalation"));
+  EXPECT_TRUE(ninja->flagged_pids().count(attack.attacker_pid()));
+}
+
+TEST(Resync, GoshdDetectsHangAfterForcedGap) {
+  class FaultAtZero final : public os::LocationHook {
+   public:
+    os::FaultClass on_location(u16 loc, u32) override {
+      return loc == 0 && armed ? os::FaultClass::kMissingRelease
+                               : os::FaultClass::kNone;
+    }
+    bool armed = false;
+  };
+  class HitLoc final : public os::Workload {
+   public:
+    os::Action next(os::TaskCtx&) override { return os::ActKernelCall{0}; }
+    std::string name() const override { return "hitloc"; }
+  };
+
+  os::Vm vm;
+  vm.kernel.register_locations(fi::generate_locations());
+  FaultAtZero hook;
+  vm.kernel.set_location_hook(&hook);
+  HyperTap ht(vm);
+  auditors::Goshd::Config gcfg;
+  gcfg.threshold = 1'500'000'000;
+  auto goshd_owned = std::make_unique<auditors::Goshd>(
+      vm.machine.num_vcpus(), gcfg);
+  auditors::Goshd* goshd = goshd_owned.get();
+  ht.add_auditor(std::move(goshd_owned));
+  vm.kernel.boot();
+  vm.kernel.spawn("app", 1000, 1000, 1, std::make_unique<Busy>());
+  vm.machine.run_for(1'000'000'000);
+
+  // Forced loss: resync re-baselines the per-vCPU switch clocks to "now"
+  // (via the AuditContext clock), so the lost window cannot be mistaken
+  // for scheduler silence.
+  goshd->on_gap(5000, ht.context());
+  vm.machine.run_for(1'000'000'000);
+  EXPECT_FALSE(ht.alarms().any_of_type("vcpu-hang"))
+      << "healthy guest after resync must not false-alarm";
+
+  hook.armed = true;
+  vm.kernel.spawn("t0", 1, 1, 1, std::make_unique<HitLoc>());
+  vm.machine.run_for(gcfg.threshold + 3'000'000'000);
+  EXPECT_TRUE(ht.alarms().any_of_type("vcpu-hang"))
+      << "post-resync GOSHD still detects the injected hang";
+  EXPECT_TRUE(goshd->any_hung());
+}
+
+// ---------------------------------------------------------------------
+// Async channel: overflow policies, stop semantics, watchdog.
+// ---------------------------------------------------------------------
+
+class SinkAuditor final : public Auditor {
+ public:
+  std::string name() const override { return "sink"; }
+  EventMask subscriptions() const override {
+    return event_bit(EventKind::kSyscall);
+  }
+  void on_event(const Event&, AuditContext&) override {}
+};
+
+TEST(AsyncChannelResilience, PublishAfterStopIsRefusedAndCounted) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  SinkAuditor sink;
+  AsyncAuditorChannel chan(sink, ht.context(), 8);
+  Event e;
+  e.kind = EventKind::kSyscall;
+  EXPECT_TRUE(chan.publish(e));
+  chan.stop();
+  EXPECT_FALSE(chan.publish(e)) << "publish after stop() must refuse";
+  EXPECT_FALSE(chan.publish(e));
+  const auto s = chan.stats();
+  EXPECT_EQ(s.dropped_after_stop, 2u);
+  EXPECT_EQ(s.dropped, 2u);
+  EXPECT_EQ(s.enqueued, 1u) << "refused events are not counted as offered";
+  EXPECT_EQ(s.audited, 1u) << "pre-stop event drained before the join";
+}
+
+TEST(AsyncChannelResilience, HighWatermarkCallbackFires) {
+  os::Vm vm;
+  HyperTap ht(vm);
+  auto inner = std::make_unique<SinkAuditor>();
+  FaultyAuditor slow(std::move(inner));
+  slow.arm(MonitorFaultSpec{MonitorFaultKind::kStall, u64(-1),
+                            std::chrono::milliseconds{5}, 1});
+  AsyncAuditorChannel::Config cfg;
+  cfg.capacity = 8;
+  cfg.high_watermark = 0.5;
+  AsyncAuditorChannel chan(slow, ht.context(), cfg);
+  std::atomic<u64> fired{0};
+  chan.set_high_watermark_callback(
+      [&fired](std::size_t size, std::size_t cap) {
+        EXPECT_LE(size, cap);
+        ++fired;
+      });
+  Event e;
+  e.kind = EventKind::kSyscall;
+  for (int i = 0; i < 8; ++i) chan.publish(e);
+  EXPECT_GE(fired.load(), 1u);
+  EXPECT_GE(chan.stats().watermark_hits, 1u);
+  chan.stop();
+}
+
+TEST(AsyncChannelResilience, DropOldestKeepsFreshEventsFlowing) {
+  resilience::ChannelStressConfig cfg;
+  cfg.policy = AsyncAuditorChannel::OverflowPolicy::kDropOldest;
+  cfg.ring_capacity = 32;
+  cfg.events = 20'000;
+  cfg.audit_stall = std::chrono::microseconds{20};
+  const auto res = resilience::run_channel_stress(cfg);
+  EXPECT_EQ(res.stats.enqueued, cfg.events);
+  EXPECT_GT(res.stats.dropped_oldest, 0u)
+      << "overload under drop-oldest discards buffered, not incoming";
+  EXPECT_GT(res.inner_events, 0u);
+  EXPECT_GE(res.gaps_seen, 1u) << "every loss is surfaced as a gap";
+  EXPECT_GE(res.stats.audited + res.stats.dropped, res.stats.enqueued)
+      << "no silent losses";
+}
+
+TEST(AsyncChannelResilience, BlockWithTimeoutBoundsTheWait) {
+  resilience::ChannelStressConfig cfg;
+  cfg.policy = AsyncAuditorChannel::OverflowPolicy::kBlockWithTimeout;
+  cfg.ring_capacity = 16;
+  cfg.events = 2'000;
+  cfg.audit_stall = std::chrono::microseconds{500};
+  const auto res = resilience::run_channel_stress(cfg);
+  EXPECT_EQ(res.stats.enqueued, cfg.events);
+  EXPECT_GT(res.stats.block_timeouts, 0u)
+      << "a consumer slower than the timeout must expire waits";
+  EXPECT_GT(res.stats.audited, 0u);
+  EXPECT_GE(res.gaps_seen, 1u);
+}
+
+TEST(AsyncChannelResilience, StallWatchdogDegradesThenRecovers) {
+  resilience::ChannelStressConfig cfg;
+  cfg.ring_capacity = 16;
+  cfg.events = 400;
+  cfg.audit_stall = std::chrono::milliseconds{150};
+  cfg.stall_burst = 2;  // only the first two events wedge the consumer
+  cfg.drain_deadline = std::chrono::milliseconds{40};
+  cfg.publish_gap = std::chrono::milliseconds{1};
+  const auto res = resilience::run_channel_stress(cfg);
+  EXPECT_TRUE(res.stall_detected)
+      << "watchdog must notice a wedged consumer";
+  EXPECT_TRUE(res.consumer_recovered)
+      << "channel must leave degraded mode once the consumer drains again";
+  EXPECT_GT(res.stats.sync_delivered + res.stats.dropped_stalled, 0u)
+      << "degraded mode either delivers synchronously or counts the loss";
+  EXPECT_GE(res.gaps_seen, 1u)
+      << "recovery resynchronizes the auditor through on_gap";
+  EXPECT_GT(res.inner_events, 0u);
+}
+
+// ---------------------------------------------------------------------
+// The acceptance criterion: the monitor fault-injection campaign.
+// ---------------------------------------------------------------------
+
+TEST(MonitorFiCampaign, PipelineSurvivesAndStillDetects) {
+  resilience::CampaignConfig cfg;
+  cfg.seed = 7;
+  cfg.crash_cycles = 2;
+  cfg.cooldown = 400'000'000;
+  const auto res = resilience::run_monitor_campaign(cfg);
+
+  // Every injected crash was absorbed and produced a quarantine...
+  EXPECT_GE(res.faults_absorbed, u64(cfg.failure_threshold) * 3 *
+                                     cfg.crash_cycles);
+  EXPECT_EQ(res.quarantines, u64(3) * cfg.crash_cycles)
+      << "2 security auditors + GOSHD, crash_cycles times each";
+  // ...every quarantined auditor recovered through a successful probe...
+  EXPECT_EQ(res.recoveries, res.quarantines);
+  EXPECT_TRUE(res.all_breakers_closed);
+  EXPECT_GE(res.resyncs, res.recoveries)
+      << "each re-admission resynchronizes through on_gap";
+  EXPECT_FALSE(res.false_positive)
+      << "monitor faults must not surface as guest detections";
+
+  // ...and the paper scenarios still detect afterwards.
+  EXPECT_TRUE(res.hrkd_detected_post_recovery);
+  EXPECT_TRUE(res.ped_detected_post_recovery);
+  EXPECT_TRUE(res.goshd_detected_post_recovery);
+
+  ASSERT_EQ(res.quarantine_latency.size(), res.quarantines);
+  ASSERT_EQ(res.recovery_latency.size(), res.recoveries);
+  for (SimTime t : res.quarantine_latency) EXPECT_GE(t, 0);
+  for (SimTime t : res.recovery_latency) EXPECT_GT(t, 0);
+}
+
+}  // namespace
+}  // namespace hypertap
