@@ -1,0 +1,112 @@
+// Recovery sweep: MTTR vs checkpoint period for the closed detect→recover
+// loop (fi::Campaign with enable_recovery).
+//
+// For each checkpoint period the sweep injects the recoverable fault
+// classes into lock-heavy locations under three workloads and reports how
+// many runs reach the kRecovered outcome, the MTTR distribution
+// (detection → remediation declared good), the average number of ladder
+// rungs spent, and the snapshot bytes the checkpointer captured — i.e.
+// the availability/overhead trade the operator actually tunes.
+//
+// Environment: HYPERTAP_RECOVERY_SEEDS (default 1).
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fi/campaign.hpp"
+#include "fi/locations.hpp"
+#include "util/stats.hpp"
+
+using namespace hvsim;
+using namespace hypertap;
+using hvsim::util::Samples;
+using hvsim::util::TablePrinter;
+using hvsim::util::format_double;
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const int n = std::atoi(v);
+  return n > 0 ? n : fallback;
+}
+
+std::string ms(double t) { return format_double(t / 1e6, 1); }
+
+struct Combo {
+  fi::WorkloadKind workload;
+  u16 location;
+};
+
+}  // namespace
+
+int main() {
+  const int seeds = env_int("HYPERTAP_RECOVERY_SEEDS", 1);
+  const auto locations = fi::generate_locations(2014);
+
+  // Lock-heavy locations where every class below manifests as a hang the
+  // monitors detect (the same cells the recovery unit tests pin down).
+  const std::vector<Combo> combos = {
+      {fi::WorkloadKind::kMakeJ2, 5},
+      {fi::WorkloadKind::kHanoi, 3},
+      {fi::WorkloadKind::kHttpd, 3},
+  };
+  const std::vector<os::FaultClass> classes = {
+      os::FaultClass::kMissingRelease,
+      os::FaultClass::kMissingPair,
+      os::FaultClass::kMissingIrqRestore,
+  };
+
+  std::cout << "RECOVERY SWEEP: MTTR vs checkpoint period (" << seeds
+            << " seed" << (seeds == 1 ? "" : "s") << " per cell, "
+            << combos.size() * classes.size()
+            << " workload x class cells)\n";
+  std::cout << "ladder: kill task -> restore last-good checkpoint -> "
+               "cold reboot; auditors resync after every rung\n\n";
+
+  TablePrinter tp({"Period (ms)", "Recovered", "MTTR p50/p90 (ms)",
+                   "Rungs (mean)", "Snapshot MB (mean)", "Post alarms"});
+  for (const SimTime period :
+       {SimTime{500'000'000}, SimTime{1'000'000'000}, SimTime{2'000'000'000},
+        SimTime{4'000'000'000}, SimTime{8'000'000'000}}) {
+    Samples mttr;
+    int total = 0, recovered = 0, post_alarms = 0;
+    double rungs = 0.0, snapshot_mb = 0.0;
+    for (const Combo& combo : combos) {
+      for (const os::FaultClass cls : classes) {
+        for (int s = 0; s < seeds; ++s) {
+          fi::RunConfig cfg;
+          cfg.workload = combo.workload;
+          cfg.location = combo.location;
+          cfg.fault_class = cls;
+          cfg.transient = true;
+          cfg.seed = 11 + 7ull * static_cast<u64>(s);
+          cfg.enable_recovery = true;
+          cfg.checkpoint_period = period;
+          const fi::RunResult res = fi::run_one(cfg, locations);
+          ++total;
+          if (res.outcome == fi::Outcome::kRecovered) ++recovered;
+          if (res.post_recovery_alarm) ++post_alarms;
+          if (res.mttr >= 0) mttr.add(static_cast<double>(res.mttr));
+          rungs += res.remediations;
+          snapshot_mb += static_cast<double>(res.checkpoint_bytes) / 1e6;
+        }
+      }
+    }
+    tp.add_row({ms(static_cast<double>(period)),
+                std::to_string(recovered) + "/" + std::to_string(total),
+                mttr.count() == 0
+                    ? std::string("-")
+                    : ms(mttr.percentile(50)) + " / " + ms(mttr.percentile(90)),
+                format_double(rungs / total, 2),
+                format_double(snapshot_mb / total, 1),
+                post_alarms == 0 ? "no" : std::to_string(post_alarms)});
+  }
+  std::cout << tp.str();
+  std::cout << "\nMTTR is dominated by the confirm window plus the ladder; "
+               "longer periods cost extra restore rewind (more lost work) "
+               "but capture proportionally fewer snapshot bytes.\n";
+  return 0;
+}

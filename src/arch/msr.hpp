@@ -22,6 +22,8 @@ class MsrFile {
   }
   void write(u32 index, u64 value) { values_[index] = value; }
 
+  bool operator==(const MsrFile&) const = default;
+
  private:
   std::unordered_map<u32, u64> values_;
 };

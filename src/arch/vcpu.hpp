@@ -34,6 +34,8 @@ struct RegisterFile {
 
   u32 reg(Gpr r) const { return gpr[static_cast<std::size_t>(r)]; }
   void set_reg(Gpr r, u32 v) { gpr[static_cast<std::size_t>(r)] = v; }
+
+  bool operator==(const RegisterFile&) const = default;
 };
 
 class Vcpu {

@@ -32,6 +32,7 @@ class AlarmSink {
  public:
   void raise(Alarm a) {
     if (on_alarm_) on_alarm_(a);
+    for (const auto& s : subscribers_) s(a);
     alarms_.push_back(std::move(a));
   }
   const std::vector<Alarm>& all() const { return alarms_; }
@@ -49,11 +50,17 @@ class AlarmSink {
   void set_callback(std::function<void(const Alarm&)> cb) {
     on_alarm_ = std::move(cb);
   }
+  /// Additional subscribers (e.g. a RecoveryManager) that must observe the
+  /// stream without displacing the primary experiment callback.
+  void subscribe(std::function<void(const Alarm&)> cb) {
+    subscribers_.push_back(std::move(cb));
+  }
   void clear() { alarms_.clear(); }
 
  private:
   std::vector<Alarm> alarms_;
   std::function<void(const Alarm&)> on_alarm_;
+  std::vector<std::function<void(const Alarm&)>> subscribers_;
 };
 
 /// Everything an auditor may touch. Note there is no route to guest-OS

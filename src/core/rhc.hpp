@@ -39,6 +39,14 @@ class Rhc {
   /// Begin periodic liveness checks on the given host clock.
   void start(hv::HostServices& host);
 
+  /// Re-arm after a VM restore/resume: treat `now` as a fresh sample and
+  /// drop the alert latch, so the pre-restore silence (the hang that
+  /// triggered recovery) doesn't immediately re-trip the threshold.
+  void reset(SimTime now) {
+    last_sample_ = now;
+    in_alert_ = false;
+  }
+
   u64 samples_received() const { return samples_; }
   SimTime last_sample() const { return last_sample_; }
   const std::vector<SimTime>& alerts() const { return alerts_; }

@@ -8,6 +8,7 @@
 #include "auditors/goshd.hpp"
 #include "core/hypertap.hpp"
 #include "fi/locations.hpp"
+#include "recovery/recovery_manager.hpp"
 #include "workloads/hanoi.hpp"
 #include "workloads/httpd.hpp"
 #include "workloads/make.hpp"
@@ -32,6 +33,7 @@ const char* to_string(Outcome o) {
     case Outcome::kNotDetected: return "Not Detected";
     case Outcome::kPartialHang: return "Partial Hang";
     case Outcome::kFullHang: return "Full Hang";
+    case Outcome::kRecovered: return "Recovered";
   }
   return "?";
 }
@@ -61,6 +63,9 @@ class SystemDaemon final : public os::Workload {
     return os::ActCompute{20'000};
   }
   std::string name() const override { return "daemon"; }
+  std::unique_ptr<os::Workload> clone() const override {
+    return std::make_unique<SystemDaemon>(*this);
+  }
 
  private:
   std::vector<os::Subsystem> subs_;
@@ -88,6 +93,9 @@ class ProbeWorkload final : public os::Workload {
     }
   }
   std::string name() const override { return "sshd-probe"; }
+  std::unique_ptr<os::Workload> clone() const override {
+    return std::make_unique<ProbeWorkload>(*this);
+  }
 
  private:
   u16 probe_loc_;
@@ -169,14 +177,26 @@ RunResult run_one(const RunConfig& cfg,
                       400'000, &locations, wrng.next()),
                   0, 0);
 
-  // Workload processes.
+  // Workload processes. Completion is tracked per job in idempotent slots:
+  // a checkpoint restore rewinds a job's internal done flag, so its
+  // completion callback can legitimately fire again at a later time — the
+  // slot then simply records the (later) actual completion.
   bool workload_finite = true;
   int done_needed = 0;
-  int done_count = 0;
-  SimTime last_done = -1;
-  auto on_done = [&done_count, &last_done](SimTime t) {
-    ++done_count;
-    last_done = t;
+  std::vector<SimTime> job_done;
+  auto make_on_done = [&job_done](std::size_t idx) {
+    return [&job_done, idx](SimTime t) { job_done.at(idx) = t; };
+  };
+  auto done_count = [&job_done]() {
+    int n = 0;
+    for (SimTime t : job_done)
+      if (t >= 0) ++n;
+    return n;
+  };
+  auto last_done = [&job_done]() {
+    SimTime m = -1;
+    for (SimTime t : job_done) m = std::max(m, t);
+    return m;
   };
 
   std::unique_ptr<workloads::HttpLoadGenerator> loadgen;
@@ -186,8 +206,9 @@ RunResult run_one(const RunConfig& cfg,
       hc.total_cycles = 24'000'000'000ull;  // ~8 s
       auto w = std::make_unique<workloads::HanoiWorkload>(hc, &locations,
                                                           wrng.next());
-      w->set_on_done(on_done);
       done_needed = 1;
+      job_done.assign(1, -1);
+      w->set_on_done(make_on_done(0));
       vm.kernel.spawn("hanoi", 1000, 1000, 1, std::move(w));
       break;
     }
@@ -195,12 +216,13 @@ RunResult run_one(const RunConfig& cfg,
     case WorkloadKind::kMakeJ2: {
       const int jobs = cfg.workload == WorkloadKind::kMakeJ2 ? 2 : 1;
       done_needed = jobs;
+      job_done.assign(jobs, -1);
       for (int j = 0; j < jobs; ++j) {
         workloads::MakeJobWorkload::Config mcfg;
         mcfg.units = 140 / jobs;
         auto w = std::make_unique<workloads::MakeJobWorkload>(
             mcfg, &locations, wrng.next());
-        w->set_on_done(on_done);
+        w->set_on_done(make_on_done(static_cast<std::size_t>(j)));
         vm.kernel.spawn("make", 1000, 1000, 1, std::move(w));
       }
       break;
@@ -258,9 +280,42 @@ RunResult run_one(const RunConfig& cfg,
     return false;
   };
 
+  // ---- Recovery stack (closing the loop) ------------------------------
+  std::unique_ptr<recovery::Checkpointer> ckpt;
+  std::unique_ptr<recovery::RecoveryManager> rm;
+  if (cfg.enable_recovery) {
+    recovery::Checkpointer::Options copts;
+    copts.period = cfg.checkpoint_period;
+    ckpt = std::make_unique<recovery::Checkpointer>(vm, copts);
+    ckpt->start();  // baseline includes daemons + workload, pre-fault
+
+    recovery::RecoveryPolicy policy;
+    // A relapse after a bad restore must land inside probation, so the
+    // ladder escalates instead of opening a fresh episode.
+    policy.probation = cfg.detect_threshold + 2'000'000'000;
+    // Detection lags fault activation by up to the GOSHD threshold (plus
+    // a check period of slack): checkpoints younger than that may already
+    // contain the latent fault.
+    policy.detect_latency_bound = cfg.detect_threshold + 1'000'000'000;
+    rm = std::make_unique<recovery::RecoveryManager>(vm, ht, *ckpt, policy);
+    ckpt->set_gate([&rm_ref = *rm]() {
+      return rm_ref.health() == recovery::VmHealth::kHealthy;
+    });
+    rm->set_on_remediated([&](const recovery::RemediationRecord&) {
+      // In-flight probes belong to the abandoned timeline; judging the
+      // restored VM by their 3 s deadline would be a false hang report.
+      probe_sent.clear();
+      probe_answered.clear();
+    });
+    rm->start();
+  }
+
   // ---- Drive the experiment ------------------------------------------
-  const SimTime hard_end = cfg.max_workload_time + cfg.propagation_window +
-                           15'000'000'000;
+  SimTime hard_end = cfg.max_workload_time + cfg.propagation_window +
+                     15'000'000'000;
+  // Remediation + probation + re-running the restored workload chunk all
+  // happen after detection; give the closed-loop run room to finish.
+  if (cfg.enable_recovery) hard_end += cfg.max_workload_time;
   RunResult res;
   while (vm.machine.now() < hard_end) {
     vm.machine.run_for(1'000'000'000);
@@ -280,6 +335,29 @@ RunResult run_one(const RunConfig& cfg,
       res.full_alarm = goshd->full_hang_time();
     }
 
+    if (cfg.enable_recovery) {
+      // Closed loop: run through remediation until the VM is (a) failed,
+      // or (b) healthy again with the workload complete and probes alive.
+      if (rm->health() == recovery::VmHealth::kFailed) break;
+      const bool workload_over =
+          workload_finite ? (done_count() >= done_needed)
+                          : now > cfg.max_workload_time;
+      if (workload_over && rm->health() == recovery::VmHealth::kHealthy &&
+          !probe_hung_now()) {
+        const SimTime over_at = workload_finite && last_done() > 0
+                                    ? last_done()
+                                    : cfg.max_workload_time;
+        // Past remediation: linger two probe rounds so a still-sick VM
+        // shows up; untouched runs use the baseline grace.
+        const SimTime grace = rm->history().empty() &&
+                                      !plan.activated() && !probe_hung_now()
+                                  ? 4'000'000'000
+                                  : 6'000'000'000;
+        if (now > over_at + grace) break;
+      }
+      continue;
+    }
+
     if (res.full_alarm > 0 && now > res.full_alarm + 2'000'000'000) break;
     if (res.first_alarm > 0 &&
         now > res.first_alarm + cfg.propagation_window) {
@@ -287,14 +365,14 @@ RunResult run_one(const RunConfig& cfg,
     }
     if (res.first_alarm < 0) {
       const bool workload_over =
-          workload_finite ? (done_count >= done_needed)
+          workload_finite ? (done_count() >= done_needed)
                           : now > cfg.max_workload_time;
       if (workload_over) {
         const SimTime grace =
             plan.activated() || probe_hung_now() ? 10'000'000'000
                                                  : 4'000'000'000;
-        const SimTime over_at = workload_finite && last_done > 0
-                                    ? last_done
+        const SimTime over_at = workload_finite && last_done() > 0
+                                    ? last_done()
                                     : cfg.max_workload_time;
         if (now > over_at + grace) break;
       }
@@ -309,6 +387,26 @@ RunResult run_one(const RunConfig& cfg,
     if (goshd->hang_detect_time(c) > 0) ++res.vcpus_hung;
   }
 
+  if (cfg.enable_recovery) {
+    res.remediations = static_cast<int>(rm->history().size());
+    res.recovered_at = rm->last_recovery_at();
+    res.checkpoint_bytes = ckpt->bytes_captured();
+    if (rm->episodes_recovered() > 0) {
+      res.mttr = rm->mttr_total() /
+                 static_cast<SimTime>(rm->episodes_recovered());
+      // Any fresh detection after the VM was declared healthy again means
+      // the remediation did not actually hold (or the resynced auditors
+      // produced a post-restore false alarm).
+      for (const Alarm& a : ht.alarms().all()) {
+        if (a.time <= res.recovered_at) continue;
+        if (a.type == "vcpu-hang" || a.type == "full-hang" ||
+            a.type == "hidden-task") {
+          res.post_recovery_alarm = true;
+        }
+      }
+    }
+  }
+
   if (!res.activated) {
     res.outcome = Outcome::kNotActivated;
     // A GOSHD alarm without an armed fault would be a false positive.
@@ -318,6 +416,13 @@ RunResult run_one(const RunConfig& cfg,
   if (res.first_alarm < 0) {
     res.outcome =
         res.probe_hang ? Outcome::kNotDetected : Outcome::kNotManifested;
+    return res;
+  }
+  if (cfg.enable_recovery && rm->episodes_recovered() > 0 &&
+      rm->health() == recovery::VmHealth::kHealthy &&
+      !res.post_recovery_alarm && !res.probe_hang &&
+      (!workload_finite || done_count() >= done_needed)) {
+    res.outcome = Outcome::kRecovered;
     return res;
   }
   res.outcome =

@@ -17,13 +17,16 @@ inline constexpr WorkloadKind kAllWorkloads[] = {
     WorkloadKind::kHanoi, WorkloadKind::kMakeJ1, WorkloadKind::kMakeJ2,
     WorkloadKind::kHttpd};
 
-/// The five outcomes of §VIII-A2.
+/// The five outcomes of §VIII-A2, plus kRecovered when the campaign runs
+/// with the recovery subsystem enabled: the fault was detected, remediated,
+/// and the workload then ran to completion with the VM healthy.
 enum class Outcome : u8 {
   kNotActivated,
   kNotManifested,
   kNotDetected,  ///< external probe reports hang, GOSHD silent
   kPartialHang,
   kFullHang,
+  kRecovered,
 };
 const char* to_string(Outcome o);
 
@@ -45,6 +48,12 @@ struct RunConfig {
   SimTime max_workload_time = 25'000'000'000;
   /// Guest timer period (coarser than default for campaign throughput).
   SimTime timer_period = 2'000'000;
+
+  /// Close the loop: attach a Checkpointer + RecoveryManager and let the
+  /// experiment continue past detection into remediation.
+  bool enable_recovery = false;
+  /// Periodic checkpoint interval when recovery is enabled.
+  SimTime checkpoint_period = 2'000'000'000;
 };
 
 struct RunResult {
@@ -56,6 +65,13 @@ struct RunResult {
   bool probe_hang = false;
   bool goshd_false_alarm = false;
   int vcpus_hung = 0;
+
+  // Recovery-mode fields (enable_recovery only).
+  SimTime recovered_at = -1;  ///< last successful remediation time
+  int remediations = 0;       ///< remedy applications (ladder rungs used)
+  SimTime mttr = -1;          ///< detection → successful remediation
+  u64 checkpoint_bytes = 0;   ///< total snapshot bytes captured this run
+  bool post_recovery_alarm = false;  ///< alarm after the VM was healthy again
 };
 
 /// Execute one injection experiment.

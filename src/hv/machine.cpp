@@ -178,6 +178,13 @@ void Machine::mmio_write(int vcpu, Gpa gpa, u64 value, u8 size) {
   for (const auto& sink : net_tx_) sink(vcpu, static_cast<u32>(value));
 }
 
+void Machine::skip_to(SimTime t) {
+  for (auto& v : vcpus_) {
+    if (v->now() < t) v->set_now(t);
+  }
+  host_now_ = std::max(host_now_, t);
+}
+
 void Machine::pause_guest(SimTime duration) {
   const SimTime resume_at = now() + duration;
   for (auto& v : vcpus_) {

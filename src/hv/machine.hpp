@@ -98,6 +98,19 @@ class Machine final : public HostServices,
   // VmController
   void pause_guest(SimTime duration) override;
 
+  /// Fast-forward all vCPU clocks (and host time) to `t` without executing
+  /// guest code — the resume path for a VM that sat paused while the rest
+  /// of the host kept running. Pending host events fire on the next
+  /// run_until at their scheduled (now past) times.
+  void skip_to(SimTime t);
+
+  /// Discard undelivered external interrupts on every vCPU. Used by
+  /// checkpoint restore: in-flight IRQs belong to the abandoned timeline
+  /// (the restored kernel re-arms its own wakeups).
+  void clear_pending_irqs() {
+    for (auto& q : pending_irqs_) q.clear();
+  }
+
   /// Total external-interrupt deliveries (diagnostics).
   u64 irqs_delivered() const { return irqs_delivered_; }
 

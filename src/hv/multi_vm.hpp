@@ -29,25 +29,55 @@ class MultiVmHost {
   /// Create a VM on this host; returns its index.
   std::size_t add_vm(MachineConfig mc = {}, os::KernelConfig kc = {}) {
     vms_.push_back(std::make_unique<os::Vm>(mc, std::move(kc)));
+    paused_.push_back(false);
     return vms_.size() - 1;
   }
 
   std::size_t num_vms() const { return vms_.size(); }
   os::Vm& vm(std::size_t i) { return *vms_.at(i); }
 
-  /// Wall-clock of the host = the slowest VM.
+  /// Freeze a VM: run_until skips it and now() no longer waits on it, so a
+  /// remediating VM cannot stall its co-tenants' slices.
+  void pause(std::size_t i) { paused_.at(i) = true; }
+  bool paused(std::size_t i) const { return paused_.at(i); }
+
+  /// Unfreeze; the VM's clocks fast-forward to host time (it was frozen,
+  /// not executing) so it rejoins the slice rotation without a burst of
+  /// catch-up work.
+  void resume(std::size_t i) {
+    if (!paused_.at(i)) return;
+    // Host time must be read while the VM is still excluded from it —
+    // unpausing first would let its frozen clock drag now() back down.
+    const SimTime t = now();
+    paused_[i] = false;
+    vms_[i]->machine.skip_to(t);
+  }
+
+  /// Wall-clock of the host = the slowest *running* VM. Paused VMs are
+  /// excluded so host time keeps flowing while one is under remediation;
+  /// if everything is paused, the furthest-ahead clock stands.
   SimTime now() const {
-    SimTime t = vms_.empty() ? 0 : vms_.front()->machine.now();
-    for (const auto& v : vms_) t = std::min(t, v->machine.now());
+    SimTime t = -1;
+    for (std::size_t i = 0; i < vms_.size(); ++i) {
+      if (paused_[i]) continue;
+      const SimTime vt = vms_[i]->machine.now();
+      if (t < 0 || vt < t) t = vt;
+    }
+    if (t >= 0) return t;
+    t = 0;
+    for (const auto& v : vms_) t = std::max(t, v->machine.now());
     return t;
   }
 
-  /// Advance every VM to (at least) `t_end`, interleaved in time order.
+  /// Advance every running VM to (at least) `t_end`, interleaved in time
+  /// order. Paused VMs are skipped entirely.
   void run_until(SimTime t_end) {
     if (vms_.empty()) throw std::logic_error("no VMs on host");
     for (;;) {
       os::Vm* behind = nullptr;
-      for (const auto& v : vms_) {
+      for (std::size_t i = 0; i < vms_.size(); ++i) {
+        if (paused_[i]) continue;
+        auto& v = vms_[i];
         if (v->machine.now() >= t_end) continue;
         if (behind == nullptr ||
             v->machine.now() < behind->machine.now()) {
@@ -65,6 +95,7 @@ class MultiVmHost {
  private:
   Options opts_;
   std::vector<std::unique_ptr<os::Vm>> vms_;
+  std::vector<bool> paused_;
 };
 
 }  // namespace hvsim::hv

@@ -35,6 +35,22 @@ class FrameAllocator {
   u32 frames_in_use() const { return in_use_; }
   Gpa region_end() const { return end_; }
 
+  /// Checkpointable allocator state (free lists + bump pointer). Frame
+  /// *contents* are not here — PhysMem is snapshotted wholesale.
+  struct State {
+    Gpa bump = 0;
+    std::vector<Gpa> free_list;
+    std::vector<Gpa> free_stacks;
+    u32 in_use = 0;
+  };
+  State save() const { return {bump_, free_list_, free_stacks_, in_use_}; }
+  void load(const State& s) {
+    bump_ = s.bump;
+    free_list_ = s.free_list;
+    free_stacks_ = s.free_stacks;
+    in_use_ = s.in_use;
+  }
+
  private:
   arch::PhysMem& mem_;
   Gpa bump_;
@@ -57,6 +73,16 @@ class KernelHeap {
   void kfree(Gpa gpa, u32 size);
 
   u32 objects_in_use() const { return live_; }
+
+  struct State {
+    std::vector<std::vector<Gpa>> free_lists;
+    u32 live = 0;
+  };
+  State save() const { return {free_lists_, live_}; }
+  void load(const State& s) {
+    free_lists_ = s.free_lists;
+    live_ = s.live;
+  }
 
  private:
   static u32 size_class(u32 size);

@@ -49,6 +49,9 @@ class KworkerWorkload final : public Workload {
   }
 
   std::string name() const override { return "kworker"; }
+  std::unique_ptr<Workload> clone() const override {
+    return std::make_unique<KworkerWorkload>(*this);
+  }
 
  private:
   const Kernel* kernel_;
@@ -222,6 +225,9 @@ class InitWorkload final : public Workload {
  public:
   Action next(TaskCtx&) override { return ActSyscall{SYS_NANOSLEEP, 500'000}; }
   std::string name() const override { return "init"; }
+  std::unique_ptr<Workload> clone() const override {
+    return std::make_unique<InitWorkload>(*this);
+  }
 };
 }  // namespace
 

@@ -119,6 +119,8 @@ class Kernel final : public hv::GuestOs {
   const OsLayout& layout() const { return layout_; }
   const KernelConfig& config() const { return cfg_; }
   Gva tss_gva(int cpu) const { return tss_gva_.at(cpu); }
+  Gpa tss_gpa(int cpu) const { return tss_gpa_.at(cpu); }
+  Gpa init_pgd() const { return init_pgd_; }
 
   // --------------------------- Oracle hooks ----------------------------
   // Ground truth used by experiment classification — NOT used by monitors.
@@ -290,6 +292,61 @@ class Kernel final : public hv::GuestOs {
       u8 nr, std::function<void(Task&, const std::array<u32, 3>&,
                                 SyscallOutcome&)>
                  wrapper);
+
+  // ------------------------ Checkpoint/restore -------------------------
+  // Deep capture of all host-side kernel state that is not derivable from
+  // guest memory (snapshot.cpp). Guest memory itself, vCPU register
+  // files and EPT permissions are captured separately by the recovery
+  // layer; boot-immutable state (layout, TSS tables, kernel page tables,
+  // registered locations) is not captured — restore reuses the live copy.
+  struct Snapshot {
+    std::vector<Task> tasks;  ///< all non-zombie tasks, swappers included
+    std::vector<u32> current_pids;
+    std::vector<std::vector<u32>> runqueues;
+    std::vector<bool> need_resched;
+    std::vector<SimTime> last_switch;
+    std::vector<u64> switch_count;
+    int next_cpu_rr = 0;
+    u32 next_pid = 1;
+    LockTable locks;
+    std::vector<u32> disk_waiter_pids;
+    std::vector<u32> net_waiter_pids;
+    std::deque<u32> net_rx;
+    struct PipeSnap {
+      u32 id = 0;
+      u32 bytes = 0;
+      u32 capacity = 0;
+      std::vector<u32> read_waiter_pids;
+      std::vector<u32> write_waiter_pids;
+    };
+    std::vector<PipeSnap> pipes;
+    FrameAllocator::State frames;
+    KernelHeap::State heap;
+    util::Rng rng;
+    u64 total_syscalls = 0;
+    std::unordered_map<Gva, HandlerImpl> handlers;
+    Gva next_text_gva = 0;
+  };
+
+  /// Capture. Throws std::logic_error if any live workload is not
+  /// checkpointable (Workload::clone unimplemented).
+  Snapshot snapshot() const;
+
+  /// In-place restore. `delta` = now - snapshot time; absolute per-task
+  /// timestamps (slice_end, wake_at) and the scheduling clocks are
+  /// rebased forward — simulated time never rewinds. Guest memory, vCPU
+  /// registers and EPT must already have been restored by the caller.
+  /// Blocked I/O whose completion was a (non-checkpointable) host event
+  /// is re-armed: disk waiters get fresh completion IRQs, sleepers get
+  /// rescheduled timer wakes, pending packets re-raise the NIC IRQ.
+  void restore(const Snapshot& s, SimTime delta);
+
+  /// Host-initiated kill (the recovery ladder's first rung): same state
+  /// machine as SYS_KILL but with no permission check. Returns false if
+  /// the pid does not exist or is a swapper. A task wedged in the kernel
+  /// gets kill_pending and may never die — exactly why the ladder
+  /// escalates to restore.
+  bool force_kill(u32 pid);
 };
 
 /// Convenience aggregate wiring a Machine and a Kernel together.

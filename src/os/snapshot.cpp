@@ -1,0 +1,168 @@
+// Kernel checkpoint/restore: deep capture of the host-side control state
+// (task table, runqueues, wait queues, locks, allocators, RNG) and the
+// in-place restore path used by the recovery subsystem.
+//
+// What is deliberately NOT here:
+//  - Guest memory, vCPU register files, EPT permissions: captured by
+//    recovery::Checkpointer around this snapshot (they are byte arrays).
+//  - The machine's host event queue: monitor timers, RHC checks and
+//    attack drivers belong to the *host*, not the guest — they keep
+//    running across a restore. Guest waits whose wake-up was a scheduled
+//    host event (disk completions, sleep expiries) are re-armed below;
+//    stale events from the abandoned timeline are harmless by design
+//    (try_timer_wake re-checks blocked_on; a spurious disk IRQ merely
+//    completes an I/O early; cleared pending_irqs drop the rest).
+//  - Boot-immutable state (layout, TSS tables, kernel page tables,
+//    registered locations, the location hook): identical before/after.
+#include <algorithm>
+#include <stdexcept>
+
+#include "os/kernel.hpp"
+
+namespace hvsim::os {
+
+Kernel::Snapshot Kernel::snapshot() const {
+  if (!booted_) throw std::logic_error("snapshot before boot");
+  Snapshot s;
+  s.tasks.reserve(tasks_.size());
+  for (const auto& t : tasks_) {
+    if (t->state == RunState::kZombie) continue;
+    s.tasks.push_back(*t);  // copies clone the workload; throws if
+                            // a workload is not checkpointable
+  }
+  for (const Task* c : current_) s.current_pids.push_back(c->pid);
+  for (const auto& rq : runqueue_) {
+    std::vector<u32> pids;
+    pids.reserve(rq.size());
+    for (const Task* t : rq) pids.push_back(t->pid);
+    s.runqueues.push_back(std::move(pids));
+  }
+  s.need_resched = need_resched_;
+  s.last_switch = last_switch_;
+  s.switch_count = switch_count_;
+  s.next_cpu_rr = next_cpu_rr_;
+  s.next_pid = next_pid_;
+  s.locks = locks_;
+  for (const Task* t : disk_waiters_) s.disk_waiter_pids.push_back(t->pid);
+  for (const Task* t : net_waiters_) s.net_waiter_pids.push_back(t->pid);
+  s.net_rx = net_rx_;
+  for (const auto& [id, p] : pipes_) {
+    Snapshot::PipeSnap ps;
+    ps.id = id;
+    ps.bytes = p.bytes;
+    ps.capacity = p.capacity;
+    for (const Task* t : p.read_waiters) ps.read_waiter_pids.push_back(t->pid);
+    for (const Task* t : p.write_waiters)
+      ps.write_waiter_pids.push_back(t->pid);
+    s.pipes.push_back(std::move(ps));
+  }
+  s.frames = frames_.save();
+  s.heap = heap_.save();
+  s.rng = rng_;
+  s.total_syscalls = total_syscalls_;
+  s.handlers = handler_registry_;
+  s.next_text_gva = next_text_gva_;
+  return s;
+}
+
+void Kernel::restore(const Snapshot& s, SimTime delta) {
+  if (!booted_) throw std::logic_error("restore before boot");
+  if (delta < 0) throw std::logic_error("restore cannot rewind time");
+  const int ncpu = machine_.num_vcpus();
+
+  // Rebuild the task table; every raw Task* in the kernel is re-derived
+  // from it by pid.
+  tasks_.clear();
+  for (const Task& t : s.tasks) tasks_.push_back(std::make_unique<Task>(t));
+  auto by_pid = [this](u32 pid) -> Task* {
+    for (auto& t : tasks_) {
+      if (t->pid == pid) return t.get();
+    }
+    throw std::logic_error("restore: snapshot references unknown pid");
+  };
+
+  swapper_.clear();
+  for (int cpu = 0; cpu < ncpu; ++cpu) {
+    swapper_.push_back(by_pid(cpu == 0 ? 0u : 0x8000u + cpu));
+  }
+  current_.clear();
+  for (u32 pid : s.current_pids) current_.push_back(by_pid(pid));
+  runqueue_.assign(ncpu, {});
+  for (int cpu = 0; cpu < ncpu; ++cpu) {
+    for (u32 pid : s.runqueues.at(cpu)) runqueue_[cpu].push_back(by_pid(pid));
+  }
+  need_resched_ = s.need_resched;
+  last_switch_.clear();
+  for (SimTime t : s.last_switch) last_switch_.push_back(t + delta);
+  switch_count_ = s.switch_count;
+  next_cpu_rr_ = s.next_cpu_rr;
+  next_pid_ = s.next_pid;
+  locks_ = s.locks;
+  disk_waiters_.clear();
+  for (u32 pid : s.disk_waiter_pids) disk_waiters_.push_back(by_pid(pid));
+  net_waiters_.clear();
+  for (u32 pid : s.net_waiter_pids) net_waiters_.push_back(by_pid(pid));
+  net_rx_ = s.net_rx;
+  pipes_.clear();
+  for (const auto& ps : s.pipes) {
+    Pipe& p = pipes_[ps.id];
+    p.bytes = ps.bytes;
+    p.capacity = ps.capacity;
+    for (u32 pid : ps.read_waiter_pids) p.read_waiters.push_back(by_pid(pid));
+    for (u32 pid : ps.write_waiter_pids)
+      p.write_waiters.push_back(by_pid(pid));
+  }
+  frames_.load(s.frames);
+  heap_.load(s.heap);
+  rng_ = s.rng;
+  total_syscalls_ = s.total_syscalls;
+  handler_registry_ = s.handlers;
+  next_text_gva_ = s.next_text_gva;
+
+  // Rebase absolute per-task timestamps into the present. start_time is
+  // left alone: process age is a historical fact, not a deadline.
+  for (auto& t : tasks_) {
+    t->slice_end += delta;
+    if (t->wake_at != 0) t->wake_at += delta;
+  }
+
+  // In-flight interrupts belong to the abandoned timeline.
+  machine_.clear_pending_irqs();
+
+  // Re-arm waits whose wake-up source was a host event that cannot be
+  // snapshotted. Pipe and lock wakes are synchronous guest-side actions,
+  // so the snapshot is already consistent for them.
+  const SimTime now = machine_.now();
+  SimTime disk_at = now;
+  for (const Task* t : disk_waiters_) {
+    // Replay the device completions in queue order, one service interval
+    // apart (the requests were in flight when the snapshot was taken).
+    disk_at += machine_.config().disk_base_latency;
+    (void)t;
+    machine_.schedule(disk_at, [this]() {
+      machine_.raise_irq(0, hv::DISK_VECTOR);
+    });
+  }
+  for (const auto& t : tasks_) {
+    if (t->blocked_on != BlockReason::kSleepTimer) continue;
+    const u32 pid = t->pid;
+    machine_.schedule(std::max(t->wake_at, now + 1'000),
+                      [this, pid]() { try_timer_wake(pid); });
+  }
+  if (!net_rx_.empty()) machine_.raise_irq(0, hv::NET_VECTOR);
+}
+
+bool Kernel::force_kill(u32 pid) {
+  if (pid == 0 || pid >= 0x8000u) return false;  // never kill a swapper
+  Task* target = find_task(pid);
+  if (target == nullptr) return false;
+  if (target->state == RunState::kRunning ||
+      target->state == RunState::kSpinning) {
+    target->kill_pending = true;  // dies at its next user-mode boundary
+  } else {
+    exit_task(target->cpu, target);
+  }
+  return true;
+}
+
+}  // namespace hvsim::os

@@ -177,6 +177,7 @@ SyscallOutcome Kernel::sys_nanosleep(int cpu, Task* t, u32 usec) {
   const SimTime aligned = (base / period + 1) * period;
   const SimTime wake_at =
       aligned + static_cast<SimTime>(rng_.below(80'000));
+  t->wake_at = wake_at;  // recorded so checkpoint restore can re-arm
   machine_.schedule(wake_at, [this, pid]() { try_timer_wake(pid); });
   SyscallOutcome out;
   out.block = true;

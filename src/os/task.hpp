@@ -12,7 +12,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -101,6 +103,44 @@ class Workload {
 
   /// Optional label used in diagnostics.
   virtual std::string name() const { return "workload"; }
+
+  /// Deep-copy for checkpointing. Workloads are deterministic state
+  /// machines, so a member-wise copy is a faithful snapshot; production
+  /// workloads implement this as `return std::make_unique<X>(*this);`.
+  /// The default refuses — a VM running a non-cloneable workload is not
+  /// checkpointable, and Checkpoint::capture surfaces that as an error
+  /// rather than silently snapshotting half the state.
+  virtual std::unique_ptr<Workload> clone() const {
+    throw std::logic_error(name() + ": workload is not checkpointable");
+  }
+};
+
+/// Owning workload handle whose *copy* constructor deep-clones via
+/// Workload::clone(). This is what lets a whole Task — and hence the
+/// kernel's task table — be captured with plain copy semantics.
+class WorkloadPtr {
+ public:
+  WorkloadPtr() = default;
+  WorkloadPtr(std::unique_ptr<Workload> p) : p_(std::move(p)) {}  // NOLINT
+  WorkloadPtr(WorkloadPtr&&) noexcept = default;
+  WorkloadPtr& operator=(WorkloadPtr&&) noexcept = default;
+  WorkloadPtr(const WorkloadPtr& o) : p_(o.p_ ? o.p_->clone() : nullptr) {}
+  WorkloadPtr& operator=(const WorkloadPtr& o) {
+    if (this != &o) p_ = o.p_ ? o.p_->clone() : nullptr;
+    return *this;
+  }
+  WorkloadPtr& operator=(std::unique_ptr<Workload> p) {
+    p_ = std::move(p);
+    return *this;
+  }
+
+  Workload* get() const { return p_.get(); }
+  Workload& operator*() const { return *p_; }
+  Workload* operator->() const { return p_.get(); }
+  explicit operator bool() const { return static_cast<bool>(p_); }
+
+ private:
+  std::unique_ptr<Workload> p_;
 };
 
 // ------------------------------- Task -----------------------------------
@@ -186,7 +226,7 @@ struct Task {
   SimTime wake_at = 0;
 
   // User program.
-  std::unique_ptr<Workload> workload;
+  WorkloadPtr workload;
   Cycles pending_compute = 0;
   u32 last_result = 0;
   bool exited = false;

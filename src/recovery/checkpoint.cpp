@@ -1,0 +1,156 @@
+#include "recovery/checkpoint.hpp"
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "arch/tss.hpp"
+#include "os/layout.hpp"
+
+namespace hypertap::recovery {
+
+namespace {
+
+u32 rd32(const std::vector<u8>& mem, Gpa a) {
+  if (static_cast<std::size_t>(a) + 4 > mem.size())
+    throw std::out_of_range("checkpoint read out of range");
+  u32 v;
+  std::memcpy(&v, mem.data() + a, 4);
+  return v;
+}
+
+}  // namespace
+
+void Checkpointer::start() {
+  if (started_) return;
+  started_ = true;
+  baseline_.clear();
+  baseline_.push_back(capture());
+  ++captures_;
+  bytes_captured_ += baseline_.front().bytes();
+  if (opts_.period > 0) {
+    auto alive = alive_;
+    vm_.machine.schedule_every(opts_.period, [this, alive]() {
+      if (!*alive) return false;
+      if (!gate_ || gate_()) capture_retained();
+      return true;
+    });
+  }
+}
+
+Checkpoint Checkpointer::capture() const {
+  auto& m = vm_.machine;
+  Checkpoint cp;
+  cp.taken_at = m.now();
+  auto bytes = m.mem().bytes();
+  cp.mem.assign(bytes.begin(), bytes.end());
+  const u32 npages = m.mem().num_pages();
+  cp.ept.reserve(npages);
+  for (u32 p = 0; p < npages; ++p) {
+    cp.ept.push_back(m.ept().get(static_cast<Gpa>(p) << PAGE_SHIFT));
+  }
+  for (int i = 0; i < m.num_vcpus(); ++i) {
+    cp.regs.push_back(m.vcpu(i).regs());
+    cp.msrs.push_back(m.vcpu(i).msrs());
+  }
+  cp.kernel = vm_.kernel.snapshot();
+  return cp;
+}
+
+void Checkpointer::capture_retained() {
+  retained_.push_back(capture());
+  ++captures_;
+  bytes_captured_ += retained_.back().bytes();
+  while (retained_.size() > opts_.max_retained) retained_.pop_front();
+}
+
+std::string Checkpointer::verify(const Checkpoint& cp, const os::Vm& vm) {
+  auto& machine = const_cast<os::Vm&>(vm).machine;  // size/layout reads only
+  const int ncpu = machine.num_vcpus();
+  if (cp.mem.size() != machine.mem().size()) return "memory image size mismatch";
+  if (cp.ept.size() != machine.mem().num_pages()) return "EPT image size mismatch";
+  if (static_cast<int>(cp.regs.size()) != ncpu ||
+      static_cast<int>(cp.msrs.size()) != ncpu)
+    return "vCPU count mismatch";
+  if (static_cast<int>(cp.kernel.current_pids.size()) != ncpu)
+    return "scheduler state does not cover every vCPU";
+
+  auto find = [&cp](u32 pid) -> const os::Task* {
+    for (const auto& t : cp.kernel.tasks) {
+      if (t.pid == pid) return &t;
+    }
+    return nullptr;
+  };
+
+  const auto& kernel = vm.kernel;
+  for (int cpu = 0; cpu < ncpu; ++cpu) {
+    const arch::RegisterFile& r = cp.regs.at(cpu);
+    std::ostringstream where;
+    where << "vcpu " << cpu << ": ";
+
+    // Invariant 1 (task identity, §VI-A2): TR must point at this CPU's
+    // TSS — its location is fixed at boot and never moves.
+    if (r.tr != kernel.tss_gva(cpu))
+      return where.str() + "TR does not point at the per-CPU TSS";
+
+    // Invariant 2 (thread identity): TSS.RSP0 — read from the *snapshot's*
+    // memory image — must be the kernel-stack top of the thread the
+    // snapshot's scheduler says is current on this CPU.
+    const os::Task* cur = find(cp.kernel.current_pids.at(cpu));
+    if (cur == nullptr)
+      return where.str() + "current task is not in the snapshot task table";
+    const u32 rsp0 = rd32(cp.mem, kernel.tss_gpa(cpu) + arch::TSS_RSP0_OFFSET);
+    if (rsp0 != cur->rsp0)
+      return where.str() + "TSS.RSP0 is not the current thread's stack top";
+
+    // The kernel stack itself must be a mapped guest-physical region.
+    if (static_cast<std::size_t>(cur->kstack_gpa) + os::KSTACK_SIZE >
+        cp.mem.size())
+      return where.str() + "current thread's kernel stack is unmapped";
+
+    // Invariant 3 (process identity, §VI-A1): CR3 must be a live page
+    // directory — the boot PGD or the PDBA of a snapshot task.
+    bool cr3_live = r.cr3 == kernel.init_pgd();
+    for (const auto& t : cp.kernel.tasks) {
+      if (cr3_live) break;
+      cr3_live = t.pdba != 0 && t.pdba == r.cr3;
+    }
+    if (!cr3_live)
+      return where.str() + "CR3 does not reference a live page directory";
+  }
+  return "";
+}
+
+void Checkpointer::restore_to(const Checkpoint& cp) {
+  if (std::string err = verify(cp, vm_); !err.empty())
+    throw std::runtime_error("refusing corrupt checkpoint: " + err);
+  auto& m = vm_.machine;
+  const SimTime delta = m.now() - cp.taken_at;
+  m.mem().write_bytes(0, cp.mem.data(), cp.mem.size());
+  for (u32 p = 0; p < cp.ept.size(); ++p) {
+    m.ept().set(static_cast<Gpa>(p) << PAGE_SHIFT, cp.ept[p]);
+  }
+  for (int i = 0; i < m.num_vcpus(); ++i) {
+    m.vcpu(i).regs() = cp.regs.at(i);
+    m.vcpu(i).msrs() = cp.msrs.at(i);
+  }
+  vm_.kernel.restore(cp.kernel, delta);
+  ++restores_;
+}
+
+const Checkpoint& Checkpointer::baseline() const {
+  if (baseline_.empty())
+    throw std::logic_error("checkpointer has no baseline (start() not called)");
+  return baseline_.front();
+}
+
+const Checkpoint* Checkpointer::last_good(SimTime cutoff, int skip) const {
+  for (auto it = retained_.rbegin(); it != retained_.rend(); ++it) {
+    if (it->taken_at > cutoff) continue;
+    if (skip-- > 0) continue;
+    return &*it;
+  }
+  return nullptr;
+}
+
+}  // namespace hypertap::recovery

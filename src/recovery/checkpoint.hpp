@@ -1,0 +1,122 @@
+// VM checkpoint/restore (recovery layer 1).
+//
+// A Checkpoint is a deep, self-contained snapshot of one os::Vm: every
+// guest-physical byte, the per-vCPU register and MSR files, the per-page
+// EPT permission set, and the kernel's host-side control state
+// (os::Kernel::Snapshot). Restores are in-place and forward-in-time:
+// simulated clocks never rewind, the guest simply resumes from older
+// state at the current time — the semantics of restoring a VM snapshot
+// on a running host.
+//
+// A restore is only applied after the checkpoint passes the paper's
+// architectural-invariant checks (§VI): every vCPU's CR3 must reference
+// a live page directory, TR must point at the per-CPU TSS, and TSS.RSP0
+// must be the kernel-stack top of the thread the snapshot says is
+// running there. A corrupt snapshot is refused, not restored.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/ept.hpp"
+#include "arch/msr.hpp"
+#include "arch/vcpu.hpp"
+#include "os/kernel.hpp"
+
+namespace hypertap::recovery {
+
+using namespace hvsim;
+
+struct Checkpoint {
+  SimTime taken_at = 0;
+  std::vector<u8> mem;                   ///< full guest-physical image
+  std::vector<arch::EptPerm> ept;        ///< per-page permissions
+  std::vector<arch::RegisterFile> regs;  ///< per-vCPU register files
+  std::vector<arch::MsrFile> msrs;       ///< per-vCPU MSR files
+  os::Kernel::Snapshot kernel;
+
+  /// Approximate retained footprint (dominated by the memory image).
+  std::size_t bytes() const {
+    return mem.size() + ept.size() * sizeof(arch::EptPerm) +
+           regs.size() * sizeof(arch::RegisterFile) +
+           kernel.tasks.size() * sizeof(os::Task);
+  }
+};
+
+/// Periodic checkpoint scheduler with bounded retention plus a pinned
+/// baseline ("boot") checkpoint that cold reboot restores to.
+class Checkpointer {
+ public:
+  struct Options {
+    /// Periodic capture interval; 0 = manual captures only.
+    SimTime period = 2_s;
+    /// Retained periodic checkpoints (oldest evicted). The baseline
+    /// checkpoint is pinned separately and never evicted.
+    std::size_t max_retained = 4;
+  };
+
+  Checkpointer(os::Vm& vm, Options opts) : vm_(vm), opts_(opts) {}
+  explicit Checkpointer(os::Vm& vm) : Checkpointer(vm, Options{}) {}
+  ~Checkpointer() { *alive_ = false; }  // defuses the periodic timer
+
+  Checkpointer(const Checkpointer&) = delete;
+  Checkpointer& operator=(const Checkpointer&) = delete;
+
+  /// Pin the baseline checkpoint (capture now) and start the periodic
+  /// capture timer. Call after boot and initial process setup.
+  void start();
+
+  /// One-shot capture of the VM as it stands.
+  Checkpoint capture() const;
+
+  /// Capture and append to the retained window (evicting the oldest).
+  void capture_retained();
+
+  /// Periodic captures are skipped while the gate returns false (the
+  /// RecoveryManager gates on "VM believed healthy" so the retention
+  /// window is not flooded with snapshots of a sick guest).
+  void set_gate(std::function<bool()> gate) { gate_ = std::move(gate); }
+
+  /// Invariant verification; empty string = consistent, else the violated
+  /// invariant. Uses only the checkpoint's own bytes plus boot-immutable
+  /// facts (TSS locations, kernel layout) from the live VM.
+  static std::string verify(const Checkpoint& cp, const os::Vm& vm);
+
+  /// Restore the VM to `cp`. Throws std::runtime_error (VM untouched) if
+  /// verification fails.
+  void restore_to(const Checkpoint& cp);
+
+  bool started() const { return started_; }
+  const Checkpoint& baseline() const;
+  const std::deque<Checkpoint>& retained() const { return retained_; }
+
+  /// Newest retained checkpoint with taken_at <= cutoff, skipping the
+  /// `skip` most recent eligible ones (the escalation ladder walks
+  /// progressively older candidates). nullptr when exhausted — the
+  /// caller falls back to the baseline.
+  const Checkpoint* last_good(SimTime cutoff, int skip = 0) const;
+
+  u64 captures() const { return captures_; }
+  u64 restores() const { return restores_; }
+  u64 bytes_captured() const { return bytes_captured_; }
+
+ private:
+  os::Vm& vm_;
+  Options opts_;
+  std::function<bool()> gate_;
+  bool started_ = false;
+  std::deque<Checkpoint> retained_;
+  std::deque<Checkpoint> baseline_;  ///< 0 or 1 entries (pinned)
+  u64 captures_ = 0;
+  u64 restores_ = 0;
+  u64 bytes_captured_ = 0;
+  /// Shared liveness flag captured by the periodic schedule_every closure,
+  /// which may outlive this object inside the machine's event queue.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace hypertap::recovery

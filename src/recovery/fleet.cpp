@@ -1,0 +1,63 @@
+#include "recovery/fleet.hpp"
+
+#include <algorithm>
+
+namespace hypertap::recovery {
+
+void FleetSupervisor::manage(std::size_t index, RecoveryManager& mgr) {
+  managed_.push_back(Managed{index, &mgr, -1});
+  const std::size_t slot = managed_.size() - 1;
+  mgr.set_remediation_gate([this]() {
+    return active_remediations_ < opts_.max_concurrent_remediations;
+  });
+  mgr.set_pause_hook([this, index]() {
+    if (!host_.paused(index)) {
+      host_.pause(index);
+      ++active_remediations_;
+    }
+  });
+  mgr.set_on_remediated([this, slot](const RemediationRecord& rec) {
+    // Keep the VM frozen for the simulated remediation downtime; the
+    // run_until loop resumes it when the deadline passes.
+    managed_[slot].resume_at = rec.at + opts_.remediation_downtime;
+  });
+}
+
+void FleetSupervisor::run_until(SimTime t_end) {
+  // `cursor` is the authoritative fleet clock: host_.now() alone cannot
+  // drive the loop, because with every VM paused it stops advancing and
+  // nothing would ever reach its resume deadline.
+  SimTime cursor = host_.now();
+  while (cursor < t_end) {
+    cursor = std::min(cursor + opts_.tick, t_end);
+    host_.run_until(cursor);
+    for (auto& m : managed_) {
+      if (m.resume_at >= 0 && cursor >= m.resume_at) {
+        m.resume_at = -1;
+        --active_remediations_;
+        host_.resume(m.index);
+        // Align even if every VM was paused (host_.now() stale then).
+        host_.vm(m.index).machine.skip_to(cursor);
+      }
+    }
+    for (auto& m : managed_) m.mgr->tick(cursor);
+  }
+}
+
+FleetSupervisor::Ledger FleetSupervisor::ledger() const {
+  Ledger l;
+  for (const auto& m : managed_) {
+    l.remediations += m.mgr->history().size();
+    for (const auto& rec : m.mgr->history()) {
+      if (rec.attempt > 0) ++l.escalations;
+    }
+    l.recoveries += m.mgr->episodes_recovered();
+    if (m.mgr->health() == VmHealth::kFailed) ++l.failed_vms;
+    l.mttr_total += m.mgr->mttr_total();
+    l.mttr_samples += m.mgr->mttr_samples();
+    l.checkpoint_bytes += m.mgr->checkpointer().bytes_captured();
+  }
+  return l;
+}
+
+}  // namespace hypertap::recovery

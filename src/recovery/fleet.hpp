@@ -1,0 +1,83 @@
+// Fleet supervision (recovery layer 3).
+//
+// One FleetSupervisor sits on top of a MultiVmHost and a set of per-VM
+// RecoveryManagers. It contributes the host-level concerns the per-VM
+// state machines cannot decide alone:
+//
+//  - a concurrency cap on simultaneous remediations (restores are
+//    memory-bandwidth-heavy on a real host; remediating every VM at once
+//    is itself an availability incident),
+//  - per-VM isolation: a VM under remediation is paused on the host so it
+//    neither executes half-restored state nor stalls the slice rotation
+//    of its healthy co-tenants (MultiVmHost::now() skips paused VMs),
+//  - a recovery ledger aggregating MTTR, attempts, escalations and
+//    checkpoint footprint across the fleet.
+#pragma once
+
+#include <vector>
+
+#include "hv/multi_vm.hpp"
+#include "recovery/recovery_manager.hpp"
+
+namespace hypertap::recovery {
+
+class FleetSupervisor {
+ public:
+  struct Options {
+    /// Max VMs under active remediation at once; further remediations
+    /// queue (their managers retry each tick until a slot frees up).
+    int max_concurrent_remediations = 1;
+    /// Simulated downtime charged per remediation: the VM stays paused
+    /// this long after the remedy is applied (state copy-in, cache warm).
+    SimTime remediation_downtime = 200'000'000;  // 200 ms
+    /// Supervisor polling period on the host clock.
+    SimTime tick = 250'000'000;  // 250 ms
+  };
+
+  struct Ledger {
+    u64 remediations = 0;   ///< individual remedy applications
+    u64 recoveries = 0;     ///< episodes closed healthy
+    u64 escalations = 0;    ///< remedies beyond a ladder's first rung
+    u64 failed_vms = 0;     ///< retry budget exhausted
+    SimTime mttr_total = 0;
+    u64 mttr_samples = 0;
+    u64 checkpoint_bytes = 0;
+    SimTime mttr_mean() const {
+      return mttr_samples ? mttr_total / static_cast<SimTime>(mttr_samples)
+                          : 0;
+    }
+  };
+
+  FleetSupervisor(hv::MultiVmHost& host, Options opts)
+      : host_(host), opts_(opts) {}
+  explicit FleetSupervisor(hv::MultiVmHost& host)
+      : FleetSupervisor(host, Options{}) {}
+
+  /// Put the manager of host VM `index` under supervision: wires the
+  /// concurrency gate, the pause hook and the downtime-based resume.
+  /// The manager must not have been start()ed (the fleet drives ticks).
+  void manage(std::size_t index, RecoveryManager& mgr);
+
+  /// Advance the whole fleet to host time `t_end`, interleaving VM slices
+  /// with supervisor ticks (which heal paused VMs — their own clocks are
+  /// frozen, so self-driven ticks could never fire).
+  void run_until(SimTime t_end);
+  void run_for(SimTime dt) { run_until(host_.now() + dt); }
+
+  Ledger ledger() const;
+  int active_remediations() const { return active_remediations_; }
+
+ private:
+  struct Managed {
+    std::size_t index = 0;
+    RecoveryManager* mgr = nullptr;
+    SimTime resume_at = -1;  ///< pending un-pause deadline, -1 = none
+  };
+
+  hv::MultiVmHost& host_;
+  Options opts_;
+  std::vector<Managed> managed_;
+  int active_remediations_ = 0;
+};
+
+}  // namespace hypertap::recovery

@@ -1,0 +1,230 @@
+#include "recovery/recovery_manager.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hypertap::recovery {
+
+const char* to_string(VmHealth h) {
+  switch (h) {
+    case VmHealth::kHealthy: return "healthy";
+    case VmHealth::kSuspect: return "suspect";
+    case VmHealth::kRemediating: return "remediating";
+    case VmHealth::kProbation: return "probation";
+    case VmHealth::kFailed: return "failed";
+  }
+  return "?";
+}
+
+const char* to_string(RemedyKind k) {
+  switch (k) {
+    case RemedyKind::kResync: return "resync";
+    case RemedyKind::kKill: return "kill";
+    case RemedyKind::kRestore: return "restore";
+    case RemedyKind::kReboot: return "reboot";
+  }
+  return "?";
+}
+
+bool RecoveryManager::is_trigger(const std::string& type) {
+  return type == "vcpu-hang" || type == "full-hang" || type == "hidden-task" ||
+         type == "auditor-quarantined" || type == "rhc-liveness";
+}
+
+bool RecoveryManager::is_clear(const std::string& type) {
+  return type == "vcpu-hang-cleared" || type == "auditor-recovered";
+}
+
+bool RecoveryManager::monitor_only(const std::string& type) {
+  // Faults in the monitoring plane, not the guest: the guest needs no
+  // remediation, the monitor needs a fresh baseline.
+  return type == "auditor-quarantined" || type == "rhc-liveness";
+}
+
+RecoveryManager::RecoveryManager(os::Vm& vm, HyperTap& ht, Checkpointer& cp,
+                                 RecoveryPolicy policy)
+    : vm_(vm), ht_(ht), checkpointer_(cp), policy_(policy) {
+  auto alive = alive_;
+  ht_.alarms().subscribe([this, alive](const Alarm& a) {
+    if (*alive) on_alarm(a);
+  });
+}
+
+RecoveryManager::~RecoveryManager() { *alive_ = false; }
+
+void RecoveryManager::start(SimTime tick_period) {
+  auto alive = alive_;
+  vm_.machine.schedule_every(tick_period, [this, alive]() {
+    if (!*alive) return false;
+    tick(vm_.machine.now());
+    return true;
+  });
+}
+
+void RecoveryManager::on_alarm(const Alarm& a) {
+  if (is_clear(a.type)) {
+    // The symptom went away on its own inside the confirmation window —
+    // a slow vCPU, not a hung one. Stand down (unless this is a probation
+    // relapse episode, where the ladder must keep escalating).
+    if (health_ == VmHealth::kSuspect && !relapse_) {
+      health_ = VmHealth::kHealthy;
+      attempt_ = 0;
+      restores_tried_ = 0;
+    }
+    return;
+  }
+  if (!is_trigger(a.type)) return;
+  switch (health_) {
+    case VmHealth::kHealthy:
+      health_ = VmHealth::kSuspect;
+      trigger_ = a;
+      suspect_since_ = a.time;
+      relapse_ = false;
+      attempt_ = 0;
+      restores_tried_ = 0;
+      break;
+    case VmHealth::kProbation:
+      // The remediation did not hold. Re-enter suspect with the episode's
+      // attempt counter (and detection time) intact so the ladder
+      // escalates instead of retrying the same rung forever.
+      health_ = VmHealth::kSuspect;
+      trigger_ = a;
+      suspect_since_ = a.time;
+      relapse_ = true;
+      break;
+    case VmHealth::kSuspect:
+    case VmHealth::kRemediating:
+    case VmHealth::kFailed:
+      break;  // already being handled (or given up on)
+  }
+}
+
+void RecoveryManager::tick(SimTime now) {
+  // The RHC has no alarm sink of its own (it models a separate machine);
+  // fold its liveness alerts into the stream here.
+  if (Rhc* rhc = ht_.rhc()) {
+    if (rhc->alerts().size() > rhc_alerts_seen_) {
+      rhc_alerts_seen_ = rhc->alerts().size();
+      on_alarm(Alarm{now, "rhc", "rhc-liveness", "no samples", -1, 0});
+    }
+  }
+
+  switch (health_) {
+    case VmHealth::kSuspect:
+      if (now - suspect_since_ >= policy_.confirm_window) {
+        if (!relapse_) episode_detect_ = suspect_since_;
+        health_ = VmHealth::kRemediating;
+      }
+      break;
+    case VmHealth::kProbation:
+      if (now >= probation_until_) {
+        health_ = VmHealth::kHealthy;
+        ++episodes_recovered_;
+        mttr_total_ += remediation_end_ - episode_detect_;
+        last_recovery_at_ = remediation_end_;
+        attempt_ = 0;
+        restores_tried_ = 0;
+        relapse_ = false;
+      }
+      break;
+    default:
+      break;
+  }
+
+  if (health_ == VmHealth::kRemediating && now >= next_action_at_) {
+    if (!remediation_gate_ || remediation_gate_()) remediate(now);
+  }
+}
+
+void RecoveryManager::resync_monitor(SimTime now) {
+  for (const auto& r : ht_.multiplexer().registrations()) {
+    r.auditor->resync(ht_.context());
+  }
+  if (Rhc* rhc = ht_.rhc()) {
+    rhc->reset(now);
+    rhc_alerts_seen_ = rhc->alerts().size();
+  }
+}
+
+void RecoveryManager::remediate(SimTime now) {
+  if (attempt_ >= policy_.retry_budget) {
+    health_ = VmHealth::kFailed;
+    return;
+  }
+  if (pause_hook_) pause_hook_();
+
+  RemediationRecord rec;
+  rec.at = now;
+  rec.attempt = attempt_;
+  rec.trigger = trigger_.type;
+  rec.pid = trigger_.pid;
+
+  bool want_restore = attempt_ > 0;
+  if (attempt_ == 0) {
+    if (monitor_only(trigger_.type)) {
+      rec.kind = RemedyKind::kResync;
+      rec.ok = true;  // the resync below IS the remediation
+    } else if (trigger_.pid != 0) {
+      rec.kind = RemedyKind::kKill;
+      rec.ok = vm_.kernel.force_kill(trigger_.pid);
+      if (!rec.ok) want_restore = true;  // pid already gone or unkillable
+    } else {
+      want_restore = true;
+    }
+  }
+  if (want_restore) {
+    // Only trust checkpoints old enough to predate the fault's activation:
+    // anything taken after (detection − latency bound) may already be
+    // poisoned. Walk to progressively older candidates across attempts
+    // and whenever the verifier refuses one.
+    const SimTime cutoff = episode_detect_ - policy_.detect_latency_bound;
+    rec.kind = RemedyKind::kRestore;
+    rec.ok = false;
+    while (const Checkpoint* cp =
+               checkpointer_.last_good(cutoff, restores_tried_)) {
+      ++restores_tried_;
+      try {
+        checkpointer_.restore_to(*cp);
+        rec.ok = true;
+        break;
+      } catch (const std::runtime_error&) {
+        // corrupt snapshot refused — try the next-older one
+      }
+    }
+    if (!rec.ok) {
+      // Ladder exhausted: cold reboot to the pinned baseline.
+      rec.kind = RemedyKind::kReboot;
+      try {
+        checkpointer_.restore_to(checkpointer_.baseline());
+        rec.ok = true;
+      } catch (const std::exception&) {
+        rec.ok = false;
+      }
+    }
+  }
+
+  // Every remediation invalidates auditor shadow state (a restore bypasses
+  // the exit engine entirely) — rebuild from the trusted derivation and
+  // re-arm the RHC so the pre-remediation silence is forgotten.
+  resync_monitor(now);
+
+  ++attempt_;
+  const SimTime backoff =
+      std::min(policy_.backoff_initial << std::min(attempt_ - 1, 30),
+               policy_.backoff_cap);
+  next_action_at_ = now + backoff;
+  remediation_end_ = now;
+
+  if (!rec.ok && rec.kind == RemedyKind::kReboot) {
+    history_.push_back(rec);
+    health_ = VmHealth::kFailed;
+    if (on_remediated_) on_remediated_(rec);
+    return;
+  }
+  health_ = VmHealth::kProbation;
+  probation_until_ = now + policy_.probation;
+  history_.push_back(rec);
+  if (on_remediated_) on_remediated_(rec);
+}
+
+}  // namespace hypertap::recovery

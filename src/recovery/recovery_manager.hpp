@@ -1,0 +1,148 @@
+// Alarm-driven remediation (recovery layer 2).
+//
+// The RecoveryManager closes the paper's detect→recover loop: it consumes
+// the AlarmSink stream the auditors produce (GOSHD hangs, HRKD hidden
+// tasks, RHC liveness loss, multiplexer quarantines) and drives a per-VM
+// health state machine
+//
+//   healthy → suspect → remediating → probation → healthy
+//                ↘ (alarm cleared) ↗        ↘ (relapse) back to suspect,
+//                                             attempt counter preserved
+//
+// with a remediation ladder escalating from cheapest to most disruptive:
+// resync the monitor → kill the offending task → restore the last good
+// checkpoint (walking progressively older ones) → cold reboot (restore the
+// pinned baseline). Backoff between attempts is capped-exponential and a
+// retry budget bounds the episode; exhausting it marks the VM failed
+// rather than looping forever.
+//
+// Every remediation — even a plain task kill — ends by resyncing every
+// attached auditor from the trusted derivation and re-arming the RHC: a
+// restore bypasses the exit engine entirely, so auditor shadow state is
+// stale by construction afterwards.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hypertap.hpp"
+#include "recovery/checkpoint.hpp"
+
+namespace hypertap::recovery {
+
+enum class VmHealth : u8 { kHealthy, kSuspect, kRemediating, kProbation, kFailed };
+const char* to_string(VmHealth h);
+
+enum class RemedyKind : u8 { kResync, kKill, kRestore, kReboot };
+const char* to_string(RemedyKind k);
+
+struct RecoveryPolicy {
+  /// A suspect VM is only remediated if its trigger alarm is not cleared
+  /// within this window (debounce: GOSHD raises vcpu-hang-cleared when a
+  /// slow vCPU resumes on its own).
+  SimTime confirm_window = 1_s;
+  /// Upper bound on detection latency: a checkpoint is only trusted if it
+  /// was taken at least this long before the episode's detection time,
+  /// i.e. before the fault could have activated undetected.
+  SimTime detect_latency_bound = 5_s;
+  SimTime backoff_initial = 1_s;  ///< doubles per attempt...
+  SimTime backoff_cap = 8_s;      ///< ...up to this cap
+  /// Remediation attempts per episode before declaring the VM failed.
+  int retry_budget = 5;
+  /// Quiet period after a remediation before declaring recovery. Must
+  /// exceed the hang-detection threshold (GOSHD default 4 s) so a bad
+  /// restore relapses *inside* probation and escalates the ladder instead
+  /// of opening a fresh episode.
+  SimTime probation = 6_s;
+};
+
+struct RemediationRecord {
+  SimTime at = 0;
+  int attempt = 0;
+  RemedyKind kind = RemedyKind::kResync;
+  bool ok = false;
+  std::string trigger;  ///< alarm type that opened the episode
+  u32 pid = 0;          ///< offending pid, when the alarm names one
+};
+
+class RecoveryManager {
+ public:
+  RecoveryManager(os::Vm& vm, HyperTap& ht, Checkpointer& cp,
+                  RecoveryPolicy policy = {});
+
+  RecoveryManager(const RecoveryManager&) = delete;
+  RecoveryManager& operator=(const RecoveryManager&) = delete;
+  ~RecoveryManager();
+
+  /// Self-driven mode (single VM): schedule periodic tick() on the VM's
+  /// own clock. Under a FleetSupervisor, do NOT call this — the fleet
+  /// drives tick() from the host loop so a paused VM can still be healed.
+  void start(SimTime tick_period = 250'000'000);
+
+  /// Advance the state machine: fold in RHC liveness, expire the
+  /// confirmation window, run due remediations, close probation.
+  void tick(SimTime now);
+
+  // Fleet integration hooks.
+  /// Remediation proceeds only while the gate returns true (concurrency
+  /// cap). A blocked remediation retries on the next tick.
+  void set_remediation_gate(std::function<bool()> gate) {
+    remediation_gate_ = std::move(gate);
+  }
+  /// Called immediately before the VM is mutated (fleet pauses it).
+  void set_pause_hook(std::function<void()> fn) { pause_hook_ = std::move(fn); }
+  /// Called after a remediation completes (fleet schedules the resume;
+  /// experiment drivers drop stale in-flight probes).
+  void set_on_remediated(std::function<void(const RemediationRecord&)> fn) {
+    on_remediated_ = std::move(fn);
+  }
+
+  VmHealth health() const { return health_; }
+  const std::vector<RemediationRecord>& history() const { return history_; }
+  u64 episodes_recovered() const { return episodes_recovered_; }
+  u64 episodes_failed() const { return health_ == VmHealth::kFailed ? 1 : 0; }
+  /// Sum over recovered episodes of (successful remediation − detection).
+  SimTime mttr_total() const { return mttr_total_; }
+  u64 mttr_samples() const { return episodes_recovered_; }
+  SimTime last_recovery_at() const { return last_recovery_at_; }
+  Checkpointer& checkpointer() { return checkpointer_; }
+
+ private:
+  void on_alarm(const Alarm& a);
+  void remediate(SimTime now);
+  void resync_monitor(SimTime now);
+  static bool is_trigger(const std::string& type);
+  static bool is_clear(const std::string& type);
+  static bool monitor_only(const std::string& type);
+
+  os::Vm& vm_;
+  HyperTap& ht_;
+  Checkpointer& checkpointer_;
+  RecoveryPolicy policy_;
+
+  VmHealth health_ = VmHealth::kHealthy;
+  Alarm trigger_;              ///< alarm that opened the current episode
+  SimTime suspect_since_ = 0;  ///< entry into the current suspect window
+  SimTime episode_detect_ = 0; ///< frozen across probation relapses
+  bool relapse_ = false;
+  int attempt_ = 0;
+  int restores_tried_ = 0;  ///< walks last_good() to older candidates
+  SimTime next_action_at_ = 0;
+  SimTime probation_until_ = 0;
+  SimTime remediation_end_ = 0;
+
+  std::vector<RemediationRecord> history_;
+  u64 episodes_recovered_ = 0;
+  SimTime mttr_total_ = 0;
+  SimTime last_recovery_at_ = -1;
+  std::size_t rhc_alerts_seen_ = 0;
+
+  std::function<bool()> remediation_gate_;
+  std::function<void()> pause_hook_;
+  std::function<void(const RemediationRecord&)> on_remediated_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace hypertap::recovery

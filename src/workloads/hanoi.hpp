@@ -23,6 +23,9 @@ class HanoiWorkload final : public FiniteWorkload {
 
   os::Action next(os::TaskCtx& ctx) override;
   std::string name() const override { return "hanoi"; }
+  std::unique_ptr<os::Workload> clone() const override {
+    return std::make_unique<HanoiWorkload>(*this);
+  }
 
  private:
   Config cfg_;

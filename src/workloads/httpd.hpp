@@ -26,6 +26,9 @@ class HttpdWorkerWorkload final : public os::Workload {
 
   os::Action next(os::TaskCtx& ctx) override;
   std::string name() const override { return "httpd"; }
+  std::unique_ptr<os::Workload> clone() const override {
+    return std::make_unique<HttpdWorkerWorkload>(*this);
+  }
 
   u64 requests_served() const { return served_; }
 

@@ -24,6 +24,9 @@ class MakeJobWorkload final : public FiniteWorkload {
 
   os::Action next(os::TaskCtx& ctx) override;
   std::string name() const override { return "make"; }
+  std::unique_ptr<os::Workload> clone() const override {
+    return std::make_unique<MakeJobWorkload>(*this);
+  }
 
   u32 units_done() const { return unit_; }
 

@@ -28,6 +28,9 @@ class ComputeBench final : public FiniteWorkload {
     remaining_ -= chunk;
     return os::ActCompute{chunk};
   }
+  std::unique_ptr<os::Workload> clone() const override {
+    return std::make_unique<ComputeBench>(*this);
+  }
 
  private:
   u64 remaining_;
@@ -41,6 +44,9 @@ class FileCopyBench final : public FiniteWorkload {
     if ((phase_ ^= 1) != 0) return os::ActSyscall{os::SYS_READ, 3, buf_};
     ++block_;
     return os::ActSyscall{os::SYS_WRITE, 4, buf_};
+  }
+  std::unique_ptr<os::Workload> clone() const override {
+    return std::make_unique<FileCopyBench>(*this);
   }
 
  private:
@@ -64,6 +70,9 @@ class PipeThroughputBench final : public FiniteWorkload {
         return os::ActCompute{12'000};
     }
   }
+  std::unique_ptr<os::Workload> clone() const override {
+    return std::make_unique<PipeThroughputBench>(*this);
+  }
 
  private:
   u32 iters_;
@@ -80,6 +89,9 @@ class PingPongMain final : public FiniteWorkload {
       return os::ActSyscall{os::SYS_PIPE_WRITE, PIPE_AB, 128};
     ++r_;
     return os::ActSyscall{os::SYS_PIPE_READ, PIPE_BA, 128};
+  }
+  std::unique_ptr<os::Workload> clone() const override {
+    return std::make_unique<PingPongMain>(*this);
   }
 
  private:
@@ -99,6 +111,9 @@ class PingPongPartner final : public os::Workload {
     return os::ActSyscall{os::SYS_PIPE_WRITE, PIPE_BA, 128};
   }
   std::string name() const override { return "pingpong-b"; }
+  std::unique_ptr<os::Workload> clone() const override {
+    return std::make_unique<PingPongPartner>(*this);
+  }
 
  private:
   u32 rounds_;
@@ -113,6 +128,9 @@ class SpawnLoopBench final : public FiniteWorkload {
     if (i_ >= n_) return finish(ctx);
     ++i_;
     return os::ActSyscall{os::SYS_SPAWN, EXE_NOOP};
+  }
+  std::unique_ptr<os::Workload> clone() const override {
+    return std::make_unique<SpawnLoopBench>(*this);
   }
 
  private:
@@ -134,6 +152,9 @@ class ShellScriptBench final : public FiniteWorkload {
     ++i_;
     // "wait" for the batch: the shell sleeps briefly between rounds.
     return os::ActSyscall{os::SYS_NANOSLEEP, 4'000};
+  }
+  std::unique_ptr<os::Workload> clone() const override {
+    return std::make_unique<ShellScriptBench>(*this);
   }
 
  private:
@@ -163,6 +184,9 @@ class SyscallLoopBench final : public FiniteWorkload {
       case 3: return os::ActSyscall{os::SYS_GETTIME};
       default: return os::ActSyscall{os::SYS_GETPID};
     }
+  }
+  std::unique_ptr<os::Workload> clone() const override {
+    return std::make_unique<SyscallLoopBench>(*this);
   }
 
  private:

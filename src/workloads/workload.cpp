@@ -30,6 +30,9 @@ class NoopWorkload final : public os::Workload {
     return os::ActExit{};
   }
   std::string name() const override { return "noop"; }
+  std::unique_ptr<os::Workload> clone() const override {
+    return std::make_unique<NoopWorkload>(*this);
+  }
   int step_ = 0;
 };
 
@@ -53,6 +56,9 @@ class Cc1Workload final : public os::Workload {
     }
   }
   std::string name() const override { return "cc1"; }
+  std::unique_ptr<os::Workload> clone() const override {
+    return std::make_unique<Cc1Workload>(*this);
+  }
 
  private:
   LocationPicker picker_;
@@ -65,6 +71,9 @@ class IdleForever final : public os::Workload {
     return os::ActSyscall{os::SYS_NANOSLEEP, 2'000'000};
   }
   std::string name() const override { return "idle"; }
+  std::unique_ptr<os::Workload> clone() const override {
+    return std::make_unique<IdleForever>(*this);
+  }
 };
 
 class ScriptChild final : public os::Workload {
@@ -79,6 +88,9 @@ class ScriptChild final : public os::Workload {
     }
   }
   std::string name() const override { return "script"; }
+  std::unique_ptr<os::Workload> clone() const override {
+    return std::make_unique<ScriptChild>(*this);
+  }
 
  private:
   util::Rng rng_;

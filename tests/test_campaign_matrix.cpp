@@ -75,6 +75,9 @@ TEST_P(FaultMatrix, ClassificationIsSane) {
       EXPECT_LT(res.first_alarm, 0);
       EXPECT_TRUE(res.probe_hang);
       break;
+    case fi::Outcome::kRecovered:
+      FAIL() << "recovery is disabled in this campaign";
+      break;
   }
   EXPECT_FALSE(res.goshd_false_alarm);
 }

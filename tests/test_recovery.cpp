@@ -1,0 +1,477 @@
+// The detect→recover loop: checkpoint/restore fidelity, the invariant
+// verifier, the RecoveryManager ladder, fleet supervision on MultiVmHost,
+// and the closed-loop fault-injection campaign (Outcome::kRecovered).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "arch/tss.hpp"
+#include "core/hypertap.hpp"
+#include "fi/campaign.hpp"
+#include "fi/locations.hpp"
+#include "hv/multi_vm.hpp"
+#include "recovery/checkpoint.hpp"
+#include "recovery/fleet.hpp"
+#include "recovery/recovery_manager.hpp"
+#include "workloads/make.hpp"
+
+namespace hypertap {
+namespace {
+
+using recovery::Checkpoint;
+using recovery::Checkpointer;
+using recovery::FleetSupervisor;
+using recovery::RecoveryManager;
+using recovery::RecoveryPolicy;
+using recovery::RemedyKind;
+using recovery::VmHealth;
+
+const std::vector<os::KernelLocation>& locs() {
+  static const auto l = fi::generate_locations(2014);
+  return l;
+}
+
+hv::MachineConfig small_mc() {
+  hv::MachineConfig mc;
+  mc.num_vcpus = 2;
+  mc.phys_mem_bytes = 8ull << 20;
+  return mc;
+}
+
+/// Cloneable forever-sleeper (a daemon to be killed by the ladder).
+class SleeperWorkload final : public os::Workload {
+ public:
+  os::Action next(os::TaskCtx&) override {
+    return os::ActSyscall{os::SYS_NANOSLEEP, 200'000};
+  }
+  std::string name() const override { return "sleeper"; }
+  std::unique_ptr<os::Workload> clone() const override {
+    return std::make_unique<SleeperWorkload>(*this);
+  }
+};
+
+/// Deliberately NOT checkpointable (no clone override).
+class OpaqueWorkload final : public os::Workload {
+ public:
+  os::Action next(os::TaskCtx&) override {
+    return os::ActSyscall{os::SYS_NANOSLEEP, 200'000};
+  }
+  std::string name() const override { return "opaque"; }
+};
+
+void spawn_make_jobs(os::Vm& vm, int jobs, u32 units,
+                     std::vector<SimTime>* job_done) {
+  job_done->assign(jobs, -1);
+  for (int j = 0; j < jobs; ++j) {
+    workloads::MakeJobWorkload::Config mcfg;
+    mcfg.units = units;
+    auto w = std::make_unique<workloads::MakeJobWorkload>(mcfg, &locs(),
+                                                          7'000 + j);
+    w->set_on_done([job_done, j](SimTime t) { job_done->at(j) = t; });
+    vm.kernel.spawn("make", 1000, 1000, 1, std::move(w));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint capture/restore fidelity.
+// ---------------------------------------------------------------------
+
+TEST(Checkpoint, RestoreReproducesMemoryRegistersAndEpt) {
+  os::Vm vm(small_mc());
+  vm.kernel.register_locations(locs());
+  vm.kernel.boot();
+  std::vector<SimTime> done;
+  spawn_make_jobs(vm, 2, 200, &done);
+  vm.machine.run_for(3'000'000'000);
+
+  Checkpointer::Options copts;
+  copts.period = 0;  // manual captures
+  Checkpointer ck(vm, copts);
+  const Checkpoint cp = ck.capture();
+  EXPECT_EQ(Checkpointer::verify(cp, vm), "");
+
+  vm.machine.run_for(2'000'000'000);
+  const Checkpoint mutated = ck.capture();
+  ASSERT_NE(cp.mem, mutated.mem) << "guest must have made progress";
+
+  ck.restore_to(cp);
+  const Checkpoint back = ck.capture();
+  EXPECT_EQ(cp.mem, back.mem) << "guest-physical image must round-trip";
+  EXPECT_EQ(cp.ept, back.ept);
+  ASSERT_EQ(cp.regs.size(), back.regs.size());
+  for (std::size_t i = 0; i < cp.regs.size(); ++i) {
+    EXPECT_EQ(cp.regs[i], back.regs[i]) << "vcpu " << i;
+    EXPECT_EQ(cp.msrs[i], back.msrs[i]) << "vcpu " << i;
+  }
+  EXPECT_EQ(ck.restores(), 1u);
+
+  // The restored guest must be runnable and finish its workload.
+  vm.machine.run_for(30'000'000'000);
+  EXPECT_GE(done.at(0), 0);
+  EXPECT_GE(done.at(1), 0);
+}
+
+TEST(Checkpoint, RepeatedCyclesPreserveWorkloadOutput) {
+  auto run = [](int cycles) {
+    os::Vm vm(small_mc());
+    vm.kernel.register_locations(locs());
+    vm.kernel.boot();
+    std::vector<SimTime> done;
+    spawn_make_jobs(vm, 2, 70, &done);  // make -j2
+    Checkpointer::Options copts;
+    copts.period = 0;
+    Checkpointer ck(vm, copts);
+    for (int i = 0; i < cycles; ++i) {
+      vm.machine.run_for(1'500'000'000);
+      ck.restore_to(ck.capture());  // snapshot and immediately restore
+    }
+    vm.machine.run_for(60'000'000'000);
+    return std::max(done.at(0), done.at(1));
+  };
+  const SimTime baseline = run(0);
+  const SimTime cycled = run(5);
+  ASSERT_GT(baseline, 0) << "baseline workload must complete";
+  ASSERT_GT(cycled, 0) << "workload must survive 5 checkpoint/restore cycles";
+  // A capture+restore at the same instant is semantically a no-op; only
+  // the re-armed I/O completions may shift timing slightly.
+  EXPECT_LT(std::llabs(cycled - baseline), baseline / 10)
+      << "round-trips must not change what the workload computes";
+}
+
+TEST(Checkpoint, VerifierRefusesCorruptSnapshots) {
+  os::Vm vm(small_mc());
+  vm.kernel.register_locations(locs());
+  vm.kernel.boot();
+  std::vector<SimTime> done;
+  spawn_make_jobs(vm, 1, 100, &done);
+  vm.machine.run_for(2'000'000'000);
+
+  Checkpointer::Options copts;
+  copts.period = 0;
+  Checkpointer ck(vm, copts);
+  const Checkpoint good = ck.capture();
+  ASSERT_EQ(Checkpointer::verify(good, vm), "");
+
+  {  // TR no longer points at the per-CPU TSS
+    Checkpoint bad = good;
+    bad.regs[0].tr += 0x40;
+    EXPECT_NE(Checkpointer::verify(bad, vm), "");
+    EXPECT_THROW(ck.restore_to(bad), std::runtime_error);
+  }
+  {  // TSS.RSP0 in the memory image disagrees with the current thread
+    Checkpoint bad = good;
+    const Gpa rsp0_at = vm.kernel.tss_gpa(0) + arch::TSS_RSP0_OFFSET;
+    bad.mem[rsp0_at] ^= 0xFF;
+    EXPECT_NE(Checkpointer::verify(bad, vm), "");
+    EXPECT_THROW(ck.restore_to(bad), std::runtime_error);
+  }
+  {  // CR3 references no live page directory
+    Checkpoint bad = good;
+    bad.regs[1].cr3 = 0x00345000;
+    EXPECT_NE(Checkpointer::verify(bad, vm), "");
+    EXPECT_THROW(ck.restore_to(bad), std::runtime_error);
+  }
+  EXPECT_EQ(ck.restores(), 0u) << "refused restores must not touch the VM";
+  ck.restore_to(good);  // the pristine snapshot still restores fine
+  EXPECT_EQ(ck.restores(), 1u);
+}
+
+TEST(Checkpoint, NonCloneableWorkloadIsRefused) {
+  os::Vm vm(small_mc());
+  vm.kernel.boot();
+  vm.kernel.spawn("opaque", 0, 0, 1, std::make_unique<OpaqueWorkload>());
+  vm.machine.run_for(500'000'000);
+  Checkpointer::Options copts;
+  copts.period = 0;
+  Checkpointer ck(vm, copts);
+  EXPECT_THROW(ck.capture(), std::logic_error)
+      << "half-captured state must never be produced";
+}
+
+TEST(Checkpoint, RetentionWindowIsBoundedAndBaselinePinned) {
+  os::Vm vm(small_mc());
+  vm.kernel.register_locations(locs());
+  vm.kernel.boot();
+  std::vector<SimTime> done;
+  spawn_make_jobs(vm, 1, 300, &done);
+  Checkpointer::Options copts;
+  copts.period = 1'000'000'000;
+  copts.max_retained = 3;
+  Checkpointer ck(vm, copts);
+  ck.start();
+  EXPECT_EQ(ck.baseline().taken_at, vm.machine.now());
+  vm.machine.run_for(8'000'000'000);
+  EXPECT_EQ(ck.retained().size(), 3u);
+  EXPECT_EQ(ck.baseline().taken_at, 0) << "the baseline is never evicted";
+  // last_good walks newest → older among eligible candidates.
+  const Checkpoint* newest = ck.last_good(vm.machine.now());
+  ASSERT_NE(newest, nullptr);
+  const Checkpoint* older = ck.last_good(vm.machine.now(), 1);
+  ASSERT_NE(older, nullptr);
+  EXPECT_LT(older->taken_at, newest->taken_at);
+  EXPECT_EQ(ck.last_good(500'000'000), nullptr)
+      << "cutoff before every retained checkpoint must find none";
+}
+
+// ---------------------------------------------------------------------
+// RecoveryManager: ladder, debounce, budget.
+// ---------------------------------------------------------------------
+
+struct Rig {
+  explicit Rig(RecoveryPolicy pol, SimTime ck_period = 1'000'000'000)
+      : vm(small_mc()), ht(vm), ck_opts_{ck_period, 4},
+        ck(vm, ck_opts_), rm(vm, ht, ck, pol) {
+    vm.kernel.register_locations(locs());
+    vm.kernel.boot();
+    spawn_make_jobs(vm, 2, 300, &done);
+    ck.start();
+    rm.start();
+  }
+  void raise_at(SimTime at, const std::string& type, u32 pid) {
+    vm.machine.schedule(at, [this, type, pid]() {
+      ht.alarms().raise(Alarm{vm.machine.now(), "test", type, "", 0, pid});
+    });
+  }
+  os::Vm vm;
+  HyperTap ht;
+  Checkpointer::Options ck_opts_;
+  Checkpointer ck;
+  RecoveryManager rm;
+  std::vector<SimTime> done;
+};
+
+TEST(Recovery, ClearedAlarmInsideConfirmWindowStandsDown) {
+  RecoveryPolicy pol;
+  pol.confirm_window = 2'000'000'000;
+  Rig rig(pol);
+  rig.raise_at(3'000'000'000, "vcpu-hang", 0);
+  rig.raise_at(3'500'000'000, "vcpu-hang-cleared", 0);
+  rig.vm.machine.run_for(8'000'000'000);
+  EXPECT_EQ(rig.rm.health(), VmHealth::kHealthy);
+  EXPECT_TRUE(rig.rm.history().empty())
+      << "a transient blip must not trigger remediation";
+}
+
+TEST(Recovery, KillRungRemovesOffendingTask) {
+  RecoveryPolicy pol;
+  pol.confirm_window = 500'000'000;
+  pol.probation = 2'000'000'000;
+  Rig rig(pol);
+  const u32 victim =
+      rig.vm.kernel.spawn("mal", 0, 0, 1, std::make_unique<SleeperWorkload>());
+  rig.raise_at(2'000'000'000, "hidden-task", victim);
+  rig.vm.machine.run_for(8'000'000'000);
+
+  ASSERT_EQ(rig.rm.history().size(), 1u);
+  EXPECT_EQ(rig.rm.history()[0].kind, RemedyKind::kKill);
+  EXPECT_TRUE(rig.rm.history()[0].ok);
+  EXPECT_EQ(rig.rm.history()[0].pid, victim);
+  const os::Task* t = rig.vm.kernel.find_task(victim);
+  EXPECT_TRUE(t == nullptr || t->state == os::RunState::kZombie);
+  EXPECT_EQ(rig.rm.health(), VmHealth::kHealthy);
+  EXPECT_EQ(rig.rm.episodes_recovered(), 1u);
+  EXPECT_GT(rig.rm.mttr_total(), 0);
+}
+
+TEST(Recovery, HangRungRestoresLastGoodCheckpoint) {
+  RecoveryPolicy pol;
+  pol.confirm_window = 500'000'000;
+  pol.detect_latency_bound = 3'000'000'000;
+  pol.probation = 2'000'000'000;
+  Rig rig(pol);
+  rig.raise_at(6'000'000'000, "vcpu-hang", 0);  // pid 0: no kill target
+  rig.vm.machine.run_for(12'000'000'000);
+
+  ASSERT_EQ(rig.rm.history().size(), 1u);
+  EXPECT_EQ(rig.rm.history()[0].kind, RemedyKind::kRestore);
+  EXPECT_TRUE(rig.rm.history()[0].ok);
+  EXPECT_EQ(rig.ck.restores(), 1u);
+  EXPECT_EQ(rig.rm.health(), VmHealth::kHealthy);
+  EXPECT_EQ(rig.rm.episodes_recovered(), 1u);
+  // The checkpoint used must predate detection by the latency bound.
+  EXPECT_LE(rig.rm.history()[0].at, 12'000'000'000);
+}
+
+TEST(Recovery, PersistentSymptomExhaustsRetryBudgetToFailed) {
+  RecoveryPolicy pol;
+  pol.confirm_window = 500'000'000;
+  pol.probation = 3'000'000'000;
+  pol.backoff_initial = 500'000'000;
+  pol.retry_budget = 2;
+  Rig rig(pol);
+  // Symptom generator: a hang report every 2 s no matter what the manager
+  // does — models a persistent (non-transient) fault a restore cannot fix.
+  rig.vm.machine.schedule_every(2'000'000'000, [&rig]() {
+    rig.ht.alarms().raise(
+        Alarm{rig.vm.machine.now(), "test", "vcpu-hang", "", 0, 0});
+    return true;
+  });
+  rig.vm.machine.run_for(30'000'000'000);
+  EXPECT_EQ(rig.rm.health(), VmHealth::kFailed);
+  EXPECT_EQ(rig.rm.history().size(), 2u) << "budget of 2 = two remedies";
+  EXPECT_EQ(rig.rm.episodes_recovered(), 0u);
+}
+
+TEST(Recovery, MonitorOnlyTriggerResyncsWithoutTouchingGuest) {
+  RecoveryPolicy pol;
+  pol.confirm_window = 500'000'000;
+  pol.probation = 2'000'000'000;
+  Rig rig(pol);
+  rig.raise_at(2'000'000'000, "auditor-quarantined", 0);
+  rig.vm.machine.run_for(8'000'000'000);
+  ASSERT_EQ(rig.rm.history().size(), 1u);
+  EXPECT_EQ(rig.rm.history()[0].kind, RemedyKind::kResync);
+  EXPECT_EQ(rig.ck.restores(), 0u) << "guest state must not be rolled back";
+  EXPECT_EQ(rig.rm.health(), VmHealth::kHealthy);
+}
+
+// ---------------------------------------------------------------------
+// MultiVmHost pause/resume and fleet supervision.
+// ---------------------------------------------------------------------
+
+TEST(MultiVmPause, HostTimeFlowsPastPausedVm) {
+  hv::MultiVmHost host;
+  const auto a = host.add_vm(small_mc());
+  const auto b = host.add_vm(small_mc());
+  host.vm(a).kernel.boot();
+  host.vm(b).kernel.boot();
+  host.run_for(1'000'000'000);
+
+  const SimTime t_pause = host.vm(a).machine.now();
+  host.pause(a);
+  EXPECT_TRUE(host.paused(a));
+  const SimTime target = host.now() + 2'000'000'000;
+  host.run_until(target);
+  EXPECT_EQ(host.vm(a).machine.now(), t_pause)
+      << "a paused VM must not execute";
+  EXPECT_GE(host.vm(b).machine.now(), target)
+      << "co-tenants must keep running";
+  EXPECT_GE(host.now(), target)
+      << "host time must not wait on a paused VM";
+
+  host.resume(a);
+  EXPECT_FALSE(host.paused(a));
+  EXPECT_GE(host.vm(a).machine.now(), target)
+      << "resume fast-forwards the frozen clocks";
+  host.run_for(1'000'000'000);  // and it runs again
+}
+
+TEST(Fleet, RemediationDoesNotStallHealthyCoTenant) {
+  auto run_fleet = [](bool inject) {
+    hv::MultiVmHost host;
+    const auto sick = host.add_vm(small_mc());
+    const auto healthy = host.add_vm(small_mc());
+    for (auto i : {sick, healthy}) host.vm(i).kernel.register_locations(locs());
+
+    HyperTap ht0(host.vm(sick));
+    HyperTap ht1(host.vm(healthy));
+    host.vm(sick).kernel.boot();
+    host.vm(healthy).kernel.boot();
+
+    std::vector<SimTime> done0, done1;
+    spawn_make_jobs(host.vm(sick), 1, 300, &done0);  // long-running
+    spawn_make_jobs(host.vm(healthy), 1, 60, &done1);
+
+    Checkpointer::Options copts;
+    copts.period = 1'000'000'000;
+    Checkpointer ck0(host.vm(sick), copts);
+    Checkpointer ck1(host.vm(healthy), copts);
+    RecoveryPolicy pol;
+    pol.confirm_window = 500'000'000;
+    pol.detect_latency_bound = 2'000'000'000;
+    pol.probation = 2'000'000'000;
+    RecoveryManager rm0(host.vm(sick), ht0, ck0, pol);
+    RecoveryManager rm1(host.vm(healthy), ht1, ck1, pol);
+    ck0.start();
+    ck1.start();
+
+    FleetSupervisor fleet(host);
+    fleet.manage(sick, rm0);
+    fleet.manage(healthy, rm1);
+
+    if (inject) {
+      host.vm(sick).machine.schedule(4'000'000'000, [&ht0, &host, sick]() {
+        ht0.alarms().raise(Alarm{host.vm(sick).machine.now(), "test",
+                                 "vcpu-hang", "", 0, 0});
+      });
+    }
+    fleet.run_until(30'000'000'000);
+
+    struct Out {
+      SimTime healthy_done;
+      FleetSupervisor::Ledger ledger;
+      VmHealth sick_health;
+    };
+    return Out{done1.at(0), fleet.ledger(), rm0.health()};
+  };
+
+  const auto base = run_fleet(false);
+  const auto faulty = run_fleet(true);
+  ASSERT_GT(base.healthy_done, 0);
+  ASSERT_GT(faulty.healthy_done, 0);
+  EXPECT_EQ(base.ledger.remediations, 0u);
+  EXPECT_GE(faulty.ledger.remediations, 1u);
+  EXPECT_EQ(faulty.ledger.recoveries, 1u);
+  EXPECT_EQ(faulty.sick_health, VmHealth::kHealthy);
+  EXPECT_GT(faulty.ledger.checkpoint_bytes, 0u);
+  // Acceptance: the healthy co-tenant finishes within 5% of its no-fault
+  // completion time even while its neighbour is being remediated.
+  EXPECT_LT(std::llabs(faulty.healthy_done - base.healthy_done),
+            base.healthy_done / 20)
+      << "remediating one VM must not stall the other";
+}
+
+// ---------------------------------------------------------------------
+// Closed-loop campaign: detect → remediate → finish the workload.
+// ---------------------------------------------------------------------
+
+struct LoopCase {
+  fi::WorkloadKind workload;
+  u16 location;
+  os::FaultClass cls;
+};
+
+class ClosedLoop : public ::testing::TestWithParam<LoopCase> {};
+
+TEST_P(ClosedLoop, FaultIsDetectedRemediatedAndWorkloadCompletes) {
+  const LoopCase& c = GetParam();
+  fi::RunConfig cfg;
+  cfg.workload = c.workload;
+  cfg.location = c.location;
+  cfg.fault_class = c.cls;
+  cfg.transient = true;
+  cfg.seed = 11;
+  cfg.enable_recovery = true;
+  const fi::RunResult res = fi::run_one(cfg, locs());
+
+  ASSERT_TRUE(res.activated);
+  EXPECT_EQ(res.outcome, fi::Outcome::kRecovered)
+      << "outcome was " << fi::to_string(res.outcome);
+  EXPECT_GT(res.first_alarm, 0) << "recovery presupposes detection";
+  EXPECT_GE(res.remediations, 1);
+  EXPECT_GT(res.recovered_at, res.first_alarm);
+  EXPECT_GT(res.mttr, 0);
+  EXPECT_FALSE(res.post_recovery_alarm)
+      << "resynced auditors must not re-alarm on the healthy restored VM";
+  EXPECT_FALSE(res.probe_hang)
+      << "the VM must look alive from the outside after recovery";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ClassesTimesWorkloads, ClosedLoop,
+    ::testing::Values(
+        // make -j2 × three fault classes
+        LoopCase{fi::WorkloadKind::kMakeJ2, 5, os::FaultClass::kMissingRelease},
+        LoopCase{fi::WorkloadKind::kMakeJ2, 5, os::FaultClass::kMissingPair},
+        LoopCase{fi::WorkloadKind::kMakeJ2, 5,
+                 os::FaultClass::kMissingIrqRestore},
+        // Hanoi × the same three classes
+        LoopCase{fi::WorkloadKind::kHanoi, 3, os::FaultClass::kMissingRelease},
+        LoopCase{fi::WorkloadKind::kHanoi, 3, os::FaultClass::kMissingPair},
+        LoopCase{fi::WorkloadKind::kHanoi, 3,
+                 os::FaultClass::kMissingIrqRestore}));
+
+}  // namespace
+}  // namespace hypertap

@@ -474,5 +474,34 @@ TEST(MonitorFiCampaign, PipelineSurvivesAndStillDetects) {
   for (SimTime t : res.recovery_latency) EXPECT_GT(t, 0);
 }
 
+// ---------------------------------------------------------------------
+// RHC re-arm after a VM restore.
+// ---------------------------------------------------------------------
+
+TEST(RhcReset, RearmsLivenessAfterRestore) {
+  // The RHC is deliberately left unwired from the exit stream, so it
+  // starves: exactly the silence a hang (or a restore that bypasses the
+  // exit engine) causes. The VM is just its clock source.
+  os::Vm vm;
+  vm.kernel.boot();
+  Rhc rhc;  // defaults: 0.5 s checks, 3 s alert threshold
+  rhc.start(vm.machine);
+
+  vm.machine.run_for(5'000'000'000);
+  ASSERT_EQ(rhc.alerts().size(), 1u) << "starvation must raise one alert";
+
+  // The recovery path re-arms the RHC after remediation: the pre-restore
+  // silence must not re-trip the threshold on the next check.
+  rhc.reset(vm.machine.now());
+  vm.machine.run_for(2'000'000'000);
+  EXPECT_EQ(rhc.alerts().size(), 1u)
+      << "reset must suppress the stale pre-restore silence";
+
+  // But detection itself stays armed: genuinely renewed silence past the
+  // threshold is reported as a fresh alert.
+  vm.machine.run_for(2'000'000'000);
+  EXPECT_EQ(rhc.alerts().size(), 2u);
+}
+
 }  // namespace
 }  // namespace hypertap
