@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "auditors/goshd.hpp"
+#include "bench_report.hpp"
 #include "core/hypertap.hpp"
 #include "fi/campaign.hpp"
 #include "fi/locations.hpp"
@@ -76,6 +77,8 @@ int main() {
                "max timeslice = 4 s)\n\n";
   TablePrinter tp({"Threshold", "False alarms (healthy)",
                    "Hangs detected", "Median latency (s)"});
+  htbench::BenchReport report("ablation_goshd_threshold");
+  report.param("healthy_runs", 6).param("hang_runs", 8);
   for (const SimTime thr :
        {500'000'000ll, 1'000'000'000ll, 2'000'000'000ll, 4'000'000'000ll,
         8'000'000'000ll, 16'000'000'000ll}) {
@@ -85,9 +88,18 @@ int main() {
                 std::to_string(fa) + "/6",
                 std::to_string(lat.count()) + "/8",
                 lat.empty() ? "-" : format_double(lat.percentile(50), 2)});
+    const std::string key =
+        "threshold_" + format_double(static_cast<double>(thr) / 1e9, 1) +
+        "s";
+    report.metric(key + ".false_alarms", fa)
+        .metric(key + ".hangs_detected", lat.count());
+    if (!lat.empty()) {
+      report.metric(key + ".median_latency_s", lat.percentile(50));
+    }
     std::cerr << "  threshold " << thr / 1'000'000'000 << "s done\n";
   }
   std::cout << tp.str();
+  report.write();
   std::cout << "\nBelow the guest's natural scheduling quiet time the "
                "detector false-alarms; above it, latency grows linearly. "
                "2x the profiled maximum timeslice sits at the knee.\n";

@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "auditors/goshd.hpp"
+#include "bench_report.hpp"
 #include "auditors/hrkd.hpp"
 #include "auditors/ped.hpp"
 #include "core/hypertap.hpp"
@@ -107,6 +108,21 @@ int main() {
   tp.add_row({"unified logging, blocking audits",
               format_double(blocking, 3), rel(blocking)});
   std::cout << tp.str();
+
+  htbench::BenchReport report("ablation_unified_logging");
+  report.param("seed", 99)
+      .param("auditors", 3)
+      .metric("unified_s", unified)
+      .metric("per_monitor_stacks_s", triple)
+      .metric("blocking_s", blocking);
+  if (unified > 0) {
+    report.metric("per_monitor_overhead_pct",
+                  (triple - unified) / unified * 100.0)
+        .metric("blocking_overhead_pct",
+                (blocking - unified) / unified * 100.0);
+  }
+  report.write();
+
   std::cout << "\nUnifying the logging phase avoids paying the "
                "decode+forward cost once per monitor; non-blocking "
                "delivery keeps audit analysis off the guest's critical "

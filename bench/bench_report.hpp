@@ -1,0 +1,98 @@
+// Machine-readable bench output: every harness writes BENCH_<name>.json
+// next to its human-readable table, so CI (and regression tooling) can
+// diff runs without scraping stdout.
+//
+// Schema:
+//   {
+//     "bench": "<name>",
+//     "params": {"<key>": <string|number>, ...},
+//     "metrics": {"<key>": <number>, ...}
+//   }
+//
+// Metrics are a flat map; multi-row tables flatten with dotted keys
+// (e.g. "hanoi.detect_s_p90"). Writing happens in one shot at the end so
+// an interrupted run leaves no half-written file behind.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace htbench {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  BenchReport& param(const std::string& key, const std::string& value) {
+    params_.emplace_back(key, hvsim::telemetry::json_str(value));
+    return *this;
+  }
+  BenchReport& param(const std::string& key, double value) {
+    params_.emplace_back(key, hvsim::telemetry::json_num(value));
+    return *this;
+  }
+  BenchReport& param(const std::string& key, long long value) {
+    params_.emplace_back(
+        key, hvsim::telemetry::json_num(static_cast<std::int64_t>(value)));
+    return *this;
+  }
+  BenchReport& param(const std::string& key, int value) {
+    return param(key, static_cast<long long>(value));
+  }
+
+  BenchReport& metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, hvsim::telemetry::json_num(value));
+    return *this;
+  }
+
+  std::string json() const {
+    std::string out = "{\"bench\":" + hvsim::telemetry::json_str(name_);
+    out += ",\"params\":{";
+    append_map(out, params_);
+    out += "},\"metrics\":{";
+    append_map(out, metrics_);
+    out += "}}\n";
+    return out;
+  }
+
+  /// Write BENCH_<name>.json into the current directory (or the directory
+  /// named by HYPERTAP_BENCH_DIR).
+  void write() const {
+    std::string dir;
+    if (const char* d = std::getenv("HYPERTAP_BENCH_DIR")) dir = d;
+    const std::string path =
+        (dir.empty() ? "" : dir + "/") + "BENCH_" + name_ + ".json";
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "bench_report: cannot write " << path << "\n";
+      return;
+    }
+    os << json();
+    std::cerr << "bench_report: wrote " << path << "\n";
+  }
+
+ private:
+  static void append_map(
+      std::string& out,
+      const std::vector<std::pair<std::string, std::string>>& kv) {
+    for (std::size_t i = 0; i < kv.size(); ++i) {
+      if (i > 0) out += ',';
+      out += hvsim::telemetry::json_str(kv[i].first);
+      out += ':';
+      out += kv[i].second;
+    }
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> params_;  ///< key -> json
+  std::vector<std::pair<std::string, std::string>> metrics_;
+};
+
+}  // namespace htbench

@@ -13,6 +13,7 @@
 #include <iostream>
 #include <map>
 
+#include "bench_report.hpp"
 #include "fi_sweep.hpp"
 #include "util/stats.hpp"
 
@@ -150,5 +151,19 @@ int main() {
                "coverage: "
             << percent(est_coverage, 2)
             << " (paper: 99.8%).\n";
+
+  htbench::BenchReport report("fig4_goshd_coverage");
+  report.param("stride", stride)
+      .param("seed_base", 2014)
+      .metric("injections", static_cast<double>(total))
+      .metric("manifested", static_cast<double>(manifested))
+      .metric("detected", static_cast<double>(detected))
+      .metric("probe_visible_missed", static_cast<double>(missed))
+      .metric("false_alarms", static_cast<double>(false_alarms))
+      .metric("sampled_coverage", coverage)
+      .metric("probe_runs", static_cast<double>(probe_runs))
+      .metric("probe_missed", static_cast<double>(probe_missed))
+      .metric("est_full_campaign_coverage", est_coverage);
+  report.write();
   return 0;
 }

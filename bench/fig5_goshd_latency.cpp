@@ -8,6 +8,7 @@
 // Environment: HYPERTAP_FI_STRIDE (default 24).
 #include <iostream>
 
+#include "bench_report.hpp"
 #include "fi_sweep.hpp"
 #include "util/stats.hpp"
 
@@ -60,6 +61,30 @@ int main() {
                           "%"});
   }
   std::cout << tp.str();
+
+  htbench::BenchReport report("fig5_goshd_latency");
+  report.param("stride", stride)
+      .param("seed_base", 555)
+      .metric("hangs", static_cast<double>(hangs))
+      .metric("full_hangs", static_cast<double>(fulls));
+  for (const double t : {4.0, 8.0, 16.0, 32.0}) {
+    const std::string key = std::to_string(static_cast<int>(t));
+    if (!first_alarm_s.empty())
+      report.metric("first_alarm_cdf_" + key + "s", first_alarm_s.cdf_at(t));
+    if (!full_alarm_s.empty())
+      report.metric("full_alarm_cdf_" + key + "s", full_alarm_s.cdf_at(t));
+  }
+  if (!first_alarm_s.empty()) {
+    report.metric("first_alarm_median_s", first_alarm_s.percentile(50))
+        .metric("first_alarm_p90_s", first_alarm_s.percentile(90))
+        .metric("first_alarm_max_s", first_alarm_s.max());
+  }
+  if (!full_alarm_s.empty()) {
+    report.metric("full_alarm_median_s", full_alarm_s.percentile(50))
+        .metric("full_alarm_p90_s", full_alarm_s.percentile(90))
+        .metric("full_alarm_max_s", full_alarm_s.max());
+  }
+  report.write();
 
   if (!first_alarm_s.empty()) {
     std::cout << "\nfirst-alarm latency:  median "

@@ -19,6 +19,7 @@
 #include <set>
 
 #include "attacks/scenario.hpp"
+#include "bench_report.hpp"
 #include "auditors/ped.hpp"
 #include "core/hypertap.hpp"
 #include "util/stats.hpp"
@@ -87,6 +88,9 @@ int main() {
   std::cout << "FIG 6 / Sec. VIII-C2: the three Ninjas, " << trials
             << " attack trials per configuration\n\n";
 
+  htbench::BenchReport report("fig6_three_ninjas");
+  report.param("trials", trials);
+
   // ---- O-Ninja vs spamming ---------------------------------------------
   TablePrinter to({"Detector", "Configuration", "Detected", "Rate"});
   for (const u32 n_spam : {0u, 100u, 200u, 500u}) {
@@ -120,6 +124,8 @@ int main() {
                             : "+" + std::to_string(n_spam) + " idle procs",
                 std::to_string(hits) + "/" + std::to_string(trials),
                 percent(static_cast<double>(hits) / trials)});
+    report.metric("o_ninja.spam_" + std::to_string(n_spam) + ".rate",
+                  static_cast<double>(hits) / trials);
     std::cerr << "  O-Ninja spam=" << n_spam << " done\n";
   }
   std::cout << to.str() << "\n";
@@ -147,6 +153,9 @@ int main() {
                 std::to_string(interval_ms) + " ms",
                 std::to_string(hits) + "/" + std::to_string(trials),
                 percent(static_cast<double>(hits) / trials)});
+    report.metric(
+        "h_ninja.interval_" + std::to_string(interval_ms) + "ms.rate",
+        static_cast<double>(hits) / trials);
     std::cerr << "  H-Ninja interval=" << interval_ms << "ms done\n";
   }
   std::cout << th.str() << "\n";
@@ -169,7 +178,9 @@ int main() {
                 std::to_string(hits) + "/" + std::to_string(trials),
                 percent(static_cast<double>(hits) / trials)});
     std::cout << tt.str();
+    report.metric("ht_ninja.rate", static_cast<double>(hits) / trials);
   }
+  report.write();
 
   std::cout << "\npaper shape: O-Ninja ~10% -> 2-3% -> ~0% as spam grows; "
                "H-Ninja 100% @4 ms collapsing with interval; HT-Ninja "

@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "auditors/goshd.hpp"
+#include "bench_report.hpp"
 #include "auditors/hrkd.hpp"
 #include "auditors/ped.hpp"
 #include "core/hypertap.hpp"
@@ -96,6 +97,8 @@ int main() {
   TablePrinter tp({"Benchmark", "Category", "base (s)", "HRKD", "HT-Ninja",
                    "all three"});
 
+  htbench::BenchReport report("fig7_overhead");
+  report.param("runs", runs);
   for (const auto& spec : suite) {
     Samples per_cfg[4];
     for (int cfg = 0; cfg < 4; ++cfg) {
@@ -115,9 +118,23 @@ int main() {
     tp.add_row({spec.label, to_string(spec.category),
                 format_double(base, 3), overhead(1), overhead(2),
                 overhead(3)});
+    std::string slug = spec.label;
+    for (char& c : slug) {
+      if (c == ' ' || c == '/') c = '_';
+    }
+    report.metric(slug + ".base_s", base);
+    const char* cfg_names[] = {"", "hrkd", "ht_ninja", "all_three"};
+    for (int cfg = 1; cfg < 4; ++cfg) {
+      if (base > 0 && !per_cfg[cfg].empty()) {
+        report.metric(
+            slug + "." + cfg_names[cfg] + "_overhead_pct",
+            (per_cfg[cfg].mean() - base) / base * 100.0);
+      }
+    }
     std::cerr << "  " << spec.label << " done\n";
   }
   std::cout << tp.str();
+  report.write();
   std::cout << "\npaper shape: CPU <2%, disk I/O <5%, context-switch "
                "micro ~10%, syscall micro ~19%; 'all three' tracks the "
                "most expensive single monitor (shared logging), not the "

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "fi/campaign.hpp"
 #include "fi/locations.hpp"
 #include "util/stats.hpp"
@@ -68,6 +69,8 @@ int main() {
 
   TablePrinter tp({"Period (ms)", "Recovered", "MTTR p50/p90 (ms)",
                    "Rungs (mean)", "Snapshot MB (mean)", "Post alarms"});
+  htbench::BenchReport report("recovery_sweep");
+  report.param("seeds", seeds);
   for (const SimTime period :
        {SimTime{500'000'000}, SimTime{1'000'000'000}, SimTime{2'000'000'000},
         SimTime{4'000'000'000}, SimTime{8'000'000'000}}) {
@@ -103,8 +106,20 @@ int main() {
                 format_double(rungs / total, 2),
                 format_double(snapshot_mb / total, 1),
                 post_alarms == 0 ? "no" : std::to_string(post_alarms)});
+    const std::string key =
+        "period_" + std::to_string(period / 1'000'000) + "ms";
+    report.metric(key + ".total", total)
+        .metric(key + ".recovered", recovered)
+        .metric(key + ".rungs_mean", rungs / total)
+        .metric(key + ".snapshot_mb_mean", snapshot_mb / total)
+        .metric(key + ".post_recovery_alarms", post_alarms);
+    if (mttr.count() > 0) {
+      report.metric(key + ".mttr_p50_ms", mttr.percentile(50) / 1e6)
+          .metric(key + ".mttr_p90_ms", mttr.percentile(90) / 1e6);
+    }
   }
   std::cout << tp.str();
+  report.write();
   std::cout << "\nMTTR is dominated by the confirm window plus the ladder; "
                "longer periods cost extra restore rewind (more lost work) "
                "but capture proportionally fewer snapshot bytes.\n";

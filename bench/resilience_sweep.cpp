@@ -14,6 +14,7 @@
 #include <iostream>
 #include <string>
 
+#include "bench_report.hpp"
 #include "resilience/monitor_fi.hpp"
 #include "util/stats.hpp"
 
@@ -58,6 +59,8 @@ int main() {
   TablePrinter tp({"Threshold", "Cooldown (ms)", "Quarantine p50/p90 (ms)",
                    "Recovery p50/p90 (ms)", "Detect after",
                    "False pos"});
+  htbench::BenchReport report("resilience_sweep");
+  report.param("seeds", seeds);
   for (const u32 threshold : {2u, 3u, 5u}) {
     for (const SimTime cooldown :
          {SimTime{200'000'000}, SimTime{500'000'000},
@@ -86,6 +89,17 @@ int main() {
                   ms(static_cast<SimTime>(recovery.percentile(50))) + " / " +
                       ms(static_cast<SimTime>(recovery.percentile(90))),
                   all_detect ? "yes" : "NO", any_fp ? "YES" : "no"});
+      const std::string key = "breaker_t" + std::to_string(threshold) +
+                              "_c" + std::to_string(cooldown / 1'000'000) +
+                              "ms";
+      report.metric(key + ".quarantine_p50_ms",
+                    quarantine.percentile(50) / 1e6)
+          .metric(key + ".quarantine_p90_ms",
+                  quarantine.percentile(90) / 1e6)
+          .metric(key + ".recovery_p50_ms", recovery.percentile(50) / 1e6)
+          .metric(key + ".recovery_p90_ms", recovery.percentile(90) / 1e6)
+          .metric(key + ".detect_after", all_detect ? 1.0 : 0.0)
+          .metric(key + ".false_positive", any_fp ? 1.0 : 0.0);
     }
   }
   std::cout << tp.str();
@@ -112,6 +126,11 @@ int main() {
                 std::to_string(res.stats.dropped_newest),
                 std::to_string(res.stats.block_timeouts),
                 std::to_string(res.stats.gaps_signalled)});
+    const std::string key = std::string("overflow.") + policy_name(policy);
+    report.metric(key + ".audited", static_cast<double>(res.stats.audited))
+        .metric(key + ".dropped", static_cast<double>(res.stats.dropped))
+        .metric(key + ".gaps_signalled",
+                static_cast<double>(res.stats.gaps_signalled));
   }
   std::cout << cp.str();
 
@@ -132,5 +151,14 @@ int main() {
             << "sync-delivered:      " << sres.stats.sync_delivered << "\n"
             << "dropped (lock held): " << sres.stats.dropped_stalled << "\n"
             << "gaps signalled:      " << sres.stats.gaps_signalled << "\n";
+
+  report.metric("stall.detected", sres.stall_detected ? 1.0 : 0.0)
+      .metric("stall.consumer_recovered",
+              sres.consumer_recovered ? 1.0 : 0.0)
+      .metric("stall.sync_delivered",
+              static_cast<double>(sres.stats.sync_delivered))
+      .metric("stall.dropped_stalled",
+              static_cast<double>(sres.stats.dropped_stalled));
+  report.write();
   return 0;
 }

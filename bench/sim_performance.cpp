@@ -4,6 +4,10 @@
 // Fig. 4 campaign.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "auditors/goshd.hpp"
 #include "auditors/hrkd.hpp"
 #include "auditors/ped.hpp"
@@ -107,4 +111,28 @@ BENCHMARK(BM_TrustedDerivation);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to
+// BENCH_sim_performance.json so every run leaves a machine-readable
+// record (an explicit --benchmark_out on the command line still wins).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0)
+      has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_sim_performance.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!has_out)
+    std::cerr << "bench_report: wrote BENCH_sim_performance.json\n";
+  return 0;
+}

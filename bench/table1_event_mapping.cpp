@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "auditors/counters.hpp"
+#include "bench_report.hpp"
 #include "core/hypertap.hpp"
 #include "util/stats.hpp"
 
@@ -134,9 +135,36 @@ int main() {
   vm2.kernel.spawn("exerciser", 1000, 1000, 1,
                    std::make_unique<Exerciser>());
   vm2.machine.run_for(2'000'000'000);
+  const u64 legacy_exceptions =
+      vm2.machine.engine().total_exit_count(hav::ExitReason::kException);
   std::cout << "\nLegacy-gate guest (INT 0x80, 2 s): EXCEPTION exits = "
-            << vm2.machine.engine().total_exit_count(
-                   hav::ExitReason::kException)
+            << legacy_exceptions
             << " (interrupt-based syscall interception, Fig. 3D)\n";
+
+  htbench::BenchReport report("table1_event_mapping");
+  report.param("guest_seconds", 10)
+      .param("vcpus", static_cast<int>(vm.machine.num_vcpus()))
+      .metric("process_switch", static_cast<double>(
+                                    total(EventKind::kProcessSwitch)))
+      .metric("thread_switch",
+              static_cast<double>(total(EventKind::kThreadSwitch)))
+      .metric("syscall", static_cast<double>(total(EventKind::kSyscall)))
+      .metric("msr_write", static_cast<double>(total(EventKind::kMsrWrite)))
+      .metric("io", static_cast<double>(total(EventKind::kIo)))
+      .metric("mmio", static_cast<double>(total(EventKind::kMmio)))
+      .metric("external_interrupt",
+              static_cast<double>(total(EventKind::kExternalInterrupt)))
+      .metric("apic_access",
+              static_cast<double>(total(EventKind::kApicAccess)))
+      .metric("mem_access",
+              static_cast<double>(total(EventKind::kMemAccess)))
+      .metric("legacy_exception_exits",
+              static_cast<double>(legacy_exceptions));
+  for (u8 r = 0; r < static_cast<u8>(hav::ExitReason::kCount); ++r) {
+    const auto reason = static_cast<hav::ExitReason>(r);
+    report.metric(std::string("exits.") + to_string(reason),
+                  static_cast<double>(eng.total_exit_count(reason)));
+  }
+  report.write();
   return 0;
 }

@@ -37,6 +37,7 @@
 #include <thread>
 
 #include "core/auditor.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/ring_buffer.hpp"
 
 namespace hypertap {
@@ -112,9 +113,11 @@ class AsyncAuditorChannel {
       // would never be audited. Refuse loudly instead of losing silently.
       dropped_after_stop_.fetch_add(1, std::memory_order_relaxed);
       dropped_.fetch_add(1, std::memory_order_relaxed);
+      tinc(tel_dropped_);
       return false;
     }
     enqueued_.fetch_add(1, std::memory_order_relaxed);
+    tinc(tel_enqueued_);
     check_consumer_liveness();
     if (stalled_.load(std::memory_order_acquire)) return publish_stalled(e);
 
@@ -160,6 +163,7 @@ class AsyncAuditorChannel {
     ++pending_gap_;
     dropped_newest_.fetch_add(1, std::memory_order_relaxed);
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    tinc(tel_dropped_);
     return false;
   }
 
@@ -183,10 +187,12 @@ class AsyncAuditorChannel {
     // now so the loss is never silent.
     if (pending_gap_ > 0) {
       gaps_signalled_.fetch_add(1, std::memory_order_relaxed);
+      tinc(tel_gaps_);
       try {
         auditor_.on_gap(pending_gap_, ctx_);
       } catch (...) {
         auditor_faults_.fetch_add(1, std::memory_order_relaxed);
+        tinc(tel_faults_);
       }
       pending_gap_ = 0;
     }
@@ -194,6 +200,47 @@ class AsyncAuditorChannel {
 
   bool consumer_stalled() const {
     return stalled_.load(std::memory_order_acquire);
+  }
+
+  /// Mirror the channel's stats into registry counters labelled
+  /// {channel=<label>, auditor=<name>}. The pointers are atomics because
+  /// the consumer thread may already be running when wiring happens; the
+  /// counters themselves are relaxed atomics, so cross-thread increments
+  /// are safe by construction.
+  void set_telemetry(telemetry::Telemetry* t, const std::string& label) {
+#ifndef HYPERTAP_TELEMETRY_DISABLED
+    if (t == nullptr) {
+      for (auto* p : {&tel_enqueued_, &tel_dropped_, &tel_audited_,
+                      &tel_gaps_, &tel_watermark_, &tel_stalls_,
+                      &tel_sync_delivered_, &tel_faults_}) {
+        p->store(nullptr, std::memory_order_release);
+      }
+      return;
+    }
+    const telemetry::Labels l{{"auditor", auditor_.name()},
+                              {"channel", label}};
+    auto& reg = t->registry;
+    tel_enqueued_.store(reg.counter("ht_channel_enqueued_total", l),
+                        std::memory_order_release);
+    tel_dropped_.store(reg.counter("ht_channel_dropped_total", l),
+                       std::memory_order_release);
+    tel_audited_.store(reg.counter("ht_channel_audited_total", l),
+                       std::memory_order_release);
+    tel_gaps_.store(reg.counter("ht_channel_gaps_total", l),
+                    std::memory_order_release);
+    tel_watermark_.store(reg.counter("ht_channel_watermark_hits_total", l),
+                         std::memory_order_release);
+    tel_stalls_.store(reg.counter("ht_channel_stalls_total", l),
+                      std::memory_order_release);
+    tel_sync_delivered_.store(
+        reg.counter("ht_channel_sync_delivered_total", l),
+        std::memory_order_release);
+    tel_faults_.store(reg.counter("ht_channel_auditor_faults_total", l),
+                      std::memory_order_release);
+#else
+    (void)t;
+    (void)label;
+#endif
   }
 
   Stats stats() const {
@@ -222,6 +269,14 @@ class AsyncAuditorChannel {
     return c;
   }
 
+  static void tinc(const std::atomic<telemetry::Counter*>& c) {
+#ifndef HYPERTAP_TELEMETRY_DISABLED
+    if (auto* p = c.load(std::memory_order_acquire)) p->inc();
+#else
+    (void)c;
+#endif
+  }
+
   /// Producer-side bookkeeping after a successful push.
   bool on_pushed() {
     pending_gap_ = 0;
@@ -229,6 +284,7 @@ class AsyncAuditorChannel {
     if (!wm_fired_ && size >= wm_slots_) {
       wm_fired_ = true;
       watermark_hits_.fetch_add(1, std::memory_order_relaxed);
+      tinc(tel_watermark_);
       if (watermark_cb_) watermark_cb_(size, ring_.capacity());
     } else if (wm_fired_ && size < wm_slots_ / 2) {
       wm_fired_ = false;
@@ -258,6 +314,7 @@ class AsyncAuditorChannel {
     }
     if (now - watch_since_ >= cfg_.drain_deadline) {
       stalls_detected_.fetch_add(1, std::memory_order_relaxed);
+      tinc(tel_stalls_);
       stalled_.store(true, std::memory_order_release);
     }
   }
@@ -272,6 +329,7 @@ class AsyncAuditorChannel {
       ++pending_gap_;
       dropped_stalled_.fetch_add(1, std::memory_order_relaxed);
       dropped_.fetch_add(1, std::memory_order_relaxed);
+      tinc(tel_dropped_);
       return false;
     }
     Event copy = e;
@@ -279,6 +337,7 @@ class AsyncAuditorChannel {
     pending_gap_ = 0;
     deliver(copy);
     sync_delivered_.fetch_add(1, std::memory_order_relaxed);
+    tinc(tel_sync_delivered_);
     sync_since_stall_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
@@ -290,13 +349,16 @@ class AsyncAuditorChannel {
     try {
       if (e.gap_before > 0) {
         gaps_signalled_.fetch_add(1, std::memory_order_relaxed);
+        tinc(tel_gaps_);
         auditor_.on_gap(e.gap_before, ctx_);
       }
       auditor_.on_event(e, ctx_);
     } catch (...) {
       auditor_faults_.fetch_add(1, std::memory_order_relaxed);
+      tinc(tel_faults_);
     }
     audited_.fetch_add(1, std::memory_order_relaxed);
+    tinc(tel_audited_);
   }
 
   void drain() {
@@ -321,6 +383,7 @@ class AsyncAuditorChannel {
           consumer_gap += 1 + e->gap_before;
           dropped_oldest_.fetch_add(1, std::memory_order_relaxed);
           dropped_.fetch_add(1, std::memory_order_relaxed);
+          tinc(tel_dropped_);
           continue;
         }
         std::lock_guard<std::mutex> lk(audit_mu_);
@@ -394,6 +457,16 @@ class AsyncAuditorChannel {
   std::atomic<u64> watermark_hits_{0};
   std::atomic<u64> stalls_detected_{0};
   std::atomic<u64> auditor_faults_{0};
+
+  // Telemetry mirrors (nullptr when unwired; see set_telemetry).
+  std::atomic<telemetry::Counter*> tel_enqueued_{nullptr};
+  std::atomic<telemetry::Counter*> tel_dropped_{nullptr};
+  std::atomic<telemetry::Counter*> tel_audited_{nullptr};
+  std::atomic<telemetry::Counter*> tel_gaps_{nullptr};
+  std::atomic<telemetry::Counter*> tel_watermark_{nullptr};
+  std::atomic<telemetry::Counter*> tel_stalls_{nullptr};
+  std::atomic<telemetry::Counter*> tel_sync_delivered_{nullptr};
+  std::atomic<telemetry::Counter*> tel_faults_{nullptr};
 };
 
 }  // namespace hypertap

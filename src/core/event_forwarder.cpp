@@ -74,6 +74,27 @@ void EventForwarder::arm_sysenter(Gva entry) {
   HVSIM_DEBUG("EF: fast-syscall interception armed at " << std::hex << entry);
 }
 
+void EventForwarder::set_telemetry(telemetry::Telemetry* t, int vm_id) {
+  if (t == nullptr) {
+    tracer_ = nullptr;
+    flight_ = nullptr;
+    event_counters_.fill(nullptr);
+    exits_observed_counter_ = nullptr;
+    return;
+  }
+  tracer_ = &t->tracer;
+  flight_ = &t->flight;
+  vm_id_ = vm_id;
+  const std::string vm = std::to_string(vm_id);
+  for (std::size_t i = 0; i < event_counters_.size(); ++i) {
+    event_counters_[i] = t->registry.counter(
+        "ht_events_total",
+        {{"kind", to_string(static_cast<EventKind>(i))}, {"vm", vm}});
+  }
+  exits_observed_counter_ =
+      t->registry.counter("ht_ef_exits_observed_total", {{"vm", vm}});
+}
+
 void EventForwarder::emit(arch::Vcpu& vcpu, Event e) {
   e.vcpu = vcpu.id();
   e.time = vcpu.now();
@@ -83,11 +104,20 @@ void EventForwarder::emit(arch::Vcpu& vcpu, Event e) {
   if ((mask_ & event_bit(e.kind)) == 0) return;
   e.seq = ++forwarded_;
   vcpu.advance_cycles(cfg_.forward_cycles);
+  HT_COUNT(event_counters_[static_cast<std::size_t>(e.kind)]);
+  HT_FLIGHT(flight_, vm_id_, kEvent, e.time, to_string(e.kind),
+            "seq=" + std::to_string(e.seq));
+  // The forward span wraps enqueue + fan-out: it is the child of the
+  // enclosing "exit" span on the same vCPU track.
+  const auto span = HT_SPAN_BEGIN_ARG(tracer_, vm_id_, vcpu.id(), "forward",
+                                      "pipeline", e.time, to_string(e.kind));
   em_.deliver(vcpu, e, ctx_);
+  HT_SPAN_END(tracer_, span, vcpu.now());
 }
 
 void EventForwarder::on_vm_exit(arch::Vcpu& vcpu, const hav::Exit& exit) {
   ++exits_observed_;
+  HT_COUNT(exits_observed_counter_);
   em_.sample_raw_exit(exit.time);
 
   switch (exit.reason) {

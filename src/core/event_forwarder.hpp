@@ -10,11 +10,13 @@
 //  - Fig. 3D: software interrupt 0x80 exits are interrupt-based syscalls.
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "arch/tss.hpp"
 #include "core/event_multiplexer.hpp"
 #include "hv/hypervisor.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hypertap {
 
@@ -47,6 +49,11 @@ class EventForwarder final : public hv::ExitObserver {
   u64 events_forwarded() const { return forwarded_; }
   u64 exits_observed() const { return exits_observed_; }
 
+  /// Wire per-kind event counters (ht_events_total{kind,vm}) plus a
+  /// "forward" span around each multiplexer delivery, and mirror every
+  /// forwarded event into the flight recorder's ring.
+  void set_telemetry(telemetry::Telemetry* t, int vm_id);
+
   /// True once the TSS pages are write-protected (Fig. 3B armed).
   bool thread_interception_armed() const { return tss_armed_; }
   bool syscall_interception_armed() const { return sysenter_armed_; }
@@ -71,6 +78,14 @@ class EventForwarder final : public hv::ExitObserver {
 
   u64 forwarded_ = 0;
   u64 exits_observed_ = 0;
+
+  // Telemetry (all nullptr when unwired).
+  telemetry::Tracer* tracer_ = nullptr;
+  telemetry::FlightRecorder* flight_ = nullptr;
+  int vm_id_ = 0;
+  std::array<telemetry::Counter*, static_cast<std::size_t>(EventKind::kCount)>
+      event_counters_{};
+  telemetry::Counter* exits_observed_counter_ = nullptr;
 };
 
 }  // namespace hypertap

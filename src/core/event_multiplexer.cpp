@@ -1,6 +1,41 @@
 #include "core/event_multiplexer.hpp"
 
+#include <algorithm>
+
 namespace hypertap {
+
+void EventMultiplexer::set_telemetry(telemetry::Telemetry* t, int vm_id) {
+  telemetry_ = t;
+  vm_id_ = vm_id;
+  if (t == nullptr) {
+    tracer_ = nullptr;
+    audit_hist_ = nullptr;
+    fanout_hist_ = nullptr;
+    for (auto& r : regs_) r.tel = {};
+    return;
+  }
+  tracer_ = &t->tracer;
+  const std::string vm = std::to_string(vm_id);
+  audit_hist_ =
+      t->registry.histogram("ht_stage_cycles", {{"stage", "audit"}, {"vm", vm}});
+  fanout_hist_ = t->registry.histogram("ht_stage_cycles",
+                                       {{"stage", "fanout"}, {"vm", vm}});
+  for (auto& r : regs_) wire_reg_telemetry(r);
+}
+
+void EventMultiplexer::wire_reg_telemetry(Registration& r) {
+  if (telemetry_ == nullptr) return;
+  auto& reg = telemetry_->registry;
+  const telemetry::Labels l{{"auditor", r.auditor->name()},
+                            {"vm", std::to_string(vm_id_)}};
+  r.tel.delivered = reg.counter("ht_audit_delivered_total", l);
+  r.tel.faults = reg.counter("ht_audit_faults_total", l);
+  r.tel.suppressed = reg.counter("ht_audit_suppressed_total", l);
+  r.tel.resyncs = reg.counter("ht_audit_resyncs_total", l);
+  r.tel.quarantine_enter = reg.counter("ht_quarantine_enter_total", l);
+  r.tel.quarantine_exit = reg.counter("ht_quarantine_exit_total", l);
+  r.tel.container_cycles = reg.gauge("ht_container_cycles", l);
+}
 
 // Precondition: r.breaker.allow(now) returned true (call admitted).
 bool EventMultiplexer::supervised_call(Registration& r, const Event* e,
@@ -12,11 +47,13 @@ bool EventMultiplexer::supervised_call(Registration& r, const Event* e,
       const u64 missed = r.missed_while_open;
       r.missed_while_open = 0;
       ++r.resyncs;
+      HT_COUNT(r.tel.resyncs);
       r.auditor->on_gap(missed, ctx);
     }
     // In-band loss marker from an upstream channel (ring overflow).
     if (e != nullptr && e->gap_before > 0) {
       ++r.resyncs;
+      HT_COUNT(r.tel.resyncs);
       r.auditor->on_gap(e->gap_before, ctx);
     }
     if (e != nullptr) {
@@ -25,6 +62,7 @@ bool EventMultiplexer::supervised_call(Registration& r, const Event* e,
       r.auditor->on_timer(now, ctx);
     }
     if (r.breaker.on_success()) {
+      HT_COUNT(r.tel.quarantine_exit);
       ctx.alarms().raise(Alarm{now, "monitor", "auditor-recovered",
                                r.auditor->name() +
                                    " probe succeeded; breaker closed",
@@ -45,7 +83,11 @@ void EventMultiplexer::record_fault(Registration& r, const char* what,
   r.last_fault = what;
   ++r.faults;
   ++total_faults_;
+  HT_COUNT(r.tel.faults);
   if (r.breaker.on_failure(now)) {
+    HT_COUNT(r.tel.quarantine_enter);
+    HT_INSTANT(tracer_, vm_id_, telemetry::kMonitorTrack, "quarantine",
+               "supervision", now, r.auditor->name());
     ctx.alarms().raise(Alarm{now, "monitor", "auditor-quarantined",
                              r.auditor->name() + ": " + r.last_fault, -1, 0});
   }
@@ -65,18 +107,30 @@ void EventMultiplexer::deliver(arch::Vcpu& vcpu, const Event& e,
       ++r.missed_while_open;
       ++r.missed_total;
       ++total_suppressed_;
+      HT_COUNT(r.tel.suppressed);
       continue;
     }
     ++r.delivered;
     ++total_delivered_;
+    HT_COUNT(r.tel.delivered);
+    HT_OBSERVE(audit_hist_, r.auditor->audit_cost_cycles());
     if (r.auditor->blocking()) {
       vcpu.advance_cycles(r.auditor->audit_cost_cycles());
     } else {
       vcpu.advance_cycles(cfg_.enqueue_cycles);
       r.container_cycles += r.auditor->audit_cost_cycles();
+      HT_GAUGE_SET(r.tel.container_cycles,
+                   static_cast<double>(r.container_cycles));
     }
+    // The audit span nests under the enclosing forward/exit spans on this
+    // vCPU track; its duration is the guest-synchronous share (blocking
+    // auditors stretch it, non-blocking ones only the enqueue cost).
+    const auto span =
+        HT_SPAN_BEGIN_ARG(tracer_, vm_id_, vcpu.id(), "audit", "pipeline",
+                          e.time, r.auditor->name());
     if (!cfg_.supervise) {
       r.auditor->on_event(e, ctx);
+      HT_SPAN_END(tracer_, span, vcpu.now());
       continue;
     }
     // Fast path: healthy auditor, nothing to replay. The try/catch costs
@@ -92,10 +146,14 @@ void EventMultiplexer::deliver(arch::Vcpu& vcpu, const Event& e,
       } catch (...) {
         record_fault(r, "non-standard exception", e.time, ctx);
       }
+      HT_SPAN_END(tracer_, span, vcpu.now());
       continue;
     }
     supervised_call(r, &e, e.time, ctx);
+    HT_SPAN_END(tracer_, span, vcpu.now());
   }
+  HT_OBSERVE(fanout_hist_,
+             static_cast<u64>(std::max<SimTime>(0, vcpu.now() - e.time)));
 }
 
 bool EventMultiplexer::dispatch_timer(Auditor* a, SimTime now,

@@ -29,6 +29,7 @@
 #include "core/event.hpp"
 #include "core/rhc.hpp"
 #include "resilience/circuit_breaker.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hypertap {
 
@@ -59,6 +60,20 @@ class EventMultiplexer {
     u64 missed_total = 0;       ///< lifetime suppressed events
     u64 resyncs = 0;            ///< on_gap notifications delivered
     std::string last_fault;     ///< what() of the most recent exception
+
+    /// Cached registry series (nullptr when telemetry is unwired) —
+    /// resolved once per registration, never looked up on the hot path.
+    /// This is what makes delivered / container_cycles / the supervision
+    /// counters externally queryable through the registry.
+    struct Tel {
+      telemetry::Counter* delivered = nullptr;
+      telemetry::Counter* faults = nullptr;
+      telemetry::Counter* suppressed = nullptr;
+      telemetry::Counter* resyncs = nullptr;
+      telemetry::Counter* quarantine_enter = nullptr;
+      telemetry::Counter* quarantine_exit = nullptr;
+      telemetry::Gauge* container_cycles = nullptr;
+    } tel;
   };
 
   void register_auditor(Auditor* a, AuditContext& ctx) {
@@ -66,6 +81,7 @@ class EventMultiplexer {
     r.auditor = a;
     r.breaker = resilience::CircuitBreaker(cfg_.breaker);
     regs_.push_back(std::move(r));
+    wire_reg_telemetry(regs_.back());
     a->on_attach(ctx);
   }
 
@@ -115,6 +131,12 @@ class EventMultiplexer {
   u64 total_faults() const { return total_faults_; }
   u64 total_suppressed() const { return total_suppressed_; }
 
+  /// Wire the multiplexer (and every already-registered auditor) to a
+  /// telemetry bundle: per-auditor counters/gauges, per-stage cycle
+  /// histograms and "audit" spans. Auditors registered afterwards are
+  /// wired as they arrive.
+  void set_telemetry(telemetry::Telemetry* t, int vm_id);
+
  private:
   /// One supervised call into the auditor (event when `e` != nullptr,
   /// timer tick otherwise). Precondition: the breaker admitted the call.
@@ -125,6 +147,7 @@ class EventMultiplexer {
   /// count the absorbed exception and quarantine on threshold.
   void record_fault(Registration& r, const char* what, SimTime now,
                     AuditContext& ctx);
+  void wire_reg_telemetry(Registration& r);
 
   Config cfg_;
   std::vector<Registration> regs_;
@@ -133,6 +156,13 @@ class EventMultiplexer {
   u64 total_delivered_ = 0;
   u64 total_faults_ = 0;
   u64 total_suppressed_ = 0;
+
+  // Telemetry (nullptr when unwired).
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::Tracer* tracer_ = nullptr;
+  int vm_id_ = 0;
+  telemetry::Histogram* audit_hist_ = nullptr;   ///< per-event audit cycles
+  telemetry::Histogram* fanout_hist_ = nullptr;  ///< guest-synchronous fan-out
 };
 
 }  // namespace hypertap

@@ -17,6 +17,52 @@ HyperTap::HyperTap(os::Vm& vm, Options opts)
   }
 }
 
+HyperTap::~HyperTap() {
+  // The log tap captures this VM's clock; it must not outlive us.
+  if (telemetry_ != nullptr && log_tap_ >= 0) {
+    telemetry_->flight.detach_log_capture(log_tap_);
+  }
+}
+
+void HyperTap::set_telemetry(telemetry::Telemetry* telemetry, int vm_id) {
+  if (telemetry_ != nullptr && log_tap_ >= 0) {
+    telemetry_->flight.detach_log_capture(log_tap_);
+    log_tap_ = -1;
+  }
+  telemetry_ = telemetry;
+  vm_id_ = vm_id;
+  vm_.machine.hypervisor().engine().set_telemetry(telemetry, vm_id);
+  forwarder_->set_telemetry(telemetry, vm_id);
+  em_.set_telemetry(telemetry, vm_id);
+  if (rhc_) rhc_->set_telemetry(telemetry, vm_id);
+  if (telemetry == nullptr) return;
+
+  // WARN+ log lines land in the flight ring, stamped with this VM's
+  // simulated time.
+  log_tap_ = telemetry->flight.attach_log_capture(
+      vm_id, [&m = vm_.machine]() { return m.now(); });
+
+  // Every alarm: count it (per type — alarms are cold, so the registry
+  // lookup here is fine), mark the trace, append it to the flight ring,
+  // and dump the ring so the moments leading up to the alarm survive.
+  // Subscribed once; re-wiring swaps telemetry_ under the same lambda.
+  if (alarm_sub_installed_) return;
+  alarm_sub_installed_ = true;
+  alarms_.subscribe([this](const Alarm& a) {
+    telemetry::Telemetry* t = telemetry_;
+    if (t == nullptr) return;
+    t->registry
+        .counter("ht_alarms_total",
+                 {{"type", a.type}, {"vm", std::to_string(vm_id_)}})
+        ->inc();
+    t->tracer.instant(vm_id_, telemetry::kMonitorTrack, "alarm", "alarm",
+                      a.time, a.type + ": " + a.detail);
+    t->flight.record(vm_id_, telemetry::FlightRecorder::EntryKind::kAlarm,
+                     a.time, "alarm", a.auditor + "/" + a.type + ": " + a.detail);
+    t->flight.trigger(vm_id_, a.time, "alarm:" + a.type);
+  });
+}
+
 void HyperTap::add_auditor(std::unique_ptr<Auditor> auditor) {
   Auditor* a = auditor.get();
   auditors_.push_back(std::move(auditor));

@@ -34,6 +34,19 @@ class HyperTap {
 
   HyperTap(os::Vm& vm, Options opts);
   explicit HyperTap(os::Vm& vm) : HyperTap(vm, Options{}) {}
+  ~HyperTap();
+
+  HyperTap(const HyperTap&) = delete;
+  HyperTap& operator=(const HyperTap&) = delete;
+
+  /// Wire the whole monitoring pipeline to a telemetry bundle: exit-engine
+  /// and forwarder counters/spans, multiplexer per-auditor series, RHC
+  /// liveness counters, alarm instants, WARN+ log capture into the flight
+  /// ring, and a flight dump on every alarm. `telemetry` must outlive this
+  /// HyperTap (the destructor detaches the log tap through it). Pass
+  /// nullptr to unwire.
+  void set_telemetry(telemetry::Telemetry* telemetry, int vm_id);
+  telemetry::Telemetry* telemetry() { return telemetry_; }
 
   /// Register an auditor; reprograms VMCS controls to the union of all
   /// auditor subscriptions and starts the auditor's periodic timer.
@@ -68,6 +81,12 @@ class HyperTap {
   std::unique_ptr<EventForwarder> forwarder_;
   std::unique_ptr<Rhc> rhc_;
   std::vector<std::unique_ptr<Auditor>> auditors_;
+
+  // Telemetry (nullptr when unwired).
+  telemetry::Telemetry* telemetry_ = nullptr;
+  int vm_id_ = 0;
+  int log_tap_ = -1;  ///< flight-recorder log-capture handle
+  bool alarm_sub_installed_ = false;
 };
 
 }  // namespace hypertap

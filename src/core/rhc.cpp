@@ -15,6 +15,7 @@ void Rhc::start(hv::HostServices& host) {
         if (!rhc->in_alert_) {
           rhc->alerts_.push_back(now);
           rhc->in_alert_ = true;
+          HT_COUNT(rhc->alerts_counter_);
         }
       } else {
         rhc->in_alert_ = false;

@@ -7,9 +7,11 @@
 // channel died.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "hv/host_services.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/types.hpp"
 
 namespace hypertap {
@@ -34,6 +36,20 @@ class Rhc {
   void on_sample(SimTime t) {
     last_sample_ = t;
     ++samples_;
+    HT_COUNT(samples_counter_);
+  }
+
+  /// Wire liveness counters: ht_rhc_samples_total{vm} and
+  /// ht_rhc_alerts_total{vm}.
+  void set_telemetry(telemetry::Telemetry* t, int vm_id) {
+    if (t == nullptr) {
+      samples_counter_ = nullptr;
+      alerts_counter_ = nullptr;
+      return;
+    }
+    const std::string vm = std::to_string(vm_id);
+    samples_counter_ = t->registry.counter("ht_rhc_samples_total", {{"vm", vm}});
+    alerts_counter_ = t->registry.counter("ht_rhc_alerts_total", {{"vm", vm}});
   }
 
   /// Begin periodic liveness checks on the given host clock.
@@ -58,6 +74,11 @@ class Rhc {
   u64 samples_ = 0;
   std::vector<SimTime> alerts_;
   bool in_alert_ = false;
+
+  // Telemetry (nullptr when unwired). The checker event chain increments
+  // alerts_counter_, so it must stay valid for the host's lifetime.
+  telemetry::Counter* samples_counter_ = nullptr;
+  telemetry::Counter* alerts_counter_ = nullptr;
 };
 
 }  // namespace hypertap

@@ -131,6 +131,9 @@ RunResult run_one(const RunConfig& cfg,
   vm.kernel.set_location_hook(&plan);
 
   HyperTap ht(vm);
+  if (cfg.telemetry != nullptr) {
+    ht.set_telemetry(cfg.telemetry, cfg.telemetry_vm_id);
+  }
   auditors::Goshd::Config gcfg;
   gcfg.threshold = cfg.detect_threshold;
   auto goshd_owned =
@@ -287,6 +290,9 @@ RunResult run_one(const RunConfig& cfg,
     recovery::Checkpointer::Options copts;
     copts.period = cfg.checkpoint_period;
     ckpt = std::make_unique<recovery::Checkpointer>(vm, copts);
+    if (cfg.telemetry != nullptr) {
+      ckpt->set_telemetry(cfg.telemetry, cfg.telemetry_vm_id);
+    }
     ckpt->start();  // baseline includes daemons + workload, pre-fault
 
     recovery::RecoveryPolicy policy;
@@ -298,6 +304,9 @@ RunResult run_one(const RunConfig& cfg,
     // contain the latent fault.
     policy.detect_latency_bound = cfg.detect_threshold + 1'000'000'000;
     rm = std::make_unique<recovery::RecoveryManager>(vm, ht, *ckpt, policy);
+    if (cfg.telemetry != nullptr) {
+      rm->set_telemetry(cfg.telemetry, cfg.telemetry_vm_id);  // wires ckpt too
+    }
     ckpt->set_gate([&rm_ref = *rm]() {
       return rm_ref.health() == recovery::VmHealth::kHealthy;
     });

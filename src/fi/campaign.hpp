@@ -8,6 +8,7 @@
 
 #include "fi/fault.hpp"
 #include "os/klocation.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hypertap::fi {
 
@@ -54,6 +55,13 @@ struct RunConfig {
   bool enable_recovery = false;
   /// Periodic checkpoint interval when recovery is enabled.
   SimTime checkpoint_period = 2'000'000'000;
+
+  /// Optional caller-owned telemetry bundle: the whole pipeline (exit
+  /// engine, forwarder, multiplexer, recovery stack) is wired to it for
+  /// the run. Must outlive run_one(). nullptr = no telemetry.
+  telemetry::Telemetry* telemetry = nullptr;
+  /// VM label for the telemetry series when `telemetry` is set.
+  int telemetry_vm_id = 0;
 };
 
 struct RunResult {

@@ -42,18 +42,43 @@ void ExitEngine::for_all_controls(
   for (auto& c : controls_) fn(c);
 }
 
+void ExitEngine::set_telemetry(telemetry::Telemetry* t, int vm_id) {
+  if (t == nullptr) {
+    tracer_ = nullptr;
+    exit_counters_.fill(nullptr);
+    return;
+  }
+  tracer_ = &t->tracer;
+  vm_id_ = vm_id;
+  const std::string vm = std::to_string(vm_id);
+  for (std::size_t i = 0; i < exit_counters_.size(); ++i) {
+    exit_counters_[i] = t->registry.counter(
+        "ht_exits_total",
+        {{"reason", to_string(static_cast<ExitReason>(i))}, {"vm", vm}});
+  }
+}
+
 ExitDisposition ExitEngine::raise(arch::Vcpu& vcpu, ExitReason reason,
                                   ExitQual qual) {
   vcpu.count_exit();
   ++counts_.at(vcpu.id())[static_cast<std::size_t>(reason)];
   vcpu.advance_cycles(costs_.base + costs_.handler_cost(reason));
+  HT_COUNT(exit_counters_[static_cast<std::size_t>(reason)]);
   if (sink_ == nullptr) return {};
   Exit exit;
   exit.reason = reason;
   exit.vcpu_id = vcpu.id();
   exit.time = vcpu.now();
   exit.qual = std::move(qual);
-  return sink_->on_exit(vcpu, exit);
+  // The exit span covers the whole sink dispatch (hypervisor handler,
+  // event forward, auditor fan-out), so everything downstream nests
+  // inside it on this vCPU's track. End time is re-read from the vCPU
+  // clock: handlers charge cycles as they run.
+  const auto span = HT_SPAN_BEGIN_ARG(tracer_, vm_id_, vcpu.id(), "exit",
+                                      "exit", exit.time, to_string(reason));
+  const ExitDisposition d = sink_->on_exit(vcpu, exit);
+  HT_SPAN_END(tracer_, span, vcpu.now());
+  return d;
 }
 
 void ExitEngine::write_cr3(arch::Vcpu& vcpu, u32 value) {

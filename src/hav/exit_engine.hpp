@@ -21,6 +21,7 @@
 #include "arch/vcpu.hpp"
 #include "hav/exit.hpp"
 #include "hav/vmcs.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hvsim::hav {
 
@@ -127,6 +128,11 @@ class ExitEngine {
   }
   u64 total_exit_count(ExitReason r) const;
 
+  /// Wire the engine to a telemetry bundle: one ht_exits_total{reason,vm}
+  /// counter per exit reason (resolved here, once) plus an "exit" span
+  /// around each sink dispatch so the decode->audit chain nests under it.
+  void set_telemetry(telemetry::Telemetry* t, int vm_id);
+
  private:
   ExitDisposition raise(arch::Vcpu& vcpu, ExitReason reason, ExitQual qual);
   arch::Translation translate_or_fault(arch::Vcpu& vcpu, Gva gva) const;
@@ -138,6 +144,12 @@ class ExitEngine {
   std::vector<VmcsControls> controls_;
   std::vector<std::array<u64, static_cast<std::size_t>(ExitReason::kCount)>>
       counts_;
+
+  // Telemetry (all nullptr when unwired; see telemetry/telemetry.hpp).
+  telemetry::Tracer* tracer_ = nullptr;
+  int vm_id_ = 0;
+  std::array<telemetry::Counter*, static_cast<std::size_t>(ExitReason::kCount)>
+      exit_counters_{};
 };
 
 }  // namespace hvsim::hav

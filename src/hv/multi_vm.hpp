@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "os/kernel.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hvsim::hv {
 
@@ -30,6 +31,7 @@ class MultiVmHost {
   std::size_t add_vm(MachineConfig mc = {}, os::KernelConfig kc = {}) {
     vms_.push_back(std::make_unique<os::Vm>(mc, std::move(kc)));
     paused_.push_back(false);
+    HT_GAUGE_SET(vms_gauge_, static_cast<double>(vms_.size()));
     return vms_.size() - 1;
   }
 
@@ -38,7 +40,13 @@ class MultiVmHost {
 
   /// Freeze a VM: run_until skips it and now() no longer waits on it, so a
   /// remediating VM cannot stall its co-tenants' slices.
-  void pause(std::size_t i) { paused_.at(i) = true; }
+  void pause(std::size_t i) {
+    if (!paused_.at(i)) {
+      paused_[i] = true;
+      HT_COUNT(pauses_counter_);
+      update_paused_gauge();
+    }
+  }
   bool paused(std::size_t i) const { return paused_.at(i); }
 
   /// Unfreeze; the VM's clocks fast-forward to host time (it was frozen,
@@ -50,7 +58,26 @@ class MultiVmHost {
     // unpausing first would let its frozen clock drag now() back down.
     const SimTime t = now();
     paused_[i] = false;
+    HT_COUNT(resumes_counter_);
+    update_paused_gauge();
     vms_[i]->machine.skip_to(t);
+  }
+
+  /// Wire host-level series: pause/resume counters plus vms/paused gauges.
+  void set_telemetry(telemetry::Telemetry* t) {
+    if (t == nullptr) {
+      pauses_counter_ = nullptr;
+      resumes_counter_ = nullptr;
+      vms_gauge_ = nullptr;
+      paused_gauge_ = nullptr;
+      return;
+    }
+    pauses_counter_ = t->registry.counter("ht_host_pauses_total");
+    resumes_counter_ = t->registry.counter("ht_host_resumes_total");
+    vms_gauge_ = t->registry.gauge("ht_host_vms");
+    paused_gauge_ = t->registry.gauge("ht_host_paused_vms");
+    HT_GAUGE_SET(vms_gauge_, static_cast<double>(vms_.size()));
+    update_paused_gauge();
   }
 
   /// Wall-clock of the host = the slowest *running* VM. Paused VMs are
@@ -93,9 +120,24 @@ class MultiVmHost {
   void run_for(SimTime dt) { run_until(now() + dt); }
 
  private:
+  void update_paused_gauge() {
+#ifndef HYPERTAP_TELEMETRY_DISABLED
+    if (paused_gauge_ == nullptr) return;
+    std::size_t n = 0;
+    for (const bool p : paused_) n += p ? 1 : 0;
+    paused_gauge_->set(static_cast<double>(n));
+#endif
+  }
+
   Options opts_;
   std::vector<std::unique_ptr<os::Vm>> vms_;
   std::vector<bool> paused_;
+
+  // Telemetry (nullptr when unwired).
+  telemetry::Counter* pauses_counter_ = nullptr;
+  telemetry::Counter* resumes_counter_ = nullptr;
+  telemetry::Gauge* vms_gauge_ = nullptr;
+  telemetry::Gauge* paused_gauge_ = nullptr;
 };
 
 }  // namespace hvsim::hv

@@ -9,6 +9,25 @@
 
 namespace hypertap::recovery {
 
+void Checkpointer::set_telemetry(telemetry::Telemetry* t, int vm_id) {
+  if (t == nullptr) {
+    tracer_ = nullptr;
+    captures_counter_ = nullptr;
+    restores_counter_ = nullptr;
+    bytes_counter_ = nullptr;
+    retained_gauge_ = nullptr;
+    return;
+  }
+  tracer_ = &t->tracer;
+  vm_id_ = vm_id;
+  const std::string vm = std::to_string(vm_id);
+  captures_counter_ = t->registry.counter("ht_ckpt_captures_total", {{"vm", vm}});
+  restores_counter_ = t->registry.counter("ht_ckpt_restores_total", {{"vm", vm}});
+  bytes_counter_ =
+      t->registry.counter("ht_ckpt_bytes_captured_total", {{"vm", vm}});
+  retained_gauge_ = t->registry.gauge("ht_ckpt_retained", {{"vm", vm}});
+}
+
 namespace {
 
 u32 rd32(const std::vector<u8>& mem, Gpa a) {
@@ -28,6 +47,8 @@ void Checkpointer::start() {
   baseline_.push_back(capture());
   ++captures_;
   bytes_captured_ += baseline_.front().bytes();
+  HT_COUNT(captures_counter_);
+  HT_COUNT_N(bytes_counter_, baseline_.front().bytes());
   if (opts_.period > 0) {
     auto alive = alive_;
     vm_.machine.schedule_every(opts_.period, [this, alive]() {
@@ -58,10 +79,17 @@ Checkpoint Checkpointer::capture() const {
 }
 
 void Checkpointer::capture_retained() {
+  const auto span = HT_SPAN_BEGIN(tracer_, vm_id_, telemetry::kRecoveryTrack,
+                                  "ckpt-capture", "recovery",
+                                  vm_.machine.now());
   retained_.push_back(capture());
   ++captures_;
   bytes_captured_ += retained_.back().bytes();
+  HT_COUNT(captures_counter_);
+  HT_COUNT_N(bytes_counter_, retained_.back().bytes());
   while (retained_.size() > opts_.max_retained) retained_.pop_front();
+  HT_GAUGE_SET(retained_gauge_, static_cast<double>(retained_.size()));
+  HT_SPAN_END(tracer_, span, vm_.machine.now());
 }
 
 std::string Checkpointer::verify(const Checkpoint& cp, const os::Vm& vm) {
@@ -136,6 +164,10 @@ void Checkpointer::restore_to(const Checkpoint& cp) {
   }
   vm_.kernel.restore(cp.kernel, delta);
   ++restores_;
+  HT_COUNT(restores_counter_);
+  HT_INSTANT(tracer_, vm_id_, telemetry::kRecoveryTrack, "ckpt-restore",
+             "recovery", m.now(),
+             "from t=" + std::to_string(cp.taken_at) + "ns");
 }
 
 const Checkpoint& Checkpointer::baseline() const {

@@ -26,6 +26,7 @@
 #include "arch/msr.hpp"
 #include "arch/vcpu.hpp"
 #include "os/kernel.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hypertap::recovery {
 
@@ -104,6 +105,10 @@ class Checkpointer {
   u64 restores() const { return restores_; }
   u64 bytes_captured() const { return bytes_captured_; }
 
+  /// Wire capture/restore counters plus "ckpt-capture"/"ckpt-restore"
+  /// spans on the recovery track.
+  void set_telemetry(telemetry::Telemetry* t, int vm_id);
+
  private:
   os::Vm& vm_;
   Options opts_;
@@ -117,6 +122,14 @@ class Checkpointer {
   /// Shared liveness flag captured by the periodic schedule_every closure,
   /// which may outlive this object inside the machine's event queue.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+  // Telemetry (nullptr when unwired).
+  telemetry::Tracer* tracer_ = nullptr;
+  int vm_id_ = 0;
+  telemetry::Counter* captures_counter_ = nullptr;
+  telemetry::Counter* restores_counter_ = nullptr;
+  telemetry::Counter* bytes_counter_ = nullptr;
+  telemetry::Gauge* retained_gauge_ = nullptr;
 };
 
 }  // namespace hypertap::recovery

@@ -4,6 +4,36 @@
 
 namespace hypertap::recovery {
 
+void FleetSupervisor::set_telemetry(telemetry::Telemetry* t) {
+  if (t == nullptr) {
+    gauges_ = {};
+    return;
+  }
+  auto& reg = t->registry;
+  gauges_.remediations = reg.gauge("ht_fleet_remediations");
+  gauges_.recoveries = reg.gauge("ht_fleet_recoveries");
+  gauges_.escalations = reg.gauge("ht_fleet_escalations");
+  gauges_.failed_vms = reg.gauge("ht_fleet_failed_vms");
+  gauges_.mttr_mean_ns = reg.gauge("ht_fleet_mttr_mean_ns");
+  gauges_.checkpoint_bytes = reg.gauge("ht_fleet_checkpoint_bytes");
+  gauges_.active = reg.gauge("ht_fleet_active_remediations");
+  refresh_ledger_gauges();
+}
+
+void FleetSupervisor::refresh_ledger_gauges() const {
+#ifndef HYPERTAP_TELEMETRY_DISABLED
+  if (gauges_.remediations == nullptr) return;
+  const Ledger l = ledger();
+  gauges_.remediations->set(static_cast<double>(l.remediations));
+  gauges_.recoveries->set(static_cast<double>(l.recoveries));
+  gauges_.escalations->set(static_cast<double>(l.escalations));
+  gauges_.failed_vms->set(static_cast<double>(l.failed_vms));
+  gauges_.mttr_mean_ns->set(static_cast<double>(l.mttr_mean()));
+  gauges_.checkpoint_bytes->set(static_cast<double>(l.checkpoint_bytes));
+  gauges_.active->set(static_cast<double>(active_remediations_));
+#endif
+}
+
 void FleetSupervisor::manage(std::size_t index, RecoveryManager& mgr) {
   managed_.push_back(Managed{index, &mgr, -1});
   const std::size_t slot = managed_.size() - 1;
@@ -41,6 +71,7 @@ void FleetSupervisor::run_until(SimTime t_end) {
       }
     }
     for (auto& m : managed_) m.mgr->tick(cursor);
+    refresh_ledger_gauges();
   }
 }
 

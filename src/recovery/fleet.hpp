@@ -67,6 +67,10 @@ class FleetSupervisor {
   Ledger ledger() const;
   int active_remediations() const { return active_remediations_; }
 
+  /// Export the rolling ledger as fleet-level gauges (ht_fleet_*),
+  /// refreshed on every supervisor tick.
+  void set_telemetry(telemetry::Telemetry* t);
+
  private:
   struct Managed {
     std::size_t index = 0;
@@ -74,10 +78,23 @@ class FleetSupervisor {
     SimTime resume_at = -1;  ///< pending un-pause deadline, -1 = none
   };
 
+  void refresh_ledger_gauges() const;
+
   hv::MultiVmHost& host_;
   Options opts_;
   std::vector<Managed> managed_;
   int active_remediations_ = 0;
+
+  // Telemetry (nullptr when unwired).
+  struct LedgerGauges {
+    telemetry::Gauge* remediations = nullptr;
+    telemetry::Gauge* recoveries = nullptr;
+    telemetry::Gauge* escalations = nullptr;
+    telemetry::Gauge* failed_vms = nullptr;
+    telemetry::Gauge* mttr_mean_ns = nullptr;
+    telemetry::Gauge* checkpoint_bytes = nullptr;
+    telemetry::Gauge* active = nullptr;
+  } gauges_;
 };
 
 }  // namespace hypertap::recovery

@@ -52,6 +52,35 @@ RecoveryManager::RecoveryManager(os::Vm& vm, HyperTap& ht, Checkpointer& cp,
 
 RecoveryManager::~RecoveryManager() { *alive_ = false; }
 
+void RecoveryManager::set_telemetry(telemetry::Telemetry* t, int vm_id) {
+  telemetry_ = t;
+  vm_tel_id_ = vm_id;
+  checkpointer_.set_telemetry(t, vm_id);
+  if (t == nullptr) {
+    tracer_ = nullptr;
+    remedy_counters_.fill(nullptr);
+    remedies_failed_counter_ = nullptr;
+    health_gauge_ = nullptr;
+    episodes_gauge_ = nullptr;
+    mttr_ns_gauge_ = nullptr;
+    return;
+  }
+  tracer_ = &t->tracer;
+  const std::string vm = std::to_string(vm_id);
+  for (std::size_t i = 0; i < remedy_counters_.size(); ++i) {
+    remedy_counters_[i] = t->registry.counter(
+        "ht_recovery_remedies_total",
+        {{"remedy", to_string(static_cast<RemedyKind>(i))}, {"vm", vm}});
+  }
+  remedies_failed_counter_ =
+      t->registry.counter("ht_recovery_remedies_failed_total", {{"vm", vm}});
+  health_gauge_ = t->registry.gauge("ht_vm_health", {{"vm", vm}});
+  episodes_gauge_ =
+      t->registry.gauge("ht_recovery_episodes_recovered", {{"vm", vm}});
+  mttr_ns_gauge_ = t->registry.gauge("ht_recovery_mttr_ns_total", {{"vm", vm}});
+  update_health_gauge();
+}
+
 void RecoveryManager::start(SimTime tick_period) {
   auto alive = alive_;
   vm_.machine.schedule_every(tick_period, [this, alive]() {
@@ -125,6 +154,12 @@ void RecoveryManager::tick(SimTime now) {
         attempt_ = 0;
         restores_tried_ = 0;
         relapse_ = false;
+        HT_GAUGE_SET(episodes_gauge_, static_cast<double>(episodes_recovered_));
+        HT_GAUGE_SET(mttr_ns_gauge_, static_cast<double>(mttr_total_));
+        HT_INSTANT(tracer_, vm_tel_id_, telemetry::kRecoveryTrack,
+                   "episode-recovered", "recovery", now,
+                   "mttr=" + std::to_string(remediation_end_ - episode_detect_) +
+                       "ns");
       }
       break;
     default:
@@ -134,6 +169,7 @@ void RecoveryManager::tick(SimTime now) {
   if (health_ == VmHealth::kRemediating && now >= next_action_at_) {
     if (!remediation_gate_ || remediation_gate_()) remediate(now);
   }
+  update_health_gauge();
 }
 
 void RecoveryManager::resync_monitor(SimTime now) {
@@ -149,9 +185,22 @@ void RecoveryManager::resync_monitor(SimTime now) {
 void RecoveryManager::remediate(SimTime now) {
   if (attempt_ >= policy_.retry_budget) {
     health_ = VmHealth::kFailed;
+    update_health_gauge();
     return;
   }
   if (pause_hook_) pause_hook_();
+  // Ladder escalation (second rung onward): dump the flight ring before
+  // the remediation mutates the VM, so the failed first attempt's context
+  // survives.
+  if (attempt_ > 0 && telemetry_ != nullptr) {
+    telemetry_->flight.trigger(
+        vm_tel_id_, now,
+        "recovery-escalation: attempt=" + std::to_string(attempt_) +
+            " trigger=" + trigger_.type);
+  }
+  const auto rem_span = HT_SPAN_BEGIN_ARG(
+      tracer_, vm_tel_id_, telemetry::kRecoveryTrack, "remediate", "recovery",
+      now, trigger_.type + " attempt=" + std::to_string(attempt_));
 
   RemediationRecord rec;
   rec.at = now;
@@ -207,6 +256,17 @@ void RecoveryManager::remediate(SimTime now) {
   // the exit engine entirely) — rebuild from the trusted derivation and
   // re-arm the RHC so the pre-remediation silence is forgotten.
   resync_monitor(now);
+
+  HT_COUNT(remedy_counters_[static_cast<std::size_t>(rec.kind)]);
+  if (!rec.ok) HT_COUNT(remedies_failed_counter_);
+  if (telemetry_ != nullptr) {
+    telemetry_->flight.record(
+        vm_tel_id_, telemetry::FlightRecorder::EntryKind::kNote, now,
+        "remediation",
+        std::string(to_string(rec.kind)) + (rec.ok ? " ok" : " failed") +
+            " attempt=" + std::to_string(rec.attempt));
+  }
+  HT_SPAN_END(tracer_, rem_span, now);
 
   ++attempt_;
   const SimTime backoff =

@@ -109,6 +109,11 @@ class RecoveryManager {
   SimTime last_recovery_at() const { return last_recovery_at_; }
   Checkpointer& checkpointer() { return checkpointer_; }
 
+  /// Wire per-remedy counters, health/MTTR gauges, remediation spans on
+  /// the recovery track, and a flight dump on every ladder escalation.
+  /// Also wires the Checkpointer.
+  void set_telemetry(telemetry::Telemetry* t, int vm_id);
+
  private:
   void on_alarm(const Alarm& a);
   void remediate(SimTime now);
@@ -143,6 +148,20 @@ class RecoveryManager {
   std::function<void()> pause_hook_;
   std::function<void(const RemediationRecord&)> on_remediated_;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+  // Telemetry (nullptr when unwired).
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::Tracer* tracer_ = nullptr;
+  int vm_tel_id_ = 0;
+  std::array<telemetry::Counter*, 4> remedy_counters_{};  ///< by RemedyKind
+  telemetry::Counter* remedies_failed_counter_ = nullptr;
+  telemetry::Gauge* health_gauge_ = nullptr;
+  telemetry::Gauge* episodes_gauge_ = nullptr;
+  telemetry::Gauge* mttr_ns_gauge_ = nullptr;
+
+  void update_health_gauge() {
+    HT_GAUGE_SET(health_gauge_, static_cast<double>(health_));
+  }
 };
 
 }  // namespace hypertap::recovery

@@ -1,0 +1,98 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace hvsim::telemetry {
+
+const char* FlightRecorder::to_string(EntryKind k) {
+  switch (k) {
+    case EntryKind::kEvent: return "event";
+    case EntryKind::kSpan: return "span";
+    case EntryKind::kLog: return "log";
+    case EntryKind::kAlarm: return "alarm";
+    case EntryKind::kNote: return "note";
+  }
+  return "?";
+}
+
+FlightRecorder::~FlightRecorder() {
+  for (const int handle : log_taps_) util::remove_log_tap(handle);
+}
+
+void FlightRecorder::record(int vm, EntryKind kind, SimTime t,
+                            const char* label, std::string detail) {
+  Ring& ring = rings_[vm];
+  if (ring.buf.empty()) ring.buf.resize(cfg_.ring_capacity);
+  ring.buf[ring.next] = Entry{t, kind, label, std::move(detail)};
+  ring.next = (ring.next + 1) % cfg_.ring_capacity;
+  ++ring.count;
+}
+
+std::vector<FlightRecorder::Entry> FlightRecorder::ring(int vm) const {
+  std::vector<Entry> out;
+  const auto it = rings_.find(vm);
+  if (it == rings_.end()) return out;
+  const Ring& r = it->second;
+  const std::size_t n = std::min(r.count, cfg_.ring_capacity);
+  out.reserve(n);
+  // Oldest entry is at `next` once the ring has wrapped, else at 0.
+  const std::size_t start = r.count > cfg_.ring_capacity ? r.next : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(r.buf[(start + i) % cfg_.ring_capacity]);
+  }
+  return out;
+}
+
+const FlightRecorder::Dump* FlightRecorder::trigger(int vm, SimTime now,
+                                                    std::string reason) {
+  if (dumps_.size() >= cfg_.max_dumps) {
+    ++dumps_suppressed_;
+    return nullptr;
+  }
+  const auto last = last_dump_at_.find(vm);
+  if (last != last_dump_at_.end() && now - last->second < cfg_.min_dump_gap) {
+    ++dumps_suppressed_;
+    return nullptr;
+  }
+  last_dump_at_[vm] = now;
+  Dump d;
+  d.at = now;
+  d.vm = vm;
+  d.reason = std::move(reason);
+  d.entries = ring(vm);
+  dumps_.push_back(std::move(d));
+  return &dumps_.back();
+}
+
+int FlightRecorder::attach_log_capture(int vm, std::function<SimTime()> clock,
+                                       util::LogLevel min_level) {
+  const int handle = util::add_log_tap(
+      [this, vm, clock = std::move(clock), min_level](util::LogLevel lvl,
+                                                      const std::string& msg) {
+        if (lvl < min_level) return;
+        record(vm, EntryKind::kLog, clock ? clock() : 0,
+               util::level_name(lvl), msg);
+      });
+  log_taps_.push_back(handle);
+  return handle;
+}
+
+void FlightRecorder::detach_log_capture(int handle) {
+  util::remove_log_tap(handle);
+  std::erase(log_taps_, handle);
+}
+
+std::string FlightRecorder::format(const Dump& d) {
+  std::ostringstream os;
+  os << "=== flight dump vm=" << d.vm << " t=" << d.at << "ns reason=\""
+     << d.reason << "\" (" << d.entries.size() << " entries) ===\n";
+  for (const Entry& e : d.entries) {
+    os << "  " << e.t << "ns [" << to_string(e.kind) << "] " << e.label;
+    if (!e.detail.empty()) os << ": " << e.detail;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hvsim::telemetry

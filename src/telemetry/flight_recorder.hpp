@@ -1,0 +1,101 @@
+// Flight recorder: a bounded ring of recent spans, events, log lines and
+// alarms per VM, dumped automatically when something goes wrong (alarm,
+// quarantine, recovery escalation) so post-mortem triage starts from the
+// moments that mattered instead of a cold log.
+//
+// Entries are cheap: a sim timestamp, a literal label and an optional
+// detail string, pushed into a fixed-capacity circular buffer (old entries
+// overwritten). A dump snapshots the ring in chronological order; dumps
+// are rate-limited in *simulated* time and capped in number, so an alarm
+// storm produces a handful of dumps, not thousands — and stays
+// deterministic across identical runs.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/log.hpp"
+#include "util/types.hpp"
+
+namespace hvsim::telemetry {
+
+class FlightRecorder {
+ public:
+  enum class EntryKind : u8 { kEvent, kSpan, kLog, kAlarm, kNote };
+  static const char* to_string(EntryKind k);
+
+  struct Entry {
+    SimTime t = 0;
+    EntryKind kind = EntryKind::kNote;
+    const char* label = "";  ///< literal (event kind, span name, level)
+    std::string detail;      ///< free-form (alarm text, log line)
+  };
+
+  struct Dump {
+    SimTime at = 0;
+    int vm = 0;
+    std::string reason;
+    std::vector<Entry> entries;  ///< chronological ring snapshot
+  };
+
+  struct Config {
+    std::size_t ring_capacity = 256;  ///< per-VM entries retained
+    std::size_t max_dumps = 16;
+    /// Minimum simulated time between dumps of the same VM.
+    SimTime min_dump_gap = 100'000'000;  // 100 ms
+  };
+
+  FlightRecorder() : FlightRecorder(Config{}) {}
+  explicit FlightRecorder(Config cfg) : cfg_(cfg) {
+    // max_dumps is a hard cap, so reserving up front keeps Dump pointers
+    // returned by trigger() stable for the recorder's lifetime.
+    dumps_.reserve(cfg_.max_dumps);
+  }
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Append one entry to `vm`'s ring. `label` must be a literal.
+  void record(int vm, EntryKind kind, SimTime t, const char* label,
+              std::string detail = {});
+
+  /// Snapshot `vm`'s ring as a dump. Returns the dump, or nullptr when
+  /// rate-limited / at the dump cap (counted in dumps_suppressed()).
+  const Dump* trigger(int vm, SimTime now, std::string reason);
+
+  /// Capture WARN+ (configurable) log lines into `vm`'s ring through the
+  /// pluggable log-tap layer, stamping them with simulated time from
+  /// `clock`. Returns a handle for detach_log_capture(); the destructor
+  /// detaches any remaining captures.
+  int attach_log_capture(int vm, std::function<SimTime()> clock,
+                         util::LogLevel min_level = util::LogLevel::kWarn);
+  void detach_log_capture(int handle);
+
+  const std::vector<Dump>& dumps() const { return dumps_; }
+  u64 dumps_suppressed() const { return dumps_suppressed_; }
+
+  /// Chronological snapshot of a VM's ring (what a dump would contain).
+  std::vector<Entry> ring(int vm) const;
+
+  /// Human-readable rendering of one dump.
+  static std::string format(const Dump& d);
+
+ private:
+  struct Ring {
+    std::vector<Entry> buf;
+    std::size_t next = 0;   ///< slot the next entry lands in
+    std::size_t count = 0;  ///< total entries ever recorded
+  };
+
+  Config cfg_;
+  std::map<int, Ring> rings_;
+  std::map<int, SimTime> last_dump_at_;
+  std::vector<Dump> dumps_;
+  u64 dumps_suppressed_ = 0;
+  std::vector<int> log_taps_;
+};
+
+}  // namespace hvsim::telemetry

@@ -1,0 +1,67 @@
+// Minimal JSON emission helpers shared by the telemetry exposition
+// formats (metrics snapshots, Chrome trace files) and the bench harness
+// reports (BENCH_<name>.json).
+//
+// Deliberately tiny: we only ever *write* JSON, never parse it, and every
+// writer in this codebase composes documents by hand, so two helpers
+// (string escaping and deterministic number formatting) cover all of it.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace hvsim::telemetry {
+
+/// Escape a string for inclusion between double quotes in JSON.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Quote + escape.
+inline std::string json_str(const std::string& s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+/// Deterministic number formatting: integral values print without a
+/// fractional part, everything else with enough digits to round-trip.
+/// Non-finite values (never produced by the sim, but benches divide) are
+/// mapped to null per JSON rules.
+inline std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+inline std::string json_num(std::uint64_t v) { return std::to_string(v); }
+inline std::string json_num(std::int64_t v) { return std::to_string(v); }
+inline std::string json_num(int v) { return std::to_string(v); }
+
+}  // namespace hvsim::telemetry

@@ -1,0 +1,200 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "telemetry/json.hpp"
+
+namespace hvsim::telemetry {
+
+std::string Registry::series_key(const std::string& name, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  std::string key = name;
+  if (!labels.empty()) {
+    key += '{';
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i > 0) key += ',';
+      key += labels[i].first;
+      key += "=\"";
+      key += json_escape(labels[i].second);
+      key += '"';
+    }
+    key += '}';
+  }
+  return key;
+}
+
+template <typename T>
+T* Registry::get_series(std::map<std::string, std::unique_ptr<T>>& m,
+                        const std::string& name, Labels labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::size_t total =
+      counters_.size() + gauges_.size() + histograms_.size();
+  std::string key = series_key(name, std::move(labels));
+  auto it = m.find(key);
+  if (it != m.end()) return it->second.get();
+  if (total >= cfg_.max_series) {
+    // Cardinality guard: collapse into the per-name overflow series. The
+    // overflow series itself is allowed past the cap so increments are
+    // never lost entirely, only de-labelled.
+    dropped_series_.fetch_add(1, std::memory_order_relaxed);
+    key = series_key(name, {{"overflow", "true"}});
+    it = m.find(key);
+    if (it != m.end()) return it->second.get();
+  }
+  auto owned = std::make_unique<T>();
+  T* raw = owned.get();
+  m.emplace(std::move(key), std::move(owned));
+  return raw;
+}
+
+Counter* Registry::counter(const std::string& name, Labels labels) {
+  return get_series(counters_, name, std::move(labels));
+}
+Gauge* Registry::gauge(const std::string& name, Labels labels) {
+  return get_series(gauges_, name, std::move(labels));
+}
+Histogram* Registry::histogram(const std::string& name, Labels labels) {
+  return get_series(histograms_, name, std::move(labels));
+}
+
+const Counter* Registry::find_counter(const std::string& name,
+                                      Labels labels) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = counters_.find(series_key(name, std::move(labels)));
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+const Gauge* Registry::find_gauge(const std::string& name,
+                                  Labels labels) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = gauges_.find(series_key(name, std::move(labels)));
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+const Histogram* Registry::find_histogram(const std::string& name,
+                                          Labels labels) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = histograms_.find(series_key(name, std::move(labels)));
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+u64 Registry::counter_value(const std::string& name, Labels labels) const {
+  const Counter* c = find_counter(name, std::move(labels));
+  return c == nullptr ? 0 : c->value();
+}
+
+std::size_t Registry::series_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+namespace {
+
+/// "name{labels}" -> name (for # TYPE family headers).
+std::string family_of(const std::string& key) {
+  const auto brace = key.find('{');
+  return brace == std::string::npos ? key : key.substr(0, brace);
+}
+
+/// Splice extra labels (le="...") into a series key, or append a fresh
+/// label block when the series has none.
+std::string with_label(const std::string& key, const std::string& label) {
+  const auto brace = key.find('{');
+  if (brace == std::string::npos) return key + "{" + label + "}";
+  std::string out = key;
+  out.insert(out.size() - 1, "," + label);
+  return out;
+}
+
+std::string suffixed(const std::string& key, const std::string& suffix) {
+  const auto brace = key.find('{');
+  if (brace == std::string::npos) return key + suffix;
+  return key.substr(0, brace) + suffix + key.substr(brace);
+}
+
+}  // namespace
+
+std::string Registry::prometheus_text() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  std::string family;
+  for (const auto& [key, c] : counters_) {
+    if (const std::string f = family_of(key); f != family) {
+      family = f;
+      os << "# TYPE " << family << " counter\n";
+    }
+    os << key << " " << c->value() << "\n";
+  }
+  family.clear();
+  for (const auto& [key, g] : gauges_) {
+    if (const std::string f = family_of(key); f != family) {
+      family = f;
+      os << "# TYPE " << family << " gauge\n";
+    }
+    os << key << " " << json_num(g->value()) << "\n";
+  }
+  family.clear();
+  for (const auto& [key, h] : histograms_) {
+    if (const std::string f = family_of(key); f != family) {
+      family = f;
+      os << "# TYPE " << family << " histogram\n";
+    }
+    u64 cum = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const u64 n = h->bucket_count(i);
+      if (n == 0 && i != Histogram::kOverflow) continue;
+      cum += n;
+      const std::string le =
+          i == Histogram::kOverflow ? "+Inf"
+                                    : std::to_string(Histogram::bucket_le(i));
+      os << with_label(suffixed(key, "_bucket"), "le=\"" + le + "\"") << " "
+         << cum << "\n";
+    }
+    os << suffixed(key, "_sum") << " " << h->sum() << "\n";
+    os << suffixed(key, "_count") << " " << h->count() << "\n";
+  }
+  return os.str();
+}
+
+std::string Registry::json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [key, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << json_str(key) << ":" << c->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [key, g] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << json_str(key) << ":" << json_num(g->value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [key, h] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << json_str(key) << ":{\"count\":" << h->count()
+       << ",\"sum\":" << h->sum() << ",\"min\":" << h->min()
+       << ",\"max\":" << h->max() << ",\"buckets\":{";
+    bool bfirst = true;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const u64 n = h->bucket_count(i);
+      if (n == 0) continue;
+      if (!bfirst) os << ",";
+      bfirst = false;
+      const std::string le =
+          i == Histogram::kOverflow ? "+Inf"
+                                    : std::to_string(Histogram::bucket_le(i));
+      os << json_str(le) << ":" << n;
+    }
+    os << "}}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace hvsim::telemetry

@@ -1,0 +1,184 @@
+// Metrics registry: lock-cheap counters, gauges and log-bucketed
+// histograms, registered by name + labels, with Prometheus-style text and
+// JSON exposition snapshots.
+//
+// Design constraints, in order:
+//  1. The hot path (the VM-exit pipeline) must pay at most one relaxed
+//     atomic add per touched series. Series are resolved to raw pointers
+//     ONCE at wiring time (set_telemetry) and cached by the instrumented
+//     component; the name/label maps are never consulted per event.
+//  2. Snapshots must be deterministic: identical sim runs produce
+//     byte-identical exposition text. All series values are integers (or
+//     sim-time-derived), iteration order is the sorted series key, and
+//     histogram buckets are fixed powers of two.
+//  3. Registration is thread-safe (the async auditing channel registers
+//     from the host thread, increments from its consumer thread); counters
+//     use relaxed atomics so cross-thread increments stay cheap.
+//
+// Everything observable is driven by *simulated* time and event counts —
+// never wall clock — which is what keeps snapshots reproducible.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace hvsim::telemetry {
+
+/// Label set, e.g. {{"auditor","goshd"},{"vm","0"}}. Keys are sorted on
+/// registration so the same set in any order names the same series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void inc(u64 d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+  u64 value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<u64> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Log-bucketed histogram over unsigned integer samples (cycles, ns,
+/// bytes, queue depths). Bucket i holds samples with value <= le(i):
+///   le(0) = 0, le(i) = 2^(i-1) for 1 <= i < kOverflow, le(kOverflow) = inf
+/// Powers of two keep observe() at one bit_width plus one relaxed add.
+class Histogram {
+ public:
+  /// 0, 1, 2, 4, ..., 2^41 (~36 simulated minutes in ns), then overflow.
+  static constexpr std::size_t kBuckets = 44;
+  static constexpr std::size_t kOverflow = kBuckets - 1;
+
+  static std::size_t bucket_index(u64 v) {
+    if (v == 0) return 0;
+    const std::size_t i = 1 + static_cast<std::size_t>(std::bit_width(v - 1));
+    return i < kOverflow ? i : kOverflow;
+  }
+  /// Upper bound of bucket i (inclusive); kOverflow has no finite bound.
+  static u64 bucket_le(std::size_t i) {
+    return i == 0 ? 0 : (1ull << (i - 1));
+  }
+
+  void observe(u64 v) {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    update_min(v);
+    update_max(v);
+  }
+
+  u64 count() const { return count_.load(std::memory_order_relaxed); }
+  u64 sum() const { return sum_.load(std::memory_order_relaxed); }
+  u64 min() const {
+    const u64 m = min_.load(std::memory_order_relaxed);
+    return count() == 0 ? 0 : m;
+  }
+  u64 max() const { return max_.load(std::memory_order_relaxed); }
+  u64 bucket_count(std::size_t i) const {
+    return buckets_.at(i).load(std::memory_order_relaxed);
+  }
+
+ private:
+  void update_min(u64 v) {
+    u64 cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  void update_max(u64 v) {
+    u64 cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::atomic<u64>, kBuckets> buckets_{};
+  std::atomic<u64> count_{0};
+  std::atomic<u64> sum_{0};
+  std::atomic<u64> min_{~0ull};
+  std::atomic<u64> max_{0};
+};
+
+/// The registry: owns every series, hands out stable raw pointers.
+class Registry {
+ public:
+  struct Config {
+    /// Cardinality guard: total series across all types. Registrations
+    /// beyond the cap collapse into a per-name overflow series (labelled
+    /// overflow="true") instead of growing without bound.
+    std::size_t max_series = 4096;
+  };
+
+  Registry() : Registry(Config{}) {}
+  explicit Registry(Config cfg) : cfg_(cfg) {}
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* counter(const std::string& name, Labels labels = {});
+  Gauge* gauge(const std::string& name, Labels labels = {});
+  Histogram* histogram(const std::string& name, Labels labels = {});
+
+  /// Lookup without creating (tests / exposition helpers). nullptr when
+  /// the series does not exist.
+  const Counter* find_counter(const std::string& name,
+                              Labels labels = {}) const;
+  const Gauge* find_gauge(const std::string& name, Labels labels = {}) const;
+  const Histogram* find_histogram(const std::string& name,
+                                  Labels labels = {}) const;
+
+  /// Convenience: value of a counter series, 0 when absent.
+  u64 counter_value(const std::string& name, Labels labels = {}) const;
+
+  std::size_t series_count() const;
+  u64 dropped_series() const {
+    return dropped_series_.load(std::memory_order_relaxed);
+  }
+
+  /// Prometheus-style text exposition. Deterministic: series sorted by
+  /// full key, histogram buckets cumulative with le="..." labels.
+  std::string prometheus_text() const;
+
+  /// JSON snapshot: {"counters":{key:val},"gauges":{...},
+  /// "histograms":{key:{count,sum,min,max,buckets:{le:count}}}}.
+  std::string json() const;
+
+  /// The canonical series key: name{k1="v1",k2="v2"} with sorted labels.
+  static std::string series_key(const std::string& name, Labels labels);
+
+ private:
+  template <typename T>
+  T* get_series(std::map<std::string, std::unique_ptr<T>>& m,
+                const std::string& name, Labels labels);
+
+  Config cfg_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::atomic<u64> dropped_series_{0};
+};
+
+}  // namespace hvsim::telemetry

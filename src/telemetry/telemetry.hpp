@@ -1,0 +1,118 @@
+// The telemetry bundle: one Registry + Tracer + FlightRecorder wired
+// together, plus the HT_* macro layer every instrumented component uses.
+//
+// Instrumentation contract:
+//  - Components hold cached raw pointers (Counter*, Gauge*, Histogram*,
+//    Tracer*, FlightRecorder*) resolved once in their set_telemetry().
+//    All pointers default to nullptr; the macros below null-check, so an
+//    unwired component pays one predictable branch per site.
+//  - When the build is configured with -DHYPERTAP_TELEMETRY=OFF the
+//    HYPERTAP_TELEMETRY_DISABLED define makes every macro compile to
+//    nothing (argument expressions are NOT evaluated), which is what the
+//    bench/telemetry_overhead harness verifies.
+//  - Telemetry charges zero simulated cycles: observing a run never
+//    changes it, so identical seeds yield byte-identical snapshots with
+//    telemetry on, off, or compiled out.
+#pragma once
+
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace hvsim::telemetry {
+
+struct Telemetry {
+  Telemetry() { tracer.set_flight(&flight); }
+  Telemetry(Registry::Config rc, Tracer::Config tc, FlightRecorder::Config fc)
+      : registry(rc), tracer(tc), flight(fc) {
+    tracer.set_flight(&flight);
+  }
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  Registry registry;
+  Tracer tracer;
+  FlightRecorder flight;
+};
+
+}  // namespace hvsim::telemetry
+
+#ifndef HYPERTAP_TELEMETRY_DISABLED
+
+/// `c` is a cached Counter* (may be nullptr when unwired).
+#define HT_COUNT(c)                       \
+  do {                                    \
+    if ((c) != nullptr) (c)->inc();       \
+  } while (0)
+#define HT_COUNT_N(c, n)                  \
+  do {                                    \
+    if ((c) != nullptr) (c)->inc(n);      \
+  } while (0)
+/// `g` is a cached Gauge*.
+#define HT_GAUGE_SET(g, v)                \
+  do {                                    \
+    if ((g) != nullptr) (g)->set(v);      \
+  } while (0)
+/// `h` is a cached Histogram*.
+#define HT_OBSERVE(h, v)                  \
+  do {                                    \
+    if ((h) != nullptr) (h)->observe(v);  \
+  } while (0)
+
+/// `t` is a cached Tracer*. Evaluates to a SpanId (kNone when unwired);
+/// the argument expressions are only evaluated when the tracer is wired.
+#define HT_SPAN_BEGIN(t, pid, tid, name, cat, ts)                           \
+  ((t) != nullptr ? (t)->begin((pid), (tid), (name), (cat), (ts))           \
+                  : ::hvsim::telemetry::Tracer::kNone)
+#define HT_SPAN_BEGIN_ARG(t, pid, tid, name, cat, ts, arg)                  \
+  ((t) != nullptr ? (t)->begin((pid), (tid), (name), (cat), (ts), (arg))    \
+                  : ::hvsim::telemetry::Tracer::kNone)
+#define HT_SPAN_END(t, id, ts)            \
+  do {                                    \
+    if ((t) != nullptr) (t)->end((id), (ts)); \
+  } while (0)
+#define HT_INSTANT(t, pid, tid, name, cat, ts, arg)                         \
+  do {                                                                      \
+    if ((t) != nullptr) (t)->instant((pid), (tid), (name), (cat), (ts),     \
+                                     (arg));                                \
+  } while (0)
+
+/// `f` is a cached FlightRecorder*.
+#define HT_FLIGHT(f, vm, kind, ts, label, detail)                           \
+  do {                                                                      \
+    if ((f) != nullptr)                                                     \
+      (f)->record((vm), ::hvsim::telemetry::FlightRecorder::EntryKind::kind, \
+                  (ts), (label), (detail));                                 \
+  } while (0)
+
+#else  // HYPERTAP_TELEMETRY_DISABLED: everything compiles to nothing.
+
+#define HT_COUNT(c) \
+  do {              \
+  } while (0)
+#define HT_COUNT_N(c, n) \
+  do {                   \
+  } while (0)
+#define HT_GAUGE_SET(g, v) \
+  do {                     \
+  } while (0)
+#define HT_OBSERVE(h, v) \
+  do {                   \
+  } while (0)
+#define HT_SPAN_BEGIN(t, pid, tid, name, cat, ts) \
+  (::hvsim::telemetry::Tracer::kNone)
+#define HT_SPAN_BEGIN_ARG(t, pid, tid, name, cat, ts, arg) \
+  (::hvsim::telemetry::Tracer::kNone)
+#define HT_SPAN_END(t, id, ts) \
+  do {                         \
+    (void)(id); /* silence unused-variable for the span id */ \
+  } while (0)
+#define HT_INSTANT(t, pid, tid, name, cat, ts, arg) \
+  do {                                              \
+  } while (0)
+#define HT_FLIGHT(f, vm, kind, ts, label, detail) \
+  do {                                            \
+  } while (0)
+
+#endif  // HYPERTAP_TELEMETRY_DISABLED

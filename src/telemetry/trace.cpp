@@ -1,0 +1,170 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/json.hpp"
+
+namespace hvsim::telemetry {
+
+Tracer::SpanId Tracer::begin(int pid, int tid, const char* name,
+                             const char* cat, SimTime ts, std::string arg) {
+  if (spans_.size() >= cfg_.max_spans) {
+    ++dropped_;
+    return kNone;
+  }
+  Span s;
+  s.id = static_cast<SpanId>(spans_.size() + 1);
+  auto& st = stack(pid, tid);
+  s.parent = st.empty() ? kNone : st.back();
+  s.pid = pid;
+  s.tid = tid;
+  s.name = name;
+  s.cat = cat;
+  s.arg = std::move(arg);
+  s.begin = ts;
+  st.push_back(s.id);
+  spans_.push_back(std::move(s));
+  return spans_.back().id;
+}
+
+void Tracer::end(SpanId id, SimTime ts) {
+  if (id == kNone || id > spans_.size()) return;
+  Span& s = spans_[id - 1];
+  if (s.end >= 0) return;  // already closed
+  s.end = ts;
+  // Pop the track's stack down to (and including) this span. Defensive
+  // against out-of-order ends: anything opened above a span that closes
+  // is closed with it.
+  auto& st = stack(s.pid, s.tid);
+  while (!st.empty()) {
+    const SpanId top = st.back();
+    st.pop_back();
+    if (top == id) break;
+    Span& orphan = spans_[top - 1];
+    if (orphan.end < 0) orphan.end = ts;
+  }
+  if (flight_ != nullptr) {
+    flight_->record(s.pid, FlightRecorder::EntryKind::kSpan, s.begin, s.name,
+                    s.arg);
+  }
+}
+
+void Tracer::instant(int pid, int tid, const char* name, const char* cat,
+                     SimTime ts, std::string arg) {
+  if (spans_.size() >= cfg_.max_spans) {
+    ++dropped_;
+    return;
+  }
+  Span s;
+  s.id = static_cast<SpanId>(spans_.size() + 1);
+  auto& st = stack(pid, tid);
+  s.parent = st.empty() ? kNone : st.back();
+  s.pid = pid;
+  s.tid = tid;
+  s.name = name;
+  s.cat = cat;
+  s.arg = std::move(arg);
+  s.begin = ts;
+  s.end = ts;
+  s.instant = true;
+  spans_.push_back(std::move(s));
+}
+
+void Tracer::clear() {
+  spans_.clear();
+  stacks_.clear();
+  dropped_ = 0;
+}
+
+const Tracer::Span* Tracer::find(const std::string& name) const {
+  for (const Span& s : spans_) {
+    if (name == s.name) return &s;
+  }
+  return nullptr;
+}
+
+const Tracer::Span* Tracer::find(const std::string& name,
+                                 const std::string& arg) const {
+  for (const Span& s : spans_) {
+    if (name == s.name && arg == s.arg) return &s;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::string track_name(int tid) {
+  if (tid == kMonitorTrack) return "monitor";
+  if (tid == kRecoveryTrack) return "recovery";
+  return "vcpu" + std::to_string(tid);
+}
+
+/// trace_event timestamps are microseconds; sim time is ns. Emit with
+/// fractional precision so sub-microsecond spans stay distinguishable.
+std::string us(SimTime ns) {
+  std::ostringstream os;
+  os << json_num(static_cast<double>(ns) / 1000.0);
+  return os.str();
+}
+
+}  // namespace
+
+void Tracer::write_chrome_json(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& obj) {
+    if (!first) os << ",\n";
+    first = false;
+    os << obj;
+  };
+
+  // Metadata: name processes (VMs) and threads (tracks) so Perfetto's
+  // timeline is labelled. Collect the distinct (pid, tid) pairs first.
+  std::set<int> pids;
+  std::set<std::pair<int, int>> tracks;
+  for (const Span& s : spans_) {
+    pids.insert(s.pid);
+    tracks.insert({s.pid, s.tid});
+  }
+  for (const int pid : pids) {
+    emit("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+         std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":" +
+         json_str("vm" + std::to_string(pid)) + "}}");
+  }
+  for (const auto& [pid, tid] : tracks) {
+    emit("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+         std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
+         ",\"args\":{\"name\":" + json_str(track_name(tid)) + "}}");
+  }
+
+  for (const Span& s : spans_) {
+    std::ostringstream ev;
+    if (s.instant) {
+      ev << "{\"ph\":\"i\",\"s\":\"t\"";
+    } else {
+      ev << "{\"ph\":\"X\"";
+      const SimTime end = s.end >= 0 ? s.end : s.begin;
+      ev << ",\"dur\":" << us(end - s.begin);
+    }
+    ev << ",\"name\":" << json_str(s.name) << ",\"cat\":" << json_str(s.cat)
+       << ",\"pid\":" << s.pid << ",\"tid\":" << s.tid
+       << ",\"ts\":" << us(s.begin) << ",\"args\":{\"id\":" << s.id
+       << ",\"parent\":" << s.parent;
+    if (!s.arg.empty()) ev << ",\"detail\":" << json_str(s.arg);
+    ev << "}}";
+    emit(ev.str());
+  }
+  os << "]}\n";
+}
+
+std::string Tracer::chrome_json() const {
+  std::ostringstream os;
+  write_chrome_json(os);
+  return os.str();
+}
+
+}  // namespace hvsim::telemetry

@@ -1,0 +1,111 @@
+// Span tracer for the exit-path pipeline: VM Exit decode -> event forward
+// -> multiplexer fan-out -> per-auditor audit -> alarm -> recovery rung.
+//
+// Spans are keyed to *simulated* time and written as Chrome trace_event /
+// Perfetto-compatible JSON ("X" complete events plus "i" instants), so a
+// run opens directly in chrome://tracing or ui.perfetto.dev. The pid field
+// carries the VM index, the tid field the track (vCPU id for guest-synchronous
+// work, dedicated monitor/recovery tracks for host-side work), which makes
+// the per-VM pipeline render as nested slices per vCPU.
+//
+// Parent/child structure is explicit: the tracer keeps an open-span stack
+// per (pid, tid) track and records each span's parent id, so tests (and
+// post-processing) can assert the exit -> audit -> alarm chain without
+// re-deriving containment from timestamps.
+//
+// The tracer is deliberately single-threaded (the deterministic sim loop);
+// the threaded async channel records counters only. Span storage is
+// bounded: past the cap new spans are dropped and counted, never resized.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace hvsim::telemetry {
+
+class FlightRecorder;
+
+/// Host-side tracks (tid values) that are not vCPUs.
+inline constexpr int kMonitorTrack = 100;
+inline constexpr int kRecoveryTrack = 101;
+
+class Tracer {
+ public:
+  using SpanId = u32;
+  static constexpr SpanId kNone = 0;
+
+  struct Config {
+    /// Hard cap on recorded spans+instants; excess is dropped and counted.
+    std::size_t max_spans = 250'000;
+  };
+
+  struct Span {
+    SpanId id = kNone;
+    SpanId parent = kNone;
+    int pid = 0;  ///< VM index
+    int tid = 0;  ///< vCPU id or k*Track
+    const char* name = "";
+    const char* cat = "";
+    std::string arg;       ///< optional detail (auditor name, alarm type)
+    SimTime begin = 0;
+    SimTime end = -1;      ///< -1 while open
+    bool instant = false;
+  };
+
+  Tracer() : Tracer(Config{}) {}
+  explicit Tracer(Config cfg) : cfg_(cfg) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Open a span; returns kNone when at capacity (end(kNone) is a no-op).
+  /// `name` and `cat` must be string literals (or otherwise outlive the
+  /// tracer) — the hot path stores the pointer, not a copy.
+  SpanId begin(int pid, int tid, const char* name, const char* cat,
+               SimTime ts, std::string arg = {});
+
+  void end(SpanId id, SimTime ts);
+
+  /// Zero-duration marker, parented under the track's open span.
+  void instant(int pid, int tid, const char* name, const char* cat,
+               SimTime ts, std::string arg = {});
+
+  /// Mirror completed spans into a flight recorder ring (bounded, so the
+  /// cost is one ring slot per span; pass nullptr to stop).
+  void set_flight(FlightRecorder* flight) { flight_ = flight; }
+
+  const std::vector<Span>& spans() const { return spans_; }
+  u64 dropped() const { return dropped_; }
+  void clear();
+
+  /// First recorded span (or instant) with this name; nullptr if absent.
+  const Span* find(const std::string& name) const;
+  /// First span with this name whose arg matches; nullptr if absent.
+  const Span* find(const std::string& name, const std::string& arg) const;
+  const Span* by_id(SpanId id) const {
+    return id == kNone || id > spans_.size() ? nullptr : &spans_[id - 1];
+  }
+
+  /// Chrome trace_event JSON (object form with "traceEvents"), including
+  /// process/thread metadata so Perfetto labels VMs and tracks.
+  void write_chrome_json(std::ostream& os) const;
+  std::string chrome_json() const;
+
+ private:
+  std::vector<SpanId>& stack(int pid, int tid) {
+    return stacks_[(static_cast<u64>(static_cast<u32>(pid)) << 32) |
+                   static_cast<u32>(tid)];
+  }
+
+  Config cfg_;
+  std::vector<Span> spans_;
+  std::map<u64, std::vector<SpanId>> stacks_;
+  u64 dropped_ = 0;
+  FlightRecorder* flight_ = nullptr;
+};
+
+}  // namespace hvsim::telemetry

@@ -1,10 +1,20 @@
 // Minimal severity-filtered logging for the library. Off by default so the
 // benches stay quiet; tests and examples can raise the level.
+//
+// Output is routed through a pluggable sink: by default lines go to
+// stderr, but a sink installed with set_log_sink() (e.g. the telemetry
+// layer's sim-time/VM-id-stamping sink) replaces that. Independent of the
+// sink, any number of taps (add_log_tap) observe every line that passes
+// the level filter — the flight recorder uses a tap to capture WARN+
+// lines into its ring so dumps carry the log tail.
 #pragma once
 
+#include <functional>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace hvsim::util {
 
@@ -30,9 +40,56 @@ inline const char* level_name(LogLevel lvl) {
   }
 }
 
+using LogFn = std::function<void(LogLevel, const std::string&)>;
+
+/// Shared dispatch state. Logging is cold (filtered first), so one mutex
+/// around sink + taps is fine even with the async channel's consumer
+/// thread logging.
+struct LogDispatch {
+  std::mutex mu;
+  LogFn sink;  ///< null => stderr
+  std::vector<std::pair<int, LogFn>> taps;
+  int next_tap_id = 1;
+};
+
+inline LogDispatch& log_dispatch() {
+  static LogDispatch d;
+  return d;
+}
+
+/// Replace the primary output (nullptr restores the stderr default).
+inline void set_log_sink(LogFn sink) {
+  auto& d = log_dispatch();
+  std::lock_guard<std::mutex> lk(d.mu);
+  d.sink = std::move(sink);
+}
+
+/// Observe every line passing the level filter; returns a handle for
+/// remove_log_tap(). Taps must not log (re-entrancy).
+inline int add_log_tap(LogFn tap) {
+  auto& d = log_dispatch();
+  std::lock_guard<std::mutex> lk(d.mu);
+  const int id = d.next_tap_id++;
+  d.taps.emplace_back(id, std::move(tap));
+  return id;
+}
+
+inline void remove_log_tap(int id) {
+  auto& d = log_dispatch();
+  std::lock_guard<std::mutex> lk(d.mu);
+  std::erase_if(d.taps, [id](const auto& t) { return t.first == id; });
+}
+
 inline void log_line(LogLevel lvl, const std::string& msg) {
   if (lvl < log_level()) return;
-  std::cerr << "[" << level_name(lvl) << "] " << msg << "\n";
+  auto& d = log_dispatch();
+  std::lock_guard<std::mutex> lk(d.mu);
+  if (d.sink) {
+    d.sink(lvl, msg);
+  } else {
+    std::cerr << "[" << level_name(lvl) << "] " << msg << "\n";
+  }
+  for (const auto& [id, tap] : d.taps) tap(lvl, msg);
 }
 
 }  // namespace hvsim::util

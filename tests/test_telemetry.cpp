@@ -1,0 +1,462 @@
+// The unified telemetry layer: metrics registry (bucket math, label
+// canonicalization, cardinality guard, deterministic exposition), span
+// tracer (parent/child nesting, Chrome JSON), flight recorder (ring wrap,
+// dump triggers, rate limiting, log capture), and the wired pipeline —
+// exit -> forward -> audit span chains, quarantine enter/exit counters,
+// alarm-driven flight dumps, and byte-identical snapshots across
+// identical sim runs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "auditors/goshd.hpp"
+#include "core/hypertap.hpp"
+#include "fi/campaign.hpp"
+#include "fi/locations.hpp"
+#include "resilience/monitor_fi.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/log.hpp"
+#include "workloads/workload.hpp"
+
+namespace hypertap {
+namespace {
+
+using hvsim::telemetry::FlightRecorder;
+using hvsim::telemetry::Histogram;
+using hvsim::telemetry::Labels;
+using hvsim::telemetry::Registry;
+using hvsim::telemetry::Tracer;
+using resilience::FaultyAuditor;
+using resilience::MonitorFaultKind;
+using resilience::MonitorFaultSpec;
+
+// ---------------------------------------------------------------------
+// Metrics: histogram bucket boundaries.
+// ---------------------------------------------------------------------
+
+TEST(TelemetryHistogram, BucketBoundariesArePowersOfTwo) {
+  // le(0)=0, le(1)=1, le(2)=2, le(3)=4, le(4)=8, ...
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 3u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);  // 4 <= le(3)=4: inclusive
+  EXPECT_EQ(Histogram::bucket_index(5), 4u);
+  EXPECT_EQ(Histogram::bucket_index(8), 4u);
+  EXPECT_EQ(Histogram::bucket_index(9), 5u);
+  // Exact powers of two land in the bucket whose bound they equal.
+  for (std::size_t i = 1; i + 1 < Histogram::kOverflow; ++i) {
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_le(i)), i)
+        << "le(" << i << ")=" << Histogram::bucket_le(i);
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_le(i) + 1), i + 1);
+  }
+  EXPECT_EQ(Histogram::bucket_index(~0ull), Histogram::kOverflow);
+
+  Histogram h;
+  h.observe(0);
+  h.observe(4);
+  h.observe(4);
+  h.observe(~0ull);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(3), 2u);
+  EXPECT_EQ(h.bucket_count(Histogram::kOverflow), 1u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), ~0ull);
+}
+
+// ---------------------------------------------------------------------
+// Metrics: registry semantics.
+// ---------------------------------------------------------------------
+
+TEST(TelemetryRegistry, LabelOrderIsCanonicalized) {
+  Registry reg;
+  auto* a = reg.counter("x", {{"b", "2"}, {"a", "1"}});
+  auto* b = reg.counter("x", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(a, b) << "same label set in any order names the same series";
+  a->inc(3);
+  EXPECT_EQ(reg.counter_value("x", {{"b", "2"}, {"a", "1"}}), 3u);
+  EXPECT_EQ(Registry::series_key("x", {{"b", "2"}, {"a", "1"}}),
+            "x{a=\"1\",b=\"2\"}");
+}
+
+TEST(TelemetryRegistry, CardinalityGuardCollapsesToOverflowSeries) {
+  Registry::Config cfg;
+  cfg.max_series = 4;
+  Registry reg(cfg);
+  for (int i = 0; i < 10; ++i) {
+    auto* c = reg.counter("hot", {{"k", std::to_string(i)}});
+    ASSERT_NE(c, nullptr);
+    c->inc();
+  }
+  EXPECT_LE(reg.series_count(), 5u)  // 4 real + the overflow series
+      << "registrations past the cap must not grow the registry";
+  EXPECT_GT(reg.dropped_series(), 0u);
+  EXPECT_GT(reg.counter_value("hot", {{"overflow", "true"}}), 0u)
+      << "overflow registrations share the per-name overflow series";
+}
+
+TEST(TelemetryRegistry, ExpositionIsDeterministicAndWellFormed) {
+  Registry reg;
+  reg.counter("ht_events_total", {{"kind", "SYSCALL"}, {"vm", "0"}})->inc(7);
+  reg.gauge("ht_vm_health")->set(2);
+  reg.histogram("ht_stage_cycles", {{"stage", "audit"}})->observe(5);
+
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# TYPE ht_events_total counter"), std::string::npos);
+  EXPECT_NE(text.find(
+                "ht_events_total{kind=\"SYSCALL\",vm=\"0\"} 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("ht_vm_health 2"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos)
+      << "histograms expose cumulative buckets";
+  EXPECT_EQ(text, reg.prometheus_text()) << "snapshots are reproducible";
+
+  const std::string json = reg.json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_EQ(json, reg.json());
+}
+
+// ---------------------------------------------------------------------
+// Tracer: explicit parent/child nesting and Chrome JSON.
+// ---------------------------------------------------------------------
+
+TEST(TelemetryTracer, SpansNestPerTrackWithExplicitParents) {
+  Tracer tr;
+  const auto outer = tr.begin(0, 1, "exit", "exit", 100);
+  const auto inner = tr.begin(0, 1, "forward", "pipeline", 110);
+  // A span on a different track must not nest under vCPU 1's stack.
+  const auto other = tr.begin(0, 2, "exit", "exit", 105);
+  tr.instant(0, 1, "alarm", "alarm", 115, "vcpu-hang");
+  tr.end(inner, 120);
+  tr.end(outer, 130);
+  tr.end(other, 140);
+
+  const auto* in = tr.by_id(inner);
+  ASSERT_NE(in, nullptr);
+  EXPECT_EQ(in->parent, outer);
+  EXPECT_EQ(tr.by_id(other)->parent, Tracer::kNone);
+  const auto* mark = tr.find("alarm");
+  ASSERT_NE(mark, nullptr);
+  EXPECT_TRUE(mark->instant);
+  EXPECT_EQ(mark->parent, inner) << "instants parent under the open span";
+  EXPECT_EQ(mark->arg, "vcpu-hang");
+
+  // end() is idempotent and tolerates kNone.
+  tr.end(inner, 999);
+  tr.end(Tracer::kNone, 999);
+  EXPECT_EQ(tr.by_id(inner)->end, 120);
+
+  const std::string json = tr.chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+}
+
+TEST(TelemetryTracer, CapDropsNewSpansAndCounts) {
+  Tracer::Config cfg;
+  cfg.max_spans = 2;
+  Tracer tr(cfg);
+  EXPECT_NE(tr.begin(0, 0, "a", "c", 1), Tracer::kNone);
+  EXPECT_NE(tr.begin(0, 0, "b", "c", 2), Tracer::kNone);
+  EXPECT_EQ(tr.begin(0, 0, "c", "c", 3), Tracer::kNone);
+  EXPECT_EQ(tr.spans().size(), 2u);
+  EXPECT_EQ(tr.dropped(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder: ring, dumps, rate limiting, log capture.
+// ---------------------------------------------------------------------
+
+TEST(TelemetryFlight, RingWrapsKeepingNewestEntries) {
+  FlightRecorder::Config cfg;
+  cfg.ring_capacity = 4;
+  FlightRecorder fr(cfg);
+  for (int i = 0; i < 10; ++i) {
+    fr.record(0, FlightRecorder::EntryKind::kNote, 1000 + i, "n",
+              std::to_string(i));
+  }
+  const auto ring = fr.ring(0);
+  ASSERT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.front().detail, "6");
+  EXPECT_EQ(ring.back().detail, "9");
+  for (std::size_t i = 1; i < ring.size(); ++i) {
+    EXPECT_LT(ring[i - 1].t, ring[i].t) << "snapshot is chronological";
+  }
+}
+
+TEST(TelemetryFlight, DumpsAreRateLimitedInSimTime) {
+  FlightRecorder::Config cfg;
+  cfg.ring_capacity = 8;
+  cfg.max_dumps = 2;
+  cfg.min_dump_gap = 1'000'000;
+  FlightRecorder fr(cfg);
+  fr.record(0, FlightRecorder::EntryKind::kAlarm, 10, "alarm", "x");
+
+  const auto* d1 = fr.trigger(0, 100, "alarm:x");
+  ASSERT_NE(d1, nullptr);
+  EXPECT_EQ(d1->reason, "alarm:x");
+  ASSERT_EQ(d1->entries.size(), 1u);
+  EXPECT_EQ(d1->entries[0].detail, "x");
+
+  EXPECT_EQ(fr.trigger(0, 200, "alarm:y"), nullptr)
+      << "second dump inside min_dump_gap is suppressed";
+  EXPECT_EQ(fr.dumps_suppressed(), 1u);
+  EXPECT_NE(fr.trigger(0, 2'000'000, "alarm:z"), nullptr);
+  EXPECT_EQ(fr.trigger(0, 99'000'000, "alarm:w"), nullptr)
+      << "max_dumps is a hard cap";
+  EXPECT_EQ(fr.dumps().size(), 2u);
+  EXPECT_FALSE(FlightRecorder::format(*d1).empty());
+}
+
+TEST(TelemetryFlight, LogTapCapturesWarnAndAboveWithSimTime) {
+  FlightRecorder fr;
+  SimTime now = 42'000;
+  const int tap = fr.attach_log_capture(3, [&now]() { return now; });
+
+  const auto prev = hvsim::util::log_level();
+  hvsim::util::set_log_level(hvsim::util::LogLevel::kWarn);
+  HVSIM_WARN("auditor wedged");
+  now = 43'000;
+  HVSIM_INFO("filtered: below min level");
+  HVSIM_ERROR("channel overflow");
+  hvsim::util::set_log_level(prev);
+  fr.detach_log_capture(tap);
+  HVSIM_WARN("after detach: not captured");
+
+  const auto ring = fr.ring(3);
+  ASSERT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring[0].kind, FlightRecorder::EntryKind::kLog);
+  EXPECT_EQ(ring[0].t, 42'000);
+  EXPECT_NE(ring[0].detail.find("auditor wedged"), std::string::npos);
+  EXPECT_NE(ring[1].detail.find("channel overflow"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Wired pipeline: spans, counters, quarantine metrics, alarm dumps.
+// ---------------------------------------------------------------------
+
+class Busy final : public os::Workload {
+ public:
+  os::Action next(os::TaskCtx&) override {
+    if ((i_ ^= 1) != 0) return os::ActCompute{400'000};
+    return os::ActSyscall{os::SYS_WRITE, 3, 1024};
+  }
+  std::string name() const override { return "busy"; }
+  int i_ = 0;
+};
+
+class CountingAuditor final : public Auditor {
+ public:
+  std::string name() const override { return "counting"; }
+  EventMask subscriptions() const override {
+    return event_bit(EventKind::kSyscall) |
+           event_bit(EventKind::kThreadSwitch);
+  }
+  void on_event(const Event&, AuditContext&) override { ++events_; }
+  u64 events() const { return events_; }
+
+ private:
+  u64 events_ = 0;
+};
+
+TEST(TelemetryPipeline, ExitForwardAuditSpansNestAndCountersFlow) {
+  hvsim::telemetry::Telemetry tel;
+  os::Vm vm;
+  HyperTap ht(vm);
+  ht.add_auditor(std::make_unique<CountingAuditor>());
+  ht.set_telemetry(&tel, 0);
+  vm.kernel.boot();
+  vm.kernel.spawn("app", 1000, 1000, 1, std::make_unique<Busy>());
+  vm.machine.run_for(500'000'000);
+
+  auto& reg = tel.registry;
+  EXPECT_GT(reg.counter_value("ht_exits_total",
+                              {{"reason", "EPT_VIOLATION"}, {"vm", "0"}}),
+            0u);
+  EXPECT_GT(reg.counter_value("ht_events_total",
+                              {{"kind", "syscall"}, {"vm", "0"}}),
+            0u);
+  const u64 delivered = reg.counter_value(
+      "ht_audit_delivered_total", {{"auditor", "counting"}, {"vm", "0"}});
+  EXPECT_GT(delivered, 0u);
+  const auto* audit_hist = reg.find_histogram(
+      "ht_stage_cycles", {{"stage", "audit"}, {"vm", "0"}});
+  ASSERT_NE(audit_hist, nullptr);
+  EXPECT_EQ(audit_hist->count(), delivered)
+      << "one audit-stage sample per delivered event";
+
+  // The span chain the tracer promises: audit -> forward -> exit.
+  const auto* audit = tel.tracer.find("audit", "counting");
+  ASSERT_NE(audit, nullptr);
+  const auto* fwd = tel.tracer.by_id(audit->parent);
+  ASSERT_NE(fwd, nullptr);
+  EXPECT_STREQ(fwd->name, "forward");
+  const auto* exit_span = tel.tracer.by_id(fwd->parent);
+  ASSERT_NE(exit_span, nullptr);
+  EXPECT_STREQ(exit_span->name, "exit");
+  EXPECT_EQ(exit_span->parent, Tracer::kNone);
+  EXPECT_LE(exit_span->begin, fwd->begin);
+  EXPECT_GE(exit_span->end, fwd->end);
+  EXPECT_LE(fwd->begin, audit->begin);
+}
+
+TEST(TelemetryPipeline, QuarantineEnterExitCountersAndAlarmDump) {
+  hvsim::telemetry::Telemetry tel;
+  os::Vm vm;
+  HyperTap::Options opts;
+  opts.multiplexer.breaker.failure_threshold = 3;
+  opts.multiplexer.breaker.cooldown = 300'000'000;
+  HyperTap ht(vm, opts);
+  auto faulty_owned =
+      std::make_unique<FaultyAuditor>(std::make_unique<CountingAuditor>());
+  auto* faulty = faulty_owned.get();
+  ht.add_auditor(std::move(faulty_owned));
+  ht.set_telemetry(&tel, 0);
+  vm.kernel.boot();
+  vm.kernel.spawn("app", 1000, 1000, 1, std::make_unique<Busy>());
+  vm.machine.run_for(300'000'000);
+
+  const Labels l{{"auditor", "counting"}, {"vm", "0"}};
+  EXPECT_EQ(tel.registry.counter_value("ht_quarantine_enter_total", l), 0u);
+
+  // Exactly threshold throws trips the breaker; the fault then clears, so
+  // the half-open probe after the cooldown re-admits the auditor.
+  faulty->arm(MonitorFaultSpec{MonitorFaultKind::kThrow, 3,
+                               std::chrono::microseconds{0}, 1});
+  vm.machine.run_for(200'000'000);
+  ASSERT_TRUE(ht.multiplexer().quarantined(faulty));
+  EXPECT_EQ(tel.registry.counter_value("ht_quarantine_enter_total", l), 1u);
+  EXPECT_EQ(tel.registry.counter_value("ht_quarantine_exit_total", l), 0u);
+  EXPECT_EQ(tel.registry.counter_value("ht_audit_faults_total", l), 3u);
+
+  vm.machine.run_for(1'000'000'000);
+  ASSERT_FALSE(ht.multiplexer().quarantined(faulty));
+  EXPECT_EQ(tel.registry.counter_value("ht_quarantine_exit_total", l), 1u);
+  EXPECT_GT(tel.registry.counter_value("ht_audit_resyncs_total", l), 0u)
+      << "readmission resynchronizes the auditor (on_gap)";
+
+  // Quarantine raised an alarm; the alarm path counts it, marks the
+  // tracer, and dumps the flight ring.
+  EXPECT_GE(tel.registry.counter_value(
+                "ht_alarms_total",
+                {{"type", "auditor-quarantined"}, {"vm", "0"}}),
+            1u);
+  EXPECT_NE(tel.tracer.find("quarantine"), nullptr);
+  EXPECT_NE(tel.tracer.find("alarm"), nullptr);
+  ASSERT_FALSE(tel.flight.dumps().empty());
+  EXPECT_EQ(tel.flight.dumps()[0].reason, "alarm:auditor-quarantined");
+  EXPECT_FALSE(tel.flight.dumps()[0].entries.empty())
+      << "the dump carries the ring contents leading up to the alarm";
+
+  // container_cycles surfaces per-registration backlog as a gauge.
+  EXPECT_NE(tel.registry.find_gauge("ht_container_cycles", l), nullptr);
+}
+
+TEST(TelemetryPipeline, SnapshotsAreByteIdenticalAcrossIdenticalRuns) {
+  auto run = [](hvsim::telemetry::Telemetry& tel) {
+    hv::MachineConfig mc;
+    mc.seed = 77;
+    os::Vm vm(mc, os::KernelConfig{});
+    HyperTap ht(vm);
+    ht.add_auditor(std::make_unique<CountingAuditor>());
+    ht.add_auditor(
+        std::make_unique<auditors::Goshd>(vm.machine.num_vcpus()));
+    ht.set_telemetry(&tel, 0);
+    vm.kernel.boot();
+    vm.kernel.spawn("app", 1000, 1000, 1, std::make_unique<Busy>());
+    vm.machine.run_for(1'000'000'000);
+  };
+  hvsim::telemetry::Telemetry a, b;
+  run(a);
+  run(b);
+  EXPECT_EQ(a.registry.prometheus_text(), b.registry.prometheus_text());
+  EXPECT_EQ(a.registry.json(), b.registry.json());
+  EXPECT_EQ(a.tracer.chrome_json(), b.tracer.chrome_json());
+}
+
+TEST(TelemetryPipeline, UnwiringStopsInstrumentationCleanly) {
+  hvsim::telemetry::Telemetry tel;
+  os::Vm vm;
+  HyperTap ht(vm);
+  ht.add_auditor(std::make_unique<CountingAuditor>());
+  ht.set_telemetry(&tel, 0);
+  vm.kernel.boot();
+  vm.kernel.spawn("app", 1000, 1000, 1, std::make_unique<Busy>());
+  vm.machine.run_for(200'000'000);
+  const u64 exits_at_unwire = tel.registry.counter_value(
+      "ht_exits_total", {{"reason", "EPT_VIOLATION"}, {"vm", "0"}});
+  ASSERT_GT(exits_at_unwire, 0u);
+
+  ht.set_telemetry(nullptr, 0);
+  vm.machine.run_for(200'000'000);
+  EXPECT_EQ(tel.registry.counter_value(
+                "ht_exits_total", {{"reason", "EPT_VIOLATION"}, {"vm", "0"}}),
+            exits_at_unwire)
+      << "after unwiring, the pipeline must not touch the old registry";
+}
+
+// ---------------------------------------------------------------------
+// Closed loop: campaign with recovery produces the full artifact set.
+// ---------------------------------------------------------------------
+
+TEST(TelemetryClosedLoop, CampaignWithRecoveryProducesAllArtifacts) {
+  const auto locs = fi::generate_locations();
+  hvsim::telemetry::Telemetry tel;
+  fi::RunConfig cfg;
+  cfg.workload = fi::WorkloadKind::kMakeJ2;
+  cfg.location = 5;
+  cfg.fault_class = os::FaultClass::kMissingRelease;
+  cfg.transient = true;
+  cfg.seed = 11;
+  cfg.enable_recovery = true;
+  cfg.telemetry = &tel;
+  cfg.telemetry_vm_id = 0;
+  const fi::RunResult res = fi::run_one(cfg, locs);
+  ASSERT_EQ(res.outcome, fi::Outcome::kRecovered)
+      << "outcome was " << fi::to_string(res.outcome);
+
+  // Metrics: detection and every recovery stage left a series behind.
+  auto& reg = tel.registry;
+  EXPECT_GT(reg.counter_value("ht_exits_total",
+                              {{"reason", "EPT_VIOLATION"}, {"vm", "0"}}),
+            0u);
+  EXPECT_GE(reg.counter_value("ht_alarms_total",
+                              {{"type", "vcpu-hang"}, {"vm", "0"}}),
+            1u);
+  u64 remedies = 0;
+  for (const char* kind : {"resync", "kill", "restore", "reboot"}) {
+    remedies += reg.counter_value("ht_recovery_remedies_total",
+                                  {{"remedy", kind}, {"vm", "0"}});
+  }
+  EXPECT_EQ(remedies, static_cast<u64>(res.remediations));
+  EXPECT_GT(reg.counter_value("ht_ckpt_captures_total", {{"vm", "0"}}), 0u);
+  const auto* health = reg.find_gauge("ht_vm_health", {{"vm", "0"}});
+  ASSERT_NE(health, nullptr);
+  EXPECT_EQ(health->value(), 0.0) << "VM ends the run healthy";
+
+  // Trace: the guest pipeline and the recovery track both have spans, and
+  // the exit -> forward -> audit chain nests.
+  EXPECT_NE(tel.tracer.find("exit"), nullptr);
+  EXPECT_NE(tel.tracer.find("remediate"), nullptr);
+  EXPECT_NE(tel.tracer.find("alarm"), nullptr);
+  const auto* audit = tel.tracer.find("audit");
+  ASSERT_NE(audit, nullptr);
+  ASSERT_NE(tel.tracer.by_id(audit->parent), nullptr);
+  EXPECT_STREQ(tel.tracer.by_id(audit->parent)->name, "forward");
+  const std::string trace = tel.tracer.chrome_json();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("recovery"), std::string::npos)
+      << "the recovery track is labelled in the trace metadata";
+
+  // Flight recorder: the hang alarm dumped the ring.
+  ASSERT_FALSE(tel.flight.dumps().empty());
+  EXPECT_NE(tel.flight.dumps()[0].reason.find("alarm:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hypertap
