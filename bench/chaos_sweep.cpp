@@ -1,0 +1,183 @@
+// Chaos sweep: detection coverage and false-alarm rate vs delivery-fault
+// rate, with the ingress hardening on vs off.
+//
+// The ChaosEngine sits between the Event Forwarder and the Event
+// Multiplexer and injects drop / duplicate / reorder / corrupt / delay
+// faults at a per-event rate. Two arms per rate:
+//   hardened   — multiplexer dedup + DeliveryGuard (checksum validation,
+//                bounded reorder buffer, gap synthesis feeding on_gap)
+//   unhardened — raw delivery: whatever survives the faults is audited
+//
+// Coverage cells arm a lock-leak fault at a hang-manifesting location and
+// ask whether GOSHD still detects the hang (coverage over hangs the
+// external probe confirms); false-alarm cells arm nothing and ask whether
+// GOSHD stays silent. Binary hang coverage is expected to degrade
+// gracefully — an absence-based detector tolerates random loss by
+// construction — so the sweep also reports the evidence-integrity gap:
+// auditor exceptions absorbed (corrupted events crashing GOSHD raw),
+// corrupted events audited vs dropped, and duplicate audits suppressed.
+//
+// Environment: HYPERTAP_CHAOS_SEEDS (default 1).
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "fi/campaign.hpp"
+#include "fi/locations.hpp"
+#include "util/stats.hpp"
+
+using namespace hvsim;
+using namespace hypertap;
+using hvsim::util::TablePrinter;
+using hvsim::util::format_double;
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const int n = std::atoi(v);
+  return n > 0 ? n : fallback;
+}
+
+/// A location id no generated location uses: the fault never arms, so any
+/// GOSHD alarm in these runs is a false alarm by construction.
+constexpr u16 kNoFaultLocation = 9999;
+
+struct Cell {
+  double coverage = 0.0;        ///< detected / manifested hangs (probe truth)
+  double false_alarm = 0.0;     ///< alarmed / fault-free runs
+  double chaos_faults = 0.0;    ///< injected faults per run (mean)
+  double auditor_faults = 0.0;  ///< auditor exceptions absorbed per run
+  double corrupted_dropped = 0.0;
+  double dups_suppressed = 0.0;
+  double gaps_signaled = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  const int seeds = env_int("HYPERTAP_CHAOS_SEEDS", 1);
+  const auto locations = fi::generate_locations(2014);
+
+  struct Combo {
+    fi::WorkloadKind workload;
+    u16 location;
+  };
+  // Hang-manifesting cells (same ones the recovery suite pins down).
+  const std::vector<Combo> detect_combos = {
+      {fi::WorkloadKind::kMakeJ2, 5},
+      {fi::WorkloadKind::kHanoi, 3},
+  };
+  const std::vector<double> rates = {0.0, 0.01, 0.05, 0.2};
+
+  std::cout << "CHAOS SWEEP: GOSHD coverage / false alarms vs delivery-fault "
+            << "rate (" << seeds << " seed" << (seeds == 1 ? "" : "s")
+            << " per cell)\n";
+  std::cout << "faults per event: drop, duplicate, reorder, corrupt, delay — "
+            << "each at the listed rate\n\n";
+
+  TablePrinter tp({"Fault rate", "Hardening", "Coverage", "False alarms",
+                   "Auditor faults", "Corrupt dropped", "Dups suppressed",
+                   "Gaps"});
+  htbench::BenchReport report("chaos_sweep");
+  report.param("seeds", seeds);
+
+  double baseline_coverage = -1.0;
+  std::vector<std::pair<std::string, Cell>> cells;
+  for (const double rate : rates) {
+    for (const bool harden : {true, false}) {
+      Cell cell;
+      int manifested = 0, detected = 0, clean_runs = 0, false_alarms = 0;
+      int runs = 0;
+      for (const Combo& combo : detect_combos) {
+        for (const bool armed : {true, false}) {
+          for (int s = 0; s < seeds; ++s) {
+            fi::RunConfig cfg;
+            cfg.workload = combo.workload;
+            cfg.location = armed ? combo.location : kNoFaultLocation;
+            cfg.fault_class = os::FaultClass::kMissingRelease;
+            cfg.transient = true;
+            cfg.seed = 11 + 7ull * static_cast<u64>(s);
+            // Same chaos seed for both arms: the hardened and unhardened
+            // runs face the identical fault stream (paired comparison).
+            cfg.chaos = chaos::ChaosConfig::uniform(rate, 0xC7A05u ^ cfg.seed);
+            cfg.harden_delivery = harden;
+            const fi::RunResult res = fi::run_one(cfg, locations);
+            ++runs;
+            if (armed) {
+              // Coverage over hangs that actually manifested (the external
+              // probe is ground truth): an activated fault that never hangs
+              // the guest leaves nothing for GOSHD to detect.
+              if (res.activated && res.probe_hang) {
+                ++manifested;
+                if (res.first_alarm > 0) ++detected;
+              }
+            } else {
+              ++clean_runs;
+              if (res.first_alarm > 0) ++false_alarms;
+            }
+            cell.chaos_faults += static_cast<double>(res.chaos_faults);
+            cell.auditor_faults += static_cast<double>(res.auditor_faults);
+            cell.corrupted_dropped +=
+                static_cast<double>(res.corrupted_dropped);
+            cell.dups_suppressed +=
+                static_cast<double>(res.duplicates_suppressed);
+            cell.gaps_signaled += static_cast<double>(res.gaps_signaled);
+          }
+        }
+      }
+      cell.coverage = manifested > 0
+                          ? static_cast<double>(detected) / manifested
+                          : 0.0;
+      cell.false_alarm = clean_runs > 0
+                             ? static_cast<double>(false_alarms) / clean_runs
+                             : 0.0;
+      cell.chaos_faults /= runs;
+      cell.auditor_faults /= runs;
+      cell.corrupted_dropped /= runs;
+      cell.dups_suppressed /= runs;
+      cell.gaps_signaled /= runs;
+      if (rate == 0.0 && harden && baseline_coverage < 0) {
+        baseline_coverage = cell.coverage;
+      }
+
+      tp.add_row({format_double(rate * 100, 1) + "%",
+                  harden ? "on" : "off",
+                  format_double(cell.coverage * 100, 1) + "%",
+                  format_double(cell.false_alarm * 100, 1) + "%",
+                  format_double(cell.auditor_faults, 1),
+                  format_double(cell.corrupted_dropped, 1),
+                  format_double(cell.dups_suppressed, 1),
+                  format_double(cell.gaps_signaled, 1)});
+      const std::string key =
+          "rate_" + std::to_string(static_cast<int>(rate * 1000)) + "permil." +
+          (harden ? "hardened" : "unhardened");
+      cells.emplace_back(key, cell);
+    }
+  }
+  std::cout << tp.str();
+
+  for (const auto& [key, cell] : cells) {
+    report.metric(key + ".coverage", cell.coverage)
+        .metric(key + ".false_alarm_rate", cell.false_alarm)
+        .metric(key + ".chaos_faults_mean", cell.chaos_faults)
+        .metric(key + ".auditor_faults_mean", cell.auditor_faults)
+        .metric(key + ".corrupted_dropped_mean", cell.corrupted_dropped)
+        .metric(key + ".duplicates_suppressed_mean", cell.dups_suppressed)
+        .metric(key + ".gaps_signaled_mean", cell.gaps_signaled);
+  }
+  report.metric("baseline_coverage", baseline_coverage);
+  report.write();
+
+  std::cout << "\nHardening keeps corrupted events (stale checksums) away "
+               "from the auditors and converts drops/reorders into explicit "
+               "on_gap resyncs; unhardened runs audit damaged evidence "
+               "directly — every 'auditor fault' above is GOSHD throwing on "
+               "a corrupted payload, absorbed only by the supervision "
+               "breaker. Hang coverage itself degrades gracefully in both "
+               "arms: an absence-based detector is robust to random loss.\n";
+  return 0;
+}

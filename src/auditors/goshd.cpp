@@ -61,6 +61,14 @@ void Goshd::on_timer(SimTime now, AuditContext& ctx) {
   }
 }
 
+void Goshd::on_gap(u64 missed, AuditContext& ctx) {
+  if (missed <= cfg_.resync_gap_tolerance) {
+    gaps_tolerated_ += missed;
+    return;
+  }
+  resync(ctx);
+}
+
 void Goshd::resync(AuditContext& ctx) {
   // After event loss the per-vCPU switch history is untrustworthy in both
   // directions: missed switches would fake a hang, and a hang that began

@@ -28,6 +28,14 @@ class Goshd final : public Auditor {
     double profile_factor = 2.0;
     /// Auto-threshold floor (guards against unnaturally quiet profiles).
     SimTime min_threshold = 1'000'000'000;
+    /// Gap sizes at or below this are absorbed without a resync. GOSHD
+    /// keys on the ABSENCE of switch events: losing a handful leaves
+    /// last-switch stale by the few milliseconds those events spanned —
+    /// far below the multi-second threshold — so a small hole can neither
+    /// fake nor hide a hang. Only bulk loss (channel outage, quarantine
+    /// reopen) warrants the conservative rebaseline, which resets every
+    /// hang timer and costs up to one threshold of detection latency.
+    u64 resync_gap_tolerance = 64;
   };
 
   Goshd(int num_vcpus, Config cfg);
@@ -42,7 +50,11 @@ class Goshd final : public Auditor {
 
   void on_event(const Event& e, AuditContext& ctx) override;
   void on_timer(SimTime now, AuditContext& ctx) override;
+  void on_gap(u64 missed, AuditContext& ctx) override;
   void resync(AuditContext& ctx) override;
+
+  /// Events lost to gaps small enough to absorb without resyncing.
+  u64 gaps_tolerated() const { return gaps_tolerated_; }
 
   bool vcpu_hung(int cpu) const { return hung_.at(cpu); }
   bool any_hung() const;
@@ -69,6 +81,7 @@ class Goshd final : public Auditor {
   std::vector<SimTime> detect_time_;
   SimTime full_hang_time_ = 0;
   bool full_reported_ = false;
+  u64 gaps_tolerated_ = 0;
 };
 
 }  // namespace hypertap::auditors

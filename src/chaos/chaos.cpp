@@ -1,0 +1,129 @@
+#include "chaos/chaos.hpp"
+
+#include <algorithm>
+
+namespace hypertap::chaos {
+
+void ChaosEngine::intercept(const Event& e, std::vector<Event>& out) {
+  ++stats_.intercepted;
+  const std::size_t preexisting = held_.size();
+
+  if (cfg_.drop_p > 0 && rng_.chance(cfg_.drop_p)) {
+    ++stats_.dropped;
+  } else {
+    Event d = e;
+    if (cfg_.corrupt_p > 0 && rng_.chance(cfg_.corrupt_p)) {
+      corrupt_event(d, rng_);
+      ++stats_.corrupted;
+    }
+    if (cfg_.delay_p > 0 && rng_.chance(cfg_.delay_p)) {
+      held_.push_back({d, -1});
+      ++stats_.delayed;
+    } else if (cfg_.reorder_p > 0 && rng_.chance(cfg_.reorder_p)) {
+      const int skew = std::max(1, cfg_.reorder_skew_max);
+      held_.push_back({d, static_cast<int>(rng_.range(1, skew))});
+      ++stats_.reordered;
+    } else {
+      out.push_back(d);
+      if (cfg_.dup_p > 0 && rng_.chance(cfg_.dup_p)) {
+        out.push_back(d);
+        ++stats_.duplicated;
+      }
+    }
+  }
+  release_due(out, preexisting);
+}
+
+void ChaosEngine::release_due(std::vector<Event>& out,
+                              std::size_t preexisting) {
+  // Only entries that predate this intercept age: a freshly held event
+  // released behind itself would not be out of order at all.
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < held_.size(); ++i) {
+    Held& h = held_[i];
+    if (i < preexisting && h.remaining > 0 && --h.remaining == 0) {
+      out.push_back(h.e);
+      continue;
+    }
+    held_[w++] = std::move(h);
+  }
+  held_.resize(w);
+}
+
+void ChaosEngine::drain(std::vector<Event>& out) {
+  for (Held& h : held_) out.push_back(std::move(h.e));
+  held_.clear();
+}
+
+void ChaosEngine::corrupt_event(Event& e, util::Rng& rng) {
+  switch (rng.below(8)) {
+    case 0:
+      // Future timestamp: poisons duration arithmetic (a hang detector
+      // that baselines on it stops seeing the hang).
+      e.time += static_cast<SimTime>(rng.range(5, 60)) * 1'000'000'000ll;
+      break;
+    case 1: {
+      // Past timestamp: manufactures huge apparent stalls (false alarms).
+      // Events too young to shift back shift forward instead — corruption
+      // must never be a silent no-op (the stats count it as injected).
+      const SimTime delta =
+          static_cast<SimTime>(rng.range(5, 60)) * 1'000'000'000ll;
+      e.time = e.time > delta ? e.time - delta : e.time + delta;
+      break;
+    }
+    case 2:
+      e.vcpu = static_cast<int>(
+          (static_cast<u64>(e.vcpu) + 1 + rng.below(7)) % 8);
+      break;
+    case 3: {
+      // Another *valid* kind — event_bit() on an out-of-range kind is UB,
+      // and real bit rot is just as likely to land inside the range.
+      const u64 n = static_cast<u64>(EventKind::kCount);
+      e.kind = static_cast<EventKind>(
+          (static_cast<u64>(e.kind) + 1 + rng.below(n - 1)) % n);
+      break;
+    }
+    case 4:
+      e.cr3_new ^= static_cast<u32>(1u << rng.below(32));
+      break;
+    case 5:
+      e.rsp0 ^= static_cast<u32>(1u << rng.below(32));
+      break;
+    case 6:
+      e.sc_nr = (e.sc_nr + 1 + rng.below(255)) % 256;
+      break;
+    default:
+      e.reg_cr3 ^= static_cast<u32>(1u << rng.below(32));
+      break;
+  }
+}
+
+u64 ChaosEngine::tear_tail(journal::JournalStore& store, u64 bytes) {
+  const auto names = store.segments();
+  if (names.empty()) return 0;
+  const std::string& last = names.back();
+  const std::size_t sz = store.size(last);
+  const u64 torn = std::min<u64>(bytes, sz);
+  store.truncate(last, sz - static_cast<std::size_t>(torn));
+  return torn;
+}
+
+void ChaosEngine::corrupt_checkpoint(recovery::Checkpoint& cp,
+                                     util::Rng& rng) {
+  if (!cp.regs.empty()) {
+    auto& regs = cp.regs[rng.below(cp.regs.size())];
+    if (rng.chance(0.5)) {
+      regs.cr3 ^= static_cast<u32>(1u + rng.below(0xFFFFFFFFull));
+    } else {
+      regs.tr ^= static_cast<Gva>(1u + rng.below(0xFFFFull));
+    }
+  }
+  // A few stray flips in the memory image for good measure (may or may not
+  // land somewhere an invariant covers — the register scramble above is
+  // what guarantees verify() refuses the snapshot).
+  for (int i = 0; i < 4 && !cp.mem.empty(); ++i) {
+    cp.mem[rng.below(cp.mem.size())] ^= static_cast<u8>(1u << rng.below(8));
+  }
+}
+
+}  // namespace hypertap::chaos

@@ -1,0 +1,120 @@
+// Chaos engine: seeded delivery-fault injection for the monitoring
+// pipeline itself.
+//
+// The fault-injection campaigns (fi/) attack the *guest*; the chaos layer
+// attacks the *pipeline* — the delivery path between the Event Forwarder
+// and the Event Multiplexer, the journal's storage, and the recovery
+// layer's checkpoints. Each fault models a failure a real deployment sees:
+//
+//   drop       — a full shared ring / lossy transport loses the event
+//   duplicate  — an at-least-once transport redelivers it
+//   reorder    — a multi-queue path delivers it late (bounded skew)
+//   corrupt    — bit rot / a DMA stray flips payload fields in flight
+//                (the forwarder's checksum goes stale — that is the point)
+//   delay      — the event is stuck until the pipeline drains
+//   torn tail  — a crash mid-append leaves a partial journal record
+//   bad ckpt   — a checkpoint's register file is scrambled at rest
+//
+// Everything is driven by one seeded Rng, so a chaos run is exactly as
+// reproducible as a clean one. The hardening this engine exists to test
+// lives in the DeliveryGuard (checksum validation, dedup, bounded
+// reordering, gap synthesis) and the journal's quarantine/truncation
+// logic; the chaos_sweep bench measures what that hardening buys.
+#pragma once
+
+#include "core/event_forwarder.hpp"
+#include "journal/journal.hpp"
+#include "recovery/checkpoint.hpp"
+#include "util/rng.hpp"
+
+namespace hypertap::chaos {
+
+using namespace hvsim;
+
+struct ChaosConfig {
+  u64 seed = 1;
+
+  // Per-event fault probabilities (independent Bernoulli trials; drop
+  // pre-empts the rest, delay pre-empts reorder).
+  double drop_p = 0.0;
+  double dup_p = 0.0;
+  double reorder_p = 0.0;
+  double corrupt_p = 0.0;
+  double delay_p = 0.0;
+
+  /// Maximum number of later events a reordered one is held behind. Keep
+  /// below the DeliveryGuard's reorder_window or hardened runs will
+  /// (correctly) report the skew as loss.
+  int reorder_skew_max = 4;
+
+  bool active() const {
+    return drop_p > 0 || dup_p > 0 || reorder_p > 0 || corrupt_p > 0 ||
+           delay_p > 0;
+  }
+
+  /// All five delivery faults at the same per-event rate — the knob the
+  /// chaos sweep turns.
+  static ChaosConfig uniform(double rate, u64 seed) {
+    ChaosConfig c;
+    c.seed = seed;
+    c.drop_p = c.dup_p = c.reorder_p = c.corrupt_p = c.delay_p = rate;
+    return c;
+  }
+};
+
+class ChaosEngine final : public EventInterceptor {
+ public:
+  struct Stats {
+    u64 intercepted = 0;
+    u64 dropped = 0;
+    u64 duplicated = 0;
+    u64 reordered = 0;
+    u64 corrupted = 0;
+    u64 delayed = 0;
+    u64 faults() const {
+      return dropped + duplicated + reordered + corrupted + delayed;
+    }
+  };
+
+  explicit ChaosEngine(ChaosConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+  // EventInterceptor
+  void intercept(const Event& e, std::vector<Event>& out) override;
+  void drain(std::vector<Event>& out) override;
+
+  const Stats& stats() const { return stats_; }
+  const ChaosConfig& config() const { return cfg_; }
+
+  /// Mutate one semantic payload field (deterministically, from `rng`)
+  /// WITHOUT restamping the checksum — exactly what in-flight corruption
+  /// looks like. Mutations stay within valid enum ranges: the hardening
+  /// must catch the corruption, not the type system.
+  static void corrupt_event(Event& e, util::Rng& rng);
+
+  /// Tear `bytes` off the tail of the store's last segment (a crash
+  /// mid-append). Returns the number of bytes actually removed (clamped
+  /// to the segment size; 0 when the store is empty).
+  static u64 tear_tail(journal::JournalStore& store, u64 bytes);
+
+  /// Scramble a checkpoint's architectural state at rest (CR3 or TR of a
+  /// random vCPU, plus a handful of memory-image byte flips) so that
+  /// Checkpointer::verify refuses it and recovery must fall back to an
+  /// older snapshot.
+  static void corrupt_checkpoint(recovery::Checkpoint& cp, util::Rng& rng);
+
+ private:
+  /// Age held-back events by one delivery slot; append the expired ones.
+  void release_due(std::vector<Event>& out, std::size_t preexisting);
+
+  struct Held {
+    Event e;
+    int remaining = 0;  ///< delivery slots left; -1 = held until drain
+  };
+
+  ChaosConfig cfg_;
+  util::Rng rng_;
+  Stats stats_;
+  std::vector<Held> held_;
+};
+
+}  // namespace hypertap::chaos

@@ -1,0 +1,74 @@
+#include "core/delivery_guard.hpp"
+
+namespace hypertap {
+
+void DeliveryGuard::release(Event e, u64 gap, std::vector<Event>& ready) {
+  if (gap > 0) {
+    // Ride the existing in-band loss path: the multiplexer sees
+    // gap_before > 0 and raises Auditor::on_gap before delivery.
+    e.gap_before += static_cast<u32>(gap);
+    gaps_signaled_ += gap;
+  }
+  ready.push_back(std::move(e));
+}
+
+void DeliveryGuard::ingest(const Event& e, std::vector<Event>& ready) {
+  if (!cfg_.enabled || e.seq == 0) {
+    ready.push_back(e);
+    return;
+  }
+  if (cfg_.validate_csum && e.csum != 0 &&
+      e.csum != e.payload_checksum()) {
+    // Corrupted evidence: drop. The sequence hole this leaves is surfaced
+    // as a gap once the window passes it.
+    ++corrupted_dropped_;
+    return;
+  }
+  if (next_seq_ == 0) next_seq_ = e.seq;  // anchor to the stream's start
+  if (e.seq < next_seq_ || pending_.count(e.seq) != 0) {
+    ++duplicates_suppressed_;
+    return;
+  }
+  if (e.seq == next_seq_) {
+    release(e, 0, ready);
+    ++next_seq_;
+  } else {
+    pending_.emplace(e.seq, e);
+  }
+  // Drain buffered events that are now consecutive.
+  for (auto it = pending_.begin();
+       it != pending_.end() && it->first == next_seq_;
+       it = pending_.erase(it), ++next_seq_) {
+    ++reordered_released_;
+    release(std::move(it->second), 0, ready);
+  }
+  // Bounded lookahead: give up on sequence numbers the window has passed.
+  while (!pending_.empty() &&
+         (pending_.rbegin()->first - next_seq_ >= cfg_.reorder_window ||
+          pending_.size() >= cfg_.reorder_window)) {
+    auto it = pending_.begin();
+    const u64 gap = it->first - next_seq_;
+    next_seq_ = it->first + 1;
+    ++reordered_released_;
+    release(std::move(it->second), gap, ready);
+    pending_.erase(it);
+    for (it = pending_.begin();
+         it != pending_.end() && it->first == next_seq_;
+         it = pending_.erase(it), ++next_seq_) {
+      ++reordered_released_;
+      release(std::move(it->second), 0, ready);
+    }
+  }
+}
+
+void DeliveryGuard::drain(std::vector<Event>& ready) {
+  for (auto& [seq, e] : pending_) {
+    const u64 gap = seq - next_seq_;
+    next_seq_ = seq + 1;
+    ++reordered_released_;
+    release(std::move(e), gap, ready);
+  }
+  pending_.clear();
+}
+
+}  // namespace hypertap

@@ -1,0 +1,77 @@
+// Delivery guard: the hardening stage between the shared logging channel
+// and auditor fan-out. The event stream is the trusted root of every RnS
+// policy, so delivery faults (drops, duplicates, reordering, payload
+// corruption — whether from a flaky transport or an injected chaos fault)
+// must be absorbed HERE, before an auditor can mistake a damaged stream
+// for guest misbehaviour.
+//
+// Per ingested event, in order:
+//  1. Integrity: an event whose payload checksum no longer matches its
+//     stamp is dropped (corrupted evidence never reaches an auditor); the
+//     resulting sequence hole is later surfaced as a gap.
+//  2. Dedup: a sequence number at or below the release cursor has already
+//     been delivered (or declared lost) — suppressed.
+//  3. Reorder: an event ahead of the release cursor is buffered; events
+//     are released strictly in sequence order. The buffer is bounded: when
+//     the lookahead exceeds the window, the guard gives up on the missing
+//     sequence numbers, releases the oldest buffered event with
+//     `gap_before` set to the hole size, and advances. That marker rides
+//     the existing loss path — the multiplexer raises Auditor::on_gap and
+//     stateful auditors resync from the trusted derivation.
+//
+// Unsequenced events (seq == 0, hand-built in tests) bypass the guard
+// entirely. On a clean in-order stream every event releases immediately,
+// so the guard's cost is one checksum + one comparison per event.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/event.hpp"
+
+namespace hypertap {
+
+class DeliveryGuard {
+ public:
+  struct Config {
+    bool enabled = false;
+    /// Maximum sequence lookahead (and buffered-event count) before the
+    /// guard declares the missing sequence numbers lost.
+    u32 reorder_window = 32;
+    /// Validate payload checksums on stamped events.
+    bool validate_csum = true;
+  };
+
+  DeliveryGuard() = default;
+  explicit DeliveryGuard(Config cfg) : cfg_(cfg) {}
+
+  const Config& config() const { return cfg_; }
+
+  /// Ingest one event; append every event now ready for fan-out (in
+  /// sequence order) to `ready`.
+  void ingest(const Event& e, std::vector<Event>& ready);
+
+  /// Release everything still buffered (end of run / pipeline drain),
+  /// marking the holes as gaps.
+  void drain(std::vector<Event>& ready);
+
+  u64 duplicates_suppressed() const { return duplicates_suppressed_; }
+  u64 corrupted_dropped() const { return corrupted_dropped_; }
+  u64 reordered_released() const { return reordered_released_; }
+  u64 gaps_signaled() const { return gaps_signaled_; }
+  std::size_t buffered() const { return pending_.size(); }
+
+ private:
+  void release(Event e, u64 gap, std::vector<Event>& ready);
+
+  Config cfg_;
+  u64 next_seq_ = 0;  ///< 0 = not yet anchored to the stream's first seq
+  std::map<u64, Event> pending_;
+
+  u64 duplicates_suppressed_ = 0;
+  u64 corrupted_dropped_ = 0;
+  u64 reordered_released_ = 0;
+  u64 gaps_signaled_ = 0;
+};
+
+}  // namespace hypertap

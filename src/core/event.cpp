@@ -22,6 +22,40 @@ const char* to_string(EventKind k) {
   return "?";
 }
 
+u32 Event::payload_checksum() const {
+  u32 h = 2166136261u;  // FNV-1a
+  const auto mix = [&h](u64 v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<u8>(v >> (8 * i));
+      h *= 16777619u;
+    }
+  };
+  mix(static_cast<u64>(kind));
+  mix(static_cast<u64>(reason));
+  mix(static_cast<u64>(static_cast<u32>(vcpu)));
+  mix(static_cast<u64>(time));
+  mix(seq);
+  mix(reg_cr3);
+  mix(reg_tr);
+  mix(reg_rsp);
+  mix(cr3_old);
+  mix(cr3_new);
+  mix(rsp0);
+  mix(sc_nr);
+  for (u32 a : sc_args) mix(a);
+  mix(sc_fast ? 1 : 0);
+  mix(io_port);
+  mix(io_is_write ? 1 : 0);
+  mix(io_value);
+  mix(msr_index);
+  mix(msr_value);
+  mix(int_vector);
+  mix(gva);
+  mix(gpa);
+  mix(static_cast<u64>(access));
+  return h;
+}
+
 std::string Event::describe() const {
   std::ostringstream os;
   os << to_string(kind) << " vcpu" << vcpu << " t=" << time;

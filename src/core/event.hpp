@@ -55,6 +55,13 @@ struct Event {
   /// Number of events this source dropped immediately before this one
   /// (in-band loss marker set by overflowing channels; 0 = no loss).
   u32 gap_before = 0;
+  /// Integrity checksum over the semantic payload (everything except
+  /// gap_before, which channels legitimately rewrite, and csum itself).
+  /// Stamped by the Event Forwarder at emit time; the multiplexer's
+  /// delivery guard drops events whose payload no longer matches — a
+  /// corrupted event must never reach an auditor as evidence. 0 =
+  /// unstamped (hand-built events in tests), never validated.
+  u32 csum = 0;
 
   // Architectural-state snapshot (the root of trust): captured from the
   // VMCS guest-state area at exit time.
@@ -77,6 +84,11 @@ struct Event {
   Gva gva = 0;                          // kMmio / kMemAccess
   Gpa gpa = 0;
   arch::Access access = arch::Access::kRead;
+
+  /// FNV-1a over the semantic fields (see csum). Deterministic across
+  /// runs and platforms: computed field by field, never over raw struct
+  /// bytes (padding would leak).
+  u32 payload_checksum() const;
 
   std::string describe() const;
 };

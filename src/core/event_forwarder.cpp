@@ -1,6 +1,7 @@
 #include "core/event_forwarder.hpp"
 
 #include "arch/msr.hpp"
+#include "journal/journal.hpp"
 #include "os/syscalls.hpp"
 #include "util/log.hpp"
 
@@ -103,16 +104,36 @@ void EventForwarder::emit(arch::Vcpu& vcpu, Event e) {
   e.reg_rsp = vcpu.regs().rsp;
   if ((mask_ & event_bit(e.kind)) == 0) return;
   e.seq = ++forwarded_;
+  e.csum = e.payload_checksum();
   vcpu.advance_cycles(cfg_.forward_cycles);
   HT_COUNT(event_counters_[static_cast<std::size_t>(e.kind)]);
   HT_FLIGHT(flight_, vm_id_, kEvent, e.time, to_string(e.kind),
             "seq=" + std::to_string(e.seq));
+  // Durable capture happens at the exit path, before any delivery fault
+  // can touch the event: the journal is the trusted record.
+  if (journal_ != nullptr) journal_->append_event(e);
   // The forward span wraps enqueue + fan-out: it is the child of the
   // enclosing "exit" span on the same vCPU track.
   const auto span = HT_SPAN_BEGIN_ARG(tracer_, vm_id_, vcpu.id(), "forward",
                                       "pipeline", e.time, to_string(e.kind));
-  em_.deliver(vcpu, e, ctx_);
+  if (interceptor_ != nullptr) {
+    intercepted_.clear();
+    interceptor_->intercept(e, intercepted_);
+    for (const Event& d : intercepted_) em_.deliver(vcpu, d, ctx_);
+  } else {
+    em_.deliver(vcpu, e, ctx_);
+  }
   HT_SPAN_END(tracer_, span, vcpu.now());
+}
+
+void EventForwarder::flush_delivery() {
+  arch::Vcpu& vcpu = hv_.vcpu(0);
+  if (interceptor_ != nullptr) {
+    intercepted_.clear();
+    interceptor_->drain(intercepted_);
+    for (const Event& d : intercepted_) em_.deliver(vcpu, d, ctx_);
+  }
+  em_.flush_delivery(vcpu, ctx_);
 }
 
 void EventForwarder::on_vm_exit(arch::Vcpu& vcpu, const hav::Exit& exit) {

@@ -20,6 +20,24 @@
 
 namespace hypertap {
 
+namespace journal {
+class JournalWriter;
+}
+
+/// Interposition point on the delivery path between the Event Forwarder
+/// and the Event Multiplexer — the seam where delivery faults happen in a
+/// real deployment (a flaky shared ring, a lossy transport) and where the
+/// ChaosEngine injects them in ours. An interceptor receives each
+/// forwarded event and emits zero or more events to actually deliver
+/// (drop, duplicate, corrupt, hold back for later).
+class EventInterceptor {
+ public:
+  virtual ~EventInterceptor() = default;
+  virtual void intercept(const Event& e, std::vector<Event>& out) = 0;
+  /// Release anything held back (end of run / pipeline drain).
+  virtual void drain(std::vector<Event>& out) { (void)out; }
+};
+
 class EventForwarder final : public hv::ExitObserver {
  public:
   struct Config {
@@ -48,6 +66,19 @@ class EventForwarder final : public hv::ExitObserver {
 
   u64 events_forwarded() const { return forwarded_; }
   u64 exits_observed() const { return exits_observed_; }
+
+  /// Append every forwarded event to a durable journal. The tap sits at
+  /// the exit path itself — BEFORE any interceptor — so the journal
+  /// records the trusted at-capture stream, not whatever survived the
+  /// delivery faults downstream. nullptr detaches.
+  void set_journal(journal::JournalWriter* w) { journal_ = w; }
+
+  /// Interpose on event delivery (chaos injection). nullptr detaches.
+  void set_interceptor(EventInterceptor* i) { interceptor_ = i; }
+
+  /// Drain the interceptor's held-back events into the multiplexer and
+  /// flush the multiplexer's own reorder buffer (end-of-run barrier).
+  void flush_delivery();
 
   /// Wire per-kind event counters (ht_events_total{kind,vm}) plus a
   /// "forward" span around each multiplexer delivery, and mirror every
@@ -78,6 +109,9 @@ class EventForwarder final : public hv::ExitObserver {
 
   u64 forwarded_ = 0;
   u64 exits_observed_ = 0;
+  journal::JournalWriter* journal_ = nullptr;
+  EventInterceptor* interceptor_ = nullptr;
+  std::vector<Event> intercepted_;  ///< reused interceptor-output buffer
 
   // Telemetry (all nullptr when unwired).
   telemetry::Tracer* tracer_ = nullptr;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "journal/journal.hpp"
+
 namespace hypertap {
 
 void EventMultiplexer::set_telemetry(telemetry::Telemetry* t, int vm_id) {
@@ -11,6 +13,9 @@ void EventMultiplexer::set_telemetry(telemetry::Telemetry* t, int vm_id) {
     tracer_ = nullptr;
     audit_hist_ = nullptr;
     fanout_hist_ = nullptr;
+    dup_counter_ = nullptr;
+    corrupt_counter_ = nullptr;
+    gap_counter_ = nullptr;
     for (auto& r : regs_) r.tel = {};
     return;
   }
@@ -20,6 +25,11 @@ void EventMultiplexer::set_telemetry(telemetry::Telemetry* t, int vm_id) {
       t->registry.histogram("ht_stage_cycles", {{"stage", "audit"}, {"vm", vm}});
   fanout_hist_ = t->registry.histogram("ht_stage_cycles",
                                        {{"stage", "fanout"}, {"vm", vm}});
+  dup_counter_ =
+      t->registry.counter("ht_duplicates_suppressed_total", {{"vm", vm}});
+  corrupt_counter_ =
+      t->registry.counter("ht_corrupted_dropped_total", {{"vm", vm}});
+  gap_counter_ = t->registry.counter("ht_gaps_signaled_total", {{"vm", vm}});
   for (auto& r : regs_) wire_reg_telemetry(r);
 }
 
@@ -99,6 +109,46 @@ void EventMultiplexer::deliver(arch::Vcpu& vcpu, const Event& e,
     sample_counter_ = 0;
     rhc_->on_sample(e.time);
   }
+  if (guard_.config().enabled) {
+    ready_.clear();
+    guard_.ingest(e, ready_);
+    // Mirror the guard's counters to telemetry as deltas (the guard stays
+    // telemetry-free so it is unit-testable in isolation).
+    HT_COUNT_N(dup_counter_,
+               guard_.duplicates_suppressed() - guard_dups_reported_);
+    HT_COUNT_N(corrupt_counter_,
+               guard_.corrupted_dropped() - guard_corrupt_reported_);
+    HT_COUNT_N(gap_counter_, guard_.gaps_signaled() - guard_gaps_reported_);
+    guard_dups_reported_ = guard_.duplicates_suppressed();
+    guard_corrupt_reported_ = guard_.corrupted_dropped();
+    guard_gaps_reported_ = guard_.gaps_signaled();
+    for (const Event& r : ready_) deliver_one(vcpu, r, ctx);
+    return;
+  }
+  // Guard off: still refuse duplicate/stale sequence numbers — an event
+  // audited twice is as misleading as one never audited.
+  if (cfg_.dedup && e.seq != 0) {
+    if (e.seq <= last_seq_seen_) {
+      ++duplicates_suppressed_;
+      HT_COUNT(dup_counter_);
+      return;
+    }
+    last_seq_seen_ = e.seq;
+  }
+  deliver_one(vcpu, e, ctx);
+}
+
+void EventMultiplexer::flush_delivery(arch::Vcpu& vcpu, AuditContext& ctx) {
+  if (!guard_.config().enabled) return;
+  ready_.clear();
+  guard_.drain(ready_);
+  HT_COUNT_N(gap_counter_, guard_.gaps_signaled() - guard_gaps_reported_);
+  guard_gaps_reported_ = guard_.gaps_signaled();
+  for (const Event& r : ready_) deliver_one(vcpu, r, ctx);
+}
+
+void EventMultiplexer::deliver_one(arch::Vcpu& vcpu, const Event& e,
+                                   AuditContext& ctx) {
   const EventMask bit = event_bit(e.kind);
   for (auto& r : regs_) {
     if ((r.auditor->subscriptions() & bit) == 0) continue;
@@ -160,6 +210,10 @@ bool EventMultiplexer::dispatch_timer(Auditor* a, SimTime now,
                                       AuditContext& ctx) {
   for (auto& r : regs_) {
     if (r.auditor != a) continue;
+    // Journal the tick before any breaker decision: the replayer drives
+    // the same tick through the same breaker logic, so suppression is
+    // reproduced rather than recorded.
+    if (journal_ != nullptr) journal_->append_timer(now, a->name());
     if (!cfg_.supervise) {
       a->on_timer(now, ctx);
       return true;

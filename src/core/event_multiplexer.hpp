@@ -26,12 +26,17 @@
 
 #include "arch/vcpu.hpp"
 #include "core/auditor.hpp"
+#include "core/delivery_guard.hpp"
 #include "core/event.hpp"
 #include "core/rhc.hpp"
 #include "resilience/circuit_breaker.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace hypertap {
+
+namespace journal {
+class JournalWriter;
+}
 
 class EventMultiplexer {
  public:
@@ -42,9 +47,18 @@ class EventMultiplexer {
     /// legacy fail-fast behaviour (exceptions unwind to the caller).
     bool supervise = true;
     resilience::CircuitBreaker::Config breaker;
+    /// Suppress events whose sequence number was already delivered (a
+    /// duplicated or stale redelivery must not be audited twice). Cheap:
+    /// one comparison against the high-water mark per sequenced event.
+    bool dedup = true;
+    /// Full ingress hardening (checksum validation + bounded reorder
+    /// buffer + gap synthesis). Disabled by default: it buys nothing on a
+    /// clean in-process channel and the chaos benches measure exactly
+    /// what it buys on a faulty one.
+    DeliveryGuard::Config guard;
   };
 
-  explicit EventMultiplexer(Config cfg) : cfg_(cfg) {}
+  explicit EventMultiplexer(Config cfg) : cfg_(cfg), guard_(cfg.guard) {}
   EventMultiplexer() : EventMultiplexer(Config{}) {}
 
   struct Registration {
@@ -99,7 +113,14 @@ class EventMultiplexer {
   void set_rhc(Rhc* rhc) { rhc_ = rhc; }
 
   /// Fan an event out (called by the Event Forwarder on the exit path).
+  /// Runs the ingress hardening first when configured: checksum-validated,
+  /// deduplicated, re-ordered events fan out; corrupted ones are dropped
+  /// and sequence holes surface through Auditor::on_gap.
   void deliver(arch::Vcpu& vcpu, const Event& e, AuditContext& ctx);
+
+  /// Release everything the reorder buffer still holds (end of run or
+  /// explicit pipeline drain); holes become gap notifications.
+  void flush_delivery(arch::Vcpu& vcpu, AuditContext& ctx);
 
   /// Supervised periodic-callback dispatch (the HyperTap timer chain).
   /// Returns false when the tick was suppressed by an open breaker.
@@ -130,6 +151,15 @@ class EventMultiplexer {
   u64 total_delivered() const { return total_delivered_; }
   u64 total_faults() const { return total_faults_; }
   u64 total_suppressed() const { return total_suppressed_; }
+  u64 duplicates_suppressed() const {
+    return duplicates_suppressed_ + guard_.duplicates_suppressed();
+  }
+  const DeliveryGuard& guard() const { return guard_; }
+
+  /// Mirror every auditor timer tick into the durable journal (the
+  /// Replayer re-dispatches them so timer-driven verdicts — GOSHD — are
+  /// reproducible). nullptr detaches.
+  void set_journal(journal::JournalWriter* w) { journal_ = w; }
 
   /// Wire the multiplexer (and every already-registered auditor) to a
   /// telemetry bundle: per-auditor counters/gauges, per-stage cycle
@@ -138,6 +168,8 @@ class EventMultiplexer {
   void set_telemetry(telemetry::Telemetry* t, int vm_id);
 
  private:
+  /// Post-hardening fan-out of one event to every subscribed auditor.
+  void deliver_one(arch::Vcpu& vcpu, const Event& e, AuditContext& ctx);
   /// One supervised call into the auditor (event when `e` != nullptr,
   /// timer tick otherwise). Precondition: the breaker admitted the call.
   /// Returns true when the call completed normally.
@@ -152,10 +184,15 @@ class EventMultiplexer {
   Config cfg_;
   std::vector<Registration> regs_;
   Rhc* rhc_ = nullptr;
+  DeliveryGuard guard_;
+  journal::JournalWriter* journal_ = nullptr;
+  std::vector<Event> ready_;  ///< reused guard-output buffer
   u32 sample_counter_ = 0;
+  u64 last_seq_seen_ = 0;  ///< dedup high-water mark (guard-off path)
   u64 total_delivered_ = 0;
   u64 total_faults_ = 0;
   u64 total_suppressed_ = 0;
+  u64 duplicates_suppressed_ = 0;
 
   // Telemetry (nullptr when unwired).
   telemetry::Telemetry* telemetry_ = nullptr;
@@ -163,6 +200,12 @@ class EventMultiplexer {
   int vm_id_ = 0;
   telemetry::Histogram* audit_hist_ = nullptr;   ///< per-event audit cycles
   telemetry::Histogram* fanout_hist_ = nullptr;  ///< guest-synchronous fan-out
+  telemetry::Counter* dup_counter_ = nullptr;
+  telemetry::Counter* corrupt_counter_ = nullptr;
+  telemetry::Counter* gap_counter_ = nullptr;
+  u64 guard_dups_reported_ = 0;  ///< guard stats already mirrored to telemetry
+  u64 guard_corrupt_reported_ = 0;
+  u64 guard_gaps_reported_ = 0;
 };
 
 }  // namespace hypertap

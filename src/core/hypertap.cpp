@@ -1,5 +1,7 @@
 #include "core/hypertap.hpp"
 
+#include "journal/journal.hpp"
+
 namespace hypertap {
 
 HyperTap::HyperTap(os::Vm& vm, Options opts)
@@ -60,6 +62,23 @@ void HyperTap::set_telemetry(telemetry::Telemetry* telemetry, int vm_id) {
     t->flight.record(vm_id_, telemetry::FlightRecorder::EntryKind::kAlarm,
                      a.time, "alarm", a.auditor + "/" + a.type + ": " + a.detail);
     t->flight.trigger(vm_id_, a.time, "alarm:" + a.type);
+  });
+}
+
+void HyperTap::attach_journal(journal::JournalWriter* writer) {
+  journal_ = writer;
+  forwarder_->set_journal(writer);
+  em_.set_journal(writer);
+  if (writer != nullptr && telemetry_ != nullptr) {
+    writer->set_telemetry(telemetry_, vm_id_);
+  }
+  if (writer == nullptr || journal_sub_installed_) return;
+  journal_sub_installed_ = true;
+  // Alarms are the replay oracle's ground truth: the recorded sequence is
+  // what a later replay must reproduce byte for byte. Subscribed once;
+  // re-attaching swaps journal_ under the same lambda.
+  alarms_.subscribe([this](const Alarm& a) {
+    if (journal_ != nullptr) journal_->append_alarm(a);
   });
 }
 

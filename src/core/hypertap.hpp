@@ -48,6 +48,20 @@ class HyperTap {
   void set_telemetry(telemetry::Telemetry* telemetry, int vm_id);
   telemetry::Telemetry* telemetry() { return telemetry_; }
 
+  /// Attach a durable event journal: every forwarded event (at the exit
+  /// path, pre-fault), every auditor timer tick, and every raised alarm is
+  /// appended as a CRC-protected record. The journal is what makes a
+  /// monitoring run replayable after the fact — and what recovery replays
+  /// to restore auditor history past the last checkpoint. The writer must
+  /// outlive this HyperTap or be detached (nullptr) first.
+  void attach_journal(journal::JournalWriter* writer);
+  journal::JournalWriter* journal() { return journal_; }
+
+  /// End-of-run barrier: release everything held back on the delivery
+  /// path (an interceptor's delayed events, the reorder buffer) so gap
+  /// accounting is complete before results are read.
+  void flush_delivery() { forwarder_->flush_delivery(); }
+
   /// Register an auditor; reprograms VMCS controls to the union of all
   /// auditor subscriptions and starts the auditor's periodic timer.
   void add_auditor(std::unique_ptr<Auditor> auditor);
@@ -87,6 +101,10 @@ class HyperTap {
   int vm_id_ = 0;
   int log_tap_ = -1;  ///< flight-recorder log-capture handle
   bool alarm_sub_installed_ = false;
+
+  // Durable journal (nullptr when unattached).
+  journal::JournalWriter* journal_ = nullptr;
+  bool journal_sub_installed_ = false;
 };
 
 }  // namespace hypertap

@@ -130,9 +130,25 @@ RunResult run_one(const RunConfig& cfg,
                  [&m = vm.machine]() { return m.now(); });
   vm.kernel.set_location_hook(&plan);
 
-  HyperTap ht(vm);
+  HyperTap::Options hopts;
+  // The control arm of the chaos sweep: same injected faults, no ingress
+  // hardening — what a naive pipeline would audit.
+  hopts.multiplexer.dedup = cfg.harden_delivery;
+  hopts.multiplexer.guard.enabled = cfg.harden_delivery && cfg.chaos.active();
+  HyperTap ht(vm, hopts);
   if (cfg.telemetry != nullptr) {
     ht.set_telemetry(cfg.telemetry, cfg.telemetry_vm_id);
+  }
+
+  std::unique_ptr<journal::JournalWriter> jw;
+  if (cfg.journal_store != nullptr) {
+    jw = std::make_unique<journal::JournalWriter>(*cfg.journal_store);
+    ht.attach_journal(jw.get());
+  }
+  std::unique_ptr<chaos::ChaosEngine> chaos_eng;
+  if (cfg.chaos.active()) {
+    chaos_eng = std::make_unique<chaos::ChaosEngine>(cfg.chaos);
+    ht.forwarder().set_interceptor(chaos_eng.get());
   }
   auditors::Goshd::Config gcfg;
   gcfg.threshold = cfg.detect_threshold;
@@ -293,6 +309,7 @@ RunResult run_one(const RunConfig& cfg,
     if (cfg.telemetry != nullptr) {
       ckpt->set_telemetry(cfg.telemetry, cfg.telemetry_vm_id);
     }
+    if (jw) ckpt->set_journal(jw.get());  // mark captures before baseline
     ckpt->start();  // baseline includes daemons + workload, pre-fault
 
     recovery::RecoveryPolicy policy;
@@ -307,6 +324,7 @@ RunResult run_one(const RunConfig& cfg,
     if (cfg.telemetry != nullptr) {
       rm->set_telemetry(cfg.telemetry, cfg.telemetry_vm_id);  // wires ckpt too
     }
+    if (jw) rm->set_journal(jw.get());  // restores replay the suffix
     ckpt->set_gate([&rm_ref = *rm]() {
       return rm_ref.health() == recovery::VmHealth::kHealthy;
     });
@@ -389,6 +407,16 @@ RunResult run_one(const RunConfig& cfg,
   }
 
   // ---- Classify -------------------------------------------------------
+  // Release anything the chaos engine or the reorder buffer still holds so
+  // gap accounting (and the journal's alarm record) is complete.
+  ht.flush_delivery();
+  if (chaos_eng) res.chaos_faults = chaos_eng->stats().faults();
+  res.auditor_faults = ht.multiplexer().total_faults();
+  res.duplicates_suppressed = ht.multiplexer().duplicates_suppressed();
+  res.corrupted_dropped = ht.multiplexer().guard().corrupted_dropped();
+  res.gaps_signaled = ht.multiplexer().guard().gaps_signaled();
+  if (jw) res.journal_records = jw->records();
+
   res.activated = plan.activated();
   res.activation = plan.first_activation();
   res.probe_hang = probe_hung_now();
@@ -400,6 +428,7 @@ RunResult run_one(const RunConfig& cfg,
     res.remediations = static_cast<int>(rm->history().size());
     res.recovered_at = rm->last_recovery_at();
     res.checkpoint_bytes = ckpt->bytes_captured();
+    res.journal_replays = rm->journal_replays();
     if (rm->episodes_recovered() > 0) {
       res.mttr = rm->mttr_total() /
                  static_cast<SimTime>(rm->episodes_recovered());

@@ -6,7 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "chaos/chaos.hpp"
 #include "fi/fault.hpp"
+#include "journal/journal.hpp"
 #include "os/klocation.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -56,6 +58,20 @@ struct RunConfig {
   /// Periodic checkpoint interval when recovery is enabled.
   SimTime checkpoint_period = 2'000'000'000;
 
+  /// Pipeline chaos: delivery-fault injection between the Event Forwarder
+  /// and the Event Multiplexer. Inactive (all probabilities 0) by default.
+  chaos::ChaosConfig chaos;
+  /// Ingress hardening (multiplexer dedup + DeliveryGuard checksum/
+  /// reorder/gap synthesis). Disabling it is the chaos sweep's control
+  /// arm: same faults, raw delivery.
+  bool harden_delivery = true;
+
+  /// Optional caller-owned journal store: when set, the run records every
+  /// forwarded event, timer tick and alarm into it (replayable evidence),
+  /// and — with recovery enabled — restores replay the suffix since the
+  /// restored checkpoint. Must outlive run_one().
+  journal::JournalStore* journal_store = nullptr;
+
   /// Optional caller-owned telemetry bundle: the whole pipeline (exit
   /// engine, forwarder, multiplexer, recovery stack) is wired to it for
   /// the run. Must outlive run_one(). nullptr = no telemetry.
@@ -80,6 +96,15 @@ struct RunResult {
   SimTime mttr = -1;          ///< detection → successful remediation
   u64 checkpoint_bytes = 0;   ///< total snapshot bytes captured this run
   bool post_recovery_alarm = false;  ///< alarm after the VM was healthy again
+
+  // Chaos / hardening fields (chaos or journal configured only).
+  u64 chaos_faults = 0;            ///< delivery faults the engine injected
+  u64 auditor_faults = 0;          ///< auditor exceptions the EM absorbed
+  u64 duplicates_suppressed = 0;   ///< multiplexer + guard dedup hits
+  u64 corrupted_dropped = 0;       ///< checksum-failed events dropped
+  u64 gaps_signaled = 0;           ///< sequence holes surfaced via on_gap
+  u64 journal_records = 0;         ///< records persisted this run
+  u64 journal_replays = 0;         ///< recovery catch-up replays performed
 };
 
 /// Execute one injection experiment.

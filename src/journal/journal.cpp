@@ -1,0 +1,585 @@
+#include "journal/journal.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace hypertap::journal {
+
+// ---------------------------------------------------------------------------
+// CRC32
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::array<u32, 256> make_crc_table() {
+  std::array<u32, 256> t{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+
+const std::array<u32, 256>& crc_table() {
+  static const std::array<u32, 256> t = make_crc_table();
+  return t;
+}
+
+// Little-endian primitive writers/readers. The readers are the only way
+// decode paths touch input bytes, and every call site checks bounds first.
+void put_u8(std::vector<u8>& out, u8 v) { out.push_back(v); }
+void put_u16(std::vector<u8>& out, u16 v) {
+  out.push_back(static_cast<u8>(v));
+  out.push_back(static_cast<u8>(v >> 8));
+}
+void put_u32(std::vector<u8>& out, u32 v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+void put_u64(std::vector<u8>& out, u64 v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+void put_i64(std::vector<u8>& out, i64 v) { put_u64(out, static_cast<u64>(v)); }
+
+u16 get_u16(const u8* p) { return static_cast<u16>(p[0] | (p[1] << 8)); }
+u32 get_u32(const u8* p) {
+  return static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+         (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
+}
+u64 get_u64(const u8* p) {
+  u64 v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+/// Bounds-checked cursor for decoding: every take_* checks remaining bytes
+/// and flips `ok` instead of reading past the end.
+struct Cursor {
+  const u8* p;
+  std::size_t n;
+  std::size_t off = 0;
+  bool ok = true;
+
+  bool have(std::size_t k) {
+    if (off + k > n) ok = false;
+    return ok;
+  }
+  u8 take_u8() {
+    if (!have(1)) return 0;
+    return p[off++];
+  }
+  u16 take_u16() {
+    if (!have(2)) return 0;
+    const u16 v = get_u16(p + off);
+    off += 2;
+    return v;
+  }
+  u32 take_u32() {
+    if (!have(4)) return 0;
+    const u32 v = get_u32(p + off);
+    off += 4;
+    return v;
+  }
+  u64 take_u64() {
+    if (!have(8)) return 0;
+    const u64 v = get_u64(p + off);
+    off += 8;
+    return v;
+  }
+  i64 take_i64() { return static_cast<i64>(take_u64()); }
+  /// Length-prefixed string, capped so a corrupted length can't allocate
+  /// or scan beyond the payload.
+  std::string take_str(std::size_t cap) {
+    const u16 len = take_u16();
+    if (!ok || len > cap || !have(len)) {
+      ok = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(p + off), len);
+    off += len;
+    return s;
+  }
+};
+
+void put_str(std::vector<u8>& out, const std::string& s, std::size_t cap) {
+  const std::size_t len = std::min(s.size(), cap);
+  put_u16(out, static_cast<u16>(len));
+  out.insert(out.end(), s.begin(), s.begin() + static_cast<long>(len));
+}
+
+constexpr std::size_t kMaxStr = 1024;
+
+}  // namespace
+
+u32 crc32(const u8* data, std::size_t n) {
+  const auto& t = crc_table();
+  u32 c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) c = t[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+// ---------------------------------------------------------------------------
+
+void encode_event(const Event& e, std::vector<u8>& out) {
+  put_u8(out, static_cast<u8>(e.kind));
+  put_u8(out, static_cast<u8>(e.reason));
+  put_u32(out, static_cast<u32>(e.vcpu));
+  put_i64(out, e.time);
+  put_u64(out, e.seq);
+  put_u32(out, e.gap_before);
+  put_u32(out, e.csum);
+  put_u32(out, e.reg_cr3);
+  put_u32(out, e.reg_tr);
+  put_u32(out, e.reg_rsp);
+  put_u32(out, e.cr3_old);
+  put_u32(out, e.cr3_new);
+  put_u32(out, e.rsp0);
+  put_u8(out, e.sc_nr);
+  for (u32 a : e.sc_args) put_u32(out, a);
+  put_u8(out, e.sc_fast ? 1 : 0);
+  put_u16(out, e.io_port);
+  put_u8(out, e.io_is_write ? 1 : 0);
+  put_u32(out, e.io_value);
+  put_u32(out, e.msr_index);
+  put_u64(out, e.msr_value);
+  put_u8(out, e.int_vector);
+  put_u32(out, e.gva);
+  put_u32(out, e.gpa);
+  put_u8(out, static_cast<u8>(e.access));
+}
+
+bool decode_event(const u8* p, std::size_t n, Event& e) {
+  Cursor c{p, n};
+  const u8 kind = c.take_u8();
+  const u8 reason = c.take_u8();
+  e.vcpu = static_cast<int>(c.take_u32());
+  e.time = c.take_i64();
+  e.seq = c.take_u64();
+  e.gap_before = c.take_u32();
+  e.csum = c.take_u32();
+  e.reg_cr3 = c.take_u32();
+  e.reg_tr = c.take_u32();
+  e.reg_rsp = c.take_u32();
+  e.cr3_old = c.take_u32();
+  e.cr3_new = c.take_u32();
+  e.rsp0 = c.take_u32();
+  e.sc_nr = c.take_u8();
+  for (u32& a : e.sc_args) a = c.take_u32();
+  e.sc_fast = c.take_u8() != 0;
+  e.io_port = c.take_u16();
+  e.io_is_write = c.take_u8() != 0;
+  e.io_value = c.take_u32();
+  e.msr_index = c.take_u32();
+  e.msr_value = c.take_u64();
+  e.int_vector = c.take_u8();
+  e.gva = c.take_u32();
+  e.gpa = c.take_u32();
+  const u8 access = c.take_u8();
+  if (!c.ok || c.off != n) return false;
+  // Range-validate every enum: a record that decodes to an impossible kind
+  // must be rejected here, not fan out into auditors (event_bit() on an
+  // out-of-range kind would be UB).
+  if (kind >= static_cast<u8>(EventKind::kCount)) return false;
+  if (reason >= static_cast<u8>(hav::ExitReason::kCount)) return false;
+  if (access > static_cast<u8>(arch::Access::kExecute)) return false;
+  if (e.vcpu < 0 || e.vcpu > 255) return false;
+  e.kind = static_cast<EventKind>(kind);
+  e.reason = static_cast<hav::ExitReason>(reason);
+  e.access = static_cast<arch::Access>(access);
+  return true;
+}
+
+void encode_timer(SimTime t, const std::string& auditor, std::vector<u8>& out) {
+  put_i64(out, t);
+  put_str(out, auditor, kMaxStr);
+}
+
+bool decode_timer(const u8* p, std::size_t n, SimTime& t,
+                  std::string& auditor) {
+  Cursor c{p, n};
+  t = c.take_i64();
+  auditor = c.take_str(kMaxStr);
+  return c.ok && c.off == n;
+}
+
+void encode_alarm(const Alarm& a, std::vector<u8>& out) {
+  put_i64(out, a.time);
+  put_u32(out, static_cast<u32>(a.vcpu));
+  put_u32(out, a.pid);
+  put_str(out, a.auditor, kMaxStr);
+  put_str(out, a.type, kMaxStr);
+  put_str(out, a.detail, kMaxStr);
+}
+
+bool decode_alarm(const u8* p, std::size_t n, Alarm& a) {
+  Cursor c{p, n};
+  a.time = c.take_i64();
+  a.vcpu = static_cast<int>(c.take_u32());
+  a.pid = c.take_u32();
+  a.auditor = c.take_str(kMaxStr);
+  a.type = c.take_str(kMaxStr);
+  a.detail = c.take_str(kMaxStr);
+  return c.ok && c.off == n;
+}
+
+std::vector<u8> alarm_bytes(const Alarm& a) {
+  std::vector<u8> out;
+  encode_alarm(a, out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Segment scanning (shared by reader and writer-open repair)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Parse one record at `off`. Returns the offset just past it on success.
+/// On failure distinguishes "definitely torn tail" (header/payload extends
+/// past the end of the segment) from "malformed" (bad magic/len/CRC).
+enum class ParseStatus { kOk, kTorn, kBad };
+
+ParseStatus parse_record(const std::vector<u8>& b, std::size_t off,
+                         std::size_t* end, RecordType* type,
+                         const u8** payload, std::size_t* payload_len) {
+  if (off + kHeaderBytes > b.size()) return ParseStatus::kTorn;
+  const u8* h = b.data() + off;
+  if (get_u32(h) != kRecordMagic) return ParseStatus::kBad;
+  const u8 t = h[4];
+  const u8 version = h[5];
+  const u32 len = get_u32(h + 8);
+  const u32 crc = get_u32(h + 12);
+  if (version != kFormatVersion) return ParseStatus::kBad;
+  if (t < static_cast<u8>(RecordType::kEvent) ||
+      t > static_cast<u8>(RecordType::kAlarm)) {
+    return ParseStatus::kBad;
+  }
+  if (len > kMaxPayload) return ParseStatus::kBad;
+  if (off + kHeaderBytes + len > b.size()) return ParseStatus::kTorn;
+  const u8* p = h + kHeaderBytes;
+  if (crc32(p, len) != crc) return ParseStatus::kBad;
+  *end = off + kHeaderBytes + len;
+  *type = static_cast<RecordType>(t);
+  *payload = p;
+  *payload_len = len;
+  return ParseStatus::kOk;
+}
+
+/// Scan forward from `off + 1` to the next plausible record magic.
+std::size_t next_magic(const std::vector<u8>& b, std::size_t off) {
+  for (std::size_t i = off + 1; i + 4 <= b.size(); ++i) {
+    if (get_u32(b.data() + i) == kRecordMagic) return i;
+  }
+  return b.size();
+}
+
+}  // namespace
+
+ScanResult scan_segment(const std::vector<u8>& bytes) {
+  ScanResult r;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    std::size_t end;
+    RecordType type;
+    const u8* payload;
+    std::size_t plen;
+    switch (parse_record(bytes, off, &end, &type, &payload, &plen)) {
+      case ParseStatus::kOk:
+        ++r.records;
+        off = end;
+        r.good_end = off;
+        break;
+      case ParseStatus::kTorn:
+        // Incomplete tail: everything before `off` was intact.
+        return r;
+      case ParseStatus::kBad:
+        ++r.quarantined;
+        off = next_magic(bytes, off);
+        break;
+    }
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// MemoryJournalStore
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> MemoryJournalStore::segments() const {
+  std::vector<std::string> out;
+  out.reserve(segs_.size());
+  for (const auto& [name, bytes] : segs_) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+std::vector<u8> MemoryJournalStore::read(const std::string& name) const {
+  const auto it = segs_.find(name);
+  return it != segs_.end() ? it->second : std::vector<u8>{};
+}
+
+void MemoryJournalStore::append(const std::string& name, const u8* data,
+                                std::size_t n) {
+  auto& seg = segs_[name];
+  seg.insert(seg.end(), data, data + n);
+}
+
+void MemoryJournalStore::truncate(const std::string& name, std::size_t size) {
+  const auto it = segs_.find(name);
+  if (it != segs_.end() && it->second.size() > size) it->second.resize(size);
+}
+
+std::size_t MemoryJournalStore::size(const std::string& name) const {
+  const auto it = segs_.find(name);
+  return it != segs_.end() ? it->second.size() : 0;
+}
+
+void MemoryJournalStore::remove(const std::string& name) { segs_.erase(name); }
+
+std::vector<u8>* MemoryJournalStore::raw(const std::string& name) {
+  const auto it = segs_.find(name);
+  return it != segs_.end() ? &it->second : nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// FileJournalStore
+// ---------------------------------------------------------------------------
+
+FileJournalStore::FileJournalStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+}
+
+std::string FileJournalStore::path(const std::string& name) const {
+  return dir_ + "/" + name;
+}
+
+std::vector<std::string> FileJournalStore::segments() const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& de : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = de.path().filename().string();
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".htj") {
+      out.push_back(name);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<u8> FileJournalStore::read(const std::string& name) const {
+  std::ifstream is(path(name), std::ios::binary);
+  if (!is) return {};
+  return std::vector<u8>(std::istreambuf_iterator<char>(is),
+                         std::istreambuf_iterator<char>());
+}
+
+void FileJournalStore::append(const std::string& name, const u8* data,
+                              std::size_t n) {
+  std::ofstream os(path(name), std::ios::binary | std::ios::app);
+  os.write(reinterpret_cast<const char*>(data), static_cast<long>(n));
+}
+
+void FileJournalStore::truncate(const std::string& name, std::size_t size) {
+  std::error_code ec;
+  std::filesystem::resize_file(path(name), size, ec);
+}
+
+std::size_t FileJournalStore::size(const std::string& name) const {
+  std::error_code ec;
+  const auto s = std::filesystem::file_size(path(name), ec);
+  return ec ? 0 : static_cast<std::size_t>(s);
+}
+
+void FileJournalStore::remove(const std::string& name) {
+  std::error_code ec;
+  std::filesystem::remove(path(name), ec);
+}
+
+void FileJournalStore::flush() {
+  // Streams are opened per append and closed immediately; nothing buffered.
+}
+
+// ---------------------------------------------------------------------------
+// JournalWriter
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string segment_name(u64 index) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "seg-%06llu.htj",
+                static_cast<unsigned long long>(index));
+  return buf;
+}
+
+}  // namespace
+
+JournalWriter::JournalWriter(JournalStore& store, Options opts)
+    : store_(store), opts_(opts) {
+  // Open-for-append repair: count intact records in every segment; on the
+  // LAST segment, truncate anything past the final intact record (a torn
+  // append or trailing garbage must not poison future appends).
+  const auto names = store_.segments();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::vector<u8> bytes = store_.read(names[i]);
+    const ScanResult r = scan_segment(bytes);
+    open_stats_.records += r.records;
+    open_stats_.quarantined += r.quarantined;
+    if (i + 1 == names.size() && r.good_end < bytes.size()) {
+      open_stats_.torn_tail = true;
+      open_stats_.torn_bytes_dropped += bytes.size() - r.good_end;
+      store_.truncate(names[i], r.good_end);
+    }
+  }
+  records_ = open_stats_.records;
+  if (!names.empty()) {
+    active_ = names.back();
+    active_bytes_ = store_.size(active_);
+    // Continue rotation numbering past every existing segment.
+    seg_index_ = names.size();
+  } else {
+    active_ = segment_name(seg_index_++);
+  }
+}
+
+void JournalWriter::rotate() {
+  active_ = segment_name(seg_index_++);
+  active_bytes_ = 0;
+  ++rotations_;
+  HT_COUNT(rotations_counter_);
+}
+
+void JournalWriter::append_record(RecordType type,
+                                  const std::vector<u8>& payload) {
+  if (active_bytes_ >= opts_.segment_bytes) rotate();
+  std::vector<u8>& rec = scratch_;
+  rec.clear();
+  put_u32(rec, kRecordMagic);
+  put_u8(rec, static_cast<u8>(type));
+  put_u8(rec, kFormatVersion);
+  put_u16(rec, 0);  // reserved
+  put_u32(rec, static_cast<u32>(payload.size()));
+  put_u32(rec, crc32(payload));
+  rec.insert(rec.end(), payload.begin(), payload.end());
+  store_.append(active_, rec.data(), rec.size());
+  active_bytes_ += rec.size();
+  bytes_written_ += rec.size();
+  ++records_;
+  HT_COUNT(rec_counters_[static_cast<std::size_t>(type)]);
+  HT_COUNT_N(bytes_counter_, rec.size());
+}
+
+void JournalWriter::append_event(const Event& e) {
+  std::vector<u8> payload;
+  encode_event(e, payload);
+  append_record(RecordType::kEvent, payload);
+}
+
+void JournalWriter::append_timer(SimTime t, const std::string& auditor) {
+  std::vector<u8> payload;
+  encode_timer(t, auditor, payload);
+  append_record(RecordType::kTimer, payload);
+}
+
+void JournalWriter::append_alarm(const Alarm& a) {
+  std::vector<u8> payload;
+  encode_alarm(a, payload);
+  append_record(RecordType::kAlarm, payload);
+}
+
+void JournalWriter::set_telemetry(telemetry::Telemetry* t, int vm_id) {
+  if (t == nullptr) {
+    for (auto& c : rec_counters_) c = nullptr;
+    bytes_counter_ = nullptr;
+    rotations_counter_ = nullptr;
+    return;
+  }
+  const std::string vm = std::to_string(vm_id);
+  auto& reg = t->registry;
+  rec_counters_[static_cast<std::size_t>(RecordType::kEvent)] =
+      reg.counter("ht_journal_records_total", {{"type", "event"}, {"vm", vm}});
+  rec_counters_[static_cast<std::size_t>(RecordType::kTimer)] =
+      reg.counter("ht_journal_records_total", {{"type", "timer"}, {"vm", vm}});
+  rec_counters_[static_cast<std::size_t>(RecordType::kAlarm)] =
+      reg.counter("ht_journal_records_total", {{"type", "alarm"}, {"vm", vm}});
+  bytes_counter_ = reg.counter("ht_journal_bytes_total", {{"vm", vm}});
+  rotations_counter_ = reg.counter("ht_journal_rotations_total", {{"vm", vm}});
+}
+
+// ---------------------------------------------------------------------------
+// JournalReader
+// ---------------------------------------------------------------------------
+
+JournalReader::JournalReader(const JournalStore& store)
+    : store_(store), names_(store.segments()) {}
+
+bool JournalReader::load_next_segment() {
+  while (seg_i_ < names_.size()) {
+    buf_ = store_.read(names_[seg_i_]);
+    last_segment_ = seg_i_ + 1 == names_.size();
+    ++seg_i_;
+    off_ = 0;
+    if (!buf_.empty()) return true;
+  }
+  return false;
+}
+
+std::optional<Record> JournalReader::next() {
+  for (;;) {
+    if (off_ >= buf_.size()) {
+      if (!load_next_segment()) return std::nullopt;
+    }
+    std::size_t end;
+    RecordType type;
+    const u8* payload;
+    std::size_t plen;
+    switch (parse_record(buf_, off_, &end, &type, &payload, &plen)) {
+      case ParseStatus::kOk: {
+        Record rec;
+        rec.type = type;
+        bool ok = false;
+        switch (type) {
+          case RecordType::kEvent:
+            ok = decode_event(payload, plen, rec.event);
+            break;
+          case RecordType::kTimer:
+            ok = decode_timer(payload, plen, rec.timer_time,
+                              rec.timer_auditor);
+            break;
+          case RecordType::kAlarm:
+            ok = decode_alarm(payload, plen, rec.alarm);
+            break;
+        }
+        off_ = end;
+        if (!ok) {
+          // CRC matched but the payload is semantically malformed (only
+          // possible via a colliding corruption): quarantine it.
+          ++quarantined_;
+          continue;
+        }
+        rec.index = records_read_++;
+        return rec;
+      }
+      case ParseStatus::kTorn:
+        if (last_segment_) {
+          torn_tail_ = true;
+          torn_bytes_dropped_ += buf_.size() - off_;
+        } else {
+          // Mid-journal truncation: quarantine, move to the next segment.
+          ++quarantined_;
+        }
+        off_ = buf_.size();
+        continue;
+      case ParseStatus::kBad:
+        ++quarantined_;
+        off_ = next_magic(buf_, off_);
+        continue;
+    }
+  }
+}
+
+}  // namespace hypertap::journal

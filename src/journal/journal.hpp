@@ -1,0 +1,270 @@
+// Durable event journal: the append-only, CRC-per-record persistence layer
+// for the shared VM-exit event stream (the trusted root of every RnS
+// policy).
+//
+// Motivation: the pipeline's rings are volatile — a monitor crash or a
+// torn checkpoint silently destroys the evidence stream and leaves
+// restored auditors blind to everything since the last checkpoint. The
+// journal makes the stream durable and replayable (IRIS-style
+// record-and-replay): every forwarded event, every auditor timer tick and
+// every raised alarm is appended as a CRC32-protected binary record, so a
+// later Replayer can reproduce the exact audit sequence — or pinpoint the
+// first record where a corrupted journal diverges.
+//
+// Format (all integers little-endian, written field by field — never a
+// struct memcpy, so padding bytes can't leak or break CRC determinism):
+//
+//   segment   := record*                      (one segment = one store blob)
+//   record    := header payload
+//   header    := magic:u32 type:u8 version:u8 reserved:u16
+//                payload_len:u32 payload_crc:u32          (16 bytes)
+//   payload   := type-specific encoding, payload_len <= kMaxPayload
+//
+// Robustness contract (exercised by the fuzz tests and the ChaosEngine):
+//  - Decoding NEVER reads out of bounds and NEVER throws on arbitrary
+//    bytes: every read is bounds-checked, lengths are capped, enum fields
+//    are range-validated.
+//  - A malformed record in the middle of a segment is quarantined (counted,
+//    skipped by scanning forward to the next record magic).
+//  - A torn record at the very tail of the LAST segment (a crash mid-append)
+//    is truncated on open-for-append, dropping only the torn record.
+//  - Segments rotate at a configured size; names sort lexicographically in
+//    write order, so a directory listing is the authoritative order.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/auditor.hpp"
+#include "core/event.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace hypertap::journal {
+
+using namespace hvsim;
+
+/// Standard CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.
+u32 crc32(const u8* data, std::size_t n);
+inline u32 crc32(const std::vector<u8>& v) { return crc32(v.data(), v.size()); }
+
+// ---------------------------------------------------------------------------
+// Record format
+// ---------------------------------------------------------------------------
+
+inline constexpr u32 kRecordMagic = 0x524A5448u;  // "HTJR" little-endian
+inline constexpr u8 kFormatVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 16;
+/// Hard cap on payload length: anything larger is malformed by definition,
+/// which bounds how far a decoder can be lured by a corrupted length field.
+inline constexpr std::size_t kMaxPayload = 4096;
+
+enum class RecordType : u8 {
+  kEvent = 1,  ///< one forwarded Event (fixed-size payload)
+  kTimer = 2,  ///< one auditor timer tick (time + auditor name)
+  kAlarm = 3,  ///< one raised Alarm (ground truth for the replay oracle)
+};
+
+/// A decoded journal record (tagged union, value semantics).
+struct Record {
+  RecordType type = RecordType::kEvent;
+  u64 index = 0;  ///< running record index across all segments
+
+  Event event;                // kEvent
+  SimTime timer_time = 0;     // kTimer
+  std::string timer_auditor;  // kTimer
+  Alarm alarm;                // kAlarm
+};
+
+// Payload codecs. Encoding appends to `out`; decoding returns false on any
+// malformed input (wrong size, out-of-range enum, oversized string) without
+// reading past `n`.
+void encode_event(const Event& e, std::vector<u8>& out);
+bool decode_event(const u8* p, std::size_t n, Event& e);
+void encode_timer(SimTime t, const std::string& auditor, std::vector<u8>& out);
+bool decode_timer(const u8* p, std::size_t n, SimTime& t, std::string& auditor);
+void encode_alarm(const Alarm& a, std::vector<u8>& out);
+bool decode_alarm(const u8* p, std::size_t n, Alarm& a);
+
+/// Canonical byte encoding of one alarm — the unit the determinism oracle
+/// compares byte-for-byte between a recording and its replay.
+std::vector<u8> alarm_bytes(const Alarm& a);
+
+// ---------------------------------------------------------------------------
+// Segment stores
+// ---------------------------------------------------------------------------
+
+/// Ordered collection of named byte blobs ("segments"). The journal layers
+/// records on top; chaos tests reach underneath to flip bytes and tear
+/// tails.
+class JournalStore {
+ public:
+  virtual ~JournalStore() = default;
+
+  /// Segment names in write order (lexicographically sorted).
+  virtual std::vector<std::string> segments() const = 0;
+  virtual std::vector<u8> read(const std::string& name) const = 0;
+  virtual void append(const std::string& name, const u8* data,
+                      std::size_t n) = 0;
+  /// Shrink a segment to `size` bytes (torn-tail truncation).
+  virtual void truncate(const std::string& name, std::size_t size) = 0;
+  virtual std::size_t size(const std::string& name) const = 0;
+  virtual void remove(const std::string& name) = 0;
+  /// Durability barrier; no-op for memory stores.
+  virtual void flush() {}
+};
+
+/// In-memory store: the default for campaigns and tests (no disk churn,
+/// trivially corruptible by the fuzzer).
+class MemoryJournalStore final : public JournalStore {
+ public:
+  std::vector<std::string> segments() const override;
+  std::vector<u8> read(const std::string& name) const override;
+  void append(const std::string& name, const u8* data, std::size_t n) override;
+  void truncate(const std::string& name, std::size_t size) override;
+  std::size_t size(const std::string& name) const override;
+  void remove(const std::string& name) override;
+
+  /// Direct mutable access for fault injection (byte flips).
+  std::vector<u8>* raw(const std::string& name);
+
+ private:
+  std::map<std::string, std::vector<u8>> segs_;
+};
+
+/// Directory-backed store: one file per segment (`<dir>/seg-NNNNNN.htj`).
+/// Used by the CI replay-determinism gate so the journal actually crosses
+/// a process-durable boundary.
+class FileJournalStore final : public JournalStore {
+ public:
+  /// Creates `dir` if missing.
+  explicit FileJournalStore(std::string dir);
+
+  std::vector<std::string> segments() const override;
+  std::vector<u8> read(const std::string& name) const override;
+  void append(const std::string& name, const u8* data, std::size_t n) override;
+  void truncate(const std::string& name, std::size_t size) override;
+  std::size_t size(const std::string& name) const override;
+  void remove(const std::string& name) override;
+  void flush() override;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string path(const std::string& name) const;
+  std::string dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// What opening an existing journal for append found and repaired.
+struct OpenStats {
+  u64 records = 0;           ///< intact records across all segments
+  u64 quarantined = 0;       ///< malformed mid-segment records skipped
+  u64 torn_bytes_dropped = 0;  ///< bytes truncated off the last segment
+  bool torn_tail = false;      ///< the last segment ended mid-record
+};
+
+class JournalWriter {
+ public:
+  struct Options {
+    /// Rotate to a fresh segment once the active one reaches this size.
+    std::size_t segment_bytes = 1u << 20;
+  };
+
+  /// Opens the store for append: scans existing segments, truncates a torn
+  /// tail off the last one, and continues the record index from there.
+  JournalWriter(JournalStore& store, Options opts);
+  explicit JournalWriter(JournalStore& store)
+      : JournalWriter(store, Options{}) {}
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  void append_event(const Event& e);
+  void append_timer(SimTime t, const std::string& auditor);
+  void append_alarm(const Alarm& a);
+  void flush() { store_.flush(); }
+
+  /// Total records ever appended (including those found on open). This is
+  /// the mark a Checkpoint captures so recovery can replay the suffix.
+  u64 records() const { return records_; }
+  u64 bytes_written() const { return bytes_written_; }
+  u64 rotations() const { return rotations_; }
+  const OpenStats& open_stats() const { return open_stats_; }
+
+  JournalStore& store() { return store_; }
+
+  /// Wire ht_journal_* counters (records by type, bytes, rotations).
+  void set_telemetry(telemetry::Telemetry* t, int vm_id);
+
+ private:
+  void append_record(RecordType type, const std::vector<u8>& payload);
+  void rotate();
+
+  JournalStore& store_;
+  Options opts_;
+  std::string active_;         ///< name of the segment being appended
+  std::size_t active_bytes_ = 0;
+  u64 seg_index_ = 0;          ///< next rotation suffix
+  u64 records_ = 0;
+  u64 bytes_written_ = 0;
+  u64 rotations_ = 0;
+  OpenStats open_stats_;
+  std::vector<u8> scratch_;    ///< reused encode buffer
+
+  telemetry::Counter* rec_counters_[4] = {nullptr, nullptr, nullptr, nullptr};
+  telemetry::Counter* bytes_counter_ = nullptr;
+  telemetry::Counter* rotations_counter_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// Sequential reader over every segment. Malformed records are quarantined
+/// (counted + skipped by scanning to the next magic); a torn tail on the
+/// last segment is dropped. Reading never throws on arbitrary bytes.
+class JournalReader {
+ public:
+  explicit JournalReader(const JournalStore& store);
+
+  /// Next intact record, or nullopt at end-of-journal.
+  std::optional<Record> next();
+
+  u64 records_read() const { return records_read_; }
+  u64 quarantined() const { return quarantined_; }
+  u64 torn_bytes_dropped() const { return torn_bytes_dropped_; }
+  bool torn_tail() const { return torn_tail_; }
+
+ private:
+  bool load_next_segment();
+
+  const JournalStore& store_;
+  std::vector<std::string> names_;
+  std::size_t seg_i_ = 0;   ///< next segment to load
+  std::vector<u8> buf_;     ///< current segment bytes
+  std::size_t off_ = 0;
+  bool last_segment_ = false;
+
+  u64 records_read_ = 0;
+  u64 quarantined_ = 0;
+  u64 torn_bytes_dropped_ = 0;
+  bool torn_tail_ = false;
+};
+
+/// Shared segment scanner: finds the byte offset after the last intact
+/// record (used by the writer's open-for-append repair) and counts intact /
+/// quarantined records. Returns the "good prefix" length.
+struct ScanResult {
+  std::size_t good_end = 0;  ///< offset just past the last intact record
+  u64 records = 0;
+  u64 quarantined = 0;
+};
+ScanResult scan_segment(const std::vector<u8>& bytes);
+
+}  // namespace hypertap::journal

@@ -1,0 +1,104 @@
+#include "journal/replay.hpp"
+
+namespace hypertap::journal {
+
+void Replayer::compare(ReplayResult& r, const std::vector<i64>& record_of) {
+  const std::size_t n = std::min(r.alarms.size(), r.recorded.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alarm_bytes(r.alarms[i]) != alarm_bytes(r.recorded[i])) {
+      r.matches_recording = false;
+      r.first_divergence = static_cast<i64>(i);
+      r.divergence_record = record_of[i];
+      return;
+    }
+  }
+  if (r.alarms.size() != r.recorded.size()) {
+    r.matches_recording = false;
+    r.first_divergence = static_cast<i64>(n);
+    r.divergence_record = n < r.recorded.size() ? record_of[n] : -1;
+  }
+}
+
+ReplayResult Replayer::replay(EventMultiplexer& em, AuditContext& ctx,
+                              arch::Vcpu& vcpu, u64 skip_records) {
+  return run(em, ctx, &vcpu, skip_records, /*direct=*/false);
+}
+
+ReplayResult Replayer::replay_direct(EventMultiplexer& em, AuditContext& ctx,
+                                     u64 skip_records) {
+  return run(em, ctx, nullptr, skip_records, /*direct=*/true);
+}
+
+ReplayResult Replayer::run(EventMultiplexer& em, AuditContext& ctx,
+                           arch::Vcpu* vcpu, u64 skip_records, bool direct) {
+  ReplayResult r;
+  std::vector<i64> record_of;  ///< journal record index per recorded alarm
+
+  // Alarms raised during replay are appended to ctx's sink; everything
+  // already there belongs to the caller.
+  const std::size_t alarm_base = ctx.alarms().all().size();
+  ctx.set_clock([this]() { return cursor_; });
+
+  JournalReader reader(store_);
+  while (auto rec = reader.next()) {
+    if (rec->index < skip_records) continue;
+    switch (rec->type) {
+      case RecordType::kEvent: {
+        cursor_ = rec->event.time;
+        ++r.events;
+        if (!direct) {
+          em.deliver(*vcpu, rec->event, ctx);
+          break;
+        }
+        const EventMask bit = event_bit(rec->event.kind);
+        for (const auto& reg : em.registrations()) {
+          if ((reg.auditor->subscriptions() & bit) == 0) continue;
+          try {
+            if (rec->event.gap_before > 0) {
+              reg.auditor->on_gap(rec->event.gap_before, ctx);
+            }
+            reg.auditor->on_event(rec->event, ctx);
+          } catch (...) {
+            // Catch-up is best-effort evidence recovery: an auditor that
+            // chokes on a replayed record must not abort the remediation.
+          }
+        }
+        break;
+      }
+      case RecordType::kTimer: {
+        cursor_ = rec->timer_time;
+        ++r.timers;
+        for (const auto& reg : em.registrations()) {
+          if (reg.auditor->name() != rec->timer_auditor) continue;
+          if (!direct) {
+            em.dispatch_timer(reg.auditor, rec->timer_time, ctx);
+          } else {
+            try {
+              reg.auditor->on_timer(rec->timer_time, ctx);
+            } catch (...) {
+            }
+          }
+          break;
+        }
+        break;
+      }
+      case RecordType::kAlarm:
+        ++r.alarm_records;
+        r.recorded.push_back(rec->alarm);
+        record_of.push_back(static_cast<i64>(rec->index));
+        break;
+    }
+  }
+  if (!direct) em.flush_delivery(*vcpu, ctx);
+
+  r.quarantined = reader.quarantined();
+  r.torn_bytes_dropped = reader.torn_bytes_dropped();
+  r.torn_tail = reader.torn_tail();
+
+  const auto& all = ctx.alarms().all();
+  r.alarms.assign(all.begin() + static_cast<long>(alarm_base), all.end());
+  compare(r, record_of);
+  return r;
+}
+
+}  // namespace hypertap::journal

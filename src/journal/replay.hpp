@@ -1,0 +1,83 @@
+// Deterministic replay of a recorded event journal (IRIS-style
+// record-and-replay, scoped to the monitoring pipeline).
+//
+// The journal captures the three inputs that fully determine what the
+// auditors concluded: the forwarded event stream, the auditor timer ticks,
+// and — as ground truth — the alarm sequence the live run produced. The
+// Replayer feeds events and ticks back through an EventMultiplexer with
+// freshly constructed auditors and compares the alarms they raise against
+// the recorded ones, byte for byte:
+//
+//  - identical sequences  ⇒ the pipeline is deterministic (same seed, same
+//    journal ⇒ same verdicts), which is what makes recorded incidents
+//    reproducible and auditable after the fact;
+//  - a divergence         ⇒ the journal (or the pipeline) was tampered
+//    with or damaged, and the oracle pinpoints the first divergent alarm
+//    and the journal record it corresponds to.
+//
+// A second mode (`replay_direct`) bypasses the multiplexer's ingress
+// hardening and calls auditors directly: the RecoveryManager uses it after
+// a checkpoint restore to catch auditors up on the journal suffix since
+// that checkpoint — log-structured recovery instead of losing history.
+#pragma once
+
+#include "core/event_multiplexer.hpp"
+#include "journal/journal.hpp"
+
+namespace hypertap::journal {
+
+struct ReplayResult {
+  u64 events = 0;  ///< event records fed through the pipeline
+  u64 timers = 0;  ///< timer ticks re-dispatched
+  u64 alarm_records = 0;  ///< recorded alarms found in the journal
+
+  // Decode health (mirrors the reader's quarantine/torn accounting).
+  u64 quarantined = 0;
+  u64 torn_bytes_dropped = 0;
+  bool torn_tail = false;
+
+  std::vector<Alarm> alarms;    ///< alarms the replay produced
+  std::vector<Alarm> recorded;  ///< alarms the recording produced
+
+  /// Determinism oracle verdict: every produced alarm byte-identical to
+  /// the recorded sequence, same length.
+  bool matches_recording = true;
+  /// Index (into the alarm sequence) of the first divergence; -1 = none.
+  i64 first_divergence = -1;
+  /// Journal record index of the recorded alarm at the divergence point
+  /// (-1 when the divergence is a surplus produced alarm).
+  i64 divergence_record = -1;
+};
+
+class Replayer {
+ public:
+  explicit Replayer(const JournalStore& store) : store_(store) {}
+
+  /// Feed the journal (skipping the first `skip_records` records — the
+  /// checkpoint-suffix form) through `em`'s delivery path. The caller
+  /// provides a fresh pipeline: an EventMultiplexer with newly constructed
+  /// auditors, an AuditContext whose sink starts empty, and a scratch
+  /// vCPU. The context clock is re-pointed at the replay cursor so
+  /// auditors that consult ctx.now() (resync paths) see journal time.
+  ReplayResult replay(EventMultiplexer& em, AuditContext& ctx,
+                      arch::Vcpu& vcpu, u64 skip_records = 0);
+
+  /// Catch-up replay into LIVE auditors: bypasses the multiplexer's
+  /// ingress (whose sequence cursors are already past these records) and
+  /// calls on_event/on_timer directly, absorbing auditor exceptions.
+  /// Alarms land in `ctx`'s sink — pass a scratch sink so re-derived
+  /// verdicts from the lost window are preserved as evidence without
+  /// re-triggering the live recovery loop.
+  ReplayResult replay_direct(EventMultiplexer& em, AuditContext& ctx,
+                             u64 skip_records);
+
+ private:
+  ReplayResult run(EventMultiplexer& em, AuditContext& ctx, arch::Vcpu* vcpu,
+                   u64 skip_records, bool direct);
+  static void compare(ReplayResult& r, const std::vector<i64>& record_of);
+
+  const JournalStore& store_;
+  SimTime cursor_ = 0;
+};
+
+}  // namespace hypertap::journal

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "arch/tss.hpp"
+#include "journal/journal.hpp"
 #include "os/layout.hpp"
 
 namespace hypertap::recovery {
@@ -63,6 +64,7 @@ Checkpoint Checkpointer::capture() const {
   auto& m = vm_.machine;
   Checkpoint cp;
   cp.taken_at = m.now();
+  cp.journal_mark = journal_ != nullptr ? journal_->records() : 0;
   auto bytes = m.mem().bytes();
   cp.mem.assign(bytes.begin(), bytes.end());
   const u32 npages = m.mem().num_pages();

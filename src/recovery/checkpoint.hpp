@@ -28,12 +28,20 @@
 #include "os/kernel.hpp"
 #include "telemetry/telemetry.hpp"
 
+namespace hypertap::journal {
+class JournalWriter;
+}
+
 namespace hypertap::recovery {
 
 using namespace hvsim;
 
 struct Checkpoint {
   SimTime taken_at = 0;
+  /// Journal high-water mark (JournalWriter::records()) at capture time:
+  /// everything past this record index is the suffix a restore replays to
+  /// re-derive what happened in the rolled-back window.
+  u64 journal_mark = 0;
   std::vector<u8> mem;                   ///< full guest-physical image
   std::vector<arch::EptPerm> ept;        ///< per-page permissions
   std::vector<arch::RegisterFile> regs;  ///< per-vCPU register files
@@ -82,6 +90,10 @@ class Checkpointer {
   /// window is not flooded with snapshots of a sick guest).
   void set_gate(std::function<bool()> gate) { gate_ = std::move(gate); }
 
+  /// Stamp each capture with the journal's record count so restores know
+  /// where the replayable suffix begins. nullptr detaches.
+  void set_journal(journal::JournalWriter* w) { journal_ = w; }
+
   /// Invariant verification; empty string = consistent, else the violated
   /// invariant. Uses only the checkpoint's own bytes plus boot-immutable
   /// facts (TSS locations, kernel layout) from the live VM.
@@ -113,6 +125,7 @@ class Checkpointer {
   os::Vm& vm_;
   Options opts_;
   std::function<bool()> gate_;
+  journal::JournalWriter* journal_ = nullptr;
   bool started_ = false;
   std::deque<Checkpoint> retained_;
   std::deque<Checkpoint> baseline_;  ///< 0 or 1 entries (pinned)

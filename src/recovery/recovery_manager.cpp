@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "journal/replay.hpp"
+
 namespace hypertap::recovery {
 
 const char* to_string(VmHealth h) {
@@ -182,6 +184,25 @@ void RecoveryManager::resync_monitor(SimTime now) {
   }
 }
 
+void RecoveryManager::replay_suffix(u64 mark, SimTime now) {
+  // Scratch sink: replayed alarms are evidence of the rolled-back window,
+  // not live symptoms — feeding them to ht_.alarms() would re-trigger the
+  // very state machine running this remediation.
+  AlarmSink scratch;
+  AuditContext rctx(ht_.context().hypervisor(), ht_.os_state(), scratch);
+  journal::Replayer replayer(journal_->store());
+  const auto res = replayer.replay_direct(ht_.multiplexer(), rctx, mark);
+  ++journal_replays_;
+  journal_records_replayed_ += res.events + res.timers;
+  for (const Alarm& a : scratch.all()) replayed_alarms_.push_back(a);
+  HT_INSTANT(tracer_, vm_tel_id_, telemetry::kRecoveryTrack, "journal-replay",
+             "recovery", now,
+             "suffix from record " + std::to_string(mark) + ": " +
+                 std::to_string(res.events) + " events, " +
+                 std::to_string(res.timers) + " timers, " +
+                 std::to_string(scratch.all().size()) + " alarms re-derived");
+}
+
 void RecoveryManager::remediate(SimTime now) {
   if (attempt_ >= policy_.retry_budget) {
     health_ = VmHealth::kFailed;
@@ -229,11 +250,13 @@ void RecoveryManager::remediate(SimTime now) {
     const SimTime cutoff = episode_detect_ - policy_.detect_latency_bound;
     rec.kind = RemedyKind::kRestore;
     rec.ok = false;
+    u64 restored_mark = 0;
     while (const Checkpoint* cp =
                checkpointer_.last_good(cutoff, restores_tried_)) {
       ++restores_tried_;
       try {
         checkpointer_.restore_to(*cp);
+        restored_mark = cp->journal_mark;
         rec.ok = true;
         break;
       } catch (const std::runtime_error&) {
@@ -245,11 +268,17 @@ void RecoveryManager::remediate(SimTime now) {
       rec.kind = RemedyKind::kReboot;
       try {
         checkpointer_.restore_to(checkpointer_.baseline());
+        restored_mark = checkpointer_.baseline().journal_mark;
         rec.ok = true;
       } catch (const std::exception&) {
         rec.ok = false;
       }
     }
+    // Log-structured recovery: the restore rolled the guest back, but the
+    // journal still holds everything that happened since the snapshot.
+    // Replay that suffix to re-derive the lost window's verdicts before
+    // the resync below wipes auditor state.
+    if (rec.ok && journal_ != nullptr) replay_suffix(restored_mark, now);
   }
 
   // Every remediation invalidates auditor shadow state (a restore bypasses

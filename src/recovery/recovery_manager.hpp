@@ -20,6 +20,15 @@
 // attached auditor from the trusted derivation and re-arming the RHC: a
 // restore bypasses the exit engine entirely, so auditor shadow state is
 // stale by construction afterwards.
+//
+// Log-structured recovery: when a journal is attached, every restore first
+// replays the journal suffix recorded since the restored checkpoint
+// (Checkpoint::journal_mark) through the live auditors, collecting the
+// re-derived alarms as evidence of what happened in the rolled-back window
+// — the window a volatile pipeline would simply lose. The replay targets a
+// scratch sink (it must not feed the recovery state machine it runs
+// inside) and is followed by the usual full resync, so it recovers the
+// verdict history without leaving stale pre-restore shadow state behind.
 #pragma once
 
 #include <functional>
@@ -29,6 +38,10 @@
 
 #include "core/hypertap.hpp"
 #include "recovery/checkpoint.hpp"
+
+namespace hypertap::journal {
+class JournalWriter;
+}
 
 namespace hypertap::recovery {
 
@@ -99,6 +112,22 @@ class RecoveryManager {
     on_remediated_ = std::move(fn);
   }
 
+  /// Attach the durable journal: captures get marked through the
+  /// Checkpointer and every restore replays the suffix since the restored
+  /// checkpoint's mark. nullptr detaches.
+  void set_journal(journal::JournalWriter* w) {
+    journal_ = w;
+    checkpointer_.set_journal(w);
+  }
+
+  /// Alarms re-derived by catch-up replays (evidence from rolled-back
+  /// windows; never fed back into the recovery state machine).
+  const std::vector<Alarm>& recovered_alarms() const {
+    return replayed_alarms_;
+  }
+  u64 journal_replays() const { return journal_replays_; }
+  u64 journal_records_replayed() const { return journal_records_replayed_; }
+
   VmHealth health() const { return health_; }
   const std::vector<RemediationRecord>& history() const { return history_; }
   u64 episodes_recovered() const { return episodes_recovered_; }
@@ -118,6 +147,7 @@ class RecoveryManager {
   void on_alarm(const Alarm& a);
   void remediate(SimTime now);
   void resync_monitor(SimTime now);
+  void replay_suffix(u64 mark, SimTime now);
   static bool is_trigger(const std::string& type);
   static bool is_clear(const std::string& type);
   static bool monitor_only(const std::string& type);
@@ -137,6 +167,11 @@ class RecoveryManager {
   SimTime next_action_at_ = 0;
   SimTime probation_until_ = 0;
   SimTime remediation_end_ = 0;
+
+  journal::JournalWriter* journal_ = nullptr;
+  std::vector<Alarm> replayed_alarms_;
+  u64 journal_replays_ = 0;
+  u64 journal_records_replayed_ = 0;
 
   std::vector<RemediationRecord> history_;
   u64 episodes_recovered_ = 0;

@@ -1,0 +1,390 @@
+// Pipeline chaos hardening: DeliveryGuard semantics (dedup, bounded
+// reorder, checksum drops, gap synthesis), multiplexer dedup, the seeded
+// ChaosEngine's fault injectors, and the recovery-side journal catch-up.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "chaos/chaos.hpp"
+#include "core/delivery_guard.hpp"
+#include "core/event_multiplexer.hpp"
+#include "fi/campaign.hpp"
+#include "fi/locations.hpp"
+#include "journal/journal.hpp"
+#include "os/kernel.hpp"
+#include "recovery/checkpoint.hpp"
+#include "util/rng.hpp"
+
+namespace hypertap {
+namespace {
+
+Event ev(u64 seq, SimTime t = 0) {
+  Event e;
+  e.kind = EventKind::kProcessSwitch;
+  e.reason = hav::ExitReason::kCrAccess;
+  e.vcpu = 0;
+  e.time = t == 0 ? static_cast<SimTime>(seq * 100) : t;
+  e.seq = seq;
+  e.cr3_old = seq;
+  e.cr3_new = seq + 1;
+  e.csum = e.payload_checksum();
+  return e;
+}
+
+std::vector<u64> seqs(const std::vector<Event>& v) {
+  std::vector<u64> out;
+  for (const Event& e : v) out.push_back(e.seq);
+  return out;
+}
+
+// ---------------------------- DeliveryGuard -----------------------------
+
+DeliveryGuard::Config guard_cfg(u32 window = 32) {
+  DeliveryGuard::Config c;
+  c.enabled = true;
+  c.reorder_window = window;
+  return c;
+}
+
+TEST(DeliveryGuard, DisabledOrUnsequencedPassesThrough) {
+  DeliveryGuard off;  // default config: disabled
+  std::vector<Event> ready;
+  off.ingest(ev(5), ready);
+  off.ingest(ev(5), ready);
+  EXPECT_EQ(ready.size(), 2u) << "disabled guard must not touch the stream";
+
+  DeliveryGuard on(guard_cfg());
+  ready.clear();
+  Event unseq = ev(0);
+  unseq.seq = 0;
+  on.ingest(unseq, ready);
+  on.ingest(unseq, ready);
+  EXPECT_EQ(ready.size(), 2u) << "seq==0 (test-built) events bypass the guard";
+  EXPECT_EQ(on.duplicates_suppressed(), 0u);
+}
+
+TEST(DeliveryGuard, SuppressesDuplicatesAndStaleRedeliveries) {
+  DeliveryGuard g(guard_cfg());
+  std::vector<Event> ready;
+  g.ingest(ev(1), ready);
+  g.ingest(ev(2), ready);
+  g.ingest(ev(2), ready);  // exact duplicate
+  g.ingest(ev(1), ready);  // stale redelivery
+  g.ingest(ev(3), ready);
+  EXPECT_EQ(seqs(ready), (std::vector<u64>{1, 2, 3}));
+  EXPECT_EQ(g.duplicates_suppressed(), 2u);
+  EXPECT_EQ(g.gaps_signaled(), 0u);
+}
+
+TEST(DeliveryGuard, ReleasesReorderedEventsInSequenceOrder) {
+  DeliveryGuard g(guard_cfg());
+  std::vector<Event> ready;
+  g.ingest(ev(1), ready);
+  g.ingest(ev(3), ready);  // early: buffered
+  EXPECT_EQ(ready.size(), 1u);
+  EXPECT_EQ(g.buffered(), 1u);
+  g.ingest(ev(2), ready);  // fills the hole: 2 and 3 release together
+  EXPECT_EQ(seqs(ready), (std::vector<u64>{1, 2, 3}));
+  EXPECT_GE(g.reordered_released(), 1u);
+  EXPECT_EQ(g.gaps_signaled(), 0u);
+  for (const Event& e : ready) EXPECT_EQ(e.gap_before, 0u);
+}
+
+TEST(DeliveryGuard, DropsEventsWithStaleChecksums) {
+  DeliveryGuard g(guard_cfg());
+  std::vector<Event> ready;
+  g.ingest(ev(1), ready);
+  Event bad = ev(2);
+  bad.cr3_new ^= 0xFF;  // in-flight corruption: csum now stale
+  g.ingest(bad, ready);
+  g.ingest(ev(3), ready);  // buffered: 2 never arrives intact
+  std::vector<Event> drained;
+  g.drain(drained);
+  EXPECT_EQ(g.corrupted_dropped(), 1u);
+  EXPECT_EQ(seqs(ready), (std::vector<u64>{1}));
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].seq, 3u);
+  EXPECT_EQ(drained[0].gap_before, 1u)
+      << "the hole the dropped event left must surface as a gap";
+  EXPECT_EQ(g.gaps_signaled(), 1u);
+}
+
+TEST(DeliveryGuard, BoundedWindowGivesUpOnLostSeqAndSignalsGap) {
+  DeliveryGuard g(guard_cfg(/*window=*/4));
+  std::vector<Event> ready;
+  g.ingest(ev(1), ready);
+  // seq 2 is lost; lookahead grows until the window passes it.
+  g.ingest(ev(3), ready);
+  g.ingest(ev(4), ready);
+  g.ingest(ev(5), ready);
+  EXPECT_EQ(ready.size(), 1u) << "window not exceeded yet: all buffered";
+  g.ingest(ev(6), ready);  // lookahead 6-2=4 >= window: give up on seq 2
+  EXPECT_EQ(seqs(ready), (std::vector<u64>{1, 3, 4, 5, 6}));
+  EXPECT_EQ(ready[1].gap_before, 1u) << "seq 3 carries the hole for seq 2";
+  EXPECT_EQ(g.gaps_signaled(), 1u);
+  EXPECT_EQ(g.buffered(), 0u);
+}
+
+// ---------------------- multiplexer dedup (ingress) ---------------------
+
+class CountingAuditor final : public Auditor {
+ public:
+  std::string name() const override { return "counting"; }
+  EventMask subscriptions() const override {
+    return event_bit(EventKind::kProcessSwitch);
+  }
+  void on_event(const Event&, AuditContext&) override { ++events; }
+  void on_gap(u64 lost, AuditContext&) override { gaps += lost; }
+  u64 events = 0;
+  u64 gaps = 0;
+};
+
+struct MiniVm {
+  MiniVm() {
+    hv::MachineConfig mc;
+    mc.num_vcpus = 1;
+    mc.phys_mem_bytes = 8ull << 20;
+    os::KernelConfig kc;
+    vm = std::make_unique<os::Vm>(mc, kc);
+    vm->kernel.boot();
+    deriv = std::make_unique<OsStateDerivation>(vm->machine.hypervisor(),
+                                                vm->kernel.layout());
+    ctx = std::make_unique<AuditContext>(vm->machine.hypervisor(), *deriv,
+                                         alarms);
+  }
+  arch::Vcpu& vcpu() { return vm->machine.hypervisor().vcpu(0); }
+
+  std::unique_ptr<os::Vm> vm;
+  AlarmSink alarms;
+  std::unique_ptr<OsStateDerivation> deriv;
+  std::unique_ptr<AuditContext> ctx;
+};
+
+TEST(ChaosMultiplexer, DedupSuppressesRedeliveredSequenceNumbers) {
+  MiniVm m;
+  EventMultiplexer em;  // default config: dedup on, guard off
+  CountingAuditor aud;
+  em.register_auditor(&aud, *m.ctx);
+
+  em.deliver(m.vcpu(), ev(1), *m.ctx);
+  em.deliver(m.vcpu(), ev(2), *m.ctx);
+  em.deliver(m.vcpu(), ev(2), *m.ctx);  // duplicate: must not be re-audited
+  em.deliver(m.vcpu(), ev(1), *m.ctx);  // stale: likewise
+  em.deliver(m.vcpu(), ev(3), *m.ctx);
+
+  EXPECT_EQ(aud.events, 3u);
+  EXPECT_EQ(em.duplicates_suppressed(), 2u);
+  EXPECT_EQ(em.total_delivered(), 3u);
+}
+
+TEST(ChaosMultiplexer, GuardPathReordersAndSignalsGapsThroughOnGap) {
+  MiniVm m;
+  EventMultiplexer::Config cfg;
+  cfg.guard.enabled = true;
+  cfg.guard.reorder_window = 4;
+  EventMultiplexer em(cfg);
+  CountingAuditor aud;
+  em.register_auditor(&aud, *m.ctx);
+
+  em.deliver(m.vcpu(), ev(1), *m.ctx);
+  em.deliver(m.vcpu(), ev(3), *m.ctx);  // buffered
+  EXPECT_EQ(aud.events, 1u);
+  em.deliver(m.vcpu(), ev(2), *m.ctx);  // releases 2 then 3
+  EXPECT_EQ(aud.events, 3u);
+
+  Event bad = ev(4);
+  bad.cr3_new ^= 1;  // stale csum: dropped at ingress
+  em.deliver(m.vcpu(), bad, *m.ctx);
+  em.deliver(m.vcpu(), ev(5), *m.ctx);  // held behind the hole
+  em.flush_delivery(m.vcpu(), *m.ctx);
+  EXPECT_EQ(aud.events, 4u);
+  EXPECT_EQ(aud.gaps, 1u) << "the dropped event's hole must reach on_gap";
+  EXPECT_EQ(em.guard().corrupted_dropped(), 1u);
+}
+
+// ------------------------------ ChaosEngine -----------------------------
+
+TEST(ChaosEngine, SameSeedSameFaultsByteForByte) {
+  const auto cfg = chaos::ChaosConfig::uniform(0.3, 42);
+  chaos::ChaosEngine a(cfg), b(cfg);
+  std::vector<u8> bytes_a, bytes_b;
+  auto feed = [](chaos::ChaosEngine& eng, std::vector<u8>& bytes) {
+    std::vector<Event> out;
+    for (u64 i = 1; i <= 300; ++i) {
+      out.clear();
+      eng.intercept(ev(i), out);
+      for (const Event& e : out) journal::encode_event(e, bytes);
+    }
+    out.clear();
+    eng.drain(out);
+    for (const Event& e : out) journal::encode_event(e, bytes);
+  };
+  feed(a, bytes_a);
+  feed(b, bytes_b);
+  EXPECT_EQ(bytes_a, bytes_b);
+  EXPECT_EQ(a.stats().dropped, b.stats().dropped);
+  EXPECT_EQ(a.stats().duplicated, b.stats().duplicated);
+  EXPECT_EQ(a.stats().reordered, b.stats().reordered);
+  EXPECT_EQ(a.stats().corrupted, b.stats().corrupted);
+  EXPECT_EQ(a.stats().delayed, b.stats().delayed);
+  EXPECT_GT(a.stats().faults(), 0u) << "30% rates over 300 events must fire";
+}
+
+TEST(ChaosEngine, DropEverythingAndDuplicateEverything) {
+  chaos::ChaosConfig drop_all;
+  drop_all.drop_p = 1.0;
+  chaos::ChaosEngine dropper(drop_all);
+  std::vector<Event> out;
+  for (u64 i = 1; i <= 50; ++i) dropper.intercept(ev(i), out);
+  dropper.drain(out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(dropper.stats().dropped, 50u);
+
+  chaos::ChaosConfig dup_all;
+  dup_all.dup_p = 1.0;
+  chaos::ChaosEngine duper(dup_all);
+  out.clear();
+  for (u64 i = 1; i <= 50; ++i) duper.intercept(ev(i), out);
+  duper.drain(out);
+  EXPECT_EQ(out.size(), 100u);
+  EXPECT_EQ(duper.stats().duplicated, 50u);
+}
+
+TEST(ChaosEngine, ReorderedEventsStayWithinBoundedSkew) {
+  chaos::ChaosConfig cfg;
+  cfg.reorder_p = 1.0;
+  cfg.reorder_skew_max = 3;
+  chaos::ChaosEngine eng(cfg);
+  std::vector<Event> all;
+  for (u64 i = 1; i <= 100; ++i) {
+    std::vector<Event> out;
+    eng.intercept(ev(i), out);
+    all.insert(all.end(), out.begin(), out.end());
+  }
+  eng.drain(all);
+  ASSERT_EQ(all.size(), 100u) << "reorder must not lose or invent events";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const long skew =
+        static_cast<long>(all[i].seq) - static_cast<long>(i + 1);
+    EXPECT_LE(skew, 0 + cfg.reorder_skew_max) << "position " << i;
+    EXPECT_GE(skew, -cfg.reorder_skew_max) << "position " << i;
+  }
+  EXPECT_GT(eng.stats().reordered, 0u);
+}
+
+TEST(ChaosEngine, CorruptEventLeavesChecksumStaleAndEnumsValid) {
+  util::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    Event e = ev(static_cast<u64>(i + 1));
+    const u32 stamped = e.csum;
+    chaos::ChaosEngine::corrupt_event(e, rng);
+    EXPECT_EQ(e.csum, stamped) << "corruption must NOT restamp the csum";
+    EXPECT_NE(e.payload_checksum(), e.csum)
+        << "a corrupted payload must fail validation (i=" << i << ")";
+    EXPECT_LT(static_cast<u8>(e.kind), static_cast<u8>(EventKind::kCount));
+    EXPECT_GE(e.time, 0);
+  }
+}
+
+TEST(ChaosEngine, TearTailShortensLastSegmentOnly) {
+  journal::MemoryJournalStore store;
+  {
+    journal::JournalWriter::Options opts;
+    opts.segment_bytes = 256;
+    journal::JournalWriter w(store, opts);
+    for (u64 i = 1; i <= 20; ++i) w.append_event(ev(i));
+  }
+  const auto names = store.segments();
+  ASSERT_GT(names.size(), 1u);
+  const u64 first_size = store.read(names.front()).size();
+  const u64 last_size = store.read(names.back()).size();
+
+  EXPECT_EQ(chaos::ChaosEngine::tear_tail(store, 5), 5u);
+  EXPECT_EQ(store.read(names.back()).size(), last_size - 5);
+  EXPECT_EQ(store.read(names.front()).size(), first_size);
+
+  // Clamped: tearing more than the segment holds removes what is there.
+  const u64 now = store.read(names.back()).size();
+  EXPECT_EQ(chaos::ChaosEngine::tear_tail(store, 1u << 20), now);
+  EXPECT_EQ(store.read(names.back()).size(), 0u);
+
+  journal::MemoryJournalStore empty;
+  EXPECT_EQ(chaos::ChaosEngine::tear_tail(empty, 10), 0u);
+}
+
+TEST(ChaosEngine, CorruptedCheckpointFailsInvariantVerification) {
+  hv::MachineConfig mc;
+  mc.num_vcpus = 2;
+  mc.phys_mem_bytes = 8ull << 20;
+  os::KernelConfig kc;
+  os::Vm vm(mc, kc);
+  vm.kernel.boot();
+  vm.machine.run_for(50'000'000);  // let scheduling settle
+
+  recovery::Checkpointer ckpt(vm);
+  recovery::Checkpoint cp = ckpt.capture();
+  ASSERT_EQ(recovery::Checkpointer::verify(cp, vm), "")
+      << "a freshly captured checkpoint must be consistent";
+
+  util::Rng rng(11);
+  chaos::ChaosEngine::corrupt_checkpoint(cp, rng);
+  EXPECT_NE(recovery::Checkpointer::verify(cp, vm), "")
+      << "scrambled CR3/TR state must be refused, not restored";
+}
+
+// --------------------- campaign + recovery catch-up ---------------------
+
+TEST(ChaosRecovery, RestoreReplaysJournalSuffixPastLastCheckpoint) {
+  // Closed loop with a journal attached: detect the hang, restore a
+  // checkpoint, and replay the journal suffix recorded since that
+  // checkpoint (log-structured recovery). The run must still recover and
+  // must report at least one catch-up replay.
+  journal::MemoryJournalStore store;
+  fi::RunConfig cfg;
+  cfg.workload = fi::WorkloadKind::kMakeJ2;
+  cfg.location = 5;
+  cfg.fault_class = os::FaultClass::kMissingRelease;
+  cfg.transient = true;
+  cfg.seed = 11;
+  cfg.enable_recovery = true;
+  cfg.journal_store = &store;
+  const auto locations = fi::generate_locations(2014);
+  const fi::RunResult res = fi::run_one(cfg, locations);
+
+  EXPECT_EQ(res.outcome, fi::Outcome::kRecovered)
+      << "outcome=" << to_string(res.outcome);
+  EXPECT_GT(res.journal_records, 0u);
+  EXPECT_GE(res.journal_replays, 1u)
+      << "every successful restore must replay the journal suffix";
+
+  // The journal itself must be clean and replay-readable end to end.
+  journal::JournalReader r(store);
+  u64 n = 0;
+  while (r.next()) ++n;
+  EXPECT_EQ(n, res.journal_records);
+  EXPECT_EQ(r.quarantined(), 0u);
+}
+
+TEST(ChaosRecovery, HardenedRunAbsorbsFaultsWithoutFalseAlarms) {
+  // Fault-free guest + 1% delivery chaos + hardening: GOSHD must stay
+  // silent (the guard keeps damaged evidence away from the auditors).
+  journal::MemoryJournalStore store;
+  fi::RunConfig cfg;
+  cfg.workload = fi::WorkloadKind::kHanoi;
+  cfg.location = 9999;  // never arms: any alarm is false by construction
+  cfg.seed = 11;
+  cfg.chaos = chaos::ChaosConfig::uniform(0.01, 0xC7A05);
+  cfg.harden_delivery = true;
+  cfg.journal_store = &store;
+  const auto locations = fi::generate_locations(2014);
+  const fi::RunResult res = fi::run_one(cfg, locations);
+
+  EXPECT_FALSE(res.activated);
+  EXPECT_GT(res.chaos_faults, 0u) << "1% over a full run must inject faults";
+  EXPECT_FALSE(res.goshd_false_alarm)
+      << "hardening must absorb delivery faults without manufacturing alarms";
+}
+
+}  // namespace
+}  // namespace hypertap

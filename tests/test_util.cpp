@@ -249,6 +249,56 @@ TEST(SpscRing, WrapAround) {
   EXPECT_TRUE(ring.empty());
 }
 
+TEST(SpscRing, CapacityOneAlternatesPushPop) {
+  // min_capacity 1 rounds up to a 2-slot buffer with exactly one usable
+  // slot: every push must be matched by a pop before the next succeeds.
+  util::SpscRing<int> ring(1);
+  EXPECT_EQ(ring.capacity(), 1u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(ring.try_push(i));
+    EXPECT_FALSE(ring.try_push(100 + i)) << "second push must hit full";
+    EXPECT_EQ(ring.size(), 1u);
+    auto v = ring.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+    EXPECT_TRUE(ring.empty());
+  }
+}
+
+TEST(SpscRing, WrapAtExactlyFull) {
+  // Fill to capacity so head sits one slot behind tail (the reserved
+  // slot), then drain and refill across the wrap point: the full/empty
+  // distinction must survive the index wrap.
+  util::SpscRing<int> ring(4);
+  const std::size_t cap = ring.capacity();
+  for (std::size_t round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < cap; ++i) {
+      EXPECT_TRUE(ring.try_push(static_cast<int>(round * cap + i)));
+    }
+    EXPECT_FALSE(ring.try_push(-1)) << "push at exactly-full must fail";
+    EXPECT_EQ(ring.size(), cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      auto v = ring.try_pop();
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, static_cast<int>(round * cap + i));
+    }
+    EXPECT_TRUE(ring.empty());
+  }
+}
+
+TEST(SpscRing, PopFromEmptyIsNulloptAndHarmless) {
+  util::SpscRing<int> ring(4);
+  EXPECT_FALSE(ring.try_pop().has_value());
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size(), 0u);
+  // An empty pop must not disturb subsequent operation.
+  EXPECT_TRUE(ring.try_push(7));
+  auto v = ring.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
 TEST(SpscRing, TwoThreadStress) {
   util::SpscRing<u64> ring(256);
   constexpr u64 kCount = 500'000;
