@@ -35,30 +35,8 @@ inline std::vector<SweepCase> run_sweep(
     const std::vector<os::KernelLocation>& locations, int stride,
     u64 seed_base = 1,
     const std::function<void(std::size_t, std::size_t)>& progress = {}) {
-  std::vector<fi::RunConfig> grid;
-  for (std::size_t i = 0; i < locations.size();
-       i += static_cast<std::size_t>(stride)) {
-    const auto& loc = locations[i];
-    // Probe-only (sleeping-wait) paths are evaluated separately at their
-    // natural weight (see fig4's probe mini-campaign).
-    if (loc.sleeping_wait) continue;
-    for (const fi::WorkloadKind wk : fi::kAllWorkloads) {
-      for (const bool transient : {true, false}) {
-        for (const bool preempt : {false, true}) {
-          fi::RunConfig cfg;
-          cfg.workload = wk;
-          cfg.transient = transient;
-          cfg.preemptible = preempt;
-          cfg.location = loc.id;
-          cfg.fault_class = fi::default_fault_class(loc, seed_base);
-          cfg.seed = seed_base * 1'000'003ull + loc.id * 17ull +
-                     static_cast<u64>(wk) * 5ull + (transient ? 2 : 0) +
-                     (preempt ? 1 : 0);
-          grid.push_back(cfg);
-        }
-      }
-    }
-  }
+  const std::vector<fi::RunConfig> grid =
+      fi::build_grid(locations, stride, seed_base);
 
   std::vector<SweepCase> out;
   out.reserve(grid.size());

@@ -1,0 +1,175 @@
+// Parallel scaling bench + determinism gate (CI): run the same campaign
+// grid through exec::ShardedCampaignRunner at 1/2/4/8 threads and a fleet
+// stepping scenario through exec::ShardedFleetHost at the same thread
+// counts, reporting jobs/sec and VM-steps/sec per thread count in
+// BENCH_parallel_scaling.json.
+//
+// Exit status is the gate:
+//  - byte-identical artifacts across ALL thread counts (outcome table,
+//    merged telemetry snapshot, merged journal digest) — enforced
+//    unconditionally; a single diverging byte is a failed run;
+//  - >= 3x campaign throughput at 8 threads vs 1 — enforced only when the
+//    host actually has >= 8 hardware threads (on a 1-core container the
+//    curve is flat by physics, not by bug; the JSON still records it).
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "exec/sharded_campaign.hpp"
+#include "exec/sharded_fleet.hpp"
+#include "fi/campaign.hpp"
+#include "fi/locations.hpp"
+#include "workloads/make.hpp"
+
+using namespace hvsim;
+using namespace hypertap;
+
+namespace {
+
+double wall_seconds(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+const std::vector<os::KernelLocation>& locations() {
+  static const auto l = fi::generate_locations(2014);
+  return l;
+}
+
+/// The scaling grid: a real build_grid slice with the observation windows
+/// shortened so one job is tens of milliseconds — enough work per job that
+/// pool overhead is noise, small enough that the 4-point curve stays under
+/// a minute of wall clock serially.
+std::vector<fi::RunConfig> scaling_grid() {
+  auto grid = fi::build_grid(locations(), 3, 2014);
+  if (grid.size() > 96) grid.resize(96);
+  for (auto& cfg : grid) {
+    cfg.detect_threshold = 2'000'000'000;
+    cfg.propagation_window = 4'000'000'000;
+    cfg.max_workload_time = 4'000'000'000;
+  }
+  return grid;
+}
+
+struct CampaignPoint {
+  int threads;
+  double wall_s;
+  double jobs_per_s;
+  exec::CampaignReport report;
+};
+
+CampaignPoint run_campaign(int threads,
+                           const std::vector<fi::RunConfig>& grid) {
+  exec::CampaignOptions opts;
+  opts.threads = threads;
+  opts.per_job_telemetry = true;
+  opts.per_job_journal = true;
+  exec::ShardedCampaignRunner runner(locations(), opts);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto report = runner.run(grid);
+  const double wall = wall_seconds(t0);
+  return CampaignPoint{threads, wall,
+                       static_cast<double>(report.jobs_run) / wall,
+                       std::move(report)};
+}
+
+/// Fleet stepping throughput: N busy VMs advanced 10 simulated seconds in
+/// 250 ms epochs. No supervisor — this point isolates the parallel
+/// stepping phase itself (the barrier work is measured by its absence).
+struct FleetPoint {
+  int threads;
+  double wall_s;
+  double vm_steps_per_s;
+};
+
+FleetPoint run_fleet(int threads) {
+  constexpr int kVms = 4;
+  hv::MultiVmHost host;
+  for (int i = 0; i < kVms; ++i) {
+    hv::MachineConfig mc;
+    mc.num_vcpus = 2;
+    mc.phys_mem_bytes = 8ull << 20;
+    host.add_vm(mc);
+  }
+  for (int i = 0; i < kVms; ++i) {
+    host.vm(i).kernel.register_locations(locations());
+    host.vm(i).kernel.boot();
+    workloads::MakeJobWorkload::Config mcfg;
+    mcfg.units = 4000;  // stays busy for the whole window
+    host.vm(i).kernel.spawn(
+        "make", 1000, 1000, 1,
+        std::make_unique<workloads::MakeJobWorkload>(mcfg, &locations(),
+                                                     7'000 + i));
+  }
+  exec::ShardedFleetHost::Options fopts;
+  fopts.threads = threads;
+  exec::ShardedFleetHost sharded(host, fopts);
+  const auto t0 = std::chrono::steady_clock::now();
+  sharded.run_until(10'000'000'000);
+  const double wall = wall_seconds(t0);
+  return FleetPoint{threads, wall,
+                    static_cast<double>(sharded.vm_steps()) / wall};
+}
+
+}  // namespace
+
+int main() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::vector<int> curve = {1, 2, 4, 8};
+  const auto grid = scaling_grid();
+
+  std::cout << "parallel_scaling: grid=" << grid.size()
+            << " jobs, hw_threads=" << hw << "\n\n";
+  std::cout << "threads  campaign_wall_s  jobs_per_s  fleet_vm_steps_per_s\n";
+
+  htbench::BenchReport report("parallel_scaling");
+  report.param("grid_jobs", static_cast<long long>(grid.size()));
+  report.param("hw_threads", static_cast<long long>(hw));
+  report.param("fleet_vms", 4);
+
+  bool diverged = false;
+  std::vector<CampaignPoint> points;
+  for (const int t : curve) {
+    points.push_back(run_campaign(t, grid));
+    const auto fleet = run_fleet(t);
+    const auto& p = points.back();
+    std::printf("%7d  %15.3f  %10.1f  %20.1f\n", t, p.wall_s, p.jobs_per_s,
+                fleet.vm_steps_per_s);
+    const std::string k = "t" + std::to_string(t) + ".";
+    report.metric(k + "campaign_wall_s", p.wall_s);
+    report.metric(k + "jobs_per_s", p.jobs_per_s);
+    report.metric(k + "fleet_vm_steps_per_s", fleet.vm_steps_per_s);
+    report.metric(k + "steals", static_cast<double>(p.report.steals));
+
+    // Determinism gate: every arm must reproduce the serial artifacts.
+    const auto& ref = points.front();
+    if (p.report.outcome_table != ref.report.outcome_table ||
+        p.report.merged_metrics_json != ref.report.merged_metrics_json ||
+        p.report.merged_journal_digest != ref.report.merged_journal_digest ||
+        p.report.merged_journal_records != ref.report.merged_journal_records) {
+      std::cerr << "DIVERGENCE at threads=" << t
+                << ": parallel artifacts differ from serial reference\n";
+      diverged = true;
+    }
+  }
+
+  const double speedup8 = points.front().wall_s / points.back().wall_s;
+  report.metric("speedup_8", speedup8);
+  std::cout << "\nspeedup at 8 threads: " << speedup8 << "x\n";
+  report.write();
+
+  if (diverged) return 1;
+  if (hw >= 8 && speedup8 < 3.0) {
+    std::cerr << "FAIL: expected >= 3x speedup at 8 threads on a >= 8-way "
+                 "host, got "
+              << speedup8 << "x\n";
+    return 1;
+  }
+  std::cout << "parallel_scaling: determinism gate PASSED\n";
+  return 0;
+}

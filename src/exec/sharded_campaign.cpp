@@ -1,0 +1,147 @@
+#include "exec/sharded_campaign.hpp"
+
+#include <mutex>
+#include <sstream>
+
+#include "exec/worker_pool.hpp"
+#include "util/rng.hpp"
+
+namespace hypertap::exec {
+
+ShardedCampaignRunner::ShardedCampaignRunner(
+    const std::vector<os::KernelLocation>& locations, CampaignOptions opts)
+    : locations_(locations), opts_(opts) {
+  if (opts_.threads < 1) opts_.threads = 1;
+}
+
+std::string ShardedCampaignRunner::outcome_table(
+    const std::vector<CampaignReport::Job>& jobs) {
+  std::ostringstream os;
+  os << "# campaign outcome table: jobs=" << jobs.size() << "\n";
+  u64 by_outcome[6] = {};
+  u64 skipped = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& j = jobs[i];
+    os << "job=" << i << " loc=" << j.cfg.location
+       << " wl=" << fi::to_string(j.cfg.workload)
+       << " class=" << os::to_string(j.cfg.fault_class)
+       << " transient=" << (j.cfg.transient ? 1 : 0)
+       << " preempt=" << (j.cfg.preemptible ? 1 : 0) << " seed=" << j.cfg.seed;
+    if (!j.run) {
+      os << " outcome=Skipped\n";
+      ++skipped;
+      continue;
+    }
+    const auto& r = j.result;
+    os << " outcome=" << fi::to_string(r.outcome)
+       << " activated=" << (r.activated ? 1 : 0) << " act=" << r.activation
+       << " first_alarm=" << r.first_alarm << " full_alarm=" << r.full_alarm
+       << " vcpus_hung=" << r.vcpus_hung << " probe=" << (r.probe_hang ? 1 : 0)
+       << " remediations=" << r.remediations << " mttr=" << r.mttr
+       << " journal_records=" << r.journal_records << "\n";
+    ++by_outcome[static_cast<int>(r.outcome)];
+  }
+  os << "# summary:";
+  for (int o = 0; o < 6; ++o) {
+    os << " " << fi::to_string(static_cast<fi::Outcome>(o)) << "="
+       << by_outcome[o];
+  }
+  os << " Skipped=" << skipped << "\n";
+  return os.str();
+}
+
+CampaignReport ShardedCampaignRunner::run(
+    const std::vector<fi::RunConfig>& grid) {
+  const std::size_t n = grid.size();
+  CampaignReport report;
+  report.threads = opts_.threads;
+  report.jobs.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    report.jobs[i].cfg = grid[i];
+    if (opts_.reseed_base != 0) {
+      report.jobs[i].cfg.seed = util::stream_seed(opts_.reseed_base, i);
+    }
+  }
+
+  // Per-job artifact slots. Each worker writes ONLY its own job's slot
+  // (distinct vector elements), so no lock is needed on this path.
+  std::vector<std::unique_ptr<telemetry::Telemetry>> job_tel;
+  std::vector<std::unique_ptr<journal::MemoryJournalStore>> job_jnl;
+  if (opts_.per_job_telemetry) job_tel.resize(n);
+  if (opts_.per_job_journal) job_jnl.resize(n);
+
+  // Live progress series (caller-owned registry; counters are atomic).
+  telemetry::Counter* total_ctr = nullptr;
+  telemetry::Counter* skipped_ctr = nullptr;
+  std::vector<telemetry::Counter*> shard_done(
+      static_cast<std::size_t>(opts_.threads), nullptr);
+  if (opts_.progress != nullptr) {
+    auto& reg = opts_.progress->registry;
+    total_ctr = reg.counter("ht_campaign_jobs_total");
+    skipped_ctr = reg.counter("ht_campaign_jobs_skipped_total");
+    for (int s = 0; s < opts_.threads; ++s) {
+      shard_done[static_cast<std::size_t>(s)] = reg.counter(
+          "ht_campaign_jobs_done_total", {{"shard", std::to_string(s)}});
+    }
+    HT_COUNT_N(total_ctr, n);
+  }
+
+  std::mutex done_mu;
+  u64 jobs_done = 0;
+
+  WorkerPool pool(opts_.threads);
+  pool.parallel_for(n, [&](std::size_t i) {
+    CampaignReport::Job& job = report.jobs[i];
+    if (opts_.stop.stop_requested()) {
+      HT_COUNT(skipped_ctr);
+      return;  // job.run stays false
+    }
+    if (opts_.per_job_telemetry) {
+      job_tel[i] = std::make_unique<telemetry::Telemetry>();
+      job.cfg.telemetry = job_tel[i].get();
+      job.cfg.telemetry_vm_id = static_cast<int>(i);
+    }
+    if (opts_.per_job_journal) {
+      job_jnl[i] = std::make_unique<journal::MemoryJournalStore>();
+      job.cfg.journal_store = job_jnl[i].get();
+    }
+    job.result = fi::run_one(job.cfg, locations_);
+    job.run = true;
+    job.shard = pool.current_worker();
+    if (job.shard >= 0 && static_cast<std::size_t>(job.shard) < shard_done.size()) {
+      HT_COUNT(shard_done[static_cast<std::size_t>(job.shard)]);
+    }
+    u64 done_now;
+    {
+      std::lock_guard<std::mutex> lk(done_mu);
+      done_now = ++jobs_done;
+    }
+    if (opts_.on_job_done) opts_.on_job_done(done_now);
+  });
+  report.steals = pool.steals();
+
+  // ---- Canonical fold (single thread, job-index order) -----------------
+  for (const auto& j : report.jobs) (j.run ? report.jobs_run : report.jobs_skipped)++;
+  report.outcome_table = outcome_table(report.jobs);
+
+  if (opts_.per_job_telemetry) {
+    telemetry::Registry merged;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (job_tel[i] != nullptr) merged.merge_from(job_tel[i]->registry);
+    }
+    report.merged_metrics_json = merged.json();
+    report.merged_metrics_prometheus = merged.prometheus_text();
+  }
+  if (opts_.per_job_journal) {
+    report.merged_journal = std::make_unique<journal::MemoryJournalStore>();
+    journal::JournalWriter out(*report.merged_journal);
+    std::vector<const journal::JournalStore*> parts;
+    parts.reserve(n);
+    for (const auto& s : job_jnl) parts.push_back(s.get());
+    report.merged_journal_records = journal::merge_journals(parts, out);
+    report.merged_journal_digest = journal::store_digest(*report.merged_journal);
+  }
+  return report;
+}
+
+}  // namespace hypertap::exec

@@ -1,0 +1,117 @@
+// Parallel sharded execution of fi::Campaign grids (§VIII-A2 at scale).
+//
+// The paper's evaluation is a 17,952-injection matrix; serially that is
+// hours of wall clock. Every injection experiment is hermetic — one
+// freshly booted Machine, one kernel, one auditing pipeline, one RNG
+// stream — so the grid parallelizes embarrassingly. What does NOT come for
+// free is *trustworthy* parallelism: the campaign's outcome table, its
+// telemetry snapshot and its journal must be byte-identical no matter how
+// many threads ran it or how the scheduler interleaved them. This runner
+// gets that by construction:
+//
+//  - every job's randomness is a pure function of its grid cell / job
+//    index (util::stream_seed; fi::build_grid seeds), never of the thread
+//    that runs it;
+//  - results land in a pre-sized slot array indexed by job id — execution
+//    order cannot reorder them;
+//  - per-job telemetry registries and per-job journals are private to the
+//    job while it runs, then folded in canonical (job-index) order by a
+//    single thread after the pool drains.
+//
+// The differential suite (tests/test_parallel_determinism.cpp) runs the
+// same grid at threads=1/2/8 and diffs all three artifacts byte-for-byte.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/stop_token.hpp"
+#include "fi/campaign.hpp"
+#include "journal/journal.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace hypertap::exec {
+
+struct CampaignOptions {
+  /// Worker threads (>= 1). threads=1 is the serial reference arm.
+  int threads = 1;
+
+  /// When nonzero, every job's seed is REDERIVED as
+  /// util::stream_seed(reseed_base, job_index) before running — the
+  /// job-index-keyed stream the determinism argument rests on. 0 keeps the
+  /// grid's own seeds (fi::build_grid seeds are already cell-pure).
+  u64 reseed_base = 0;
+
+  /// Give every job a private telemetry bundle (vm id = job index) and
+  /// publish the canonical merged registry snapshot in the report.
+  bool per_job_telemetry = false;
+
+  /// Record every job into a private in-memory journal and publish the
+  /// canonical merged journal (+ digest) in the report.
+  bool per_job_journal = false;
+
+  /// Cooperative cancellation: checked before each job starts; jobs never
+  /// stop mid-run (a torn Machine would poison determinism).
+  StopToken stop;
+
+  /// Caller-owned bundle for LIVE progress: ht_campaign_jobs_total,
+  /// ht_campaign_jobs_done_total{shard="k"}, ht_campaign_jobs_skipped_total.
+  /// Per-shard counters attribute throughput to workers; their SUM is
+  /// deterministic, their split is not (it is the work-stealing schedule).
+  /// Distinct from per-job telemetry, which is merged and canonical.
+  telemetry::Telemetry* progress = nullptr;
+
+  /// Invoked after each job completes with the completed-job count so far
+  /// (serialized; any thread). The hook for stop-after-N policies.
+  std::function<void(u64 jobs_done)> on_job_done;
+};
+
+struct CampaignReport {
+  struct Job {
+    fi::RunConfig cfg;
+    fi::RunResult result{};
+    bool run = false;  ///< false = skipped by cancellation
+    int shard = -1;    ///< worker that ran it — diagnostic, NOT canonical
+  };
+
+  /// Indexed by job id; identical at any thread count (modulo `shard`).
+  std::vector<Job> jobs;
+  u64 jobs_run = 0;
+  u64 jobs_skipped = 0;
+
+  // Canonical artifacts — the byte-comparable surface.
+  std::string outcome_table;             ///< per-job rows + outcome summary
+  std::string merged_metrics_json;       ///< "" unless per_job_telemetry
+  std::string merged_metrics_prometheus; ///< "" unless per_job_telemetry
+  u64 merged_journal_records = 0;        ///< 0 unless per_job_journal
+  u32 merged_journal_digest = 0;
+  /// Full merged journal contents (null unless per_job_journal).
+  std::unique_ptr<journal::MemoryJournalStore> merged_journal;
+
+  // Diagnostics (schedule-dependent; excluded from canonical artifacts).
+  int threads = 1;
+  u64 steals = 0;
+};
+
+class ShardedCampaignRunner {
+ public:
+  /// `locations` must outlive the runner (jobs reference it concurrently,
+  /// read-only).
+  ShardedCampaignRunner(const std::vector<os::KernelLocation>& locations,
+                        CampaignOptions opts);
+
+  /// Fan the grid out across the pool and fold the results. Blocking.
+  CampaignReport run(const std::vector<fi::RunConfig>& grid);
+
+  /// The canonical outcome table for a slot array (exposed for tests that
+  /// build their own serial reference).
+  static std::string outcome_table(const std::vector<CampaignReport::Job>& jobs);
+
+ private:
+  const std::vector<os::KernelLocation>& locations_;
+  CampaignOptions opts_;
+};
+
+}  // namespace hypertap::exec

@@ -1,0 +1,72 @@
+#include "exec/sharded_fleet.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "exec/worker_pool.hpp"
+
+namespace hypertap::exec {
+
+ShardedFleetHost::ShardedFleetHost(hv::MultiVmHost& host, Options opts)
+    : host_(host), opts_(opts) {
+  if (opts_.threads < 1) opts_.threads = 1;
+  if (opts_.epoch <= 0) throw std::invalid_argument("epoch must be positive");
+}
+
+void ShardedFleetHost::set_supervisor(recovery::FleetSupervisor* sup) {
+  sup_ = sup;
+  if (sup_ != nullptr) opts_.epoch = sup_->options().tick;
+}
+
+void ShardedFleetHost::run_until(SimTime t_end) {
+  if (host_.num_vms() == 0) throw std::logic_error("no VMs on host");
+  const std::size_t nshards = static_cast<std::size_t>(opts_.threads);
+  WorkerPool pool(opts_.threads);
+
+  // Same cursor discipline as FleetSupervisor::run_until: the loop clock
+  // must keep advancing even when every VM is paused, or resume deadlines
+  // would never fire.
+  SimTime cursor = host_.now();
+  while (cursor < t_end) {
+    cursor = std::min(cursor + opts_.epoch, t_end);
+    // Parallel phase: each shard advances its VMs (index order within the
+    // shard). Only per-VM state is touched — the sharding contract of
+    // MultiVmHost::step_vm_until.
+    pool.parallel_for(nshards, [&](std::size_t shard) {
+      for (std::size_t i = shard; i < host_.num_vms(); i += nshards) {
+        if (host_.step_vm_until(i, cursor)) {
+          vm_steps_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+    // Barrier reached: all cross-VM decisions run here, single-threaded,
+    // in canonical order.
+    if (sup_ != nullptr) sup_->tick(cursor);
+    ++epochs_;
+  }
+}
+
+std::string merged_metrics_json(
+    const std::vector<const telemetry::Registry*>& parts) {
+  telemetry::Registry merged;
+  for (const telemetry::Registry* p : parts) {
+    if (p != nullptr) merged.merge_from(*p);
+  }
+  return merged.json();
+}
+
+std::string alarm_ledger_text(const std::vector<const AlarmSink*>& parts) {
+  std::ostringstream os;
+  for (std::size_t vm = 0; vm < parts.size(); ++vm) {
+    if (parts[vm] == nullptr) continue;
+    for (const Alarm& a : parts[vm]->all()) {
+      os << "vm=" << vm << " t=" << a.time << " auditor=" << a.auditor
+         << " type=" << a.type << " vcpu=" << a.vcpu << " pid=" << a.pid
+         << " detail=" << a.detail << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace hypertap::exec

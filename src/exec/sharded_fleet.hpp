@@ -1,0 +1,89 @@
+// Sharded fleet execution: drive a MultiVmHost (optionally under a
+// FleetSupervisor) with per-thread VM shards and deterministic
+// barrier-synchronized epoch stepping.
+//
+// Model: time advances in fixed epochs. Within one epoch every shard
+// advances its VMs independently on a worker thread — legal because VMs on
+// this host never interact except through the supervisor — then all shards
+// meet at a barrier and ALL cross-VM work runs single-threaded in
+// canonical order: supervisor resume deadlines, RecoveryManager ticks
+// (where the remediation concurrency gate and pause/resume live), ledger
+// refresh. Per-VM state therefore evolves exactly as it does under the
+// serial FleetSupervisor::run_until loop with tick == epoch: identical
+// alarm ledgers, identical recovery histories, at any thread count — the
+// property tests/test_parallel_determinism.cpp diffs.
+//
+// Shard assignment is static (vm_index % threads): cheap, deterministic,
+// and balanced in expectation since co-tenant VMs here are homogeneous.
+// The merge helpers below fold per-VM registries and alarm ledgers in
+// canonical VM-index order for byte-comparable fleet artifacts.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "core/auditor.hpp"
+#include "hv/multi_vm.hpp"
+#include "recovery/fleet.hpp"
+
+namespace hypertap::exec {
+
+using namespace hvsim;
+
+class ShardedFleetHost {
+ public:
+  struct Options {
+    /// Shard count = worker threads (>= 1). threads=1 degenerates to the
+    /// serial loop (one shard owning every VM) — the reference arm.
+    int threads = 1;
+    /// Epoch length on the fleet clock. For step-for-step equivalence
+    /// with a serial FleetSupervisor::run_until, use the supervisor's
+    /// tick period (the default when a supervisor is attached).
+    SimTime epoch = 250'000'000;  // 250 ms
+  };
+
+  ShardedFleetHost(hv::MultiVmHost& host, Options opts);
+
+  /// Attach the supervisor whose tick() runs at every epoch barrier; also
+  /// adopts its tick period as the epoch (see Options::epoch). Pass
+  /// nullptr for a supervisor-less fleet (pure parallel stepping).
+  void set_supervisor(recovery::FleetSupervisor* sup);
+
+  /// Advance the fleet to host time `t_end` in barrier-synchronized
+  /// epochs. Blocking; drives the worker pool internally.
+  void run_until(SimTime t_end);
+  void run_for(SimTime dt) { run_until(host_.now() + dt); }
+
+  int threads() const { return opts_.threads; }
+  int shard_of(std::size_t vm_index) const {
+    return static_cast<int>(vm_index % static_cast<std::size_t>(opts_.threads));
+  }
+
+  u64 epochs() const { return epochs_; }
+  /// Total per-VM advance calls that did work (the scaling bench's
+  /// VM-steps numerator).
+  u64 vm_steps() const { return vm_steps_.load(std::memory_order_relaxed); }
+
+ private:
+  hv::MultiVmHost& host_;
+  Options opts_;
+  recovery::FleetSupervisor* sup_ = nullptr;
+  u64 epochs_ = 0;
+  std::atomic<u64> vm_steps_{0};
+};
+
+/// Canonical fleet telemetry merge: fold per-VM registries in VM-index
+/// order into one snapshot (see telemetry::Registry::merge_from for the
+/// fold semantics). Identical for serial and sharded runs of the same
+/// scenario. null entries are skipped.
+std::string merged_metrics_json(
+    const std::vector<const telemetry::Registry*>& parts);
+
+/// Canonical alarm ledger: every VM's alarms in raise order, VMs in index
+/// order, one line per alarm. The fleet-side byte-comparable artifact
+/// (each sink is per-VM, so no cross-VM ordering ambiguity exists to
+/// hide). null entries are skipped but still consume a VM index.
+std::string alarm_ledger_text(const std::vector<const AlarmSink*>& parts);
+
+}  // namespace hypertap::exec

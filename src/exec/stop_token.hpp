@@ -1,0 +1,48 @@
+// Cooperative cancellation for campaign/fleet execution.
+//
+// A StopSource owns one shared stop flag; any number of StopTokens observe
+// it. Tokens are cheap value types that stay valid after the source is
+// destroyed (the flag is shared), so a runner can hold a token while the
+// caller that requested the stop unwinds. Checks are acquire/release
+// atomics — safe to poll from worker threads under TSan.
+//
+// Cancellation here is *cooperative and coarse*: runners check between
+// jobs, never mid-job, so a stop can never tear a Machine mid-step and the
+// completed prefix of work remains deterministic.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace hypertap::exec {
+
+class StopToken {
+ public:
+  /// Default token: never requests a stop.
+  StopToken() = default;
+
+  bool stop_requested() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class StopSource;
+  explicit StopToken(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+class StopSource {
+ public:
+  StopSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void request_stop() { flag_->store(true, std::memory_order_release); }
+  bool stop_requested() const { return flag_->load(std::memory_order_acquire); }
+  StopToken token() const { return StopToken(flag_); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace hypertap::exec

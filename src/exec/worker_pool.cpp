@@ -1,0 +1,139 @@
+#include "exec/worker_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace hypertap::exec {
+
+namespace {
+// Pool-relative index of the current thread, set once per worker thread.
+// thread_local (not a pool member) so nested pools are the only unsupported
+// shape — acceptable: the runners create exactly one pool per run.
+thread_local int tls_worker_index = -1;
+}  // namespace
+
+WorkerPool::WorkerPool(int threads) {
+  const std::size_t n = static_cast<std::size_t>(std::max(threads, 1));
+  workers_.resize(n);
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i]() { worker_loop(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+    // Queued-but-unstarted tasks are abandoned; account for them so a
+    // concurrent wait_idle() (user error, but shouldn't hang) drains.
+    for (auto& w : workers_) {
+      dropped_ += w.q.size();
+      pending_ -= w.q.size();
+      w.q.clear();
+    }
+  }
+  work_cv_.notify_all();
+  idle_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::submit(Task t) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) {
+      ++dropped_;
+      return;
+    }
+    workers_[next_].q.push_back(std::move(t));
+    next_ = (next_ + 1) % workers_.size();
+    ++pending_;
+  }
+  work_cv_.notify_one();
+}
+
+bool WorkerPool::take_task(std::size_t self, Task& out) {
+  auto& own = workers_[self].q;
+  if (!own.empty()) {
+    out = std::move(own.back());
+    own.pop_back();
+    return true;
+  }
+  for (std::size_t k = 1; k < workers_.size(); ++k) {
+    auto& victim = workers_[(self + k) % workers_.size()].q;
+    if (!victim.empty()) {
+      out = std::move(victim.front());
+      victim.pop_front();
+      ++steals_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkerPool::worker_loop(std::size_t self) {
+  tls_worker_index = static_cast<int>(self);
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    Task task;
+    if (take_task(self, task)) {
+      lk.unlock();
+      std::exception_ptr err;
+      try {
+        task();
+      } catch (...) {
+        err = std::current_exception();
+      }
+      task = nullptr;  // release captures outside the next critical section
+      lk.lock();
+      ++executed_;
+      if (err != nullptr) {
+        ++failed_;
+        if (first_error_ == nullptr) first_error_ = err;
+      }
+      if (--pending_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    if (stop_) return;
+    work_cv_.wait(lk);
+  }
+}
+
+void WorkerPool::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [this]() { return pending_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void WorkerPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([&fn, i]() { fn(i); });
+  }
+  wait_idle();
+}
+
+int WorkerPool::current_worker() const { return tls_worker_index; }
+
+u64 WorkerPool::executed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return executed_;
+}
+u64 WorkerPool::steals() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return steals_;
+}
+u64 WorkerPool::failed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return failed_;
+}
+u64 WorkerPool::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dropped_;
+}
+
+}  // namespace hypertap::exec

@@ -1,0 +1,104 @@
+// Work-stealing worker pool for coarse-grained jobs (campaign injections,
+// per-shard fleet epochs).
+//
+// Each worker owns a deque: it pops its own work LIFO (cache-warm) and
+// steals FIFO from siblings when empty, so a static round-robin
+// distribution self-balances even when job costs vary by orders of
+// magnitude (a kNotActivated run finishes in milliseconds, a FullHang run
+// simulates a full propagation window).
+//
+// Jobs here are heavyweight — one job boots and drives an entire VM for
+// tens of simulated seconds (milliseconds of wall clock) — so a single
+// pool mutex around the deques costs nothing measurable; a lock-free
+// Chase-Lev deque would buy latency we cannot observe at this granularity
+// and would cost TSan-auditability. Determinism is NEVER a property of
+// this pool: callers get it by slotting results into caller-owned arrays
+// indexed by job id and by deriving every job's RNG stream from that same
+// id (see sharded_campaign.hpp).
+//
+// Semantics:
+//  - submit() may be called from any thread, including from inside a
+//    running task (recursive fan-out / task DAGs).
+//  - wait_idle() blocks until every submitted task has finished, then
+//    rethrows the FIRST exception any task threw (the rest are counted in
+//    failed()). Must not be called from a worker thread.
+//  - Destruction while busy is safe: running tasks complete, queued tasks
+//    that never started are dropped (counted in dropped()).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace hypertap::exec {
+
+using namespace hvsim;
+
+class WorkerPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue one task (round-robin across worker deques).
+  void submit(Task t);
+
+  /// Block until all submitted tasks finished; rethrow the first captured
+  /// task exception, if any (clearing it for subsequent batches).
+  void wait_idle();
+
+  /// submit() fn(0..n-1) and wait_idle(). fn runs on worker threads; the
+  /// caller blocks. Exceptions: first one rethrown after the batch drains.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// The pool-relative index of the calling worker thread, or -1 when
+  /// called from a non-worker thread. Stable for the lifetime of the pool;
+  /// used for per-shard accounting (progress counters, steal stats).
+  int current_worker() const;
+
+  // Lifetime statistics (racy snapshots; exact once idle).
+  u64 executed() const;
+  u64 steals() const;
+  u64 failed() const;
+  u64 dropped() const;
+
+ private:
+  struct Worker {
+    std::deque<Task> q;  ///< guarded by mu_
+  };
+
+  void worker_loop(std::size_t self);
+  /// Pop own back, else steal a sibling's front. Caller holds mu_.
+  bool take_task(std::size_t self, Task& out);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers: work available / stop
+  std::condition_variable idle_cv_;  ///< wait_idle: pending_ hit zero
+  std::vector<Worker> workers_;
+  std::size_t next_ = 0;      ///< round-robin submit cursor
+  std::size_t pending_ = 0;   ///< queued + running tasks
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+  u64 executed_ = 0;
+  u64 steals_ = 0;
+  u64 failed_ = 0;
+  u64 dropped_ = 0;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace hypertap::exec

@@ -106,6 +106,36 @@ class ProbeWorkload final : public os::Workload {
 
 }  // namespace
 
+std::vector<RunConfig> build_grid(
+    const std::vector<os::KernelLocation>& locations, int stride,
+    u64 seed_base) {
+  std::vector<RunConfig> grid;
+  for (std::size_t i = 0; i < locations.size();
+       i += static_cast<std::size_t>(stride)) {
+    const auto& loc = locations[i];
+    // Probe-only (sleeping-wait) paths are evaluated separately at their
+    // natural weight (see fig4's probe mini-campaign).
+    if (loc.sleeping_wait) continue;
+    for (const WorkloadKind wk : kAllWorkloads) {
+      for (const bool transient : {true, false}) {
+        for (const bool preempt : {false, true}) {
+          RunConfig cfg;
+          cfg.workload = wk;
+          cfg.transient = transient;
+          cfg.preemptible = preempt;
+          cfg.location = loc.id;
+          cfg.fault_class = default_fault_class(loc, seed_base);
+          cfg.seed = seed_base * 1'000'003ull + loc.id * 17ull +
+                     static_cast<u64>(wk) * 5ull + (transient ? 2 : 0) +
+                     (preempt ? 1 : 0);
+          grid.push_back(cfg);
+        }
+      }
+    }
+  }
+  return grid;
+}
+
 RunResult run_one(const RunConfig& cfg,
                   const std::vector<os::KernelLocation>& locations) {
   using workloads::LocationPicker;

@@ -111,4 +111,15 @@ struct RunResult {
 RunResult run_one(const RunConfig& cfg,
                   const std::vector<os::KernelLocation>& locations);
 
+/// Build the §VIII-A2 campaign grid: every `stride`-sampled non-probe
+/// location x 4 workloads x {transient, persistent} x {non-preemptible,
+/// preemptible}. Each cell's seed is a pure function of (seed_base,
+/// location, cell coordinates) — never of position in the vector or of
+/// execution order — so the grid regenerates identically everywhere and
+/// every job owns an independent, collision-free RNG stream. Shared by the
+/// serial sweep driver (bench/fi_sweep.hpp) and exec::ShardedCampaignRunner.
+std::vector<RunConfig> build_grid(
+    const std::vector<os::KernelLocation>& locations, int stride,
+    u64 seed_base = 1);
+
 }  // namespace hypertap::fi

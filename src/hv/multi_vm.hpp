@@ -119,6 +119,21 @@ class MultiVmHost {
 
   void run_for(SimTime dt) { run_until(now() + dt); }
 
+  /// Advance ONE running VM to (at least) `t` in a single call — the
+  /// per-shard stepping primitive of exec::ShardedFleetHost. Safe to call
+  /// from worker threads under the sharding contract: each VM index
+  /// belongs to exactly one shard during a parallel epoch, and
+  /// pause/resume/add_vm only ever happen between epochs (at barriers), so
+  /// this touches no cross-VM state. Returns false when there was nothing
+  /// to do (VM paused or already at/past `t`).
+  bool step_vm_until(std::size_t i, SimTime t) {
+    if (paused_.at(i)) return false;
+    auto& m = vms_[i]->machine;
+    if (m.now() >= t) return false;
+    m.run_until(t);
+    return true;
+  }
+
  private:
   void update_paused_gauge() {
 #ifndef HYPERTAP_TELEMETRY_DISABLED

@@ -582,4 +582,50 @@ std::optional<Record> JournalReader::next() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Canonical merge
+// ---------------------------------------------------------------------------
+
+u64 merge_journals(const std::vector<const JournalStore*>& parts,
+                   JournalWriter& out) {
+  u64 copied = 0;
+  for (const JournalStore* part : parts) {
+    if (part == nullptr) continue;
+    JournalReader r(*part);
+    while (auto rec = r.next()) {
+      switch (rec->type) {
+        case RecordType::kEvent:
+          out.append_event(rec->event);
+          break;
+        case RecordType::kTimer:
+          out.append_timer(rec->timer_time, rec->timer_auditor);
+          break;
+        case RecordType::kAlarm:
+          out.append_alarm(rec->alarm);
+          break;
+      }
+      ++copied;
+    }
+  }
+  return copied;
+}
+
+u32 store_digest(const JournalStore& s) {
+  // Chain the CRC across names and bodies by folding the previous digest
+  // into the next block (crc32 here has no streaming entry point; the
+  // 4-byte fold preserves order sensitivity, which is all a differential
+  // witness needs).
+  u32 digest = 0;
+  std::vector<u8> block;
+  for (const std::string& name : s.segments()) {
+    block.assign(reinterpret_cast<const u8*>(&digest),
+                 reinterpret_cast<const u8*>(&digest) + sizeof(digest));
+    block.insert(block.end(), name.begin(), name.end());
+    const std::vector<u8> body = s.read(name);
+    block.insert(block.end(), body.begin(), body.end());
+    digest = crc32(block);
+  }
+  return digest;
+}
+
 }  // namespace hypertap::journal

@@ -257,6 +257,24 @@ class JournalReader {
   bool torn_tail_ = false;
 };
 
+// ---------------------------------------------------------------------------
+// Canonical merge (sharded execution)
+// ---------------------------------------------------------------------------
+
+/// Fold several journals into one: every intact record of every part is
+/// re-appended to `out`, parts in the given order, records within a part
+/// in their journal order. Per-job journals merged in job-index order thus
+/// yield byte-identical output no matter how many threads recorded them —
+/// the property the parallel-determinism suite diffs. Returns the number
+/// of records copied (malformed source records are quarantined by the
+/// reader and silently skipped, exactly as replay would skip them).
+u64 merge_journals(const std::vector<const JournalStore*>& parts,
+                   JournalWriter& out);
+
+/// CRC-32 digest over a store's full contents (segment names + bytes in
+/// listing order): a compact equality witness for differential tests.
+u32 store_digest(const JournalStore& s);
+
 /// Shared segment scanner: finds the byte offset after the last intact
 /// record (used by the writer's open-for-append repair) and counts intact /
 /// quarantined records. Returns the "good prefix" length.

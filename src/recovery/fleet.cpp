@@ -53,6 +53,20 @@ void FleetSupervisor::manage(std::size_t index, RecoveryManager& mgr) {
   });
 }
 
+void FleetSupervisor::tick(SimTime cursor) {
+  for (auto& m : managed_) {
+    if (m.resume_at >= 0 && cursor >= m.resume_at) {
+      m.resume_at = -1;
+      --active_remediations_;
+      host_.resume(m.index);
+      // Align even if every VM was paused (host_.now() stale then).
+      host_.vm(m.index).machine.skip_to(cursor);
+    }
+  }
+  for (auto& m : managed_) m.mgr->tick(cursor);
+  refresh_ledger_gauges();
+}
+
 void FleetSupervisor::run_until(SimTime t_end) {
   // `cursor` is the authoritative fleet clock: host_.now() alone cannot
   // drive the loop, because with every VM paused it stops advancing and
@@ -61,17 +75,7 @@ void FleetSupervisor::run_until(SimTime t_end) {
   while (cursor < t_end) {
     cursor = std::min(cursor + opts_.tick, t_end);
     host_.run_until(cursor);
-    for (auto& m : managed_) {
-      if (m.resume_at >= 0 && cursor >= m.resume_at) {
-        m.resume_at = -1;
-        --active_remediations_;
-        host_.resume(m.index);
-        // Align even if every VM was paused (host_.now() stale then).
-        host_.vm(m.index).machine.skip_to(cursor);
-      }
-    }
-    for (auto& m : managed_) m.mgr->tick(cursor);
-    refresh_ledger_gauges();
+    tick(cursor);
   }
 }
 

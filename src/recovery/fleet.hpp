@@ -64,6 +64,18 @@ class FleetSupervisor {
   void run_until(SimTime t_end);
   void run_for(SimTime dt) { run_until(host_.now() + dt); }
 
+  /// One supervisor heartbeat at host time `cursor`: expire resume
+  /// deadlines (un-pausing healed VMs), tick every managed RecoveryManager
+  /// in canonical (manage order), refresh ledger gauges. run_until() calls
+  /// this after each slice round; exec::ShardedFleetHost calls it at every
+  /// epoch barrier — all cross-VM decisions (the remediation concurrency
+  /// gate, pauses/resumes) happen HERE, single-threaded, never inside the
+  /// parallel stepping phase, which is what keeps sharded fleet execution
+  /// deterministic.
+  void tick(SimTime cursor);
+
+  const Options& options() const { return opts_; }
+
   Ledger ledger() const;
   int active_remediations() const { return active_remediations_; }
 

@@ -48,6 +48,72 @@ T* Registry::get_series(std::map<std::string, std::unique_ptr<T>>& m,
   return raw;
 }
 
+void Histogram::merge_from(const Histogram& src) {
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const u64 n = src.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(src.count(), std::memory_order_relaxed);
+  sum_.fetch_add(src.sum(), std::memory_order_relaxed);
+  if (src.count() > 0) {
+    update_min(src.min());
+    update_max(src.max());
+  }
+}
+
+/// Find-or-create by canonical key (merge path: the key is already built).
+/// Applies the same cardinality guard as get_series, collapsing into the
+/// family's overflow series past the cap.
+template <typename T>
+T* Registry::series_by_key(std::map<std::string, std::unique_ptr<T>>& m,
+                           const std::string& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = m.find(key);
+  if (it != m.end()) return it->second.get();
+  const std::size_t total =
+      counters_.size() + gauges_.size() + histograms_.size();
+  std::string use = key;
+  if (total >= cfg_.max_series) {
+    dropped_series_.fetch_add(1, std::memory_order_relaxed);
+    const auto brace = key.find('{');
+    const std::string family =
+        brace == std::string::npos ? key : key.substr(0, brace);
+    use = series_key(family, {{"overflow", "true"}});
+    it = m.find(use);
+    if (it != m.end()) return it->second.get();
+  }
+  auto owned = std::make_unique<T>();
+  T* raw = owned.get();
+  m.emplace(std::move(use), std::move(owned));
+  return raw;
+}
+
+void Registry::merge_from(const Registry& src) {
+  // Snapshot the source key sets first: both registries are quiescent by
+  // contract, but holding both mutexes at once would invite lock-order
+  // trouble for no benefit.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  {
+    std::lock_guard<std::mutex> lk(src.mu_);
+    for (const auto& [k, v] : src.counters_) counters.emplace_back(k, v.get());
+    for (const auto& [k, v] : src.gauges_) gauges.emplace_back(k, v.get());
+    for (const auto& [k, v] : src.histograms_)
+      histograms.emplace_back(k, v.get());
+  }
+  for (const auto& [k, c] : counters) {
+    Counter* dst = series_by_key(counters_, k);
+    if (c->value() != 0) dst->inc(c->value());
+  }
+  for (const auto& [k, g] : gauges) {
+    series_by_key(gauges_, k)->add(g->value());
+  }
+  for (const auto& [k, h] : histograms) {
+    series_by_key(histograms_, k)->merge_from(*h);
+  }
+}
+
 Counter* Registry::counter(const std::string& name, Labels labels) {
   return get_series(counters_, name, std::move(labels));
 }

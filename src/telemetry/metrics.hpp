@@ -100,6 +100,10 @@ class Histogram {
     return buckets_.at(i).load(std::memory_order_relaxed);
   }
 
+  /// Fold another histogram's samples in (bucket-wise sum, min/max
+  /// combine). Used by Registry::merge_from; `src` must be quiescent.
+  void merge_from(const Histogram& src);
+
  private:
   void update_min(u64 v) {
     u64 cur = min_.load(std::memory_order_relaxed);
@@ -168,10 +172,23 @@ class Registry {
   /// The canonical series key: name{k1="v1",k2="v2"} with sorted labels.
   static std::string series_key(const std::string& name, Labels labels);
 
+  /// Fold every series of `src` into this registry: counters and
+  /// histograms sum, gauges accumulate via add() (shard-partitioned gauges
+  /// like ht_host_vms then read as fleet totals). Series are matched by
+  /// their canonical key, so merging N per-shard registries in a fixed
+  /// order into a fresh registry is deterministic — the basis of the
+  /// sharded runners' byte-identical merged snapshots. The cardinality
+  /// guard applies as usual (overflowing series collapse per family).
+  /// `src` must be quiescent (its shard joined); src != this.
+  void merge_from(const Registry& src);
+
  private:
   template <typename T>
   T* get_series(std::map<std::string, std::unique_ptr<T>>& m,
                 const std::string& name, Labels labels);
+  template <typename T>
+  T* series_by_key(std::map<std::string, std::unique_ptr<T>>& m,
+                   const std::string& key);
 
   Config cfg_;
   mutable std::mutex mu_;

@@ -9,6 +9,7 @@
 // lines into its ring so dumps carry the log tail.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <iostream>
 #include <mutex>
@@ -20,13 +21,23 @@ namespace hvsim::util {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-LogLevel& log_level();
-
-inline void set_log_level(LogLevel lvl) { log_level() = lvl; }
-
-inline LogLevel& log_level() {
-  static LogLevel level = LogLevel::kWarn;
+namespace detail {
+// The level gate is read on every HVSIM_LOG site from every thread (the
+// async channel consumer, campaign shard workers); an atomic keeps the
+// hot read one relaxed load and TSan-clean against a concurrent
+// set_log_level() from a test fixture or the main thread.
+inline std::atomic<LogLevel>& log_level_ref() {
+  static std::atomic<LogLevel> level{LogLevel::kWarn};
   return level;
+}
+}  // namespace detail
+
+inline LogLevel log_level() {
+  return detail::log_level_ref().load(std::memory_order_relaxed);
+}
+
+inline void set_log_level(LogLevel lvl) {
+  detail::log_level_ref().store(lvl, std::memory_order_relaxed);
 }
 
 inline const char* level_name(LogLevel lvl) {

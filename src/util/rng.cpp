@@ -17,6 +17,17 @@ u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+u64 stream_seed(u64 base, u64 stream) {
+  // Two SplitMix64 steps keyed by base, with the stream index folded in
+  // between: adjacent indices land in decorrelated states, and collisions
+  // across (base, stream) pairs are no likelier than raw 64-bit chance.
+  u64 x = base;
+  u64 a = splitmix64(x);
+  x ^= stream * 0xD1B54A32D192ED03ull + 0x8BB84B93962EACC9ull;
+  u64 b = splitmix64(x);
+  return a ^ rotl(b, 23);
+}
+
 Rng::Rng(u64 seed) {
   u64 sm = seed;
   for (auto& s : s_) s = splitmix64(sm);

@@ -12,6 +12,17 @@
 
 namespace hvsim::util {
 
+/// Derive the seed of an independent RNG stream from a base seed and a
+/// stream index (SplitMix64 over the pair). This is the ONLY sanctioned
+/// way to key per-job / per-shard randomness in parallel execution: the
+/// stream is a pure function of (base, index), never of which thread runs
+/// the job or in what order — which is what makes sharded campaigns
+/// bit-identical at any thread count. Deliberately, there is NO global or
+/// thread-local default Rng anywhere in this library; all generators are
+/// value-owned by the component that consumes them, so shards cannot race
+/// on hidden generator state.
+u64 stream_seed(u64 base, u64 stream);
+
 /// xoshiro256** seeded through SplitMix64. Small, fast, and good enough for
 /// simulation purposes; not cryptographic.
 class Rng {

@@ -1,0 +1,286 @@
+// Serial-vs-parallel differential harness: the same campaign grid run at
+// threads=1/2/8 must produce BYTE-IDENTICAL canonical artifacts (outcome
+// table, merged telemetry snapshot, merged journal), and a fleet scenario
+// driven by exec::ShardedFleetHost must match the serial
+// FleetSupervisor::run_until arm alarm-for-alarm at any shard count.
+//
+// These tests are the determinism proof the exec layer's design leans on:
+// per-job RNG streams keyed by job index, slot-array results, canonical
+// single-threaded merges, and barrier-confined cross-VM decisions. They
+// run under the TSan preset too, so any data race that could silently
+// break the equivalence also fails loudly.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hypertap.hpp"
+#include "exec/sharded_campaign.hpp"
+#include "exec/sharded_fleet.hpp"
+#include "fi/campaign.hpp"
+#include "fi/locations.hpp"
+#include "hv/multi_vm.hpp"
+#include "recovery/checkpoint.hpp"
+#include "recovery/fleet.hpp"
+#include "recovery/recovery_manager.hpp"
+#include "workloads/make.hpp"
+
+namespace hypertap {
+namespace {
+
+using recovery::Checkpointer;
+using recovery::FleetSupervisor;
+using recovery::RecoveryManager;
+using recovery::RecoveryPolicy;
+
+const std::vector<os::KernelLocation>& locs() {
+  static const auto l = fi::generate_locations(2014);
+  return l;
+}
+
+// ---------------------------------------------------------------------
+// Campaign differential: threads=1 is the serial reference arm.
+// ---------------------------------------------------------------------
+
+/// A small but varied slice of the real §VIII-A2 grid: every 5th cell of a
+/// stride-3 grid (several locations, all four workloads, both persistence
+/// and preemption axes), with the observation windows shortened so one job
+/// is milliseconds of wall clock instead of seconds.
+std::vector<fi::RunConfig> small_grid() {
+  const auto full = fi::build_grid(locs(), 3, 2014);
+  std::vector<fi::RunConfig> grid;
+  for (std::size_t i = 0; i < full.size() && grid.size() < 12; i += 5) {
+    fi::RunConfig cfg = full[i];
+    cfg.detect_threshold = 2'000'000'000;
+    cfg.propagation_window = 4'000'000'000;
+    cfg.max_workload_time = 4'000'000'000;
+    grid.push_back(cfg);
+  }
+  return grid;
+}
+
+exec::CampaignReport run_arm(int threads) {
+  exec::CampaignOptions opts;
+  opts.threads = threads;
+  opts.reseed_base = 77;  // job seeds become pure functions of job index
+  opts.per_job_telemetry = true;
+  opts.per_job_journal = true;
+  exec::ShardedCampaignRunner runner(locs(), opts);
+  return runner.run(small_grid());
+}
+
+TEST(ParallelDeterminism, CampaignArtifactsAreByteIdenticalAcrossThreadCounts) {
+  const auto serial = run_arm(1);
+  ASSERT_EQ(serial.jobs_run, serial.jobs.size());
+  EXPECT_EQ(serial.steals, 0u) << "one worker cannot steal";
+  ASSERT_FALSE(serial.outcome_table.empty());
+  ASSERT_FALSE(serial.merged_metrics_json.empty());
+  ASSERT_GT(serial.merged_journal_records, 0u);
+
+  for (const int threads : {2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const auto par = run_arm(threads);
+    ASSERT_EQ(par.jobs.size(), serial.jobs.size());
+
+    // The canonical artifacts, byte for byte.
+    EXPECT_EQ(par.outcome_table, serial.outcome_table);
+    EXPECT_EQ(par.merged_metrics_json, serial.merged_metrics_json);
+    EXPECT_EQ(par.merged_metrics_prometheus,
+              serial.merged_metrics_prometheus);
+    EXPECT_EQ(par.merged_journal_records, serial.merged_journal_records);
+    EXPECT_EQ(par.merged_journal_digest, serial.merged_journal_digest);
+
+    // Slot-level agreement (stronger than the table: includes raw fields
+    // the table rounds into text).
+    for (std::size_t i = 0; i < par.jobs.size(); ++i) {
+      const auto& a = serial.jobs[i];
+      const auto& b = par.jobs[i];
+      EXPECT_EQ(b.cfg.seed, a.cfg.seed) << "job " << i;
+      EXPECT_EQ(b.result.outcome, a.result.outcome) << "job " << i;
+      EXPECT_EQ(b.result.activation, a.result.activation) << "job " << i;
+      EXPECT_EQ(b.result.first_alarm, a.result.first_alarm) << "job " << i;
+      EXPECT_EQ(b.result.full_alarm, a.result.full_alarm) << "job " << i;
+      EXPECT_EQ(b.result.vcpus_hung, a.result.vcpus_hung) << "job " << i;
+      EXPECT_EQ(b.result.journal_records, a.result.journal_records)
+          << "job " << i;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, ReseedIsAPureFunctionOfJobIndex) {
+  // Two independent runners with the same reseed_base must assign the same
+  // seeds — and a different base must not.
+  const auto a = run_arm(2);
+  const auto b = run_arm(8);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  bool any_differs_from_grid = false;
+  const auto grid = small_grid();
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].cfg.seed, b.jobs[i].cfg.seed);
+    EXPECT_EQ(a.jobs[i].cfg.seed, util::stream_seed(77, i));
+    if (a.jobs[i].cfg.seed != grid[i].seed) any_differs_from_grid = true;
+  }
+  EXPECT_TRUE(any_differs_from_grid) << "reseed_base must actually reseed";
+}
+
+// ---------------------------------------------------------------------
+// Fleet differential: serial FleetSupervisor::run_until vs
+// exec::ShardedFleetHost at several shard counts.
+// ---------------------------------------------------------------------
+
+hv::MachineConfig small_mc() {
+  hv::MachineConfig mc;
+  mc.num_vcpus = 2;
+  mc.phys_mem_bytes = 8ull << 20;
+  return mc;
+}
+
+/// One fully wired fleet scenario: 3 VMs with staggered make workloads,
+/// per-VM HyperTap + Checkpointer + RecoveryManager + telemetry, a
+/// supervisor managing all of them, and alarms injected into VM 0 (4 s)
+/// and VM 2 (6.5 s) so remediation queues through the concurrency gate.
+/// Construction order is fixed, so two instances are identical by
+/// construction; only the DRIVER differs between arms.
+struct FleetArm {
+  // Declaration order is destruction order in reverse: the telemetry
+  // bundles must outlive the HyperTaps/managers wired to them (their
+  // destructors detach from the bundle's flight recorder), and the host
+  // must outlive everything that references its VMs.
+  hv::MultiVmHost host;
+  std::vector<std::unique_ptr<telemetry::Telemetry>> tels;
+  std::vector<std::unique_ptr<HyperTap>> hts;
+  std::vector<std::unique_ptr<Checkpointer>> cks;
+  std::vector<std::unique_ptr<RecoveryManager>> rms;
+  std::unique_ptr<FleetSupervisor> fleet;
+  std::vector<std::vector<SimTime>> done;
+};
+
+std::unique_ptr<FleetArm> make_fleet() {
+  constexpr int kVms = 3;
+  auto a = std::make_unique<FleetArm>();
+  for (int i = 0; i < kVms; ++i) a->host.add_vm(small_mc());
+  for (int i = 0; i < kVms; ++i) {
+    a->host.vm(i).kernel.register_locations(locs());
+    a->hts.push_back(std::make_unique<HyperTap>(a->host.vm(i)));
+    a->host.vm(i).kernel.boot();
+  }
+  a->done.resize(kVms);
+  for (int i = 0; i < kVms; ++i) {
+    auto& vm = a->host.vm(i);
+    workloads::MakeJobWorkload::Config mcfg;
+    mcfg.units = 80 + 40 * i;  // staggered finish times
+    auto w = std::make_unique<workloads::MakeJobWorkload>(mcfg, &locs(),
+                                                          7'000 + i);
+    auto* slot = &a->done[i];
+    slot->assign(1, -1);
+    w->set_on_done([slot](SimTime t) { slot->at(0) = t; });
+    vm.kernel.spawn("make", 1000, 1000, 1, std::move(w));
+  }
+  Checkpointer::Options copts;
+  copts.period = 1'000'000'000;
+  RecoveryPolicy pol;
+  pol.confirm_window = 500'000'000;
+  pol.detect_latency_bound = 2'000'000'000;
+  pol.probation = 2'000'000'000;
+  for (int i = 0; i < kVms; ++i) {
+    a->cks.push_back(std::make_unique<Checkpointer>(a->host.vm(i), copts));
+    a->rms.push_back(std::make_unique<RecoveryManager>(
+        a->host.vm(i), *a->hts[i], *a->cks[i], pol));
+    a->cks[i]->start();
+  }
+  a->fleet = std::make_unique<FleetSupervisor>(a->host);
+  for (int i = 0; i < kVms; ++i) {
+    a->fleet->manage(static_cast<std::size_t>(i), *a->rms[i]);
+    a->tels.push_back(std::make_unique<telemetry::Telemetry>());
+    a->hts[i]->set_telemetry(a->tels[i].get(), i);
+    a->rms[i]->set_telemetry(a->tels[i].get(), i);
+  }
+  const auto inject = [&a](int vm_index, SimTime at) {
+    auto* ht = a->hts[vm_index].get();
+    auto* vm = &a->host.vm(vm_index);
+    vm->machine.schedule(at, [ht, vm]() {
+      ht->alarms().raise(
+          Alarm{vm->machine.now(), "test", "vcpu-hang", "", 0, 0});
+    });
+  };
+  inject(0, 4'000'000'000);
+  inject(2, 6'500'000'000);
+  return a;
+}
+
+struct FleetArtifacts {
+  std::string alarms;
+  std::string metrics;
+  FleetSupervisor::Ledger ledger;
+  std::vector<SimTime> clocks;
+  std::vector<SimTime> done;
+};
+
+FleetArtifacts collect(const FleetArm& a) {
+  std::vector<const AlarmSink*> sinks;
+  std::vector<const telemetry::Registry*> regs;
+  for (const auto& ht : a.hts) sinks.push_back(&ht->alarms());
+  for (const auto& t : a.tels) regs.push_back(&t->registry);
+  FleetArtifacts out;
+  out.alarms = exec::alarm_ledger_text(sinks);
+  out.metrics = exec::merged_metrics_json(regs);
+  out.ledger = a.fleet->ledger();
+  for (std::size_t i = 0; i < a.host.num_vms(); ++i) {
+    out.clocks.push_back(
+        const_cast<FleetArm&>(a).host.vm(i).machine.now());
+  }
+  for (const auto& d : a.done) out.done.push_back(d.at(0));
+  return out;
+}
+
+TEST(ParallelDeterminism, ShardedFleetMatchesSerialSupervisorExactly) {
+  constexpr SimTime kEnd = 20'000'000'000;
+
+  // Reference arm: the existing serial driver.
+  auto serial = make_fleet();
+  serial->fleet->run_until(kEnd);
+  const auto want = collect(*serial);
+  ASSERT_FALSE(want.alarms.empty()) << "scenario must raise alarms";
+  ASSERT_GE(want.ledger.remediations, 2u)
+      << "both injected hangs must be remediated";
+
+  for (const int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    auto arm = make_fleet();
+    exec::ShardedFleetHost sharded(arm->host, {threads});
+    sharded.set_supervisor(arm->fleet.get());
+    sharded.run_until(kEnd);
+    const auto got = collect(*arm);
+
+    EXPECT_EQ(got.alarms, want.alarms) << "alarm ledgers must diff clean";
+    EXPECT_EQ(got.metrics, want.metrics);
+    EXPECT_EQ(got.ledger.remediations, want.ledger.remediations);
+    EXPECT_EQ(got.ledger.recoveries, want.ledger.recoveries);
+    EXPECT_EQ(got.ledger.escalations, want.ledger.escalations);
+    EXPECT_EQ(got.ledger.failed_vms, want.ledger.failed_vms);
+    EXPECT_EQ(got.ledger.mttr_total, want.ledger.mttr_total);
+    EXPECT_EQ(got.ledger.mttr_samples, want.ledger.mttr_samples);
+    EXPECT_EQ(got.ledger.checkpoint_bytes, want.ledger.checkpoint_bytes);
+    EXPECT_EQ(got.clocks, want.clocks)
+        << "every VM clock must land on the same instant";
+    EXPECT_EQ(got.done, want.done)
+        << "workload completion times must match to the tick";
+    if (threads > 1) {
+      EXPECT_GT(sharded.vm_steps(), 0u);
+      EXPECT_EQ(sharded.threads(), threads);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, ShardedFleetEpochAdoptsSupervisorTick) {
+  auto arm = make_fleet();
+  exec::ShardedFleetHost sharded(arm->host, {2});
+  sharded.set_supervisor(arm->fleet.get());
+  sharded.run_until(2'000'000'000);
+  // 2 s at the supervisor's 250 ms tick = 8 barriers.
+  EXPECT_EQ(sharded.epochs(), 8u);
+}
+
+}  // namespace
+}  // namespace hypertap
