@@ -1,0 +1,181 @@
+// Fuzz-campaign bench + CI smoke gate.
+//
+// Arms the test-only planted decode bug, records a seed corpus from real
+// fi::Campaign scenarios, and fuzzes under a wall-clock budget. Gates
+// (exit status != 0 on any failure):
+//   1. the campaign FINDS the planted bug within the budget;
+//   2. every finding auto-shrinks to a verified reproducer of <= 10
+//      records (no unshrunk findings escape to CI);
+//   3. a fixed-exec differential arm at threads=1 vs --threads produces
+//      byte-identical summaries, corpus digests and reproducers.
+// Emits BENCH_fuzz_campaign.json (execs/sec, time-to-first-finding,
+// shrink ratio) via bench_report.hpp.
+//
+// Flags: --seconds N (wall budget for the hunt phase, default 30)
+//        --seed N    (master seed, default 2014)
+//        --threads N (worker threads, default 4)
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "bench_report.hpp"
+#include "exec/fuzz_campaign.hpp"
+#include "fi/campaign.hpp"
+#include "fi/locations.hpp"
+
+using namespace hvsim;
+using namespace hypertap;
+
+namespace {
+
+double now_s() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<fuzz::CorpusEntry> record_seeds(u64 seed) {
+  const auto locations = fi::generate_locations(2014);
+  fi::SeedCorpusConfig scfg;
+  scfg.seed = seed;
+  scfg.scenarios = 3;
+  scfg.max_records = 400;
+  auto seeds = fi::export_seed_corpus(locations, scfg);
+  std::vector<fuzz::CorpusEntry> entries;
+  for (auto& sj : seeds) {
+    entries.push_back(fuzz::make_entry(sj.name, *sj.store));
+  }
+  return entries;
+}
+
+exec::FuzzOptions base_options(u64 seed, int threads) {
+  exec::FuzzOptions opts;
+  opts.threads = threads;
+  opts.master_seed = seed;
+  opts.batch = 64;
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = 30;
+  u64 seed = 2014;
+  int threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      const std::size_t n = std::strlen(flag);
+      if (arg.compare(0, n, flag) != 0) return nullptr;
+      if (arg.size() > n && arg[n] == '=') return arg.c_str() + n + 1;
+      if (arg.size() == n && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (const char* v = value("--seconds")) {
+      seconds = std::atof(v);
+    } else if (const char* v = value("--seed")) {
+      seed = static_cast<u64>(std::atoll(v));
+    } else if (const char* v = value("--threads")) {
+      threads = std::atoi(v);
+    }
+  }
+
+  int failures = 0;
+  auto check = [&failures](bool ok, const std::string& what) {
+    std::cout << (ok ? "PASS " : "FAIL ") << what << "\n";
+    if (!ok) ++failures;
+  };
+
+  journal::arm_planted_decode_bug(true);
+
+  const double t_seed0 = now_s();
+  const auto seeds = record_seeds(seed);
+  std::cout << "seed corpus: " << seeds.size() << " scenarios ("
+            << (now_s() - t_seed0) << " s)\n";
+  check(!seeds.empty(), "seed corpus recorded from campaign scenarios");
+
+  // ---- Phase 1: hunt the planted bug under the wall-clock budget -------
+  exec::FuzzOptions opts = base_options(seed, threads);
+  opts.max_execs = 1u << 20;  // bounded by the budget, not by count
+  opts.repro_dir = ".";
+  exec::StopSource stop;
+  opts.stop = stop.token();
+  const double t0 = now_s();
+  double first_finding_s = -1;
+  opts.on_round = [&](u64, u64 findings) {
+    if (findings > 0 && first_finding_s < 0) first_finding_s = now_s() - t0;
+    if (findings > 0 || now_s() - t0 > seconds) stop.request_stop();
+  };
+  exec::FuzzCampaignRunner runner(seeds, std::move(opts));
+  const exec::FuzzReport report = runner.run();
+  const double wall = now_s() - t0;
+
+  std::cout << report.summary;
+  std::cout << "wall=" << wall << " s execs=" << report.execs << "\n";
+
+  const double execs_per_s =
+      wall > 0 ? static_cast<double>(report.seeds + report.execs) / wall : 0;
+
+  check(!report.findings.empty(),
+        "planted decode bug found within the time budget");
+  bool planted_found = false;
+  double shrink_ratio = 0;
+  for (const auto& f : report.findings) {
+    if (f.signature.verdict == fuzz::Verdict::kCrash &&
+        f.signature.detail.find("planted") != std::string::npos) {
+      planted_found = true;
+      if (f.shrink.records_after > 0) {
+        shrink_ratio = static_cast<double>(f.shrink.records_before) /
+                       static_cast<double>(f.shrink.records_after);
+      }
+    }
+    check(f.shrink.verified,
+          "finding " + f.signature.str() + " shrunk and re-verified");
+    check(f.shrink.records_after <= 10,
+          "finding " + f.signature.str() + " reproducer <= 10 records (got " +
+              std::to_string(f.shrink.records_after) + ")");
+  }
+  check(planted_found, "finding signature identifies the planted bug");
+
+  // ---- Phase 2: fixed-exec determinism differential --------------------
+  // Small fixed budget (independent of wall clock) at threads=1 vs
+  // --threads: the canonical artifacts must be byte-identical.
+  auto run_arm = [&](int t) {
+    exec::FuzzOptions o = base_options(seed, t);
+    o.max_execs = 128;
+    return exec::FuzzCampaignRunner(seeds, std::move(o)).run();
+  };
+  const exec::FuzzReport serial = run_arm(1);
+  const exec::FuzzReport parallel = run_arm(std::max(2, threads));
+  check(serial.summary == parallel.summary,
+        "threads=1 and threads=N summaries byte-identical");
+  check(serial.corpus_digest == parallel.corpus_digest,
+        "corpus digests identical across thread counts");
+  check(serial.coverage_digest == parallel.coverage_digest,
+        "coverage digests identical across thread counts");
+
+  journal::arm_planted_decode_bug(false);
+
+  htbench::BenchReport bench("fuzz_campaign");
+  bench.param("seed", static_cast<long long>(seed))
+      .param("threads", static_cast<long long>(threads))
+      .param("seconds", seconds)
+      .metric("execs_per_s", execs_per_s)
+      .metric("time_to_first_finding_s",
+              first_finding_s >= 0 ? first_finding_s : -1)
+      .metric("shrink_ratio", shrink_ratio)
+      .metric("corpus_entries", static_cast<double>(report.corpus_entries))
+      .metric("coverage_buckets", static_cast<double>(report.coverage_buckets))
+      .metric("findings", static_cast<double>(report.findings.size()))
+      .metric("deterministic", failures == 0 ? 1.0 : 0.0);
+  bench.write();
+
+  if (failures != 0) {
+    std::cout << failures << " check(s) failed\n";
+    return 1;
+  }
+  std::cout << "fuzz campaign gate passed\n";
+  return 0;
+}

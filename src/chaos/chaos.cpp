@@ -5,27 +5,31 @@
 namespace hypertap::chaos {
 
 void ChaosEngine::intercept(const Event& e, std::vector<Event>& out) {
+  // One private RNG stream per intercepted event: all draws for this
+  // event (fault coin flips AND the corruption shape) come from it, so no
+  // fault decision ever perturbs another event's stream.
+  util::Rng rng(util::stream_seed(cfg_.seed, stats_.intercepted));
   ++stats_.intercepted;
   const std::size_t preexisting = held_.size();
 
-  if (cfg_.drop_p > 0 && rng_.chance(cfg_.drop_p)) {
+  if (cfg_.drop_p > 0 && rng.chance(cfg_.drop_p)) {
     ++stats_.dropped;
   } else {
     Event d = e;
-    if (cfg_.corrupt_p > 0 && rng_.chance(cfg_.corrupt_p)) {
-      corrupt_event(d, rng_);
+    if (cfg_.corrupt_p > 0 && rng.chance(cfg_.corrupt_p)) {
+      corrupt_event(d, rng);
       ++stats_.corrupted;
     }
-    if (cfg_.delay_p > 0 && rng_.chance(cfg_.delay_p)) {
+    if (cfg_.delay_p > 0 && rng.chance(cfg_.delay_p)) {
       held_.push_back({d, -1});
       ++stats_.delayed;
-    } else if (cfg_.reorder_p > 0 && rng_.chance(cfg_.reorder_p)) {
+    } else if (cfg_.reorder_p > 0 && rng.chance(cfg_.reorder_p)) {
       const int skew = std::max(1, cfg_.reorder_skew_max);
-      held_.push_back({d, static_cast<int>(rng_.range(1, skew))});
+      held_.push_back({d, static_cast<int>(rng.range(1, skew))});
       ++stats_.reordered;
     } else {
       out.push_back(d);
-      if (cfg_.dup_p > 0 && rng_.chance(cfg_.dup_p)) {
+      if (cfg_.dup_p > 0 && rng.chance(cfg_.dup_p)) {
         out.push_back(d);
         ++stats_.duplicated;
       }
@@ -123,6 +127,13 @@ void ChaosEngine::corrupt_checkpoint(recovery::Checkpoint& cp,
   // what guarantees verify() refuses the snapshot).
   for (int i = 0; i < 4 && !cp.mem.empty(); ++i) {
     cp.mem[rng.below(cp.mem.size())] ^= static_cast<u8>(1u << rng.below(8));
+  }
+}
+
+void flip_bits(std::vector<u8>& bytes, util::Rng& rng, int flips) {
+  if (bytes.empty()) return;
+  for (int i = 0; i < flips; ++i) {
+    bytes[rng.below(bytes.size())] ^= static_cast<u8>(1u << rng.below(8));
   }
 }
 

@@ -15,8 +15,12 @@
 //   torn tail  — a crash mid-append leaves a partial journal record
 //   bad ckpt   — a checkpoint's register file is scrambled at rest
 //
-// Everything is driven by one seeded Rng, so a chaos run is exactly as
-// reproducible as a clean one. The hardening this engine exists to test
+// Every event draws its faults from its own RNG stream, keyed by
+// stream_seed(seed, intercept_index): whether event N was dropped or
+// corrupted can never shift the draws — and thus the injected faults —
+// of event N+1, so a chaos run is exactly as reproducible as a clean one
+// and individual faults are stable under config perturbation. The
+// hardening this engine exists to test
 // lives in the DeliveryGuard (checksum validation, dedup, bounded
 // reordering, gap synthesis) and the journal's quarantine/truncation
 // logic; the chaos_sweep bench measures what that hardening buys.
@@ -76,7 +80,7 @@ class ChaosEngine final : public EventInterceptor {
     }
   };
 
-  explicit ChaosEngine(ChaosConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
+  explicit ChaosEngine(ChaosConfig cfg) : cfg_(cfg) {}
 
   // EventInterceptor
   void intercept(const Event& e, std::vector<Event>& out) override;
@@ -112,9 +116,14 @@ class ChaosEngine final : public EventInterceptor {
   };
 
   ChaosConfig cfg_;
-  util::Rng rng_;
   Stats stats_;
   std::vector<Held> held_;
 };
+
+/// Flip `flips` independently chosen single bits anywhere in `bytes`
+/// (deterministically, from `rng`). The raw byte-level corruption
+/// primitive behind the journal fuzzer's CRC-breaking mutations; no-op on
+/// an empty buffer.
+void flip_bits(std::vector<u8>& bytes, util::Rng& rng, int flips);
 
 }  // namespace hypertap::chaos

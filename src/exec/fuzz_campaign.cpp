@@ -1,0 +1,244 @@
+#include "exec/fuzz_campaign.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+
+#include "exec/worker_pool.hpp"
+#include "util/rng.hpp"
+
+namespace hypertap::exec {
+
+namespace {
+
+/// One mutant execution's slot in the round's pre-sized result array.
+struct Slot {
+  bool run = false;
+  std::vector<journal::RawRecord> records;
+  fuzz::OracleResult result;
+};
+
+void write_repro(const std::string& path,
+                 const std::vector<journal::RawRecord>& records) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  for (const journal::RawRecord& r : records) {
+    os.write(reinterpret_cast<const char*>(r.bytes.data()),
+             static_cast<long>(r.bytes.size()));
+  }
+}
+
+}  // namespace
+
+FuzzCampaignRunner::FuzzCampaignRunner(std::vector<fuzz::CorpusEntry> seeds,
+                                       FuzzOptions opts)
+    : seeds_(std::move(seeds)), opts_(std::move(opts)) {}
+
+FuzzReport FuzzCampaignRunner::run() {
+  FuzzReport report;
+  report.threads = std::max(1, opts_.threads);
+  if (seeds_.empty()) {
+    report.summary = "# fuzz campaign: no seeds\n";
+    return report;
+  }
+
+  // Live progress instruments (updated only at the single-threaded fold,
+  // so the series is schedule-independent).
+  telemetry::Counter* execs_c = nullptr;
+  telemetry::Counter* findings_c = nullptr;
+  telemetry::Counter* shrink_c = nullptr;
+  telemetry::Gauge* corpus_g = nullptr;
+  telemetry::Gauge* corpus_bytes_g = nullptr;
+  telemetry::Gauge* coverage_g = nullptr;
+  if (opts_.progress != nullptr) {
+    auto& reg = opts_.progress->registry;
+    execs_c = reg.counter("ht_fuzz_execs_total");
+    findings_c = reg.counter("ht_fuzz_unique_signatures_total");
+    shrink_c = reg.counter("ht_fuzz_shrink_runs_total");
+    corpus_g = reg.gauge("ht_fuzz_corpus_entries");
+    corpus_bytes_g = reg.gauge("ht_fuzz_corpus_bytes");
+    coverage_g = reg.gauge("ht_fuzz_coverage_buckets");
+  }
+
+  WorkerPool pool(report.threads);
+  // One Oracle (and thus one booted VM) per worker, plus one for the fold
+  // thread (seed classification re-checks and the shrinker). All VMs boot
+  // identically and replay never mutates them, so which worker classifies
+  // a mutant is invisible in the results.
+  std::vector<std::unique_ptr<fuzz::Oracle>> oracles;
+  oracles.reserve(static_cast<std::size_t>(report.threads) + 1);
+  for (int i = 0; i < report.threads + 1; ++i) {
+    oracles.push_back(std::make_unique<fuzz::Oracle>(opts_.oracle));
+  }
+  fuzz::Oracle& fold_oracle = *oracles.back();
+  auto worker_oracle = [&]() -> fuzz::Oracle& {
+    const int w = pool.current_worker();
+    return *oracles[w >= 0 ? static_cast<std::size_t>(w)
+                           : oracles.size() - 1];
+  };
+
+  const fuzz::Mutator mutator(opts_.mutator);
+  const fuzz::Shrinker shrinker(opts_.shrinker);
+  fuzz::Corpus corpus;
+  fuzz::CoverageMap coverage;  // global class-bitmask map
+  std::map<fuzz::Signature, std::size_t> finding_index;
+
+  if (!opts_.repro_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opts_.repro_dir, ec);
+  }
+
+  // Classify one failing execution at the fold: dedupe by signature; a new
+  // signature is shrunk immediately and written out.
+  auto fold_failure = [&](u64 mutant_index,
+                          std::vector<journal::RawRecord>&& records,
+                          const fuzz::OracleResult& result) {
+    if (report.first_finding_exec == 0) {
+      report.first_finding_exec = report.seeds + report.execs;
+    }
+    const auto it = finding_index.find(result.signature);
+    if (it != finding_index.end()) {
+      ++report.findings[it->second].duplicates;
+      return;
+    }
+    FuzzFinding f;
+    f.signature = result.signature;
+    f.mutant_index = mutant_index;
+    f.input = std::move(records);
+    f.repro = shrinker.shrink(fold_oracle, f.input, f.signature, f.shrink);
+    report.shrink_execs += f.shrink.oracle_runs;
+    HT_COUNT_N(shrink_c, f.shrink.oracle_runs);
+    if (!opts_.repro_dir.empty()) {
+      f.repro_path =
+          opts_.repro_dir + "/repro_" + f.signature.slug() + ".journal";
+      write_repro(f.repro_path, f.repro);
+    }
+    finding_index.emplace(f.signature, report.findings.size());
+    report.findings.push_back(std::move(f));
+    HT_COUNT(findings_c);
+  };
+
+  // ---- Seed phase: classify every seed scenario ------------------------
+  // Parallel execution into slots, canonical fold in seed order. Clean
+  // seeds enter the corpus unconditionally (they are the substrate);
+  // failing seeds become findings with mutant_index = 0.
+  {
+    std::vector<Slot> slots(seeds_.size());
+    pool.parallel_for(seeds_.size(), [&](std::size_t i) {
+      if (opts_.stop.stop_requested()) return;
+      slots[i].result = worker_oracle().run(seeds_[i].records);
+      slots[i].run = true;
+    });
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (!slots[i].run) continue;
+      ++report.seeds;
+      HT_COUNT(execs_c);
+      coverage.merge_new_classes(slots[i].result.coverage);
+      if (slots[i].result.signature.failing()) {
+        fold_failure(0, std::move(seeds_[i].records), slots[i].result);
+      } else {
+        seeds_[i].added_at_exec = report.seeds;
+        corpus.add(std::move(seeds_[i]));
+      }
+    }
+  }
+
+  // ---- Mutant rounds ----------------------------------------------------
+  u64 next_mutant = 0;
+  const u64 batch = std::max<u64>(1, opts_.batch);
+  while (report.execs < opts_.max_execs && !corpus.empty() &&
+         !opts_.stop.stop_requested()) {
+    const u64 n = std::min(batch, opts_.max_execs - report.execs);
+    std::vector<Slot> slots(static_cast<std::size_t>(n));
+    const u64 base = next_mutant;
+    next_mutant += n;
+
+    pool.parallel_for(static_cast<std::size_t>(n), [&](std::size_t i) {
+      if (opts_.stop.stop_requested()) return;
+      const u64 mutant_index = base + i;
+      // THE determinism linchpin: all of this mutant's randomness flows
+      // from its index-keyed stream, and its parent comes from the
+      // round-start corpus snapshot — nothing depends on sibling mutants
+      // or on which worker runs it.
+      util::Rng rng(util::stream_seed(opts_.master_seed, mutant_index));
+      Slot& slot = slots[i];
+      slot.records = corpus.pick(rng).records;
+      mutator.mutate(slot.records, rng);
+      slot.result = worker_oracle().run(slot.records);
+      slot.run = true;
+    });
+
+    ++report.rounds;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (!slots[i].run) continue;
+      ++report.execs;
+      HT_COUNT(execs_c);
+      const u64 mutant_index = base + i;
+      const u64 fresh = coverage.merge_new_classes(slots[i].result.coverage);
+      if (slots[i].result.signature.failing()) {
+        fold_failure(mutant_index, std::move(slots[i].records),
+                     slots[i].result);
+      } else if (fresh > 0) {
+        fuzz::CorpusEntry e;
+        e.name = "m" + std::to_string(mutant_index);
+        e.records = std::move(slots[i].records);
+        e.added_at_exec = report.seeds + report.execs;
+        corpus.add(std::move(e));
+      }
+    }
+    HT_GAUGE_SET(corpus_g, static_cast<double>(corpus.size()));
+    HT_GAUGE_SET(corpus_bytes_g, static_cast<double>(corpus.total_bytes()));
+    HT_GAUGE_SET(coverage_g, static_cast<double>(coverage.buckets_hit()));
+    if (opts_.on_round) {
+      opts_.on_round(report.seeds + report.execs, report.findings.size());
+    }
+  }
+
+  report.corpus_entries = corpus.size();
+  report.corpus_bytes = corpus.total_bytes();
+  report.corpus_digest = corpus.digest();
+  report.coverage_buckets = coverage.buckets_hit();
+  report.coverage_digest = coverage.digest();
+  report.summary = summary_text(report);
+  return report;
+}
+
+std::string FuzzCampaignRunner::summary_text(const FuzzReport& r) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "# fuzz campaign: seeds=%llu execs=%llu rounds=%llu "
+                "corpus=%llu coverage=%llu findings=%zu\n",
+                static_cast<unsigned long long>(r.seeds),
+                static_cast<unsigned long long>(r.execs),
+                static_cast<unsigned long long>(r.rounds),
+                static_cast<unsigned long long>(r.corpus_entries),
+                static_cast<unsigned long long>(r.coverage_buckets),
+                r.findings.size());
+  out += line;
+  std::snprintf(line, sizeof line,
+                "# digests: corpus=%08x coverage=%08x first_finding_exec=%llu\n",
+                r.corpus_digest, r.coverage_digest,
+                static_cast<unsigned long long>(r.first_finding_exec));
+  out += line;
+  for (std::size_t i = 0; i < r.findings.size(); ++i) {
+    const FuzzFinding& f = r.findings[i];
+    std::snprintf(line, sizeof line,
+                  "finding=%zu sig=%s mutant=%llu dup=%llu "
+                  "records=%llu->%llu bytes=%llu->%llu verified=%d\n",
+                  i, f.signature.str().c_str(),
+                  static_cast<unsigned long long>(f.mutant_index),
+                  static_cast<unsigned long long>(f.duplicates),
+                  static_cast<unsigned long long>(f.shrink.records_before),
+                  static_cast<unsigned long long>(f.shrink.records_after),
+                  static_cast<unsigned long long>(f.shrink.bytes_before),
+                  static_cast<unsigned long long>(f.shrink.bytes_after),
+                  f.shrink.verified ? 1 : 0);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace hypertap::exec

@@ -1,0 +1,110 @@
+// Coverage-guided journal-mutation fuzzing campaign across the worker
+// pool — ShardedCampaignRunner's determinism recipe applied to fuzzing.
+//
+// The campaign proceeds in rounds of `batch` mutants. Within a round,
+// every mutant is a pure function of (master seed, mutant index, the
+// round-start corpus snapshot): its RNG is Rng(stream_seed(master,
+// mutant_index)), it picks a parent from the frozen corpus, mutates a
+// copy, and classifies it with the worker's own Oracle into a pre-sized
+// slot array. At the round barrier, a single thread folds the slots in
+// mutant-index order: coverage merges decide corpus admission, failing
+// verdicts dedupe into findings by signature, and each NEW signature is
+// immediately shrunk (ddmin) to a minimal reproducer and written out as
+// repro_<sig>.journal. Corpus and coverage only ever change at the fold,
+// so thread count and work-stealing schedule are invisible: same master
+// seed ⇒ byte-identical corpus, findings and reproducers at any
+// parallelism (tests/test_fuzz.cpp diffs threads=1 vs 8).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/stop_token.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/mutator.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/shrink.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace hypertap::exec {
+
+struct FuzzOptions {
+  int threads = 1;
+  u64 master_seed = 1;
+  /// Mutant executions to run (seed executions are extra).
+  u64 max_execs = 1024;
+  /// Mutants per round (the barrier granularity).
+  u64 batch = 64;
+
+  fuzz::OracleConfig oracle;
+  fuzz::Mutator::Config mutator;
+  fuzz::Shrinker::Config shrinker;
+
+  /// Cooperative cancellation: checked at round boundaries and before
+  /// each mutant execution.
+  StopToken stop;
+
+  /// Caller-owned bundle for live progress (ht_fuzz_execs_total,
+  /// ht_fuzz_findings_total, ht_fuzz_corpus_entries, ...). Live values are
+  /// schedule-independent because they are updated only at the fold.
+  telemetry::Telemetry* progress = nullptr;
+
+  /// Where repro_<sig>.journal artifacts are written ("" = don't write).
+  std::string repro_dir;
+
+  /// Invoked after each round's fold with (execs so far, findings so far).
+  std::function<void(u64 execs, u64 findings)> on_round;
+};
+
+struct FuzzFinding {
+  fuzz::Signature signature;
+  u64 mutant_index = 0;  ///< first mutant that hit this signature
+  u64 duplicates = 0;    ///< later executions with the same signature
+  std::vector<journal::RawRecord> input;  ///< the original failing mutant
+  std::vector<journal::RawRecord> repro;  ///< shrunk minimal reproducer
+  fuzz::ShrinkStats shrink;
+  std::string repro_path;  ///< "" unless repro_dir was set
+};
+
+struct FuzzReport {
+  u64 seeds = 0;          ///< seed-corpus executions
+  u64 execs = 0;          ///< mutant executions performed
+  u64 shrink_execs = 0;   ///< oracle runs spent inside the shrinker
+  u64 rounds = 0;
+  /// 1-based exec count at the first failing mutant; 0 = no findings.
+  u64 first_finding_exec = 0;
+
+  u64 corpus_entries = 0;
+  u64 corpus_bytes = 0;
+  u32 corpus_digest = 0;
+  u64 coverage_buckets = 0;
+  u32 coverage_digest = 0;
+
+  std::vector<FuzzFinding> findings;
+
+  /// Canonical human-readable summary — the byte-comparable surface
+  /// (schedule-dependent diagnostics excluded).
+  std::string summary;
+
+  // Diagnostics (excluded from `summary`).
+  int threads = 1;
+};
+
+class FuzzCampaignRunner {
+ public:
+  /// `seeds` become the initial corpus (each is oracle-classified first; a
+  /// seed that itself fails becomes a finding, not a corpus entry).
+  FuzzCampaignRunner(std::vector<fuzz::CorpusEntry> seeds, FuzzOptions opts);
+
+  /// Run the campaign to max_execs (or stop). Blocking.
+  FuzzReport run();
+
+  static std::string summary_text(const FuzzReport& r);
+
+ private:
+  std::vector<fuzz::CorpusEntry> seeds_;
+  FuzzOptions opts_;
+};
+
+}  // namespace hypertap::exec

@@ -498,4 +498,67 @@ RunResult run_one(const RunConfig& cfg,
   return res;
 }
 
+// ---------------------------------------------------------------------------
+// Seed-corpus export
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const char* workload_slug(WorkloadKind w) {
+  switch (w) {
+    case WorkloadKind::kHanoi:
+      return "hanoi";
+    case WorkloadKind::kMakeJ1:
+      return "make1";
+    case WorkloadKind::kMakeJ2:
+      return "make2";
+    case WorkloadKind::kHttpd:
+      return "httpd";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::vector<SeedJournal> export_seed_corpus(
+    const std::vector<os::KernelLocation>& locations,
+    const SeedCorpusConfig& scfg) {
+  std::vector<SeedJournal> out;
+  const std::vector<RunConfig> grid = build_grid(locations, 3, scfg.seed);
+  if (grid.empty()) return out;
+
+  const int want = std::max(1, scfg.scenarios);
+  // Spread the picks across the grid so scenarios differ in location,
+  // workload and fault shape, not just seed.
+  const std::size_t step = std::max<std::size_t>(
+      1, grid.size() / static_cast<std::size_t>(want));
+  for (int s = 0; s < want; ++s) {
+    RunConfig cfg = grid[(static_cast<std::size_t>(s) * step) % grid.size()];
+    cfg.detect_threshold = scfg.detect_threshold;
+    cfg.max_workload_time = scfg.max_workload_time;
+    cfg.propagation_window = scfg.propagation_window;
+
+    SeedJournal sj;
+    sj.name = "s" + std::to_string(s) + "-loc" + std::to_string(cfg.location) +
+              "-" + workload_slug(cfg.workload);
+    sj.store = std::make_unique<journal::MemoryJournalStore>();
+    cfg.journal_store = sj.store.get();
+    run_one(cfg, locations);
+    cfg.journal_store = nullptr;  // the returned cfg must not dangle
+    sj.cfg = cfg;
+
+    if (scfg.max_records > 0) {
+      auto records = journal::split_records(*sj.store);
+      if (records.size() > scfg.max_records) {
+        records.resize(scfg.max_records);
+        auto truncated = std::make_unique<journal::MemoryJournalStore>();
+        journal::join_records(*truncated, records);
+        sj.store = std::move(truncated);
+      }
+    }
+    out.push_back(std::move(sj));
+  }
+  return out;
+}
+
 }  // namespace hypertap::fi

@@ -3,6 +3,7 @@
 // the paper's five outcomes.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -121,5 +122,38 @@ RunResult run_one(const RunConfig& cfg,
 std::vector<RunConfig> build_grid(
     const std::vector<os::KernelLocation>& locations, int stride,
     u64 seed_base = 1);
+
+// ---------------------------------------------------------------------------
+// Seed-corpus export (journal-mutation fuzzing substrate)
+// ---------------------------------------------------------------------------
+
+struct SeedCorpusConfig {
+  u64 seed = 2014;
+  /// Distinct grid cells (scenarios) to record, spread across the grid.
+  int scenarios = 3;
+  /// Truncate each recorded journal to this many records (0 = keep all);
+  /// mutant executions replay the whole journal, so seed length is the
+  /// fuzzer's per-exec cost knob.
+  u64 max_records = 500;
+  // Shortened windows: a seed journal needs representative event traffic,
+  // not the full campaign observation budget.
+  SimTime detect_threshold = 2'000'000'000;
+  SimTime max_workload_time = 3'000'000'000;
+  SimTime propagation_window = 3'000'000'000;
+};
+
+/// One recorded scenario: the run's config plus its captured journal.
+struct SeedJournal {
+  std::string name;  ///< stable scenario label ("s0-loc12-make2")
+  RunConfig cfg;
+  std::unique_ptr<journal::MemoryJournalStore> store;
+};
+
+/// Record seed journals from real campaign scenarios: pick `scenarios`
+/// cells spread across the §VIII-A2 grid, run each with a journal attached,
+/// and truncate the capture to `max_records`. Deterministic in `scfg.seed`.
+std::vector<SeedJournal> export_seed_corpus(
+    const std::vector<os::KernelLocation>& locations,
+    const SeedCorpusConfig& scfg);
 
 }  // namespace hypertap::fi

@@ -1,0 +1,41 @@
+#include "fuzz/corpus.hpp"
+
+namespace hypertap::fuzz {
+
+CorpusEntry make_entry(std::string name, const journal::JournalStore& store) {
+  CorpusEntry e;
+  e.name = std::move(name);
+  e.records = journal::split_records(store);
+  return e;
+}
+
+const CorpusEntry& Corpus::pick(util::Rng& rng) const {
+  const std::size_t n = entries_.size();
+  if (n == 1 || rng.chance(0.5)) return entries_[rng.below(n)];
+  const std::size_t recent = n / 4 + 1;
+  return entries_[n - recent + rng.below(recent)];
+}
+
+u64 Corpus::total_bytes() const {
+  u64 b = 0;
+  for (const CorpusEntry& e : entries_) b += journal::total_bytes(e.records);
+  return b;
+}
+
+u32 Corpus::digest() const {
+  // Chain per-entry digests the same way store_digest chains segments.
+  u32 digest = 0;
+  std::vector<u8> block;
+  for (const CorpusEntry& e : entries_) {
+    block.assign(reinterpret_cast<const u8*>(&digest),
+                 reinterpret_cast<const u8*>(&digest) + sizeof(digest));
+    block.insert(block.end(), e.name.begin(), e.name.end());
+    for (const journal::RawRecord& r : e.records) {
+      block.insert(block.end(), r.bytes.begin(), r.bytes.end());
+    }
+    digest = journal::crc32(block.data(), block.size());
+  }
+  return digest;
+}
+
+}  // namespace hypertap::fuzz

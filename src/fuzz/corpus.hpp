@@ -1,0 +1,54 @@
+// Fuzzing corpus: the set of journals worth mutating.
+//
+// Entries are the recorded seed scenarios plus every mutant that lit new
+// coverage while staying failure-free (failing inputs become findings, not
+// corpus entries — mutating a known crash rediscovers it forever). The
+// scheduler's pick() biases toward recent entries (newer coverage
+// frontier) but keeps the whole corpus reachable. All mutation happens on
+// copies; entries are immutable once added, which is what lets worker
+// threads read the corpus lock-free during a round while the fold adds
+// entries only at round barriers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "journal/journal.hpp"
+#include "util/rng.hpp"
+
+namespace hypertap::fuzz {
+
+using namespace hvsim;
+
+struct CorpusEntry {
+  std::string name;  ///< seed scenario label or "m<mutant_index>"
+  std::vector<journal::RawRecord> records;
+  u64 added_at_exec = 0;  ///< campaign exec count when admitted
+};
+
+/// Build an entry from a recorded journal store.
+CorpusEntry make_entry(std::string name, const journal::JournalStore& store);
+
+class Corpus {
+ public:
+  void add(CorpusEntry e) { entries_.push_back(std::move(e)); }
+
+  /// Deterministic biased pick: half the draws land uniformly anywhere,
+  /// half in the most recent quarter (the active coverage frontier).
+  /// Precondition: !empty().
+  const CorpusEntry& pick(util::Rng& rng) const;
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  u64 total_bytes() const;
+  const std::vector<CorpusEntry>& entries() const { return entries_; }
+
+  /// Order-sensitive digest over every entry's bytes — the differential
+  /// witness that two campaigns built the same corpus.
+  u32 digest() const;
+
+ private:
+  std::vector<CorpusEntry> entries_;
+};
+
+}  // namespace hypertap::fuzz

@@ -1,0 +1,85 @@
+#include "fuzz/coverage.hpp"
+
+#include "journal/journal.hpp"
+
+namespace hypertap::fuzz {
+
+namespace {
+
+/// SplitMix64 finalizer: full-avalanche mix before bucketing.
+u64 mix(u64 x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+u64 mix2(u64 a, u64 b) { return mix(mix(a) ^ b); }
+
+}  // namespace
+
+void CoverageMap::hit(u64 feature) {
+  u32& b = buckets_[mix(feature) % kBuckets];
+  if (b != 0xFFFFFFFFu) ++b;
+}
+
+u8 CoverageMap::count_class(u64 hits) {
+  if (hits == 0) return 0;
+  if (hits == 1) return 1 << 0;
+  if (hits == 2) return 1 << 1;
+  if (hits == 3) return 1 << 2;
+  if (hits <= 7) return 1 << 3;
+  if (hits <= 15) return 1 << 4;
+  if (hits <= 31) return 1 << 5;
+  if (hits <= 127) return 1 << 6;
+  return 1 << 7;
+}
+
+u64 CoverageMap::merge_new_classes(const CoverageMap& exec) {
+  u64 fresh = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const u8 cls = count_class(exec.buckets_[i]);
+    if (cls == 0) continue;
+    if ((buckets_[i] & cls) == 0) {
+      buckets_[i] |= cls;
+      ++fresh;
+    }
+  }
+  return fresh;
+}
+
+u64 CoverageMap::buckets_hit() const {
+  u64 n = 0;
+  for (const u32 b : buckets_) n += b != 0;
+  return n;
+}
+
+u32 CoverageMap::digest() const {
+  return journal::crc32(reinterpret_cast<const u8*>(buckets_.data()),
+                        buckets_.size() * sizeof(u32));
+}
+
+void CoverageMap::clear() { buckets_.fill(0); }
+
+u64 CoverageMap::kind_edge(u8 prev_kind, u8 kind, int vcpu) {
+  return mix2(0x1000 + prev_kind,
+              (static_cast<u64>(kind) << 8) | (static_cast<u64>(vcpu) & 3));
+}
+
+u64 CoverageMap::reason_edge(u8 prev_reason, u8 reason) {
+  return mix2(0x2000 + prev_reason, reason);
+}
+
+u64 CoverageMap::alarm_feature(const std::string& auditor,
+                               const std::string& type) {
+  u64 h = 0x3000;
+  for (const char c : auditor) h = mix(h ^ static_cast<u8>(c));
+  for (const char c : type) h = mix(h ^ (0x100u | static_cast<u8>(c)));
+  return h;
+}
+
+u64 CoverageMap::outcome_feature(u32 id, u64 value) {
+  return mix2(0x4000 + id, value);
+}
+
+}  // namespace hypertap::fuzz

@@ -1,0 +1,65 @@
+// Lightweight AFL-style coverage map for the journal-mutation fuzzer.
+//
+// Coverage features are behavioural edges of the monitoring pipeline under
+// a replayed journal — (event-kind, exit-reason) transition edges seen by
+// the auditors, alarm shapes raised, and end-of-run outcome facts
+// (quarantine volume, torn tail, hang bits). Each feature hashes into a
+// fixed 4096-bucket bitmap; per-execution raw hit counts are bucketed into
+// the classic AFL count classes {1, 2, 3, 4-7, 8-15, 16-31, 32-127, 128+}
+// and merged into a global class-bitmask map. A mutant is "interesting" —
+// and enters the corpus — exactly when it lights a (bucket, class) pair the
+// campaign has never seen. Everything is plain integer arithmetic: the map
+// is deterministic, mergeable in canonical order, and cheap enough to keep
+// the oracle fleet-scale.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace hypertap::fuzz {
+
+using namespace hvsim;
+
+class CoverageMap {
+ public:
+  static constexpr std::size_t kBuckets = 4096;
+
+  /// Record one feature hit (execution-local accumulation: raw counts).
+  void hit(u64 feature);
+
+  /// AFL count class of a raw hit count as a one-hot bitmask: 0 for zero
+  /// hits, else bit k set for class k (k in 0..7), ready to OR into the
+  /// global map's per-bucket class byte.
+  static u8 count_class(u64 hits);
+
+  /// Merge an execution-local map (raw counts) into this GLOBAL map
+  /// (class bitmasks). Returns the number of (bucket, class) pairs that
+  /// were new — > 0 means the execution found new coverage.
+  u64 merge_new_classes(const CoverageMap& exec);
+
+  /// Buckets with any hit/class recorded.
+  u64 buckets_hit() const;
+
+  /// Order-sensitive digest of the whole map (differential witness).
+  u32 digest() const;
+
+  void clear();
+
+  // Feature constructors. Domain tags keep the feature spaces disjoint.
+  static u64 kind_edge(u8 prev_kind, u8 kind, int vcpu);
+  static u64 reason_edge(u8 prev_reason, u8 reason);
+  static u64 alarm_feature(const std::string& auditor, const std::string& type);
+  /// Free-form end-of-run fact: (id, value) pairs like (kQuarantineBucket,
+  /// log2(quarantined)).
+  static u64 outcome_feature(u32 id, u64 value);
+
+ private:
+  // Execution-local maps hold raw hit counts; the campaign's global map
+  // reuses the same storage as a per-bucket class bitmask (bits 0..7).
+  std::array<u32, kBuckets> buckets_{};
+};
+
+}  // namespace hypertap::fuzz

@@ -1,0 +1,280 @@
+#include "fuzz/mutator.hpp"
+
+#include <algorithm>
+
+#include "chaos/chaos.hpp"
+
+namespace hypertap::fuzz {
+
+namespace {
+
+using journal::RawRecord;
+using journal::RecordType;
+
+/// Interesting constants: boundary values plus magic markers. The same
+/// role as AFL's interesting-value dictionary — a mutated field is far
+/// more likely to cross a comparison in the decoder/auditors when set to
+/// one of these than to a uniform random value.
+constexpr u32 kInterestingU32[] = {0u,          1u,          0x7FFFFFFFu,
+                                   0x80000000u, 0xFFFFFFFFu, 0xDEADBEEFu};
+constexpr i64 kInterestingI64[] = {0, 1, -1, 1'000'000'000ll,
+                                   i64{0x7FFFFFFFFFFFFFFFll}};
+
+u32 pick_u32(util::Rng& rng) {
+  if (rng.chance(0.75)) {
+    return kInterestingU32[rng.below(std::size(kInterestingU32))];
+  }
+  return static_cast<u32>(rng.next());
+}
+
+i64 pick_i64(util::Rng& rng) {
+  if (rng.chance(0.75)) {
+    return kInterestingI64[rng.below(std::size(kInterestingI64))];
+  }
+  return static_cast<i64>(rng.next());
+}
+
+void garble_string(std::string& s, util::Rng& rng) {
+  switch (rng.below(3)) {
+    case 0:
+      if (!s.empty()) {
+        s[rng.below(s.size())] ^= static_cast<char>(1 << rng.below(7));
+        break;
+      }
+      [[fallthrough]];
+    case 1:
+      s.push_back(static_cast<char>('A' + rng.below(26)));
+      break;
+    default:
+      s.resize(s.size() / 2);
+      break;
+  }
+}
+
+/// Index of a random record of `type`; -1 when none exists.
+i64 pick_index(const std::vector<RawRecord>& records, util::Rng& rng,
+               RecordType type) {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].type == type) idx.push_back(i);
+  }
+  if (idx.empty()) return -1;
+  return static_cast<i64>(idx[rng.below(idx.size())]);
+}
+
+void flip_record(RawRecord& rec, util::Rng& rng) {
+  chaos::flip_bits(rec.bytes, rng, 1 + static_cast<int>(rng.below(8)));
+}
+
+}  // namespace
+
+void Mutator::mutate_event_payload(RawRecord& rec, util::Rng& rng) {
+  Event e{};
+  bool ok = false;
+  try {
+    ok = journal::decode_event(rec.payload(), rec.payload_len(), e);
+  } catch (...) {
+    // The decoder under test may itself be buggy (that is the point of
+    // the campaign); a throwing parent payload falls back to bit flips.
+    ok = false;
+  }
+  if (!ok) {
+    flip_record(rec, rng);
+    return;
+  }
+  switch (rng.below(4)) {
+    case 0:
+      // Reuse the chaos layer's semantic corruption (stale-checksum
+      // in-flight damage).
+      chaos::ChaosEngine::corrupt_event(e, rng);
+      break;
+    case 1:
+    case 2: {
+      // Substitute one scalar field with an interesting constant.
+      switch (rng.below(20)) {
+        case 0: e.time = pick_i64(rng); break;
+        case 1: e.seq = rng.chance(0.5) ? pick_u32(rng) : rng.next(); break;
+        case 2: e.gap_before = pick_u32(rng); break;
+        case 3: e.csum = pick_u32(rng); break;
+        case 4: e.vcpu = static_cast<int>(rng.below(512)) - 128; break;
+        case 5: e.kind = static_cast<EventKind>(rng.below(
+                    static_cast<u64>(EventKind::kCount) + 2)); break;
+        case 6: e.reason = static_cast<hav::ExitReason>(rng.below(
+                    static_cast<u64>(hav::ExitReason::kCount) + 2)); break;
+        case 7: e.reg_cr3 = pick_u32(rng); break;
+        case 8: e.reg_tr = pick_u32(rng); break;
+        case 9: e.reg_rsp = pick_u32(rng); break;
+        case 10: e.cr3_old = pick_u32(rng); break;
+        case 11: e.cr3_new = pick_u32(rng); break;
+        case 12: e.rsp0 = pick_u32(rng); break;
+        case 13: e.sc_nr = static_cast<u8>(rng.below(256)); break;
+        case 14: e.sc_args[0] = pick_u32(rng); break;
+        case 15: e.sc_args[1] = pick_u32(rng); break;
+        case 16: e.sc_args[2] = pick_u32(rng); break;
+        case 17: e.io_port = static_cast<u16>(rng.below(0x10000)); break;
+        case 18: e.msr_value = rng.next(); break;
+        default: e.int_vector = static_cast<u8>(rng.below(256)); break;
+      }
+      break;
+    }
+    default:
+      // Temporal skew: shift time and/or seq by small deltas (attacks
+      // ordering and hang-duration arithmetic without changing shape).
+      if (rng.chance(0.7)) {
+        e.time += rng.range(-2'000'000'000ll, 2'000'000'000ll);
+      }
+      if (rng.chance(0.5)) e.seq += static_cast<u64>(rng.range(-4, 4));
+      break;
+  }
+  // Half the time re-stamp the forwarder checksum so the mutation also
+  // survives DeliveryGuard-style validation, not just the CRC.
+  if (rng.chance(0.5)) e.csum = e.payload_checksum();
+  std::vector<u8> payload;
+  journal::encode_event(e, payload);
+  rec.bytes = journal::seal_record(RecordType::kEvent, payload);
+}
+
+void Mutator::mutate_timer_payload(RawRecord& rec, util::Rng& rng) {
+  SimTime t = 0;
+  std::string auditor;
+  bool ok = false;
+  try {
+    ok = journal::decode_timer(rec.payload(), rec.payload_len(), t, auditor);
+  } catch (...) {
+    ok = false;
+  }
+  if (!ok) {
+    flip_record(rec, rng);
+    return;
+  }
+  switch (rng.below(3)) {
+    case 0:
+      t = pick_i64(rng);
+      break;
+    case 1:
+      t += rng.range(-5'000'000'000ll, 5'000'000'000ll);
+      break;
+    default:
+      garble_string(auditor, rng);
+      break;
+  }
+  std::vector<u8> payload;
+  journal::encode_timer(t, auditor, payload);
+  rec.bytes = journal::seal_record(RecordType::kTimer, payload);
+}
+
+void Mutator::mutate_alarm_payload(RawRecord& rec, util::Rng& rng) {
+  Alarm a;
+  bool ok = false;
+  try {
+    ok = journal::decode_alarm(rec.payload(), rec.payload_len(), a);
+  } catch (...) {
+    ok = false;
+  }
+  if (!ok) {
+    flip_record(rec, rng);
+    return;
+  }
+  switch (rng.below(5)) {
+    case 0: a.time = pick_i64(rng); break;
+    case 1: a.vcpu = static_cast<int>(rng.below(512)) - 128; break;
+    case 2: a.pid = pick_u32(rng); break;
+    case 3: garble_string(a.type, rng); break;
+    default: garble_string(a.detail, rng); break;
+  }
+  std::vector<u8> payload;
+  journal::encode_alarm(a, payload);
+  rec.bytes = journal::seal_record(RecordType::kAlarm, payload);
+}
+
+void Mutator::mutate(std::vector<RawRecord>& records, util::Rng& rng) const {
+  if (records.empty()) return;
+  const int ops = 1 + static_cast<int>(rng.below(
+                          static_cast<u64>(std::max(1, cfg_.max_ops))));
+  for (int op = 0; op < ops && !records.empty(); ++op) {
+    const std::size_t n = records.size();
+    switch (rng.below(14)) {
+      case 0:
+      case 1:
+      case 2: {
+        // Field-aware event mutation (CRC-preserving) — weighted up: the
+        // decoders and auditors live behind CRC-valid records.
+        const i64 i = pick_index(records, rng, RecordType::kEvent);
+        if (i >= 0) mutate_event_payload(records[static_cast<std::size_t>(i)], rng);
+        break;
+      }
+      case 3: {
+        const i64 i = pick_index(records, rng, RecordType::kTimer);
+        if (i >= 0) mutate_timer_payload(records[static_cast<std::size_t>(i)], rng);
+        break;
+      }
+      case 4: {
+        const i64 i = pick_index(records, rng, RecordType::kAlarm);
+        if (i >= 0) mutate_alarm_payload(records[static_cast<std::size_t>(i)], rng);
+        break;
+      }
+      case 5:
+      case 6:
+        // Raw bit flips anywhere in one record (CRC-breaking).
+        flip_record(records[rng.below(n)], rng);
+        break;
+      case 7: {
+        // Header scribble: magic/type/version/len/crc bytes.
+        RawRecord& rec = records[rng.below(n)];
+        if (!rec.bytes.empty()) {
+          const std::size_t k =
+              rng.below(std::min(rec.bytes.size(), journal::kHeaderBytes));
+          rec.bytes[k] = static_cast<u8>(rng.below(256));
+        }
+        break;
+      }
+      case 8:
+        if (n > 1) records.erase(records.begin() + static_cast<long>(rng.below(n)));
+        break;
+      case 9:
+        if (n < cfg_.max_records) {
+          const RawRecord copy = records[rng.below(n)];
+          records.insert(records.begin() + static_cast<long>(rng.below(n + 1)),
+                         copy);
+        }
+        break;
+      case 10: {
+        // Draw both indices before swapping: argument evaluation order is
+        // unspecified and the draw sequence must not depend on it.
+        const std::size_t a = rng.below(n);
+        const std::size_t b = rng.below(n);
+        std::swap(records[a], records[b]);
+        break;
+      }
+      case 11: {
+        // Intra-journal splice: re-insert a copied slice elsewhere.
+        if (n < cfg_.max_records) {
+          const std::size_t from = rng.below(n);
+          const std::size_t len = 1 + rng.below(std::min<u64>(8, n - from));
+          const std::vector<RawRecord> slice(
+              records.begin() + static_cast<long>(from),
+              records.begin() + static_cast<long>(from + len));
+          const std::size_t at = rng.below(n + 1);
+          records.insert(records.begin() + static_cast<long>(at),
+                         slice.begin(), slice.end());
+        }
+        break;
+      }
+      case 12:
+        // Truncate: keep a prefix (the crash-at-arbitrary-point shape).
+        records.resize(1 + rng.below(n));
+        break;
+      default: {
+        // Tear bytes off one record's tail (torn-append shape, possibly
+        // mid-journal once joined).
+        RawRecord& rec = records[rng.below(n)];
+        if (rec.bytes.size() > 1) {
+          rec.bytes.resize(rec.bytes.size() - 1 - rng.below(rec.bytes.size() - 1));
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace hypertap::fuzz

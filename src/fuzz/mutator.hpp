@@ -1,0 +1,60 @@
+// Deterministic, seed-streamed mutation engine over decoded journal
+// records.
+//
+// A mutant is produced by stacking 1..max_ops mutations on a parent's
+// record list, every draw coming from ONE caller-provided Rng that the
+// campaign keys as Rng(stream_seed(master, mutant_index)) — mutant K is a
+// pure function of (master seed, corpus snapshot, K), never of corpus
+// order or thread schedule.
+//
+// Two mutation families, deliberately split by what they attack:
+//  - structural / byte-level (CRC-BREAKING): bit flips anywhere in a
+//    record, header field scribbles, tail tearing — these exercise the
+//    reader's quarantine, magic-rescan and torn-tail paths;
+//  - field-aware (CRC-PRESERVING): decode an event/timer/alarm payload,
+//    mutate semantic fields (reusing chaos::ChaosEngine::corrupt_event,
+//    interesting-constant substitution, time/seq deltas), re-encode and
+//    re-seal with a correct CRC — these sail past the integrity checks and
+//    exercise the decoders, the auditors and the replay oracle.
+// Record-level ops (drop/dup/swap/splice/truncate) permute whole records
+// and attack sequencing assumptions.
+#pragma once
+
+#include <vector>
+
+#include "journal/journal.hpp"
+#include "util/rng.hpp"
+
+namespace hypertap::fuzz {
+
+using namespace hvsim;
+
+class Mutator {
+ public:
+  struct Config {
+    int max_ops = 6;  ///< mutations stacked per mutant: 1..max_ops
+    /// Record-count ceiling: dup/splice ops are skipped once a mutant
+    /// grows past this (keeps per-exec cost bounded).
+    std::size_t max_records = 4096;
+  };
+
+  Mutator() = default;
+  explicit Mutator(Config cfg) : cfg_(cfg) {}
+
+  /// Apply a deterministic stack of mutations to `records` in place. `rng`
+  /// MUST be a fresh generator keyed via util::stream_seed(master,
+  /// mutant_index). No-op on an empty record list.
+  void mutate(std::vector<journal::RawRecord>& records, util::Rng& rng) const;
+
+  const Config& config() const { return cfg_; }
+
+  // Individual op families, exposed for unit tests.
+  static void mutate_event_payload(journal::RawRecord& rec, util::Rng& rng);
+  static void mutate_timer_payload(journal::RawRecord& rec, util::Rng& rng);
+  static void mutate_alarm_payload(journal::RawRecord& rec, util::Rng& rng);
+
+ private:
+  Config cfg_{};
+};
+
+}  // namespace hypertap::fuzz

@@ -1,0 +1,281 @@
+#include "fuzz/oracle.hpp"
+
+#include <algorithm>
+
+#include "auditors/goshd.hpp"
+#include "core/hypertap.hpp"
+
+namespace hypertap::fuzz {
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kClean:
+      return "clean";
+    case Verdict::kCrash:
+      return "crash";
+    case Verdict::kNondeterminism:
+      return "nondeterminism";
+    case Verdict::kInvariantViolation:
+      return "invariant-violation";
+    case Verdict::kRecoveryFailure:
+      return "recovery-failure";
+  }
+  return "?";
+}
+
+std::string Signature::str() const {
+  return std::string(to_string(verdict)) + (detail.empty() ? "" : ":" + detail);
+}
+
+std::string Signature::slug() const {
+  std::string s = str();
+  for (char& c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '-' || c == '_';
+    if (!ok) c = '_';
+  }
+  return s;
+}
+
+namespace {
+
+/// Collapse an exception message into a shrink-stable signature token:
+/// lowercase alphanumerics and dashes only, capped. Numbers in messages
+/// (offsets, indices) would make signatures drift as the journal shrinks,
+/// so digits are dropped too.
+std::string sanitize_what(const char* what) {
+  std::string out;
+  bool dash = false;
+  for (const char* p = what; *p != '\0' && out.size() < 48; ++p) {
+    char c = *p;
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    if ((c >= 'a' && c <= 'z')) {
+      out.push_back(c);
+      dash = false;
+    } else if (!dash && !out.empty()) {
+      out.push_back('-');
+      dash = true;
+    }
+  }
+  while (!out.empty() && out.back() == '-') out.pop_back();
+  return out.empty() ? "unknown" : out;
+}
+
+/// Subscribes to everything, alarms never: turns the event stream the
+/// auditors saw into coverage features (kind/reason transition edges, with
+/// a coarse vCPU lane on the kind edges).
+class CoverageAuditor final : public Auditor {
+ public:
+  explicit CoverageAuditor(CoverageMap* map) : map_(map) {}
+
+  std::string name() const override { return "fuzz-coverage"; }
+  EventMask subscriptions() const override { return kAllEvents; }
+  void on_event(const Event& e, AuditContext&) override {
+    if (map_ == nullptr) return;
+    map_->hit(CoverageMap::kind_edge(prev_kind_, static_cast<u8>(e.kind),
+                                     e.vcpu));
+    map_->hit(CoverageMap::reason_edge(prev_reason_,
+                                       static_cast<u8>(e.reason)));
+    prev_kind_ = static_cast<u8>(e.kind);
+    prev_reason_ = static_cast<u8>(e.reason);
+  }
+  void on_gap(u64, AuditContext&) override {}  // stateless: nothing to resync
+  Cycles audit_cost_cycles() const override { return 0; }
+
+ private:
+  CoverageMap* map_;
+  u8 prev_kind_ = 0xFF;
+  u8 prev_reason_ = 0xFF;
+};
+
+u64 log2_bucket(u64 v) {
+  u64 b = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+struct Oracle::VmBox {
+  explicit VmBox(int num_vcpus) : vm(make_config(num_vcpus), os::KernelConfig{}) {
+    vm.kernel.boot();
+  }
+  static hv::MachineConfig make_config(int num_vcpus) {
+    hv::MachineConfig mc;
+    mc.num_vcpus = num_vcpus;
+    mc.phys_mem_bytes = 8ull << 20;
+    return mc;
+  }
+  os::Vm vm;
+};
+
+Oracle::Oracle(OracleConfig cfg)
+    : cfg_(cfg), vm_(std::make_unique<VmBox>(cfg.num_vcpus)) {}
+
+Oracle::~Oracle() = default;
+
+OracleResult Oracle::run(const std::vector<journal::RawRecord>& records) {
+  journal::MemoryJournalStore store;
+  journal::join_records(store, records);
+  return run(store);
+}
+
+OracleResult Oracle::run(const journal::JournalStore& store) {
+  OracleResult res;
+  auto fail = [&res](Verdict v, std::string detail) {
+    if (res.verdict != Verdict::kClean) return;  // first failure wins
+    res.verdict = v;
+    res.signature.verdict = v;
+    res.signature.detail = std::move(detail);
+  };
+
+  // ---- Phase 0: structural pre-scan ------------------------------------
+  // Walk every record through the reader and check the invariants the
+  // decoders are contracted to uphold on ARBITRARY input bytes: no
+  // exceptions, bounded yield, range-valid enums, capped strings.
+  try {
+    journal::JournalReader reader(store);
+    while (auto rec = reader.next()) {
+      if (++res.records > cfg_.max_records) {
+        fail(Verdict::kInvariantViolation, "reader-livelock");
+        break;
+      }
+      switch (rec->type) {
+        case journal::RecordType::kEvent:
+          if (static_cast<u8>(rec->event.kind) >=
+                  static_cast<u8>(EventKind::kCount) ||
+              rec->event.vcpu < 0 || rec->event.vcpu > 255) {
+            fail(Verdict::kInvariantViolation, "event-out-of-range");
+          }
+          break;
+        case journal::RecordType::kTimer:
+          if (rec->timer_auditor.size() > 1024) {
+            fail(Verdict::kInvariantViolation, "timer-name-oversize");
+          }
+          break;
+        case journal::RecordType::kAlarm:
+          if (rec->alarm.auditor.size() > 1024 ||
+              rec->alarm.type.size() > 1024 ||
+              rec->alarm.detail.size() > 1024) {
+            fail(Verdict::kInvariantViolation, "alarm-string-oversize");
+          }
+          break;
+      }
+    }
+    res.quarantined = reader.quarantined();
+  } catch (const std::exception& ex) {
+    fail(Verdict::kCrash, sanitize_what(ex.what()));
+  } catch (...) {
+    fail(Verdict::kCrash, "non-std-exception");
+  }
+
+  // ---- Phases A/B: fresh-pipeline replay, twice ------------------------
+  // One fresh multiplexer + GOSHD per phase over the SAME booted VM (the
+  // replay path never mutates guest state). Phase A collects coverage —
+  // including partial coverage from inputs that crash mid-replay. Phase B
+  // repeats blind; any byte-level alarm difference is nondeterminism.
+  auto replay_once =
+      [&](CoverageMap* map) -> journal::ReplayResult {
+    AlarmSink alarms;
+    OsStateDerivation deriv(vm_->vm.machine.hypervisor(),
+                            vm_->vm.kernel.layout());
+    AuditContext ctx(vm_->vm.machine.hypervisor(), deriv, alarms);
+    EventMultiplexer em{EventMultiplexer::Config{}};
+    auditors::Goshd::Config gcfg;
+    gcfg.threshold = cfg_.detect_threshold;
+    auditors::Goshd goshd(cfg_.num_vcpus, gcfg);
+    CoverageAuditor cov(map);
+    em.register_auditor(&goshd, ctx);
+    em.register_auditor(&cov, ctx);
+    if (map != nullptr) {
+      alarms.subscribe([map](const Alarm& a) {
+        map->hit(CoverageMap::alarm_feature(a.auditor, a.type));
+      });
+    }
+    journal::Replayer replayer(store);
+    auto r = replayer.replay(em, ctx, vm_->vm.machine.hypervisor().vcpu(0));
+    if (map != nullptr) {
+      // End-of-run facts: hang verdict shape, decode health, volume.
+      u64 hung = 0;
+      for (int c = 0; c < cfg_.num_vcpus; ++c) {
+        if (goshd.hang_detect_time(c) > 0) hung |= 1ull << c;
+      }
+      map->hit(CoverageMap::outcome_feature(1, hung));
+      map->hit(CoverageMap::outcome_feature(2, r.matches_recording ? 1 : 0));
+      map->hit(CoverageMap::outcome_feature(
+          3, static_cast<u64>(r.divergence.kind)));
+      map->hit(CoverageMap::outcome_feature(4, log2_bucket(r.quarantined)));
+      map->hit(CoverageMap::outcome_feature(5, r.torn_tail ? 1 : 0));
+      map->hit(CoverageMap::outcome_feature(6, log2_bucket(r.alarms.size())));
+      map->hit(CoverageMap::outcome_feature(7, log2_bucket(r.events)));
+    }
+    return r;
+  };
+
+  bool replayed = false;
+  journal::ReplayResult ra;
+  try {
+    ra = replay_once(&res.coverage);
+    replayed = true;
+  } catch (const std::exception& ex) {
+    fail(Verdict::kCrash, sanitize_what(ex.what()));
+  } catch (...) {
+    fail(Verdict::kCrash, "non-std-exception");
+  }
+  if (replayed) {
+    res.events = ra.events;
+    res.timers = ra.timers;
+    res.alarm_records = ra.alarm_records;
+    res.replay_alarms = ra.alarms.size();
+    res.recording_divergence = ra.divergence;
+  }
+
+  if (replayed && res.verdict == Verdict::kClean) {
+    try {
+      const journal::ReplayResult rb = replay_once(nullptr);
+      bool same = ra.alarms.size() == rb.alarms.size();
+      std::string kind = "count";
+      for (std::size_t i = 0; same && i < ra.alarms.size(); ++i) {
+        same = journal::alarm_bytes(ra.alarms[i]) ==
+               journal::alarm_bytes(rb.alarms[i]);
+        if (!same) kind = "bytes";
+      }
+      if (!same) fail(Verdict::kNondeterminism, "replay-alarms-" + kind);
+    } catch (const std::exception& ex) {
+      fail(Verdict::kCrash, sanitize_what(ex.what()));
+    } catch (...) {
+      fail(Verdict::kCrash, "non-std-exception");
+    }
+  }
+
+  // ---- Phase C: recovery catch-up path ---------------------------------
+  // replay_direct into live auditors is the RecoveryManager's post-restore
+  // journal catch-up; it absorbs per-auditor exceptions internally, so
+  // anything escaping here is a recovery-path bug.
+  if (replayed && res.verdict == Verdict::kClean && cfg_.check_recovery_path) {
+    try {
+      AlarmSink alarms;
+      OsStateDerivation deriv(vm_->vm.machine.hypervisor(),
+                              vm_->vm.kernel.layout());
+      AuditContext ctx(vm_->vm.machine.hypervisor(), deriv, alarms);
+      EventMultiplexer em{EventMultiplexer::Config{}};
+      auditors::Goshd::Config gcfg;
+      gcfg.threshold = cfg_.detect_threshold;
+      auditors::Goshd goshd(cfg_.num_vcpus, gcfg);
+      em.register_auditor(&goshd, ctx);
+      journal::Replayer replayer(store);
+      replayer.replay_direct(em, ctx, /*skip_records=*/res.records / 2);
+    } catch (const std::exception& ex) {
+      fail(Verdict::kRecoveryFailure, sanitize_what(ex.what()));
+    } catch (...) {
+      fail(Verdict::kRecoveryFailure, "non-std-exception");
+    }
+  }
+
+  return res;
+}
+
+}  // namespace hypertap::fuzz

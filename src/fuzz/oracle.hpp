@@ -1,0 +1,118 @@
+// Classification oracle for one fuzzed journal.
+//
+// A mutant journal is fed through the real monitoring pipeline — a freshly
+// booted VM, OS-state derivation, EventMultiplexer and GOSHD — in three
+// phases, and classified into one of five verdicts:
+//
+//   kCrash              an exception escaped the journal reader/decoders
+//                       or the replay pipeline (they are contracted never
+//                       to throw on arbitrary bytes);
+//   kInvariantViolation a decoded record broke a structural invariant the
+//                       decoders guarantee (enum ranges, string caps,
+//                       reader termination bound);
+//   kNondeterminism     two identical fresh replays of the same journal
+//                       produced different alarm sequences;
+//   kRecoveryFailure    the RecoveryManager's catch-up path (replay_direct
+//                       into live auditors) let an exception escape;
+//   kClean              none of the above.
+//
+// Divergence from the *recording* is deliberately NOT a failure for a
+// mutant (the mutation changed the inputs, so different verdicts are the
+// expected outcome); it is captured as structured DivergenceContext and
+// fed to the coverage map instead.
+//
+// Each failing verdict carries a Signature built only from shrink-stable
+// facts (verdict class + sanitized exception text / invariant name /
+// divergence kind) — never record indices — so delta-debugging can verify
+// "same bug" at every step while the journal shrinks under it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fuzz/coverage.hpp"
+#include "journal/replay.hpp"
+
+namespace hypertap::fuzz {
+
+using namespace hvsim;
+
+enum class Verdict : u8 {
+  kClean = 0,
+  kCrash,
+  kNondeterminism,
+  kInvariantViolation,
+  kRecoveryFailure,
+};
+const char* to_string(Verdict v);
+
+struct Signature {
+  Verdict verdict = Verdict::kClean;
+  std::string detail;  ///< shrink-stable: sanitized what()/invariant name
+
+  bool failing() const { return verdict != Verdict::kClean; }
+  std::string str() const;   ///< "crash:planted-decode-bug"
+  std::string slug() const;  ///< filesystem-safe form of str()
+
+  bool operator==(const Signature& o) const {
+    return verdict == o.verdict && detail == o.detail;
+  }
+  bool operator!=(const Signature& o) const { return !(*this == o); }
+  bool operator<(const Signature& o) const {
+    return verdict != o.verdict ? verdict < o.verdict : detail < o.detail;
+  }
+};
+
+struct OracleConfig {
+  int num_vcpus = 2;
+  SimTime detect_threshold = 2'000'000'000;
+  /// Reader-termination invariant: a journal that yields more records than
+  /// this is classified as a livelock, not replayed further.
+  u64 max_records = 1'000'000;
+  /// Run phase C (replay_direct catch-up, the RecoveryManager path).
+  bool check_recovery_path = true;
+};
+
+struct OracleResult {
+  Verdict verdict = Verdict::kClean;
+  Signature signature;
+
+  u64 records = 0;
+  u64 quarantined = 0;
+  u64 events = 0;
+  u64 timers = 0;
+  u64 alarm_records = 0;
+  u64 replay_alarms = 0;
+
+  /// Replay-vs-recording divergence context (informational for mutants).
+  journal::DivergenceContext recording_divergence;
+
+  CoverageMap coverage;  ///< execution-local raw-count map
+};
+
+/// The oracle owns one booted VM (the audit context's root of trust) and
+/// reuses it across run() calls: replay never mutates guest state, so one
+/// boot amortizes over thousands of executions. NOT thread-safe — the
+/// campaign gives each worker its own Oracle.
+class Oracle {
+ public:
+  explicit Oracle(OracleConfig cfg);
+  ~Oracle();
+  Oracle(const Oracle&) = delete;
+  Oracle& operator=(const Oracle&) = delete;
+
+  OracleResult run(const journal::JournalStore& store);
+  /// Convenience: join `records` into a scratch store and classify it.
+  OracleResult run(const std::vector<journal::RawRecord>& records);
+
+  const OracleConfig& config() const { return cfg_; }
+
+ private:
+  struct VmBox;  ///< hides the os::Vm boot behind the ABI
+
+  OracleConfig cfg_;
+  std::unique_ptr<VmBox> vm_;
+};
+
+}  // namespace hypertap::fuzz

@@ -1,0 +1,54 @@
+// Delta-debugging auto-shrink: reduce a failing mutant journal to a
+// minimal reproducer that still fails with the SAME signature.
+//
+// Two phases, both re-verifying the signature through the real oracle at
+// every step (never a cheaper proxy — a shrink that changes the bug is a
+// different bug):
+//   1. ddmin over records: remove progressively smaller chunks of the
+//      record list while the failure signature survives;
+//   2. byte minimization within the surviving records: zero payload bytes
+//      one at a time, re-sealing the CRC after each try, so the final
+//      reproducer payload shows exactly which bytes the bug needs.
+// The whole process is budgeted in oracle runs and fully deterministic:
+// same input + signature + budget ⇒ byte-identical reproducer.
+#pragma once
+
+#include <vector>
+
+#include "fuzz/oracle.hpp"
+
+namespace hypertap::fuzz {
+
+struct ShrinkStats {
+  u64 oracle_runs = 0;
+  u64 records_before = 0;
+  u64 records_after = 0;
+  u64 bytes_before = 0;
+  u64 bytes_after = 0;
+  /// The reduced journal was re-verified to fail with the signature. False
+  /// only when the input itself no longer reproduces (unstable finding).
+  bool verified = false;
+};
+
+class Shrinker {
+ public:
+  struct Config {
+    u64 max_oracle_runs = 1200;
+  };
+
+  Shrinker() = default;
+  explicit Shrinker(Config cfg) : cfg_(cfg) {}
+
+  /// Reduce `input` to a minimal journal still failing with `sig`.
+  /// Returns the reduced record list (== input when the finding is
+  /// unstable; see ShrinkStats::verified).
+  std::vector<journal::RawRecord> shrink(Oracle& oracle,
+                                         std::vector<journal::RawRecord> input,
+                                         const Signature& sig,
+                                         ShrinkStats& stats) const;
+
+ private:
+  Config cfg_{};
+};
+
+}  // namespace hypertap::fuzz

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
 
 namespace hypertap::journal {
 
@@ -113,6 +115,22 @@ constexpr std::size_t kMaxStr = 1024;
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Planted defect (test-only)
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<bool> g_planted_decode_bug{false};
+}  // namespace
+
+void arm_planted_decode_bug(bool on) {
+  g_planted_decode_bug.store(on, std::memory_order_relaxed);
+}
+
+bool planted_decode_bug_armed() {
+  return g_planted_decode_bug.load(std::memory_order_relaxed);
+}
+
 u32 crc32(const u8* data, std::size_t n) {
   const auto& t = crc_table();
   u32 c = 0xFFFFFFFFu;
@@ -190,6 +208,14 @@ bool decode_event(const u8* p, std::size_t n, Event& e) {
   e.kind = static_cast<EventKind>(kind);
   e.reason = static_cast<hav::ExitReason>(reason);
   e.access = static_cast<arch::Access>(access);
+  // Test-only planted defect: while armed, one specific (and otherwise
+  // legal) field pattern violates the never-throws contract. Only a
+  // CRC-valid record reaches this point, so the fuzzer has to synthesize
+  // the trigger through a CRC-preserving field-aware mutation.
+  if (g_planted_decode_bug.load(std::memory_order_relaxed) &&
+      e.sc_args[1] == 0xDEADBEEFu) {
+    throw std::runtime_error("planted-decode-bug");
+  }
   return true;
 }
 
@@ -608,6 +634,82 @@ u64 merge_journals(const std::vector<const JournalStore*>& parts,
     }
   }
   return copied;
+}
+
+// ---------------------------------------------------------------------------
+// Record-level splice/rewrite helpers
+// ---------------------------------------------------------------------------
+
+std::vector<RawRecord> split_records(const JournalStore& store) {
+  std::vector<RawRecord> out;
+  for (const std::string& name : store.segments()) {
+    const std::vector<u8> bytes = store.read(name);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      std::size_t end;
+      RecordType type;
+      const u8* payload;
+      std::size_t plen;
+      switch (parse_record(bytes, off, &end, &type, &payload, &plen)) {
+        case ParseStatus::kOk: {
+          RawRecord rec;
+          rec.type = type;
+          rec.bytes.assign(bytes.begin() + static_cast<long>(off),
+                           bytes.begin() + static_cast<long>(end));
+          out.push_back(std::move(rec));
+          off = end;
+          break;
+        }
+        case ParseStatus::kTorn:
+          off = bytes.size();
+          break;
+        case ParseStatus::kBad:
+          off = next_magic(bytes, off);
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<u8> seal_record(RecordType type, const std::vector<u8>& payload) {
+  std::vector<u8> rec;
+  rec.reserve(kHeaderBytes + payload.size());
+  put_u32(rec, kRecordMagic);
+  put_u8(rec, static_cast<u8>(type));
+  put_u8(rec, kFormatVersion);
+  put_u16(rec, 0);  // reserved
+  put_u32(rec, static_cast<u32>(payload.size()));
+  put_u32(rec, crc32(payload));
+  rec.insert(rec.end(), payload.begin(), payload.end());
+  return rec;
+}
+
+void join_records(JournalStore& store, const std::vector<RawRecord>& records,
+                  std::size_t segment_bytes) {
+  u64 seg_index = 0;
+  std::string active = segment_name(seg_index++);
+  std::size_t active_bytes = 0;
+  for (const RawRecord& rec : records) {
+    if (rec.bytes.empty()) continue;
+    if (active_bytes >= segment_bytes) {
+      active = segment_name(seg_index++);
+      active_bytes = 0;
+    }
+    store.append(active, rec.bytes.data(), rec.bytes.size());
+    active_bytes += rec.bytes.size();
+  }
+  // An all-empty record list still yields a journal: an empty one.
+  if (active_bytes == 0) {
+    const u8 dummy = 0;
+    store.append(active, &dummy, 0);
+  }
+}
+
+u64 total_bytes(const std::vector<RawRecord>& records) {
+  u64 n = 0;
+  for (const RawRecord& r : records) n += r.bytes.size();
+  return n;
 }
 
 u32 store_digest(const JournalStore& s) {

@@ -285,4 +285,56 @@ struct ScanResult {
 };
 ScanResult scan_segment(const std::vector<u8>& bytes);
 
+// ---------------------------------------------------------------------------
+// Record-level splice/rewrite helpers (the fuzzing substrate)
+// ---------------------------------------------------------------------------
+
+/// One record as raw wire bytes (header + payload). Splitting a journal
+/// into RawRecords and joining them back is the unit the journal-mutation
+/// fuzzer operates on: record-level ops (drop/dup/swap/splice/truncate)
+/// permute whole blobs, byte-level ops mutate inside one blob — including
+/// mutations that deliberately leave the header CRC stale.
+struct RawRecord {
+  RecordType type = RecordType::kEvent;
+  std::vector<u8> bytes;  ///< full wire record: 16-byte header + payload
+
+  const u8* payload() const { return bytes.data() + kHeaderBytes; }
+  std::size_t payload_len() const {
+    return bytes.size() >= kHeaderBytes ? bytes.size() - kHeaderBytes : 0;
+  }
+};
+
+/// Split every INTACT record of a store into raw wire blobs, in journal
+/// order. Malformed bytes and torn tails are dropped (the fuzzer reintroduces
+/// corruption deliberately, it never inherits it from the substrate).
+std::vector<RawRecord> split_records(const JournalStore& store);
+
+/// Build one wire record (header with correct length + payload CRC) around
+/// a payload — the CRC-preserving re-stamp after a field-aware mutation.
+std::vector<u8> seal_record(RecordType type, const std::vector<u8>& payload);
+
+/// Append raw record blobs VERBATIM into `store`, rotating segments at
+/// `segment_bytes` with the writer's canonical names. Blobs whose CRC no
+/// longer matches are written unchanged — that is the point: the mutant
+/// journal must carry the corruption to the decoder under test.
+void join_records(JournalStore& store, const std::vector<RawRecord>& records,
+                  std::size_t segment_bytes = 1u << 20);
+
+/// Total wire bytes across a record list.
+u64 total_bytes(const std::vector<RawRecord>& records);
+
+// ---------------------------------------------------------------------------
+// Planted defect (test-only)
+// ---------------------------------------------------------------------------
+
+/// TEST-ONLY defect switch for the fuzz smoke gate: while armed,
+/// decode_event VIOLATES its never-throws contract by throwing on one
+/// specific field pattern (sc_args[1] == 0xDEADBEEF — a value the
+/// field-aware mutator can synthesize from its interesting-constant
+/// table, and no legitimate recording contains). Ships disarmed; the
+/// fuzz bench and tests arm it to prove the campaign finds and shrinks
+/// a real decode bug end to end.
+void arm_planted_decode_bug(bool on);
+bool planted_decode_bug_armed();
+
 }  // namespace hypertap::journal

@@ -1,21 +1,67 @@
 #include "journal/replay.hpp"
 
+#include <cstdio>
+
 namespace hypertap::journal {
 
+const char* to_string(DivergenceContext::Kind k) {
+  switch (k) {
+    case DivergenceContext::Kind::kNone:
+      return "none";
+    case DivergenceContext::Kind::kMismatch:
+      return "mismatch";
+    case DivergenceContext::Kind::kMissing:
+      return "missing";
+    case DivergenceContext::Kind::kSurplus:
+      return "surplus";
+  }
+  return "?";
+}
+
+std::string DivergenceContext::describe() const {
+  if (!diverged()) return "none";
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "%s alarm=%lld record=%lld want=%08x got=%08x",
+                to_string(kind), static_cast<long long>(alarm_index),
+                static_cast<long long>(record_index), expected_digest,
+                actual_digest);
+  return buf;
+}
+
+namespace {
+u32 alarm_digest(const Alarm& a) {
+  const std::vector<u8> b = alarm_bytes(a);
+  return crc32(b.data(), b.size());
+}
+}  // namespace
+
 void Replayer::compare(ReplayResult& r, const std::vector<i64>& record_of) {
+  auto diverge = [&](DivergenceContext::Kind kind, std::size_t i) {
+    r.matches_recording = false;
+    r.first_divergence = static_cast<i64>(i);
+    DivergenceContext& d = r.divergence;
+    d.kind = kind;
+    d.alarm_index = static_cast<i64>(i);
+    if (i < r.recorded.size()) {
+      d.record_index = record_of[i];
+      d.expected_digest = alarm_digest(r.recorded[i]);
+    }
+    if (i < r.alarms.size()) d.actual_digest = alarm_digest(r.alarms[i]);
+    r.divergence_record = d.record_index;
+  };
+
   const std::size_t n = std::min(r.alarms.size(), r.recorded.size());
   for (std::size_t i = 0; i < n; ++i) {
     if (alarm_bytes(r.alarms[i]) != alarm_bytes(r.recorded[i])) {
-      r.matches_recording = false;
-      r.first_divergence = static_cast<i64>(i);
-      r.divergence_record = record_of[i];
+      diverge(DivergenceContext::Kind::kMismatch, i);
       return;
     }
   }
   if (r.alarms.size() != r.recorded.size()) {
-    r.matches_recording = false;
-    r.first_divergence = static_cast<i64>(n);
-    r.divergence_record = n < r.recorded.size() ? record_of[n] : -1;
+    diverge(r.recorded.size() > n ? DivergenceContext::Kind::kMissing
+                                  : DivergenceContext::Kind::kSurplus,
+            n);
   }
 }
 

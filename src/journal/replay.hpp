@@ -26,6 +26,34 @@
 
 namespace hypertap::journal {
 
+/// Structured context for the first replay-vs-recording divergence.
+/// Everything in here is chosen to be stable under shrinking: the kind and
+/// the alarm digests survive record removal (unlike raw indices, which are
+/// also reported but shift as the journal shrinks). The fuzzer builds its
+/// failure signatures from the stable half.
+struct DivergenceContext {
+  enum class Kind : u8 {
+    kNone = 0,   ///< replay matched the recording
+    kMismatch,   ///< produced alarm differs byte-for-byte from recorded
+    kMissing,    ///< recording has an alarm the replay never produced
+    kSurplus,    ///< replay produced an alarm the recording lacks
+  };
+
+  Kind kind = Kind::kNone;
+  i64 alarm_index = -1;    ///< index into the alarm sequence
+  i64 record_index = -1;   ///< journal record index of the recorded alarm
+                           ///< (-1 for a surplus produced alarm)
+  RecordType record_kind = RecordType::kAlarm;  ///< decoded kind at that record
+  u32 expected_digest = 0;  ///< crc32 of the recorded alarm's bytes (0 = none)
+  u32 actual_digest = 0;    ///< crc32 of the produced alarm's bytes (0 = none)
+
+  bool diverged() const { return kind != Kind::kNone; }
+  /// One-line human-readable summary ("mismatch alarm=2 record=17 ...").
+  std::string describe() const;
+};
+
+const char* to_string(DivergenceContext::Kind k);
+
 struct ReplayResult {
   u64 events = 0;  ///< event records fed through the pipeline
   u64 timers = 0;  ///< timer ticks re-dispatched
@@ -47,6 +75,10 @@ struct ReplayResult {
   /// Journal record index of the recorded alarm at the divergence point
   /// (-1 when the divergence is a surplus produced alarm).
   i64 divergence_record = -1;
+  /// Structured first-divergence context (kind + digests are the
+  /// shrink-stable identity; the indices above are kept for callers that
+  /// want to pinpoint the record).
+  DivergenceContext divergence;
 };
 
 class Replayer {

@@ -54,6 +54,10 @@ struct Telemetry {
   do {                                    \
     if ((g) != nullptr) (g)->set(v);      \
   } while (0)
+#define HT_GAUGE_ADD(g, v)                \
+  do {                                    \
+    if ((g) != nullptr) (g)->add(v);      \
+  } while (0)
 /// `h` is a cached Histogram*.
 #define HT_OBSERVE(h, v)                  \
   do {                                    \
@@ -95,6 +99,9 @@ struct Telemetry {
   do {                   \
   } while (0)
 #define HT_GAUGE_SET(g, v) \
+  do {                     \
+  } while (0)
+#define HT_GAUGE_ADD(g, v) \
   do {                     \
   } while (0)
 #define HT_OBSERVE(h, v) \

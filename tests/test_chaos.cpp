@@ -231,6 +231,38 @@ TEST(ChaosEngine, SameSeedSameFaultsByteForByte) {
   EXPECT_GT(a.stats().faults(), 0u) << "30% rates over 300 events must fire";
 }
 
+TEST(ChaosEngine, PerEventStreamsMakeFaultsIndependent) {
+  // Each intercepted event draws from its own Rng(stream_seed(seed, n)):
+  // enabling an unrelated fault must not change how another fault shapes a
+  // given event. Corrupt-only vs corrupt+dup engines must corrupt every
+  // event IDENTICALLY — the dup coin comes later in the same per-event
+  // stream and duplicates the already-corrupted payload verbatim.
+  chaos::ChaosConfig corrupt_only;
+  corrupt_only.seed = 42;
+  corrupt_only.corrupt_p = 1.0;
+  chaos::ChaosConfig corrupt_and_dup = corrupt_only;
+  corrupt_and_dup.dup_p = 1.0;
+
+  chaos::ChaosEngine a(corrupt_only), b(corrupt_and_dup);
+  for (u64 i = 1; i <= 100; ++i) {
+    std::vector<Event> out_a, out_b;
+    a.intercept(ev(i), out_a);
+    b.intercept(ev(i), out_b);
+    ASSERT_EQ(out_a.size(), 1u);
+    ASSERT_EQ(out_b.size(), 2u);
+    std::vector<u8> ba, bb0, bb1;
+    journal::encode_event(out_a[0], ba);
+    journal::encode_event(out_b[0], bb0);
+    journal::encode_event(out_b[1], bb1);
+    ASSERT_EQ(ba, bb0) << "event " << i
+                       << ": dup knob perturbed the corruption shape";
+    ASSERT_EQ(bb0, bb1) << "event " << i << ": dup must be a verbatim copy";
+  }
+  EXPECT_EQ(a.stats().corrupted, 100u);
+  EXPECT_EQ(b.stats().corrupted, 100u);
+  EXPECT_EQ(b.stats().duplicated, 100u);
+}
+
 TEST(ChaosEngine, DropEverythingAndDuplicateEverything) {
   chaos::ChaosConfig drop_all;
   drop_all.drop_p = 1.0;

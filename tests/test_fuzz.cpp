@@ -1,0 +1,435 @@
+// Coverage-guided journal-mutation fuzzer: coverage-map semantics, the
+// deterministic seed-streamed mutator, the replay-pipeline oracle, ddmin
+// auto-shrink, seed-corpus recording from fi::Campaign scenarios, and the
+// acceptance differential — same master seed at threads=1 and threads=8
+// must produce byte-identical corpora, finding signatures and shrunk
+// reproducers.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exec/fuzz_campaign.hpp"
+#include "fi/campaign.hpp"
+#include "fi/locations.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/coverage.hpp"
+#include "fuzz/mutator.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/shrink.hpp"
+#include "journal/journal.hpp"
+#include "util/rng.hpp"
+
+namespace hypertap {
+namespace {
+
+using journal::JournalWriter;
+using journal::MemoryJournalStore;
+using journal::RawRecord;
+using journal::RecordType;
+
+/// Arms the test-only decode bug for one scope; never leaks into other
+/// tests even on assertion failure.
+struct PlantedBugGuard {
+  PlantedBugGuard() { journal::arm_planted_decode_bug(true); }
+  ~PlantedBugGuard() { journal::arm_planted_decode_bug(false); }
+};
+
+Event fuzz_event(u64 seq) {
+  Event e;
+  e.kind = EventKind::kProcessSwitch;
+  e.reason = hav::ExitReason::kCrAccess;
+  e.vcpu = static_cast<int>(seq % 2);
+  e.time = static_cast<SimTime>(1000 + seq * 50);
+  e.seq = seq;
+  e.cr3_old = 0x1000 + seq;
+  e.cr3_new = 0x1000 + seq + 1;
+  e.sc_args[0] = 1;
+  e.sc_args[1] = 2;
+  e.sc_args[2] = 3;
+  e.csum = e.payload_checksum();
+  return e;
+}
+
+/// A cheap synthetic seed: `n` events plus a sprinkling of timer and alarm
+/// records so every mutation family has material to work on. Recording
+/// consistency with a live pipeline is NOT required — the oracle treats
+/// replay-vs-recording divergence as coverage, not failure.
+fuzz::CorpusEntry synthetic_seed(const std::string& name, u64 n) {
+  MemoryJournalStore store;
+  JournalWriter w(store);
+  for (u64 i = 0; i < n; ++i) {
+    w.append_event(fuzz_event(i));
+    if (i % 7 == 3) w.append_timer(static_cast<SimTime>(i * 50), "goshd");
+    if (i % 11 == 5) {
+      w.append_alarm(Alarm{static_cast<SimTime>(i * 50), "goshd", "vcpu-hang",
+                           "synthetic", static_cast<int>(i % 2), 0});
+    }
+  }
+  return fuzz::make_entry(name, store);
+}
+
+std::vector<RawRecord> records_of(const fuzz::CorpusEntry& e) {
+  return e.records;
+}
+
+// ------------------------------ coverage --------------------------------
+
+TEST(FuzzCoverage, CountClassesFollowAflBuckets) {
+  // count_class returns the class as a one-hot bitmask (bit k for class
+  // k), ready to OR into the global map's per-bucket class byte.
+  EXPECT_EQ(fuzz::CoverageMap::count_class(0), 0);
+  EXPECT_EQ(fuzz::CoverageMap::count_class(1), 1 << 0);
+  EXPECT_EQ(fuzz::CoverageMap::count_class(2), 1 << 1);
+  EXPECT_EQ(fuzz::CoverageMap::count_class(3), 1 << 2);
+  EXPECT_EQ(fuzz::CoverageMap::count_class(4), 1 << 3);
+  EXPECT_EQ(fuzz::CoverageMap::count_class(7), 1 << 3);
+  EXPECT_EQ(fuzz::CoverageMap::count_class(8), 1 << 4);
+  EXPECT_EQ(fuzz::CoverageMap::count_class(15), 1 << 4);
+  EXPECT_EQ(fuzz::CoverageMap::count_class(31), 1 << 5);
+  EXPECT_EQ(fuzz::CoverageMap::count_class(32), 1 << 6);
+  EXPECT_EQ(fuzz::CoverageMap::count_class(127), 1 << 6);
+  EXPECT_EQ(fuzz::CoverageMap::count_class(128), 1 << 7);
+  EXPECT_EQ(fuzz::CoverageMap::count_class(1u << 20), 1 << 7);
+}
+
+TEST(FuzzCoverage, MergeReportsOnlyFreshBucketClassPairs) {
+  fuzz::CoverageMap global;
+  fuzz::CoverageMap exec1;
+  exec1.hit(fuzz::CoverageMap::kind_edge(0, 1, 0));
+  exec1.hit(fuzz::CoverageMap::alarm_feature("goshd", "vcpu-hang"));
+  EXPECT_GT(global.merge_new_classes(exec1), 0u)
+      << "first merge must report new coverage";
+  EXPECT_EQ(global.merge_new_classes(exec1), 0u)
+      << "re-merging the identical execution must be boring";
+
+  // Same bucket, higher count class: fresh again.
+  fuzz::CoverageMap exec2;
+  for (int i = 0; i < 10; ++i) {
+    exec2.hit(fuzz::CoverageMap::kind_edge(0, 1, 0));
+  }
+  EXPECT_GT(global.merge_new_classes(exec2), 0u)
+      << "a new count class in a known bucket is new coverage";
+  EXPECT_GT(global.buckets_hit(), 0u);
+}
+
+TEST(FuzzCoverage, FeatureDomainsAreDisjointAndDigestIsOrderSensitive) {
+  EXPECT_NE(fuzz::CoverageMap::kind_edge(1, 2, 0),
+            fuzz::CoverageMap::reason_edge(1, 2));
+  EXPECT_NE(fuzz::CoverageMap::outcome_feature(1, 2),
+            fuzz::CoverageMap::kind_edge(1, 2, 0));
+
+  fuzz::CoverageMap a;
+  fuzz::CoverageMap b;
+  EXPECT_EQ(a.digest(), b.digest());
+  a.hit(fuzz::CoverageMap::reason_edge(3, 4));
+  EXPECT_NE(a.digest(), b.digest());
+  b.hit(fuzz::CoverageMap::reason_edge(3, 4));
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+// ------------------------------ mutator ---------------------------------
+
+TEST(FuzzMutator, SameStreamSeedSameMutantByteForByte) {
+  const auto seed = synthetic_seed("s", 24);
+  fuzz::Mutator mut;
+  for (u64 k = 0; k < 32; ++k) {
+    auto a = records_of(seed);
+    auto b = records_of(seed);
+    util::Rng ra(util::stream_seed(2014, k));
+    util::Rng rb(util::stream_seed(2014, k));
+    mut.mutate(a, ra);
+    mut.mutate(b, rb);
+    ASSERT_EQ(a.size(), b.size()) << "mutant " << k;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].bytes, b[i].bytes) << "mutant " << k << " record " << i;
+    }
+  }
+}
+
+TEST(FuzzMutator, DistinctStreamsDecorrelate) {
+  const auto seed = synthetic_seed("s", 24);
+  fuzz::Mutator mut;
+  int identical = 0;
+  auto base = records_of(seed);
+  for (u64 k = 0; k < 16; ++k) {
+    auto a = records_of(seed);
+    auto b = records_of(seed);
+    util::Rng ra(util::stream_seed(2014, 2 * k));
+    util::Rng rb(util::stream_seed(2014, 2 * k + 1));
+    mut.mutate(a, ra);
+    mut.mutate(b, rb);
+    const bool same =
+        a.size() == b.size() &&
+        [&] {
+          for (std::size_t i = 0; i < a.size(); ++i) {
+            if (a[i].bytes != b[i].bytes) return false;
+          }
+          return true;
+        }();
+    identical += same ? 1 : 0;
+  }
+  EXPECT_LT(identical, 4) << "adjacent streams should produce different "
+                             "mutants almost always";
+}
+
+TEST(FuzzMutator, MutantsStayParseableOrQuarantinable) {
+  // Whatever the mutator emits, the reader must be able to walk it without
+  // throwing — that is the journal's core robustness contract.
+  const auto seed = synthetic_seed("s", 24);
+  fuzz::Mutator mut;
+  for (u64 k = 0; k < 64; ++k) {
+    auto recs = records_of(seed);
+    util::Rng rng(util::stream_seed(7, k));
+    mut.mutate(recs, rng);
+    MemoryJournalStore store;
+    journal::join_records(store, recs);
+    journal::JournalReader reader(store);
+    u64 n = 0;
+    while (reader.next().has_value()) ++n;
+    EXPECT_LE(n, recs.size()) << "reader cannot invent records";
+  }
+}
+
+TEST(FuzzMutator, RespectsRecordCountCeiling) {
+  fuzz::Mutator::Config cfg;
+  cfg.max_ops = 8;
+  cfg.max_records = 30;
+  fuzz::Mutator mut(cfg);
+  auto recs = records_of(synthetic_seed("s", 24));
+  for (u64 k = 0; k < 200; ++k) {
+    util::Rng rng(util::stream_seed(11, k));
+    mut.mutate(recs, rng);
+    ASSERT_LE(recs.size(), 30u + 8u)
+        << "dup/splice must stop growing past max_records";
+    if (recs.empty()) break;
+  }
+}
+
+// ------------------------------ oracle ----------------------------------
+
+TEST(FuzzOracle, CleanJournalClassifiesClean) {
+  fuzz::OracleConfig cfg;
+  fuzz::Oracle oracle(cfg);
+  const auto seed = synthetic_seed("s", 20);
+  const fuzz::OracleResult r = oracle.run(seed.records);
+  EXPECT_EQ(r.verdict, fuzz::Verdict::kClean) << r.signature.str();
+  EXPECT_FALSE(r.signature.failing());
+  EXPECT_EQ(r.records, seed.records.size());
+  EXPECT_GT(r.events, 0u);
+  EXPECT_GT(r.coverage.buckets_hit(), 0u) << "replay must produce coverage";
+}
+
+TEST(FuzzOracle, CrcBrokenRecordIsQuarantinedNotACrash) {
+  fuzz::Oracle oracle(fuzz::OracleConfig{});
+  auto recs = records_of(synthetic_seed("s", 20));
+  // Flip a payload bit in a middle record: CRC mismatch => quarantine.
+  recs[recs.size() / 2].bytes[journal::kHeaderBytes] ^= 0x01;
+  const fuzz::OracleResult r = oracle.run(recs);
+  EXPECT_EQ(r.verdict, fuzz::Verdict::kClean) << r.signature.str();
+  EXPECT_GE(r.quarantined, 1u);
+}
+
+TEST(FuzzOracle, PlantedDecodeBugYieldsStableCrashSignature) {
+  PlantedBugGuard armed;
+  fuzz::Oracle oracle(fuzz::OracleConfig{});
+  auto recs = records_of(synthetic_seed("s", 12));
+  Event trigger = fuzz_event(99);
+  trigger.sc_args[1] = 0xDEADBEEFu;
+  trigger.csum = trigger.payload_checksum();
+  std::vector<u8> payload;
+  journal::encode_event(trigger, payload);
+  RawRecord rr;
+  rr.type = RecordType::kEvent;
+  rr.bytes = journal::seal_record(RecordType::kEvent, payload);
+  recs.insert(recs.begin() + 5, rr);
+
+  const fuzz::OracleResult r = oracle.run(recs);
+  EXPECT_EQ(r.verdict, fuzz::Verdict::kCrash);
+  EXPECT_EQ(r.signature.str(), "crash:planted-decode-bug");
+
+  // Re-running the same input must reproduce the same signature (the
+  // shrinker depends on signature stability).
+  EXPECT_EQ(oracle.run(recs).signature, r.signature);
+
+  // Disarmed, the same bytes are a perfectly healthy journal.
+  journal::arm_planted_decode_bug(false);
+  EXPECT_EQ(oracle.run(recs).verdict, fuzz::Verdict::kClean);
+  journal::arm_planted_decode_bug(true);  // guard dtor re-disarms
+}
+
+// ------------------------------ shrinker --------------------------------
+
+TEST(FuzzShrink, DdminReducesPlantedBugToSingleRecord) {
+  PlantedBugGuard armed;
+  fuzz::Oracle oracle(fuzz::OracleConfig{});
+  auto recs = records_of(synthetic_seed("s", 40));
+  Event trigger = fuzz_event(123);
+  trigger.sc_args[1] = 0xDEADBEEFu;
+  trigger.csum = trigger.payload_checksum();
+  std::vector<u8> payload;
+  journal::encode_event(trigger, payload);
+  RawRecord rr;
+  rr.type = RecordType::kEvent;
+  rr.bytes = journal::seal_record(RecordType::kEvent, payload);
+  recs.insert(recs.begin() + 17, rr);
+
+  const fuzz::Signature sig = oracle.run(recs).signature;
+  ASSERT_TRUE(sig.failing());
+
+  fuzz::Shrinker shrinker;
+  fuzz::ShrinkStats stats;
+  const auto reduced = shrinker.shrink(oracle, recs, sig, stats);
+
+  EXPECT_TRUE(stats.verified);
+  EXPECT_LE(reduced.size(), 10u) << "acceptance: reproducer <= 10 records";
+  EXPECT_EQ(reduced.size(), 1u) << "one record suffices for this bug";
+  EXPECT_LT(stats.bytes_after, stats.bytes_before);
+  EXPECT_EQ(oracle.run(reduced).signature, sig)
+      << "the reproducer must still fail with the same signature";
+}
+
+TEST(FuzzShrink, DeterministicForSameInputAndBudget) {
+  PlantedBugGuard armed;
+  fuzz::Oracle oracle(fuzz::OracleConfig{});
+  auto recs = records_of(synthetic_seed("s", 16));
+  Event trigger = fuzz_event(7);
+  trigger.sc_args[1] = 0xDEADBEEFu;
+  trigger.csum = trigger.payload_checksum();
+  std::vector<u8> payload;
+  journal::encode_event(trigger, payload);
+  RawRecord rr;
+  rr.type = RecordType::kEvent;
+  rr.bytes = journal::seal_record(RecordType::kEvent, payload);
+  recs.insert(recs.begin() + 3, rr);
+
+  const fuzz::Signature sig = oracle.run(recs).signature;
+  fuzz::Shrinker shrinker;
+  fuzz::ShrinkStats s1, s2;
+  const auto r1 = shrinker.shrink(oracle, recs, sig, s1);
+  const auto r2 = shrinker.shrink(oracle, recs, sig, s2);
+  ASSERT_EQ(r1.size(), r2.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].bytes, r2[i].bytes);
+  }
+  EXPECT_EQ(s1.oracle_runs, s2.oracle_runs);
+}
+
+// ---------------------------- seed corpus -------------------------------
+
+TEST(FuzzSeedCorpus, ExportsTruncatedJournalsFromCampaignScenarios) {
+  const auto locations = fi::generate_locations(2014);
+  fi::SeedCorpusConfig scfg;
+  scfg.seed = 2014;
+  scfg.scenarios = 2;
+  scfg.max_records = 60;
+  const auto seeds = fi::export_seed_corpus(locations, scfg);
+  ASSERT_EQ(seeds.size(), 2u);
+  for (const auto& sj : seeds) {
+    EXPECT_FALSE(sj.name.empty());
+    ASSERT_NE(sj.store, nullptr);
+    const auto recs = journal::split_records(*sj.store);
+    EXPECT_GT(recs.size(), 0u) << sj.name << " recorded nothing";
+    EXPECT_LE(recs.size(), 60u) << sj.name << " not truncated";
+  }
+  // Same config twice => byte-identical seed journals (recording is
+  // deterministic).
+  const auto again = fi::export_seed_corpus(locations, scfg);
+  ASSERT_EQ(again.size(), seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(again[i].name, seeds[i].name);
+    EXPECT_EQ(journal::store_digest(*again[i].store),
+              journal::store_digest(*seeds[i].store));
+  }
+}
+
+// ----------------------------- campaign ---------------------------------
+
+exec::FuzzOptions small_campaign(int threads, u64 max_execs) {
+  exec::FuzzOptions opts;
+  opts.threads = threads;
+  opts.master_seed = 2014;
+  opts.max_execs = max_execs;
+  opts.batch = 32;
+  return opts;
+}
+
+std::vector<fuzz::CorpusEntry> campaign_seeds() {
+  return {synthetic_seed("seed-a", 24), synthetic_seed("seed-b", 40),
+          synthetic_seed("seed-c", 16)};
+}
+
+TEST(FuzzCampaign, StopTokenHaltsAtRoundBoundary) {
+  exec::FuzzOptions opts = small_campaign(2, 1u << 20);
+  exec::StopSource stop;
+  opts.stop = stop.token();
+  opts.on_round = [&](u64 execs, u64) {
+    if (execs >= 32) stop.request_stop();
+  };
+  const exec::FuzzReport r =
+      exec::FuzzCampaignRunner(campaign_seeds(), std::move(opts)).run();
+  EXPECT_GE(r.execs, 32u);
+  EXPECT_LE(r.execs, 96u) << "stop must take effect within a round or two";
+}
+
+// The acceptance differential: same master seed at threads=1 and
+// threads=8 must produce byte-identical corpora, finding signatures and
+// shrunk reproducers — and the campaign must actually FIND the planted
+// decode bug via mutation and shrink it to <= 10 records.
+TEST(FuzzDeterminism, SameSeedSameFindingsAcrossThreadCounts) {
+  PlantedBugGuard armed;
+  const u64 kExecs = 2048;
+
+  auto run_arm = [&](int threads) {
+    return exec::FuzzCampaignRunner(campaign_seeds(),
+                                    small_campaign(threads, kExecs))
+        .run();
+  };
+  const exec::FuzzReport serial = run_arm(1);
+  const exec::FuzzReport parallel = run_arm(8);
+
+  // Canonical surfaces: byte-identical.
+  EXPECT_EQ(serial.summary, parallel.summary);
+  EXPECT_EQ(serial.corpus_digest, parallel.corpus_digest);
+  EXPECT_EQ(serial.coverage_digest, parallel.coverage_digest);
+  EXPECT_EQ(serial.execs, parallel.execs);
+  EXPECT_EQ(serial.first_finding_exec, parallel.first_finding_exec);
+
+  // Findings: same signatures, same originating mutants, byte-identical
+  // shrunk reproducers.
+  ASSERT_EQ(serial.findings.size(), parallel.findings.size());
+  for (std::size_t i = 0; i < serial.findings.size(); ++i) {
+    const auto& a = serial.findings[i];
+    const auto& b = parallel.findings[i];
+    EXPECT_EQ(a.signature, b.signature);
+    EXPECT_EQ(a.mutant_index, b.mutant_index);
+    EXPECT_EQ(a.duplicates, b.duplicates);
+    ASSERT_EQ(a.repro.size(), b.repro.size());
+    for (std::size_t j = 0; j < a.repro.size(); ++j) {
+      EXPECT_EQ(a.repro[j].bytes, b.repro[j].bytes)
+          << "finding " << i << " repro record " << j;
+    }
+  }
+
+  // The campaign must find the planted bug within the exec budget and
+  // shrink it to a verified minimal reproducer.
+  bool planted_found = false;
+  for (const auto& f : serial.findings) {
+    if (f.signature.verdict == fuzz::Verdict::kCrash &&
+        f.signature.detail.find("planted") != std::string::npos) {
+      planted_found = true;
+      EXPECT_TRUE(f.shrink.verified);
+      EXPECT_LE(f.shrink.records_after, 10u);
+      EXPECT_GT(f.mutant_index, 0u)
+          << "the bug must be found by MUTATION, not present in a seed";
+    }
+  }
+  EXPECT_TRUE(planted_found)
+      << "planted decode bug not found in " << kExecs
+      << " execs; summary:\n"
+      << serial.summary;
+  EXPECT_GT(serial.first_finding_exec, 0u);
+}
+
+}  // namespace
+}  // namespace hypertap

@@ -434,6 +434,35 @@ TEST(JournalReplay, CorruptedJournalPinpointsFirstDivergentRecord) {
   EXPECT_GE(res.first_divergence, 0);
   EXPECT_GE(res.divergence_record, 0)
       << "the oracle must name the journal record where replay diverged";
+
+  // The structured context mirrors the legacy fields and adds the
+  // shrink-stable identity: divergence kind + alarm digests.
+  const journal::DivergenceContext& d = res.divergence;
+  EXPECT_TRUE(d.diverged());
+  EXPECT_NE(d.kind, journal::DivergenceContext::Kind::kNone);
+  EXPECT_EQ(d.alarm_index, res.first_divergence);
+  EXPECT_EQ(d.record_index, res.divergence_record);
+  EXPECT_EQ(d.record_kind, RecordType::kAlarm);
+  if (d.kind == journal::DivergenceContext::Kind::kMismatch) {
+    EXPECT_NE(d.expected_digest, d.actual_digest)
+        << "a byte mismatch must show in the digests";
+  } else {
+    EXPECT_NE(d.expected_digest, 0u);
+  }
+  EXPECT_NE(d.describe(), "none");
+}
+
+TEST(JournalReplay, CleanReplayReportsNoDivergenceContext) {
+  MemoryJournalStore store;
+  record_session(store);
+  Pipeline fresh = make_pipeline();
+  journal::Replayer rp(store);
+  const auto res = rp.replay(*fresh.em, *fresh.ctx,
+                             fresh.vm->machine.hypervisor().vcpu(0));
+  EXPECT_TRUE(res.matches_recording);
+  EXPECT_FALSE(res.divergence.diverged());
+  EXPECT_EQ(res.divergence.kind, journal::DivergenceContext::Kind::kNone);
+  EXPECT_EQ(res.divergence.describe(), "none");
 }
 
 TEST(JournalReplay, SkipRecordsReplaysOnlyTheSuffix) {
@@ -487,6 +516,104 @@ TEST(Journal, HyperTapAttachRecordsEventsTimersAndAlarms) {
   EXPECT_GT(timers, 0u) << "GOSHD's periodic ticks must be journaled";
   EXPECT_EQ(alarms, ht.alarms().all().size())
       << "every raised alarm must be journaled as ground truth";
+}
+
+// --------------------------- canonical merge ----------------------------
+// Edge cases the fuzzer's journal splicing will hit.
+
+TEST(JournalMerge, EmptyInputSetYieldsEmptyJournal) {
+  MemoryJournalStore out;
+  JournalWriter w(out);
+  EXPECT_EQ(journal::merge_journals({}, w), 0u);
+  EXPECT_EQ(journal::merge_journals({nullptr, nullptr}, w), 0u);
+  JournalReader r(out);
+  EXPECT_FALSE(r.next().has_value());
+}
+
+TEST(JournalMerge, SingleJournalRoundTripsByteIdentically) {
+  MemoryJournalStore part;
+  record_session(part);
+
+  MemoryJournalStore out;
+  JournalWriter w(out);
+  const u64 copied = journal::merge_journals({&part}, w);
+  EXPECT_GT(copied, 0u);
+  // Same records, same default segmentation: the merged journal is the
+  // part, byte for byte.
+  EXPECT_EQ(journal::store_digest(out), journal::store_digest(part));
+}
+
+TEST(JournalMerge, DuplicateSequenceRangesArePreservedVerbatim) {
+  // Two parts recording the SAME session: overlapping seq ranges must not
+  // be deduplicated — the merge is evidence concatenation, not repair.
+  MemoryJournalStore a;
+  record_session(a);
+  MemoryJournalStore b;
+  record_session(b);
+
+  u64 part_records = 0;
+  {
+    JournalReader r(a);
+    while (r.next()) ++part_records;
+  }
+  MemoryJournalStore out;
+  JournalWriter w(out);
+  const u64 copied = journal::merge_journals({&a, &b}, w);
+  EXPECT_EQ(copied, 2 * part_records);
+
+  // Both copies survive in part order: seq sequence restarts once.
+  u64 restarts = 0;
+  u64 prev_seq = 0;
+  JournalReader r(out);
+  while (auto rec = r.next()) {
+    if (rec->type != RecordType::kEvent) continue;
+    if (rec->event.seq < prev_seq) ++restarts;
+    prev_seq = rec->event.seq;
+  }
+  EXPECT_EQ(restarts, 1u);
+}
+
+TEST(JournalMerge, QuarantinedMidJournalSegmentIsSkippedAndHealed) {
+  MemoryJournalStore a;
+  record_session(a);
+  MemoryJournalStore b;
+  record_session(b);
+
+  u64 part_records = 0;
+  {
+    JournalReader r(b);
+    while (r.next()) ++part_records;
+  }
+  // Corrupt the MIDDLE record of part b (a payload byte, located via the
+  // record splitter so the damage is guaranteed to be a CRC failure, not a
+  // torn length): the reader quarantines it, and the merge must copy
+  // everything else.
+  const auto recs = journal::split_records(b);
+  ASSERT_GT(recs.size(), 4u);
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < recs.size() / 2; ++i) off += recs[i].bytes.size();
+  const auto seg = b.segments().front();
+  std::vector<u8>* raw = b.raw(seg);
+  ASSERT_NE(raw, nullptr);
+  (*raw)[off + journal::kHeaderBytes] ^= 0x01;
+
+  MemoryJournalStore out;
+  JournalWriter w(out);
+  const u64 copied = journal::merge_journals({&a, &b}, w);
+  {
+    JournalReader rb(b);
+    u64 b_intact = 0;
+    while (rb.next()) ++b_intact;
+    EXPECT_GE(rb.quarantined(), 1u);
+    EXPECT_EQ(copied, part_records + b_intact);
+  }
+  // The merged journal is fully intact: quarantine does not propagate.
+  JournalReader r(out);
+  u64 merged = 0;
+  while (r.next()) ++merged;
+  EXPECT_EQ(merged, copied);
+  EXPECT_EQ(r.quarantined(), 0u);
+  EXPECT_FALSE(r.torn_tail());
 }
 
 }  // namespace

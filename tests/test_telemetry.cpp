@@ -24,6 +24,7 @@ namespace hypertap {
 namespace {
 
 using hvsim::telemetry::FlightRecorder;
+using hvsim::telemetry::Gauge;
 using hvsim::telemetry::Histogram;
 using hvsim::telemetry::Labels;
 using hvsim::telemetry::Registry;
@@ -80,6 +81,20 @@ TEST(TelemetryRegistry, LabelOrderIsCanonicalized) {
   EXPECT_EQ(reg.counter_value("x", {{"b", "2"}, {"a", "1"}}), 3u);
   EXPECT_EQ(Registry::series_key("x", {{"b", "2"}, {"a", "1"}}),
             "x{a=\"1\",b=\"2\"}");
+}
+
+TEST(TelemetryRegistry, GaugeMacrosGuardNullAndAccumulate) {
+  Registry reg;
+  Gauge* g = reg.gauge("ht_fuzz_corpus_bytes");
+  HT_GAUGE_SET(g, 10.0);
+  HT_GAUGE_ADD(g, 5.0);
+  HT_GAUGE_ADD(g, -2.0);
+  EXPECT_DOUBLE_EQ(g->value(), 13.0);
+
+  Gauge* unwired = nullptr;
+  HT_GAUGE_SET(unwired, 99.0);  // must be a safe no-op
+  HT_GAUGE_ADD(unwired, 99.0);
+  EXPECT_DOUBLE_EQ(g->value(), 13.0);
 }
 
 TEST(TelemetryRegistry, CardinalityGuardCollapsesToOverflowSeries) {
