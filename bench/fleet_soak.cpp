@@ -1,0 +1,334 @@
+// Fleet-soak bench + supervisor-decision latency gate (CI): drive the
+// hierarchical supervision tree over synthetic fleets of 1k and 10k
+// managers and measure the wall-clock cost of one root tick — the
+// cross-VM decision made at every epoch barrier.
+//
+// The managers implement recovery::Supervisable directly (no guest, no
+// auditors, kDetachedVm slots) so the bench measures the real scheduler:
+// pending-set draining, the lazy-deletion deadline heap, the remediation
+// gate, the per-epoch journal checkpoint. A small deterministic fraction
+// of the fleet "flaps" (incident -> remediation -> probation -> healthy on
+// a seeded schedule); the rest stay quiescent forever, which is exactly
+// what the O(active) claim is about: tick latency must track the flapping
+// few, not the fleet size.
+//
+// Exit status is the gate:
+//  - ticks_delivered must stay O(active): within 4x of the flapping
+//    fleet's own demand and far below epochs * managers;
+//  - two identical 1k runs must render byte-identical ledgers
+//    (determinism of the tree itself, no sim underneath);
+//  - p99 root-tick latency at 10k managers must stay under a generous
+//    ceiling (shared CI boxes are slow; the ratio 10k/1k is recorded in
+//    the JSON for trend tracking but not gated — it is noise-dominated
+//    at these absolute latencies).
+//
+// Artifacts: BENCH_fleet_soak.json plus fleet_soak_ledger_<n>.txt and
+// fleet_soak_telemetry_<n>.json next to it (CI uploads all three).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "hv/multi_vm.hpp"
+#include "journal/journal.hpp"
+#include "recovery/fleet.hpp"
+#include "recovery/supervisable.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/rng.hpp"
+
+using namespace hvsim;
+using namespace hypertap;
+
+namespace {
+
+/// Minimal deterministic recovery state machine: healthy until the next
+/// scheduled incident, then suspect (polling the remediation gate every
+/// epoch), one remedy once the gate opens, a probation window, back to
+/// healthy with the next incident drawn from the per-manager stream.
+class SyntheticManager final : public recovery::Supervisable {
+ public:
+  SyntheticManager(u64 seed, u64 id, bool flapper, SimTime horizon)
+      : rng_(util::stream_seed(seed, id)), horizon_(horizon) {
+    if (flapper) next_incident_ = draw_incident(1'000'000'000);
+  }
+
+  void tick(SimTime now) override {
+    switch (health_) {
+      case recovery::VmHealth::kHealthy:
+        if (next_incident_ >= 0 && now >= next_incident_) {
+          health_ = recovery::VmHealth::kSuspect;
+          incident_at_ = next_incident_;
+          next_incident_ = -1;
+        }
+        break;
+      case recovery::VmHealth::kSuspect: {
+        if (gate_ && !gate_()) break;  // budget exhausted; retry next epoch
+        if (pause_) pause_();
+        recovery::RemediationRecord rec;
+        rec.at = now;
+        rec.attempt = 1;
+        rec.kind = recovery::RemedyKind::kResync;
+        rec.ok = true;
+        rec.trigger = "synthetic-incident";
+        history_.push_back(rec);
+        if (on_remediated_) on_remediated_(rec);
+        health_ = recovery::VmHealth::kProbation;
+        probation_until_ = now + 1'000'000'000;  // 1 s
+        break;
+      }
+      case recovery::VmHealth::kProbation:
+        if (now >= probation_until_) {
+          health_ = recovery::VmHealth::kHealthy;
+          ++episodes_recovered_;
+          mttr_total_ += now - incident_at_;
+          ++mttr_samples_;
+          next_incident_ = draw_incident(now);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  recovery::VmHealth health() const override { return health_; }
+
+  SimTime next_due(SimTime now) const override {
+    switch (health_) {
+      case recovery::VmHealth::kHealthy:
+        return next_incident_;  // -1 = quiescent forever
+      case recovery::VmHealth::kSuspect:
+        return now;  // gate-blocked: poll every epoch
+      case recovery::VmHealth::kProbation:
+        return probation_until_;
+      default:
+        return -1;
+    }
+  }
+
+  void set_attention_hook(std::function<void()> fn) override {
+    attention_ = std::move(fn);
+  }
+  void set_remediation_gate(std::function<bool()> gate) override {
+    gate_ = std::move(gate);
+  }
+  void set_pause_hook(std::function<void()> fn) override {
+    pause_ = std::move(fn);
+  }
+  void set_on_remediated(
+      std::function<void(const recovery::RemediationRecord&)> fn) override {
+    on_remediated_ = std::move(fn);
+  }
+
+  const std::vector<recovery::RemediationRecord>& history() const override {
+    return history_;
+  }
+  u64 episodes_recovered() const override { return episodes_recovered_; }
+  SimTime mttr_total() const override { return mttr_total_; }
+  u64 mttr_samples() const override { return mttr_samples_; }
+  u64 checkpoint_bytes() const override { return 0; }
+  u64 gate_timeouts() const override { return 0; }
+
+  /// Ticks this manager would demand if scheduling were perfect: one per
+  /// incident onset, one per epoch gate-blocked (bounded below by 1), one
+  /// to close probation. The bench compares delivered ticks against the
+  /// sum of this across the fleet.
+  u64 episodes_started() const { return static_cast<u64>(history_.size()); }
+
+ private:
+  SimTime draw_incident(SimTime after) {
+    // Mean ~6 s between incidents; stop scheduling near the horizon so
+    // every episode can close inside the run.
+    const SimTime gap = 2'000'000'000 + static_cast<SimTime>(
+                                            rng_.below(8'000'000'000ull));
+    const SimTime at = after + gap;
+    return at + 3'000'000'000 < horizon_ ? at : -1;
+  }
+
+  util::Rng rng_;
+  SimTime horizon_;
+  recovery::VmHealth health_ = recovery::VmHealth::kHealthy;
+  SimTime next_incident_ = -1;
+  SimTime incident_at_ = 0;
+  SimTime probation_until_ = 0;
+  u64 episodes_recovered_ = 0;
+  SimTime mttr_total_ = 0;
+  u64 mttr_samples_ = 0;
+  std::vector<recovery::RemediationRecord> history_;
+
+  std::function<void()> attention_;
+  std::function<bool()> gate_;
+  std::function<void()> pause_;
+  std::function<void(const recovery::RemediationRecord&)> on_remediated_;
+};
+
+std::string artifact_path(const std::string& name) {
+  std::string dir;
+  if (const char* d = std::getenv("HYPERTAP_BENCH_DIR")) dir = d;
+  return (dir.empty() ? "" : dir + "/") + name;
+}
+
+struct SoakResult {
+  double mean_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+  u64 epochs = 0;
+  u64 ticks_delivered = 0;
+  u64 demanded_ticks = 0;
+  u64 remediations = 0;
+  u64 recoveries = 0;
+  std::string ledger_text;
+};
+
+SoakResult run_soak(std::size_t managers, u64 seed, bool write_artifacts) {
+  constexpr SimTime kTick = 250'000'000;    // 250 ms epochs
+  constexpr SimTime kHorizon = 60'000'000'000;  // 60 simulated seconds
+  constexpr std::size_t kRackSize = 64;
+  const std::size_t flap_stride = 50;  // 2% of the fleet flaps
+
+  hv::MultiVmHost host;  // empty: every slot is kDetachedVm
+  recovery::RootSupervisor::Options opts;
+  opts.max_concurrent_remediations = 8;
+  opts.per_tenant_max_remediations = 2;
+  opts.remediation_downtime = 500'000'000;
+  opts.tick = kTick;
+  recovery::RootSupervisor root(host, opts);
+
+  std::vector<std::unique_ptr<SyntheticManager>> fleet;
+  fleet.reserve(managers);
+  for (std::size_t i = 0; i < managers; ++i) {
+    fleet.push_back(std::make_unique<SyntheticManager>(
+        seed, static_cast<u64>(i), i % flap_stride == 0, kHorizon));
+    root.manage(i / kRackSize, recovery::RootSupervisor::kDetachedVm,
+                *fleet.back(), nullptr, /*tenant=*/i % 16);
+  }
+
+  telemetry::Telemetry tel;
+  root.set_telemetry(&tel);
+  journal::MemoryJournalStore store;
+  journal::JournalWriter writer(store);
+  root.set_journal(&writer);
+
+  SoakResult r;
+  std::vector<double> lat_us;
+  lat_us.reserve(static_cast<std::size_t>(kHorizon / kTick) + 1);
+  for (SimTime cursor = kTick; cursor <= kHorizon; cursor += kTick) {
+    const auto t0 = std::chrono::steady_clock::now();
+    root.tick(cursor);
+    lat_us.push_back(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  r.epochs = root.epochs();
+
+  double sum = 0;
+  for (double v : lat_us) sum += v;
+  std::sort(lat_us.begin(), lat_us.end());
+  r.mean_us = sum / static_cast<double>(lat_us.size());
+  r.p99_us = lat_us[(lat_us.size() * 99) / 100 == lat_us.size()
+                        ? lat_us.size() - 1
+                        : (lat_us.size() * 99) / 100];
+  r.max_us = lat_us.back();
+
+  for (std::size_t i = 0; i < root.num_racks(); ++i) {
+    r.ticks_delivered += root.rack(i).ticks_delivered();
+  }
+  for (const auto& m : fleet) {
+    // Perfect-scheduler demand: every manager is armed once; each episode
+    // costs roughly onset + remedy + probation-close plus gate-blocked
+    // polls (bounded by the downtime window in epochs).
+    r.demanded_ticks += 1 + m->episodes_started() * 3;
+  }
+  const auto ledger = root.ledger();
+  r.remediations = ledger.remediations;
+  r.recoveries = ledger.recoveries;
+  r.ledger_text = root.ledger_text();
+
+  if (write_artifacts) {
+    const std::string n = std::to_string(managers);
+    std::ofstream lf(artifact_path("fleet_soak_ledger_" + n + ".txt"));
+    lf << r.ledger_text;
+    std::ofstream tf(artifact_path("fleet_soak_telemetry_" + n + ".json"));
+    tf << tel.registry.json();
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  htbench::BenchReport report("fleet_soak");
+  report.param("seed", 2014);
+  report.param("epochs_horizon_s", 60);
+
+  bool failed = false;
+  std::cout << "fleet_soak: supervisor-decision latency\n\n";
+  std::cout << "managers  mean_us   p99_us   max_us  ticks_delivered  "
+               "remediations  recoveries\n";
+
+  SoakResult r1k_a;
+  double p99_10k_us = 0;
+  for (const std::size_t n : {std::size_t{1'000}, std::size_t{10'000}}) {
+    const SoakResult r = run_soak(n, 2014, /*write_artifacts=*/true);
+    std::printf("%8zu  %7.1f  %7.1f  %7.1f  %15llu  %12llu  %10llu\n", n,
+                r.mean_us, r.p99_us, r.max_us,
+                static_cast<unsigned long long>(r.ticks_delivered),
+                static_cast<unsigned long long>(r.remediations),
+                static_cast<unsigned long long>(r.recoveries));
+    const std::string k = "n" + std::to_string(n) + ".";
+    report.metric(k + "tick_mean_us", r.mean_us);
+    report.metric(k + "tick_p99_us", r.p99_us);
+    report.metric(k + "tick_max_us", r.max_us);
+    report.metric(k + "epochs", static_cast<double>(r.epochs));
+    report.metric(k + "ticks_delivered",
+                  static_cast<double>(r.ticks_delivered));
+    report.metric(k + "demanded_ticks", static_cast<double>(r.demanded_ticks));
+    report.metric(k + "remediations", static_cast<double>(r.remediations));
+    report.metric(k + "recoveries", static_cast<double>(r.recoveries));
+
+    // O(active) gate: delivered ticks must track the flapping few, not the
+    // fleet. The 4x slack covers gate-blocked polling and stale heap
+    // entries (one idempotent extra tick each, by design).
+    const u64 naive = r.epochs * n;
+    report.metric(k + "naive_ticks", static_cast<double>(naive));
+    if (r.ticks_delivered > r.demanded_ticks * 4 ||
+        r.ticks_delivered * 10 > naive) {
+      std::cerr << "FAIL: scheduling is not O(active) at n=" << n << ": "
+                << r.ticks_delivered << " delivered vs " << r.demanded_ticks
+                << " demanded (naive " << naive << ")\n";
+      failed = true;
+    }
+    if (r.remediations == 0 || r.recoveries == 0) {
+      std::cerr << "FAIL: soak produced no episodes at n=" << n << "\n";
+      failed = true;
+    }
+    if (n == 1'000) r1k_a = r;
+    if (n == 10'000) p99_10k_us = r.p99_us;
+  }
+
+  // Determinism of the tree itself: same fleet, same seed, same ledger.
+  const SoakResult r1k_b = run_soak(1'000, 2014, /*write_artifacts=*/false);
+  if (r1k_b.ledger_text != r1k_a.ledger_text) {
+    std::cerr << "FAIL: two identical 1k soaks rendered different ledgers\n";
+    failed = true;
+  }
+
+  // Latency gate: generous absolute ceiling (shared CI boxes), still tight
+  // enough to catch an accidental O(fleet) scan per epoch at 10k managers.
+  const double kP99CeilingUs = 20'000.0;
+  report.metric("p99_ceiling_us", kP99CeilingUs);
+  report.write();
+  if (p99_10k_us > kP99CeilingUs) {
+    std::cerr << "FAIL: p99 supervisor-decision latency at 10k managers is "
+              << p99_10k_us << " us (ceiling " << kP99CeilingUs << ")\n";
+    failed = true;
+  }
+  if (failed) return 1;
+  std::cout << "\nfleet_soak: O(active) + determinism gates PASSED\n";
+  return 0;
+}

@@ -36,6 +36,10 @@ class TssIntegrity final : public Auditor {
 
   Cycles audit_cost_cycles() const override { return 120; }
 
+  /// The TR-relocation check IS the architectural invariant — it must keep
+  /// executing at every degradation-ladder rung.
+  bool architectural() const override { return true; }
+
   bool alerted(int vcpu) const { return alerted_.at(vcpu); }
 
  private:

@@ -26,6 +26,9 @@
 // logic; the chaos_sweep bench measures what that hardening buys.
 #pragma once
 
+#include <algorithm>
+#include <vector>
+
 #include "core/event_forwarder.hpp"
 #include "journal/journal.hpp"
 #include "recovery/checkpoint.hpp"
@@ -125,5 +128,43 @@ class ChaosEngine final : public EventInterceptor {
 /// primitive behind the journal fuzzer's CRC-breaking mutations; no-op on
 /// an empty buffer.
 void flip_bits(std::vector<u8>& bytes, util::Rng& rng, int flips);
+
+/// Supervisor-kill fault plan: the chaos class that attacks the recovery
+/// layer's *controller* rather than its data. A campaign harness consults
+/// should_kill(epoch) at every epoch barrier; when it fires, the harness
+/// destroys the supervision tree mid-flight (simulating a control-plane
+/// crash), rebuilds it, and resumes from the journal's last checkpoint
+/// group (recovery::RootSupervisor::resume_from_journal). The differential
+/// test then demands a byte-identical final ledger versus an unkilled run.
+///
+/// Kill epochs are drawn per-kill from Rng(stream_seed(seed, k)) — kill k's
+/// epoch never shifts when the kill count changes — then deduplicated and
+/// sorted, so a plan is exactly as reproducible as the campaign it attacks.
+/// Epoch 0 is never chosen (there is no checkpoint to resume from before
+/// the first barrier).
+class SupervisorKillPlan {
+ public:
+  SupervisorKillPlan(u64 seed, u64 campaign_epochs, int kills) {
+    if (campaign_epochs < 2 || kills <= 0) return;
+    for (int k = 0; k < kills; ++k) {
+      util::Rng rng(util::stream_seed(seed, static_cast<u64>(k)));
+      epochs_.push_back(1 + rng.below(campaign_epochs - 1));
+    }
+    std::sort(epochs_.begin(), epochs_.end());
+    epochs_.erase(std::unique(epochs_.begin(), epochs_.end()), epochs_.end());
+  }
+
+  /// True when the plan schedules a kill at this epoch barrier.
+  bool should_kill(u64 epoch) const {
+    return std::binary_search(epochs_.begin(), epochs_.end(), epoch);
+  }
+
+  /// Scheduled kill epochs, ascending and unique (may be fewer than
+  /// requested after dedup).
+  const std::vector<u64>& kill_epochs() const { return epochs_; }
+
+ private:
+  std::vector<u64> epochs_;
+};
 
 }  // namespace hypertap::chaos

@@ -134,6 +134,12 @@ class Auditor {
   /// run in parallel inside their container.
   virtual bool blocking() const { return false; }
 
+  /// Architectural-invariant auditors (TSS integrity and kin) are the
+  /// guaranteed-execution core of the monitor: the degradation ladder never
+  /// sheds their events, even in invariant-only mode, so the paper's
+  /// hardware-invariant checks keep running under monitor overload.
+  virtual bool architectural() const { return false; }
+
   /// Cycle cost of analyzing one event (charged to the guest only when
   /// blocking; tracked as container CPU time otherwise).
   virtual Cycles audit_cost_cycles() const { return 900; }

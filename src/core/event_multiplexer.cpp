@@ -44,6 +44,7 @@ void EventMultiplexer::wire_reg_telemetry(Registration& r) {
   r.tel.resyncs = reg.counter("ht_audit_resyncs_total", l);
   r.tel.quarantine_enter = reg.counter("ht_quarantine_enter_total", l);
   r.tel.quarantine_exit = reg.counter("ht_quarantine_exit_total", l);
+  r.tel.shed = reg.counter("ht_audit_shed_total", l);
   r.tel.container_cycles = reg.gauge("ht_container_cycles", l);
 }
 
@@ -59,6 +60,15 @@ bool EventMultiplexer::supervised_call(Registration& r, const Event* e,
       ++r.resyncs;
       HT_COUNT(r.tel.resyncs);
       r.auditor->on_gap(missed, ctx);
+    }
+    // Ladder-shed events since the last delivery: one consolidated gap so
+    // the auditor resynchronizes instead of trusting a holey stream.
+    if (r.shed_pending > 0) {
+      const u64 shed = r.shed_pending;
+      r.shed_pending = 0;
+      ++r.resyncs;
+      HT_COUNT(r.tel.resyncs);
+      r.auditor->on_gap(shed, ctx);
     }
     // In-band loss marker from an upstream channel (ring overflow).
     if (e != nullptr && e->gap_before > 0) {
@@ -150,6 +160,7 @@ void EventMultiplexer::flush_delivery(arch::Vcpu& vcpu, AuditContext& ctx) {
 void EventMultiplexer::deliver_one(arch::Vcpu& vcpu, const Event& e,
                                    AuditContext& ctx) {
   const EventMask bit = event_bit(e.kind);
+  backlog_drain(e.time);
   for (auto& r : regs_) {
     if ((r.auditor->subscriptions() & bit) == 0) continue;
     if (cfg_.supervise && !r.breaker.allow(e.time)) {
@@ -160,6 +171,9 @@ void EventMultiplexer::deliver_one(arch::Vcpu& vcpu, const Event& e,
       HT_COUNT(r.tel.suppressed);
       continue;
     }
+    // Degradation ladder: shed non-critical audits under overload. Shed
+    // events never touch the guest (no enqueue cost) or the backlog model.
+    if (shed_event(r)) continue;
     ++r.delivered;
     ++total_delivered_;
     HT_COUNT(r.tel.delivered);
@@ -171,6 +185,11 @@ void EventMultiplexer::deliver_one(arch::Vcpu& vcpu, const Event& e,
       r.container_cycles += r.auditor->audit_cost_cycles();
       HT_GAUGE_SET(r.tel.container_cycles,
                    static_cast<double>(r.container_cycles));
+      // Modeled container backlog: every admitted non-blocking audit adds
+      // its cost; the lazy drain above already credited elapsed capacity.
+      if (backlog_enabled()) {
+        backlog_cycles_ += static_cast<double>(r.auditor->audit_cost_cycles());
+      }
     }
     // The audit span nests under the enclosing forward/exit spans on this
     // vCPU track; its duration is the guest-synchronous share (blocking
@@ -179,6 +198,11 @@ void EventMultiplexer::deliver_one(arch::Vcpu& vcpu, const Event& e,
         HT_SPAN_BEGIN_ARG(tracer_, vm_id_, vcpu.id(), "audit", "pipeline",
                           e.time, r.auditor->name());
     if (!cfg_.supervise) {
+      if (r.shed_pending > 0) {
+        const u64 shed = r.shed_pending;
+        r.shed_pending = 0;
+        r.auditor->on_gap(shed, ctx);
+      }
       r.auditor->on_event(e, ctx);
       HT_SPAN_END(tracer_, span, vcpu.now());
       continue;
@@ -187,7 +211,8 @@ void EventMultiplexer::deliver_one(arch::Vcpu& vcpu, const Event& e,
     // nothing until a throw; the cold fault/recovery paths stay
     // out-of-line in supervised_call/record_fault.
     if (r.breaker.state() == resilience::BreakerState::kClosed &&
-        r.missed_while_open == 0 && e.gap_before == 0) [[likely]] {
+        r.missed_while_open == 0 && r.shed_pending == 0 &&
+        e.gap_before == 0) [[likely]] {
       try {
         r.auditor->on_event(e, ctx);
         r.breaker.on_success();  // closed stays closed; resets the streak
@@ -204,12 +229,24 @@ void EventMultiplexer::deliver_one(arch::Vcpu& vcpu, const Event& e,
   }
   HT_OBSERVE(fanout_hist_,
              static_cast<u64>(std::max<SimTime>(0, vcpu.now() - e.time)));
+  if (backlog_enabled()) backlog_edges(e.time);
 }
 
 bool EventMultiplexer::dispatch_timer(Auditor* a, SimTime now,
                                       AuditContext& ctx) {
   for (auto& r : regs_) {
     if (r.auditor != a) continue;
+    // Invariant-only rung: non-critical periodic work is shed too — and
+    // BEFORE the journal append, so a replay of the journal reproduces the
+    // suppression instead of re-dispatching a tick the recording skipped.
+    if (mode_ == AuditMode::kInvariantOnly && !a->blocking() &&
+        !a->architectural()) {
+      ++r.shed;
+      ++r.shed_pending;
+      ++total_shed_;
+      HT_COUNT(r.tel.shed);
+      return false;
+    }
     // Journal the tick before any breaker decision: the replayer drives
     // the same tick through the same breaker logic, so suppression is
     // reproduced rather than recorded.

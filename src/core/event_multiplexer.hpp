@@ -20,6 +20,8 @@
 // channel as guest health.
 #pragma once
 
+#include <algorithm>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,6 +42,13 @@ class JournalWriter;
 
 class EventMultiplexer {
  public:
+  /// Degradation-ladder rung for this VM's auditing (overload pressure
+  /// valve, Zhan-style selective monitoring): full fidelity, sampled
+  /// delivery to non-critical auditors, or architectural-invariant-only.
+  /// Blocking and architectural() auditors are ALWAYS delivered — the
+  /// guaranteed-execution core survives every rung.
+  enum class AuditMode : u8 { kFull = 0, kSampled = 1, kInvariantOnly = 2 };
+
   struct Config {
     /// Per-auditor non-blocking enqueue cost, charged to the guest.
     Cycles enqueue_cycles = 60;
@@ -56,6 +65,17 @@ class EventMultiplexer {
     /// clean in-process channel and the chaos benches measure exactly
     /// what it buys on a faulty one.
     DeliveryGuard::Config guard;
+    /// Deterministic audit-backlog model (0 = disabled). Every delivered
+    /// non-blocking audit adds its cost cycles to a modeled container
+    /// backlog, drained lazily against sim time at this rate; the rack
+    /// supervisor descends the degradation ladder when the backlog crosses
+    /// the high watermark. Pure function of the event stream — no wall
+    /// clock, no threads — so sharded runs model identical pressure.
+    double audit_capacity_cycles_per_ms = 0.0;
+    /// Edge-triggered high watermark on the modeled backlog (cycles);
+    /// fires once at crossing, re-arms below half (the AsyncAuditorChannel
+    /// watermark discipline). 0 = disabled.
+    u64 backlog_high_cycles = 0;
   };
 
   explicit EventMultiplexer(Config cfg) : cfg_(cfg), guard_(cfg.guard) {}
@@ -75,6 +95,11 @@ class EventMultiplexer {
     u64 resyncs = 0;            ///< on_gap notifications delivered
     std::string last_fault;     ///< what() of the most recent exception
 
+    // ---- Degradation-ladder state (overload shedding) ----
+    u64 shed = 0;          ///< lifetime events shed by the ladder
+    u64 shed_pending = 0;  ///< shed since last delivery (flushed via on_gap)
+    u64 sample_seen = 0;   ///< kSampled stride counter
+
     /// Cached registry series (nullptr when telemetry is unwired) —
     /// resolved once per registration, never looked up on the hot path.
     /// This is what makes delivered / container_cycles / the supervision
@@ -86,6 +111,7 @@ class EventMultiplexer {
       telemetry::Counter* resyncs = nullptr;
       telemetry::Counter* quarantine_enter = nullptr;
       telemetry::Counter* quarantine_exit = nullptr;
+      telemetry::Counter* shed = nullptr;
       telemetry::Gauge* container_cycles = nullptr;
     } tel;
   };
@@ -156,6 +182,45 @@ class EventMultiplexer {
   }
   const DeliveryGuard& guard() const { return guard_; }
 
+  // ---- Degradation ladder (rack-supervisor pressure valve) ----
+
+  /// Switch this VM's auditing to a ladder rung. `sample_every` > 0 also
+  /// updates the kSampled stride (every Nth subscribed event delivered to
+  /// non-critical auditors). Shed counts accumulate per registration and
+  /// are flushed to the auditor as one on_gap at its next delivery, so a
+  /// stateful auditor resynchronizes instead of trusting a holey stream.
+  void set_audit_mode(AuditMode m, u32 sample_every = 0) {
+    if (sample_every > 0) sample_every_ = sample_every;
+    mode_ = m;
+  }
+  AuditMode audit_mode() const { return mode_; }
+  u64 total_shed() const { return total_shed_; }
+
+  /// Modeled container backlog in cycles (0 when the model is disabled),
+  /// drained lazily up to `now`.
+  u64 backlog_cycles(SimTime now) {
+    backlog_drain(now);
+    return static_cast<u64>(backlog_cycles_);
+  }
+  /// Is the high watermark currently tripped (fired, not yet re-armed)?
+  bool backlog_watermark_active() const { return wm_fired_; }
+  /// Drain the modeled backlog to `now` and evaluate watermark edges even
+  /// when no events are flowing — the rack supervisor calls this every
+  /// epoch so pressure CLEARS within bounded epochs on a quiesced VM.
+  void poll_backlog(SimTime now) {
+    if (!backlog_enabled()) return;
+    backlog_drain(now);
+    backlog_edges(now);
+  }
+  /// Watermark edge callbacks: on_high(now, backlog_cycles, high) at the
+  /// crossing, on_clear(now) when the backlog re-arms below high/2.
+  void set_backlog_watermark_callbacks(
+      std::function<void(SimTime, u64, u64)> on_high,
+      std::function<void(SimTime)> on_clear) {
+    on_backlog_high_ = std::move(on_high);
+    on_backlog_clear_ = std::move(on_clear);
+  }
+
   /// Mirror every auditor timer tick into the durable journal (the
   /// Replayer re-dispatches them so timer-driven verdicts — GOSHD — are
   /// reproducible). nullptr detaches.
@@ -181,6 +246,49 @@ class EventMultiplexer {
                     AuditContext& ctx);
   void wire_reg_telemetry(Registration& r);
 
+  // ---- Backlog model helpers ----
+  bool backlog_enabled() const {
+    return cfg_.audit_capacity_cycles_per_ms > 0.0;
+  }
+  /// Lazy drain against sim time: capacity * elapsed ms, clamped at 0.
+  void backlog_drain(SimTime now) {
+    if (!backlog_enabled()) return;
+    if (now > backlog_drained_to_) {
+      const double elapsed_ms =
+          static_cast<double>(now - backlog_drained_to_) / 1e6;
+      backlog_cycles_ = std::max(
+          0.0, backlog_cycles_ - cfg_.audit_capacity_cycles_per_ms * elapsed_ms);
+      backlog_drained_to_ = now;
+    }
+  }
+  /// Edge-triggered watermark: fire at >= high, re-arm below high/2.
+  void backlog_edges(SimTime now) {
+    if (cfg_.backlog_high_cycles == 0) return;
+    const u64 b = static_cast<u64>(backlog_cycles_);
+    if (!wm_fired_ && b >= cfg_.backlog_high_cycles) {
+      wm_fired_ = true;
+      if (on_backlog_high_) on_backlog_high_(now, b, cfg_.backlog_high_cycles);
+    } else if (wm_fired_ && b < cfg_.backlog_high_cycles / 2) {
+      wm_fired_ = false;
+      if (on_backlog_clear_) on_backlog_clear_(now);
+    }
+  }
+  /// Shedding decision for one registration under the current rung.
+  /// Returns true when the event must be dropped (counted, gap-deferred).
+  bool shed_event(Registration& r) {
+    if (mode_ == AuditMode::kFull) return false;
+    if (r.auditor->blocking() || r.auditor->architectural()) return false;
+    if (mode_ == AuditMode::kSampled &&
+        (r.sample_seen++ % sample_every_) == 0) {
+      return false;
+    }
+    ++r.shed;
+    ++r.shed_pending;
+    ++total_shed_;
+    HT_COUNT(r.tel.shed);
+    return true;
+  }
+
   Config cfg_;
   std::vector<Registration> regs_;
   Rhc* rhc_ = nullptr;
@@ -193,6 +301,16 @@ class EventMultiplexer {
   u64 total_faults_ = 0;
   u64 total_suppressed_ = 0;
   u64 duplicates_suppressed_ = 0;
+
+  // ---- Degradation ladder + backlog model ----
+  AuditMode mode_ = AuditMode::kFull;
+  u32 sample_every_ = 4;  ///< kSampled stride (every Nth event delivered)
+  u64 total_shed_ = 0;
+  double backlog_cycles_ = 0.0;      ///< modeled container backlog
+  SimTime backlog_drained_to_ = 0;   ///< lazy-drain cursor
+  bool wm_fired_ = false;            ///< edge-trigger armed state
+  std::function<void(SimTime, u64, u64)> on_backlog_high_;
+  std::function<void(SimTime)> on_backlog_clear_;
 
   // Telemetry (nullptr when unwired).
   telemetry::Telemetry* telemetry_ = nullptr;

@@ -14,7 +14,7 @@ ShardedFleetHost::ShardedFleetHost(hv::MultiVmHost& host, Options opts)
   if (opts_.epoch <= 0) throw std::invalid_argument("epoch must be positive");
 }
 
-void ShardedFleetHost::set_supervisor(recovery::FleetSupervisor* sup) {
+void ShardedFleetHost::set_supervisor(recovery::RootSupervisor* sup) {
   sup_ = sup;
   if (sup_ != nullptr) opts_.epoch = sup_->options().tick;
 }
@@ -27,19 +27,38 @@ void ShardedFleetHost::run_until(SimTime t_end) {
   // Same cursor discipline as FleetSupervisor::run_until: the loop clock
   // must keep advancing even when every VM is paused, or resume deadlines
   // would never fire.
+  if (shard_by_rack_ && (sup_ == nullptr || sup_->num_racks() == 0)) {
+    throw std::logic_error("rack sharding needs a supervisor with racks");
+  }
+
+  // The supervisor's persisted cursor wins over a stale host clock (all
+  // VMs paused, or a segmented run resumed after a supervisor crash).
   SimTime cursor = host_.now();
+  if (sup_ != nullptr) cursor = std::max(cursor, sup_->cursor());
   while (cursor < t_end) {
     cursor = std::min(cursor + opts_.epoch, t_end);
     // Parallel phase: each shard advances its VMs (index order within the
     // shard). Only per-VM state is touched — the sharding contract of
     // MultiVmHost::step_vm_until.
-    pool.parallel_for(nshards, [&](std::size_t shard) {
-      for (std::size_t i = shard; i < host_.num_vms(); i += nshards) {
-        if (host_.step_vm_until(i, cursor)) {
-          vm_steps_.fetch_add(1, std::memory_order_relaxed);
+    if (shard_by_rack_) {
+      // One task per supervisor rack; rack topology, not thread count,
+      // partitions the fleet (the pool multiplexes racks over threads).
+      pool.parallel_for(sup_->num_racks(), [&](std::size_t rack) {
+        for (std::size_t i : sup_->rack(rack).vm_indices()) {
+          if (host_.step_vm_until(i, cursor)) {
+            vm_steps_.fetch_add(1, std::memory_order_relaxed);
+          }
         }
-      }
-    });
+      });
+    } else {
+      pool.parallel_for(nshards, [&](std::size_t shard) {
+        for (std::size_t i = shard; i < host_.num_vms(); i += nshards) {
+          if (host_.step_vm_until(i, cursor)) {
+            vm_steps_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
     // Barrier reached: all cross-VM decisions run here, single-threaded,
     // in canonical order.
     if (sup_ != nullptr) sup_->tick(cursor);

@@ -46,9 +46,18 @@ class ShardedFleetHost {
   ShardedFleetHost(hv::MultiVmHost& host, Options opts);
 
   /// Attach the supervisor whose tick() runs at every epoch barrier; also
-  /// adopts its tick period as the epoch (see Options::epoch). Pass
-  /// nullptr for a supervisor-less fleet (pure parallel stepping).
-  void set_supervisor(recovery::FleetSupervisor* sup);
+  /// adopts its tick period as the epoch (see Options::epoch). Accepts any
+  /// node of the supervision tree's root type (the legacy FleetSupervisor
+  /// facade included). Pass nullptr for a supervisor-less fleet (pure
+  /// parallel stepping).
+  void set_supervisor(recovery::RootSupervisor* sup);
+
+  /// Switch the parallel phase from vm%threads striping to rack-sharded
+  /// stepping: one task per supervisor rack, each advancing that rack's
+  /// VMs in index order. Requires an attached supervisor with at least one
+  /// rack. Same epoch-barrier determinism contract either way — only the
+  /// work partition changes, never the barrier-phase order.
+  void set_shard_by_rack(bool on) { shard_by_rack_ = on; }
 
   /// Advance the fleet to host time `t_end` in barrier-synchronized
   /// epochs. Blocking; drives the worker pool internally.
@@ -68,7 +77,8 @@ class ShardedFleetHost {
  private:
   hv::MultiVmHost& host_;
   Options opts_;
-  recovery::FleetSupervisor* sup_ = nullptr;
+  recovery::RootSupervisor* sup_ = nullptr;
+  bool shard_by_rack_ = false;
   u64 epochs_ = 0;
   std::atomic<u64> vm_steps_{0};
 };

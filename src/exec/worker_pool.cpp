@@ -35,7 +35,26 @@ WorkerPool::~WorkerPool() {
   }
   work_cv_.notify_all();
   idle_cv_.notify_all();
-  for (auto& t : threads_) t.join();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();  // already joined when drain_and_stop ran
+  }
+}
+
+void WorkerPool::drain_and_stop() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_cv_.wait(lk, [this]() { return pending_ == 0; });
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  // Workers are gone; no lock needed for the error handoff.
+  if (first_error_ != nullptr) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    std::rethrow_exception(err);
+  }
 }
 
 void WorkerPool::submit(Task t) {

@@ -61,6 +61,14 @@ class WorkerPool {
   /// task exception, if any (clearing it for subsequent batches).
   void wait_idle();
 
+  /// Drain, then shut down: wait for every submitted task to finish (no
+  /// task is dropped, unlike destruction-while-busy), stop and join all
+  /// workers, then rethrow the first captured task exception. After this
+  /// returns the pool accepts no new work (submit() counts it in
+  /// dropped()); the destructor becomes a no-op. Idempotent. Must not be
+  /// called from a worker thread.
+  void drain_and_stop();
+
   /// submit() fn(0..n-1) and wait_idle(). fn runs on worker threads; the
   /// caller blocks. Exceptions: first one rethrown after the batch drains.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);

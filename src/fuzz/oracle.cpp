@@ -163,6 +163,11 @@ OracleResult Oracle::run(const journal::JournalStore& store) {
             fail(Verdict::kInvariantViolation, "alarm-string-oversize");
           }
           break;
+        case journal::RecordType::kSupervisor:
+          if (rec->supervisor_state.size() > journal::kMaxPayload) {
+            fail(Verdict::kInvariantViolation, "supervisor-blob-oversize");
+          }
+          break;
       }
     }
     res.quarantined = reader.quarantined();

@@ -281,7 +281,7 @@ ParseStatus parse_record(const std::vector<u8>& b, std::size_t off,
   const u32 crc = get_u32(h + 12);
   if (version != kFormatVersion) return ParseStatus::kBad;
   if (t < static_cast<u8>(RecordType::kEvent) ||
-      t > static_cast<u8>(RecordType::kAlarm)) {
+      t > static_cast<u8>(RecordType::kSupervisor)) {
     return ParseStatus::kBad;
   }
   if (len > kMaxPayload) return ParseStatus::kBad;
@@ -517,6 +517,13 @@ void JournalWriter::append_alarm(const Alarm& a) {
   append_record(RecordType::kAlarm, payload);
 }
 
+void JournalWriter::append_supervisor(const std::vector<u8>& state) {
+  if (state.size() > kMaxPayload) {
+    throw std::length_error("supervisor checkpoint exceeds kMaxPayload");
+  }
+  append_record(RecordType::kSupervisor, state);
+}
+
 void JournalWriter::set_telemetry(telemetry::Telemetry* t, int vm_id) {
   if (t == nullptr) {
     for (auto& c : rec_counters_) c = nullptr;
@@ -532,6 +539,9 @@ void JournalWriter::set_telemetry(telemetry::Telemetry* t, int vm_id) {
       reg.counter("ht_journal_records_total", {{"type", "timer"}, {"vm", vm}});
   rec_counters_[static_cast<std::size_t>(RecordType::kAlarm)] =
       reg.counter("ht_journal_records_total", {{"type", "alarm"}, {"vm", vm}});
+  rec_counters_[static_cast<std::size_t>(RecordType::kSupervisor)] =
+      reg.counter("ht_journal_records_total",
+                  {{"type", "supervisor"}, {"vm", vm}});
   bytes_counter_ = reg.counter("ht_journal_bytes_total", {{"vm", vm}});
   rotations_counter_ = reg.counter("ht_journal_rotations_total", {{"vm", vm}});
 }
@@ -578,6 +588,12 @@ std::optional<Record> JournalReader::next() {
             break;
           case RecordType::kAlarm:
             ok = decode_alarm(payload, plen, rec.alarm);
+            break;
+          case RecordType::kSupervisor:
+            // Opaque blob: the CRC already vouched for the bytes; semantic
+            // validation belongs to the supervisor's own decoder.
+            rec.supervisor_state.assign(payload, payload + plen);
+            ok = true;
             break;
         }
         off_ = end;
@@ -628,6 +644,9 @@ u64 merge_journals(const std::vector<const JournalStore*>& parts,
           break;
         case RecordType::kAlarm:
           out.append_alarm(rec->alarm);
+          break;
+        case RecordType::kSupervisor:
+          out.append_supervisor(rec->supervisor_state);
           break;
       }
       ++copied;

@@ -62,9 +62,10 @@ inline constexpr std::size_t kHeaderBytes = 16;
 inline constexpr std::size_t kMaxPayload = 4096;
 
 enum class RecordType : u8 {
-  kEvent = 1,  ///< one forwarded Event (fixed-size payload)
-  kTimer = 2,  ///< one auditor timer tick (time + auditor name)
-  kAlarm = 3,  ///< one raised Alarm (ground truth for the replay oracle)
+  kEvent = 1,       ///< one forwarded Event (fixed-size payload)
+  kTimer = 2,       ///< one auditor timer tick (time + auditor name)
+  kAlarm = 3,       ///< one raised Alarm (ground truth for the replay oracle)
+  kSupervisor = 4,  ///< opaque fleet-supervisor checkpoint blob (recovery/fleet)
 };
 
 /// A decoded journal record (tagged union, value semantics).
@@ -76,6 +77,7 @@ struct Record {
   SimTime timer_time = 0;     // kTimer
   std::string timer_auditor;  // kTimer
   Alarm alarm;                // kAlarm
+  std::vector<u8> supervisor_state;  // kSupervisor (opaque to the journal)
 };
 
 // Payload codecs. Encoding appends to `out`; decoding returns false on any
@@ -188,6 +190,11 @@ class JournalWriter {
   void append_event(const Event& e);
   void append_timer(SimTime t, const std::string& auditor);
   void append_alarm(const Alarm& a);
+  /// Supervisor checkpoint blob, opaque to the journal layer (the fleet
+  /// supervision tree owns the encoding). Throws std::length_error past
+  /// kMaxPayload — an oversized checkpoint would be unreadable on resume,
+  /// so it must fail loudly at write time, not silently at recovery time.
+  void append_supervisor(const std::vector<u8>& state);
   void flush() { store_.flush(); }
 
   /// Total records ever appended (including those found on open). This is
@@ -217,7 +224,8 @@ class JournalWriter {
   OpenStats open_stats_;
   std::vector<u8> scratch_;    ///< reused encode buffer
 
-  telemetry::Counter* rec_counters_[4] = {nullptr, nullptr, nullptr, nullptr};
+  telemetry::Counter* rec_counters_[5] = {nullptr, nullptr, nullptr, nullptr,
+                                          nullptr};  ///< by RecordType
   telemetry::Counter* bytes_counter_ = nullptr;
   telemetry::Counter* rotations_counter_ = nullptr;
 };

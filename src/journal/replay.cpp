@@ -133,6 +133,11 @@ ReplayResult Replayer::run(EventMultiplexer& em, AuditContext& ctx,
         r.recorded.push_back(rec->alarm);
         record_of.push_back(static_cast<i64>(rec->index));
         break;
+      case RecordType::kSupervisor:
+        // Control-plane checkpoints are not pipeline inputs: the replayer
+        // reproduces the audit stream, the supervisor resumes from these
+        // itself (recovery::RootSupervisor::resume_from_journal).
+        break;
     }
   }
   if (!direct) em.flush_delivery(*vcpu, ctx);

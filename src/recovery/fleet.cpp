@@ -1,12 +1,530 @@
 #include "recovery/fleet.hpp"
 
 #include <algorithm>
+#include <sstream>
+
+#include "journal/journal.hpp"
 
 namespace hypertap::recovery {
 
-void FleetSupervisor::set_telemetry(telemetry::Telemetry* t) {
+namespace {
+
+// ---- Checkpoint wire format (little-endian, fleet-local) --------------
+//
+// Rack record:   u8 kind=1, u64 epoch, u32 rack, u8 mode, u32 clear_epochs,
+//                u64 descends, u64 restores, u32 n, n x {u32 slot, i64 at}
+// Commit record: u8 kind=2, u64 epoch, i64 cursor, u32 num_racks,
+//                u32 active_total
+//
+// Only what the TREE alone knows goes in: pending resume deadlines are
+// budget-bounded (a handful of entries), so a record stays far below
+// journal::kMaxPayload even on a 10k-VM rack. Everything else — manager
+// health, isolation, tenant topology, the recovery histories — survives a
+// supervisor crash inside the managers and is re-derived on resume.
+
+void put_u8(std::vector<u8>& b, u8 v) { b.push_back(v); }
+void put_u32(std::vector<u8>& b, u32 v) {
+  for (int i = 0; i < 4; ++i) b.push_back(static_cast<u8>(v >> (8 * i)));
+}
+void put_u64(std::vector<u8>& b, u64 v) {
+  for (int i = 0; i < 8; ++i) b.push_back(static_cast<u8>(v >> (8 * i)));
+}
+void put_i64(std::vector<u8>& b, i64 v) { put_u64(b, static_cast<u64>(v)); }
+
+/// Bounds-checked reader over a checkpoint blob; any overrun latches
+/// !ok() and yields zeros (a truncated record is simply not usable).
+struct ByteCursor {
+  explicit ByteCursor(const std::vector<u8>& bytes) : b(bytes) {}
+  const std::vector<u8>& b;
+  std::size_t off = 0;
+  bool valid = true;
+
+  u8 get_u8() {
+    if (off + 1 > b.size()) {
+      valid = false;
+      return 0;
+    }
+    return b[off++];
+  }
+  u32 get_u32() {
+    if (off + 4 > b.size()) {
+      valid = false;
+      return 0;
+    }
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<u32>(b[off + i]) << (8 * i);
+    off += 4;
+    return v;
+  }
+  u64 get_u64() {
+    if (off + 8 > b.size()) {
+      valid = false;
+      return 0;
+    }
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<u64>(b[off + i]) << (8 * i);
+    off += 8;
+    return v;
+  }
+  i64 get_i64() { return static_cast<i64>(get_u64()); }
+};
+
+struct RackState {
+  u32 rack = 0;
+  u8 mode = 0;
+  u32 clear_epochs = 0;
+  u64 descends = 0;
+  u64 restores = 0;
+  std::vector<std::pair<u32, i64>> resumes;  ///< (slot, resume_at)
+};
+
+struct CommitState {
+  i64 cursor = 0;
+  u32 num_racks = 0;
+  u32 active = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// RackSupervisor
+// ---------------------------------------------------------------------
+
+RackSupervisor::RackSupervisor(RootSupervisor& root, std::size_t id)
+    : root_(root), id_(id) {}
+
+void RackSupervisor::add(std::size_t vm_index, Supervisable& mgr, HyperTap* ht,
+                         u64 tenant) {
+  Slot s;
+  s.vm = vm_index;
+  s.mgr = &mgr;
+  s.ht = ht;
+  s.tenant = tenant;
+  s.attention = std::make_unique<std::atomic<bool>>(false);
+  slots_.push_back(std::move(s));
+  if (vm_index != RootSupervisor::kDetachedVm) vm_indices_.push_back(vm_index);
+  const std::size_t i = slots_.size() - 1;
+
+  // (Re-)wire every hook — a rebuilt supervisor must displace the dead
+  // tree's captured `this` pointers before anything can fire them.
+  mgr.set_remediation_gate(
+      [this, tenant]() { return root_.gate_open(tenant); });
+  mgr.set_pause_hook([this, i]() {
+    Slot& s = slots_[i];
+    if (s.vm != RootSupervisor::kDetachedVm && !root_.host_.paused(s.vm)) {
+      root_.host_.pause(s.vm);
+    }
+    if (!s.holds_token) {
+      s.holds_token = true;
+      root_.acquire(s.tenant);
+    }
+  });
+  mgr.set_on_remediated([this, i](const RemediationRecord& rec) {
+    Slot& s = slots_[i];
+    s.resume_at = rec.at + root_.opts_.remediation_downtime;
+    resume_watch_.push_back(i);
+  });
+  mgr.set_attention_hook([this, i]() {
+    // May run on a worker thread mid-epoch: flag + dedup'd dirty list,
+    // drained single-threaded at the next barrier.
+    if (!slots_[i].attention->exchange(true, std::memory_order_acq_rel)) {
+      std::lock_guard<std::mutex> lk(dirty_mu_);
+      dirty_.push_back(i);
+    }
+  });
+
+  if (ht != nullptr) {
+    ladder_enabled_ = true;
+    // Watermark edges surface as alarms in the VM's own sink — same
+    // channel as guest health, and deterministic (the modeled backlog is
+    // a pure function of the event stream).
+    ht->multiplexer().set_backlog_watermark_callbacks(
+        [ht](SimTime t, u64 backlog, u64 high) {
+          ht->alarms().raise(Alarm{t, "fleet", "backlog-watermark",
+                                   "backlog=" + std::to_string(backlog) +
+                                       " high=" + std::to_string(high),
+                                   -1, 0});
+        },
+        [ht](SimTime t) {
+          ht->alarms().raise(
+              Alarm{t, "fleet", "backlog-watermark-cleared", "", -1, 0});
+        });
+  }
+
+  // Touch every manager once on the first tick, then let next_due()/the
+  // attention hook govern.
+  arm(0, i);
+}
+
+void RackSupervisor::release_token(Slot& s) {
+  if (!s.holds_token) return;
+  s.holds_token = false;
+  root_.release(s.tenant);
+}
+
+void RackSupervisor::isolate(Slot& s) {
+  s.isolated = true;
+  s.resume_at = -1;  // a failed VM never resumes
+  release_token(s);
+  if (s.vm != RootSupervisor::kDetachedVm && !root_.host_.paused(s.vm)) {
+    root_.host_.pause(s.vm);
+  }
+}
+
+void RackSupervisor::rearm_from_due(Slot& s, SimTime cursor, std::size_t idx) {
+  if (s.isolated) return;
+  const SimTime nd = s.mgr->next_due(cursor);
+  if (nd < 0) return;  // quiescent: the attention hook re-enters it
+  arm(std::max(nd, cursor), idx);
+}
+
+void RackSupervisor::tick(SimTime cursor, u64 epoch) {
+  // 1. Resume deadlines (canonical slot order). The watch list is bounded
+  //    by the remediation budget, not the rack size.
+  if (!resume_watch_.empty()) {
+    std::sort(resume_watch_.begin(), resume_watch_.end());
+    resume_watch_.erase(
+        std::unique(resume_watch_.begin(), resume_watch_.end()),
+        resume_watch_.end());
+    std::vector<std::size_t> keep;
+    for (std::size_t i : resume_watch_) {
+      Slot& s = slots_[i];
+      if (s.resume_at < 0) continue;  // cancelled (isolation)
+      if (cursor >= s.resume_at) {
+        s.resume_at = -1;
+        release_token(s);
+        if (s.vm != RootSupervisor::kDetachedVm) {
+          root_.host_.resume(s.vm);
+          // Align even if every VM was paused (host_.now() stale then).
+          root_.host_.vm(s.vm).machine.skip_to(cursor);
+        }
+      } else {
+        keep.push_back(i);
+      }
+    }
+    resume_watch_.swap(keep);
+  }
+
+  // 2. Attention flags -> pending set.
+  {
+    std::lock_guard<std::mutex> lk(dirty_mu_);
+    for (std::size_t i : dirty_) {
+      slots_[i].attention->store(false, std::memory_order_release);
+      arm(cursor, i);
+    }
+    dirty_.clear();
+  }
+
+  // 3. Due heap entries -> manager ticks. Entries are popped (lazy
+  //    deletion: stale or duplicate ones are dropped via the epoch stamp)
+  //    then executed in canonical slot order for determinism.
+  due_.clear();
+  while (!heap_.empty() && heap_.top().first <= cursor) {
+    const std::size_t i = heap_.top().second;
+    heap_.pop();
+    Slot& s = slots_[i];
+    if (s.ticked_epoch == epoch) continue;
+    s.ticked_epoch = epoch;
+    due_.push_back(i);
+  }
+  std::sort(due_.begin(), due_.end());
+  for (std::size_t i : due_) {
+    Slot& s = slots_[i];
+    s.mgr->tick(cursor);
+    ++ticks_delivered_;
+    if (s.mgr->health() == VmHealth::kFailed && !s.isolated) isolate(s);
+    rearm_from_due(s, cursor, i);
+  }
+
+  // 4. Degradation ladder.
+  if (ladder_enabled_) run_ladder(cursor);
+}
+
+void RackSupervisor::run_ladder(SimTime cursor) {
+  using AM = EventMultiplexer::AuditMode;
+  // Poll EVERY governed mux so backlog pressure also clears on quiesced
+  // VMs (draining is lazy; without the poll a silent VM would hold its
+  // watermark forever).
+  bool pressure = false;
+  for (Slot& s : slots_) {
+    if (s.ht == nullptr) continue;
+    auto& mux = s.ht->multiplexer();
+    mux.poll_backlog(cursor);
+    if (mux.backlog_watermark_active()) pressure = true;
+  }
+  if (pressure) {
+    clear_epochs_ = 0;
+    if (mode_ != AM::kInvariantOnly) {
+      mode_ = (mode_ == AM::kFull) ? AM::kSampled : AM::kInvariantOnly;
+      ++descends_;
+      apply_mode(cursor);
+    }
+  } else if (mode_ != AM::kFull) {
+    if (++clear_epochs_ >= root_.opts_.ladder.clear_epochs_to_ascend) {
+      clear_epochs_ = 0;
+      mode_ = (mode_ == AM::kInvariantOnly) ? AM::kSampled : AM::kFull;
+      ++restores_;
+      apply_mode(cursor);
+    }
+  }
+}
+
+void RackSupervisor::apply_mode(SimTime cursor) {
+  (void)cursor;
+  for (Slot& s : slots_) {
+    if (s.ht != nullptr) {
+      s.ht->multiplexer().set_audit_mode(mode_,
+                                         root_.opts_.ladder.sample_every);
+    }
+  }
+  HT_GAUGE_SET(mode_gauge_, static_cast<double>(mode_));
+}
+
+void RackSupervisor::fold_into(FleetLedger& l) const {
+  for (const Slot& s : slots_) {
+    l.remediations += s.mgr->history().size();
+    for (const auto& rec : s.mgr->history()) {
+      if (rec.attempt > 0) ++l.escalations;
+    }
+    l.recoveries += s.mgr->episodes_recovered();
+    if (s.mgr->health() == VmHealth::kFailed) ++l.failed_vms;
+    l.mttr_total += s.mgr->mttr_total();
+    l.mttr_samples += s.mgr->mttr_samples();
+    l.checkpoint_bytes += s.mgr->checkpoint_bytes();
+    l.gate_timeouts += s.mgr->gate_timeouts();
+  }
+  l.ladder_descends += descends_;
+  l.ladder_restores += restores_;
+}
+
+std::vector<u8> RackSupervisor::encode_state(u64 epoch) const {
+  std::vector<u8> b;
+  put_u8(b, 1);
+  put_u64(b, epoch);
+  put_u32(b, static_cast<u32>(id_));
+  put_u8(b, static_cast<u8>(mode_));
+  put_u32(b, clear_epochs_);
+  put_u64(b, descends_);
+  put_u64(b, restores_);
+  u32 n = 0;
+  for (const Slot& s : slots_) {
+    if (s.resume_at >= 0) ++n;
+  }
+  put_u32(b, n);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].resume_at < 0) continue;
+    put_u32(b, static_cast<u32>(i));
+    put_i64(b, slots_[i].resume_at);
+  }
+  return b;
+}
+
+// ---------------------------------------------------------------------
+// RootSupervisor
+// ---------------------------------------------------------------------
+
+bool RootSupervisor::gate_open(u64 tenant) const {
+  if (active_ >= opts_.max_concurrent_remediations) return false;
+  if (opts_.per_tenant_max_remediations > 0) {
+    const auto it = tenant_active_.find(tenant);
+    if (it != tenant_active_.end() &&
+        it->second >= opts_.per_tenant_max_remediations) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void RootSupervisor::acquire(u64 tenant) {
+  ++active_;
+  ++tenant_active_[tenant];
+}
+
+void RootSupervisor::release(u64 tenant) {
+  --active_;
+  --tenant_active_[tenant];
+}
+
+void RootSupervisor::manage(std::size_t rack, std::size_t index,
+                            Supervisable& mgr, HyperTap* ht, u64 tenant) {
+  while (racks_.size() <= rack) {
+    racks_.push_back(
+        std::make_unique<RackSupervisor>(*this, racks_.size()));
+    if (telemetry_ != nullptr) {
+      racks_.back()->mode_gauge_ = telemetry_->registry.gauge(
+          "ht_fleet_rack_mode",
+          {{"rack", std::to_string(racks_.back()->id())}});
+    }
+  }
+  racks_[rack]->add(index, mgr, ht, tenant);
+}
+
+void RootSupervisor::tick(SimTime cursor) {
+  const u64 epoch = epoch_counter_;
+  for (auto& rack : racks_) rack->tick(cursor, epoch);
+  cursor_ = cursor;
+  if (journal_ != nullptr) {
+    // One record per rack, then the commit: resume finds the latest epoch
+    // whose whole group landed, so a torn tail degrades to the previous
+    // barrier instead of a half-applied tree.
+    for (auto& rack : racks_) {
+      journal_->append_supervisor(rack->encode_state(epoch));
+    }
+    std::vector<u8> commit;
+    put_u8(commit, 2);
+    put_u64(commit, epoch);
+    put_i64(commit, cursor_);
+    put_u32(commit, static_cast<u32>(racks_.size()));
+    put_u32(commit, static_cast<u32>(active_));
+    journal_->append_supervisor(commit);
+  }
+  ++epoch_counter_;
+  refresh_ledger_gauges();
+}
+
+void RootSupervisor::run_until(SimTime t_end) {
+  // `cursor` is the authoritative fleet clock: host_.now() alone cannot
+  // drive the loop, because with every VM paused it stops advancing and
+  // nothing would ever reach its resume deadline. After a journal resume
+  // the persisted cursor_ takes over from a possibly-stale host clock.
+  SimTime cursor = std::max(host_.now(), cursor_);
+  while (cursor < t_end) {
+    cursor = std::min(cursor + opts_.tick, t_end);
+    host_.run_until(cursor);
+    tick(cursor);
+  }
+}
+
+FleetLedger RootSupervisor::ledger() const {
+  FleetLedger l;
+  for (const auto& rack : racks_) rack->fold_into(l);
+  return l;
+}
+
+std::string RootSupervisor::ledger_text() const {
+  const FleetLedger l = ledger();
+  std::ostringstream os;
+  os << "remediations=" << l.remediations << "\n"
+     << "recoveries=" << l.recoveries << "\n"
+     << "escalations=" << l.escalations << "\n"
+     << "failed_vms=" << l.failed_vms << "\n"
+     << "mttr_total=" << l.mttr_total << "\n"
+     << "mttr_samples=" << l.mttr_samples << "\n"
+     << "checkpoint_bytes=" << l.checkpoint_bytes << "\n"
+     << "gate_timeouts=" << l.gate_timeouts << "\n"
+     << "ladder_descends=" << l.ladder_descends << "\n"
+     << "ladder_restores=" << l.ladder_restores << "\n";
+  return os.str();
+}
+
+bool RootSupervisor::resume_from_journal(const journal::JournalStore& store) {
+  std::map<u64, std::vector<RackState>> rack_states;
+  std::map<u64, CommitState> commits;
+  journal::JournalReader reader(store);
+  while (auto rec = reader.next()) {
+    if (rec->type != journal::RecordType::kSupervisor) continue;
+    ByteCursor c(rec->supervisor_state);
+    const u8 kind = c.get_u8();
+    const u64 epoch = c.get_u64();
+    if (kind == 1) {
+      RackState rs;
+      rs.rack = c.get_u32();
+      rs.mode = c.get_u8();
+      rs.clear_epochs = c.get_u32();
+      rs.descends = c.get_u64();
+      rs.restores = c.get_u64();
+      const u32 n = c.get_u32();
+      for (u32 k = 0; k < n && c.valid; ++k) {
+        const u32 slot = c.get_u32();
+        const i64 at = c.get_i64();
+        rs.resumes.emplace_back(slot, at);
+      }
+      if (c.valid) rack_states[epoch].push_back(std::move(rs));
+    } else if (kind == 2) {
+      CommitState cm;
+      cm.cursor = c.get_i64();
+      cm.num_racks = c.get_u32();
+      cm.active = c.get_u32();
+      if (c.valid) commits[epoch] = cm;
+    }
+  }
+
+  for (auto it = commits.rbegin(); it != commits.rend(); ++it) {
+    const u64 epoch = it->first;
+    const CommitState& cm = it->second;
+    if (cm.num_racks != racks_.size()) continue;  // topology mismatch
+    const auto rs_it = rack_states.find(epoch);
+    if (rs_it == rack_states.end()) continue;
+    std::vector<const RackState*> by_rack(racks_.size(), nullptr);
+    for (const RackState& rs : rs_it->second) {
+      if (rs.rack < racks_.size()) by_rack[rs.rack] = &rs;
+    }
+    if (std::find(by_rack.begin(), by_rack.end(), nullptr) != by_rack.end()) {
+      continue;  // incomplete group (torn tail) — fall back further
+    }
+
+    // Apply: the tree's volatile state comes from the checkpoint, manager
+    // truth (health, histories, isolation causes) from the live managers.
+    active_ = 0;
+    tenant_active_.clear();
+    cursor_ = cm.cursor;
+    epoch_counter_ = epoch + 1;
+    ++resumes_;
+    for (std::size_t r = 0; r < racks_.size(); ++r) {
+      RackSupervisor& rk = *racks_[r];
+      const RackState& rs = *by_rack[r];
+      rk.mode_ = static_cast<EventMultiplexer::AuditMode>(rs.mode);
+      rk.clear_epochs_ = rs.clear_epochs;
+      rk.descends_ = rs.descends;
+      rk.restores_ = rs.restores;
+      rk.heap_ = {};
+      rk.due_.clear();
+      rk.resume_watch_.clear();
+      {
+        std::lock_guard<std::mutex> lk(rk.dirty_mu_);
+        rk.dirty_.clear();
+      }
+      for (auto& s : rk.slots_) {
+        s.resume_at = -1;
+        s.holds_token = false;
+        s.isolated = false;
+        s.ticked_epoch = ~0ull;
+        s.attention->store(false, std::memory_order_release);
+      }
+      for (const auto& [slot, at] : rs.resumes) {
+        if (slot >= rk.slots_.size()) continue;
+        auto& s = rk.slots_[slot];
+        s.resume_at = at;
+        rk.resume_watch_.push_back(slot);
+        if (s.mgr->health() != VmHealth::kFailed) {
+          s.holds_token = true;
+          acquire(s.tenant);
+        }
+      }
+      for (std::size_t i = 0; i < rk.slots_.size(); ++i) {
+        auto& s = rk.slots_[i];
+        if (s.mgr->health() == VmHealth::kFailed) {
+          rk.isolate(s);
+          continue;
+        }
+        const SimTime nd = s.mgr->next_due(cursor_);
+        if (nd >= 0) rk.arm(nd, i);
+      }
+      // Re-assert the restored rung on the muxes (idempotent — they
+      // survived in-process, but a rebuilt topology must not trust that).
+      if (rk.ladder_enabled_) rk.apply_mode(cursor_);
+    }
+    refresh_ledger_gauges();
+    return true;
+  }
+  return false;
+}
+
+void RootSupervisor::set_telemetry(telemetry::Telemetry* t) {
+  telemetry_ = t;
   if (t == nullptr) {
     gauges_ = {};
+    for (auto& r : racks_) r->mode_gauge_ = nullptr;
     return;
   }
   auto& reg = t->registry;
@@ -17,82 +535,31 @@ void FleetSupervisor::set_telemetry(telemetry::Telemetry* t) {
   gauges_.mttr_mean_ns = reg.gauge("ht_fleet_mttr_mean_ns");
   gauges_.checkpoint_bytes = reg.gauge("ht_fleet_checkpoint_bytes");
   gauges_.active = reg.gauge("ht_fleet_active_remediations");
+  gauges_.gate_timeouts = reg.gauge("ht_fleet_gate_timeouts");
+  gauges_.ladder_descends = reg.gauge("ht_fleet_ladder_descends");
+  gauges_.ladder_restores = reg.gauge("ht_fleet_ladder_restores");
+  for (auto& r : racks_) {
+    r->mode_gauge_ = reg.gauge("ht_fleet_rack_mode",
+                               {{"rack", std::to_string(r->id())}});
+  }
   refresh_ledger_gauges();
 }
 
-void FleetSupervisor::refresh_ledger_gauges() const {
+void RootSupervisor::refresh_ledger_gauges() const {
 #ifndef HYPERTAP_TELEMETRY_DISABLED
   if (gauges_.remediations == nullptr) return;
-  const Ledger l = ledger();
+  const FleetLedger l = ledger();
   gauges_.remediations->set(static_cast<double>(l.remediations));
   gauges_.recoveries->set(static_cast<double>(l.recoveries));
   gauges_.escalations->set(static_cast<double>(l.escalations));
   gauges_.failed_vms->set(static_cast<double>(l.failed_vms));
   gauges_.mttr_mean_ns->set(static_cast<double>(l.mttr_mean()));
   gauges_.checkpoint_bytes->set(static_cast<double>(l.checkpoint_bytes));
-  gauges_.active->set(static_cast<double>(active_remediations_));
+  gauges_.active->set(static_cast<double>(active_));
+  gauges_.gate_timeouts->set(static_cast<double>(l.gate_timeouts));
+  gauges_.ladder_descends->set(static_cast<double>(l.ladder_descends));
+  gauges_.ladder_restores->set(static_cast<double>(l.ladder_restores));
 #endif
-}
-
-void FleetSupervisor::manage(std::size_t index, RecoveryManager& mgr) {
-  managed_.push_back(Managed{index, &mgr, -1});
-  const std::size_t slot = managed_.size() - 1;
-  mgr.set_remediation_gate([this]() {
-    return active_remediations_ < opts_.max_concurrent_remediations;
-  });
-  mgr.set_pause_hook([this, index]() {
-    if (!host_.paused(index)) {
-      host_.pause(index);
-      ++active_remediations_;
-    }
-  });
-  mgr.set_on_remediated([this, slot](const RemediationRecord& rec) {
-    // Keep the VM frozen for the simulated remediation downtime; the
-    // run_until loop resumes it when the deadline passes.
-    managed_[slot].resume_at = rec.at + opts_.remediation_downtime;
-  });
-}
-
-void FleetSupervisor::tick(SimTime cursor) {
-  for (auto& m : managed_) {
-    if (m.resume_at >= 0 && cursor >= m.resume_at) {
-      m.resume_at = -1;
-      --active_remediations_;
-      host_.resume(m.index);
-      // Align even if every VM was paused (host_.now() stale then).
-      host_.vm(m.index).machine.skip_to(cursor);
-    }
-  }
-  for (auto& m : managed_) m.mgr->tick(cursor);
-  refresh_ledger_gauges();
-}
-
-void FleetSupervisor::run_until(SimTime t_end) {
-  // `cursor` is the authoritative fleet clock: host_.now() alone cannot
-  // drive the loop, because with every VM paused it stops advancing and
-  // nothing would ever reach its resume deadline.
-  SimTime cursor = host_.now();
-  while (cursor < t_end) {
-    cursor = std::min(cursor + opts_.tick, t_end);
-    host_.run_until(cursor);
-    tick(cursor);
-  }
-}
-
-FleetSupervisor::Ledger FleetSupervisor::ledger() const {
-  Ledger l;
-  for (const auto& m : managed_) {
-    l.remediations += m.mgr->history().size();
-    for (const auto& rec : m.mgr->history()) {
-      if (rec.attempt > 0) ++l.escalations;
-    }
-    l.recoveries += m.mgr->episodes_recovered();
-    if (m.mgr->health() == VmHealth::kFailed) ++l.failed_vms;
-    l.mttr_total += m.mgr->mttr_total();
-    l.mttr_samples += m.mgr->mttr_samples();
-    l.checkpoint_bytes += m.mgr->checkpointer().bytes_captured();
-  }
-  return l;
 }
 
 }  // namespace hypertap::recovery

@@ -1,62 +1,204 @@
-// Fleet supervision (recovery layer 3).
+// Hierarchical fleet supervision (recovery layer 3).
 //
-// One FleetSupervisor sits on top of a MultiVmHost and a set of per-VM
-// RecoveryManagers. It contributes the host-level concerns the per-VM
-// state machines cannot decide alone:
+// A supervision TREE replaces the old monolithic FleetSupervisor: per-rack
+// RackSupervisors own the per-VM scheduling and the overload ladder, and
+// roll up into one RootSupervisor that owns the global policy — the
+// remediation concurrency budget, per-tenant QoS caps, the fleet ledger,
+// and the durable checkpoint stream.
 //
-//  - a concurrency cap on simultaneous remediations (restores are
-//    memory-bandwidth-heavy on a real host; remediating every VM at once
-//    is itself an availability incident),
-//  - per-VM isolation: a VM under remediation is paused on the host so it
-//    neither executes half-restored state nor stalls the slice rotation
-//    of its healthy co-tenants (MultiVmHost::now() skips paused VMs),
-//  - a recovery ledger aggregating MTTR, attempts, escalations and
-//    checkpoint footprint across the fleet.
+//  - Pending-set scheduling: a rack never polls every manager. Quiescent
+//    (healthy/failed) managers leave the pending set entirely; they
+//    re-enter through the Supervisable attention hook (an atomic flag +
+//    dirty list, safe to fire from worker threads mid-epoch) or through a
+//    lazy-deletion min-heap of (wake_time, slot) deadlines re-armed from
+//    Supervisable::next_due after every tick. Stale heap entries cost one
+//    idempotent extra tick, never a missed deadline — per-epoch work is
+//    O(active managers), not O(fleet).
+//  - Per-tenant QoS: the root's remediation gate closes when either the
+//    global budget or the offending tenant's budget is exhausted, so one
+//    tenant's failure storm cannot consume every remediation slot. The
+//    RecoveryPolicy rung_deadline bounds how long a rung may queue behind
+//    a closed gate before it is forced through anyway.
+//  - Degradation ladder: when any VM's modeled audit backlog trips its
+//    high watermark, the rack descends one rung per epoch — full →
+//    sampled → architectural-invariant-only (blocking and architectural()
+//    auditors are never shed) — and climbs back one rung after
+//    `clear_epochs_to_ascend` consecutive clear epochs. Every transition
+//    is counted in telemetry and in the fleet ledger.
+//  - Crash-resumable supervision: when a journal is attached, the root
+//    checkpoints the supervision tree's volatile state (resume deadlines,
+//    ladder rungs, cursor) as kSupervisor records at every epoch barrier.
+//    A killed supervisor is rebuilt and resume_from_journal() restores the
+//    latest complete epoch group — no recovery action is lost or
+//    double-counted, which the chaos differential test checks
+//    byte-for-byte against an unkilled run.
+//  - Isolation: a VM whose manager exhausts its retry budget (kFailed) is
+//    paused permanently and its remediation token released; the fleet
+//    carries the loss instead of looping on it.
+//
+// All cross-VM decisions still run single-threaded at epoch barriers in
+// canonical slot order — the determinism contract that keeps sharded runs
+// byte-identical to serial ones.
 #pragma once
 
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
 #include <vector>
 
 #include "hv/multi_vm.hpp"
 #include "recovery/recovery_manager.hpp"
 
+namespace hypertap::journal {
+class JournalWriter;
+class JournalStore;
+}
+
 namespace hypertap::recovery {
 
-class FleetSupervisor {
+/// Fleet-wide recovery ledger, folded from every managed Supervisable plus
+/// the racks' ladder counters.
+struct FleetLedger {
+  u64 remediations = 0;   ///< individual remedy applications
+  u64 recoveries = 0;     ///< episodes closed healthy
+  u64 escalations = 0;    ///< remedies beyond a ladder's first rung
+  u64 failed_vms = 0;     ///< retry budget exhausted
+  SimTime mttr_total = 0;
+  u64 mttr_samples = 0;
+  u64 checkpoint_bytes = 0;
+  u64 gate_timeouts = 0;    ///< remediations forced through a closed gate
+  u64 ladder_descends = 0;  ///< degradation rungs descended (all racks)
+  u64 ladder_restores = 0;  ///< rungs climbed back after pressure cleared
+  SimTime mttr_mean() const {
+    return mttr_samples ? mttr_total / static_cast<SimTime>(mttr_samples) : 0;
+  }
+};
+
+class RootSupervisor;
+
+/// One rack: pending-set scheduling over its slots plus the rack-local
+/// degradation ladder. Constructed and driven only by RootSupervisor.
+class RackSupervisor {
  public:
+  RackSupervisor(RootSupervisor& root, std::size_t id);
+
+  void add(std::size_t vm_index, Supervisable& mgr, HyperTap* ht, u64 tenant);
+
+  /// One rack heartbeat at the epoch barrier: expire resume deadlines,
+  /// drain attention flags and due heap entries into manager ticks
+  /// (canonical slot order), isolate newly failed VMs, run the ladder.
+  void tick(SimTime cursor, u64 epoch);
+
+  EventMultiplexer::AuditMode mode() const { return mode_; }
+  u64 descends() const { return descends_; }
+  u64 restores() const { return restores_; }
+  /// Manager ticks actually delivered (the O(active) evidence).
+  u64 ticks_delivered() const { return ticks_delivered_; }
+
+  std::size_t id() const { return id_; }
+  const std::vector<std::size_t>& vm_indices() const { return vm_indices_; }
+
+  void fold_into(FleetLedger& l) const;
+
+  /// Serialize the rack's volatile supervision state (ladder rung + every
+  /// pending resume deadline) for one kSupervisor journal record.
+  std::vector<u8> encode_state(u64 epoch) const;
+
+ private:
+  friend class RootSupervisor;
+
+  struct Slot {
+    std::size_t vm = 0;  ///< host VM index, or kDetachedVm (no host ops)
+    Supervisable* mgr = nullptr;
+    HyperTap* ht = nullptr;  ///< nullptr = no ladder wiring for this slot
+    u64 tenant = 0;
+    SimTime resume_at = -1;  ///< pending un-pause deadline, -1 = none
+    bool holds_token = false;
+    bool isolated = false;
+    u64 ticked_epoch = ~0ull;  ///< lazy-heap dedup stamp
+    /// Set (possibly from a worker thread) when an alarm pulls the
+    /// manager out of quiescence; drained at the next barrier.
+    std::unique_ptr<std::atomic<bool>> attention;
+  };
+
+  void arm(SimTime wake, std::size_t slot) { heap_.push({wake, slot}); }
+  void rearm_from_due(Slot& s, SimTime cursor, std::size_t idx);
+  void isolate(Slot& s);
+  void release_token(Slot& s);
+  void apply_mode(SimTime cursor);
+  void run_ladder(SimTime cursor);
+
+  RootSupervisor& root_;
+  std::size_t id_;
+  std::vector<Slot> slots_;
+  std::vector<std::size_t> vm_indices_;
+
+  using HeapEntry = std::pair<SimTime, std::size_t>;  ///< (wake, slot)
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap_;
+  std::vector<std::size_t> due_;           ///< scratch, reused per tick
+  std::vector<std::size_t> resume_watch_;  ///< slots with resume_at >= 0
+
+  std::mutex dirty_mu_;
+  std::vector<std::size_t> dirty_;  ///< attention-flagged slots
+
+  bool ladder_enabled_ = false;  ///< any slot carries a mux to govern
+  EventMultiplexer::AuditMode mode_ = EventMultiplexer::AuditMode::kFull;
+  u32 clear_epochs_ = 0;  ///< consecutive pressure-free epochs at this rung
+  u64 descends_ = 0;
+  u64 restores_ = 0;
+  u64 ticks_delivered_ = 0;
+
+  telemetry::Gauge* mode_gauge_ = nullptr;
+};
+
+/// Root of the supervision tree: global + per-tenant remediation budgets,
+/// the fleet clock, the ledger, journal checkpointing and crash-resume.
+class RootSupervisor {
+ public:
+  struct Ladder {
+    /// kSampled stride: deliver every Nth event to non-critical auditors.
+    u32 sample_every = 4;
+    /// Consecutive pressure-free epochs required before climbing one rung.
+    u32 clear_epochs_to_ascend = 4;
+  };
+
   struct Options {
-    /// Max VMs under active remediation at once; further remediations
-    /// queue (their managers retry each tick until a slot frees up).
+    /// Max VMs under active remediation at once, fleet-wide.
     int max_concurrent_remediations = 1;
+    /// Per-tenant cap on concurrent remediations (QoS: one tenant's
+    /// failure storm must not starve the others). 0 = no per-tenant cap.
+    int per_tenant_max_remediations = 0;
     /// Simulated downtime charged per remediation: the VM stays paused
     /// this long after the remedy is applied (state copy-in, cache warm).
     SimTime remediation_downtime = 200'000'000;  // 200 ms
     /// Supervisor polling period on the host clock.
     SimTime tick = 250'000'000;  // 250 ms
+    Ladder ladder;
   };
 
-  struct Ledger {
-    u64 remediations = 0;   ///< individual remedy applications
-    u64 recoveries = 0;     ///< episodes closed healthy
-    u64 escalations = 0;    ///< remedies beyond a ladder's first rung
-    u64 failed_vms = 0;     ///< retry budget exhausted
-    SimTime mttr_total = 0;
-    u64 mttr_samples = 0;
-    u64 checkpoint_bytes = 0;
-    SimTime mttr_mean() const {
-      return mttr_samples ? mttr_total / static_cast<SimTime>(mttr_samples)
-                          : 0;
-    }
-  };
+  /// Sentinel VM index for managers with no backing host VM (synthetic
+  /// managers in scale benches): all host pause/resume ops are skipped.
+  static constexpr std::size_t kDetachedVm = ~static_cast<std::size_t>(0);
 
-  FleetSupervisor(hv::MultiVmHost& host, Options opts)
+  RootSupervisor(hv::MultiVmHost& host, Options opts)
       : host_(host), opts_(opts) {}
-  explicit FleetSupervisor(hv::MultiVmHost& host)
-      : FleetSupervisor(host, Options{}) {}
+  virtual ~RootSupervisor() = default;
 
-  /// Put the manager of host VM `index` under supervision: wires the
-  /// concurrency gate, the pause hook and the downtime-based resume.
-  /// The manager must not have been start()ed (the fleet drives ticks).
-  void manage(std::size_t index, RecoveryManager& mgr);
+  RootSupervisor(const RootSupervisor&) = delete;
+  RootSupervisor& operator=(const RootSupervisor&) = delete;
+
+  /// Put a manager under supervision in `rack` (racks are created on
+  /// demand). Wires the concurrency gate, pause hook, downtime resume and
+  /// attention hook — overwriting any previous wiring, which is exactly
+  /// what a rebuilt supervisor needs after a crash. Passing the VM's
+  /// HyperTap enrolls its multiplexer in the rack's degradation ladder.
+  void manage(std::size_t rack, std::size_t index, Supervisable& mgr,
+              HyperTap* ht = nullptr, u64 tenant = 0);
 
   /// Advance the whole fleet to host time `t_end`, interleaving VM slices
   /// with supervisor ticks (which heal paused VMs — their own clocks are
@@ -64,38 +206,67 @@ class FleetSupervisor {
   void run_until(SimTime t_end);
   void run_for(SimTime dt) { run_until(host_.now() + dt); }
 
-  /// One supervisor heartbeat at host time `cursor`: expire resume
-  /// deadlines (un-pausing healed VMs), tick every managed RecoveryManager
-  /// in canonical (manage order), refresh ledger gauges. run_until() calls
-  /// this after each slice round; exec::ShardedFleetHost calls it at every
-  /// epoch barrier — all cross-VM decisions (the remediation concurrency
-  /// gate, pauses/resumes) happen HERE, single-threaded, never inside the
-  /// parallel stepping phase, which is what keeps sharded fleet execution
-  /// deterministic.
+  /// One supervisor heartbeat at fleet time `cursor`: tick every rack,
+  /// checkpoint the tree (when a journal is attached), refresh gauges.
+  /// exec::ShardedFleetHost calls this at every epoch barrier.
   void tick(SimTime cursor);
 
   const Options& options() const { return opts_; }
 
-  Ledger ledger() const;
-  int active_remediations() const { return active_remediations_; }
+  FleetLedger ledger() const;
+  /// Canonical one-line-per-field rendering of the ledger — the
+  /// byte-comparable artifact of the chaos differential tests. Supervisor
+  /// resume counts are deliberately NOT part of it (a resumed run must
+  /// compare equal to an unkilled one).
+  std::string ledger_text() const;
+
+  int active_remediations() const { return active_; }
+  std::size_t num_racks() const { return racks_.size(); }
+  const RackSupervisor& rack(std::size_t i) const { return *racks_[i]; }
+  u64 epochs() const { return epoch_counter_; }
+  /// Fleet clock high-water mark (the last barrier time; persisted in the
+  /// checkpoint so a resumed run never re-runs epochs off a stale host
+  /// clock when every VM happens to be paused).
+  SimTime cursor() const { return cursor_; }
+  /// Times this supervisor was restored from a journal checkpoint.
+  u64 resumes() const { return resumes_; }
+
+  /// Attach the durable journal: the tree's volatile state is checkpointed
+  /// as kSupervisor records at every tick. nullptr detaches.
+  void set_journal(journal::JournalWriter* w) { journal_ = w; }
+
+  /// Restore the supervision tree from the latest COMPLETE checkpoint
+  /// epoch in `store` (every rack record plus the commit record present).
+  /// The managers themselves survive a supervisor crash in-process; this
+  /// restores what only the tree knew: resume deadlines (re-acquiring
+  /// their remediation tokens), ladder rungs, the fleet cursor and epoch
+  /// counter. Failed VMs are re-isolated from live manager health. Returns
+  /// false (fresh start) when the store holds no usable checkpoint.
+  bool resume_from_journal(const journal::JournalStore& store);
 
   /// Export the rolling ledger as fleet-level gauges (ht_fleet_*),
   /// refreshed on every supervisor tick.
   void set_telemetry(telemetry::Telemetry* t);
 
  private:
-  struct Managed {
-    std::size_t index = 0;
-    RecoveryManager* mgr = nullptr;
-    SimTime resume_at = -1;  ///< pending un-pause deadline, -1 = none
-  };
+  friend class RackSupervisor;
 
+  bool gate_open(u64 tenant) const;
+  void acquire(u64 tenant);
+  void release(u64 tenant);
   void refresh_ledger_gauges() const;
 
   hv::MultiVmHost& host_;
   Options opts_;
-  std::vector<Managed> managed_;
-  int active_remediations_ = 0;
+  std::vector<std::unique_ptr<RackSupervisor>> racks_;
+  int active_ = 0;
+  std::map<u64, int> tenant_active_;
+  SimTime cursor_ = 0;  ///< fleet clock high-water mark (survives resume)
+  u64 epoch_counter_ = 0;
+  u64 resumes_ = 0;
+
+  journal::JournalWriter* journal_ = nullptr;
+  telemetry::Telemetry* telemetry_ = nullptr;
 
   // Telemetry (nullptr when unwired).
   struct LedgerGauges {
@@ -106,7 +277,47 @@ class FleetSupervisor {
     telemetry::Gauge* mttr_mean_ns = nullptr;
     telemetry::Gauge* checkpoint_bytes = nullptr;
     telemetry::Gauge* active = nullptr;
+    telemetry::Gauge* gate_timeouts = nullptr;
+    telemetry::Gauge* ladder_descends = nullptr;
+    telemetry::Gauge* ladder_restores = nullptr;
   } gauges_;
+};
+
+/// Drop-in single-rack façade over the supervision tree, keeping the
+/// legacy monolithic API (and its exact scheduling semantics: every
+/// manager still transitions at the same epochs, just without being
+/// polled while quiescent).
+class FleetSupervisor : public RootSupervisor {
+ public:
+  struct Options {
+    int max_concurrent_remediations = 1;
+    SimTime remediation_downtime = 200'000'000;  // 200 ms
+    SimTime tick = 250'000'000;                  // 250 ms
+  };
+  using Ledger = FleetLedger;
+
+  FleetSupervisor(hv::MultiVmHost& host, Options opts)
+      : RootSupervisor(host, to_root(opts)), legacy_(opts) {}
+  explicit FleetSupervisor(hv::MultiVmHost& host)
+      : FleetSupervisor(host, Options{}) {}
+
+  using RootSupervisor::manage;
+  /// Legacy signature: everything lands in rack 0, tenant 0, no ladder.
+  void manage(std::size_t index, RecoveryManager& mgr) {
+    RootSupervisor::manage(0, index, mgr, nullptr, 0);
+  }
+
+  const Options& legacy_options() const { return legacy_; }
+
+ private:
+  static RootSupervisor::Options to_root(const Options& o) {
+    RootSupervisor::Options r;
+    r.max_concurrent_remediations = o.max_concurrent_remediations;
+    r.remediation_downtime = o.remediation_downtime;
+    r.tick = o.tick;
+    return r;
+  }
+  Options legacy_;
 };
 
 }  // namespace hypertap::recovery

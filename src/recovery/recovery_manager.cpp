@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "journal/replay.hpp"
+#include "util/backoff.hpp"
 
 namespace hypertap::recovery {
 
@@ -113,6 +114,10 @@ void RecoveryManager::on_alarm(const Alarm& a) {
       relapse_ = false;
       attempt_ = 0;
       restores_tried_ = 0;
+      // Leaving quiescence: put this manager back in the rack supervisor's
+      // pending set (this may run on a worker thread mid-epoch — the hook
+      // only flips an atomic).
+      if (attention_) attention_();
       break;
     case VmHealth::kProbation:
       // The remediation did not hold. Re-enter suspect with the episode's
@@ -122,6 +127,7 @@ void RecoveryManager::on_alarm(const Alarm& a) {
       trigger_ = a;
       suspect_since_ = a.time;
       relapse_ = true;
+      if (attention_) attention_();
       break;
     case VmHealth::kSuspect:
     case VmHealth::kRemediating:
@@ -169,9 +175,32 @@ void RecoveryManager::tick(SimTime now) {
   }
 
   if (health_ == VmHealth::kRemediating && now >= next_action_at_) {
-    if (!remediation_gate_ || remediation_gate_()) remediate(now);
+    if (!remediation_gate_ || remediation_gate_()) {
+      gate_blocked_since_ = -1;
+      remediate(now);
+    } else if (policy_.rung_deadline > 0) {
+      // Bounded staleness under fleet overload: a rung may queue behind
+      // the concurrency gate only so long before it runs regardless —
+      // better one over-budget restore than a hung VM aging unremediated.
+      if (gate_blocked_since_ < 0) gate_blocked_since_ = now;
+      if (now - gate_blocked_since_ >= policy_.rung_deadline) {
+        ++gate_timeouts_;
+        gate_blocked_since_ = -1;
+        remediate(now);
+      }
+    }
   }
   update_health_gauge();
+}
+
+void RecoveryManager::mark_failed(SimTime now, const std::string& why) {
+  health_ = VmHealth::kFailed;
+  update_health_gauge();
+  if (failed_alarmed_) return;
+  failed_alarmed_ = true;
+  // "vm-failed" is neither a trigger nor a clear, so raising it through
+  // the shared sink cannot re-enter this state machine.
+  ht_.alarms().raise(Alarm{now, "recovery", "vm-failed", why, -1, 0});
 }
 
 void RecoveryManager::resync_monitor(SimTime now) {
@@ -205,8 +234,9 @@ void RecoveryManager::replay_suffix(u64 mark, SimTime now) {
 
 void RecoveryManager::remediate(SimTime now) {
   if (attempt_ >= policy_.retry_budget) {
-    health_ = VmHealth::kFailed;
-    update_health_gauge();
+    mark_failed(now, "retry budget exhausted (" +
+                         std::to_string(policy_.retry_budget) +
+                         " attempts); trigger=" + trigger_.type);
     return;
   }
   if (pause_hook_) pause_hook_();
@@ -298,15 +328,20 @@ void RecoveryManager::remediate(SimTime now) {
   HT_SPAN_END(tracer_, rem_span, now);
 
   ++attempt_;
-  const SimTime backoff =
-      std::min(policy_.backoff_initial << std::min(attempt_ - 1, 30),
-               policy_.backoff_cap);
+  // Capped-exponential with deterministic per-VM jitter (a pure function
+  // of (seed, stream, draw) — jitter_frac = 0 reproduces the legacy
+  // unjittered schedule bit-for-bit).
+  const SimTime backoff = util::backoff_jitter(
+      policy_.backoff_initial, policy_.backoff_cap, attempt_,
+      policy_.backoff_jitter_frac, policy_.backoff_seed,
+      policy_.backoff_stream, backoff_draws_++);
   next_action_at_ = now + backoff;
   remediation_end_ = now;
 
   if (!rec.ok && rec.kind == RemedyKind::kReboot) {
     history_.push_back(rec);
-    health_ = VmHealth::kFailed;
+    mark_failed(now, "cold reboot to pinned baseline failed; trigger=" +
+                         trigger_.type);
     if (on_remediated_) on_remediated_(rec);
     return;
   }

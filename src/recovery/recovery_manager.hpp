@@ -38,18 +38,13 @@
 
 #include "core/hypertap.hpp"
 #include "recovery/checkpoint.hpp"
+#include "recovery/supervisable.hpp"
 
 namespace hypertap::journal {
 class JournalWriter;
 }
 
 namespace hypertap::recovery {
-
-enum class VmHealth : u8 { kHealthy, kSuspect, kRemediating, kProbation, kFailed };
-const char* to_string(VmHealth h);
-
-enum class RemedyKind : u8 { kResync, kKill, kRestore, kReboot };
-const char* to_string(RemedyKind k);
 
 struct RecoveryPolicy {
   /// A suspect VM is only remediated if its trigger alarm is not cleared
@@ -69,18 +64,20 @@ struct RecoveryPolicy {
   /// restore relapses *inside* probation and escalates the ladder instead
   /// of opening a fresh episode.
   SimTime probation = 6_s;
+  /// Deterministic jitter on the backoff, as a fraction in [0, 1): the
+  /// delay is scaled by [1-frac, 1+frac) keyed by (seed, stream, draw) so
+  /// a rack of retriers de-synchronizes without any thread-order
+  /// dependence. 0 = the legacy bit-exact unjittered schedule.
+  double backoff_jitter_frac = 0.0;
+  u64 backoff_seed = 0;    ///< base seed for the jitter stream
+  u64 backoff_stream = 0;  ///< stream index (one per VM in a fleet)
+  /// Bounded-staleness guarantee under fleet overload: a due remediation
+  /// blocked behind a closed concurrency gate longer than this is forced
+  /// through anyway (and counted as a gate timeout). 0 = wait forever.
+  SimTime rung_deadline = 0;
 };
 
-struct RemediationRecord {
-  SimTime at = 0;
-  int attempt = 0;
-  RemedyKind kind = RemedyKind::kResync;
-  bool ok = false;
-  std::string trigger;  ///< alarm type that opened the episode
-  u32 pid = 0;          ///< offending pid, when the alarm names one
-};
-
-class RecoveryManager {
+class RecoveryManager : public Supervisable {
  public:
   RecoveryManager(os::Vm& vm, HyperTap& ht, Checkpointer& cp,
                   RecoveryPolicy policy = {});
@@ -96,20 +93,48 @@ class RecoveryManager {
 
   /// Advance the state machine: fold in RHC liveness, expire the
   /// confirmation window, run due remediations, close probation.
-  void tick(SimTime now);
+  void tick(SimTime now) override;
 
-  // Fleet integration hooks.
+  // Fleet integration hooks (Supervisable).
   /// Remediation proceeds only while the gate returns true (concurrency
-  /// cap). A blocked remediation retries on the next tick.
-  void set_remediation_gate(std::function<bool()> gate) {
+  /// cap). A blocked remediation retries on the next tick — until
+  /// policy_.rung_deadline forces it through.
+  void set_remediation_gate(std::function<bool()> gate) override {
     remediation_gate_ = std::move(gate);
   }
   /// Called immediately before the VM is mutated (fleet pauses it).
-  void set_pause_hook(std::function<void()> fn) { pause_hook_ = std::move(fn); }
+  void set_pause_hook(std::function<void()> fn) override {
+    pause_hook_ = std::move(fn);
+  }
   /// Called after a remediation completes (fleet schedules the resume;
   /// experiment drivers drop stale in-flight probes).
-  void set_on_remediated(std::function<void(const RemediationRecord&)> fn) {
+  void set_on_remediated(
+      std::function<void(const RemediationRecord&)> fn) override {
     on_remediated_ = std::move(fn);
+  }
+  /// Fired when an alarm pulls this manager out of quiescence (may run on
+  /// a worker thread during parallel VM stepping — see Supervisable).
+  void set_attention_hook(std::function<void()> fn) override {
+    attention_ = std::move(fn);
+  }
+
+  /// Pending-set scheduling input: when this manager next needs a tick.
+  /// RHC-enabled managers are always pending (liveness is polled, not
+  /// alarm-driven); quiescent ones rely on the attention hook.
+  SimTime next_due(SimTime now) const override {
+    if (ht_.rhc() != nullptr) return now;
+    switch (health_) {
+      case VmHealth::kHealthy:
+      case VmHealth::kFailed:
+        return -1;
+      case VmHealth::kSuspect:
+        return suspect_since_ + policy_.confirm_window;
+      case VmHealth::kRemediating:
+        return next_action_at_;
+      case VmHealth::kProbation:
+        return probation_until_;
+    }
+    return now;
   }
 
   /// Attach the durable journal: captures get marked through the
@@ -128,13 +153,19 @@ class RecoveryManager {
   u64 journal_replays() const { return journal_replays_; }
   u64 journal_records_replayed() const { return journal_records_replayed_; }
 
-  VmHealth health() const { return health_; }
-  const std::vector<RemediationRecord>& history() const { return history_; }
-  u64 episodes_recovered() const { return episodes_recovered_; }
+  VmHealth health() const override { return health_; }
+  const std::vector<RemediationRecord>& history() const override {
+    return history_;
+  }
+  u64 episodes_recovered() const override { return episodes_recovered_; }
   u64 episodes_failed() const { return health_ == VmHealth::kFailed ? 1 : 0; }
   /// Sum over recovered episodes of (successful remediation − detection).
-  SimTime mttr_total() const { return mttr_total_; }
-  u64 mttr_samples() const { return episodes_recovered_; }
+  SimTime mttr_total() const override { return mttr_total_; }
+  u64 mttr_samples() const override { return episodes_recovered_; }
+  u64 checkpoint_bytes() const override {
+    return checkpointer_.bytes_captured();
+  }
+  u64 gate_timeouts() const override { return gate_timeouts_; }
   SimTime last_recovery_at() const { return last_recovery_at_; }
   Checkpointer& checkpointer() { return checkpointer_; }
 
@@ -146,6 +177,9 @@ class RecoveryManager {
  private:
   void on_alarm(const Alarm& a);
   void remediate(SimTime now);
+  /// Transition to kFailed, raising the "vm-failed" alarm exactly once per
+  /// manager lifetime (a permanent verdict must not spam the ledger).
+  void mark_failed(SimTime now, const std::string& why);
   void resync_monitor(SimTime now);
   void replay_suffix(u64 mark, SimTime now);
   static bool is_trigger(const std::string& type);
@@ -167,6 +201,10 @@ class RecoveryManager {
   SimTime next_action_at_ = 0;
   SimTime probation_until_ = 0;
   SimTime remediation_end_ = 0;
+  SimTime gate_blocked_since_ = -1;  ///< rung-deadline clock, -1 = not blocked
+  u64 gate_timeouts_ = 0;
+  u64 backoff_draws_ = 0;  ///< jitter draw counter (one per backoff)
+  bool failed_alarmed_ = false;
 
   journal::JournalWriter* journal_ = nullptr;
   std::vector<Alarm> replayed_alarms_;
@@ -180,6 +218,7 @@ class RecoveryManager {
   std::size_t rhc_alerts_seen_ = 0;
 
   std::function<bool()> remediation_gate_;
+  std::function<void()> attention_;
   std::function<void()> pause_hook_;
   std::function<void(const RemediationRecord&)> on_remediated_;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

@@ -1,0 +1,78 @@
+// The contract between a per-VM recovery state machine and the fleet
+// supervision tree (recovery layer 3).
+//
+// A rack supervisor schedules work over hundreds of managers without
+// polling each one every epoch: a quiescent (healthy or failed) manager
+// reports next_due() = -1 and is dropped from the pending set; it re-enters
+// via the attention hook, which an alarm transition fires — possibly from a
+// worker thread during parallel VM stepping, so the hook must be cheap and
+// thread-safe (the rack sets an atomic flag). The scheduling is sloppy by
+// design: an early or stale due time costs one extra idempotent tick,
+// never a missed one.
+//
+// The interface is deliberately narrow so scale benches can drive the
+// supervision tree with synthetic managers (no guest, no auditors) and
+// still measure the real scheduler.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace hypertap {
+using namespace hvsim;
+namespace recovery {
+
+enum class VmHealth : u8 { kHealthy, kSuspect, kRemediating, kProbation, kFailed };
+const char* to_string(VmHealth h);
+
+enum class RemedyKind : u8 { kResync, kKill, kRestore, kReboot };
+const char* to_string(RemedyKind k);
+
+struct RemediationRecord {
+  SimTime at = 0;
+  int attempt = 0;
+  RemedyKind kind = RemedyKind::kResync;
+  bool ok = false;
+  std::string trigger;  ///< alarm type that opened the episode
+  u32 pid = 0;          ///< offending pid, when the alarm names one
+};
+
+class Supervisable {
+ public:
+  virtual ~Supervisable() = default;
+
+  /// Advance the state machine to `now` (idempotent when nothing is due).
+  virtual void tick(SimTime now) = 0;
+  virtual VmHealth health() const = 0;
+
+  /// Earliest sim time at which this manager next needs a tick, or -1 when
+  /// it is quiescent and will re-enter the pending set via the attention
+  /// hook. May return a time <= now (work is due immediately).
+  virtual SimTime next_due(SimTime now) const = 0;
+
+  /// Fired when an alarm pulls the manager out of quiescence. May be
+  /// invoked from a worker thread mid-epoch; implementations forward it
+  /// verbatim, schedulers back it with an atomic flag.
+  virtual void set_attention_hook(std::function<void()> fn) = 0;
+
+  // Fleet integration hooks (see RecoveryManager for semantics).
+  virtual void set_remediation_gate(std::function<bool()> gate) = 0;
+  virtual void set_pause_hook(std::function<void()> fn) = 0;
+  virtual void set_on_remediated(
+      std::function<void(const RemediationRecord&)> fn) = 0;
+
+  // Ledger inputs, folded by the supervision tree.
+  virtual const std::vector<RemediationRecord>& history() const = 0;
+  virtual u64 episodes_recovered() const = 0;
+  virtual SimTime mttr_total() const = 0;
+  virtual u64 mttr_samples() const = 0;
+  virtual u64 checkpoint_bytes() const = 0;
+  /// Remediations forced through a closed gate past the rung deadline.
+  virtual u64 gate_timeouts() const = 0;
+};
+
+}  // namespace recovery
+}  // namespace hypertap

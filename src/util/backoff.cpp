@@ -1,0 +1,32 @@
+#include "util/backoff.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace hvsim::util {
+
+SimTime capped_backoff(SimTime initial, SimTime cap, int attempt) {
+  if (initial <= 0) return 0;
+  const int shift = std::clamp(attempt - 1, 0, 30);
+  // A shift that would leave the representable range saturates at the cap
+  // instead of wrapping into a negative (i.e. immediate) retry delay.
+  if (initial > (std::numeric_limits<SimTime>::max() >> shift)) return cap;
+  return std::min(initial << shift, cap);
+}
+
+SimTime backoff_jitter(SimTime initial, SimTime cap, int attempt, double frac,
+                       u64 seed, u64 stream, u64 draw) {
+  const SimTime base = capped_backoff(initial, cap, attempt);
+  if (frac <= 0.0 || base <= 0) return base;
+  const double f = std::min(frac, 1.0);
+  // 53 uniform bits -> [0, 1): the standard u64-to-double construction.
+  const u64 h = stream_seed(stream_seed(seed, stream), draw);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  const double scaled = static_cast<double>(base) * (1.0 - f + 2.0 * f * u);
+  const double capped = std::min(scaled, static_cast<double>(cap));
+  return std::max<SimTime>(1, static_cast<SimTime>(capped));
+}
+
+}  // namespace hvsim::util

@@ -1,0 +1,31 @@
+// Deterministic capped-exponential backoff with stream-seeded jitter.
+//
+// Every retry loop in the recovery stack (RecoveryManager rungs, the fleet
+// supervision tree) backs off between attempts. The jitter exists to
+// de-synchronize a fleet of retriers — but in this codebase randomness must
+// never depend on thread schedule, so the jitter is a PURE FUNCTION of
+// (seed, stream, draw): the same draw of the same stream yields the same
+// delay on any thread count, which keeps the serial-vs-sharded
+// differential tests byte-identical.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace hvsim::util {
+
+/// Capped exponential backoff for 1-based `attempt`:
+///   min(initial << min(attempt-1, 30), cap)
+/// Hardened edges: attempt <= 0 behaves as attempt 1, initial <= 0 yields 0,
+/// and a shift that would overflow SimTime saturates at `cap`.
+SimTime capped_backoff(SimTime initial, SimTime cap, int attempt);
+
+/// capped_backoff() scaled by a deterministic jitter factor in
+/// [1-frac, 1+frac), clamped back to [1, cap]. frac <= 0 returns the
+/// unjittered backoff EXACTLY (bit-for-bit the legacy formula), so callers
+/// can default to 0 without perturbing existing schedules. The jitter unit
+/// is keyed by stream_seed(stream_seed(seed, stream), draw): one stream per
+/// retrier (e.g. per VM), one draw per backoff decision.
+SimTime backoff_jitter(SimTime initial, SimTime cap, int attempt, double frac,
+                       u64 seed, u64 stream, u64 draw);
+
+}  // namespace hvsim::util

@@ -272,5 +272,59 @@ TEST(ExecCampaign, StopAfterFirstCompletionSkipsTail) {
   EXPECT_EQ(report.jobs_run + report.jobs_skipped, 10u);
 }
 
+TEST(WorkerPool, DrainAndStopFinishesEverythingThenRejectsNewWork) {
+  WorkerPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 500; ++i) {
+    pool.submit([&ran]() { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.drain_and_stop();
+  EXPECT_EQ(ran.load(), 500) << "drain must not drop queued tasks";
+  EXPECT_EQ(pool.executed(), 500u);
+  EXPECT_EQ(pool.dropped(), 0u);
+
+  // The pool is now shut down: new work is refused (counted, not run) and
+  // a second drain is a harmless no-op.
+  pool.submit([&ran]() { ran.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(pool.dropped(), 1u);
+  pool.drain_and_stop();
+  EXPECT_EQ(ran.load(), 500);
+}
+
+TEST(WorkerPool, DrainAndStopRethrowsExceptionThrownInStolenTask) {
+  // Regression: a task that throws while executing on a *stealing* worker
+  // must still surface through drain_and_stop, and the join path must not
+  // hang or double-join. Worker 0 is parked on a slow task so its queued
+  // throwers are stolen and executed by worker 1.
+  WorkerPool pool(2);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  pool.submit([&started, &release]() {
+    started.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  // Wait until one worker is parked inside the blocker before queuing the
+  // throwers; otherwise the LIFO own-queue pop could run them on the same
+  // worker ahead of the blocker and nothing would be stolen.
+  while (!started.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (int i = 0; i < 10; ++i) {  // half land on the parked worker's deque
+    pool.submit([]() { throw std::runtime_error("stolen boom"); });
+  }
+  // Give worker 1 time to drain both deques, then release worker 0.
+  while (pool.failed() < 10u) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(pool.steals(), 1u) << "the scenario must actually steal";
+  release.store(true, std::memory_order_release);
+  EXPECT_THROW(pool.drain_and_stop(), std::runtime_error);
+  EXPECT_EQ(pool.executed(), 11u);
+  EXPECT_EQ(pool.failed(), 10u);
+  EXPECT_EQ(pool.dropped(), 0u);
+}
+
 }  // namespace
 }  // namespace hypertap

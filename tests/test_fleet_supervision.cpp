@@ -1,0 +1,514 @@
+// Hierarchical fleet supervision: the supervision tree's crash/resume
+// differential (a supervisor killed mid-campaign and rebuilt from its
+// journal checkpoints must produce BYTE-IDENTICAL final artifacts vs an
+// unkilled run, at any thread count), the overload degradation ladder
+// (descend under backlog pressure, climb back within bounded epochs once
+// it clears), per-tenant QoS budgets, and the rung-deadline bounded-
+// staleness guarantee.
+//
+// Test names keep the Fleet* prefix so the asan ctest preset picks them
+// up (Fleet* filter).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos.hpp"
+#include "core/hypertap.hpp"
+#include "exec/sharded_fleet.hpp"
+#include "fi/locations.hpp"
+#include "journal/journal.hpp"
+#include "recovery/fleet.hpp"
+#include "recovery/recovery_manager.hpp"
+#include "workloads/make.hpp"
+
+namespace hypertap {
+namespace {
+
+using recovery::Checkpointer;
+using recovery::RecoveryManager;
+using recovery::RecoveryPolicy;
+using recovery::RootSupervisor;
+using recovery::VmHealth;
+
+const std::vector<os::KernelLocation>& locs() {
+  static const auto l = fi::generate_locations(2014);
+  return l;
+}
+
+hv::MachineConfig small_mc() {
+  hv::MachineConfig mc;
+  mc.num_vcpus = 2;
+  mc.phys_mem_bytes = 8ull << 20;
+  return mc;
+}
+
+// ---------------------------------------------------------------------
+// SupervisorKillPlan (chaos layer).
+// ---------------------------------------------------------------------
+
+TEST(FleetSupervision, KillPlanIsDeterministicSortedAndNeverEpochZero) {
+  const chaos::SupervisorKillPlan a(7, 100, 5);
+  const chaos::SupervisorKillPlan b(7, 100, 5);
+  EXPECT_EQ(a.kill_epochs(), b.kill_epochs()) << "same seed, same plan";
+  ASSERT_FALSE(a.kill_epochs().empty());
+  u64 prev = 0;
+  for (const u64 e : a.kill_epochs()) {
+    EXPECT_GT(e, prev) << "epochs must be strictly ascending (unique)";
+    EXPECT_GE(e, 1u) << "epoch 0 has no checkpoint to resume from";
+    EXPECT_LT(e, 100u);
+    EXPECT_TRUE(a.should_kill(e));
+    prev = e;
+  }
+  EXPECT_FALSE(a.should_kill(0));
+  // Kill k's epoch is keyed by stream_seed(seed, k): independent of the
+  // kill count, so extending a plan never moves the kills already drawn.
+  const chaos::SupervisorKillPlan longer(7, 100, 8);
+  for (const u64 e : a.kill_epochs()) EXPECT_TRUE(longer.should_kill(e));
+  const chaos::SupervisorKillPlan other(8, 100, 5);
+  EXPECT_NE(other.kill_epochs(), a.kill_epochs());
+  EXPECT_TRUE(chaos::SupervisorKillPlan(7, 1, 5).kill_epochs().empty())
+      << "a 1-epoch campaign has no killable barrier";
+}
+
+// ---------------------------------------------------------------------
+// Crash/resume differential.
+// ---------------------------------------------------------------------
+
+/// A 4-VM, 2-rack, 2-tenant supervision-tree scenario with enough injected
+/// trouble that remediations queue through the gate across a kill window.
+/// Construction order is fixed, so two instances are identical by
+/// construction; only the driver (and the kill schedule) differs.
+struct TreeArm {
+  hv::MultiVmHost host;
+  std::vector<std::unique_ptr<telemetry::Telemetry>> tels;
+  std::unique_ptr<telemetry::Telemetry> fleet_tel;
+  std::vector<std::unique_ptr<HyperTap>> hts;
+  std::vector<std::unique_ptr<Checkpointer>> cks;
+  std::vector<std::unique_ptr<RecoveryManager>> rms;
+  journal::MemoryJournalStore store;
+  std::unique_ptr<journal::JournalWriter> writer;
+  std::unique_ptr<RootSupervisor> root;
+  std::vector<std::vector<SimTime>> done;
+
+  static RootSupervisor::Options root_opts() {
+    RootSupervisor::Options o;
+    o.max_concurrent_remediations = 1;  // forces queuing across the kill
+    o.remediation_downtime = 2'000'000'000;  // wide in-flight resume window
+    return o;
+  }
+
+  /// (Re)build the supervision tree over the surviving managers — exactly
+  /// what a control-plane restart does. Re-manages every VM (which rewires
+  /// all hooks away from the dead tree) and reattaches journal+telemetry.
+  void build_tree() {
+    root = std::make_unique<RootSupervisor>(host, root_opts());
+    for (std::size_t i = 0; i < rms.size(); ++i) {
+      root->manage(i / 2, i, *rms[i], hts[i].get(), i % 2);
+    }
+    root->set_telemetry(fleet_tel.get());
+    writer = std::make_unique<journal::JournalWriter>(store);
+    root->set_journal(writer.get());
+  }
+
+  void kill_tree() {
+    root.reset();
+    writer.reset();
+  }
+};
+
+std::unique_ptr<TreeArm> make_tree() {
+  constexpr int kVms = 4;
+  auto a = std::make_unique<TreeArm>();
+  for (int i = 0; i < kVms; ++i) a->host.add_vm(small_mc());
+  for (int i = 0; i < kVms; ++i) {
+    a->host.vm(i).kernel.register_locations(locs());
+    a->hts.push_back(std::make_unique<HyperTap>(a->host.vm(i)));
+    a->host.vm(i).kernel.boot();
+  }
+  a->done.resize(kVms);
+  for (int i = 0; i < kVms; ++i) {
+    workloads::MakeJobWorkload::Config mcfg;
+    mcfg.units = 80 + 30 * i;
+    auto w = std::make_unique<workloads::MakeJobWorkload>(mcfg, &locs(),
+                                                          7'000 + i);
+    auto* slot = &a->done[i];
+    slot->assign(1, -1);
+    w->set_on_done([slot](SimTime t) { slot->at(0) = t; });
+    a->host.vm(i).kernel.spawn("make", 1000, 1000, 1, std::move(w));
+  }
+  Checkpointer::Options copts;
+  copts.period = 1'000'000'000;
+  for (int i = 0; i < kVms; ++i) {
+    RecoveryPolicy pol;
+    pol.confirm_window = 500'000'000;
+    pol.detect_latency_bound = 2'000'000'000;
+    pol.probation = 2'000'000'000;
+    pol.backoff_jitter_frac = 0.25;  // deterministic jitter, one stream/VM
+    pol.backoff_seed = 2014;
+    pol.backoff_stream = static_cast<u64>(i);
+    a->cks.push_back(std::make_unique<Checkpointer>(a->host.vm(i), copts));
+    a->rms.push_back(std::make_unique<RecoveryManager>(
+        a->host.vm(i), *a->hts[i], *a->cks[i], pol));
+    a->cks[i]->start();
+  }
+  a->fleet_tel = std::make_unique<telemetry::Telemetry>();
+  for (int i = 0; i < kVms; ++i) {
+    a->tels.push_back(std::make_unique<telemetry::Telemetry>());
+    a->hts[i]->set_telemetry(a->tels[i].get(), i);
+    a->rms[i]->set_telemetry(a->tels[i].get(), i);
+  }
+  a->build_tree();
+  const auto inject = [&a](int vm_index, SimTime at) {
+    auto* ht = a->hts[vm_index].get();
+    auto* vm = &a->host.vm(vm_index);
+    vm->machine.schedule(at, [ht, vm]() {
+      ht->alarms().raise(
+          Alarm{vm->machine.now(), "test", "vcpu-hang", "", 0, 0});
+    });
+  };
+  inject(0, 4'000'000'000);   // tenant 0, rack 0
+  inject(2, 4'000'000'000);   // tenant 0, rack 1 — contends for the gate
+  inject(3, 6'500'000'000);   // tenant 1, rack 1
+  return a;
+}
+
+struct TreeArtifacts {
+  std::string ledger_text;
+  std::string alarms;
+  std::string metrics;
+  std::vector<SimTime> clocks;
+  std::vector<SimTime> done;
+};
+
+TreeArtifacts collect(TreeArm& a) {
+  std::vector<const AlarmSink*> sinks;
+  std::vector<const telemetry::Registry*> regs;
+  for (const auto& ht : a.hts) sinks.push_back(&ht->alarms());
+  for (const auto& t : a.tels) regs.push_back(&t->registry);
+  regs.push_back(&a.fleet_tel->registry);
+  TreeArtifacts out;
+  out.ledger_text = a.root->ledger_text();
+  out.alarms = exec::alarm_ledger_text(sinks);
+  out.metrics = exec::merged_metrics_json(regs);
+  for (std::size_t i = 0; i < a.host.num_vms(); ++i) {
+    out.clocks.push_back(a.host.vm(i).machine.now());
+  }
+  for (const auto& d : a.done) out.done.push_back(d.at(0));
+  return out;
+}
+
+/// Drive `a` to kEnd in epoch barriers, killing + resuming the supervisor
+/// at every epoch in `kills` (empty = the unkilled reference arm).
+void drive(TreeArm& a, int threads, bool shard_by_rack, SimTime t_end,
+           const std::vector<u64>& kills) {
+  const SimTime tick = a.root->options().tick;
+  for (const u64 ke : kills) {
+    const SimTime kt = static_cast<SimTime>(ke) * tick;
+    ASSERT_LT(kt, t_end) << "kill plan must land inside the campaign";
+    {
+      exec::ShardedFleetHost sh(a.host, {threads});
+      sh.set_supervisor(a.root.get());
+      sh.set_shard_by_rack(shard_by_rack);
+      sh.run_until(kt);
+    }
+    // Control-plane crash at the barrier: the whole tree (and its journal
+    // writer) dies. The managers, VMs and alarms survive in-process.
+    a.kill_tree();
+    a.build_tree();
+    ASSERT_TRUE(a.root->resume_from_journal(a.store))
+        << "a checkpoint group must exist at epoch " << ke;
+  }
+  exec::ShardedFleetHost sh(a.host, {threads});
+  sh.set_supervisor(a.root.get());
+  sh.set_shard_by_rack(shard_by_rack);
+  sh.run_until(t_end);
+}
+
+TEST(FleetSupervision, KilledAndResumedSupervisorMatchesUnkilledByteForByte) {
+  constexpr SimTime kEnd = 20'000'000'000;
+  const u64 epochs = static_cast<u64>(kEnd / TreeArm::root_opts().tick);
+  const chaos::SupervisorKillPlan plan(2014, epochs, 2);
+  ASSERT_FALSE(plan.kill_epochs().empty());
+
+  // Reference arm: never killed.
+  auto ref = make_tree();
+  drive(*ref, 1, false, kEnd, {});
+  const TreeArtifacts want = collect(*ref);
+  ASSERT_FALSE(want.alarms.empty());
+  ASSERT_GE(ref->root->ledger().remediations, 3u)
+      << "all three injected hangs must be remediated";
+  ASSERT_GE(ref->root->ledger().recoveries, 3u);
+  EXPECT_EQ(ref->root->resumes(), 0u);
+  EXPECT_EQ(ref->root->epochs(), epochs);
+
+  struct KillArm {
+    int threads;
+    bool by_rack;
+  };
+  for (const KillArm arm : {KillArm{1, false}, KillArm{8, false},
+                            KillArm{8, true}}) {
+    SCOPED_TRACE("threads=" + std::to_string(arm.threads) +
+                 " by_rack=" + std::to_string(arm.by_rack));
+    auto killed = make_tree();
+    drive(*killed, arm.threads, arm.by_rack, kEnd, plan.kill_epochs());
+    if (HasFatalFailure()) return;
+    const TreeArtifacts got = collect(*killed);
+
+    EXPECT_EQ(killed->root->resumes(), 1u)
+        << "each rebuilt tree resumes once; the last rebuild is counted";
+    EXPECT_EQ(killed->root->epochs(), epochs)
+        << "no epoch may be lost or double-run across the kills";
+    // The acceptance criterion: byte-identical canonical artifacts.
+    EXPECT_EQ(got.ledger_text, want.ledger_text);
+    EXPECT_EQ(got.alarms, want.alarms);
+    EXPECT_EQ(got.metrics, want.metrics);
+    EXPECT_EQ(got.clocks, want.clocks);
+    EXPECT_EQ(got.done, want.done)
+        << "workload completion must match to the tick";
+  }
+}
+
+TEST(FleetSupervision, ResumeRestoresInFlightDowntimeWindowAndToken) {
+  // Kill the supervisor while a remediated VM sits inside its downtime
+  // window: only the tree knew the resume deadline and who held the
+  // remediation token. The rebuilt tree must re-learn both from the
+  // journal — and still match the unkilled run exactly.
+  constexpr SimTime kEnd = 15'000'000'000;
+  auto ref = make_tree();
+  drive(*ref, 1, false, kEnd, {});
+  const TreeArtifacts want = collect(*ref);
+
+  auto killed = make_tree();
+  // Epoch 22 = 5.5 s: alarm at 4 s + 0.5 s confirm => remediation around
+  // 4.75 s, downtime 2 s => the window [~4.75, ~6.75] straddles 5.5 s.
+  drive(*killed, 1, false, 5'500'000'000, {});
+  ASSERT_EQ(killed->root->active_remediations(), 1)
+      << "scenario must be killed mid-downtime for this test to bite";
+  killed->kill_tree();
+  killed->build_tree();
+  ASSERT_EQ(killed->root->active_remediations(), 0)
+      << "a freshly built tree knows nothing";
+  ASSERT_TRUE(killed->root->resume_from_journal(killed->store));
+  EXPECT_EQ(killed->root->active_remediations(), 1)
+      << "resume must re-acquire the in-flight remediation token";
+  drive(*killed, 1, false, kEnd, {});
+  const TreeArtifacts got = collect(*killed);
+  EXPECT_EQ(got.ledger_text, want.ledger_text);
+  EXPECT_EQ(got.alarms, want.alarms);
+  EXPECT_EQ(got.done, want.done);
+}
+
+// ---------------------------------------------------------------------
+// Degradation ladder.
+// ---------------------------------------------------------------------
+
+/// Non-blocking auditor with a configurable cost: the backlog model's
+/// inflow source. Counts what it actually received.
+class CountingAuditor final : public Auditor {
+ public:
+  CountingAuditor(std::string name, Cycles cost, bool architectural)
+      : name_(std::move(name)), cost_(cost), arch_(architectural) {}
+  std::string name() const override { return name_; }
+  EventMask subscriptions() const override { return kAllEvents; }
+  void on_event(const Event&, AuditContext&) override { ++events; }
+  void on_gap(u64 missed, AuditContext&) override {
+    ++gaps;
+    missed_sum += missed;
+  }
+  bool architectural() const override { return arch_; }
+  Cycles audit_cost_cycles() const override { return cost_; }
+
+  u64 events = 0;
+  u64 gaps = 0;
+  u64 missed_sum = 0;
+
+ private:
+  std::string name_;
+  Cycles cost_;
+  bool arch_;
+};
+
+TEST(FleetSupervision, LadderShedsUnderBacklogPressureAndClimbsBack) {
+  hv::MultiVmHost host;
+  host.add_vm(small_mc());
+  host.vm(0).kernel.register_locations(locs());
+
+  HyperTap::Options hopts;
+  // Modeled audit container: drains 50k cycles per simulated ms; the
+  // watermark trips at 2M cycles of backlog. The busy phase of the make
+  // workload outruns the drain at full fidelity; an idle guest does not.
+  hopts.multiplexer.audit_capacity_cycles_per_ms = 50'000.0;
+  hopts.multiplexer.backlog_high_cycles = 2'000'000;
+  HyperTap ht(host.vm(0), hopts);
+  auto noisy_owned =
+      std::make_unique<CountingAuditor>("noisy", 20'000, false);
+  auto arch_owned = std::make_unique<CountingAuditor>("arch-inv", 100, true);
+  CountingAuditor* noisy = noisy_owned.get();
+  CountingAuditor* arch = arch_owned.get();
+  ht.add_auditor(std::move(noisy_owned));
+  ht.add_auditor(std::move(arch_owned));
+  host.vm(0).kernel.boot();
+
+  std::vector<SimTime> done(1, -1);
+  workloads::MakeJobWorkload::Config mcfg;
+  mcfg.units = 150;
+  auto w = std::make_unique<workloads::MakeJobWorkload>(mcfg, &locs(), 7'000);
+  w->set_on_done([&done](SimTime t) { done[0] = t; });
+  host.vm(0).kernel.spawn("make", 1000, 1000, 1, std::move(w));
+
+  Checkpointer::Options copts;
+  copts.period = 0;  // not under test
+  Checkpointer ck(host.vm(0), copts);
+  RecoveryManager rm(host.vm(0), ht, ck, RecoveryPolicy{});
+
+  RootSupervisor root(host, RootSupervisor::Options{});
+  root.manage(0, 0, rm, &ht, 0);
+  root.run_until(30'000'000'000);
+
+  using AM = EventMultiplexer::AuditMode;
+  const auto ledger = root.ledger();
+  ASSERT_GT(done[0], 0) << "workload must finish (idle phase must exist)";
+  EXPECT_TRUE(ht.alarms().any_of_type("backlog-watermark"))
+      << "the busy phase must trip the watermark";
+  EXPECT_TRUE(ht.alarms().any_of_type("backlog-watermark-cleared"))
+      << "pressure must clear within the run (the ladder bounds backlog)";
+  EXPECT_GE(ledger.ladder_descends, 1u);
+  EXPECT_EQ(root.rack(0).mode(), AM::kFull)
+      << "the rack must return to full auditing once pressure clears";
+  EXPECT_EQ(ledger.ladder_restores, ledger.ladder_descends)
+      << "every descended rung must eventually be climbed back";
+  EXPECT_GT(ht.multiplexer().total_shed(), 0u);
+  EXPECT_EQ(ht.multiplexer().backlog_watermark_active(), false);
+  // Shedding hit only the non-critical auditor; the architectural
+  // invariant checks kept their guaranteed execution.
+  EXPECT_LT(noisy->events, arch->events);
+  EXPECT_GE(noisy->gaps, 1u)
+      << "shed deliveries must surface as a consolidated gap (resync)";
+  // Every shed delivery is either reported through a gap already or still
+  // sitting in the not-yet-flushed pending batch, so the gap-reported sum
+  // is positive and never exceeds the shed total.
+  EXPECT_GT(noisy->missed_sum, 0u);
+  EXPECT_LE(noisy->missed_sum, ht.multiplexer().total_shed());
+  // Pending-set scheduling: the manager stayed healthy and quiescent the
+  // whole run, so it was ticked once (initial arm), never polled — while
+  // the ladder still governed every epoch.
+  EXPECT_LE(root.rack(0).ticks_delivered(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Per-tenant QoS and the rung deadline.
+// ---------------------------------------------------------------------
+
+/// Three VMs in one rack: tenant A owns 0 and 1, tenant B owns 2. All
+/// three raise a hang at the same instant.
+struct QosArm {
+  hv::MultiVmHost host;
+  std::vector<std::unique_ptr<HyperTap>> hts;
+  std::vector<std::unique_ptr<Checkpointer>> cks;
+  std::vector<std::unique_ptr<RecoveryManager>> rms;
+  std::unique_ptr<RootSupervisor> root;
+};
+
+std::unique_ptr<QosArm> make_qos_arm(const RootSupervisor::Options& opts,
+                                     SimTime rung_deadline = 0) {
+  auto a = std::make_unique<QosArm>();
+  for (int i = 0; i < 3; ++i) a->host.add_vm(small_mc());
+  for (int i = 0; i < 3; ++i) {
+    a->host.vm(i).kernel.register_locations(locs());
+    a->hts.push_back(std::make_unique<HyperTap>(a->host.vm(i)));
+    a->host.vm(i).kernel.boot();
+  }
+  Checkpointer::Options copts;
+  copts.period = 1'000'000'000;
+  for (int i = 0; i < 3; ++i) {
+    RecoveryPolicy pol;
+    pol.confirm_window = 500'000'000;
+    pol.detect_latency_bound = 2'000'000'000;
+    pol.probation = 2'000'000'000;
+    pol.rung_deadline = rung_deadline;
+    a->cks.push_back(std::make_unique<Checkpointer>(a->host.vm(i), copts));
+    a->rms.push_back(std::make_unique<RecoveryManager>(
+        a->host.vm(i), *a->hts[i], *a->cks[i], pol));
+    a->cks[i]->start();
+  }
+  a->root = std::make_unique<RootSupervisor>(a->host, opts);
+  const u64 tenants[3] = {7, 7, 9};  // A, A, B
+  for (std::size_t i = 0; i < 3; ++i) {
+    a->root->manage(0, i, *a->rms[i], nullptr, tenants[i]);
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto* ht = a->hts[i].get();
+    auto* vm = &a->host.vm(i);
+    vm->machine.schedule(4'000'000'000, [ht, vm]() {
+      ht->alarms().raise(
+          Alarm{vm->machine.now(), "test", "vcpu-hang", "", 0, 0});
+    });
+  }
+  return a;
+}
+
+TEST(FleetSupervision, PerTenantBudgetConfinesOneTenantsFailureStorm) {
+  RootSupervisor::Options opts;
+  opts.max_concurrent_remediations = 2;
+
+  // No per-tenant cap: tenant A's two VMs grab both global slots at the
+  // same barrier; tenant B is starved behind them.
+  auto uncapped = make_qos_arm(opts);
+  uncapped->root->run_until(20'000'000'000);
+  for (const auto& rm : uncapped->rms) {
+    ASSERT_EQ(rm->history().size(), 1u);
+    ASSERT_EQ(rm->health(), VmHealth::kHealthy);
+  }
+  const SimTime u0 = uncapped->rms[0]->history()[0].at;
+  const SimTime u1 = uncapped->rms[1]->history()[0].at;
+  const SimTime u2 = uncapped->rms[2]->history()[0].at;
+  EXPECT_EQ(u0, u1) << "both A remediations run concurrently";
+  EXPECT_GT(u2, u0) << "B queues behind A's storm - the QoS failure mode";
+
+  // Per-tenant cap 1: A gets one slot, B gets the other immediately; A's
+  // second VM waits for A's first token to come back.
+  opts.per_tenant_max_remediations = 1;
+  auto capped = make_qos_arm(opts);
+  capped->root->run_until(20'000'000'000);
+  for (const auto& rm : capped->rms) {
+    ASSERT_EQ(rm->history().size(), 1u);
+    ASSERT_EQ(rm->health(), VmHealth::kHealthy);
+  }
+  const SimTime c0 = capped->rms[0]->history()[0].at;
+  const SimTime c1 = capped->rms[1]->history()[0].at;
+  const SimTime c2 = capped->rms[2]->history()[0].at;
+  EXPECT_EQ(c2, c0) << "tenant B must not wait behind tenant A's storm";
+  EXPECT_GT(c1, c0) << "A's second remediation serializes on A's budget";
+  EXPECT_EQ(capped->root->ledger().gate_timeouts, 0u);
+}
+
+TEST(FleetSupervision, RungDeadlineForcesRemediationThroughAClosedGate) {
+  RootSupervisor::Options opts;
+  opts.max_concurrent_remediations = 1;
+  opts.remediation_downtime = 3'000'000'000;  // holds the gate shut long
+
+  // Without a deadline the queued VMs wait the full downtime out.
+  auto patient = make_qos_arm(opts, /*rung_deadline=*/0);
+  patient->root->run_until(20'000'000'000);
+  ASSERT_EQ(patient->rms[1]->history().size(), 1u);
+  const SimTime p1 = patient->rms[1]->history()[0].at;
+  EXPECT_EQ(patient->root->ledger().gate_timeouts, 0u);
+
+  // With a 1 s deadline, a rung blocked behind the closed gate is forced
+  // through (bounded staleness beats the concurrency cap).
+  auto bounded = make_qos_arm(opts, /*rung_deadline=*/1'000'000'000);
+  bounded->root->run_until(20'000'000'000);
+  for (const auto& rm : bounded->rms) {
+    ASSERT_EQ(rm->history().size(), 1u);
+    EXPECT_EQ(rm->health(), VmHealth::kHealthy);
+  }
+  const SimTime b1 = bounded->rms[1]->history()[0].at;
+  EXPECT_LT(b1, p1) << "the deadline must cut the queue wait";
+  EXPECT_GE(bounded->root->ledger().gate_timeouts, 1u)
+      << "forced rungs are accounted, not silent";
+}
+
+}  // namespace
+}  // namespace hypertap

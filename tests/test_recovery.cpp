@@ -314,6 +314,33 @@ TEST(Recovery, PersistentSymptomExhaustsRetryBudgetToFailed) {
   EXPECT_EQ(rig.rm.episodes_recovered(), 0u);
 }
 
+TEST(Recovery, BudgetExhaustionRaisesVmFailedAlarmExactlyOnce) {
+  RecoveryPolicy pol;
+  pol.confirm_window = 500'000'000;
+  pol.probation = 3'000'000'000;
+  pol.backoff_initial = 500'000'000;
+  pol.retry_budget = 2;
+  Rig rig(pol);
+  rig.vm.machine.schedule_every(2'000'000'000, [&rig]() {
+    rig.ht.alarms().raise(
+        Alarm{rig.vm.machine.now(), "test", "vcpu-hang", "", 0, 0});
+    return true;
+  });
+  rig.vm.machine.run_for(30'000'000'000);
+  ASSERT_EQ(rig.rm.health(), VmHealth::kFailed);
+  ASSERT_EQ(rig.ht.alarms().of_type("vm-failed").size(), 1u)
+      << "the permanent-failure verdict must be announced exactly once";
+  // The symptom generator keeps firing into the failed manager: no new
+  // episodes, no extra remedies, and above all no second vm-failed alarm.
+  rig.vm.machine.run_for(30'000'000'000);
+  EXPECT_EQ(rig.rm.health(), VmHealth::kFailed);
+  EXPECT_EQ(rig.rm.history().size(), 2u);
+  EXPECT_EQ(rig.ht.alarms().of_type("vm-failed").size(), 1u);
+  const Alarm verdict = rig.ht.alarms().of_type("vm-failed")[0];
+  EXPECT_EQ(verdict.auditor, "recovery");
+  EXPECT_NE(verdict.detail.find("retry budget exhausted"), std::string::npos);
+}
+
 TEST(Recovery, MonitorOnlyTriggerResyncsWithoutTouchingGuest) {
   RecoveryPolicy pol;
   pol.confirm_window = 500'000'000;
@@ -421,6 +448,65 @@ TEST(Fleet, RemediationDoesNotStallHealthyCoTenant) {
   EXPECT_LT(std::llabs(faulty.healthy_done - base.healthy_done),
             base.healthy_done / 20)
       << "remediating one VM must not stall the other";
+}
+
+TEST(Fleet, BudgetExhaustedVmIsIsolatedAndFleetCarriesOn) {
+  hv::MultiVmHost host;
+  const auto sick = host.add_vm(small_mc());
+  const auto healthy = host.add_vm(small_mc());
+  for (auto i : {sick, healthy}) host.vm(i).kernel.register_locations(locs());
+  HyperTap ht0(host.vm(sick));
+  HyperTap ht1(host.vm(healthy));
+  host.vm(sick).kernel.boot();
+  host.vm(healthy).kernel.boot();
+  std::vector<SimTime> done1;
+  spawn_make_jobs(host.vm(healthy), 1, 120, &done1);
+
+  Checkpointer::Options copts;
+  copts.period = 1'000'000'000;
+  Checkpointer ck0(host.vm(sick), copts);
+  Checkpointer ck1(host.vm(healthy), copts);
+  RecoveryPolicy pol;
+  pol.confirm_window = 500'000'000;
+  pol.probation = 3'000'000'000;
+  pol.backoff_initial = 500'000'000;
+  pol.retry_budget = 1;  // one remedy, then the fleet gives up on the VM
+  RecoveryManager rm0(host.vm(sick), ht0, ck0, pol);
+  RecoveryManager rm1(host.vm(healthy), ht1, ck1, pol);
+  ck0.start();
+  ck1.start();
+
+  FleetSupervisor fleet(host);
+  fleet.manage(sick, rm0);
+  fleet.manage(healthy, rm1);
+
+  // Persistent symptom no remedy can fix: a hang report every 2 s.
+  host.vm(sick).machine.schedule_every(2'000'000'000, [&ht0, &host, sick]() {
+    ht0.alarms().raise(
+        Alarm{host.vm(sick).machine.now(), "test", "vcpu-hang", "", 0, 0});
+    return true;
+  });
+  fleet.run_until(40'000'000'000);
+
+  EXPECT_EQ(rm0.health(), VmHealth::kFailed);
+  EXPECT_TRUE(host.paused(sick))
+      << "a failed VM must stay isolated, not be resumed to flap";
+  EXPECT_EQ(fleet.ledger().failed_vms, 1u);
+  EXPECT_EQ(fleet.active_remediations(), 0)
+      << "isolation must release the remediation token";
+  EXPECT_EQ(ht0.alarms().of_type("vm-failed").size(), 1u)
+      << "permanent-failure alarm fires exactly once";
+  EXPECT_GE(host.vm(healthy).machine.now(), 40'000'000'000)
+      << "the healthy co-tenant must keep running at full speed";
+  EXPECT_EQ(rm1.health(), VmHealth::kHealthy);
+
+  // And the verdict is stable: more fleet time changes nothing for the
+  // isolated VM.
+  const auto remedies = rm0.history().size();
+  fleet.run_until(50'000'000'000);
+  EXPECT_TRUE(host.paused(sick));
+  EXPECT_EQ(rm0.history().size(), remedies);
+  EXPECT_EQ(ht0.alarms().of_type("vm-failed").size(), 1u);
 }
 
 // ---------------------------------------------------------------------

@@ -5,6 +5,7 @@
 #include <set>
 #include <thread>
 
+#include "util/backoff.hpp"
 #include "util/names.hpp"
 #include "util/ring_buffer.hpp"
 #include "util/rng.hpp"
@@ -321,6 +322,73 @@ TEST(SpscRing, TwoThreadStress) {
   consumer.join();
   EXPECT_FALSE(fail.load()) << "out-of-order or corrupted element";
   EXPECT_TRUE(ring.empty());
+}
+
+// ----------------------------- backoff ---------------------------------
+
+TEST(Backoff, CappedExponentialDoublesUpToCap) {
+  EXPECT_EQ(util::capped_backoff(1_s, 8_s, 1), 1_s);
+  EXPECT_EQ(util::capped_backoff(1_s, 8_s, 2), 2_s);
+  EXPECT_EQ(util::capped_backoff(1_s, 8_s, 3), 4_s);
+  EXPECT_EQ(util::capped_backoff(1_s, 8_s, 4), 8_s);
+  EXPECT_EQ(util::capped_backoff(1_s, 8_s, 5), 8_s) << "cap holds forever";
+}
+
+TEST(Backoff, NonPositiveAttemptBehavesAsFirst) {
+  EXPECT_EQ(util::capped_backoff(1_s, 8_s, 0), 1_s);
+  EXPECT_EQ(util::capped_backoff(1_s, 8_s, -7), 1_s);
+}
+
+TEST(Backoff, NonPositiveInitialYieldsZero) {
+  EXPECT_EQ(util::capped_backoff(0, 8_s, 3), 0);
+  EXPECT_EQ(util::capped_backoff(-1, 8_s, 3), 0);
+}
+
+TEST(Backoff, HugeAttemptSaturatesAtCapWithoutOverflow) {
+  // attempt - 1 is clamped to 30 shifts; even a large initial must land on
+  // the cap instead of wrapping SimTime.
+  EXPECT_EQ(util::capped_backoff(1_s, 8_s, 1000), 8_s);
+  const SimTime big = SimTime{1} << 40;
+  EXPECT_EQ(util::capped_backoff(big, big + 1, 100), big + 1)
+      << "a shift past the i64 range must saturate, not overflow";
+}
+
+TEST(Backoff, JitterFracZeroIsExactlyTheUnjitteredSchedule) {
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    EXPECT_EQ(util::backoff_jitter(1_s, 8_s, attempt, 0.0, 42, 7, 3),
+              util::capped_backoff(1_s, 8_s, attempt))
+        << "attempt " << attempt;
+    EXPECT_EQ(util::backoff_jitter(1_s, 8_s, attempt, -1.0, 42, 7, 3),
+              util::capped_backoff(1_s, 8_s, attempt))
+        << "negative frac must also mean off";
+  }
+}
+
+TEST(Backoff, JitterStaysInBandAndClampsToCap) {
+  const double frac = 0.5;
+  for (u64 draw = 0; draw < 200; ++draw) {
+    const SimTime base = util::capped_backoff(1_s, 8_s, 2);  // 2 s
+    const SimTime j = util::backoff_jitter(1_s, 8_s, 2, frac, 11, 3, draw);
+    EXPECT_GE(j, static_cast<SimTime>(static_cast<double>(base) * (1 - frac)));
+    EXPECT_LE(j, 8_s) << "jitter may never exceed the cap";
+    EXPECT_GE(j, 1) << "jitter may never reach zero";
+  }
+}
+
+TEST(Backoff, JitterIsAPureFunctionOfSeedStreamDraw) {
+  const SimTime a = util::backoff_jitter(1_s, 8_s, 3, 0.25, 99, 4, 17);
+  const SimTime b = util::backoff_jitter(1_s, 8_s, 3, 0.25, 99, 4, 17);
+  EXPECT_EQ(a, b) << "same (seed, stream, draw) must reproduce exactly";
+  // Across draws / streams the delays must actually spread (that is the
+  // point of jitter): at least one of 32 draws differs from draw 17.
+  bool any_differs = false;
+  for (u64 d = 0; d < 32; ++d) {
+    if (util::backoff_jitter(1_s, 8_s, 3, 0.25, 99, 4, d) != a) {
+      any_differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_differs);
 }
 
 }  // namespace
