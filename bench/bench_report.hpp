@@ -2,12 +2,20 @@
 // next to its human-readable table, so CI (and regression tooling) can
 // diff runs without scraping stdout.
 //
-// Schema:
+// Schema (v2):
 //   {
 //     "bench": "<name>",
+//     "schema": "hypertap-bench-v2",
+//     "preset": "default" | "asan" | "tsan" | "telemetry-off",
+//     "sim_horizon_ns": <number>,   // simulated time driven, -1 = n/a
 //     "params": {"<key>": <string|number>, ...},
 //     "metrics": {"<key>": <number>, ...}
 //   }
+//
+// The provenance header (schema version, build preset, simulated horizon)
+// is stamped on every report so regression tooling never diffs an asan
+// artifact against a default one, or a 30 s soak against a 5 min one,
+// without noticing.
 //
 // Metrics are a flat map; multi-row tables flatten with dotted keys
 // (e.g. "hanoi.detect_s_p90"). Writing happens in one shot at the end so
@@ -25,6 +33,29 @@
 #include "telemetry/json.hpp"
 
 namespace htbench {
+
+/// Build preset this binary was compiled under, for artifact provenance.
+/// Sanitizer macros: GCC defines __SANITIZE_*__; clang exposes the same
+/// via __has_feature.
+inline const char* build_preset() {
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) && !defined(__SANITIZE_ADDRESS__)
+#define __SANITIZE_ADDRESS__ 1
+#endif
+#if __has_feature(thread_sanitizer) && !defined(__SANITIZE_THREAD__)
+#define __SANITIZE_THREAD__ 1
+#endif
+#endif
+#if defined(HYPERTAP_TELEMETRY_DISABLED)
+  return "telemetry-off";
+#elif defined(__SANITIZE_ADDRESS__)
+  return "asan";
+#elif defined(__SANITIZE_THREAD__)
+  return "tsan";
+#else
+  return "default";
+#endif
+}
 
 class BenchReport {
  public:
@@ -52,8 +83,18 @@ class BenchReport {
     return *this;
   }
 
+  /// Simulated time this bench drove (ns). Unset reports stamp -1.
+  BenchReport& horizon(long long ns) {
+    horizon_ns_ = ns;
+    return *this;
+  }
+
   std::string json() const {
     std::string out = "{\"bench\":" + hvsim::telemetry::json_str(name_);
+    out += ",\"schema\":\"hypertap-bench-v2\"";
+    out += ",\"preset\":" + hvsim::telemetry::json_str(build_preset());
+    out += ",\"sim_horizon_ns\":" +
+           hvsim::telemetry::json_num(static_cast<std::int64_t>(horizon_ns_));
     out += ",\"params\":{";
     append_map(out, params_);
     out += "},\"metrics\":{";
@@ -91,6 +132,7 @@ class BenchReport {
   }
 
   std::string name_;
+  long long horizon_ns_ = -1;
   std::vector<std::pair<std::string, std::string>> params_;  ///< key -> json
   std::vector<std::pair<std::string, std::string>> metrics_;
 };

@@ -22,8 +22,19 @@
 //    the JSON for trend tracking but not gated — it is noise-dominated
 //    at these absolute latencies).
 //
-// Artifacts: BENCH_fleet_soak.json plus fleet_soak_ledger_<n>.txt and
-// fleet_soak_telemetry_<n>.json next to it (CI uploads all three).
+// The soak also exercises the streaming observability plane end to end:
+// every epoch barrier captures the canonically merged registry into a
+// delta-encoded `.tlmstream`, an SloEngine evaluates declarative rules
+// over the live stream (raising ht_slo_* alarms), and an IncidentReporter
+// files incident_<vm>_<seq>.json post-mortems off those alarms. Additional
+// gates: the stream must be byte-identical between the serial reference
+// loop and exec::ShardedFleetHost at threads=1 and threads=8, the reader
+// must round-trip every frame cleanly, and the SLO -> alarm -> incident
+// path must actually fire.
+//
+// Artifacts: BENCH_fleet_soak.json plus fleet_soak_ledger_<n>.txt,
+// fleet_soak_telemetry_<n>.json, fleet_soak_<n>.tlmstream and
+// incident_*.json next to it (CI uploads all of them).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -34,10 +45,15 @@
 #include <vector>
 
 #include "bench_report.hpp"
+#include "core/auditor.hpp"
+#include "exec/sharded_fleet.hpp"
 #include "hv/multi_vm.hpp"
 #include "journal/journal.hpp"
 #include "recovery/fleet.hpp"
 #include "recovery/supervisable.hpp"
+#include "telemetry/incident.hpp"
+#include "telemetry/slo.hpp"
+#include "telemetry/stream.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 
@@ -182,9 +198,25 @@ struct SoakResult {
   u64 remediations = 0;
   u64 recoveries = 0;
   std::string ledger_text;
+
+  // Observability plane.
+  u64 stream_frames = 0;
+  u64 stream_bytes = 0;
+  u32 stream_digest = 0;
+  u64 stream_frames_read = 0;   ///< reader round-trip
+  u64 stream_quarantined = 0;
+  bool stream_torn = false;
+  u64 slo_breaches = 0;
+  u64 incidents = 0;
 };
 
-SoakResult run_soak(std::size_t managers, u64 seed, bool write_artifacts) {
+/// `stream_threads`: -1 runs the serial reference loop (root.tick driven
+/// directly, stream captured after each tick exactly as the sharded
+/// barrier does); >= 1 drives the same fleet through ShardedFleetHost at
+/// that thread count. All arms must render identical ledgers AND
+/// byte-identical streams.
+SoakResult run_soak(std::size_t managers, u64 seed, bool write_artifacts,
+                    int stream_threads = -1) {
   constexpr SimTime kTick = 250'000'000;    // 250 ms epochs
   constexpr SimTime kHorizon = 60'000'000'000;  // 60 simulated seconds
   constexpr std::size_t kRackSize = 64;
@@ -213,16 +245,59 @@ SoakResult run_soak(std::size_t managers, u64 seed, bool write_artifacts) {
   journal::JournalWriter writer(store);
   root.set_journal(&writer);
 
+  // ---- Streaming observability plane ----------------------------------
+  journal::MemoryJournalStore stream_store;
+  telemetry::SnapshotStreamer streamer(stream_store);
+  AlarmSink slo_alarms;
+  telemetry::SloEngine slo(telemetry::parse_slo_rules(
+      // Progress: the fleet must be remediating (gauge goes positive)...
+      "soak-remediations: threshold ht_fleet_remediations above 0\n"
+      // ...and must not stall: the remediation series going quiet for
+      // 15 s of simulated time on a flapping fleet means the scheduler
+      // wedged.
+      "soak-stall: absence ht_fleet_remediations 15s for 2\n"));
+  slo.set_alarm_sink(&slo_alarms);
+  slo.set_telemetry(&tel);
+  slo.observe(streamer);
+  telemetry::IncidentReporter::Options iopt;
+  if (write_artifacts) {
+    const char* d = std::getenv("HYPERTAP_BENCH_DIR");
+    iopt.dir = d != nullptr ? d : ".";
+  }
+  telemetry::IncidentReporter reporter(iopt);
+  reporter.set_telemetry(&tel, 0);
+  reporter.attach(slo_alarms);
+
   SoakResult r;
   std::vector<double> lat_us;
-  lat_us.reserve(static_cast<std::size_t>(kHorizon / kTick) + 1);
-  for (SimTime cursor = kTick; cursor <= kHorizon; cursor += kTick) {
+  if (stream_threads < 0) {
+    // Serial reference arm: drive the root directly, timing each tick,
+    // and capture the stream after every barrier exactly as
+    // ShardedFleetHost::run_until does (canonical merge, then capture).
+    lat_us.reserve(static_cast<std::size_t>(kHorizon / kTick) + 1);
+    for (SimTime cursor = kTick; cursor <= kHorizon; cursor += kTick) {
+      const auto t0 = std::chrono::steady_clock::now();
+      root.tick(cursor);
+      lat_us.push_back(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      telemetry::Registry merged;
+      merged.merge_from(tel.registry);
+      streamer.capture(cursor, merged);
+    }
+  } else {
+    exec::ShardedFleetHost::Options sopts;
+    sopts.threads = stream_threads;
+    exec::ShardedFleetHost sharded(host, sopts);
+    sharded.set_supervisor(&root);  // adopts the supervisor tick as epoch
+    sharded.set_stream(&streamer, {&tel.registry});
     const auto t0 = std::chrono::steady_clock::now();
-    root.tick(cursor);
-    lat_us.push_back(
-        std::chrono::duration<double, std::micro>(
-            std::chrono::steady_clock::now() - t0)
-            .count());
+    sharded.run_until(kHorizon);
+    lat_us.push_back(std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count() /
+                     static_cast<double>(sharded.epochs()));
   }
   r.epochs = root.epochs();
 
@@ -249,12 +324,29 @@ SoakResult run_soak(std::size_t managers, u64 seed, bool write_artifacts) {
   r.recoveries = ledger.recoveries;
   r.ledger_text = root.ledger_text();
 
+  r.stream_frames = streamer.frames();
+  r.stream_bytes = streamer.bytes_written();
+  r.stream_digest = journal::store_digest(stream_store);
+  r.slo_breaches = slo.breaches_total();
+  r.incidents = reporter.incidents().size();
+  telemetry::SnapshotStreamReader reader(stream_store);
+  while (reader.next()) ++r.stream_frames_read;
+  r.stream_quarantined = reader.quarantined();
+  r.stream_torn = reader.torn_tail();
+
   if (write_artifacts) {
     const std::string n = std::to_string(managers);
     std::ofstream lf(artifact_path("fleet_soak_ledger_" + n + ".txt"));
     lf << r.ledger_text;
     std::ofstream tf(artifact_path("fleet_soak_telemetry_" + n + ".json"));
     tf << tel.registry.json();
+    std::ofstream sf(artifact_path("fleet_soak_" + n + ".tlmstream"),
+                     std::ios::binary);
+    for (const std::string& seg : stream_store.segments()) {
+      const std::vector<u8> body = stream_store.read(seg);
+      sf.write(reinterpret_cast<const char*>(body.data()),
+               static_cast<std::streamsize>(body.size()));
+    }
   }
   return r;
 }
@@ -265,6 +357,7 @@ int main() {
   htbench::BenchReport report("fleet_soak");
   report.param("seed", 2014);
   report.param("epochs_horizon_s", 60);
+  report.horizon(60'000'000'000);
 
   bool failed = false;
   std::cout << "fleet_soak: supervisor-decision latency\n\n";
@@ -315,6 +408,51 @@ int main() {
   const SoakResult r1k_b = run_soak(1'000, 2014, /*write_artifacts=*/false);
   if (r1k_b.ledger_text != r1k_a.ledger_text) {
     std::cerr << "FAIL: two identical 1k soaks rendered different ledgers\n";
+    failed = true;
+  }
+
+  // Stream determinism: the serial reference arm and ShardedFleetHost at
+  // threads=1 and threads=8 must emit byte-identical `.tlmstream` bytes
+  // (the digest covers segment names + bodies).
+  const SoakResult st1 = run_soak(1'000, 2014, false, /*stream_threads=*/1);
+  const SoakResult st8 = run_soak(1'000, 2014, false, /*stream_threads=*/8);
+  report.metric("stream.frames", static_cast<double>(r1k_a.stream_frames));
+  report.metric("stream.bytes", static_cast<double>(r1k_a.stream_bytes));
+  report.metric("stream.digest", static_cast<double>(r1k_a.stream_digest));
+  report.metric("stream.slo_breaches",
+                static_cast<double>(r1k_a.slo_breaches));
+  report.metric("stream.incidents", static_cast<double>(r1k_a.incidents));
+  if (r1k_a.stream_frames == 0) {
+    std::cerr << "FAIL: soak emitted no stream frames\n";
+    failed = true;
+  }
+  if (st1.stream_digest != r1k_a.stream_digest ||
+      st8.stream_digest != r1k_a.stream_digest ||
+      st1.stream_frames != r1k_a.stream_frames ||
+      st8.stream_frames != r1k_a.stream_frames) {
+    std::cerr << "FAIL: stream not thread-count-invariant: serial digest="
+              << r1k_a.stream_digest << "/" << r1k_a.stream_frames
+              << " frames, t1=" << st1.stream_digest << "/"
+              << st1.stream_frames << ", t8=" << st8.stream_digest << "/"
+              << st8.stream_frames << "\n";
+    failed = true;
+  }
+  // Reader round-trip: every appended frame must come back intact.
+  if (r1k_a.stream_frames_read != r1k_a.stream_frames ||
+      r1k_a.stream_quarantined != 0 || r1k_a.stream_torn) {
+    std::cerr << "FAIL: stream round-trip: " << r1k_a.stream_frames_read
+              << "/" << r1k_a.stream_frames << " frames read, quarantined="
+              << r1k_a.stream_quarantined
+              << " torn=" << (r1k_a.stream_torn ? 1 : 0) << "\n";
+    failed = true;
+  }
+  // The SLO -> alarm -> incident path must actually fire: the progress
+  // rule breaches as soon as the fleet remediates, and the reporter files
+  // a post-mortem for it.
+  if (r1k_a.slo_breaches == 0 || r1k_a.incidents == 0) {
+    std::cerr << "FAIL: observability plane silent: slo_breaches="
+              << r1k_a.slo_breaches << " incidents=" << r1k_a.incidents
+              << "\n";
     failed = true;
   }
 

@@ -131,6 +131,9 @@ CampaignReport ShardedCampaignRunner::run(
     }
     report.merged_metrics_json = merged.json();
     report.merged_metrics_prometheus = merged.prometheus_text();
+    if (opts_.stream != nullptr) {
+      opts_.stream->capture(opts_.stream_time, merged);
+    }
   }
   if (opts_.per_job_journal) {
     report.merged_journal = std::make_unique<journal::MemoryJournalStore>();

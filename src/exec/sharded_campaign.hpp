@@ -30,6 +30,7 @@
 #include "exec/stop_token.hpp"
 #include "fi/campaign.hpp"
 #include "journal/journal.hpp"
+#include "telemetry/stream.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace hypertap::exec {
@@ -66,6 +67,14 @@ struct CampaignOptions {
   /// Invoked after each job completes with the completed-job count so far
   /// (serialized; any thread). The hook for stop-after-N policies.
   std::function<void(u64 jobs_done)> on_job_done;
+
+  /// Telemetry stream hook: after the pool drains, capture the canonical
+  /// merged per-job registry into this streamer as one frame keyed to
+  /// `stream_time` (the campaign's simulated horizon). The capture runs in
+  /// the single-threaded canonical fold, so the frame bytes are identical
+  /// at any thread count. Requires per_job_telemetry. Caller-owned.
+  telemetry::SnapshotStreamer* stream = nullptr;
+  SimTime stream_time = 0;
 };
 
 struct CampaignReport {

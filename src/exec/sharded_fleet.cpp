@@ -19,8 +19,21 @@ void ShardedFleetHost::set_supervisor(recovery::RootSupervisor* sup) {
   if (sup_ != nullptr) opts_.epoch = sup_->options().tick;
 }
 
+void ShardedFleetHost::set_stream(telemetry::SnapshotStreamer* streamer,
+                                  std::vector<const telemetry::Registry*> parts,
+                                  u64 every) {
+  streamer_ = streamer;
+  stream_parts_ = std::move(parts);
+  stream_every_ = every == 0 ? 1 : every;
+}
+
 void ShardedFleetHost::run_until(SimTime t_end) {
-  if (host_.num_vms() == 0) throw std::logic_error("no VMs on host");
+  // A supervisor-only fleet (every VM evicted, or a soak that drives
+  // synthetic managers) still needs the barrier loop for resume deadlines
+  // and stream flushes; only the bare, supervisor-less case is a bug.
+  if (host_.num_vms() == 0 && sup_ == nullptr) {
+    throw std::logic_error("no VMs on host");
+  }
   const std::size_t nshards = static_cast<std::size_t>(opts_.threads);
   WorkerPool pool(opts_.threads);
 
@@ -63,6 +76,17 @@ void ShardedFleetHost::run_until(SimTime t_end) {
     // in canonical order.
     if (sup_ != nullptr) sup_->tick(cursor);
     ++epochs_;
+    // Stream flush: canonical merge + capture, still inside the barrier
+    // phase (single-threaded, VM-index order) so the stream bytes are a
+    // pure function of simulated time, never of the thread count.
+    if (streamer_ != nullptr &&
+        (epochs_ % stream_every_ == 0 || cursor >= t_end)) {
+      telemetry::Registry merged;
+      for (const telemetry::Registry* p : stream_parts_) {
+        if (p != nullptr) merged.merge_from(*p);
+      }
+      streamer_->capture(cursor, merged);
+    }
   }
 }
 

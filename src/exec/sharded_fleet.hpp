@@ -26,6 +26,7 @@
 #include "core/auditor.hpp"
 #include "hv/multi_vm.hpp"
 #include "recovery/fleet.hpp"
+#include "telemetry/stream.hpp"
 
 namespace hypertap::exec {
 
@@ -59,6 +60,17 @@ class ShardedFleetHost {
   /// work partition changes, never the barrier-phase order.
   void set_shard_by_rack(bool on) { shard_by_rack_ = on; }
 
+  /// Telemetry stream hook: at every `every`-th epoch barrier (and at the
+  /// final barrier of a run_until call) fold `parts` — per-VM registries
+  /// in VM-index order — into the canonical merged snapshot and capture it
+  /// into `streamer`, keyed to the epoch cursor. The fold runs
+  /// single-threaded in the barrier phase after the supervisor tick, so
+  /// the emitted stream is byte-identical at any thread count. Pass
+  /// nullptr to detach.
+  void set_stream(telemetry::SnapshotStreamer* streamer,
+                  std::vector<const telemetry::Registry*> parts,
+                  u64 every = 1);
+
   /// Advance the fleet to host time `t_end` in barrier-synchronized
   /// epochs. Blocking; drives the worker pool internally.
   void run_until(SimTime t_end);
@@ -81,6 +93,9 @@ class ShardedFleetHost {
   bool shard_by_rack_ = false;
   u64 epochs_ = 0;
   std::atomic<u64> vm_steps_{0};
+  telemetry::SnapshotStreamer* streamer_ = nullptr;
+  std::vector<const telemetry::Registry*> stream_parts_;
+  u64 stream_every_ = 1;
 };
 
 /// Canonical fleet telemetry merge: fold per-VM registries in VM-index

@@ -9,6 +9,7 @@
 #include "core/hypertap.hpp"
 #include "fi/locations.hpp"
 #include "recovery/recovery_manager.hpp"
+#include "telemetry/incident.hpp"
 #include "workloads/hanoi.hpp"
 #include "workloads/httpd.hpp"
 #include "workloads/make.hpp"
@@ -367,6 +368,42 @@ RunResult run_one(const RunConfig& cfg,
     rm->start();
   }
 
+  // ---- Incident forensics --------------------------------------------
+  // The reporter is caller-owned (it outlives the run so artifacts can be
+  // inspected), but its sources are run-local: detach them on every exit
+  // path so a stale reporter never dereferences this frame.
+  struct IncidentDetach {
+    telemetry::IncidentReporter* ir;
+    ~IncidentDetach() {
+      if (ir == nullptr) return;
+      ir->set_journal(nullptr);
+      ir->set_checkpoint_mark({});
+      ir->set_ledger({});
+    }
+  } incident_detach{cfg.incidents};
+  if (cfg.incidents != nullptr) {
+    telemetry::IncidentReporter& ir = *cfg.incidents;
+    if (cfg.telemetry != nullptr) {
+      ir.set_telemetry(cfg.telemetry, cfg.telemetry_vm_id);
+    }
+    if (jw) ir.set_journal(jw.get());
+    if (ckpt) {
+      // Suffix base: the newest retained checkpoint's journal mark (the
+      // baseline before the first periodic capture lands).
+      ir.set_checkpoint_mark([&ckpt_ref = *ckpt]() -> u64 {
+        if (!ckpt_ref.retained().empty()) {
+          return ckpt_ref.retained().back().journal_mark;
+        }
+        return ckpt_ref.baseline().journal_mark;
+      });
+    }
+    if (rm) {
+      ir.set_ledger([&rm_ref = *rm]() { return rm_ref.history(); });
+      rm->set_incident_reporter(&ir);
+    }
+    ir.attach(ht.alarms());
+  }
+
   // ---- Drive the experiment ------------------------------------------
   SimTime hard_end = cfg.max_workload_time + cfg.propagation_window +
                      15'000'000'000;
@@ -446,6 +483,9 @@ RunResult run_one(const RunConfig& cfg,
   res.corrupted_dropped = ht.multiplexer().guard().corrupted_dropped();
   res.gaps_signaled = ht.multiplexer().guard().gaps_signaled();
   if (jw) res.journal_records = jw->records();
+  if (cfg.incidents != nullptr) {
+    res.incidents = cfg.incidents->incidents().size();
+  }
 
   res.activated = plan.activated();
   res.activation = plan.first_activation();

@@ -13,6 +13,10 @@
 #include "os/klocation.hpp"
 #include "telemetry/telemetry.hpp"
 
+namespace hvsim::telemetry {
+class IncidentReporter;
+}
+
 namespace hypertap::fi {
 
 enum class WorkloadKind : u8 { kHanoi, kMakeJ1, kMakeJ2, kHttpd };
@@ -79,6 +83,13 @@ struct RunConfig {
   telemetry::Telemetry* telemetry = nullptr;
   /// VM label for the telemetry series when `telemetry` is set.
   int telemetry_vm_id = 0;
+
+  /// Optional caller-owned incident reporter: attached to the run's alarm
+  /// sink (and, with recovery enabled, to the RecoveryManager's ladder) so
+  /// trigger alarms and escalations file causal post-mortems. The run's
+  /// journal / checkpoint-mark / ledger sources are wired for the duration
+  /// of run_one() and detached before it returns. Must outlive run_one().
+  telemetry::IncidentReporter* incidents = nullptr;
 };
 
 struct RunResult {
@@ -106,6 +117,7 @@ struct RunResult {
   u64 gaps_signaled = 0;           ///< sequence holes surfaced via on_gap
   u64 journal_records = 0;         ///< records persisted this run
   u64 journal_replays = 0;         ///< recovery catch-up replays performed
+  u64 incidents = 0;               ///< post-mortems filed (incidents set only)
 };
 
 /// Execute one injection experiment.

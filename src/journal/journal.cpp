@@ -31,89 +31,11 @@ const std::array<u32, 256>& crc_table() {
   return t;
 }
 
-// Little-endian primitive writers/readers. The readers are the only way
-// decode paths touch input bytes, and every call site checks bounds first.
-void put_u8(std::vector<u8>& out, u8 v) { out.push_back(v); }
-void put_u16(std::vector<u8>& out, u16 v) {
-  out.push_back(static_cast<u8>(v));
-  out.push_back(static_cast<u8>(v >> 8));
-}
-void put_u32(std::vector<u8>& out, u32 v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
-}
-void put_u64(std::vector<u8>& out, u64 v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
-}
-void put_i64(std::vector<u8>& out, i64 v) { put_u64(out, static_cast<u64>(v)); }
-
-u16 get_u16(const u8* p) { return static_cast<u16>(p[0] | (p[1] << 8)); }
-u32 get_u32(const u8* p) {
-  return static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
-         (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
-}
-u64 get_u64(const u8* p) {
-  u64 v = 0;
-  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
-  return v;
-}
-/// Bounds-checked cursor for decoding: every take_* checks remaining bytes
-/// and flips `ok` instead of reading past the end.
-struct Cursor {
-  const u8* p;
-  std::size_t n;
-  std::size_t off = 0;
-  bool ok = true;
-
-  bool have(std::size_t k) {
-    if (off + k > n) ok = false;
-    return ok;
-  }
-  u8 take_u8() {
-    if (!have(1)) return 0;
-    return p[off++];
-  }
-  u16 take_u16() {
-    if (!have(2)) return 0;
-    const u16 v = get_u16(p + off);
-    off += 2;
-    return v;
-  }
-  u32 take_u32() {
-    if (!have(4)) return 0;
-    const u32 v = get_u32(p + off);
-    off += 4;
-    return v;
-  }
-  u64 take_u64() {
-    if (!have(8)) return 0;
-    const u64 v = get_u64(p + off);
-    off += 8;
-    return v;
-  }
-  i64 take_i64() { return static_cast<i64>(take_u64()); }
-  /// Length-prefixed string, capped so a corrupted length can't allocate
-  /// or scan beyond the payload.
-  std::string take_str(std::size_t cap) {
-    const u16 len = take_u16();
-    if (!ok || len > cap || !have(len)) {
-      ok = false;
-      return {};
-    }
-    std::string s(reinterpret_cast<const char*>(p + off), len);
-    off += len;
-    return s;
-  }
-};
-
-void put_str(std::vector<u8>& out, const std::string& s, std::size_t cap) {
-  const std::size_t len = std::min(s.size(), cap);
-  put_u16(out, static_cast<u16>(len));
-  out.insert(out.end(), s.begin(), s.begin() + static_cast<long>(len));
-}
-
-constexpr std::size_t kMaxStr = 1024;
-
 }  // namespace
+
+// The wire codec (put_*/get_*/Cursor/put_str) lives in journal.hpp's
+// `wire` namespace so the telemetry stream codec shares it.
+using namespace wire;
 
 // ---------------------------------------------------------------------------
 // Planted defect (test-only)
@@ -259,76 +181,107 @@ std::vector<u8> alarm_bytes(const Alarm& a) {
 }
 
 // ---------------------------------------------------------------------------
-// Segment scanning (shared by reader and writer-open repair)
+// Generic CRC framing (shared by reader, writer-open repair and the
+// telemetry stream)
 // ---------------------------------------------------------------------------
 
-namespace {
+const FrameSpec& journal_frame_spec() {
+  static const FrameSpec spec{kRecordMagic, kFormatVersion,
+                              static_cast<u8>(RecordType::kEvent),
+                              static_cast<u8>(RecordType::kSupervisor),
+                              kMaxPayload};
+  return spec;
+}
 
-/// Parse one record at `off`. Returns the offset just past it on success.
-/// On failure distinguishes "definitely torn tail" (header/payload extends
-/// past the end of the segment) from "malformed" (bad magic/len/CRC).
-enum class ParseStatus { kOk, kTorn, kBad };
-
-ParseStatus parse_record(const std::vector<u8>& b, std::size_t off,
-                         std::size_t* end, RecordType* type,
-                         const u8** payload, std::size_t* payload_len) {
-  if (off + kHeaderBytes > b.size()) return ParseStatus::kTorn;
+FrameStatus parse_frame(const FrameSpec& spec, const std::vector<u8>& b,
+                        std::size_t off, FrameView* out) {
+  if (off + kHeaderBytes > b.size()) return FrameStatus::kTorn;
   const u8* h = b.data() + off;
-  if (get_u32(h) != kRecordMagic) return ParseStatus::kBad;
+  if (get_u32(h) != spec.magic) return FrameStatus::kBad;
   const u8 t = h[4];
   const u8 version = h[5];
   const u32 len = get_u32(h + 8);
   const u32 crc = get_u32(h + 12);
-  if (version != kFormatVersion) return ParseStatus::kBad;
-  if (t < static_cast<u8>(RecordType::kEvent) ||
-      t > static_cast<u8>(RecordType::kSupervisor)) {
-    return ParseStatus::kBad;
-  }
-  if (len > kMaxPayload) return ParseStatus::kBad;
-  if (off + kHeaderBytes + len > b.size()) return ParseStatus::kTorn;
+  if (version != spec.version) return FrameStatus::kBad;
+  if (t < spec.min_type || t > spec.max_type) return FrameStatus::kBad;
+  if (len > spec.max_payload) return FrameStatus::kBad;
+  if (off + kHeaderBytes + len > b.size()) return FrameStatus::kTorn;
   const u8* p = h + kHeaderBytes;
-  if (crc32(p, len) != crc) return ParseStatus::kBad;
-  *end = off + kHeaderBytes + len;
-  *type = static_cast<RecordType>(t);
-  *payload = p;
-  *payload_len = len;
-  return ParseStatus::kOk;
+  if (crc32(p, len) != crc) return FrameStatus::kBad;
+  out->type = t;
+  out->payload = p;
+  out->payload_len = len;
+  out->end = off + kHeaderBytes + len;
+  return FrameStatus::kOk;
 }
 
-/// Scan forward from `off + 1` to the next plausible record magic.
-std::size_t next_magic(const std::vector<u8>& b, std::size_t off) {
+std::vector<u8> seal_frame(const FrameSpec& spec, u8 type,
+                           const std::vector<u8>& payload) {
+  if (payload.size() > spec.max_payload) {
+    throw std::length_error("frame payload exceeds spec.max_payload");
+  }
+  std::vector<u8> rec;
+  rec.reserve(kHeaderBytes + payload.size());
+  put_u32(rec, spec.magic);
+  put_u8(rec, type);
+  put_u8(rec, spec.version);
+  put_u16(rec, 0);  // reserved
+  put_u32(rec, static_cast<u32>(payload.size()));
+  put_u32(rec, crc32(payload));
+  rec.insert(rec.end(), payload.begin(), payload.end());
+  return rec;
+}
+
+std::size_t next_frame_magic(const FrameSpec& spec, const std::vector<u8>& b,
+                             std::size_t off) {
   for (std::size_t i = off + 1; i + 4 <= b.size(); ++i) {
-    if (get_u32(b.data() + i) == kRecordMagic) return i;
+    if (get_u32(b.data() + i) == spec.magic) return i;
   }
   return b.size();
 }
 
+namespace {
+
+/// Local alias keeping the journal decode paths terse.
+std::size_t next_magic(const FrameSpec& spec, const std::vector<u8>& b,
+                       std::size_t off) {
+  return next_frame_magic(spec, b, off);
+}
+
 }  // namespace
 
-ScanResult scan_segment(const std::vector<u8>& bytes) {
+ScanResult scan_frames(const FrameSpec& spec, const std::vector<u8>& bytes) {
   ScanResult r;
   std::size_t off = 0;
   while (off < bytes.size()) {
-    std::size_t end;
-    RecordType type;
-    const u8* payload;
-    std::size_t plen;
-    switch (parse_record(bytes, off, &end, &type, &payload, &plen)) {
-      case ParseStatus::kOk:
+    FrameView v;
+    switch (parse_frame(spec, bytes, off, &v)) {
+      case FrameStatus::kOk:
         ++r.records;
-        off = end;
+        off = v.end;
         r.good_end = off;
         break;
-      case ParseStatus::kTorn:
+      case FrameStatus::kTorn:
         // Incomplete tail: everything before `off` was intact.
         return r;
-      case ParseStatus::kBad:
+      case FrameStatus::kBad:
         ++r.quarantined;
-        off = next_magic(bytes, off);
+        off = next_magic(spec, bytes, off);
         break;
     }
   }
   return r;
+}
+
+std::string segment_file_name(u64 index, const std::string& extension) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "seg-%06llu",
+                static_cast<unsigned long long>(index));
+  return buf + extension;
+}
+
+ScanResult scan_segment(const std::vector<u8>& bytes) {
+  return scan_frames(journal_frame_spec(), bytes);
 }
 
 // ---------------------------------------------------------------------------
@@ -374,7 +327,8 @@ std::vector<u8>* MemoryJournalStore::raw(const std::string& name) {
 // FileJournalStore
 // ---------------------------------------------------------------------------
 
-FileJournalStore::FileJournalStore(std::string dir) : dir_(std::move(dir)) {
+FileJournalStore::FileJournalStore(std::string dir, std::string extension)
+    : dir_(std::move(dir)), ext_(std::move(extension)) {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
 }
@@ -388,7 +342,8 @@ std::vector<std::string> FileJournalStore::segments() const {
   std::error_code ec;
   for (const auto& de : std::filesystem::directory_iterator(dir_, ec)) {
     const std::string name = de.path().filename().string();
-    if (name.size() > 4 && name.substr(name.size() - 4) == ".htj") {
+    if (name.size() > ext_.size() &&
+        name.compare(name.size() - ext_.size(), ext_.size(), ext_) == 0) {
       out.push_back(name);
     }
   }
@@ -435,12 +390,7 @@ void FileJournalStore::flush() {
 
 namespace {
 
-std::string segment_name(u64 index) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "seg-%06llu.htj",
-                static_cast<unsigned long long>(index));
-  return buf;
-}
+std::string segment_name(u64 index) { return segment_file_name(index, ".htj"); }
 
 }  // namespace
 
@@ -569,34 +519,31 @@ std::optional<Record> JournalReader::next() {
     if (off_ >= buf_.size()) {
       if (!load_next_segment()) return std::nullopt;
     }
-    std::size_t end;
-    RecordType type;
-    const u8* payload;
-    std::size_t plen;
-    switch (parse_record(buf_, off_, &end, &type, &payload, &plen)) {
-      case ParseStatus::kOk: {
+    FrameView v;
+    switch (parse_frame(journal_frame_spec(), buf_, off_, &v)) {
+      case FrameStatus::kOk: {
         Record rec;
-        rec.type = type;
+        rec.type = static_cast<RecordType>(v.type);
         bool ok = false;
-        switch (type) {
+        switch (rec.type) {
           case RecordType::kEvent:
-            ok = decode_event(payload, plen, rec.event);
+            ok = decode_event(v.payload, v.payload_len, rec.event);
             break;
           case RecordType::kTimer:
-            ok = decode_timer(payload, plen, rec.timer_time,
+            ok = decode_timer(v.payload, v.payload_len, rec.timer_time,
                               rec.timer_auditor);
             break;
           case RecordType::kAlarm:
-            ok = decode_alarm(payload, plen, rec.alarm);
+            ok = decode_alarm(v.payload, v.payload_len, rec.alarm);
             break;
           case RecordType::kSupervisor:
             // Opaque blob: the CRC already vouched for the bytes; semantic
             // validation belongs to the supervisor's own decoder.
-            rec.supervisor_state.assign(payload, payload + plen);
+            rec.supervisor_state.assign(v.payload, v.payload + v.payload_len);
             ok = true;
             break;
         }
-        off_ = end;
+        off_ = v.end;
         if (!ok) {
           // CRC matched but the payload is semantically malformed (only
           // possible via a colliding corruption): quarantine it.
@@ -606,7 +553,7 @@ std::optional<Record> JournalReader::next() {
         rec.index = records_read_++;
         return rec;
       }
-      case ParseStatus::kTorn:
+      case FrameStatus::kTorn:
         if (last_segment_) {
           torn_tail_ = true;
           torn_bytes_dropped_ += buf_.size() - off_;
@@ -616,9 +563,9 @@ std::optional<Record> JournalReader::next() {
         }
         off_ = buf_.size();
         continue;
-      case ParseStatus::kBad:
+      case FrameStatus::kBad:
         ++quarantined_;
-        off_ = next_magic(buf_, off_);
+        off_ = next_magic(journal_frame_spec(), buf_, off_);
         continue;
     }
   }
@@ -665,25 +612,22 @@ std::vector<RawRecord> split_records(const JournalStore& store) {
     const std::vector<u8> bytes = store.read(name);
     std::size_t off = 0;
     while (off < bytes.size()) {
-      std::size_t end;
-      RecordType type;
-      const u8* payload;
-      std::size_t plen;
-      switch (parse_record(bytes, off, &end, &type, &payload, &plen)) {
-        case ParseStatus::kOk: {
+      FrameView v;
+      switch (parse_frame(journal_frame_spec(), bytes, off, &v)) {
+        case FrameStatus::kOk: {
           RawRecord rec;
-          rec.type = type;
+          rec.type = static_cast<RecordType>(v.type);
           rec.bytes.assign(bytes.begin() + static_cast<long>(off),
-                           bytes.begin() + static_cast<long>(end));
+                           bytes.begin() + static_cast<long>(v.end));
           out.push_back(std::move(rec));
-          off = end;
+          off = v.end;
           break;
         }
-        case ParseStatus::kTorn:
+        case FrameStatus::kTorn:
           off = bytes.size();
           break;
-        case ParseStatus::kBad:
-          off = next_magic(bytes, off);
+        case FrameStatus::kBad:
+          off = next_magic(journal_frame_spec(), bytes, off);
           break;
       }
     }
@@ -692,16 +636,7 @@ std::vector<RawRecord> split_records(const JournalStore& store) {
 }
 
 std::vector<u8> seal_record(RecordType type, const std::vector<u8>& payload) {
-  std::vector<u8> rec;
-  rec.reserve(kHeaderBytes + payload.size());
-  put_u32(rec, kRecordMagic);
-  put_u8(rec, static_cast<u8>(type));
-  put_u8(rec, kFormatVersion);
-  put_u16(rec, 0);  // reserved
-  put_u32(rec, static_cast<u32>(payload.size()));
-  put_u32(rec, crc32(payload));
-  rec.insert(rec.end(), payload.begin(), payload.end());
-  return rec;
+  return seal_frame(journal_frame_spec(), static_cast<u8>(type), payload);
 }
 
 void join_records(JournalStore& store, const std::vector<RawRecord>& records,

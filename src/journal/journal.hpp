@@ -32,6 +32,7 @@
 //    write order, so a directory listing is the authoritative order.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <map>
 #include <optional>
@@ -49,6 +50,102 @@ using namespace hvsim;
 /// Standard CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.
 u32 crc32(const u8* data, std::size_t n);
 inline u32 crc32(const std::vector<u8>& v) { return crc32(v.data(), v.size()); }
+
+// ---------------------------------------------------------------------------
+// Little-endian wire codec
+// ---------------------------------------------------------------------------
+
+/// Primitive writers plus the bounds-checked decode cursor. Shared by the
+/// journal's payload codecs and the telemetry stream encoder
+/// (telemetry/stream.cpp) so both formats keep the same safety contract:
+/// decoding never reads out of bounds and never throws on arbitrary bytes.
+namespace wire {
+
+inline constexpr std::size_t kMaxStr = 1024;
+
+inline void put_u8(std::vector<u8>& out, u8 v) { out.push_back(v); }
+inline void put_u16(std::vector<u8>& out, u16 v) {
+  out.push_back(static_cast<u8>(v));
+  out.push_back(static_cast<u8>(v >> 8));
+}
+inline void put_u32(std::vector<u8>& out, u32 v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+inline void put_u64(std::vector<u8>& out, u64 v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+inline void put_i64(std::vector<u8>& out, i64 v) {
+  put_u64(out, static_cast<u64>(v));
+}
+
+inline u16 get_u16(const u8* p) { return static_cast<u16>(p[0] | (p[1] << 8)); }
+inline u32 get_u32(const u8* p) {
+  return static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+         (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
+}
+inline u64 get_u64(const u8* p) {
+  u64 v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+/// Bounds-checked cursor for decoding: every take_* checks remaining bytes
+/// and flips `ok` instead of reading past the end.
+struct Cursor {
+  const u8* p;
+  std::size_t n;
+  std::size_t off = 0;
+  bool ok = true;
+
+  bool have(std::size_t k) {
+    if (off + k > n) ok = false;
+    return ok;
+  }
+  u8 take_u8() {
+    if (!have(1)) return 0;
+    return p[off++];
+  }
+  u16 take_u16() {
+    if (!have(2)) return 0;
+    const u16 v = get_u16(p + off);
+    off += 2;
+    return v;
+  }
+  u32 take_u32() {
+    if (!have(4)) return 0;
+    const u32 v = get_u32(p + off);
+    off += 4;
+    return v;
+  }
+  u64 take_u64() {
+    if (!have(8)) return 0;
+    const u64 v = get_u64(p + off);
+    off += 8;
+    return v;
+  }
+  i64 take_i64() { return static_cast<i64>(take_u64()); }
+  /// Length-prefixed string, capped so a corrupted length can't allocate
+  /// or scan beyond the payload.
+  std::string take_str(std::size_t cap) {
+    const u16 len = take_u16();
+    if (!ok || len > cap || !have(len)) {
+      ok = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(p + off), len);
+    off += len;
+    return s;
+  }
+};
+
+inline void put_str(std::vector<u8>& out, const std::string& s,
+                    std::size_t cap) {
+  const std::size_t len = std::min(s.size(), cap);
+  put_u16(out, static_cast<u16>(len));
+  out.insert(out.end(), s.begin(), s.begin() + static_cast<long>(len));
+}
+
+}  // namespace wire
 
 // ---------------------------------------------------------------------------
 // Record format
@@ -95,6 +192,70 @@ bool decode_alarm(const u8* p, std::size_t n, Alarm& a);
 std::vector<u8> alarm_bytes(const Alarm& a);
 
 // ---------------------------------------------------------------------------
+// Generic CRC framing (shared by the journal and the telemetry stream)
+// ---------------------------------------------------------------------------
+
+/// Parameters of one CRC-framed segment format. The 16-byte header layout
+/// (magic, type, version, reserved, payload_len, payload_crc) is shared;
+/// the magic/version/type-range/payload-cap differ per format, so a
+/// `.tlmstream` frame can never be mistaken for a journal record (and vice
+/// versa) even if the files are swapped.
+struct FrameSpec {
+  u32 magic = kRecordMagic;
+  u8 version = kFormatVersion;
+  u8 min_type = 1;
+  u8 max_type = 4;
+  std::size_t max_payload = kMaxPayload;
+};
+
+/// The journal's own framing parameters (types kEvent..kSupervisor).
+const FrameSpec& journal_frame_spec();
+
+/// One parsed frame, pointing into the caller's segment bytes.
+struct FrameView {
+  u8 type = 0;
+  const u8* payload = nullptr;
+  std::size_t payload_len = 0;
+  std::size_t end = 0;  ///< offset just past this frame
+};
+
+enum class FrameStatus : u8 {
+  kOk,    ///< intact frame at `off`
+  kTorn,  ///< header or payload extends past the end of the segment
+  kBad,   ///< bad magic / version / type / length / CRC
+};
+
+/// Parse one frame at `off`. Never reads out of bounds, never throws.
+FrameStatus parse_frame(const FrameSpec& spec, const std::vector<u8>& bytes,
+                        std::size_t off, FrameView* out);
+
+/// Build one wire frame (header + payload) around a payload. Throws
+/// std::length_error past spec.max_payload — an oversized frame would be
+/// unreadable, so it must fail loudly at write time.
+std::vector<u8> seal_frame(const FrameSpec& spec, u8 type,
+                           const std::vector<u8>& payload);
+
+/// Scan one segment: offset past the last intact frame (the writer's
+/// open-for-append repair point) plus intact / quarantined frame counts.
+/// Malformed frames are skipped by scanning forward to the next magic.
+struct ScanResult {
+  std::size_t good_end = 0;  ///< offset just past the last intact record
+  u64 records = 0;
+  u64 quarantined = 0;
+};
+ScanResult scan_frames(const FrameSpec& spec, const std::vector<u8>& bytes);
+
+/// Offset of the next plausible frame magic strictly after `off` (readers
+/// resynchronize past a malformed frame by scanning to it); bytes.size()
+/// when none.
+std::size_t next_frame_magic(const FrameSpec& spec,
+                             const std::vector<u8>& bytes, std::size_t off);
+
+/// Canonical segment file name: `seg-NNNNNN<extension>` — lexicographic
+/// order is write order for any extension.
+std::string segment_file_name(u64 index, const std::string& extension);
+
+// ---------------------------------------------------------------------------
 // Segment stores
 // ---------------------------------------------------------------------------
 
@@ -138,11 +299,14 @@ class MemoryJournalStore final : public JournalStore {
 
 /// Directory-backed store: one file per segment (`<dir>/seg-NNNNNN.htj`).
 /// Used by the CI replay-determinism gate so the journal actually crosses
-/// a process-durable boundary.
+/// a process-durable boundary. The extension filter makes one directory
+/// shareable between formats (`.htj` journals next to `.tlmstream`
+/// telemetry segments).
 class FileJournalStore final : public JournalStore {
  public:
-  /// Creates `dir` if missing.
-  explicit FileJournalStore(std::string dir);
+  /// Creates `dir` if missing. Only files ending in `extension` are
+  /// listed as segments.
+  explicit FileJournalStore(std::string dir, std::string extension = ".htj");
 
   std::vector<std::string> segments() const override;
   std::vector<u8> read(const std::string& name) const override;
@@ -157,6 +321,7 @@ class FileJournalStore final : public JournalStore {
  private:
   std::string path(const std::string& name) const;
   std::string dir_;
+  std::string ext_;
 };
 
 // ---------------------------------------------------------------------------
@@ -283,14 +448,7 @@ u64 merge_journals(const std::vector<const JournalStore*>& parts,
 /// listing order): a compact equality witness for differential tests.
 u32 store_digest(const JournalStore& s);
 
-/// Shared segment scanner: finds the byte offset after the last intact
-/// record (used by the writer's open-for-append repair) and counts intact /
-/// quarantined records. Returns the "good prefix" length.
-struct ScanResult {
-  std::size_t good_end = 0;  ///< offset just past the last intact record
-  u64 records = 0;
-  u64 quarantined = 0;
-};
+/// Journal-spec segment scan (scan_frames with journal_frame_spec()).
 ScanResult scan_segment(const std::vector<u8>& bytes);
 
 // ---------------------------------------------------------------------------

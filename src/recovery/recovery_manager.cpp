@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "journal/replay.hpp"
+#include "telemetry/incident.hpp"
 #include "util/backoff.hpp"
 
 namespace hypertap::recovery {
@@ -31,17 +32,21 @@ const char* to_string(RemedyKind k) {
 
 bool RecoveryManager::is_trigger(const std::string& type) {
   return type == "vcpu-hang" || type == "full-hang" || type == "hidden-task" ||
-         type == "auditor-quarantined" || type == "rhc-liveness";
+         type == "auditor-quarantined" || type == "rhc-liveness" ||
+         type == "ht_slo_breach";
 }
 
 bool RecoveryManager::is_clear(const std::string& type) {
-  return type == "vcpu-hang-cleared" || type == "auditor-recovered";
+  return type == "vcpu-hang-cleared" || type == "auditor-recovered" ||
+         type == "ht_slo_clear";
 }
 
 bool RecoveryManager::monitor_only(const std::string& type) {
   // Faults in the monitoring plane, not the guest: the guest needs no
-  // remediation, the monitor needs a fresh baseline.
-  return type == "auditor-quarantined" || type == "rhc-liveness";
+  // remediation, the monitor needs a fresh baseline. SLO breaches land
+  // here too — a telemetry regression warrants a resync, not a restore.
+  return type == "auditor-quarantined" || type == "rhc-liveness" ||
+         type == "ht_slo_breach";
 }
 
 RecoveryManager::RecoveryManager(os::Vm& vm, HyperTap& ht, Checkpointer& cp,
@@ -318,6 +323,17 @@ void RecoveryManager::remediate(SimTime now) {
 
   HT_COUNT(remedy_counters_[static_cast<std::size_t>(rec.kind)]);
   if (!rec.ok) HT_COUNT(remedies_failed_counter_);
+  // Post-mortem forensics: file an incident for every ladder rung, carrying
+  // the episode's trigger so the guest-event → alarm causal chain is
+  // attributed even when the alarm itself was reporter-rate-limited. Runs
+  // after the ledger append so the report includes its own rung.
+  const auto file_incident = [this, now](const RemediationRecord& r) {
+    if (incidents_ != nullptr) {
+      incidents_->report(now, trigger_,
+                         std::string("escalation:") + to_string(r.kind) +
+                             " attempt=" + std::to_string(r.attempt));
+    }
+  };
   if (telemetry_ != nullptr) {
     telemetry_->flight.record(
         vm_tel_id_, telemetry::FlightRecorder::EntryKind::kNote, now,
@@ -340,6 +356,7 @@ void RecoveryManager::remediate(SimTime now) {
 
   if (!rec.ok && rec.kind == RemedyKind::kReboot) {
     history_.push_back(rec);
+    file_incident(rec);
     mark_failed(now, "cold reboot to pinned baseline failed; trigger=" +
                          trigger_.type);
     if (on_remediated_) on_remediated_(rec);
@@ -348,6 +365,7 @@ void RecoveryManager::remediate(SimTime now) {
   health_ = VmHealth::kProbation;
   probation_until_ = now + policy_.probation;
   history_.push_back(rec);
+  file_incident(rec);
   if (on_remediated_) on_remediated_(rec);
 }
 

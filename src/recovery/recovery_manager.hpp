@@ -44,6 +44,10 @@ namespace hypertap::journal {
 class JournalWriter;
 }
 
+namespace hvsim::telemetry {
+class IncidentReporter;
+}
+
 namespace hypertap::recovery {
 
 struct RecoveryPolicy {
@@ -174,6 +178,14 @@ class RecoveryManager : public Supervisable {
   /// Also wires the Checkpointer.
   void set_telemetry(telemetry::Telemetry* t, int vm_id);
 
+  /// Attach incident forensics: every remediation files a post-mortem
+  /// (`escalation:<remedy>`) carrying the episode's trigger alarm, so the
+  /// causal chain survives even when the triggering alarm itself was
+  /// rate-limited at the reporter. nullptr detaches.
+  void set_incident_reporter(telemetry::IncidentReporter* r) {
+    incidents_ = r;
+  }
+
  private:
   void on_alarm(const Alarm& a);
   void remediate(SimTime now);
@@ -225,6 +237,7 @@ class RecoveryManager : public Supervisable {
 
   // Telemetry (nullptr when unwired).
   telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::IncidentReporter* incidents_ = nullptr;
   telemetry::Tracer* tracer_ = nullptr;
   int vm_tel_id_ = 0;
   std::array<telemetry::Counter*, 4> remedy_counters_{};  ///< by RemedyKind

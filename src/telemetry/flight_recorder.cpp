@@ -21,10 +21,10 @@ FlightRecorder::~FlightRecorder() {
 }
 
 void FlightRecorder::record(int vm, EntryKind kind, SimTime t,
-                            const char* label, std::string detail) {
+                            const char* label, std::string detail, u32 span) {
   Ring& ring = rings_[vm];
   if (ring.buf.empty()) ring.buf.resize(cfg_.ring_capacity);
-  ring.buf[ring.next] = Entry{t, kind, label, std::move(detail)};
+  ring.buf[ring.next] = Entry{t, kind, label, std::move(detail), span};
   ring.next = (ring.next + 1) % cfg_.ring_capacity;
   ++ring.count;
 }
@@ -89,6 +89,7 @@ std::string FlightRecorder::format(const Dump& d) {
      << d.reason << "\" (" << d.entries.size() << " entries) ===\n";
   for (const Entry& e : d.entries) {
     os << "  " << e.t << "ns [" << to_string(e.kind) << "] " << e.label;
+    if (e.span != 0) os << " #" << e.span;
     if (!e.detail.empty()) os << ": " << e.detail;
     os << "\n";
   }

@@ -31,6 +31,10 @@ class FlightRecorder {
     EntryKind kind = EntryKind::kNote;
     const char* label = "";  ///< literal (event kind, span name, level)
     std::string detail;      ///< free-form (alarm text, log line)
+    /// Originating Tracer::SpanId for kSpan entries (0 = none): incident
+    /// reports join ring entries to trace spans by id, not by fuzzy
+    /// timestamp matching.
+    u32 span = 0;
   };
 
   struct Dump {
@@ -58,9 +62,10 @@ class FlightRecorder {
   FlightRecorder(const FlightRecorder&) = delete;
   FlightRecorder& operator=(const FlightRecorder&) = delete;
 
-  /// Append one entry to `vm`'s ring. `label` must be a literal.
+  /// Append one entry to `vm`'s ring. `label` must be a literal. `span`
+  /// is the originating trace span id, 0 when the entry has none.
   void record(int vm, EntryKind kind, SimTime t, const char* label,
-              std::string detail = {});
+              std::string detail = {}, u32 span = 0);
 
   /// Snapshot `vm`'s ring as a dump. Returns the dump, or nullptr when
   /// rate-limited / at the dump cap (counted in dumps_suppressed()).

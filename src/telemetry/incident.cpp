@@ -1,0 +1,195 @@
+#include "telemetry/incident.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+#include "journal/journal.hpp"
+#include "telemetry/json.hpp"
+
+namespace hvsim::telemetry {
+
+void IncidentReporter::set_telemetry(Telemetry* t, int vm_id) {
+  telemetry_ = t;
+  vm_id_ = vm_id;
+  if (t != nullptr) {
+    incidents_counter_ = t->registry.counter("ht_incidents_total");
+    suppressed_counter_ = t->registry.counter("ht_incidents_suppressed_total");
+  }
+}
+
+bool IncidentReporter::is_incident_alarm(const std::string& type) {
+  return type == "vcpu-hang" || type == "full-hang" || type == "hidden-task" ||
+         type == "auditor-quarantined" || type == "rhc-liveness" ||
+         type == "ht_slo_breach" || type == "vm-failed";
+}
+
+void IncidentReporter::attach(hypertap::AlarmSink& sink) {
+  sink.subscribe([this](const hypertap::Alarm& a) {
+    if (!is_incident_alarm(a.type)) return;
+    if (opt_.min_gap > 0 && last_alarm_report_at_ >= 0 &&
+        a.time - last_alarm_report_at_ < opt_.min_gap) {
+      ++suppressed_;
+      HT_COUNT(suppressed_counter_);
+      return;
+    }
+    if (report(a.time, a, "alarm:" + a.type) != nullptr) {
+      last_alarm_report_at_ = a.time;
+    }
+  });
+}
+
+void IncidentReporter::build_chain(Incident* inc) const {
+  if (telemetry_ == nullptr) return;
+  const Tracer& tr = telemetry_->tracer;
+  const auto& spans = tr.spans();
+
+  // The detecting pass: the trigger's auditor's last completed audit span
+  // at or before the alarm. Walking backward finds it in O(spans since).
+  const Tracer::Span* audit = nullptr;
+  for (auto it = spans.rbegin(); it != spans.rend(); ++it) {
+    const Tracer::Span& s = *it;
+    if (s.instant || s.pid != inc->vm || s.end < 0) continue;
+    if (std::string_view(s.name) != "audit") continue;
+    if (s.arg != inc->trigger.auditor) continue;
+    if (s.end > inc->trigger.time) continue;
+    audit = &s;
+    break;
+  }
+  if (audit == nullptr) return;
+  const Tracer::Span* forward = tr.by_id(audit->parent);
+  const Tracer::Span* exit = forward != nullptr ? tr.by_id(forward->parent)
+                                                : nullptr;
+
+  // Each hop reports its span's own begin/end/duration. The stages NEST
+  // (the exit span covers the whole dispatch, forward covers the fan-out,
+  // audit the one auditor), so latencies overlap rather than sum — the
+  // end-to-end figure is detection_latency, the per-hop ones say how deep
+  // into each stage the event spent its life.
+  auto hop = [](const char* stage, const Tracer::Span* s) {
+    Hop h;
+    h.stage = stage;
+    h.begin = s->begin;
+    h.end = s->end;
+    h.latency = s->end - s->begin;
+    h.span = s->id;
+    return h;
+  };
+  if (exit != nullptr) inc->chain.push_back(hop("exit", exit));
+  if (forward != nullptr) inc->chain.push_back(hop("forward", forward));
+  inc->chain.push_back(hop("audit", audit));
+  // The gap between the audit completing and the alarm surfacing: verdict
+  // analysis / sink delivery, attributed as its own hop so no interval of
+  // the detection window goes unaccounted.
+  Hop gap;
+  gap.stage = "analysis";
+  gap.begin = audit->end;
+  gap.end = inc->trigger.time;
+  gap.latency = inc->trigger.time > audit->end
+                    ? inc->trigger.time - audit->end
+                    : 0;
+  inc->chain.push_back(gap);
+
+  const Tracer::Span* origin =
+      exit != nullptr ? exit : (forward != nullptr ? forward : audit);
+  inc->guest_event_at = origin->begin;
+  inc->detection_latency = inc->trigger.time - origin->begin;
+}
+
+const IncidentReporter::Incident* IncidentReporter::report(
+    SimTime now, const hypertap::Alarm& trigger, std::string reason) {
+  if (incidents_.size() >= opt_.max_incidents) {
+    ++suppressed_;
+    HT_COUNT(suppressed_counter_);
+    return nullptr;
+  }
+  if (incidents_.capacity() < opt_.max_incidents) {
+    // Hard cap, so reserving keeps returned pointers stable for life.
+    incidents_.reserve(opt_.max_incidents);
+  }
+
+  Incident inc;
+  inc.vm = vm_id_;
+  inc.seq = incidents_.size();
+  inc.at = now;
+  inc.reason = std::move(reason);
+  inc.trigger = trigger;
+  build_chain(&inc);
+
+  inc.checkpoint_mark = checkpoint_mark_ ? checkpoint_mark_() : 0;
+  inc.journal_records = journal_ != nullptr ? journal_->records() : 0;
+  inc.journal_suffix = inc.journal_records > inc.checkpoint_mark
+                           ? inc.journal_records - inc.checkpoint_mark
+                           : 0;
+  if (ledger_) inc.ledger = ledger_();
+  if (telemetry_ != nullptr) inc.flight = telemetry_->flight.ring(vm_id_);
+
+  if (!opt_.dir.empty()) {
+    std::filesystem::create_directories(opt_.dir);
+    const std::string path = opt_.dir + "/incident_" +
+                             std::to_string(inc.vm) + "_" +
+                             std::to_string(inc.seq) + ".json";
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << render_json(inc);
+    if (os.good()) inc.file = path;
+  }
+
+  HT_COUNT(incidents_counter_);
+  incidents_.push_back(std::move(inc));
+  return &incidents_.back();
+}
+
+std::string IncidentReporter::render_json(const Incident& inc) {
+  std::ostringstream os;
+  os << "{\"schema\":\"hypertap-incident-v1\"";
+  os << ",\"vm\":" << inc.vm << ",\"seq\":" << json_num(inc.seq)
+     << ",\"at\":" << json_num(inc.at)
+     << ",\"reason\":" << json_str(inc.reason);
+  os << ",\"trigger\":{\"time\":" << json_num(inc.trigger.time)
+     << ",\"auditor\":" << json_str(inc.trigger.auditor)
+     << ",\"type\":" << json_str(inc.trigger.type)
+     << ",\"detail\":" << json_str(inc.trigger.detail)
+     << ",\"vcpu\":" << inc.trigger.vcpu
+     << ",\"pid\":" << json_num(static_cast<u64>(inc.trigger.pid)) << "}";
+  os << ",\"guest_event_at\":" << json_num(inc.guest_event_at)
+     << ",\"detection_latency\":" << json_num(inc.detection_latency);
+  os << ",\"chain\":[";
+  for (std::size_t i = 0; i < inc.chain.size(); ++i) {
+    const Hop& h = inc.chain[i];
+    if (i != 0) os << ',';
+    os << "{\"stage\":\"" << h.stage << "\",\"begin\":" << json_num(h.begin)
+       << ",\"end\":" << json_num(h.end)
+       << ",\"latency\":" << json_num(h.latency)
+       << ",\"span\":" << json_num(static_cast<u64>(h.span)) << "}";
+  }
+  os << "]";
+  os << ",\"journal\":{\"checkpoint_mark\":" << json_num(inc.checkpoint_mark)
+     << ",\"records\":" << json_num(inc.journal_records)
+     << ",\"suffix\":" << json_num(inc.journal_suffix) << "}";
+  os << ",\"ledger\":[";
+  for (std::size_t i = 0; i < inc.ledger.size(); ++i) {
+    const auto& r = inc.ledger[i];
+    if (i != 0) os << ',';
+    os << "{\"at\":" << json_num(r.at) << ",\"attempt\":" << r.attempt
+       << ",\"remedy\":" << json_str(hypertap::recovery::to_string(r.kind))
+       << ",\"ok\":" << (r.ok ? "true" : "false")
+       << ",\"trigger\":" << json_str(r.trigger)
+       << ",\"pid\":" << json_num(static_cast<u64>(r.pid)) << "}";
+  }
+  os << "]";
+  os << ",\"flight\":[";
+  for (std::size_t i = 0; i < inc.flight.size(); ++i) {
+    const auto& e = inc.flight[i];
+    if (i != 0) os << ',';
+    os << "{\"t\":" << json_num(e.t)
+       << ",\"kind\":" << json_str(FlightRecorder::to_string(e.kind))
+       << ",\"label\":" << json_str(e.label)
+       << ",\"detail\":" << json_str(e.detail)
+       << ",\"span\":" << json_num(static_cast<u64>(e.span)) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace hvsim::telemetry

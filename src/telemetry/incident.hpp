@@ -1,0 +1,143 @@
+// Incident forensics: when a VM trips an alarm or the recovery ladder
+// escalates, stitch every observability surface we have — the trace
+// spans of the detecting pipeline pass, the flight-recorder ring, the
+// journal suffix since the last checkpoint, and the remediation ledger —
+// into one deterministic post-mortem document, `incident_<vm>_<seq>.json`.
+//
+// The centerpiece is the causal chain: the alarm names its auditor, the
+// auditor's last completed "audit" span before the alarm names (via
+// parent links) the "forward" and "exit" spans that carried the guest
+// event in, so detection latency decomposes hop by hop:
+//
+//   guest write → [exit] → [forward] → [audit] → (analysis) → alarm
+//
+// with each hop's simulated begin/end/latency attributed exactly — no
+// fuzzy timestamp matching, the tracer's explicit parent ids are the
+// ground truth. Flight-ring span entries join the same chain by SpanId.
+//
+// Determinism: everything is keyed to simulated time and produced by the
+// single-threaded recovery/alarm path, so identical seeds yield
+// byte-identical incident files at any worker-thread count.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/auditor.hpp"
+#include "recovery/supervisable.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/types.hpp"
+
+namespace hypertap::journal {
+class JournalWriter;
+}
+
+namespace hvsim::telemetry {
+
+class IncidentReporter {
+ public:
+  struct Options {
+    /// Directory incident files land in; "" keeps reports in memory only.
+    std::string dir;
+    /// Hard cap on reports per reporter (alarm storms must not fill the
+    /// disk); excess is counted in suppressed().
+    std::size_t max_incidents = 64;
+    /// Minimum simulated time between *alarm-triggered* reports. Direct
+    /// report() calls (recovery escalations) are never gap-limited — the
+    /// ladder's own backoff already paces them.
+    SimTime min_gap = 0;
+  };
+
+  /// One attributed stage of the detection pipeline.
+  struct Hop {
+    const char* stage = "";  ///< "exit" / "forward" / "audit" / "analysis"
+    SimTime begin = -1;
+    SimTime end = -1;
+    SimTime latency = 0;
+    Tracer::SpanId span = Tracer::kNone;  ///< 0 for the analysis gap
+  };
+
+  struct Incident {
+    int vm = 0;
+    u64 seq = 0;          ///< per-reporter, dense from 0
+    SimTime at = 0;       ///< report time (alarm or escalation time)
+    std::string reason;   ///< "alarm:<type>" or "escalation:<remedy>"
+    hypertap::Alarm trigger;
+    /// Causal chain, guest event first. Empty when the trigger has no
+    /// pipeline provenance (e.g. SLO breaches raised off-pipeline).
+    std::vector<Hop> chain;
+    SimTime guest_event_at = -1;    ///< exit-span begin, -1 when unchained
+    SimTime detection_latency = -1; ///< alarm time − guest_event_at
+    u64 checkpoint_mark = 0;    ///< journal records at last checkpoint
+    u64 journal_records = 0;    ///< journal records now
+    u64 journal_suffix = 0;     ///< records since the checkpoint mark
+    std::vector<hypertap::recovery::RemediationRecord> ledger;
+    std::vector<FlightRecorder::Entry> flight;  ///< ring snapshot at report
+    std::string file;  ///< path written, "" when Options::dir is unset
+  };
+
+  IncidentReporter() = default;
+  explicit IncidentReporter(Options opt) : opt_(std::move(opt)) {}
+
+  IncidentReporter(const IncidentReporter&) = delete;
+  IncidentReporter& operator=(const IncidentReporter&) = delete;
+
+  /// Span/flight source plus the VM id stamped into reports and used to
+  /// select this VM's spans and ring.
+  void set_telemetry(Telemetry* t, int vm_id);
+
+  /// Journal high-water-mark source for the suffix accounting.
+  void set_journal(hypertap::journal::JournalWriter* w) { journal_ = w; }
+
+  /// Journal mark of the newest retained checkpoint (the suffix base).
+  void set_checkpoint_mark(std::function<u64()> fn) {
+    checkpoint_mark_ = std::move(fn);
+  }
+
+  /// Remediation-ledger source (RecoveryManager::history copy).
+  void set_ledger(
+      std::function<std::vector<hypertap::recovery::RemediationRecord>()> fn) {
+    ledger_ = std::move(fn);
+  }
+
+  /// Subscribe to the sink: every trigger-class alarm (the recovery
+  /// ladder's trigger set plus ht_slo_breach and vm-failed) produces a
+  /// report, subject to Options pacing.
+  void attach(hypertap::AlarmSink& sink);
+
+  /// Build (and, when Options::dir is set, write) one report. Returns the
+  /// stored incident, or nullptr when capped. `reason` should say which
+  /// path asked: "alarm:<type>" or "escalation:<remedy>".
+  const Incident* report(SimTime now, const hypertap::Alarm& trigger,
+                         std::string reason);
+
+  const std::vector<Incident>& incidents() const { return incidents_; }
+  u64 suppressed() const { return suppressed_; }
+
+  /// Does this alarm type open an incident when seen on the sink?
+  static bool is_incident_alarm(const std::string& type);
+
+  /// Deterministic JSON rendering (stable field order, json.hpp number
+  /// formatting) — exactly what the file contains.
+  static std::string render_json(const Incident& inc);
+
+ private:
+  void build_chain(Incident* inc) const;
+
+  Options opt_;
+  Telemetry* telemetry_ = nullptr;
+  int vm_id_ = 0;
+  hypertap::journal::JournalWriter* journal_ = nullptr;
+  std::function<u64()> checkpoint_mark_;
+  std::function<std::vector<hypertap::recovery::RemediationRecord>()> ledger_;
+
+  std::vector<Incident> incidents_;
+  u64 suppressed_ = 0;
+  SimTime last_alarm_report_at_ = -1;
+
+  Counter* incidents_counter_ = nullptr;
+  Counter* suppressed_counter_ = nullptr;
+};
+
+}  // namespace hvsim::telemetry

@@ -61,6 +61,32 @@ void Histogram::merge_from(const Histogram& src) {
   }
 }
 
+u64 Histogram::quantile_from(const u64* bucket_counts, std::size_t n,
+                             u64 count, u64 max_seen, double p) {
+  if (count == 0 || n == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the target sample, 1-based: ceil(p * count), at least 1.
+  const u64 rank = std::max<u64>(
+      1, count - static_cast<u64>(static_cast<double>(count) * (1.0 - p)));
+  u64 cum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cum += bucket_counts[i];
+    if (cum >= rank) {
+      // Overflow bucket has no finite bound; the largest sample seen is
+      // the tightest true statement about those samples.
+      return i + 1 >= n ? max_seen : bucket_le(i);
+    }
+  }
+  return max_seen;
+}
+
+u64 Histogram::quantile(double p) const {
+  u64 buckets[kBuckets];
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] = bucket_count(i);
+  return quantile_from(buckets, kBuckets, count(), max(), p);
+}
+
 /// Find-or-create by canonical key (merge path: the key is already built).
 /// Applies the same cardinality guard as get_series, collapsing into the
 /// family's overflow series past the cap.
@@ -151,6 +177,25 @@ u64 Registry::counter_value(const std::string& name, Labels labels) const {
 std::size_t Registry::series_count() const {
   std::lock_guard<std::mutex> lk(mu_);
   return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void Registry::for_each_counter(
+    const std::function<void(const std::string&, const Counter&)>& fn) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [key, c] : counters_) fn(key, *c);
+}
+
+void Registry::for_each_gauge(
+    const std::function<void(const std::string&, const Gauge&)>& fn) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [key, g] : gauges_) fn(key, *g);
+}
+
+void Registry::for_each_histogram(
+    const std::function<void(const std::string&, const Histogram&)>& fn)
+    const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [key, h] : histograms_) fn(key, *h);
 }
 
 namespace {
@@ -245,7 +290,8 @@ std::string Registry::json() const {
     first = false;
     os << json_str(key) << ":{\"count\":" << h->count()
        << ",\"sum\":" << h->sum() << ",\"min\":" << h->min()
-       << ",\"max\":" << h->max() << ",\"buckets\":{";
+       << ",\"max\":" << h->max() << ",\"p50\":" << h->quantile(0.5)
+       << ",\"p99\":" << h->quantile(0.99) << ",\"buckets\":{";
     bool bfirst = true;
     for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
       const u64 n = h->bucket_count(i);

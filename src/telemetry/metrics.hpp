@@ -22,6 +22,7 @@
 #include <array>
 #include <atomic>
 #include <bit>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -104,6 +105,19 @@ class Histogram {
   /// combine). Used by Registry::merge_from; `src` must be quiescent.
   void merge_from(const Histogram& src);
 
+  /// p-quantile (0 < p <= 1) at the histogram's native resolution: the
+  /// inclusive upper bound of the bucket holding the p-th sample. Samples
+  /// that landed in the overflow bucket report max() (the largest value
+  /// actually seen), so p100 is always a real sample bound. Returns 0 on
+  /// an empty histogram.
+  u64 quantile(double p) const;
+
+  /// Same walk over externally-held bucket counts (a decoded stream frame
+  /// or a merged snapshot): `bucket_counts[0..n)` mirror bucket_count(i),
+  /// `count` the total and `max_seen` the largest observed sample.
+  static u64 quantile_from(const u64* bucket_counts, std::size_t n, u64 count,
+                           u64 max_seen, double p);
+
  private:
   void update_min(u64 v) {
     u64 cur = min_.load(std::memory_order_relaxed);
@@ -166,8 +180,20 @@ class Registry {
   std::string prometheus_text() const;
 
   /// JSON snapshot: {"counters":{key:val},"gauges":{...},
-  /// "histograms":{key:{count,sum,min,max,buckets:{le:count}}}}.
+  /// "histograms":{key:{count,sum,min,max,p50,p99,buckets:{le:count}}}}.
   std::string json() const;
+
+  /// Visit every series of one kind in sorted-key order — the registry's
+  /// canonical (deterministic) iteration, used by the snapshot streamer.
+  /// The registry lock is held for the whole walk; visitors must not
+  /// re-enter the registry.
+  void for_each_counter(
+      const std::function<void(const std::string&, const Counter&)>& fn) const;
+  void for_each_gauge(
+      const std::function<void(const std::string&, const Gauge&)>& fn) const;
+  void for_each_histogram(
+      const std::function<void(const std::string&, const Histogram&)>& fn)
+      const;
 
   /// The canonical series key: name{k1="v1",k2="v2"} with sorted labels.
   static std::string series_key(const std::string& name, Labels labels);

@@ -1,0 +1,301 @@
+#include "telemetry/slo.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "telemetry/json.hpp"
+
+namespace hvsim::telemetry {
+
+// ---------------------------------------------------------------------------
+// Rule grammar
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+[[noreturn]] void bad_rule(const std::string& line, const std::string& why) {
+  throw std::invalid_argument("slo rule \"" + line + "\": " + why);
+}
+
+SloRule::Cmp parse_cmp(const std::string& line, const std::string& tok) {
+  if (tok == "above" || tok == ">") return SloRule::Cmp::kAbove;
+  if (tok == "below" || tok == "<") return SloRule::Cmp::kBelow;
+  bad_rule(line, "expected above/below, got \"" + tok + "\"");
+}
+
+double parse_number(const std::string& line, const std::string& tok) {
+  std::size_t used = 0;
+  double v = 0;
+  try {
+    v = std::stod(tok, &used);
+  } catch (const std::exception&) {
+    bad_rule(line, "expected a number, got \"" + tok + "\"");
+  }
+  if (used != tok.size()) {
+    bad_rule(line, "trailing characters in number \"" + tok + "\"");
+  }
+  return v;
+}
+
+SimTime parse_duration(const std::string& line, const std::string& tok) {
+  std::size_t used = 0;
+  double v = 0;
+  try {
+    v = std::stod(tok, &used);
+  } catch (const std::exception&) {
+    bad_rule(line, "expected a duration, got \"" + tok + "\"");
+  }
+  const std::string unit = tok.substr(used);
+  double scale = 0;
+  if (unit == "ns") scale = 1;
+  else if (unit == "us") scale = 1e3;
+  else if (unit == "ms") scale = 1e6;
+  else if (unit == "s") scale = 1e9;
+  else bad_rule(line, "duration needs a ns/us/ms/s suffix: \"" + tok + "\"");
+  return static_cast<SimTime>(v * scale);
+}
+
+}  // namespace
+
+SloRule parse_slo_rule(const std::string& line) {
+  auto toks = tokenize(line);
+  if (toks.size() < 3) bad_rule(line, "too short");
+  SloRule r;
+  // "<name>:" — the colon may be glued to the name or stand alone.
+  r.name = toks[0];
+  std::size_t i = 1;
+  if (r.name.size() > 1 && r.name.back() == ':') {
+    r.name.pop_back();
+  } else if (i < toks.size() && toks[i] == ":") {
+    ++i;
+  } else {
+    bad_rule(line, "expected \"<name>:\"");
+  }
+  if (i >= toks.size()) bad_rule(line, "missing rule kind");
+  const std::string kind = toks[i++];
+
+  auto need = [&](const char* what) -> const std::string& {
+    if (i >= toks.size()) bad_rule(line, std::string("missing ") + what);
+    return toks[i++];
+  };
+
+  if (kind == "threshold" || kind == "rate") {
+    r.kind = kind == "threshold" ? SloRule::Kind::kThreshold
+                                 : SloRule::Kind::kRateOfChange;
+    r.series = need("series");
+    r.cmp = parse_cmp(line, need("comparator"));
+    r.bound = parse_number(line, need("bound"));
+  } else if (kind == "absence") {
+    r.kind = SloRule::Kind::kAbsence;
+    r.series = need("series");
+    r.staleness = parse_duration(line, need("staleness duration"));
+  } else if (kind == "quantile") {
+    r.kind = SloRule::Kind::kQuantile;
+    const std::string q = need("quantile (p50/p99/...)");
+    if (q.size() < 2 || q[0] != 'p') bad_rule(line, "quantile must be pNN");
+    r.quantile = parse_number(line, q.substr(1)) / 100.0;
+    if (r.quantile <= 0.0 || r.quantile > 1.0) {
+      bad_rule(line, "quantile out of (0,100]");
+    }
+    r.series = need("series");
+    r.cmp = parse_cmp(line, need("comparator"));
+    r.bound = parse_number(line, need("bound"));
+  } else {
+    bad_rule(line, "unknown kind \"" + kind + "\"");
+  }
+
+  if (i < toks.size()) {
+    if (toks[i] != "for") bad_rule(line, "unexpected \"" + toks[i] + "\"");
+    ++i;
+    const double n = parse_number(line, need("frame count after `for`"));
+    if (n < 1) bad_rule(line, "`for` count must be >= 1");
+    r.for_frames = static_cast<u32>(n);
+  }
+  if (i < toks.size()) bad_rule(line, "trailing tokens");
+  return r;
+}
+
+std::vector<SloRule> parse_slo_rules(const std::string& text) {
+  std::vector<SloRule> out;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    out.push_back(parse_slo_rule(line));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+SloEngine::SloEngine(std::vector<SloRule> rules)
+    : rules_(std::move(rules)), per_rule_(rules_.size()) {}
+
+void SloEngine::set_telemetry(Telemetry* t) {
+  if (t == nullptr) return;
+  evals_counter_ = t->registry.counter("ht_slo_evals_total");
+  breaches_counter_ = t->registry.counter("ht_slo_breaches_total");
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    per_rule_[i].breach_counter =
+        t->registry.counter("ht_slo_rule_breaches", {{"rule", rules_[i].name}});
+  }
+}
+
+void SloEngine::observe(SnapshotStreamer& streamer) {
+  streamer.set_observer(
+      [this](SimTime t, const StreamState& s) { evaluate(t, s); });
+}
+
+namespace {
+
+/// Numeric reading of a series for threshold/rate rules: counter value,
+/// gauge value, or histogram count — whichever kind the key resolves to.
+bool series_value(const StreamState& s, const std::string& key, double* out) {
+  if (const auto it = s.counters.find(key); it != s.counters.end()) {
+    *out = static_cast<double>(it->second);
+    return true;
+  }
+  if (const auto it = s.gauges.find(key); it != s.gauges.end()) {
+    *out = it->second;
+    return true;
+  }
+  if (const auto it = s.hists.find(key); it != s.hists.end()) {
+    *out = static_cast<double>(it->second.count);
+    return true;
+  }
+  return false;
+}
+
+bool compare(SloRule::Cmp cmp, double value, double bound) {
+  return cmp == SloRule::Cmp::kAbove ? value > bound : value < bound;
+}
+
+const char* kind_name(SloRule::Kind k) {
+  switch (k) {
+    case SloRule::Kind::kThreshold: return "threshold";
+    case SloRule::Kind::kRateOfChange: return "rate";
+    case SloRule::Kind::kAbsence: return "absence";
+    case SloRule::Kind::kQuantile: return "quantile";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SloEngine::evaluate(SimTime t, const StreamState& s) {
+  if (first_eval_at_ < 0) first_eval_at_ = t;
+  ++evaluations_;
+  HT_COUNT(evals_counter_);
+
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const SloRule& r = rules_[i];
+    PerRule& pr = per_rule_[i];
+
+    bool have = false;
+    double value = 0.0;
+    bool breach = false;
+    switch (r.kind) {
+      case SloRule::Kind::kThreshold: {
+        have = series_value(s, r.series, &value);
+        breach = have && compare(r.cmp, value, r.bound);
+        break;
+      }
+      case SloRule::Kind::kRateOfChange: {
+        double now = 0.0;
+        have = series_value(s, r.series, &now);
+        if (have && pr.have_prev && t > prev_eval_at_) {
+          const double dt =
+              static_cast<double>(t - prev_eval_at_) / 1e9;  // sim seconds
+          value = (now - pr.prev_value) / dt;
+          breach = compare(r.cmp, value, r.bound);
+        }
+        if (have) {
+          pr.prev_value = now;
+          pr.have_prev = true;
+        }
+        break;
+      }
+      case SloRule::Kind::kAbsence: {
+        // A series that never appeared is stale since the first
+        // evaluation; heartbeat frames keep `t` advancing regardless.
+        const auto it = s.changed_at.find(r.series);
+        const SimTime last = it != s.changed_at.end() ? it->second
+                                                      : first_eval_at_;
+        have = true;
+        value = static_cast<double>(t - last);
+        breach = t - last > r.staleness;
+        break;
+      }
+      case SloRule::Kind::kQuantile: {
+        const auto it = s.hists.find(r.series);
+        if (it != s.hists.end() && it->second.count > 0) {
+          have = true;
+          value = static_cast<double>(it->second.quantile(r.quantile));
+          breach = compare(r.cmp, value, r.bound);
+        }
+        break;
+      }
+    }
+    if (have) pr.st.value = value;
+
+    if (breach) {
+      ++pr.st.streak;
+    } else {
+      pr.st.streak = 0;
+    }
+
+    if (breach && !pr.st.firing && pr.st.streak >= r.for_frames) {
+      pr.st.firing = true;
+      pr.st.fired_at = t;
+      ++pr.st.breaches;
+      ++breaches_total_;
+      HT_COUNT(breaches_counter_);
+      HT_COUNT(pr.breach_counter);
+      if (sink_ != nullptr) {
+        hypertap::Alarm a;
+        a.time = t;
+        a.auditor = "slo";
+        a.type = "ht_slo_breach";
+        a.detail = std::string(kind_name(r.kind)) + " " + r.name + " " +
+                   r.series + " value=" + json_num(value) +
+                   " bound=" + json_num(r.bound);
+        a.vcpu = -1;
+        a.pid = 0;
+        sink_->raise(a);
+      }
+    } else if (!breach && pr.st.firing) {
+      pr.st.firing = false;
+      if (sink_ != nullptr) {
+        hypertap::Alarm a;
+        a.time = t;
+        a.auditor = "slo";
+        a.type = "ht_slo_clear";
+        a.detail = r.name + " " + r.series + " value=" + json_num(value);
+        a.vcpu = -1;
+        a.pid = 0;
+        sink_->raise(a);
+      }
+    }
+  }
+  prev_eval_at_ = t;
+}
+
+const SloEngine::RuleState* SloEngine::state(const std::string& name) const {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].name == name) return &per_rule_[i].st;
+  }
+  return nullptr;
+}
+
+}  // namespace hvsim::telemetry

@@ -1,0 +1,116 @@
+// SLO rule engine: declarative health rules evaluated over the live
+// telemetry stream, raising `ht_slo_*` alarms into the pipeline's
+// AlarmSink so the recovery ladder reacts to monitor-health regressions
+// exactly the way it reacts to guest invariant violations.
+//
+// Four rule kinds cover the regression shapes a fleet soak produces:
+//   threshold      — instantaneous value above/below a bound
+//   rate-of-change — first derivative per simulated second over the
+//                    inter-frame window
+//   absence        — a series silent (or never defined) longer than a
+//                    staleness budget; empty heartbeat frames advance the
+//                    clock, so "quiet" and "dead" are distinguishable
+//   quantile       — Histogram::quantile(p) above/below a bound
+//
+// Rules are plain structs, or parsed from one-line text form (the grammar
+// DESIGN.md §14 documents):
+//
+//   <name>: threshold <series> <above|below> <bound> [for <n>]
+//   <name>: rate <series> <above|below> <bound-per-s> [for <n>]
+//   <name>: absence <series> <duration>              [for <n>]
+//   <name>: quantile p<q> <series> <above|below> <bound> [for <n>]
+//
+// with durations taking ns/us/ms/s suffixes and `for <n>` debouncing a
+// rule until it breaches on n consecutive frames.
+//
+// Determinism: evaluation consumes only frame times and materialized
+// stream state; the engine holds no wall-clock state, so identical streams
+// produce identical alarm sequences.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/auditor.hpp"
+#include "telemetry/stream.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/types.hpp"
+
+namespace hvsim::telemetry {
+
+struct SloRule {
+  enum class Kind : u8 { kThreshold, kRateOfChange, kAbsence, kQuantile };
+  enum class Cmp : u8 { kAbove, kBelow };
+
+  std::string name;    ///< stable rule id (alarm detail + state lookup)
+  Kind kind = Kind::kThreshold;
+  std::string series;  ///< canonical series key (Registry::series_key)
+  Cmp cmp = Cmp::kAbove;
+  double bound = 0.0;     ///< threshold / rate-per-sim-second / quantile bound
+  double quantile = 0.99; ///< kQuantile only
+  SimTime staleness = 0;  ///< kAbsence: max silent window (ns)
+  u32 for_frames = 1;     ///< consecutive breaching frames before firing
+};
+
+/// Parse one rule line (see grammar above). Throws std::invalid_argument
+/// with the offending token on malformed input — rules are configuration,
+/// so they fail loudly at load time, never silently at evaluation time.
+SloRule parse_slo_rule(const std::string& line);
+
+/// Parse a rule file: one rule per line, blank lines and `#` comments
+/// skipped.
+std::vector<SloRule> parse_slo_rules(const std::string& text);
+
+class SloEngine {
+ public:
+  explicit SloEngine(std::vector<SloRule> rules);
+
+  /// Alarms (`ht_slo_breach` on entering breach, `ht_slo_clear` on
+  /// leaving) are raised into this sink. nullptr = evaluate only.
+  void set_alarm_sink(hypertap::AlarmSink* sink) { sink_ = sink; }
+
+  /// Wire ht_slo_evals_total / ht_slo_breaches_total plus a per-rule
+  /// breach counter.
+  void set_telemetry(Telemetry* t);
+
+  /// Evaluate every rule against one stream frame (monotone sim time).
+  void evaluate(SimTime t, const StreamState& s);
+
+  /// Subscribe as `streamer`'s observer: every capture evaluates.
+  void observe(SnapshotStreamer& streamer);
+
+  struct RuleState {
+    bool firing = false;
+    u32 streak = 0;        ///< consecutive breaching frames
+    double value = 0.0;    ///< last evaluated value
+    u64 breaches = 0;      ///< firing transitions
+    SimTime fired_at = -1; ///< last transition into breach
+  };
+  /// nullptr for an unknown rule name.
+  const RuleState* state(const std::string& name) const;
+
+  const std::vector<SloRule>& rules() const { return rules_; }
+  u64 evaluations() const { return evaluations_; }
+  u64 breaches_total() const { return breaches_total_; }
+
+ private:
+  struct PerRule {
+    RuleState st;
+    double prev_value = 0.0;   ///< kRateOfChange baseline
+    bool have_prev = false;
+    telemetry::Counter* breach_counter = nullptr;
+  };
+
+  std::vector<SloRule> rules_;
+  std::vector<PerRule> per_rule_;
+  hypertap::AlarmSink* sink_ = nullptr;
+  SimTime first_eval_at_ = -1;  ///< absence baseline for never-seen series
+  SimTime prev_eval_at_ = -1;
+  u64 evaluations_ = 0;
+  u64 breaches_total_ = 0;
+
+  telemetry::Counter* evals_counter_ = nullptr;
+  telemetry::Counter* breaches_counter_ = nullptr;
+};
+
+}  // namespace hvsim::telemetry

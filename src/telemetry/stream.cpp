@@ -1,0 +1,394 @@
+#include "telemetry/stream.hpp"
+
+#include <bit>
+#include <utility>
+
+namespace hvsim::telemetry {
+
+namespace journal = hypertap::journal;
+using namespace journal::wire;
+
+// ---------------------------------------------------------------------------
+// Format
+// ---------------------------------------------------------------------------
+//
+// One frame type. Payload layout (little-endian, wire codec):
+//
+//   t:i64 index:u64
+//   ndefs:u32    [ kind:u8 id:u32 key:str ]      (kind: 0 ctr, 1 gauge, 2 hist)
+//   nctrs:u32    [ id:u32 delta:u64 ]            (wrapping add)
+//   ngauges:u32  [ id:u32 value_bits:u64 ]       (absolute, IEEE-754 bits)
+//   nhists:u32   [ id:u32 dcount:u64 dsum:u64 min:u64 max:u64
+//                  nbuckets:u16 [ bucket:u8 dcount:u64 ] ]
+//
+// Ids are assigned in first-appearance order and are dense (id k is the
+// k-th definition ever emitted) — a decoder rejects any frame that breaks
+// that invariant, so a spliced-together stream can't alias series.
+
+namespace {
+
+constexpr u8 kFrameType = 1;
+constexpr u8 kKindCounter = 0;
+constexpr u8 kKindGauge = 1;
+constexpr u8 kKindHist = 2;
+
+/// Decoded-but-unapplied frame: parse fully, validate, then apply, so a
+/// frame that goes bad halfway never half-mutates the materialized state.
+struct FrameDeltas {
+  SimTime t = 0;
+  u64 index = 0;
+  std::vector<std::pair<u8, std::string>> defs;
+  std::vector<std::pair<u32, u64>> counters;  ///< id, delta
+  std::vector<std::pair<u32, u64>> gauges;    ///< id, value bits
+  struct HistDelta {
+    u32 id = 0;
+    u64 dcount = 0, dsum = 0, min = 0, max = 0;
+    std::vector<std::pair<u8, u64>> buckets;  ///< bucket index, count delta
+  };
+  std::vector<HistDelta> hists;
+};
+
+bool decode_frame(const u8* p, std::size_t n, std::size_t known_defs,
+                  FrameDeltas& out) {
+  Cursor c{p, n};
+  out.t = c.take_i64();
+  out.index = c.take_u64();
+  const u32 ndefs = c.take_u32();
+  if (!c.ok || ndefs > n) return false;  // cheap bound: one def > 7 bytes
+  std::size_t total_defs = known_defs;
+  for (u32 i = 0; i < ndefs; ++i) {
+    const u8 kind = c.take_u8();
+    const u32 id = c.take_u32();
+    std::string key = c.take_str(kMaxStr);
+    if (!c.ok || kind > kKindHist) return false;
+    if (id != total_defs + 1) return false;  // ids must stay dense
+    ++total_defs;
+    out.defs.emplace_back(kind, std::move(key));
+  }
+  const u32 nctrs = c.take_u32();
+  if (!c.ok || nctrs > n) return false;
+  for (u32 i = 0; i < nctrs; ++i) {
+    const u32 id = c.take_u32();
+    const u64 d = c.take_u64();
+    if (!c.ok || id == 0 || id > total_defs) return false;
+    out.counters.emplace_back(id, d);
+  }
+  const u32 ngauges = c.take_u32();
+  if (!c.ok || ngauges > n) return false;
+  for (u32 i = 0; i < ngauges; ++i) {
+    const u32 id = c.take_u32();
+    const u64 bits = c.take_u64();
+    if (!c.ok || id == 0 || id > total_defs) return false;
+    out.gauges.emplace_back(id, bits);
+  }
+  const u32 nhists = c.take_u32();
+  if (!c.ok || nhists > n) return false;
+  for (u32 i = 0; i < nhists; ++i) {
+    FrameDeltas::HistDelta h;
+    h.id = c.take_u32();
+    h.dcount = c.take_u64();
+    h.dsum = c.take_u64();
+    h.min = c.take_u64();
+    h.max = c.take_u64();
+    const u16 nb = c.take_u16();
+    if (!c.ok || h.id == 0 || h.id > total_defs ||
+        nb > Histogram::kBuckets) {
+      return false;
+    }
+    for (u16 b = 0; b < nb; ++b) {
+      const u8 bi = c.take_u8();
+      const u64 d = c.take_u64();
+      if (!c.ok || bi >= Histogram::kBuckets) return false;
+      h.buckets.emplace_back(bi, d);
+    }
+    out.hists.push_back(std::move(h));
+  }
+  return c.ok && c.off == n;
+}
+
+/// Apply a validated frame to the materialized state + id table. `defs`
+/// maps id-1 -> (kind, key).
+void apply_frame(const FrameDeltas& f,
+                 std::vector<std::pair<u8, std::string>>& defs,
+                 StreamState& state) {
+  for (const auto& [kind, key] : f.defs) {
+    switch (kind) {
+      case kKindCounter: state.counters.emplace(key, 0); break;
+      case kKindGauge: state.gauges.emplace(key, 0.0); break;
+      default: state.hists.emplace(key, StreamHistState{}); break;
+    }
+    state.changed_at[key] = f.t;
+    defs.emplace_back(kind, key);
+  }
+  for (const auto& [id, d] : f.counters) {
+    const auto& [kind, key] = defs[id - 1];
+    if (kind != kKindCounter) continue;  // validated id, stale kind: skip
+    state.counters[key] += d;
+    state.changed_at[key] = f.t;
+  }
+  for (const auto& [id, bits] : f.gauges) {
+    const auto& [kind, key] = defs[id - 1];
+    if (kind != kKindGauge) continue;
+    state.gauges[key] = std::bit_cast<double>(bits);
+    state.changed_at[key] = f.t;
+  }
+  for (const auto& h : f.hists) {
+    const auto& [kind, key] = defs[h.id - 1];
+    if (kind != kKindHist) continue;
+    StreamHistState& s = state.hists[key];
+    s.count += h.dcount;
+    s.sum += h.dsum;
+    s.min = h.min;
+    s.max = h.max;
+    for (const auto& [bi, d] : h.buckets) s.buckets[bi] += d;
+    state.changed_at[key] = f.t;
+  }
+}
+
+}  // namespace
+
+const journal::FrameSpec& stream_frame_spec() {
+  // "HTTS" little-endian; payload cap sized for a worst-case baseline
+  // frame at full registry cardinality (4096 series of 44-bucket
+  // histograms), far past which a length field is corruption.
+  static const journal::FrameSpec spec{0x53545448u, 1, kFrameType, kFrameType,
+                                       1u << 23};
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotStreamer
+// ---------------------------------------------------------------------------
+
+SnapshotStreamer::SnapshotStreamer(journal::JournalStore& store, Options opts)
+    : store_(store), opts_(opts) {
+  // Open-for-append repair, same contract as JournalWriter: truncate a
+  // torn tail off the LAST segment, then replay the intact frames to
+  // rebuild the id table and the delta baseline.
+  const auto names = store_.segments();
+  std::vector<std::pair<u8, std::string>> defs;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::vector<u8> bytes = store_.read(names[i]);
+    const journal::ScanResult r = scan_frames(stream_frame_spec(), bytes);
+    open_stats_.quarantined += r.quarantined;
+    if (i + 1 == names.size() && r.good_end < bytes.size()) {
+      open_stats_.torn_tail = true;
+      open_stats_.torn_bytes_dropped += bytes.size() - r.good_end;
+      store_.truncate(names[i], r.good_end);
+    }
+    std::size_t off = 0;
+    while (off < r.good_end) {
+      journal::FrameView v;
+      if (parse_frame(stream_frame_spec(), bytes, off, &v) !=
+          journal::FrameStatus::kOk) {
+        off = next_frame_magic(stream_frame_spec(), bytes, off);
+        continue;
+      }
+      FrameDeltas f;
+      if (decode_frame(v.payload, v.payload_len, defs.size(), f)) {
+        apply_frame(f, defs, state_);
+        ++open_stats_.records;
+        ++frames_;
+        last_at_ = f.t;
+      } else {
+        ++open_stats_.quarantined;
+      }
+      off = v.end;
+    }
+  }
+  for (u32 id = 1; id <= defs.size(); ++id) {
+    const auto& [kind, key] = defs[id - 1];
+    switch (kind) {
+      case kKindCounter: counter_ids_[key] = id; break;
+      case kKindGauge: gauge_ids_[key] = id; break;
+      default: hist_ids_[key] = id; break;
+    }
+  }
+  next_id_ = static_cast<u32>(defs.size()) + 1;
+  if (!names.empty()) {
+    active_ = names.back();
+    active_bytes_ = store_.size(active_);
+    seg_index_ = names.size();
+  } else {
+    active_ = journal::segment_file_name(seg_index_++, kStreamExtension);
+  }
+}
+
+void SnapshotStreamer::capture(SimTime t, const Registry& reg) {
+  std::vector<u8> defs, ctrs, gauges, hists;
+  u32 ndefs = 0, nctrs = 0, ngauges = 0, nhists = 0;
+
+  reg.for_each_counter([&](const std::string& key, const Counter& c) {
+    const u64 v = c.value();
+    auto [it, fresh] = counter_ids_.try_emplace(key, 0);
+    if (fresh) {
+      it->second = next_id_++;
+      put_u8(defs, kKindCounter);
+      put_u32(defs, it->second);
+      put_str(defs, key, kMaxStr);
+      ++ndefs;
+      state_.counters.emplace(key, 0);
+      state_.changed_at[key] = t;
+    }
+    u64& prev = state_.counters[key];
+    if (v != prev) {
+      put_u32(ctrs, it->second);
+      put_u64(ctrs, v - prev);  // wrapping: decoder adds mod 2^64
+      ++nctrs;
+      prev = v;
+      state_.changed_at[key] = t;
+    }
+  });
+
+  reg.for_each_gauge([&](const std::string& key, const Gauge& g) {
+    const u64 bits = std::bit_cast<u64>(g.value());
+    auto [it, fresh] = gauge_ids_.try_emplace(key, 0);
+    if (fresh) {
+      it->second = next_id_++;
+      put_u8(defs, kKindGauge);
+      put_u32(defs, it->second);
+      put_str(defs, key, kMaxStr);
+      ++ndefs;
+      state_.gauges.emplace(key, 0.0);
+      state_.changed_at[key] = t;
+    }
+    double& prev = state_.gauges[key];
+    if (bits != std::bit_cast<u64>(prev)) {
+      put_u32(gauges, it->second);
+      put_u64(gauges, bits);
+      ++ngauges;
+      prev = std::bit_cast<double>(bits);
+      state_.changed_at[key] = t;
+    }
+  });
+
+  reg.for_each_histogram([&](const std::string& key, const Histogram& h) {
+    auto [it, fresh] = hist_ids_.try_emplace(key, 0);
+    if (fresh) {
+      it->second = next_id_++;
+      put_u8(defs, kKindHist);
+      put_u32(defs, it->second);
+      put_str(defs, key, kMaxStr);
+      ++ndefs;
+      state_.hists.emplace(key, StreamHistState{});
+      state_.changed_at[key] = t;
+    }
+    StreamHistState& prev = state_.hists[key];
+    const u64 count = h.count();
+    if (count == prev.count && h.sum() == prev.sum && h.min() == prev.min &&
+        h.max() == prev.max) {
+      return;  // count/sum never move without a bucket moving
+    }
+    put_u32(hists, it->second);
+    put_u64(hists, count - prev.count);
+    put_u64(hists, h.sum() - prev.sum);
+    put_u64(hists, h.min());
+    put_u64(hists, h.max());
+    std::vector<std::pair<u8, u64>> changed;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const u64 b = h.bucket_count(i);
+      if (b != prev.buckets[i]) {
+        changed.emplace_back(static_cast<u8>(i), b - prev.buckets[i]);
+        prev.buckets[i] = b;
+      }
+    }
+    put_u16(hists, static_cast<u16>(changed.size()));
+    for (const auto& [bi, d] : changed) {
+      put_u8(hists, bi);
+      put_u64(hists, d);
+    }
+    ++nhists;
+    prev.count = count;
+    prev.sum = h.sum();
+    prev.min = h.min();
+    prev.max = h.max();
+    state_.changed_at[key] = t;
+  });
+
+  std::vector<u8> payload;
+  payload.reserve(32 + defs.size() + ctrs.size() + gauges.size() +
+                  hists.size());
+  put_i64(payload, t);
+  put_u64(payload, frames_);
+  put_u32(payload, ndefs);
+  payload.insert(payload.end(), defs.begin(), defs.end());
+  put_u32(payload, nctrs);
+  payload.insert(payload.end(), ctrs.begin(), ctrs.end());
+  put_u32(payload, ngauges);
+  payload.insert(payload.end(), gauges.begin(), gauges.end());
+  put_u32(payload, nhists);
+  payload.insert(payload.end(), hists.begin(), hists.end());
+  append_frame(payload);
+  ++frames_;
+  last_at_ = t;
+  if (observer_) observer_(t, state_);
+}
+
+void SnapshotStreamer::append_frame(const std::vector<u8>& payload) {
+  if (active_bytes_ >= opts_.segment_bytes) {
+    active_ = journal::segment_file_name(seg_index_++, kStreamExtension);
+    active_bytes_ = 0;
+  }
+  const std::vector<u8> rec =
+      seal_frame(stream_frame_spec(), kFrameType, payload);
+  store_.append(active_, rec.data(), rec.size());
+  active_bytes_ += rec.size();
+  bytes_written_ += rec.size();
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotStreamReader
+// ---------------------------------------------------------------------------
+
+SnapshotStreamReader::SnapshotStreamReader(const journal::JournalStore& store)
+    : store_(store), names_(store.segments()) {}
+
+bool SnapshotStreamReader::load_next_segment() {
+  while (seg_i_ < names_.size()) {
+    buf_ = store_.read(names_[seg_i_]);
+    last_segment_ = seg_i_ + 1 == names_.size();
+    ++seg_i_;
+    off_ = 0;
+    if (!buf_.empty()) return true;
+  }
+  return false;
+}
+
+bool SnapshotStreamReader::next() {
+  for (;;) {
+    if (off_ >= buf_.size()) {
+      if (!load_next_segment()) return false;
+    }
+    journal::FrameView v;
+    switch (parse_frame(stream_frame_spec(), buf_, off_, &v)) {
+      case journal::FrameStatus::kOk: {
+        FrameDeltas f;
+        const bool ok = decode_frame(v.payload, v.payload_len, defs_.size(), f);
+        off_ = v.end;
+        if (!ok) {
+          ++quarantined_;
+          continue;
+        }
+        apply_frame(f, defs_, state_);
+        time_ = f.t;
+        index_ = f.index;
+        ++frames_read_;
+        return true;
+      }
+      case journal::FrameStatus::kTorn:
+        if (last_segment_) {
+          torn_tail_ = true;
+        } else {
+          ++quarantined_;
+        }
+        off_ = buf_.size();
+        continue;
+      case journal::FrameStatus::kBad:
+        ++quarantined_;
+        off_ = next_frame_magic(stream_frame_spec(), buf_, off_);
+        continue;
+    }
+  }
+}
+
+}  // namespace hvsim::telemetry

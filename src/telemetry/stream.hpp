@@ -1,0 +1,175 @@
+// Snapshot streamer: periodic delta-encoded metric snapshots, keyed to
+// *simulated* time, appended as CRC-framed records in a journal-style
+// `.tlmstream` segment format.
+//
+// Motivation: the Registry alone is snapshot-at-end — a 10-minute soak
+// renders one terminal JSON blob and the whole trajectory is gone. The
+// streamer turns the registry into a time series: each capture() diffs the
+// registry against the previously captured state and appends only what
+// changed (new-series definitions, counter deltas, gauge values, histogram
+// bucket deltas), so a mostly-idle fleet costs bytes proportional to
+// activity, not cardinality.
+//
+// Format: the journal's 16-byte CRC header framing (journal::FrameSpec)
+// with a distinct magic ("HTTS"), one frame type, and a larger payload cap
+// — segments carry the `.tlmstream` extension and inherit the journal's
+// robustness contract verbatim: bounds-checked never-throws decoding, torn
+// tails truncated on open-for-append, malformed mid-segment frames
+// quarantined by scanning to the next magic.
+//
+// Determinism: series are walked in the registry's canonical sorted-key
+// order and stream ids are assigned in first-appearance order, so two runs
+// that capture identical registry contents at identical sim times produce
+// byte-identical streams. The sharded runners capture at their epoch
+// barriers from the canonically merged registry — which is what makes the
+// stream digest thread-count-invariant (see tests/test_telemetry_stream).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "journal/journal.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/types.hpp"
+
+namespace hvsim::telemetry {
+
+/// Materialized histogram state at one stream frame (cumulative, like the
+/// live Histogram it mirrors).
+struct StreamHistState {
+  u64 count = 0;
+  u64 sum = 0;
+  u64 min = 0;
+  u64 max = 0;
+  std::array<u64, Histogram::kBuckets> buckets{};
+
+  u64 quantile(double p) const {
+    return Histogram::quantile_from(buckets.data(), buckets.size(), count, max,
+                                    p);
+  }
+};
+
+/// Materialized registry state at one stream frame: what a decoder holds
+/// after applying every delta up to (and including) that frame. Keys are
+/// the registry's canonical series keys.
+struct StreamState {
+  std::map<std::string, u64> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, StreamHistState> hists;
+  /// Sim time of the last frame that changed each series (definition
+  /// counts as a change) — the staleness input for absence SLO rules.
+  std::map<std::string, SimTime> changed_at;
+};
+
+/// Framing parameters of the `.tlmstream` format (shared CRC header layout
+/// with the journal, distinct magic/extension/payload cap).
+const hypertap::journal::FrameSpec& stream_frame_spec();
+inline constexpr const char* kStreamExtension = ".tlmstream";
+
+/// Writer: delta-encode successive registry snapshots into a segment store.
+class SnapshotStreamer {
+ public:
+  struct Options {
+    /// Rotate to a fresh segment once the active one reaches this size.
+    std::size_t segment_bytes = 1u << 20;
+  };
+
+  /// Opens the store for append: repairs a torn tail off the last segment
+  /// (same contract as JournalWriter), then replays the surviving frames
+  /// to rebuild the id table and materialized state, so appending resumes
+  /// exactly where the intact prefix left off.
+  SnapshotStreamer(hypertap::journal::JournalStore& store, Options opts);
+  explicit SnapshotStreamer(hypertap::journal::JournalStore& store)
+      : SnapshotStreamer(store, Options{}) {}
+
+  SnapshotStreamer(const SnapshotStreamer&) = delete;
+  SnapshotStreamer& operator=(const SnapshotStreamer&) = delete;
+
+  /// Diff `reg` against the last captured state and append one frame at
+  /// sim time `t` (monotonically non-decreasing across captures). A frame
+  /// is appended even when nothing changed — an empty frame is the
+  /// heartbeat that lets absence rules distinguish "quiet" from "dead".
+  void capture(SimTime t, const Registry& reg);
+
+  /// Notified after every capture with the frame time and the materialized
+  /// state — the SloEngine's live-evaluation hook.
+  void set_observer(std::function<void(SimTime, const StreamState&)> fn) {
+    observer_ = std::move(fn);
+  }
+
+  u64 frames() const { return frames_; }
+  u64 bytes_written() const { return bytes_written_; }
+  SimTime last_capture_at() const { return last_at_; }
+  const StreamState& state() const { return state_; }
+  const hypertap::journal::OpenStats& open_stats() const {
+    return open_stats_;
+  }
+
+ private:
+  void append_frame(const std::vector<u8>& payload);
+
+  hypertap::journal::JournalStore& store_;
+  Options opts_;
+  std::string active_;  ///< segment being appended
+  std::size_t active_bytes_ = 0;
+  u64 seg_index_ = 0;
+  u64 frames_ = 0;
+  u64 bytes_written_ = 0;
+  SimTime last_at_ = -1;
+  hypertap::journal::OpenStats open_stats_;
+
+  /// Stream ids, assigned in first-appearance order (canonical walk order
+  /// makes the assignment deterministic).
+  u32 next_id_ = 1;
+  std::map<std::string, u32> counter_ids_;
+  std::map<std::string, u32> gauge_ids_;
+  std::map<std::string, u32> hist_ids_;
+
+  StreamState state_;  ///< last captured values (the delta baseline)
+  std::function<void(SimTime, const StreamState&)> observer_;
+};
+
+/// Reader: sequentially materialize the state at each frame. Malformed
+/// frames are quarantined, a torn tail on the last segment is dropped —
+/// reading never throws on arbitrary bytes.
+class SnapshotStreamReader {
+ public:
+  explicit SnapshotStreamReader(const hypertap::journal::JournalStore& store);
+
+  /// Advance to the next intact frame; false at end-of-stream. After a
+  /// true return, time()/index()/state() describe that frame.
+  bool next();
+
+  SimTime time() const { return time_; }
+  u64 index() const { return index_; }
+  const StreamState& state() const { return state_; }
+
+  u64 frames_read() const { return frames_read_; }
+  u64 quarantined() const { return quarantined_; }
+  bool torn_tail() const { return torn_tail_; }
+
+ private:
+  bool load_next_segment();
+
+  const hypertap::journal::JournalStore& store_;
+  std::vector<std::string> names_;
+  std::size_t seg_i_ = 0;
+  std::vector<u8> buf_;
+  std::size_t off_ = 0;
+  bool last_segment_ = false;
+
+  SimTime time_ = -1;
+  u64 index_ = 0;
+  StreamState state_;
+  std::vector<std::pair<u8, std::string>> defs_;  ///< id-1 -> (kind, key)
+
+  u64 frames_read_ = 0;
+  u64 quarantined_ = 0;
+  bool torn_tail_ = false;
+};
+
+}  // namespace hvsim::telemetry

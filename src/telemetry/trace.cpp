@@ -49,7 +49,7 @@ void Tracer::end(SpanId id, SimTime ts) {
   }
   if (flight_ != nullptr) {
     flight_->record(s.pid, FlightRecorder::EntryKind::kSpan, s.begin, s.name,
-                    s.arg);
+                    s.arg, s.id);
   }
 }
 

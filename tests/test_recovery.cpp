@@ -15,6 +15,7 @@
 #include "recovery/checkpoint.hpp"
 #include "recovery/fleet.hpp"
 #include "recovery/recovery_manager.hpp"
+#include "telemetry/incident.hpp"
 #include "workloads/make.hpp"
 
 namespace hypertap {
@@ -530,6 +531,17 @@ TEST_P(ClosedLoop, FaultIsDetectedRemediatedAndWorkloadCompletes) {
   cfg.transient = true;
   cfg.seed = 11;
   cfg.enable_recovery = true;
+
+  // Incident forensics ride along: every escalation must produce a
+  // post-mortem whose causal chain reaches from the guest event to the
+  // alarm with per-hop latency attribution.
+  telemetry::Telemetry tel;
+  telemetry::IncidentReporter::Options iopt;
+  iopt.dir = ::testing::TempDir() + "ht_closed_loop_incidents";
+  telemetry::IncidentReporter reporter(iopt);
+  cfg.telemetry = &tel;
+  cfg.incidents = &reporter;
+
   const fi::RunResult res = fi::run_one(cfg, locs());
 
   ASSERT_TRUE(res.activated);
@@ -543,6 +555,33 @@ TEST_P(ClosedLoop, FaultIsDetectedRemediatedAndWorkloadCompletes) {
       << "resynced auditors must not re-alarm on the healthy restored VM";
   EXPECT_FALSE(res.probe_hang)
       << "the VM must look alive from the outside after recovery";
+
+  ASSERT_EQ(res.incidents, reporter.incidents().size());
+  ASSERT_GE(reporter.incidents().size(), 1u);
+  std::size_t escalations = 0;
+  for (const auto& inc : reporter.incidents()) {
+    SCOPED_TRACE(inc.reason + " seq=" + std::to_string(inc.seq));
+    EXPECT_FALSE(inc.file.empty()) << "incident files must hit disk";
+    if (inc.reason.rfind("escalation:", 0) != 0) continue;
+    ++escalations;
+    // The causal chain: guest event → exit → forward → audit → alarm,
+    // every pipeline hop attributed with non-zero simulated latency.
+    ASSERT_EQ(inc.chain.size(), 4u) << "escalations must chain to a "
+                                       "detecting pipeline pass";
+    EXPECT_STREQ(inc.chain[0].stage, "exit");
+    EXPECT_STREQ(inc.chain[1].stage, "forward");
+    EXPECT_STREQ(inc.chain[2].stage, "audit");
+    EXPECT_STREQ(inc.chain[3].stage, "analysis");
+    for (std::size_t i = 0; i + 1 < inc.chain.size(); ++i) {
+      EXPECT_GT(inc.chain[i].latency, 0) << inc.chain[i].stage;
+    }
+    EXPECT_GE(inc.guest_event_at, 0);
+    EXPECT_GT(inc.detection_latency, 0);
+    EXPECT_FALSE(inc.ledger.empty())
+        << "an escalation report carries the remediation ledger";
+  }
+  EXPECT_EQ(escalations, static_cast<std::size_t>(res.remediations))
+      << "one forensic report per ladder rung";
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,767 @@
+// Streaming observability plane tests: delta-encoded `.tlmstream`
+// round-trip, torn-tail repair and mid-segment quarantine (the journal's
+// robustness contract inherited by the stream framing), the SLO rule
+// grammar and engine semantics, causal incident forensics, and the
+// thread-count-invariance differential — a real fleet driven through
+// exec::ShardedFleetHost at threads=1 and threads=8 must emit
+// byte-identical streams.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/hypertap.hpp"
+#include "exec/sharded_fleet.hpp"
+#include "fi/locations.hpp"
+#include "hv/multi_vm.hpp"
+#include "journal/journal.hpp"
+#include "recovery/checkpoint.hpp"
+#include "recovery/fleet.hpp"
+#include "recovery/recovery_manager.hpp"
+#include "telemetry/incident.hpp"
+#include "telemetry/slo.hpp"
+#include "telemetry/stream.hpp"
+#include "telemetry/telemetry.hpp"
+#include "workloads/make.hpp"
+
+namespace hypertap {
+namespace {
+
+using telemetry::IncidentReporter;
+using telemetry::Registry;
+using telemetry::SloEngine;
+using telemetry::SloRule;
+using telemetry::SnapshotStreamer;
+using telemetry::SnapshotStreamReader;
+using telemetry::StreamHistState;
+using telemetry::StreamState;
+using telemetry::parse_slo_rule;
+using telemetry::parse_slo_rules;
+
+// ---------------------------------------------------------------------
+// Delta stream round-trip
+// ---------------------------------------------------------------------
+
+TEST(TelemetryStream, DeltaRoundTripMaterializesRegistryState) {
+  Registry reg;
+  auto* served = reg.counter("reqs_served");
+  auto* depth = reg.gauge("queue_depth");
+  auto* lat = reg.histogram("latency_ns");
+
+  served->inc(10);
+  depth->set(3.5);
+  lat->observe(100);
+  lat->observe(100'000);
+
+  journal::MemoryJournalStore store;
+  SnapshotStreamer s(store);
+  s.capture(1'000, reg);
+
+  // A series born between frames: defined (and valued) only in frame 2.
+  auto* errors = reg.counter("reqs_errors", {{"kind", "timeout"}});
+  served->inc(5);
+  errors->inc(2);
+  depth->set(-1.25);
+  lat->observe(1'000'000'000);
+  s.capture(2'000, reg);
+
+  ASSERT_EQ(s.frames(), 2u);
+  const std::string err_key =
+      Registry::series_key("reqs_errors", {{"kind", "timeout"}});
+
+  SnapshotStreamReader r(store);
+  ASSERT_TRUE(r.next());
+  EXPECT_EQ(r.time(), 1'000);
+  EXPECT_EQ(r.index(), 0u);
+  EXPECT_EQ(r.state().counters.at("reqs_served"), 10u);
+  EXPECT_EQ(r.state().counters.count(err_key), 0u)
+      << "a series not yet registered must not appear in earlier frames";
+  EXPECT_DOUBLE_EQ(r.state().gauges.at("queue_depth"), 3.5);
+  EXPECT_EQ(r.state().hists.at("latency_ns").count, 2u);
+
+  ASSERT_TRUE(r.next());
+  EXPECT_EQ(r.time(), 2'000);
+  EXPECT_EQ(r.index(), 1u);
+  EXPECT_EQ(r.state().counters.at("reqs_served"), 15u);
+  EXPECT_EQ(r.state().counters.at(err_key), 2u);
+  EXPECT_DOUBLE_EQ(r.state().gauges.at("queue_depth"), -1.25);
+
+  // Histogram state is cumulative and quantile-capable, matching the live
+  // histogram's native-resolution answer exactly.
+  const StreamHistState& h = r.state().hists.at("latency_ns");
+  EXPECT_EQ(h.count, lat->count());
+  EXPECT_EQ(h.sum, lat->sum());
+  EXPECT_EQ(h.min, lat->min());
+  EXPECT_EQ(h.max, lat->max());
+  EXPECT_EQ(h.quantile(0.5), lat->quantile(0.5));
+  EXPECT_EQ(h.quantile(0.99), lat->quantile(0.99));
+
+  // changed_at tracks the last frame that touched each series.
+  EXPECT_EQ(r.state().changed_at.at("reqs_served"), 2'000);
+  EXPECT_EQ(r.state().changed_at.at(err_key), 2'000);
+
+  EXPECT_FALSE(r.next());
+  EXPECT_EQ(r.frames_read(), 2u);
+  EXPECT_EQ(r.quarantined(), 0u);
+  EXPECT_FALSE(r.torn_tail());
+}
+
+TEST(TelemetryStream, HeartbeatFramesAreCheapAndAdvanceTime) {
+  Registry reg;
+  reg.counter("c")->inc(1);
+
+  journal::MemoryJournalStore store;
+  SnapshotStreamer s(store);
+  s.capture(100, reg);
+  const u64 after_first = s.bytes_written();
+
+  // Nothing changed: frames still append (the absence-rule heartbeat) but
+  // carry only the frame header and time/index prologue.
+  s.capture(200, reg);
+  s.capture(300, reg);
+  EXPECT_EQ(s.frames(), 3u);
+  EXPECT_LT(s.bytes_written() - after_first, 2u * 64u);
+
+  SnapshotStreamReader r(store);
+  ASSERT_TRUE(r.next());
+  ASSERT_TRUE(r.next());
+  ASSERT_TRUE(r.next());
+  EXPECT_EQ(r.time(), 300);
+  EXPECT_EQ(r.state().counters.at("c"), 1u);
+  EXPECT_EQ(r.state().changed_at.at("c"), 100)
+      << "heartbeats advance frame time but not per-series change time";
+  EXPECT_FALSE(r.next());
+}
+
+TEST(TelemetryStream, TornTailIsRepairedOnReopenAndResumesDeltas) {
+  Registry reg;
+  auto* c = reg.counter("c");
+  journal::MemoryJournalStore store;
+  {
+    SnapshotStreamer s(store);
+    c->inc(1);
+    s.capture(100, reg);
+    c->inc(1);
+    s.capture(200, reg);
+    c->inc(1);
+    s.capture(300, reg);
+  }
+
+  // Tear the tail: a partial frame (valid magic, truncated header) as if
+  // the process died mid-append.
+  const auto segs = store.segments();
+  ASSERT_EQ(segs.size(), 1u);
+  const auto& spec = telemetry::stream_frame_spec();
+  const u8 junk[6] = {static_cast<u8>(spec.magic & 0xff),
+                      static_cast<u8>((spec.magic >> 8) & 0xff),
+                      static_cast<u8>((spec.magic >> 16) & 0xff),
+                      static_cast<u8>((spec.magic >> 24) & 0xff), 1, 1};
+  store.append(segs[0], junk, sizeof junk);
+
+  // A direct reader drops the torn tail but keeps every intact frame.
+  {
+    SnapshotStreamReader r(store);
+    while (r.next()) {
+    }
+    EXPECT_EQ(r.frames_read(), 3u);
+    EXPECT_TRUE(r.torn_tail());
+  }
+
+  // Reopen for append: the tail is truncated away and the replayed state
+  // is the intact prefix, so the next capture's delta chains correctly.
+  SnapshotStreamer s2(store);
+  EXPECT_TRUE(s2.open_stats().torn_tail);
+  EXPECT_EQ(s2.open_stats().torn_bytes_dropped, sizeof junk);
+  EXPECT_EQ(s2.open_stats().records, 3u);
+  EXPECT_EQ(s2.frames(), 3u);
+  EXPECT_EQ(s2.last_capture_at(), 300);
+  EXPECT_EQ(s2.state().counters.at("c"), 3u);
+
+  c->inc(7);
+  s2.capture(400, reg);
+
+  SnapshotStreamReader r2(store);
+  while (r2.next()) {
+  }
+  EXPECT_EQ(r2.frames_read(), 4u);
+  EXPECT_EQ(r2.quarantined(), 0u);
+  EXPECT_FALSE(r2.torn_tail());
+  EXPECT_EQ(r2.time(), 400);
+  EXPECT_EQ(r2.state().counters.at("c"), 10u);
+}
+
+TEST(TelemetryStream, MidSegmentCorruptionQuarantinesOneFrame) {
+  Registry reg;
+  auto* c = reg.counter("c");
+  journal::MemoryJournalStore store;
+  SnapshotStreamer s(store);
+  c->inc(1);
+  s.capture(100, reg);
+  const u64 b1 = s.bytes_written();
+  c->inc(1);
+  s.capture(200, reg);
+  c->inc(1);
+  s.capture(300, reg);
+
+  // Flip a payload byte inside frame 2: its CRC fails, the reader scans
+  // to frame 3's magic and keeps going.
+  const auto segs = store.segments();
+  ASSERT_EQ(segs.size(), 1u);
+  auto* raw = store.raw(segs[0]);
+  ASSERT_NE(raw, nullptr);
+  (*raw)[static_cast<std::size_t>(b1) + 18] ^= 0xff;
+
+  SnapshotStreamReader r(store);
+  while (r.next()) {
+  }
+  EXPECT_EQ(r.frames_read(), 2u);
+  EXPECT_GE(r.quarantined(), 1u);
+  EXPECT_FALSE(r.torn_tail());
+  EXPECT_EQ(r.time(), 300);
+  EXPECT_EQ(r.state().counters.at("c"), 2u)
+      << "the quarantined frame's delta is lost, later deltas still apply";
+}
+
+TEST(TelemetryStream, SegmentsRotateAtConfiguredSize) {
+  Registry reg;
+  auto* c = reg.counter("c");
+  journal::MemoryJournalStore store;
+  SnapshotStreamer::Options o;
+  o.segment_bytes = 128;
+  SnapshotStreamer s(store, o);
+  for (int i = 0; i < 32; ++i) {
+    c->inc(1);
+    s.capture(100 * (i + 1), reg);
+  }
+  EXPECT_GT(store.segments().size(), 1u);
+
+  SnapshotStreamReader r(store);
+  while (r.next()) {
+  }
+  EXPECT_EQ(r.frames_read(), 32u);
+  EXPECT_EQ(r.state().counters.at("c"), 32u);
+}
+
+// ---------------------------------------------------------------------
+// SLO rule grammar
+// ---------------------------------------------------------------------
+
+TEST(Slo, ParserAcceptsFullGrammar) {
+  const SloRule t = parse_slo_rule("hot: threshold ht_exits above 100 for 3");
+  EXPECT_EQ(t.name, "hot");
+  EXPECT_EQ(t.kind, SloRule::Kind::kThreshold);
+  EXPECT_EQ(t.series, "ht_exits");
+  EXPECT_EQ(t.cmp, SloRule::Cmp::kAbove);
+  EXPECT_DOUBLE_EQ(t.bound, 100.0);
+  EXPECT_EQ(t.for_frames, 3u);
+
+  const SloRule rr = parse_slo_rule("surge: rate reqs above 2.5");
+  EXPECT_EQ(rr.kind, SloRule::Kind::kRateOfChange);
+  EXPECT_DOUBLE_EQ(rr.bound, 2.5);
+  EXPECT_EQ(rr.for_frames, 1u);
+
+  const SloRule a = parse_slo_rule("dead: absence heartbeat 1500ms for 2");
+  EXPECT_EQ(a.kind, SloRule::Kind::kAbsence);
+  EXPECT_EQ(a.staleness, 1'500'000'000);
+  EXPECT_EQ(a.for_frames, 2u);
+
+  const SloRule q = parse_slo_rule("slow: quantile p99 latency_ns above 5000");
+  EXPECT_EQ(q.kind, SloRule::Kind::kQuantile);
+  EXPECT_DOUBLE_EQ(q.quantile, 0.99);
+  EXPECT_EQ(q.cmp, SloRule::Cmp::kAbove);
+
+  const SloRule b = parse_slo_rule("low: threshold gauge_x below -0.5");
+  EXPECT_EQ(b.cmp, SloRule::Cmp::kBelow);
+  EXPECT_DOUBLE_EQ(b.bound, -0.5);
+
+  const auto rules = parse_slo_rules(
+      "# comment\n"
+      "\n"
+      "a: threshold x above 1\n"
+      "b: absence y 2s\n");
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].name, "a");
+  EXPECT_EQ(rules[1].name, "b");
+  EXPECT_EQ(rules[1].staleness, 2'000'000'000);
+}
+
+TEST(Slo, ParserRejectsMalformedRules) {
+  EXPECT_THROW(parse_slo_rule("no-colon threshold x above 1"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_slo_rule("r: frobnicate x above 1"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_slo_rule("r: threshold x sideways 1"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_slo_rule("r: threshold x above twelve"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_slo_rule("r: absence x 5parsecs"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_slo_rule("r: quantile p0 x above 1"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_slo_rule("r: quantile p250 x above 1"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_slo_rule("r: threshold x above 1 for 2 junk"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_slo_rule("r: threshold x above"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// SLO engine semantics
+// ---------------------------------------------------------------------
+
+StreamState state_with_counter(const std::string& key, u64 v, SimTime at) {
+  StreamState s;
+  s.counters[key] = v;
+  s.changed_at[key] = at;
+  return s;
+}
+
+TEST(Slo, ThresholdFiresAfterDebounceAndClears) {
+  SloEngine eng({parse_slo_rule("r: threshold c above 5 for 2")});
+  AlarmSink sink;
+  eng.set_alarm_sink(&sink);
+
+  eng.evaluate(100, state_with_counter("c", 10, 100));
+  EXPECT_TRUE(sink.all().empty()) << "one breaching frame is below debounce";
+  eng.evaluate(200, state_with_counter("c", 10, 100));
+  ASSERT_EQ(sink.all().size(), 1u);
+  EXPECT_EQ(sink.all()[0].type, "ht_slo_breach");
+  EXPECT_EQ(sink.all()[0].auditor, "slo");
+  EXPECT_EQ(sink.all()[0].time, 200);
+  EXPECT_NE(sink.all()[0].detail.find("r"), std::string::npos);
+
+  // Still breaching: edge-triggered, no repeat alarm.
+  eng.evaluate(300, state_with_counter("c", 10, 100));
+  EXPECT_EQ(sink.all().size(), 1u);
+
+  eng.evaluate(400, state_with_counter("c", 0, 400));
+  ASSERT_EQ(sink.all().size(), 2u);
+  EXPECT_EQ(sink.all()[1].type, "ht_slo_clear");
+
+  const auto* st = eng.state("r");
+  ASSERT_NE(st, nullptr);
+  EXPECT_FALSE(st->firing);
+  EXPECT_EQ(st->breaches, 1u);
+  EXPECT_EQ(st->fired_at, 200);
+  EXPECT_EQ(eng.breaches_total(), 1u);
+  EXPECT_EQ(eng.evaluations(), 4u);
+  EXPECT_EQ(eng.state("nope"), nullptr);
+}
+
+TEST(Slo, RateRuleMeasuresPerSimSecondDerivative) {
+  SloEngine eng({parse_slo_rule("r: rate c above 100")});
+  AlarmSink sink;
+  eng.set_alarm_sink(&sink);
+
+  // First frame: no baseline yet, cannot breach.
+  eng.evaluate(1'000'000'000, state_with_counter("c", 0, 0));
+  EXPECT_TRUE(sink.all().empty());
+
+  // +50 over 1 s = 50/s: under the bound.
+  eng.evaluate(2'000'000'000, state_with_counter("c", 50, 0));
+  EXPECT_TRUE(sink.all().empty());
+
+  // +200 over 1 s = 200/s: breach.
+  eng.evaluate(3'000'000'000, state_with_counter("c", 250, 0));
+  ASSERT_EQ(sink.all().size(), 1u);
+  EXPECT_EQ(sink.all()[0].type, "ht_slo_breach");
+  EXPECT_DOUBLE_EQ(eng.state("r")->value, 200.0);
+}
+
+TEST(Slo, AbsenceDistinguishesQuietFromDead) {
+  SloEngine eng({parse_slo_rule("r: absence c 1s")});
+  AlarmSink sink;
+  eng.set_alarm_sink(&sink);
+
+  // Series updated at t=0; heartbeat frames keep arriving.
+  eng.evaluate(0, state_with_counter("c", 1, 0));
+  eng.evaluate(500'000'000, state_with_counter("c", 1, 0));
+  EXPECT_TRUE(sink.all().empty()) << "0.5 s silent is within budget";
+
+  eng.evaluate(1'500'000'000, state_with_counter("c", 1, 0));
+  ASSERT_EQ(sink.all().size(), 1u);
+  EXPECT_EQ(sink.all()[0].type, "ht_slo_breach");
+
+  // A fresh write clears it.
+  eng.evaluate(2'000'000'000, state_with_counter("c", 2, 2'000'000'000));
+  ASSERT_EQ(sink.all().size(), 2u);
+  EXPECT_EQ(sink.all()[1].type, "ht_slo_clear");
+}
+
+TEST(Slo, AbsenceOfNeverDefinedSeriesUsesFirstEvalBaseline) {
+  SloEngine eng({parse_slo_rule("r: absence ghost 1s")});
+  AlarmSink sink;
+  eng.set_alarm_sink(&sink);
+  eng.evaluate(100, StreamState{});
+  EXPECT_TRUE(sink.all().empty());
+  eng.evaluate(2'000'000'000, StreamState{});
+  ASSERT_EQ(sink.all().size(), 1u)
+      << "a series that never appears goes stale against first-eval time";
+}
+
+TEST(Slo, QuantileRuleReadsHistogramState) {
+  SloEngine eng({parse_slo_rule("q: quantile p99 h above 1000")});
+  AlarmSink sink;
+  eng.set_alarm_sink(&sink);
+
+  // 10 samples: rank ceil(0.99 * 10) = 10 is the slow outlier.
+  telemetry::Histogram live;
+  for (int i = 0; i < 9; ++i) live.observe(10);
+  live.observe(1'000'000);
+
+  StreamState s;
+  StreamHistState hs;
+  hs.count = live.count();
+  hs.sum = live.sum();
+  hs.min = live.min();
+  hs.max = live.max();
+  for (std::size_t i = 0; i < telemetry::Histogram::kBuckets; ++i) {
+    hs.buckets[i] = live.bucket_count(i);
+  }
+  s.hists["h"] = hs;
+
+  eng.evaluate(100, s);
+  ASSERT_EQ(sink.all().size(), 1u);
+  EXPECT_EQ(sink.all()[0].type, "ht_slo_breach");
+  EXPECT_DOUBLE_EQ(eng.state("q")->value,
+                   static_cast<double>(live.quantile(0.99)));
+}
+
+TEST(Slo, ObserverEvaluatesEveryCapture) {
+  Registry reg;
+  auto* c = reg.counter("reqs");
+  journal::MemoryJournalStore store;
+  SnapshotStreamer streamer(store);
+
+  telemetry::Telemetry tel;
+  SloEngine eng({parse_slo_rule("r: threshold reqs above 5")});
+  AlarmSink sink;
+  eng.set_alarm_sink(&sink);
+  eng.set_telemetry(&tel);
+  eng.observe(streamer);
+
+  c->inc(3);
+  streamer.capture(1'000'000, reg);
+  EXPECT_TRUE(sink.all().empty());
+
+  c->inc(10);
+  streamer.capture(2'000'000, reg);
+  ASSERT_EQ(sink.all().size(), 1u);
+  EXPECT_EQ(sink.all()[0].time, 2'000'000)
+      << "alarms carry the frame's simulated time";
+  EXPECT_EQ(eng.evaluations(), 2u);
+  EXPECT_EQ(tel.registry.counter_value("ht_slo_evals_total"), 2u);
+  EXPECT_EQ(tel.registry.counter_value("ht_slo_breaches_total"), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Incident forensics
+// ---------------------------------------------------------------------
+
+TEST(Incident, CausalChainAttributesEveryHop) {
+  telemetry::Telemetry tel;
+  auto& tr = tel.tracer;
+
+  // One pipeline pass: exit carries forward carries audit, all on VM 0.
+  const auto exit_id = tr.begin(0, 0, "exit", "pipeline", 100);
+  const auto fwd_id = tr.begin(0, 0, "forward", "pipeline", 110);
+  const auto audit_id = tr.begin(0, 0, "audit", "pipeline", 130, "goshd");
+  tr.end(audit_id, 160);
+  tr.end(fwd_id, 170);
+  tr.end(exit_id, 180);
+
+  IncidentReporter rep;
+  rep.set_telemetry(&tel, 0);
+  const Alarm alarm{250, "goshd", "vcpu-hang", "stuck", 0, 0};
+  const auto* inc = rep.report(250, alarm, "alarm:vcpu-hang");
+  ASSERT_NE(inc, nullptr);
+
+  // Each hop reports its own span's begin/end/duration; stages nest, so
+  // the per-hop latencies overlap while detection_latency carries the
+  // end-to-end figure.
+  ASSERT_EQ(inc->chain.size(), 4u);
+  EXPECT_STREQ(inc->chain[0].stage, "exit");
+  EXPECT_EQ(inc->chain[0].begin, 100);
+  EXPECT_EQ(inc->chain[0].end, 180);
+  EXPECT_EQ(inc->chain[0].latency, 80);
+  EXPECT_EQ(inc->chain[0].span, exit_id);
+  EXPECT_STREQ(inc->chain[1].stage, "forward");
+  EXPECT_EQ(inc->chain[1].latency, 60);
+  EXPECT_STREQ(inc->chain[2].stage, "audit");
+  EXPECT_EQ(inc->chain[2].begin, 130);
+  EXPECT_EQ(inc->chain[2].end, 160);
+  EXPECT_EQ(inc->chain[2].latency, 30);
+  EXPECT_EQ(inc->chain[2].span, audit_id);
+  EXPECT_STREQ(inc->chain[3].stage, "analysis");
+  EXPECT_EQ(inc->chain[3].begin, 160);
+  EXPECT_EQ(inc->chain[3].end, 250);
+  EXPECT_EQ(inc->chain[3].latency, 90);
+
+  EXPECT_EQ(inc->guest_event_at, 100);
+  EXPECT_EQ(inc->detection_latency, 150);
+  for (const auto& h : inc->chain) EXPECT_GT(h.latency, 0);
+
+  // The flight ring mirrors completed spans with their SpanId, so ring
+  // entries join the chain by id.
+  bool ring_has_audit = false;
+  for (const auto& e : inc->flight) {
+    if (e.span == audit_id) ring_has_audit = true;
+  }
+  EXPECT_TRUE(ring_has_audit);
+
+  const std::string js = IncidentReporter::render_json(*inc);
+  EXPECT_NE(js.find("\"schema\":\"hypertap-incident-v1\""), std::string::npos);
+  EXPECT_NE(js.find("\"stage\":\"exit\""), std::string::npos);
+  EXPECT_NE(js.find("\"detection_latency\":150"), std::string::npos);
+}
+
+TEST(Incident, ChainPicksTheDetectingAuditorsPass) {
+  telemetry::Telemetry tel;
+  auto& tr = tel.tracer;
+
+  // Two audits in the window: a different auditor's, then goshd's — the
+  // chain must anchor on the trigger's auditor.
+  const auto e1 = tr.begin(0, 0, "exit", "pipeline", 100);
+  const auto f1 = tr.begin(0, 0, "forward", "pipeline", 105);
+  const auto a1 = tr.begin(0, 0, "audit", "pipeline", 110, "hrkd");
+  tr.end(a1, 120);
+  tr.end(f1, 125);
+  tr.end(e1, 130);
+  const auto e2 = tr.begin(0, 0, "exit", "pipeline", 200);
+  const auto f2 = tr.begin(0, 0, "forward", "pipeline", 205);
+  const auto a2 = tr.begin(0, 0, "audit", "pipeline", 210, "goshd");
+  tr.end(a2, 220);
+  tr.end(f2, 225);
+  tr.end(e2, 230);
+
+  IncidentReporter rep;
+  rep.set_telemetry(&tel, 0);
+  const auto* inc =
+      rep.report(300, Alarm{300, "goshd", "vcpu-hang", "", 0, 0}, "alarm:x");
+  ASSERT_NE(inc, nullptr);
+  ASSERT_EQ(inc->chain.size(), 4u);
+  EXPECT_EQ(inc->chain[0].span, e2);
+  EXPECT_EQ(inc->chain[2].span, a2);
+  EXPECT_EQ(inc->guest_event_at, 200);
+}
+
+TEST(Incident, OffPipelineAlarmReportsWithoutChain) {
+  telemetry::Telemetry tel;
+  IncidentReporter rep;
+  rep.set_telemetry(&tel, 0);
+  const auto* inc = rep.report(
+      500, Alarm{500, "slo", "ht_slo_breach", "threshold r", -1, 0},
+      "alarm:ht_slo_breach");
+  ASSERT_NE(inc, nullptr);
+  EXPECT_TRUE(inc->chain.empty());
+  EXPECT_EQ(inc->guest_event_at, -1);
+  EXPECT_EQ(inc->detection_latency, -1);
+}
+
+TEST(Incident, AttachFiltersPacesAndCaps) {
+  IncidentReporter::Options o;
+  o.max_incidents = 2;
+  o.min_gap = 100;
+  IncidentReporter rep(o);
+  AlarmSink sink;
+  rep.attach(sink);
+
+  sink.raise(Alarm{1'000, "a", "vcpu-hang", "", 0, 0});
+  EXPECT_EQ(rep.incidents().size(), 1u);
+
+  // Not an incident class at all.
+  sink.raise(Alarm{1'010, "a", "vcpu-hang-cleared", "", 0, 0});
+  EXPECT_EQ(rep.incidents().size(), 1u);
+  EXPECT_EQ(rep.suppressed(), 0u);
+
+  // Inside the pacing gap.
+  sink.raise(Alarm{1'050, "a", "full-hang", "", 0, 0});
+  EXPECT_EQ(rep.incidents().size(), 1u);
+  EXPECT_EQ(rep.suppressed(), 1u);
+
+  sink.raise(Alarm{2'000, "a", "full-hang", "", 0, 0});
+  EXPECT_EQ(rep.incidents().size(), 2u);
+
+  // Over the hard cap.
+  sink.raise(Alarm{9'000, "a", "hidden-task", "", 0, 0});
+  EXPECT_EQ(rep.incidents().size(), 2u);
+  EXPECT_EQ(rep.suppressed(), 2u);
+
+  EXPECT_EQ(rep.incidents()[0].seq, 0u);
+  EXPECT_EQ(rep.incidents()[1].seq, 1u);
+}
+
+TEST(Incident, WritesFileWhenDirConfigured) {
+  IncidentReporter::Options o;
+  o.dir = ::testing::TempDir() + "ht_incident_test";
+  IncidentReporter rep(o);
+  telemetry::Telemetry tel;
+  rep.set_telemetry(&tel, 3);
+
+  const auto* inc =
+      rep.report(42, Alarm{42, "a", "vcpu-hang", "", 0, 0}, "alarm:vcpu-hang");
+  ASSERT_NE(inc, nullptr);
+  ASSERT_FALSE(inc->file.empty());
+  EXPECT_NE(inc->file.find("incident_3_0.json"), std::string::npos);
+
+  std::ifstream in(inc->file, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(body, IncidentReporter::render_json(*inc));
+}
+
+// ---------------------------------------------------------------------
+// Thread-count invariance: the fleet stream differential
+// ---------------------------------------------------------------------
+
+using recovery::Checkpointer;
+using recovery::FleetSupervisor;
+using recovery::RecoveryManager;
+using recovery::RecoveryPolicy;
+
+const std::vector<os::KernelLocation>& locs() {
+  static const auto l = fi::generate_locations(2014);
+  return l;
+}
+
+hv::MachineConfig small_mc() {
+  hv::MachineConfig mc;
+  mc.num_vcpus = 2;
+  mc.phys_mem_bytes = 8ull << 20;
+  return mc;
+}
+
+/// The test_parallel_determinism fleet scenario, compressed: 3 VMs with
+/// staggered make workloads, per-VM recovery stacks, one injected hang —
+/// enough churn that every frame carries real deltas.
+struct StreamFleetArm {
+  hv::MultiVmHost host;
+  std::vector<std::unique_ptr<telemetry::Telemetry>> tels;
+  std::vector<std::unique_ptr<HyperTap>> hts;
+  std::vector<std::unique_ptr<Checkpointer>> cks;
+  std::vector<std::unique_ptr<RecoveryManager>> rms;
+  std::unique_ptr<FleetSupervisor> fleet;
+};
+
+std::unique_ptr<StreamFleetArm> make_stream_fleet() {
+  constexpr int kVms = 3;
+  auto a = std::make_unique<StreamFleetArm>();
+  for (int i = 0; i < kVms; ++i) a->host.add_vm(small_mc());
+  for (int i = 0; i < kVms; ++i) {
+    a->host.vm(i).kernel.register_locations(locs());
+    a->hts.push_back(std::make_unique<HyperTap>(a->host.vm(i)));
+    a->host.vm(i).kernel.boot();
+  }
+  for (int i = 0; i < kVms; ++i) {
+    workloads::MakeJobWorkload::Config mcfg;
+    mcfg.units = 60 + 30 * i;
+    a->host.vm(i).kernel.spawn(
+        "make", 1000, 1000, 1,
+        std::make_unique<workloads::MakeJobWorkload>(mcfg, &locs(),
+                                                     7'000 + i));
+  }
+  Checkpointer::Options copts;
+  copts.period = 1'000'000'000;
+  RecoveryPolicy pol;
+  pol.confirm_window = 500'000'000;
+  pol.detect_latency_bound = 2'000'000'000;
+  pol.probation = 2'000'000'000;
+  for (int i = 0; i < kVms; ++i) {
+    a->cks.push_back(std::make_unique<Checkpointer>(a->host.vm(i), copts));
+    a->rms.push_back(std::make_unique<RecoveryManager>(
+        a->host.vm(i), *a->hts[i], *a->cks[i], pol));
+    a->cks[i]->start();
+  }
+  a->fleet = std::make_unique<FleetSupervisor>(a->host);
+  for (int i = 0; i < kVms; ++i) {
+    a->fleet->manage(static_cast<std::size_t>(i), *a->rms[i]);
+    a->tels.push_back(std::make_unique<telemetry::Telemetry>());
+    a->hts[i]->set_telemetry(a->tels[i].get(), i);
+    a->rms[i]->set_telemetry(a->tels[i].get(), i);
+  }
+  auto* ht0 = a->hts[0].get();
+  auto* vm0 = &a->host.vm(0);
+  vm0->machine.schedule(4'000'000'000, [ht0, vm0]() {
+    ht0->alarms().raise(
+        Alarm{vm0->machine.now(), "test", "vcpu-hang", "", 0, 0});
+  });
+  return a;
+}
+
+std::vector<u8> concat_segments(const journal::MemoryJournalStore& store) {
+  std::vector<u8> out;
+  for (const auto& name : store.segments()) {
+    const auto body = store.read(name);
+    out.insert(out.end(), body.begin(), body.end());
+  }
+  return out;
+}
+
+TEST(TelemetryStream, FleetStreamIsByteIdenticalAcrossThreadCounts) {
+  constexpr SimTime kEnd = 10'000'000'000;
+
+  struct ArmOut {
+    u64 frames = 0;
+    u32 digest = 0;
+    std::vector<u8> bytes;
+  };
+  auto run_arm = [&](int threads) {
+    auto arm = make_stream_fleet();
+    journal::MemoryJournalStore store;
+    SnapshotStreamer streamer(store);
+    std::vector<const telemetry::Registry*> regs;
+    for (const auto& t : arm->tels) regs.push_back(&t->registry);
+
+    exec::ShardedFleetHost sharded(arm->host, {threads});
+    sharded.set_supervisor(arm->fleet.get());
+    sharded.set_stream(&streamer, regs);
+    sharded.run_until(kEnd);
+
+    ArmOut out;
+    out.frames = streamer.frames();
+    out.digest = journal::store_digest(store);
+    out.bytes = concat_segments(store);
+    return out;
+  };
+
+  const ArmOut serial = run_arm(1);
+  ASSERT_GT(serial.frames, 0u);
+  ASSERT_FALSE(serial.bytes.empty());
+
+  const ArmOut par = run_arm(8);
+  EXPECT_EQ(par.frames, serial.frames);
+  EXPECT_EQ(par.digest, serial.digest);
+  EXPECT_EQ(par.bytes, serial.bytes)
+      << "canonical barrier merge must make the stream shard-invariant";
+
+  // And the bytes are a readable stream whose terminal state carries the
+  // fleet's recovery activity.
+  journal::MemoryJournalStore replay;
+  std::size_t half = serial.bytes.size() / 2;
+  replay.append("seg-000000.tlmstream", serial.bytes.data(), half);
+  replay.append("seg-000000.tlmstream", serial.bytes.data() + half,
+                serial.bytes.size() - half);
+  SnapshotStreamReader r(replay);
+  while (r.next()) {
+  }
+  EXPECT_EQ(r.frames_read(), serial.frames);
+  EXPECT_EQ(r.quarantined(), 0u);
+  EXPECT_FALSE(r.torn_tail());
+  EXPECT_FALSE(r.state().counters.empty());
+  bool saw_remediation = false;
+  for (const auto& [k, v] : r.state().counters) {
+    if (k.find("ht_recovery_remedies_total") != std::string::npos && v > 0) {
+      saw_remediation = true;
+    }
+  }
+  EXPECT_TRUE(saw_remediation)
+      << "the injected hang's remediation must be visible in the stream";
+}
+
+}  // namespace
+}  // namespace hypertap
