@@ -7,6 +7,7 @@
 // samples, as in the paper's Table III.
 #include <iostream>
 
+#include "attacks/registry.hpp"
 #include "attacks/side_channel.hpp"
 #include "bench_report.hpp"
 #include "core/hypertap.hpp"
@@ -27,7 +28,11 @@ int main() {
 
   htbench::BenchReport report("table3_side_channel");
   report.param("samples_per_row", 30);
-  for (const u32 interval_s : {1u, 2u, 4u, 8u}) {
+  // Rows come from the shared scenario registry, not a local list: the
+  // same catalog drives tests and the fuzzer's seed-corpus export.
+  for (const auto& scenario :
+       attacks::scenarios_of(attacks::ScenarioKind::kSideChannel)) {
+    const u32 interval_s = scenario.interval_s;
     os::Vm vm;
     HyperTap ht(vm);  // attached but idle: the attack is guest-only
     vm.kernel.boot();

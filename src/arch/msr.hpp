@@ -10,6 +10,10 @@
 
 namespace hvsim::arch {
 
+/// The time-stamp counter is an MSR too: RDTSC reads it, and a privileged
+/// WRMSR can rebase it (guests occasionally do, and evasive guests probe
+/// whether the write-back round-trips at bare-metal latency).
+inline constexpr u32 IA32_TIME_STAMP_COUNTER = 0x10;
 inline constexpr u32 IA32_SYSENTER_CS = 0x174;
 inline constexpr u32 IA32_SYSENTER_ESP = 0x175;
 inline constexpr u32 IA32_SYSENTER_EIP = 0x176;

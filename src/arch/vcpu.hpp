@@ -59,12 +59,42 @@ class Vcpu {
   u64 total_exits() const { return total_exits_; }
   void count_exit() { ++total_exits_; }
 
+  // --- Guest-visible time-stamp counter -------------------------------
+  // The TSC the guest reads is cycles(local clock) + a per-vCPU offset —
+  // the VMCS TSC_OFFSET field in real VT-x. The hypervisor shifts the
+  // offset to hide charged exit cost (TSC offsetting countermeasure); a
+  // guest WRMSR to IA32_TIME_STAMP_COUNTER rebases it.
+
+  /// Raw guest-visible counter value at the current local time.
+  u64 read_tsc() const {
+    const i64 v = static_cast<i64>(ns_to_cycles(local_time_)) + tsc_offset_;
+    return v > 0 ? static_cast<u64>(v) : 0;
+  }
+  /// Emulate a guest WRMSR to the TSC: subsequent reads continue from
+  /// `value`. Resets the monotonicity floor — the rebase is architectural.
+  void write_tsc(u64 value) {
+    tsc_offset_ = static_cast<i64>(value) -
+                  static_cast<i64>(ns_to_cycles(local_time_));
+    tsc_floor_ = value;
+  }
+  i64 tsc_offset() const { return tsc_offset_; }
+  void set_tsc_offset(i64 cycles) { tsc_offset_ = cycles; }
+  void adjust_tsc_offset(i64 delta_cycles) { tsc_offset_ += delta_cycles; }
+
+  /// Last value an RDTSC instruction returned: offsetting/jitter must
+  /// never let the counter appear to step backwards (a reversal would
+  /// itself be a fingerprint). Maintained by the exit engine's RDTSC path.
+  u64 tsc_floor() const { return tsc_floor_; }
+  void set_tsc_floor(u64 v) { tsc_floor_ = v; }
+
  private:
   int id_;
   RegisterFile regs_;
   MsrFile msrs_;
   SimTime local_time_ = 0;
   u64 total_exits_ = 0;
+  i64 tsc_offset_ = 0;  ///< cycles added to the local clock's cycle count
+  u64 tsc_floor_ = 0;   ///< monotone clamp over returned RDTSC values
 };
 
 }  // namespace hvsim::arch

@@ -1,0 +1,343 @@
+#include "attacks/evasive.hpp"
+
+#include <memory>
+#include <sstream>
+
+#include "arch/msr.hpp"
+#include "attacks/rootkit.hpp"
+#include "auditors/hrkd.hpp"
+#include "core/hypertap.hpp"
+#include "exec/worker_pool.hpp"
+#include "hav/exit_engine.hpp"
+#include "hv/machine.hpp"
+#include "journal/journal.hpp"
+#include "os/syscalls.hpp"
+#include "util/rng.hpp"
+
+namespace hypertap::attacks {
+
+// ----------------------------- The probe --------------------------------
+
+EvasiveProbe::EvasiveProbe(Config cfg, std::function<void(SimTime)> on_strike,
+                           std::function<void(SimTime)> on_unhide)
+    : cfg_(cfg), on_strike_(std::move(on_strike)),
+      on_unhide_(std::move(on_unhide)) {}
+
+void EvasiveProbe::strike(SimTime now) {
+  if (struck_ && cfg_.tactic != EvasionTactic::kGoQuietDkom) return;
+  struck_ = true;
+  hidden_ = true;
+  if (strike_time_ < 0) strike_time_ = now;
+  if (on_strike_) on_strike_(now);
+  if (cfg_.tactic != EvasionTactic::kGoQuietDkom) {
+    unhide_at_ = now + cfg_.strike_hold;
+  }
+}
+
+void EvasiveProbe::unhide(SimTime now) {
+  if (!hidden_) return;
+  hidden_ = false;
+  if (on_unhide_) on_unhide_(now);
+  if (cfg_.tactic != EvasionTactic::kGoQuietDkom) done_ = true;
+}
+
+void EvasiveProbe::classify(SimTime now) {
+  // Measurement channel per tactic: syscall round trip (t2 - t1) or the
+  // TSC-rebase read-back (t2 - rebase constant).
+  const i64 delta =
+      cfg_.tactic == EvasionTactic::kMsrProbe
+          ? static_cast<i64>(last_tsc_) - static_cast<i64>(cfg_.msr_rebase)
+          : static_cast<i64>(last_tsc_) - static_cast<i64>(t1_);
+  ++probes_;
+  if (baseline_ < 0 || delta < baseline_) baseline_ = delta;
+  const bool loud = delta > baseline_ + cfg_.threshold_cycles;
+
+  if (loud) {
+    ++loud_samples_;
+    ++loud_streak_;
+    quiet_streak_ = 0;
+    if (loud_streak_ >= cfg_.onset_debounce) loud_seen_ = true;
+  } else {
+    ++quiet_streak_;
+    if (quiet_streak_ >= cfg_.onset_debounce) loud_streak_ = 0;
+  }
+
+  // Debounced level tracking + quiet-onset edge. An onset only counts
+  // after the monitor has been HEARD at least once — during initial
+  // calibration everything sits at the baseline and means nothing.
+  const bool was_loud = level_loud_;
+  if (loud_streak_ >= cfg_.onset_debounce) level_loud_ = true;
+  if (quiet_streak_ >= cfg_.onset_debounce) level_loud_ = false;
+  const bool quiet_onset = was_loud && !level_loud_ && loud_seen_;
+  if (quiet_onset) {
+    ++onsets_;
+    if (last_onset_ >= 0) onset_period_ = now - last_onset_;
+    last_onset_ = now;
+  }
+
+  switch (cfg_.tactic) {
+    case EvasionTactic::kExitLatencyProbe:
+    case EvasionTactic::kMsrProbe:
+      // One-shot: strike at the first confirmed quiet onset.
+      if (!done_ && !struck_ && quiet_onset) strike(now);
+      break;
+    case EvasionTactic::kCadenceLearner:
+      // Learn the duty-cycle period from two onsets, then go dark and
+      // strike blind in the middle of the predicted NEXT quiet window.
+      if (!struck_ && planned_strike_ < 0 && onset_period_ > 0) {
+        planned_strike_ = last_onset_ + onset_period_ + 10'000'000;
+      }
+      // Blinded fallback: a monitor that fully masks its overhead looks
+      // exactly like no monitor at all — after the deadline the rational
+      // move is to assume the latter and strike.
+      if (!struck_ && planned_strike_ < 0 && !loud_seen_ &&
+          now >= cfg_.blind_deadline) {
+        blind_fallback_ = true;
+        planned_strike_ = now;
+      }
+      if (!done_ && !struck_ && planned_strike_ >= 0 &&
+          now >= planned_strike_) {
+        strike(now);
+      }
+      break;
+    case EvasionTactic::kGoQuietDkom:
+      // Persistent toggle: hidden exactly while the monitor is quiet.
+      // Unhide reacts to a SINGLE loud sample (losing a few hundred
+      // microseconds of stealth beats eating an audit while hidden).
+      if (!hidden_ && loud_seen_ && !level_loud_ && quiet_streak_ >=
+          cfg_.onset_debounce) {
+        strike(now);
+      }
+      if (hidden_ && loud) unhide(now);
+      break;
+    case EvasionTactic::kCount:
+      break;
+  }
+
+  // One-shot hold expiry: surface again before anyone gets suspicious of
+  // a long-missing pid.
+  if (hidden_ && unhide_at_ >= 0 && now >= unhide_at_) unhide(now);
+}
+
+os::Action EvasiveProbe::next(os::TaskCtx& ctx) {
+  switch (phase_) {
+    case Phase::kT1:
+      // Finished one-shot attackers idle quietly instead of probing on.
+      if (done_) return os::ActCompute{1'000'000};
+      phase_ = Phase::kOp;
+      if (cfg_.tactic == EvasionTactic::kMsrProbe) {
+        // The rebase IS the first timestamp; skip the leading read.
+        return os::ActWrmsr{arch::IA32_TIME_STAMP_COUNTER, cfg_.msr_rebase};
+      }
+      return os::ActRdtsc{};
+    case Phase::kOp:
+      t1_ = last_tsc_;
+      phase_ = Phase::kT2;
+      if (cfg_.tactic == EvasionTactic::kMsrProbe) return os::ActRdtsc{};
+      return os::ActSyscall{os::SYS_GETPID};
+    case Phase::kT2:
+      if (cfg_.tactic == EvasionTactic::kMsrProbe) {
+        classify(ctx.now);
+        phase_ = Phase::kT1;
+        return os::ActCompute{cfg_.gap_cycles};
+      }
+      phase_ = Phase::kClassify;
+      return os::ActRdtsc{};
+    case Phase::kClassify:
+    default:
+      classify(ctx.now);
+      phase_ = Phase::kT1;
+      return os::ActCompute{cfg_.gap_cycles};
+  }
+}
+
+// -------------------------- Cell construction ---------------------------
+
+namespace {
+
+/// Keeps the victim's CPU busy with visible, ordinary activity (context
+/// switches feed HRKD's scheduled-task shadow).
+class BusyVictim final : public os::Workload {
+ public:
+  os::Action next(os::TaskCtx&) override {
+    if ((i_ ^= 1) != 0) return os::ActCompute{400'000};
+    return os::ActSyscall{os::SYS_GETPID};
+  }
+  std::string name() const override { return "victim"; }
+  int i_ = 0;
+};
+
+/// Non-critical telemetry auditor watching the event kinds an evasive
+/// guest exercises. Its per-event enqueue cost is the guest-visible
+/// loudness the probes measure; the degradation ladder sheds it first.
+class WatchAuditor final : public Auditor {
+ public:
+  std::string name() const override { return "watch"; }
+  EventMask subscriptions() const override {
+    return event_bit(EventKind::kSyscall) | event_bit(EventKind::kMsrWrite) |
+           event_bit(EventKind::kRdtsc);
+  }
+  void on_event(const Event&, AuditContext&) override { ++seen_; }
+  Cycles audit_cost_cycles() const override { return 900; }
+  u64 seen() const { return seen_; }
+
+ private:
+  u64 seen_ = 0;
+};
+
+}  // namespace
+
+const std::vector<EvasionArm>& evasion_arms() {
+  static const std::vector<EvasionArm> arms = {
+      {"none", {}},
+      {"jitter", {false, 96, false}},
+      {"tsc_offset", {true, 0, false}},
+      {"rand_audit", {false, 0, true}},
+      {"hardened", {true, 96, true}},
+  };
+  return arms;
+}
+
+EvasionCellResult run_evasion_cell(const EvasionCellConfig& cfg) {
+  hv::MachineConfig mc;
+  mc.num_vcpus = 2;
+  os::Vm vm(mc);
+
+  HyperTap::Options opts;
+  opts.multiplexer.enqueue_cycles = cfg.enqueue_cycles;
+  HyperTap ht(vm, opts);
+
+  std::unique_ptr<journal::JournalWriter> writer;
+  if (cfg.journal_store != nullptr) {
+    writer = std::make_unique<journal::JournalWriter>(*cfg.journal_store);
+    ht.attach_journal(writer.get());
+  }
+
+  auditors::Hrkd::Config hc;
+  hc.check_period = cfg.hrkd_check_period;
+  auto hrkd_owned = std::make_unique<auditors::Hrkd>(
+      hc, [&k = vm.kernel]() { return k.in_guest_view_pids(); });
+  auto* hrkd = hrkd_owned.get();
+  ht.add_auditor(std::move(hrkd_owned));
+  ht.add_auditor(std::make_unique<WatchAuditor>());
+
+  if (cfg.cm.randomized_audit) {
+    ht.multiplexer().set_sampling_seed(util::stream_seed(cfg.seed, 1));
+  }
+  hav::TscPolicy policy;
+  policy.offset_exit_cost = cfg.cm.tsc_offset;
+  policy.jitter_cycles = cfg.cm.tsc_jitter;
+  policy.jitter_seed = util::stream_seed(cfg.seed, 2);
+  vm.machine.engine().set_tsc_policy(policy);
+
+  vm.kernel.boot();
+
+  const u32 victim = vm.kernel.spawn("victim", 1000, 1000, 1,
+                                     std::make_unique<BusyVictim>(), 0, 0);
+  vm.kernel.spawn("decoy", 1000, 1000, 1, std::make_unique<BusyVictim>(), 0,
+                  0);
+
+  Rootkit rk(vm.kernel,
+             RootkitSpec{"evasive-kit", "Linux",
+                         {HideTechnique::kKmem, HideTechnique::kDkom,
+                          HideTechnique::kSyscallHijack}});
+  auto probe_owned = std::make_unique<EvasiveProbe>(
+      cfg.probe, [&rk, victim](SimTime) { rk.hide(victim); },
+      [&rk, victim](SimTime) { rk.unhide(victim); });
+  auto* probe = probe_owned.get();
+  vm.kernel.spawn("updated", 1000, 1000, 1, std::move(probe_owned), 0, 1);
+
+  // The overload duty cycle the attacker learns: audits degrade to the
+  // invariant-only rung every other epoch (PR 7's pressure valve, here
+  // driven open-loop so the square wave is clean).
+  auto* em = &ht.multiplexer();
+  auto epoch_counter = std::make_shared<u64>(0);
+  vm.machine.schedule_every(
+      cfg.epoch, [em, epoch_counter, sample_every = cfg.sample_every]() {
+        const bool degraded = (++*epoch_counter % 2) == 1;
+        em->set_audit_mode(degraded
+                               ? EventMultiplexer::AuditMode::kInvariantOnly
+                               : EventMultiplexer::AuditMode::kFull,
+                           sample_every);
+        return true;
+      });
+
+  vm.machine.run_for(cfg.duration);
+  ht.flush_delivery();
+
+  EvasionCellResult r;
+  r.struck = probe->struck();
+  r.detected = hrkd->hidden_pids().count(victim) != 0;
+  r.evaded = r.struck && !r.detected;
+  r.strike_time = probe->strike_time();
+  r.probes = probe->probes();
+  r.loud_samples = probe->loud_samples();
+  r.onsets = probe->onsets();
+  r.blind_fallback = probe->used_blind_fallback();
+  r.rdtsc_exits =
+      vm.machine.engine().total_exit_count(hav::ExitReason::kRdtsc);
+  return r;
+}
+
+// ------------------------------ Campaign --------------------------------
+
+std::vector<EvasionCellOutcome> run_evasion_campaign(
+    const EvasionSweepConfig& cfg) {
+  std::vector<EvasionArm> arms;
+  for (const auto& a : evasion_arms()) {
+    if (cfg.quick && a.name != "none" && a.name != "hardened") continue;
+    arms.push_back(a);
+  }
+  const std::vector<AttackScenario> tactics =
+      scenarios_of(ScenarioKind::kEvasive);
+
+  struct Cell {
+    std::size_t index;  ///< stable: arm index in the FULL arm list x tactic
+    EvasionArm arm;
+    AttackScenario scenario;
+  };
+  std::vector<Cell> cells;
+  for (const auto& arm : arms) {
+    // Stable index from the full arm catalog, so quick mode and the full
+    // sweep derive identical per-cell seeds for shared cells.
+    std::size_t arm_idx = 0;
+    for (; arm_idx < evasion_arms().size(); ++arm_idx) {
+      if (evasion_arms()[arm_idx].name == arm.name) break;
+    }
+    for (std::size_t t = 0; t < tactics.size(); ++t) {
+      cells.push_back(Cell{arm_idx * tactics.size() + t, arm, tactics[t]});
+    }
+  }
+
+  std::vector<EvasionCellOutcome> out(cells.size());
+  exec::WorkerPool pool(cfg.threads);
+  pool.parallel_for(cells.size(), [&](std::size_t i) {
+    const Cell& c = cells[i];
+    EvasionCellConfig cc;
+    cc.tactic = c.scenario.tactic;
+    cc.cm = c.arm.cm;
+    cc.seed = util::stream_seed(cfg.seed, c.index);
+    cc.probe.tactic = c.scenario.tactic;
+    EvasionCellOutcome o;
+    o.arm = c.arm.name;
+    o.tactic = c.scenario.name;
+    o.result = run_evasion_cell(cc);
+    out[i] = std::move(o);  // slotted by index: order-independent
+  });
+  return out;
+}
+
+std::string outcome_digest(const std::vector<EvasionCellOutcome>& outcomes) {
+  std::ostringstream os;
+  for (const auto& o : outcomes) {
+    os << o.arm << "/" << o.tactic << ":struck=" << o.result.struck
+       << ",detected=" << o.result.detected << ",evaded=" << o.result.evaded
+       << ",t=" << o.result.strike_time << ",probes=" << o.result.probes
+       << ",loud=" << o.result.loud_samples << ",onsets=" << o.result.onsets
+       << ",blind=" << o.result.blind_fallback
+       << ",rdtsc_exits=" << o.result.rdtsc_exits << ";";
+  }
+  return os.str();
+}
+
+}  // namespace hypertap::attacks

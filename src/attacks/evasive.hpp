@@ -1,0 +1,200 @@
+// Evasive-guest red team: timing-aware rootkits vs monitor hardening.
+//
+// The adversary model (hvdetecc-style): an unprivileged-looking guest
+// process owns no introspection primitives, only the architectural clock.
+// It times its own operations with RDTSC. Because HyperTap charges real
+// cycle costs for VM Exits, event forwarding and auditor enqueue, the
+// monitor's attention is *guest-visible* as latency — and the PR 7
+// degradation ladder (kFull <-> kInvariantOnly duty cycle under load)
+// turns that latency into a square wave an attacker can learn. Each
+// EvasionTactic is a different way of reading that wave and striking
+// (hiding a victim process) inside a predicted blind window.
+//
+// The countermeasures under test (EvasionCountermeasures):
+//  * TSC offsetting  — the hypervisor subtracts each exit round trip's
+//    charged cost from the guest-visible counter (Improvisor-style), so
+//    probes read bare-metal latencies.
+//  * TSC jitter      — seeded low-bit noise on every RDTSC.
+//  * randomized audit — the EM sheds by seeded Bernoulli draws instead of
+//    a deterministic stride, and keeps a residual trickle of deliveries
+//    and timer ticks alive even on the kInvariantOnly rung, so no epoch
+//    is a guaranteed-quiet window.
+//
+// run_evasion_cell() runs one (tactic, countermeasure) cell; the campaign
+// sweeps the full matrix deterministically (seed-streamed per cell,
+// byte-identical at any thread count).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "attacks/registry.hpp"
+#include "os/task.hpp"
+#include "util/types.hpp"
+
+namespace hypertap {
+namespace journal {
+class JournalStore;
+}
+}  // namespace hypertap
+
+namespace hypertap::attacks {
+
+// ----------------------------- The probe --------------------------------
+
+/// Guest workload implementing all four strike-timing tactics. It probes
+/// the monitor through the guest-visible TSC, classifies each sample as
+/// loud (audited) or quiet (shed) against a running minimum baseline, and
+/// drives the host-side strike callbacks at the tactic's chosen moment.
+class EvasiveProbe final : public os::Workload {
+ public:
+  struct Config {
+    EvasionTactic tactic = EvasionTactic::kExitLatencyProbe;
+    /// A sample is loud when delta > baseline + threshold (cycles). Must
+    /// sit above TSC-jitter noise (2 * jitter) and below the per-event
+    /// enqueue cost the monitor charges.
+    i64 threshold_cycles = 250;
+    /// Compute burn between probe pairs (pacing).
+    Cycles gap_cycles = 600'000;  // ~200 us at 3 GHz
+    /// Consecutive quiet samples after a loud streak = quiet onset.
+    int onset_debounce = 4;
+    /// One-shot tactics keep the victim hidden this long after striking.
+    SimTime strike_hold = 120'000'000;  // 120 ms
+    /// Cadence learner: if no loud sample was ever observed by this time,
+    /// assume the VM is unmonitored and strike blind.
+    SimTime blind_deadline = 1'000'000'000;  // 1 s
+    /// MSR probe: the constant the attacker rebases the TSC to; read-back
+    /// minus this constant is the overhead the hypervisor failed to hide.
+    u64 msr_rebase = 1'000'000'000;
+  };
+
+  /// `on_strike`/`on_unhide` run host-side (rootkit raw-kmem writes).
+  EvasiveProbe(Config cfg, std::function<void(SimTime)> on_strike,
+               std::function<void(SimTime)> on_unhide);
+
+  os::Action next(os::TaskCtx& ctx) override;
+  void on_rdtsc(u64 tsc) override { last_tsc_ = tsc; }
+  std::string name() const override { return "evasive-probe"; }
+
+  u64 probes() const { return probes_; }
+  u64 loud_samples() const { return loud_samples_; }
+  u64 onsets() const { return onsets_; }
+  bool struck() const { return struck_; }
+  SimTime strike_time() const { return strike_time_; }
+  bool used_blind_fallback() const { return blind_fallback_; }
+
+ private:
+  enum class Phase : u8 { kT1, kOp, kT2, kClassify };
+
+  void classify(SimTime now);
+  void strike(SimTime now);
+  void unhide(SimTime now);
+
+  Config cfg_;
+  std::function<void(SimTime)> on_strike_;
+  std::function<void(SimTime)> on_unhide_;
+
+  Phase phase_ = Phase::kT1;
+  u64 last_tsc_ = 0;
+  u64 t1_ = 0;
+
+  i64 baseline_ = -1;      ///< min delta observed (cycles)
+  int loud_streak_ = 0;
+  int quiet_streak_ = 0;
+  bool loud_seen_ = false;  ///< >= debounce loud samples observed ever
+  bool level_loud_ = false; ///< debounced current level (go-quiet state)
+
+  u64 probes_ = 0;
+  u64 loud_samples_ = 0;
+  u64 onsets_ = 0;
+  SimTime last_onset_ = -1;
+  SimTime onset_period_ = 0;   ///< learned quiet-onset period (cadence)
+  SimTime planned_strike_ = -1;
+
+  bool struck_ = false;
+  bool hidden_ = false;
+  bool done_ = false;           ///< one-shot tactic finished its strike
+  bool blind_fallback_ = false;
+  SimTime strike_time_ = -1;
+  SimTime unhide_at_ = -1;
+};
+
+// ------------------------- Cells and campaign ---------------------------
+
+struct EvasionCountermeasures {
+  bool tsc_offset = false;      ///< hide exit cost from the guest TSC
+  Cycles tsc_jitter = 0;        ///< seeded noise per RDTSC (0 = off)
+  bool randomized_audit = false;  ///< seeded Bernoulli shed + trickle
+};
+
+/// A named countermeasure arm of the sweep.
+struct EvasionArm {
+  std::string name;
+  EvasionCountermeasures cm;
+};
+
+/// The canonical sweep arms: none, each countermeasure alone, and the
+/// full hardened stack.
+const std::vector<EvasionArm>& evasion_arms();
+
+struct EvasionCellConfig {
+  EvasionTactic tactic = EvasionTactic::kExitLatencyProbe;
+  EvasionCountermeasures cm;
+  u64 seed = 2014;
+  SimTime duration = 3'000'000'000;     // 3 s
+  /// Degradation duty cycle: audit mode toggles kFull <-> kInvariantOnly
+  /// every epoch (the overload square wave the attacker learns).
+  SimTime epoch = 160'000'000;          // 160 ms
+  SimTime hrkd_check_period = 37'000'000;  // co-prime-ish with the epoch
+  /// Randomized-audit survival odds: 1-in-N deliveries/ticks survive the
+  /// degraded rung (also the kSampled stride when unhardened).
+  u32 sample_every = 2;
+  /// Per-auditor enqueue cost — the guest-visible loudness signal. Raised
+  /// well above the default 60 so the monitor's attention is measurable.
+  Cycles enqueue_cycles = 500;
+  EvasiveProbe::Config probe;
+  /// When set, the cell records its event journal here (seed-corpus
+  /// export for the fuzzer).
+  journal::JournalStore* journal_store = nullptr;
+};
+
+struct EvasionCellResult {
+  bool struck = false;
+  bool detected = false;   ///< HRKD flagged the hidden victim
+  bool evaded = false;     ///< struck && !detected
+  SimTime strike_time = -1;
+  u64 probes = 0;
+  u64 loud_samples = 0;
+  u64 onsets = 0;
+  bool blind_fallback = false;
+  u64 rdtsc_exits = 0;
+};
+
+EvasionCellResult run_evasion_cell(const EvasionCellConfig& cfg);
+
+struct EvasionSweepConfig {
+  u64 seed = 2014;
+  int threads = 1;
+  /// Quick mode: only the "none" and "hardened" arms (the CI-gated pair).
+  bool quick = false;
+};
+
+struct EvasionCellOutcome {
+  std::string arm;
+  std::string tactic;
+  EvasionCellResult result;
+};
+
+/// Sweep arms x tactics on a worker pool. Each cell's RNG stream is a
+/// pure function of (seed, stable cell index); results are slotted by
+/// index and folded serially, so the outcome vector is identical at any
+/// thread count.
+std::vector<EvasionCellOutcome> run_evasion_campaign(
+    const EvasionSweepConfig& cfg);
+
+/// Canonical single-line serialization of a campaign outcome (differential
+/// testing across thread counts).
+std::string outcome_digest(const std::vector<EvasionCellOutcome>& outcomes);
+
+}  // namespace hypertap::attacks

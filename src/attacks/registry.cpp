@@ -1,0 +1,48 @@
+#include "attacks/registry.hpp"
+
+namespace hypertap::attacks {
+
+const char* to_string(EvasionTactic t) {
+  switch (t) {
+    case EvasionTactic::kExitLatencyProbe: return "exit-latency-probe";
+    case EvasionTactic::kMsrProbe: return "msr-probe";
+    case EvasionTactic::kCadenceLearner: return "cadence-learner";
+    case EvasionTactic::kGoQuietDkom: return "go-quiet-dkom";
+    case EvasionTactic::kCount: break;
+  }
+  return "?";
+}
+
+const std::vector<AttackScenario>& attack_scenarios() {
+  static const std::vector<AttackScenario> catalog = [] {
+    std::vector<AttackScenario> v;
+    // Table III side-channel rows: one per O-Ninja interval.
+    for (const u32 s : {1u, 2u, 4u, 8u}) {
+      AttackScenario a;
+      a.kind = ScenarioKind::kSideChannel;
+      a.name = "side-channel-" + std::to_string(s) + "s";
+      a.interval_s = s;
+      v.push_back(std::move(a));
+    }
+    // Evasive red team: one scenario per strike-timing tactic.
+    for (u8 t = 0; t < static_cast<u8>(EvasionTactic::kCount); ++t) {
+      AttackScenario a;
+      a.kind = ScenarioKind::kEvasive;
+      a.tactic = static_cast<EvasionTactic>(t);
+      a.name = std::string("evasive-") + to_string(a.tactic);
+      v.push_back(std::move(a));
+    }
+    return v;
+  }();
+  return catalog;
+}
+
+std::vector<AttackScenario> scenarios_of(ScenarioKind kind) {
+  std::vector<AttackScenario> out;
+  for (const auto& a : attack_scenarios()) {
+    if (a.kind == kind) out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace hypertap::attacks

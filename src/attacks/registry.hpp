@@ -1,0 +1,61 @@
+// Shared attack-scenario registry.
+//
+// Benches, tests and the fuzzer seed-corpus exporter used to hard-code
+// their own attack lists (bench/table3_side_channel.cpp's interval list,
+// ad-hoc rootkit picks). The registry is the single catalog both kinds of
+// guest-side adversary scenarios are enumerated from:
+//
+//  * kSideChannel — the §VIII-B /proc timing probe against O-Ninja, one
+//    scenario per configured monitoring interval (Table III rows).
+//  * kEvasive — timing-aware evasive rootkits that probe the monitor's
+//    own overhead through the guest-visible TSC and strike inside learned
+//    audit-degradation windows (the evasion_sweep red team).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace hypertap::attacks {
+
+using namespace hvsim;
+
+enum class ScenarioKind : u8 { kSideChannel = 0, kEvasive };
+
+/// How an evasive rootkit decides WHEN to strike.
+enum class EvasionTactic : u8 {
+  /// Time syscall round trips with RDTSC pairs; strike when the latency
+  /// drops back to the learned bare-metal baseline (audits shed).
+  kExitLatencyProbe = 0,
+  /// Rebase IA32_TIME_STAMP_COUNTER via WRMSR and time the read-back —
+  /// a different channel through the same monitor overhead.
+  kMsrProbe,
+  /// Learn the degradation ladder's duty-cycle period from repeated
+  /// quiet-onsets, then go dark and strike blind at the predicted next
+  /// quiet window (no probe traffic during the strike).
+  kCadenceLearner,
+  /// Persistent go-quiet DKOM: keep the victim hidden during every quiet
+  /// epoch and re-link it the instant audits come back.
+  kGoQuietDkom,
+  kCount,
+};
+
+const char* to_string(EvasionTactic t);
+
+struct AttackScenario {
+  ScenarioKind kind = ScenarioKind::kSideChannel;
+  std::string name;
+  /// kSideChannel: O-Ninja monitoring interval under attack (Table III).
+  u32 interval_s = 0;
+  /// kEvasive: the strike-timing tactic.
+  EvasionTactic tactic = EvasionTactic::kExitLatencyProbe;
+};
+
+/// The full catalog (side-channel rows first, then the evasive tactics).
+const std::vector<AttackScenario>& attack_scenarios();
+
+/// Catalog filtered to one kind, in catalog order.
+std::vector<AttackScenario> scenarios_of(ScenarioKind kind);
+
+}  // namespace hypertap::attacks

@@ -84,6 +84,26 @@ void Rootkit::hide(u32 pid) {
   }
 }
 
+void Rootkit::unhide(u32 pid) {
+  hidden_.erase(pid);  // the hijack wrappers filter on hidden_: no rewrite
+  if (Rootkit_has(spec_, HideTechnique::kDkom)) dkom_relink(pid);
+}
+
+void Rootkit::dkom_relink(u32 pid) {
+  // Splice the victim back in right after the list head — a re-link, not a
+  // faithful undo of the unlink position; list walkers only need presence.
+  const os::Task* t = kernel_.find_task(pid);
+  if (t == nullptr) return;
+  const Gpa gpa = t->ts_gpa;
+  if (rd32(gpa + os::TS_NEXT) != 0) return;  // still linked (never hidden)
+  const Gva head = kernel_.layout().init_task;
+  const Gva old_next = rd32(head - os::KERNEL_BASE + os::TS_NEXT);
+  wr32(gpa + os::TS_NEXT, old_next);
+  wr32(gpa + os::TS_PREV, head);
+  wr32(head - os::KERNEL_BASE + os::TS_NEXT, t->ts_gva);
+  wr32(old_next - os::KERNEL_BASE + os::TS_PREV, t->ts_gva);
+}
+
 void Rootkit::dkom_unlink(u32 pid) {
   // Walk the guest-memory task list like a kernel module would and splice
   // the victim out (Direct Kernel Object Manipulation).

@@ -62,6 +62,12 @@ class Rootkit {
   /// Hide `pid` using every technique in the spec.
   void hide(u32 pid);
 
+  /// Stop hiding `pid`: drop it from the hijack filter and, for DKOM
+  /// specs, splice its task_struct back into the guest task list. This is
+  /// the "go loud again" half of a go-quiet evasive rootkit — it toggles
+  /// visibility to dodge periodic audits.
+  void unhide(u32 pid);
+
   /// Undo the hijack (DKOM unlinks are not restored — like real rootkits,
   /// unhiding re-links only on demand).
   void uninstall();
@@ -71,6 +77,7 @@ class Rootkit {
 
  private:
   void dkom_unlink(u32 pid);
+  void dkom_relink(u32 pid);
   void install_hijack();
   u32 rd32(Gpa gpa) const;
   void wr32(Gpa gpa, u32 value);

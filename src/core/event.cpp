@@ -17,6 +17,7 @@ const char* to_string(EventKind k) {
     case EventKind::kMsrWrite: return "msr-write";
     case EventKind::kApicAccess: return "apic-access";
     case EventKind::kMemAccess: return "mem-access";
+    case EventKind::kRdtsc: return "rdtsc";
     case EventKind::kCount: break;
   }
   return "?";

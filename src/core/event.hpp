@@ -27,6 +27,7 @@ enum class EventKind : u8 {
   kMsrWrite,
   kApicAccess,
   kMemAccess,  ///< other EPT violations (fine-grained interception)
+  kRdtsc,      ///< RDTSC (when rdtsc_exiting is programmed)
   kCount,
 };
 

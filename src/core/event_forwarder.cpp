@@ -33,6 +33,7 @@ void EventForwarder::set_mask(EventMask mask) {
     c.msr_write_exiting = want_syscalls;
     c.apic_access_exiting =
         (mask & event_bit(EventKind::kApicAccess)) != 0;
+    c.rdtsc_exiting = (mask & event_bit(EventKind::kRdtsc)) != 0;
   });
 
   // Late attach: if the guest is already running, the arming triggers
@@ -257,6 +258,17 @@ void EventForwarder::on_vm_exit(arch::Vcpu& vcpu, const hav::Exit& exit) {
       e.kind = EventKind::kApicAccess;
       e.reason = exit.reason;
       e.gva = q.offset;
+      emit(vcpu, e);
+      break;
+    }
+    case hav::ExitReason::kRdtsc: {
+      const auto& q = std::get<hav::RdtscQual>(exit.qual);
+      Event e;
+      e.kind = EventKind::kRdtsc;
+      e.reason = exit.reason;
+      // Payload rides the MSR fields: the counter IS an MSR (0x10).
+      e.msr_index = arch::IA32_TIME_STAMP_COUNTER;
+      e.msr_value = q.tsc;
       emit(vcpu, e);
       break;
     }

@@ -239,8 +239,11 @@ bool EventMultiplexer::dispatch_timer(Auditor* a, SimTime now,
     // Invariant-only rung: non-critical periodic work is shed too — and
     // BEFORE the journal append, so a replay of the journal reproduces the
     // suppression instead of re-dispatching a tick the recording skipped.
+    // With a sampling seed, a residual 1/sample_every_ trickle of ticks
+    // survives (randomized-audit hardening: no rung is fully dark).
     if (mode_ == AuditMode::kInvariantOnly && !a->blocking() &&
-        !a->architectural()) {
+        !a->architectural() &&
+        (sampling_seed_ == 0 || sampling_rng_.below(sample_every_) != 0)) {
       ++r.shed;
       ++r.shed_pending;
       ++total_shed_;

@@ -33,6 +33,7 @@
 #include "core/rhc.hpp"
 #include "resilience/circuit_breaker.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/rng.hpp"
 
 namespace hypertap {
 
@@ -196,6 +197,19 @@ class EventMultiplexer {
   AuditMode audit_mode() const { return mode_; }
   u64 total_shed() const { return total_shed_; }
 
+  /// Randomized audit sampling (anti-evasion hardening). With a non-zero
+  /// seed, degraded rungs shed by a seeded Bernoulli draw instead of the
+  /// deterministic stride — and kInvariantOnly keeps a residual trickle of
+  /// deliveries/timer ticks alive — so an evasive guest cannot learn the
+  /// audit cadence and strike inside a guaranteed-quiet window. Seed 0
+  /// restores the legacy stride (the learnable blind spot the evasion
+  /// bench demonstrates). Deterministic per seed: replays byte-identical.
+  void set_sampling_seed(u64 seed) {
+    sampling_seed_ = seed;
+    sampling_rng_ = util::Rng(seed);
+  }
+  u64 sampling_seed() const { return sampling_seed_; }
+
   /// Modeled container backlog in cycles (0 when the model is disabled),
   /// drained lazily up to `now`.
   u64 backlog_cycles(SimTime now) {
@@ -278,8 +292,13 @@ class EventMultiplexer {
   bool shed_event(Registration& r) {
     if (mode_ == AuditMode::kFull) return false;
     if (r.auditor->blocking() || r.auditor->architectural()) return false;
-    if (mode_ == AuditMode::kSampled &&
-        (r.sample_seen++ % sample_every_) == 0) {
+    if (sampling_seed_ != 0) {
+      // Randomized rung: each subscribed event survives with probability
+      // 1/sample_every_ in kSampled AND (residual trickle) kInvariantOnly,
+      // so no epoch is ever a guaranteed-quiet window.
+      if (sampling_rng_.below(sample_every_) == 0) return false;
+    } else if (mode_ == AuditMode::kSampled &&
+               (r.sample_seen++ % sample_every_) == 0) {
       return false;
     }
     ++r.shed;
@@ -306,6 +325,8 @@ class EventMultiplexer {
   AuditMode mode_ = AuditMode::kFull;
   u32 sample_every_ = 4;  ///< kSampled stride (every Nth event delivered)
   u64 total_shed_ = 0;
+  u64 sampling_seed_ = 0;        ///< 0 = deterministic stride (legacy)
+  util::Rng sampling_rng_{0};    ///< Bernoulli draws for randomized rungs
   double backlog_cycles_ = 0.0;      ///< modeled container backlog
   SimTime backlog_drained_to_ = 0;   ///< lazy-drain cursor
   bool wm_fired_ = false;            ///< edge-trigger armed state

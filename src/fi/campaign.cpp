@@ -5,9 +5,11 @@
 #include <memory>
 #include <optional>
 
+#include "attacks/evasive.hpp"
 #include "auditors/goshd.hpp"
 #include "core/hypertap.hpp"
 #include "fi/locations.hpp"
+#include "util/rng.hpp"
 #include "recovery/recovery_manager.hpp"
 #include "telemetry/incident.hpp"
 #include "workloads/hanoi.hpp"
@@ -558,6 +560,16 @@ const char* workload_slug(WorkloadKind w) {
   return "?";
 }
 
+void truncate_store(SeedJournal& sj, u64 max_records) {
+  if (max_records == 0) return;
+  auto records = journal::split_records(*sj.store);
+  if (records.size() <= max_records) return;
+  records.resize(max_records);
+  auto truncated = std::make_unique<journal::MemoryJournalStore>();
+  journal::join_records(*truncated, records);
+  sj.store = std::move(truncated);
+}
+
 }  // namespace
 
 std::vector<SeedJournal> export_seed_corpus(
@@ -587,15 +599,28 @@ std::vector<SeedJournal> export_seed_corpus(
     cfg.journal_store = nullptr;  // the returned cfg must not dangle
     sj.cfg = cfg;
 
-    if (scfg.max_records > 0) {
-      auto records = journal::split_records(*sj.store);
-      if (records.size() > scfg.max_records) {
-        records.resize(scfg.max_records);
-        auto truncated = std::make_unique<journal::MemoryJournalStore>();
-        journal::join_records(*truncated, records);
-        sj.store = std::move(truncated);
-      }
-    }
+    truncate_store(sj, scfg.max_records);
+    out.push_back(std::move(sj));
+  }
+
+  // Evasive-rootkit seeds: short unhardened cells whose journals exercise
+  // the RDTSC / WRMSR(TSC) record codecs the FI grid never touches.
+  const auto evasive = attacks::scenarios_of(attacks::ScenarioKind::kEvasive);
+  const int ewant = std::min<int>(std::max(0, scfg.evasive_scenarios),
+                                  static_cast<int>(evasive.size()));
+  for (int e = 0; e < ewant; ++e) {
+    SeedJournal sj;
+    sj.name = evasive[static_cast<std::size_t>(e)].name;
+    sj.store = std::make_unique<journal::MemoryJournalStore>();
+
+    attacks::EvasionCellConfig ecfg;
+    ecfg.tactic = evasive[static_cast<std::size_t>(e)].tactic;
+    ecfg.seed = util::stream_seed(scfg.seed, 1000 + static_cast<u64>(e));
+    ecfg.duration = 700'000'000;  // representative traffic, not a campaign
+    ecfg.journal_store = sj.store.get();
+    attacks::run_evasion_cell(ecfg);
+
+    truncate_store(sj, scfg.max_records);
     out.push_back(std::move(sj));
   }
   return out;

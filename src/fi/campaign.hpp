@@ -143,6 +143,10 @@ struct SeedCorpusConfig {
   u64 seed = 2014;
   /// Distinct grid cells (scenarios) to record, spread across the grid.
   int scenarios = 3;
+  /// Evasive-rootkit cells (attacks/evasive.hpp) to record on top of the
+  /// grid picks — these journals carry the kRdtsc / kMsrWrite traffic the
+  /// grid never produces, widening fuzzer coverage over the new codecs.
+  int evasive_scenarios = 1;
   /// Truncate each recorded journal to this many records (0 = keep all);
   /// mutant executions replay the whole journal, so seed length is the
   /// fuzzer's per-exec cost knob.

@@ -27,6 +27,7 @@ enum class ExitReason : u8 {
   kExternalInterrupt,
   kApicAccess,
   kHlt,
+  kRdtsc,
   kCount,
 };
 
@@ -76,9 +77,15 @@ struct ApicAccessQual {
 
 struct HltQual {};
 
+struct RdtscQual {
+  /// Raw counter value at exit time, before any hypervisor masking — what
+  /// a real VMM sees when it decides how to emulate the read.
+  u64 tsc = 0;
+};
+
 using ExitQual = std::variant<CrAccessQual, ExceptionQual, WrmsrQual,
                               EptViolationQual, IoQual, ExtIntQual,
-                              ApicAccessQual, HltQual>;
+                              ApicAccessQual, HltQual, RdtscQual>;
 
 struct Exit {
   ExitReason reason = ExitReason::kCrAccess;

@@ -12,6 +12,7 @@ const char* to_string(ExitReason r) {
     case ExitReason::kExternalInterrupt: return "EXTERNAL_INTERRUPT";
     case ExitReason::kApicAccess: return "APIC_ACCESS";
     case ExitReason::kHlt: return "HLT";
+    case ExitReason::kRdtsc: return "RDTSC";
     case ExitReason::kCount: break;
   }
   return "?";
@@ -27,6 +28,7 @@ Cycles ExitCostModel::handler_cost(ExitReason r) const {
     case ExitReason::kExternalInterrupt: return external_interrupt;
     case ExitReason::kApicAccess: return apic_access;
     case ExitReason::kHlt: return hlt;
+    case ExitReason::kRdtsc: return rdtsc;
     case ExitReason::kCount: break;
   }
   return 0;
@@ -35,6 +37,16 @@ Cycles ExitCostModel::handler_cost(ExitReason r) const {
 ExitEngine::ExitEngine(arch::PhysMem& mem, arch::Ept& ept, int num_vcpus)
     : mem_(mem), ept_(ept), controls_(num_vcpus), counts_(num_vcpus) {
   for (auto& c : counts_) c.fill(0);
+}
+
+void ExitEngine::set_tsc_policy(const TscPolicy& p) {
+  tsc_policy_ = p;
+  jitter_rngs_.clear();
+  if (p.jitter_cycles > 0) {
+    for (std::size_t i = 0; i < controls_.size(); ++i) {
+      jitter_rngs_.emplace_back(util::stream_seed(p.jitter_seed, i));
+    }
+  }
 }
 
 void ExitEngine::for_all_controls(
@@ -60,24 +72,36 @@ void ExitEngine::set_telemetry(telemetry::Telemetry* t, int vm_id) {
 
 ExitDisposition ExitEngine::raise(arch::Vcpu& vcpu, ExitReason reason,
                                   ExitQual qual) {
+  const SimTime t_entry = vcpu.now();
+  ++raise_depth_;
   vcpu.count_exit();
   ++counts_.at(vcpu.id())[static_cast<std::size_t>(reason)];
   vcpu.advance_cycles(costs_.base + costs_.handler_cost(reason));
   HT_COUNT(exit_counters_[static_cast<std::size_t>(reason)]);
-  if (sink_ == nullptr) return {};
-  Exit exit;
-  exit.reason = reason;
-  exit.vcpu_id = vcpu.id();
-  exit.time = vcpu.now();
-  exit.qual = std::move(qual);
-  // The exit span covers the whole sink dispatch (hypervisor handler,
-  // event forward, auditor fan-out), so everything downstream nests
-  // inside it on this vCPU's track. End time is re-read from the vCPU
-  // clock: handlers charge cycles as they run.
-  const auto span = HT_SPAN_BEGIN_ARG(tracer_, vm_id_, vcpu.id(), "exit",
-                                      "exit", exit.time, to_string(reason));
-  const ExitDisposition d = sink_->on_exit(vcpu, exit);
-  HT_SPAN_END(tracer_, span, vcpu.now());
+  ExitDisposition d{};
+  if (sink_ != nullptr) {
+    Exit exit;
+    exit.reason = reason;
+    exit.vcpu_id = vcpu.id();
+    exit.time = vcpu.now();
+    exit.qual = std::move(qual);
+    // The exit span covers the whole sink dispatch (hypervisor handler,
+    // event forward, auditor fan-out), so everything downstream nests
+    // inside it on this vCPU's track. End time is re-read from the vCPU
+    // clock: handlers charge cycles as they run.
+    const auto span = HT_SPAN_BEGIN_ARG(tracer_, vm_id_, vcpu.id(), "exit",
+                                        "exit", exit.time, to_string(reason));
+    d = sink_->on_exit(vcpu, exit);
+    HT_SPAN_END(tracer_, span, vcpu.now());
+  }
+  --raise_depth_;
+  // TSC offsetting: hide the full round-trip cost of the OUTERMOST exit
+  // (which already covers anything a handler raised recursively — nested
+  // raises must not subtract again) from the guest-visible counter.
+  if (raise_depth_ == 0 && tsc_policy_.offset_exit_cost) {
+    vcpu.adjust_tsc_offset(
+        -static_cast<i64>(ns_to_cycles(vcpu.now() - t_entry)));
+  }
   return d;
 }
 
@@ -104,6 +128,10 @@ void ExitEngine::wrmsr(arch::Vcpu& vcpu, u32 index, u64 value) {
   if (controls_.at(vcpu.id()).msr_write_exiting) {
     raise(vcpu, ExitReason::kWrmsr, WrmsrQual{index, value});
   }
+  // A TSC write rebases the counter itself (after the exit round trip, so
+  // an immediate read-back reveals exactly the overhead the policy failed
+  // to hide — the MSR-behavior probe's check).
+  if (index == arch::IA32_TIME_STAMP_COUNTER) vcpu.write_tsc(value);
   vcpu.msrs().write(index, value);
 }
 
@@ -195,6 +223,22 @@ void ExitEngine::apic_access(arch::Vcpu& vcpu, u32 offset) {
   if (controls_.at(vcpu.id()).apic_access_exiting) {
     raise(vcpu, ExitReason::kApicAccess, ApicAccessQual{offset});
   }
+}
+
+u64 ExitEngine::rdtsc(arch::Vcpu& vcpu) {
+  if (controls_.at(vcpu.id()).rdtsc_exiting) {
+    raise(vcpu, ExitReason::kRdtsc, RdtscQual{vcpu.read_tsc()});
+  }
+  u64 v = vcpu.read_tsc();
+  if (tsc_policy_.jitter_cycles > 0) {
+    v += jitter_rngs_.at(vcpu.id()).below(tsc_policy_.jitter_cycles + 1);
+  }
+  // Monotone clamp: whatever offsetting and jitter did, two reads on one
+  // vCPU must never go backwards — a reversal is a fingerprint no real
+  // counter exhibits.
+  if (v <= vcpu.tsc_floor()) v = vcpu.tsc_floor() + 1;
+  vcpu.set_tsc_floor(v);
+  return v;
 }
 
 u64 ExitEngine::total_exit_count(ExitReason r) const {

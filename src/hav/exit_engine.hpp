@@ -22,6 +22,7 @@
 #include "hav/exit.hpp"
 #include "hav/vmcs.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/rng.hpp"
 
 namespace hvsim::hav {
 
@@ -51,8 +52,21 @@ struct ExitCostModel {
   Cycles external_interrupt = 800;
   Cycles apic_access = 700;
   Cycles hlt = 300;
+  Cycles rdtsc = 450;
 
   Cycles handler_cost(ExitReason r) const;
+};
+
+/// Anti-evasion masking of the guest's view of time (Improvisor-style TSC
+/// spoofing). Offsetting shifts the per-vCPU TSC offset by minus the cost
+/// charged for each exit round trip, so an evasive guest timing its own
+/// operations with RDTSC sees bare-metal latencies; jitter adds seeded
+/// low-bit noise on every read to blur whatever residue remains. Both are
+/// monotonicity-safe: RDTSC results are clamped to the per-vCPU floor.
+struct TscPolicy {
+  bool offset_exit_cost = false;
+  Cycles jitter_cycles = 0;  ///< max noise added per read (0 = off)
+  u64 jitter_seed = 0;       ///< streamed into per-vCPU jitter RNGs
 };
 
 /// Raised when the guest touches an unmapped GVA — a guest-level fault the
@@ -78,6 +92,11 @@ class ExitEngine {
   void for_all_controls(const std::function<void(VmcsControls&)>& fn);
 
   ExitCostModel& costs() { return costs_; }
+
+  /// Install (or clear, with a default-constructed policy) the TSC
+  /// masking countermeasures. Reseeds the per-vCPU jitter RNGs.
+  void set_tsc_policy(const TscPolicy& p);
+  const TscPolicy& tsc_policy() const { return tsc_policy_; }
 
   // --- Architectural operations performed by the guest ------------------
 
@@ -116,6 +135,13 @@ class ExitEngine {
   /// of an interrupt service routine).
   void apic_access(arch::Vcpu& vcpu, u32 offset);
 
+  /// RDTSC: returns the guest-visible counter value, taking an exit first
+  /// when rdtsc_exiting is enabled, then applying the TSC policy (jitter,
+  /// monotone floor). The value reflects every cycle charged to the vCPU
+  /// up to this instruction — including exit overhead, unless offsetting
+  /// has hidden it.
+  u64 rdtsc(arch::Vcpu& vcpu);
+
   // --- Introspection helpers (host-side, no exits, no guest cost) -------
 
   /// Translate using an explicit PDBA (the paper's gva_to_gpa helper).
@@ -141,6 +167,9 @@ class ExitEngine {
   arch::Ept& ept_;
   ExitSink* sink_ = nullptr;
   ExitCostModel costs_;
+  TscPolicy tsc_policy_;
+  std::vector<util::Rng> jitter_rngs_;  ///< one per vCPU, seed-streamed
+  int raise_depth_ = 0;  ///< offsetting applies once per outermost raise
   std::vector<VmcsControls> controls_;
   std::vector<std::array<u64, static_cast<std::size_t>(ExitReason::kCount)>>
       counts_;

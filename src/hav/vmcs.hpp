@@ -28,6 +28,10 @@ struct VmcsControls {
   bool hlt_exiting = true;
   /// Accesses to the virtual-APIC page cause APIC_ACCESS exits.
   bool apic_access_exiting = false;
+  /// RDTSC causes exits (VT-x "RDTSC exiting"). Off by default: guests
+  /// normally read the counter exit-free; a timing-aware monitor enables
+  /// it to observe — and mask — the guest's view of time.
+  bool rdtsc_exiting = false;
 };
 
 }  // namespace hvsim::hav

@@ -252,6 +252,17 @@ void Kernel::start_action(int cpu, Task* t, const Action& a, SimTime until) {
     v.advance_cycles(60);
     return;
   }
+  if (std::get_if<ActRdtsc>(&a) != nullptr) {
+    v.advance_cycles(24);  // instruction latency on bare metal
+    const u64 tsc = machine_.engine().rdtsc(v);
+    t->workload->on_rdtsc(tsc);
+    return;
+  }
+  if (const auto* w = std::get_if<ActWrmsr>(&a)) {
+    v.advance_cycles(40);
+    machine_.engine().wrmsr(v, w->index, w->value);
+    return;
+  }
   throw std::logic_error("unhandled action");
 }
 

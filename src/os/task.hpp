@@ -70,8 +70,22 @@ struct ActUserTouch {
   u32 offset = 0;  ///< within the page
 };
 
+/// Read the time-stamp counter (RDTSC). The value the guest sees goes
+/// through the hypervisor's TSC policy (exiting, offsetting, jitter) and
+/// is delivered via Workload::on_rdtsc — the timing-probe primitive.
+struct ActRdtsc {};
+
+/// Write a model-specific register (WRMSR) with an arbitrary index — e.g.
+/// rebase IA32_TIME_STAMP_COUNTER, or touch a benign MSR to provoke an
+/// exit on purpose (the MSR-behavior probe).
+struct ActWrmsr {
+  u32 index = 0;
+  u64 value = 0;
+};
+
 using Action = std::variant<ActCompute, ActSyscall, ActKernelCall,
-                            ActUserLock, ActExit, ActUserTouch>;
+                            ActUserLock, ActExit, ActUserTouch, ActRdtsc,
+                            ActWrmsr>;
 
 // ----------------------------- Workload --------------------------------
 
@@ -100,6 +114,10 @@ class Workload {
     (void)nr;
     (void)data;
   }
+
+  /// Result of an ActRdtsc — the guest-visible counter value (after any
+  /// hypervisor masking). The EDX:EAX of the real instruction.
+  virtual void on_rdtsc(u64 tsc) { (void)tsc; }
 
   /// Optional label used in diagnostics.
   virtual std::string name() const { return "workload"; }

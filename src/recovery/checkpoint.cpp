@@ -75,6 +75,7 @@ Checkpoint Checkpointer::capture() const {
   for (int i = 0; i < m.num_vcpus(); ++i) {
     cp.regs.push_back(m.vcpu(i).regs());
     cp.msrs.push_back(m.vcpu(i).msrs());
+    cp.tsc.push_back({m.vcpu(i).tsc_offset(), m.vcpu(i).tsc_floor()});
   }
   cp.kernel = vm_.kernel.snapshot();
   return cp;
@@ -163,6 +164,10 @@ void Checkpointer::restore_to(const Checkpoint& cp) {
   for (int i = 0; i < m.num_vcpus(); ++i) {
     m.vcpu(i).regs() = cp.regs.at(i);
     m.vcpu(i).msrs() = cp.msrs.at(i);
+    if (static_cast<std::size_t>(i) < cp.tsc.size()) {
+      m.vcpu(i).set_tsc_offset(cp.tsc.at(i).offset_cycles);
+      m.vcpu(i).set_tsc_floor(cp.tsc.at(i).floor);
+    }
   }
   vm_.kernel.restore(cp.kernel, delta);
   ++restores_;

@@ -46,6 +46,15 @@ struct Checkpoint {
   std::vector<arch::EptPerm> ept;        ///< per-page permissions
   std::vector<arch::RegisterFile> regs;  ///< per-vCPU register files
   std::vector<arch::MsrFile> msrs;       ///< per-vCPU MSR files
+  /// Per-vCPU guest-visible TSC state (offset + monotone floor). Restores
+  /// move the VM forward in sim time, so the captured offset/floor stay
+  /// valid — but they must be re-applied or an evasive guest would see the
+  /// hypervisor's offsetting reset as a restore fingerprint.
+  struct VcpuTsc {
+    i64 offset_cycles = 0;
+    u64 floor = 0;
+  };
+  std::vector<VcpuTsc> tsc;
   os::Kernel::Snapshot kernel;
 
   /// Approximate retained footprint (dominated by the memory image).

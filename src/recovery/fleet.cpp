@@ -135,6 +135,12 @@ void RackSupervisor::add(std::size_t vm_index, Supervisable& mgr, HyperTap* ht,
 
   if (ht != nullptr) {
     ladder_enabled_ = true;
+    if (root_.opts_.ladder.sampling_seed != 0) {
+      // Seed-streamed by VM index, not slot index: rebuilding the
+      // supervision tree after a crash re-derives the same per-VM stream.
+      ht->multiplexer().set_sampling_seed(
+          util::stream_seed(root_.opts_.ladder.sampling_seed, vm_index));
+    }
     // Watermark edges surface as alarms in the VM's own sink — same
     // channel as guest health, and deterministic (the modeled backlog is
     // a pure function of the event stream).

@@ -165,6 +165,11 @@ class RootSupervisor {
     u32 sample_every = 4;
     /// Consecutive pressure-free epochs required before climbing one rung.
     u32 clear_epochs_to_ascend = 4;
+    /// When nonzero, degraded rungs shed by seeded Bernoulli draws (one
+    /// stream per VM slot) instead of the deterministic every-Nth stride —
+    /// evasive guests cannot learn a guaranteed-quiet window. 0 keeps the
+    /// legacy stride.
+    u64 sampling_seed = 0;
   };
 
   struct Options {

@@ -1,0 +1,272 @@
+// Evasive-guest red team: the guest-visible TSC (RDTSC exiting, WRMSR
+// rebase, offsetting + jitter + the monotone floor), randomized audit
+// sampling, checkpointed TSC state, and the evasion-sweep cells/campaign.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "arch/msr.hpp"
+#include "attacks/evasive.hpp"
+#include "core/event_multiplexer.hpp"
+#include "core/hypertap.hpp"
+#include "hav/exit_engine.hpp"
+#include "recovery/checkpoint.hpp"
+#include "util/rng.hpp"
+
+namespace hypertap {
+namespace {
+
+// ---------------------------------------------------------------------
+// Engine-level TSC semantics (hvsim::hav).
+// ---------------------------------------------------------------------
+
+class TscRecordingSink final : public hav::ExitSink {
+ public:
+  hav::ExitDisposition on_exit(arch::Vcpu&, const hav::Exit& exit) override {
+    exits.push_back(exit);
+    return {};
+  }
+  std::vector<hav::Exit> exits;
+};
+
+class TscEngineTest : public ::testing::Test {
+ protected:
+  TscEngineTest() : mem(1u << 20), ept(256), engine(mem, ept, 1) {
+    engine.set_sink(&sink);
+  }
+  arch::PhysMem mem;
+  arch::Ept ept;
+  hav::ExitEngine engine;
+  TscRecordingSink sink;
+  arch::Vcpu vcpu{0};
+};
+
+TEST_F(TscEngineTest, RdtscExitsOnlyWhenEnabled) {
+  vcpu.advance_cycles(10'000);
+  const u64 v0 = engine.rdtsc(vcpu);
+  EXPECT_TRUE(sink.exits.empty()) << "exiting off: RDTSC runs unintercepted";
+  EXPECT_GT(v0, 0u);
+  EXPECT_EQ(vcpu.total_exits(), 0u);
+
+  engine.controls(0).rdtsc_exiting = true;
+  const u64 v1 = engine.rdtsc(vcpu);
+  ASSERT_EQ(sink.exits.size(), 1u);
+  EXPECT_EQ(sink.exits[0].reason, hav::ExitReason::kRdtsc);
+  EXPECT_GT(std::get<hav::RdtscQual>(sink.exits[0].qual).tsc, 0u);
+  EXPECT_EQ(vcpu.total_exits(), 1u);
+  EXPECT_GT(v1, v0) << "the intercepted read still returns a counter";
+}
+
+TEST_F(TscEngineTest, WrmsrToTscRebasesTheGuestCounter) {
+  vcpu.advance_cycles(50'000);
+  const u64 rebase = 5'000'000'000ull;
+  engine.wrmsr(vcpu, arch::IA32_TIME_STAMP_COUNTER, rebase);
+  const u64 v = engine.rdtsc(vcpu);
+  EXPECT_GE(v, rebase);
+  EXPECT_LT(v, rebase + 1'000'000) << "read-back must track the new base";
+  EXPECT_EQ(vcpu.msrs().read(arch::IA32_TIME_STAMP_COUNTER), rebase);
+}
+
+TEST_F(TscEngineTest, OffsettingHidesExitCostFromTheGuest) {
+  engine.controls(0).rdtsc_exiting = true;
+
+  // Without offsetting, back-to-back reads are separated by the charged
+  // exit round trip (base + rdtsc handler cost).
+  const u64 a0 = engine.rdtsc(vcpu);
+  const u64 a1 = engine.rdtsc(vcpu);
+  const u64 visible = a1 - a0;
+  EXPECT_GE(visible, engine.costs().base);
+
+  hav::TscPolicy pol;
+  pol.offset_exit_cost = true;
+  engine.set_tsc_policy(pol);
+  const u64 b0 = engine.rdtsc(vcpu);
+  const u64 b1 = engine.rdtsc(vcpu);
+  EXPECT_LT(b1 - b0, visible / 4)
+      << "offsetting must hide (nearly all of) the exit cost";
+  EXPECT_GT(b1, b0) << "but the counter never stalls or regresses";
+}
+
+TEST_F(TscEngineTest, JitteredReadsStayStrictlyMonotone) {
+  engine.controls(0).rdtsc_exiting = true;
+  hav::TscPolicy pol;
+  pol.offset_exit_cost = true;
+  pol.jitter_cycles = 96;
+  pol.jitter_seed = 2014;
+  engine.set_tsc_policy(pol);
+
+  u64 prev = engine.rdtsc(vcpu);
+  for (int i = 0; i < 500; ++i) {
+    const u64 v = engine.rdtsc(vcpu);
+    ASSERT_GT(v, prev) << "read " << i << " regressed";
+    prev = v;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Checkpointed TSC state.
+// ---------------------------------------------------------------------
+
+TEST(CheckpointTsc, GuestTscStateRoundTrips) {
+  hv::MachineConfig mc;
+  mc.num_vcpus = 2;
+  mc.phys_mem_bytes = 8ull << 20;
+  os::Vm vm(mc);
+  vm.kernel.boot();
+  vm.machine.run_for(50'000'000);
+
+  vm.machine.vcpu(0).set_tsc_offset(-12'345);
+  vm.machine.vcpu(0).set_tsc_floor(777);
+  vm.machine.vcpu(1).set_tsc_offset(9'000);
+  vm.machine.vcpu(1).set_tsc_floor(42);
+
+  recovery::Checkpointer::Options copts;
+  copts.period = 0;
+  recovery::Checkpointer ck(vm, copts);
+  const recovery::Checkpoint cp = ck.capture();
+  ASSERT_EQ(cp.tsc.size(), 2u);
+  EXPECT_EQ(cp.tsc[0].offset_cycles, -12'345);
+  EXPECT_EQ(cp.tsc[0].floor, 777u);
+
+  // Drift the live state, then restore: the captured offsets must win.
+  vm.machine.run_for(50'000'000);
+  vm.machine.vcpu(0).set_tsc_offset(0);
+  vm.machine.vcpu(0).set_tsc_floor(0);
+  vm.machine.vcpu(1).set_tsc_offset(0);
+  vm.machine.vcpu(1).set_tsc_floor(0);
+  ck.restore_to(cp);
+  EXPECT_EQ(vm.machine.vcpu(0).tsc_offset(), -12'345);
+  EXPECT_EQ(vm.machine.vcpu(0).tsc_floor(), 777u);
+  EXPECT_EQ(vm.machine.vcpu(1).tsc_offset(), 9'000);
+  EXPECT_EQ(vm.machine.vcpu(1).tsc_floor(), 42u);
+}
+
+// ---------------------------------------------------------------------
+// Randomized audit sampling (the EM shed path).
+// ---------------------------------------------------------------------
+
+class ShedCountingAuditor final : public Auditor {
+ public:
+  std::string name() const override { return "shed-counting"; }
+  EventMask subscriptions() const override {
+    return event_bit(EventKind::kSyscall);
+  }
+  void on_event(const Event&, AuditContext&) override { ++events; }
+  void on_gap(u64, AuditContext&) override {}
+  u64 events = 0;
+};
+
+Event syscall_event(u64 seq) {
+  Event e;
+  e.kind = EventKind::kSyscall;
+  e.reason = hav::ExitReason::kException;
+  e.time = static_cast<SimTime>(seq) * 1'000;
+  e.seq = seq;
+  return e;
+}
+
+u64 delivered_under_invariant_only(u64 sampling_seed) {
+  hv::MachineConfig mc;
+  mc.num_vcpus = 1;
+  mc.phys_mem_bytes = 8ull << 20;
+  os::Vm vm(mc);
+  vm.kernel.boot();
+  OsStateDerivation deriv(vm.machine.hypervisor(), vm.kernel.layout());
+  AlarmSink alarms;
+  AuditContext ctx(vm.machine.hypervisor(), deriv, alarms);
+
+  EventMultiplexer em;
+  ShedCountingAuditor aud;
+  em.register_auditor(&aud, ctx);
+  if (sampling_seed != 0) em.set_sampling_seed(sampling_seed);
+  em.set_audit_mode(EventMultiplexer::AuditMode::kInvariantOnly, 2);
+  for (u64 s = 1; s <= 400; ++s) {
+    em.deliver(vm.machine.vcpu(0), syscall_event(s), ctx);
+  }
+  return aud.events;
+}
+
+TEST(RandomizedShed, StrideRungIsTotallyQuietButSeededRungTrickles) {
+  EXPECT_EQ(delivered_under_invariant_only(0), 0u)
+      << "legacy kInvariantOnly sheds every non-architectural delivery — "
+         "the guaranteed-quiet window the red team exploits";
+
+  const u64 n1 = delivered_under_invariant_only(2014);
+  EXPECT_GT(n1, 0u) << "seeded rung must keep a residual trickle";
+  EXPECT_LT(n1, 400u) << "but it still sheds most of the load";
+  // ~1-in-2 survival odds (sample_every = 2): loosely banded.
+  EXPECT_GT(n1, 100u);
+  EXPECT_LT(n1, 300u);
+
+  EXPECT_EQ(delivered_under_invariant_only(2014), n1)
+      << "same seed => identical shed pattern (replay determinism)";
+  EXPECT_NE(delivered_under_invariant_only(7), n1)
+      << "different seed => different pattern (nothing to learn)";
+}
+
+// ---------------------------------------------------------------------
+// Evasion cells and the campaign.
+// ---------------------------------------------------------------------
+
+const attacks::EvasionCountermeasures& arm_named(const std::string& name) {
+  for (const auto& a : attacks::evasion_arms()) {
+    if (a.name == name) return a.cm;
+  }
+  throw std::logic_error("no arm named " + name);
+}
+
+TEST(EvasionCell, ExitLatencyProbeEvadesUnhardenedMonitor) {
+  attacks::EvasionCellConfig cfg;
+  cfg.tactic = attacks::EvasionTactic::kExitLatencyProbe;
+  cfg.cm = arm_named("none");
+  const auto r = attacks::run_evasion_cell(cfg);
+  EXPECT_TRUE(r.struck) << "probe never saw a quiet onset";
+  EXPECT_FALSE(r.detected);
+  EXPECT_TRUE(r.evaded);
+  EXPECT_GT(r.loud_samples, 0u) << "the monitor's attention must be audible";
+}
+
+TEST(EvasionCell, HardenedMonitorNeutralizesOrDetectsEveryTactic) {
+  for (u8 t = 0; t < static_cast<u8>(attacks::EvasionTactic::kCount); ++t) {
+    attacks::EvasionCellConfig cfg;
+    cfg.tactic = static_cast<attacks::EvasionTactic>(t);
+    cfg.cm = arm_named("hardened");
+    const auto r = attacks::run_evasion_cell(cfg);
+    EXPECT_FALSE(r.evaded) << "tactic " << to_string(cfg.tactic)
+                           << " evaded the hardened monitor";
+  }
+}
+
+TEST(EvasionCampaignDeterminism, ThreadCountDoesNotChangeOutcomes) {
+  attacks::EvasionSweepConfig c1;
+  c1.quick = true;  // the gated arm pair is enough for the differential
+  c1.threads = 1;
+  auto c2 = c1;
+  c2.threads = 2;
+  const auto o1 = attacks::run_evasion_campaign(c1);
+  const auto o2 = attacks::run_evasion_campaign(c2);
+  ASSERT_FALSE(o1.empty());
+  EXPECT_EQ(attacks::outcome_digest(o1), attacks::outcome_digest(o2));
+}
+
+TEST(EvasionRegistry, CatalogCoversBothScenarioKinds) {
+  const auto side =
+      attacks::scenarios_of(attacks::ScenarioKind::kSideChannel);
+  ASSERT_EQ(side.size(), 4u);
+  std::set<u32> intervals;
+  for (const auto& s : side) intervals.insert(s.interval_s);
+  EXPECT_EQ(intervals, (std::set<u32>{1, 2, 4, 8}));
+
+  const auto evasive = attacks::scenarios_of(attacks::ScenarioKind::kEvasive);
+  ASSERT_EQ(evasive.size(),
+            static_cast<std::size_t>(attacks::EvasionTactic::kCount));
+  std::set<std::string> names;
+  for (const auto& s : evasive) names.insert(s.name);
+  EXPECT_EQ(names.size(), evasive.size()) << "scenario names must be unique";
+}
+
+}  // namespace
+}  // namespace hypertap

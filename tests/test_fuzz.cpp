@@ -322,9 +322,11 @@ TEST(FuzzSeedCorpus, ExportsTruncatedJournalsFromCampaignScenarios) {
   fi::SeedCorpusConfig scfg;
   scfg.seed = 2014;
   scfg.scenarios = 2;
+  scfg.evasive_scenarios = 1;
   scfg.max_records = 60;
   const auto seeds = fi::export_seed_corpus(locations, scfg);
-  ASSERT_EQ(seeds.size(), 2u);
+  ASSERT_EQ(seeds.size(), 3u);
+  EXPECT_EQ(seeds.back().name, "evasive-exit-latency-probe");
   for (const auto& sj : seeds) {
     EXPECT_FALSE(sj.name.empty());
     ASSERT_NE(sj.store, nullptr);
