@@ -35,6 +35,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "core/auditor.hpp"
 #include "telemetry/telemetry.hpp"
@@ -364,42 +365,50 @@ class AsyncAuditorChannel {
   void drain() {
     u32 idle = 0;
     u64 consumer_gap = 0;  // drop-oldest discards awaiting an on_gap
+    // pop_n chunk: one acquire/release pair frees up to kChunk ring slots
+    // at once; each event is then processed with the exact unit-path
+    // logic (skip credit, stall resync, gap folding) per element.
+    constexpr std::size_t kChunk = 32;
+    std::vector<Event> chunk(kChunk);
     for (;;) {
-      if (auto e = ring_.try_pop()) {
-        progress_.fetch_add(1, std::memory_order_release);
+      const std::size_t n = ring_.pop_n(chunk.data(), kChunk);
+      if (n > 0) {
+        progress_.fetch_add(n, std::memory_order_release);
         idle = 0;
-        u32 credit = skip_credit_.load(std::memory_order_acquire);
-        bool discard = false;
-        while (credit > 0) {
-          if (skip_credit_.compare_exchange_weak(
-                  credit, credit - 1, std::memory_order_acq_rel)) {
-            discard = true;
-            break;
+        for (std::size_t ci = 0; ci < n; ++ci) {
+          Event& e = chunk[ci];
+          u32 credit = skip_credit_.load(std::memory_order_acquire);
+          bool discard = false;
+          while (credit > 0) {
+            if (skip_credit_.compare_exchange_weak(
+                    credit, credit - 1, std::memory_order_acq_rel)) {
+              discard = true;
+              break;
+            }
           }
+          if (discard) {
+            // Drop-oldest: this event makes room; it becomes part of the
+            // gap the auditor is told about.
+            consumer_gap += 1 + e.gap_before;
+            dropped_oldest_.fetch_add(1, std::memory_order_relaxed);
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            tinc(tel_dropped_);
+            continue;
+          }
+          std::lock_guard<std::mutex> lk(audit_mu_);
+          if (stalled_.exchange(false, std::memory_order_acq_rel)) {
+            // Back from a stall: events were sync-delivered out of order
+            // around the ring — resynchronize before resuming in-order
+            // consumption. (The producer re-arms its own watchdog window:
+            // progress_ already advanced, so the next liveness check
+            // resets watch_since_ — watch state stays producer-only.)
+            consumer_gap += sync_since_stall_.exchange(
+                0, std::memory_order_relaxed);
+          }
+          e.gap_before += static_cast<u32>(consumer_gap);
+          consumer_gap = 0;
+          deliver(e);
         }
-        if (discard) {
-          // Drop-oldest: this event makes room; it becomes part of the
-          // gap the auditor is told about.
-          consumer_gap += 1 + e->gap_before;
-          dropped_oldest_.fetch_add(1, std::memory_order_relaxed);
-          dropped_.fetch_add(1, std::memory_order_relaxed);
-          tinc(tel_dropped_);
-          continue;
-        }
-        std::lock_guard<std::mutex> lk(audit_mu_);
-        if (stalled_.exchange(false, std::memory_order_acq_rel)) {
-          // Back from a stall: events were sync-delivered out of order
-          // around the ring — resynchronize before resuming in-order
-          // consumption. (The producer re-arms its own watchdog window:
-          // progress_ already advanced, so the next liveness check resets
-          // watch_since_ — watch state stays producer-only.)
-          consumer_gap += sync_since_stall_.exchange(
-              0, std::memory_order_relaxed);
-        }
-        Event ev = *e;
-        ev.gap_before += static_cast<u32>(consumer_gap);
-        consumer_gap = 0;
-        deliver(ev);
         continue;
       }
       if (stopping_.load(std::memory_order_acquire) && ring_.empty()) {

@@ -1,0 +1,341 @@
+// Zero-copy batched event fan-out: the arena/slab counterpart of
+// AsyncAuditorChannel.
+//
+// The per-event channel copies the full ~128-byte Event into every
+// subscribed consumer's ring and pays an acquire/release atomic pair per
+// copy. At fan-out N that is N copies and 2N ordered atomics per event —
+// the dominant cost in bench/em_throughput. This layer replaces it with:
+//
+//  * EventArena — a power-of-two slab of refcounted Event slots. The
+//    producer copies each event into guest-exit order exactly ONCE; every
+//    consumer reads the same slot and drops a reference when done. A slot
+//    is reusable the moment its count hits zero (checked with an acquire
+//    load before the producer's next lap reuses it).
+//  * EventRef — the 8-byte {slot, gap} handle that actually travels
+//    through the rings instead of the Event.
+//  * BatchedFanout — one SpscRing<EventRef> + consumer thread per
+//    auditor. Refs are staged producer-side and flushed with
+//    SpscRing::try_push_n: one acquire/release pair per BATCH per ring.
+//    Consumers drain with pop_n, amortizing the other side the same way.
+//
+// Flush-deadline semantics: a partial batch never waits indefinitely.
+// publish() flushes when (a) the batch fills, (b) the oldest staged ref
+// has waited past `flush_deadline`, or (c) the event's kind is in the
+// `urgent` mask (alarm-relevant kinds flush immediately), so
+// latency-sensitive verdicts still fire promptly. flush() is the explicit
+// end-of-run barrier.
+//
+// Loss is never silent, same discipline as AsyncAuditorChannel: a ref that
+// cannot be staged (arena lap not yet released) or pushed (ring full) is
+// counted per channel and surfaced to that auditor via on_gap on its next
+// delivery (or at stop()).
+//
+// The deterministic simulation does NOT route through this class — live
+// fan-out must stay synchronous per-event or later event timestamps would
+// shift (see DESIGN.md §16). This is the production-shaped real-thread
+// edge, exercised by tests/test_batching.cpp and gated by
+// bench/em_throughput --gate.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/auditor.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace hypertap {
+
+class EventArena {
+ public:
+  static constexpr u32 kNone = 0xFFFFFFFFu;
+
+  /// Slot count is rounded up to a power of two.
+  explicit EventArena(std::size_t min_slots) {
+    std::size_t cap = 2;
+    while (cap < min_slots) cap <<= 1;
+    slots_ = std::vector<Slot>(cap);
+    mask_ = cap - 1;
+  }
+
+  EventArena(const EventArena&) = delete;
+  EventArena& operator=(const EventArena&) = delete;
+
+  /// Producer: claim the next slot in lap order, copy `e` into it once and
+  /// arm `refs` references. Returns kNone while the slot from the previous
+  /// lap still holds references (arena full = slowest consumer is a full
+  /// lap behind).
+  u32 acquire(const Event& e, u32 refs) {
+    const u32 idx = static_cast<u32>(cursor_ & mask_);
+    Slot& s = slots_[idx];
+    if (s.refs.load(std::memory_order_acquire) != 0) return kNone;
+    s.ev = e;
+    s.refs.store(refs, std::memory_order_release);
+    ++cursor_;
+    return idx;
+  }
+
+  /// Valid while the caller holds a reference on the slot.
+  const Event& at(u32 idx) const { return slots_[idx].ev; }
+
+  /// Drop one reference (consumer finished with the slot, or the producer
+  /// retracts a channel that missed the event).
+  void release(u32 idx) {
+    slots_[idx].refs.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+  u32 refs(u32 idx) const {
+    return slots_[idx].refs.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Slot {
+    Event ev;
+    std::atomic<u32> refs{0};
+  };
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t cursor_ = 0;  ///< producer-only lap counter
+};
+
+/// The 8-byte handle that travels through the rings instead of the Event.
+/// `gap` carries the channel's accumulated loss since its last delivered
+/// ref (the gap_before discipline of the per-event channel).
+struct EventRef {
+  u32 slot = 0;
+  u32 gap = 0;
+};
+
+class BatchedFanout {
+ public:
+  struct Config {
+    std::size_t arena_slots = 8192;
+    std::size_t ring_capacity = 4096;
+    /// Refs staged per channel before a flush (the batch the single
+    /// acquire/release pair amortizes over).
+    std::size_t batch = 64;
+    /// Oldest-staged-ref latency bound: publish() flushes a partial batch
+    /// once this much wall clock has passed since the batch started.
+    std::chrono::microseconds flush_deadline{200};
+    /// Kinds that flush the batch immediately (latency-sensitive events —
+    /// the auditors judging them must not wait out a batch).
+    EventMask urgent = 0;
+    /// Idle consumer: spin-yield this many times before parking.
+    u32 spin_before_park = 256;
+    std::chrono::microseconds park_interval{500};
+    /// Consumer pop_n burst size.
+    std::size_t consume_chunk = 64;
+  };
+
+  struct ChannelStats {
+    u64 enqueued = 0;  ///< refs staged for this channel
+    u64 dropped = 0;   ///< refs lost (arena full or ring full)
+    u64 audited = 0;   ///< events delivered to the auditor
+    u64 gaps_signalled = 0;
+    u64 auditor_faults = 0;
+  };
+
+  explicit BatchedFanout(Config cfg) : cfg_(cfg), arena_(cfg.arena_slots) {}
+  BatchedFanout() : BatchedFanout(Config{}) {}
+  ~BatchedFanout() { stop(); }
+
+  BatchedFanout(const BatchedFanout&) = delete;
+  BatchedFanout& operator=(const BatchedFanout&) = delete;
+
+  /// Add a consumer channel (its own ring + thread). Auditor and context
+  /// must outlive the fanout. Call before the first publish().
+  void add_channel(Auditor& auditor, AuditContext& ctx) {
+    auto ch = std::make_unique<Channel>(auditor, ctx, cfg_.ring_capacity);
+    ch->staged.reserve(cfg_.batch);
+    Channel* p = ch.get();
+    channels_.push_back(std::move(ch));
+    p->consumer = std::thread([this, p]() { drain(*p); });
+  }
+
+  /// Producer side (the forwarder edge). ONE Event copy into the arena,
+  /// one staged 8-byte ref per subscribed channel. Returns false when at
+  /// least one subscribed channel lost the event.
+  bool publish(const Event& e) {
+    const EventMask bit = event_bit(e.kind);
+    u32 refs = 0;
+    for (const auto& ch : channels_) {
+      if ((ch->auditor.subscriptions() & bit) != 0) ++refs;
+    }
+    if (refs == 0) return true;
+
+    u32 idx = arena_.acquire(e, refs);
+    for (int spin = 0; idx == EventArena::kNone && spin < 64; ++spin) {
+      // Arena lap not yet released: push what is staged (consumers may be
+      // waiting on exactly these refs) and give them a beat.
+      flush_staged();
+      std::this_thread::yield();
+      idx = arena_.acquire(e, refs);
+    }
+    if (idx == EventArena::kNone) {
+      for (const auto& ch : channels_) {
+        if ((ch->auditor.subscriptions() & bit) == 0) continue;
+        ++ch->pending_gap;
+        ch->dropped.fetch_add(1, std::memory_order_relaxed);
+      }
+      return false;
+    }
+
+    for (const auto& ch : channels_) {
+      if ((ch->auditor.subscriptions() & bit) == 0) continue;
+      ch->staged.push_back(EventRef{idx, ch->pending_gap});
+      ch->pending_gap = 0;
+      ch->enqueued.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (staged_events_++ == 0) {
+      batch_started_ = std::chrono::steady_clock::now();
+    }
+    const bool urgent = (cfg_.urgent & bit) != 0;
+    if (staged_events_ >= cfg_.batch || urgent ||
+        std::chrono::steady_clock::now() - batch_started_ >=
+            cfg_.flush_deadline) {
+      flush_staged();
+    }
+    return true;
+  }
+
+  /// Push every staged ref now (partial-batch barrier; also called on the
+  /// deadline/urgent paths).
+  void flush_staged() {
+    for (const auto& ch : channels_) {
+      if (ch->staged.empty()) continue;
+      const std::size_t pushed =
+          ch->ring.try_push_n(ch->staged.data(), ch->staged.size());
+      for (std::size_t i = pushed; i < ch->staged.size(); ++i) {
+        // Ring full: this channel misses the tail of the batch.
+        arena_.release(ch->staged[i].slot);
+        ch->pending_gap += 1 + ch->staged[i].gap;
+        ch->dropped.fetch_add(1, std::memory_order_relaxed);
+      }
+      ch->staged.clear();
+      if (pushed > 0 && ch->parked.load(std::memory_order_seq_cst)) {
+        std::lock_guard<std::mutex> lk(ch->park_mu);
+        ch->park_cv.notify_one();
+      }
+    }
+    staged_events_ = 0;
+  }
+
+  /// Stop every consumer after draining what is queued; losses with no
+  /// later delivery to piggyback on are surfaced via on_gap here.
+  void stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    // Push staged refs BEFORE raising the stop flag: consumers exit only
+    // on stopping && ring-empty, so everything flushed here still drains.
+    flush_staged();
+    stopping_.store(true, std::memory_order_release);
+    for (const auto& ch : channels_) {
+      {
+        std::lock_guard<std::mutex> lk(ch->park_mu);
+      }
+      ch->park_cv.notify_one();
+      if (ch->consumer.joinable()) ch->consumer.join();
+      if (ch->pending_gap > 0) {
+        ch->gaps_signalled.fetch_add(1, std::memory_order_relaxed);
+        try {
+          ch->auditor.on_gap(ch->pending_gap, ch->ctx);
+        } catch (...) {
+          ch->auditor_faults.fetch_add(1, std::memory_order_relaxed);
+        }
+        ch->pending_gap = 0;
+      }
+    }
+  }
+
+  std::size_t channel_count() const { return channels_.size(); }
+  ChannelStats channel_stats(std::size_t i) const {
+    const Channel& ch = *channels_.at(i);
+    ChannelStats s;
+    s.enqueued = ch.enqueued.load(std::memory_order_relaxed);
+    s.dropped = ch.dropped.load(std::memory_order_relaxed);
+    s.audited = ch.audited.load(std::memory_order_relaxed);
+    s.gaps_signalled = ch.gaps_signalled.load(std::memory_order_relaxed);
+    s.auditor_faults = ch.auditor_faults.load(std::memory_order_relaxed);
+    return s;
+  }
+  const EventArena& arena() const { return arena_; }
+
+ private:
+  struct Channel {
+    Channel(Auditor& a, AuditContext& c, std::size_t capacity)
+        : auditor(a), ctx(c), ring(capacity) {}
+    Auditor& auditor;
+    AuditContext& ctx;
+    util::SpscRing<EventRef> ring;
+    std::thread consumer;
+
+    // Producer-only state.
+    std::vector<EventRef> staged;
+    u32 pending_gap = 0;
+
+    // Shared state.
+    std::atomic<bool> parked{false};
+    std::mutex park_mu;
+    std::condition_variable park_cv;
+    std::atomic<u64> enqueued{0};
+    std::atomic<u64> dropped{0};
+    std::atomic<u64> audited{0};
+    std::atomic<u64> gaps_signalled{0};
+    std::atomic<u64> auditor_faults{0};
+  };
+
+  void drain(Channel& ch) {
+    std::vector<EventRef> chunk(cfg_.consume_chunk);
+    u32 idle = 0;
+    for (;;) {
+      const std::size_t n = ch.ring.pop_n(chunk.data(), chunk.size());
+      if (n > 0) {
+        idle = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const EventRef r = chunk[i];
+          try {
+            if (r.gap > 0) {
+              ch.gaps_signalled.fetch_add(1, std::memory_order_relaxed);
+              ch.auditor.on_gap(r.gap, ch.ctx);
+            }
+            ch.auditor.on_event(arena_.at(r.slot), ch.ctx);
+          } catch (...) {
+            ch.auditor_faults.fetch_add(1, std::memory_order_relaxed);
+          }
+          arena_.release(r.slot);
+          ch.audited.fetch_add(1, std::memory_order_relaxed);
+        }
+        continue;
+      }
+      if (stopping_.load(std::memory_order_acquire) && ch.ring.empty()) {
+        return;
+      }
+      if (++idle < cfg_.spin_before_park) {
+        std::this_thread::yield();
+        continue;
+      }
+      idle = 0;
+      std::unique_lock<std::mutex> lk(ch.park_mu);
+      ch.parked.store(true, std::memory_order_seq_cst);
+      if (ch.ring.empty() && !stopping_.load(std::memory_order_acquire)) {
+        ch.park_cv.wait_for(lk, cfg_.park_interval);
+      }
+      ch.parked.store(false, std::memory_order_seq_cst);
+    }
+  }
+
+  Config cfg_;
+  EventArena arena_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::size_t staged_events_ = 0;  ///< staged since the last flush
+  std::chrono::steady_clock::time_point batch_started_{};
+  bool stopped_ = false;  ///< producer-side stop() idempotence
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace hypertap

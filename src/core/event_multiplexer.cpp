@@ -148,6 +148,15 @@ void EventMultiplexer::deliver(arch::Vcpu& vcpu, const Event& e,
   deliver_one(vcpu, e, ctx);
 }
 
+void EventMultiplexer::deliver_batch(arch::Vcpu& vcpu, const Event* events,
+                                     std::size_t n, AuditContext& ctx,
+                                     SimTime* cursor) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cursor != nullptr) *cursor = events[i].time;
+    deliver(vcpu, events[i], ctx);
+  }
+}
+
 void EventMultiplexer::flush_delivery(arch::Vcpu& vcpu, AuditContext& ctx) {
   if (!guard_.config().enabled) return;
   ready_.clear();

@@ -145,6 +145,16 @@ class EventMultiplexer {
   /// and sequence holes surface through Auditor::on_gap.
   void deliver(arch::Vcpu& vcpu, const Event& e, AuditContext& ctx);
 
+  /// Batched fan-out: semantically identical to n deliver() calls in
+  /// order — every counter, breaker transition, shed draw and alarm is
+  /// byte-for-byte the same (the batched-vs-unit differential tests hold
+  /// this). When `cursor` is non-null it is updated to each event's time
+  /// immediately before that event fans out, so a caller-owned clock
+  /// (the Replayer's journal-time clock) observes exactly the unit-path
+  /// sequence from inside auditor callbacks.
+  void deliver_batch(arch::Vcpu& vcpu, const Event* events, std::size_t n,
+                     AuditContext& ctx, SimTime* cursor = nullptr);
+
   /// Release everything the reorder buffer still holds (end of run or
   /// explicit pipeline drain); holes become gap notifications.
   void flush_delivery(arch::Vcpu& vcpu, AuditContext& ctx);

@@ -175,7 +175,9 @@ RunResult run_one(const RunConfig& cfg,
 
   std::unique_ptr<journal::JournalWriter> jw;
   if (cfg.journal_store != nullptr) {
-    jw = std::make_unique<journal::JournalWriter>(*cfg.journal_store);
+    journal::JournalWriter::Options jopts;
+    jopts.batch_bytes = cfg.journal_batch_bytes;
+    jw = std::make_unique<journal::JournalWriter>(*cfg.journal_store, jopts);
     ht.attach_journal(jw.get());
   }
   std::unique_ptr<chaos::ChaosEngine> chaos_eng;

@@ -76,6 +76,11 @@ struct RunConfig {
   /// and — with recovery enabled — restores replay the suffix since the
   /// restored checkpoint. Must outlive run_one().
   journal::JournalStore* journal_store = nullptr;
+  /// Journal append batching (JournalWriter::Options::batch_bytes): 0 =
+  /// one store append per record; >0 coalesces sealed records into
+  /// appends of up to this many bytes. The recorded BYTES are identical
+  /// either way — tests/test_batch_differential.cpp is the witness.
+  std::size_t journal_batch_bytes = 0;
 
   /// Optional caller-owned telemetry bundle: the whole pipeline (exit
   /// engine, forwarder, multiplexer, recovery stack) is wired to it for

@@ -47,9 +47,24 @@ namespace hypertap::journal {
 
 using namespace hvsim;
 
-/// Standard CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.
+/// Standard CRC-32 (IEEE 802.3, polynomial 0xEDB88320), slice-by-8.
 u32 crc32(const u8* data, std::size_t n);
 inline u32 crc32(const std::vector<u8>& v) { return crc32(v.data(), v.size()); }
+
+/// Streaming CRC-32: feed bytes in arbitrary chunks, read the digest at
+/// any point. Resuming mid-buffer yields exactly what one crc32() call
+/// over the concatenation yields, so callers can checksum scattered
+/// sources (segment name + body) without assembling a contiguous copy.
+class Crc32 {
+ public:
+  void update(const u8* data, std::size_t n);
+  void update(const std::vector<u8>& v) { update(v.data(), v.size()); }
+  u32 value() const { return state_ ^ 0xFFFFFFFFu; }
+  void reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  u32 state_ = 0xFFFFFFFFu;
+};
 
 // ---------------------------------------------------------------------------
 // Little-endian wire codec
@@ -341,6 +356,14 @@ class JournalWriter {
   struct Options {
     /// Rotate to a fresh segment once the active one reaches this size.
     std::size_t segment_bytes = 1u << 20;
+    /// Coalesce sealed records and hand the store one append of up to this
+    /// many bytes (0 = one append per record, the legacy granularity).
+    /// Store CONTENT is byte-identical either way — only the append call
+    /// pattern changes, which is what makes per-record-syscall stores
+    /// (FileJournalStore) cheap to feed. Pending bytes flush on rotation,
+    /// flush() and destruction; call flush() before reading the store
+    /// mid-run (the recovery suffix replay does).
+    std::size_t batch_bytes = 0;
   };
 
   /// Opens the store for append: scans existing segments, truncates a torn
@@ -348,6 +371,7 @@ class JournalWriter {
   JournalWriter(JournalStore& store, Options opts);
   explicit JournalWriter(JournalStore& store)
       : JournalWriter(store, Options{}) {}
+  ~JournalWriter() { flush_batch(); }
 
   JournalWriter(const JournalWriter&) = delete;
   JournalWriter& operator=(const JournalWriter&) = delete;
@@ -360,7 +384,10 @@ class JournalWriter {
   /// kMaxPayload — an oversized checkpoint would be unreadable on resume,
   /// so it must fail loudly at write time, not silently at recovery time.
   void append_supervisor(const std::vector<u8>& state);
-  void flush() { store_.flush(); }
+  void flush() {
+    flush_batch();
+    store_.flush();
+  }
 
   /// Total records ever appended (including those found on open). This is
   /// the mark a Checkpoint captures so recovery can replay the suffix.
@@ -377,6 +404,7 @@ class JournalWriter {
  private:
   void append_record(RecordType type, const std::vector<u8>& payload);
   void rotate();
+  void flush_batch();
 
   JournalStore& store_;
   Options opts_;
@@ -388,6 +416,8 @@ class JournalWriter {
   u64 rotations_ = 0;
   OpenStats open_stats_;
   std::vector<u8> scratch_;    ///< reused encode buffer
+  std::vector<u8> payload_scratch_;  ///< reused payload-encode buffer
+  std::vector<u8> pending_;    ///< sealed-but-unappended bytes (batch mode)
 
   telemetry::Counter* rec_counters_[5] = {nullptr, nullptr, nullptr, nullptr,
                                           nullptr};  ///< by RecordType

@@ -67,16 +67,27 @@ void Replayer::compare(ReplayResult& r, const std::vector<i64>& record_of) {
 
 ReplayResult Replayer::replay(EventMultiplexer& em, AuditContext& ctx,
                               arch::Vcpu& vcpu, u64 skip_records) {
-  return run(em, ctx, &vcpu, skip_records, /*direct=*/false);
+  return run(em, ctx, &vcpu, skip_records, /*direct=*/false,
+             /*batch_size=*/1);
+}
+
+ReplayResult Replayer::replay_batched(EventMultiplexer& em, AuditContext& ctx,
+                                      arch::Vcpu& vcpu,
+                                      std::size_t batch_size,
+                                      u64 skip_records) {
+  return run(em, ctx, &vcpu, skip_records, /*direct=*/false,
+             batch_size == 0 ? 1 : batch_size);
 }
 
 ReplayResult Replayer::replay_direct(EventMultiplexer& em, AuditContext& ctx,
                                      u64 skip_records) {
-  return run(em, ctx, nullptr, skip_records, /*direct=*/true);
+  return run(em, ctx, nullptr, skip_records, /*direct=*/true,
+             /*batch_size=*/1);
 }
 
 ReplayResult Replayer::run(EventMultiplexer& em, AuditContext& ctx,
-                           arch::Vcpu* vcpu, u64 skip_records, bool direct) {
+                           arch::Vcpu* vcpu, u64 skip_records, bool direct,
+                           std::size_t batch_size) {
   ReplayResult r;
   std::vector<i64> record_of;  ///< journal record index per recorded alarm
 
@@ -85,13 +96,29 @@ ReplayResult Replayer::run(EventMultiplexer& em, AuditContext& ctx,
   const std::size_t alarm_base = ctx.alarms().all().size();
   ctx.set_clock([this]() { return cursor_; });
 
+  // Batched mode: consecutive event records accumulate here and fan out
+  // through deliver_batch (which advances cursor_ per event). A timer
+  // record flushes first so tick/event interleaving is preserved.
+  std::vector<Event> pending;
+  if (batch_size > 1) pending.reserve(batch_size);
+  auto flush_pending = [&]() {
+    if (pending.empty()) return;
+    em.deliver_batch(*vcpu, pending.data(), pending.size(), ctx, &cursor_);
+    pending.clear();
+  };
+
   JournalReader reader(store_);
   while (auto rec = reader.next()) {
     if (rec->index < skip_records) continue;
     switch (rec->type) {
       case RecordType::kEvent: {
-        cursor_ = rec->event.time;
         ++r.events;
+        if (!direct && batch_size > 1) {
+          pending.push_back(rec->event);
+          if (pending.size() >= batch_size) flush_pending();
+          break;
+        }
+        cursor_ = rec->event.time;
         if (!direct) {
           em.deliver(*vcpu, rec->event, ctx);
           break;
@@ -112,6 +139,7 @@ ReplayResult Replayer::run(EventMultiplexer& em, AuditContext& ctx,
         break;
       }
       case RecordType::kTimer: {
+        flush_pending();
         cursor_ = rec->timer_time;
         ++r.timers;
         for (const auto& reg : em.registrations()) {
@@ -140,6 +168,7 @@ ReplayResult Replayer::run(EventMultiplexer& em, AuditContext& ctx,
         break;
     }
   }
+  flush_pending();
   if (!direct) em.flush_delivery(*vcpu, ctx);
 
   r.quarantined = reader.quarantined();

@@ -94,6 +94,16 @@ class Replayer {
   ReplayResult replay(EventMultiplexer& em, AuditContext& ctx,
                       arch::Vcpu& vcpu, u64 skip_records = 0);
 
+  /// Batched replay: runs of consecutive event records are decoded into a
+  /// buffer and fanned out through EventMultiplexer::deliver_batch in
+  /// groups of up to `batch_size` (timer records flush the group first, so
+  /// event/tick interleaving is preserved). Alarms, counters and breaker
+  /// state are byte-identical to the unit replay — the journal-time clock
+  /// is threaded through deliver_batch's per-event cursor.
+  ReplayResult replay_batched(EventMultiplexer& em, AuditContext& ctx,
+                              arch::Vcpu& vcpu, std::size_t batch_size,
+                              u64 skip_records = 0);
+
   /// Catch-up replay into LIVE auditors: bypasses the multiplexer's
   /// ingress (whose sequence cursors are already past these records) and
   /// calls on_event/on_timer directly, absorbing auditor exceptions.
@@ -105,7 +115,7 @@ class Replayer {
 
  private:
   ReplayResult run(EventMultiplexer& em, AuditContext& ctx, arch::Vcpu* vcpu,
-                   u64 skip_records, bool direct);
+                   u64 skip_records, bool direct, std::size_t batch_size);
   static void compare(ReplayResult& r, const std::vector<i64>& record_of);
 
   const JournalStore& store_;

@@ -224,6 +224,9 @@ void RecoveryManager::replay_suffix(u64 mark, SimTime now) {
   // very state machine running this remediation.
   AlarmSink scratch;
   AuditContext rctx(ht_.context().hypervisor(), ht_.os_state(), scratch);
+  // Mid-run store read: a batching writer may hold sealed records it has
+  // not yet appended — flush so the suffix being replayed is complete.
+  journal_->flush();
   journal::Replayer replayer(journal_->store());
   const auto res = replayer.replay_direct(ht_.multiplexer(), rctx, mark);
   ++journal_replays_;

@@ -7,6 +7,7 @@
 // exercised multi-threaded in tests and in bench/em_throughput.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <optional>
@@ -42,6 +43,28 @@ class SpscRing {
     return true;
   }
 
+  /// Producer side, batched: push up to `n` values from `src` with ONE
+  /// acquire load of the consumer cursor and ONE release store of the
+  /// producer cursor for the whole batch (vs one pair per element on the
+  /// unit path). Returns the number actually pushed (< n when the ring
+  /// fills). Element order and values are identical to n try_push calls.
+  std::size_t try_push_n(const T* src, std::size_t n) {
+    if (n == 0) return 0;
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t free = (tail - head - 1) & mask_;
+    const std::size_t count = n < free ? n : free;
+    if (count == 0) return 0;
+    // The contiguous run up to the wrap point, then the remainder.
+    const std::size_t first = std::min(count, buf_.size() - head);
+    for (std::size_t i = 0; i < first; ++i) buf_[head + i] = src[i];
+    for (std::size_t i = first; i < count; ++i) {
+      buf_[i - first] = src[i];
+    }
+    head_.store((head + count) & mask_, std::memory_order_release);
+    return count;
+  }
+
   /// Consumer side.
   std::optional<T> try_pop() {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
@@ -49,6 +72,25 @@ class SpscRing {
     T value = std::move(buf_[tail]);
     tail_.store((tail + 1) & mask_, std::memory_order_release);
     return value;
+  }
+
+  /// Consumer side, batched: pop up to `max` values into `dst` with one
+  /// acquire/release pair for the whole batch. Returns the number popped.
+  /// The delivered sequence is exactly what repeated try_pop would yield.
+  std::size_t pop_n(T* dst, std::size_t max) {
+    if (max == 0) return 0;
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t avail = (head - tail) & mask_;
+    const std::size_t count = max < avail ? max : avail;
+    if (count == 0) return 0;
+    const std::size_t first = std::min(count, buf_.size() - tail);
+    for (std::size_t i = 0; i < first; ++i) dst[i] = std::move(buf_[tail + i]);
+    for (std::size_t i = first; i < count; ++i) {
+      dst[i] = std::move(buf_[i - first]);
+    }
+    tail_.store((tail + count) & mask_, std::memory_order_release);
+    return count;
   }
 
   bool empty() const {

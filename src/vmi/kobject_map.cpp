@@ -1,0 +1,127 @@
+#include "vmi/kobject_map.hpp"
+
+namespace hypertap::vmi {
+
+void KernelObjectMap::track(Gpa base, u32 size) {
+  if (size == 0) return;
+  if (!objects_.emplace(base, size).second) return;
+  const u32 first = page_number(base);
+  const u32 last = page_number(base + size - 1);
+  for (u32 pg = first; pg <= last; ++pg) {
+    if (pages_[pg]++ == 0) {
+      hv_.ept().write_protect(static_cast<Gpa>(pg) << PAGE_SHIFT, true);
+    }
+  }
+}
+
+void KernelObjectMap::untrack(Gpa base) {
+  auto it = objects_.find(base);
+  if (it == objects_.end()) return;
+  const u32 size = it->second;
+  const u32 first = page_number(base);
+  const u32 last = page_number(base + size - 1);
+  for (u32 pg = first; pg <= last; ++pg) {
+    auto p = pages_.find(pg);
+    if (p == pages_.end()) continue;
+    if (--p->second == 0) {
+      pages_.erase(p);
+      hv_.ept().write_protect(static_cast<Gpa>(pg) << PAGE_SHIFT, false);
+    }
+  }
+  objects_.erase(it);
+}
+
+void KernelObjectMap::clear() {
+  for (const auto& [pg, refs] : pages_) {
+    hv_.ept().write_protect(static_cast<Gpa>(pg) << PAGE_SHIFT, false);
+  }
+  pages_.clear();
+  objects_.clear();
+}
+
+bool KernelObjectMap::hits_object(Gpa gpa) const {
+  auto it = objects_.upper_bound(gpa);
+  if (it == objects_.begin()) return false;
+  --it;
+  return gpa < it->first + it->second;
+}
+
+bool KernelObjectMap::monitored_page(Gpa gpa) const {
+  return pages_.count(page_number(gpa)) != 0;
+}
+
+u32 KernelObjectWatch::rd32(AuditContext& ctx, Gva gva) const {
+  auto& hv = ctx.hypervisor();
+  const Gpa cr3 = hv.vcpu(0).regs().cr3;
+  const auto v = hv.read_guest(cr3, gva, 4);
+  return v ? static_cast<u32>(*v) : 0u;
+}
+
+void KernelObjectWatch::on_attach(AuditContext& ctx) {
+  auto& hv = ctx.hypervisor();
+  map_ = std::make_unique<KernelObjectMap>(hv);
+  if (cfg_.watch_syscall_table && layout_.syscall_table != 0) {
+    const Gpa cr3 = hv.vcpu(0).regs().cr3;
+    if (const auto gpa = hv.gva_to_gpa(cr3, layout_.syscall_table)) {
+      syscall_table_gpa_ = *gpa;
+      syscall_table_size_ = layout_.num_syscalls * 4u;
+      map_->track(syscall_table_gpa_, syscall_table_size_);
+    }
+  }
+  if (cfg_.watch_task_list && layout_.init_task != 0) rescan_tasks(ctx);
+}
+
+void KernelObjectWatch::rescan_tasks(AuditContext& ctx) {
+  auto& hv = ctx.hypervisor();
+  const Gpa cr3 = hv.vcpu(0).regs().cr3;
+
+  // Walk the circular task list from init_task; the entry count cap guards
+  // against cyclic corruption (same discipline as Introspector).
+  std::set<Gpa> live;
+  const Gva head = layout_.init_task;
+  Gva cur = head;
+  for (u32 n = 0; n < 65'536; ++n) {
+    if (const auto gpa = hv.gva_to_gpa(cr3, cur)) live.insert(*gpa);
+    cur = rd32(ctx, cur + os::TS_NEXT);
+    if (cur == head || cur == 0) break;
+  }
+
+  // Diff against the tracked set: spawned tasks gain interception, exited
+  // ones lose it. A migrated object is one untrack plus one track — the
+  // EPT permission map follows the object, not the page it used to be on.
+  for (auto it = task_objects_.begin(); it != task_objects_.end();) {
+    if (live.count(*it) == 0) {
+      map_->untrack(*it);
+      it = task_objects_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const Gpa gpa : live) {
+    if (task_objects_.insert(gpa).second) map_->track(gpa, os::TS_SIZE);
+  }
+}
+
+void KernelObjectWatch::on_event(const Event& e, AuditContext& ctx) {
+  if (e.access != arch::Access::kWrite) return;
+  if (map_ == nullptr || !map_->hits_object(e.gpa)) return;
+  ++tampers_;
+  const bool syscall_hit = syscall_table_size_ != 0 &&
+                           e.gpa >= syscall_table_gpa_ &&
+                           e.gpa < syscall_table_gpa_ + syscall_table_size_;
+  ctx.alarms().raise(Alarm{e.time, name(),
+                           syscall_hit ? "syscall-table-tamper"
+                                       : "task-list-tamper",
+                           syscall_hit
+                               ? "store into monitored syscall table trapped"
+                               : "store into monitored task_struct trapped",
+                           e.vcpu, 0});
+}
+
+void KernelObjectWatch::on_timer(SimTime now, AuditContext& ctx) {
+  (void)now;
+  ++rescans_;
+  if (cfg_.watch_task_list && layout_.init_task != 0) rescan_tasks(ctx);
+}
+
+}  // namespace hypertap::vmi

@@ -1,0 +1,131 @@
+// Write-intercept page filtering (the low-overhead kernel-object
+// monitoring approach of Zhan et al., PAPERS.md).
+//
+// Naively write-protecting "the kernel" makes every guest store exit;
+// protecting nothing blinds the monitor to DKOM. The middle path is to
+// intercept ONLY the guest pages that actually hold monitored kernel
+// objects — the task list (every live task_struct), the syscall dispatch
+// table — so the overwhelming majority of guest writes never generate an
+// exit at all, while a DKOM unlink against the task list still traps at
+// the architectural layer and reaches the auditing pipeline.
+//
+// KernelObjectMap is the page-granular permission driver: objects are
+// registered by (gpa, size); each page they touch carries a reference
+// count, a page's first reference write-protects it through the EPT and
+// the last drop re-permits it. Kernel objects MOVE (allocator reuse, task
+// churn) — move_object()/the watch auditor's periodic rescan retarget the
+// EPT permission map so the intercept set tracks the object set.
+//
+// KernelObjectWatch is the auditor wiring: it walks the task list at
+// attach (and on a periodic rescan for churn), feeds the map, filters the
+// resulting kMemAccess write exits object-granularly (a neighbour on a
+// shared page is not an alarm), and raises "task-list-tamper" /
+// "syscall-table-tamper" alarms for genuine hits. HRKD's context-switch
+// detection rides the same pipeline, untouched: the write exits this map
+// admits are additional architectural evidence, not a replacement.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/auditor.hpp"
+#include "hv/hypervisor.hpp"
+#include "os/layout.hpp"
+
+namespace hypertap::vmi {
+
+using namespace hvsim;
+
+class KernelObjectMap {
+ public:
+  explicit KernelObjectMap(hv::Hypervisor& hv) : hv_(hv) {}
+  ~KernelObjectMap() { clear(); }
+
+  KernelObjectMap(const KernelObjectMap&) = delete;
+  KernelObjectMap& operator=(const KernelObjectMap&) = delete;
+
+  /// Register a monitored object at (base, size): every page it touches
+  /// gains an intercept reference; a page's first reference write-protects
+  /// it. Duplicate registrations of the same base are ignored.
+  void track(Gpa base, u32 size);
+
+  /// Deregister; pages whose last reference this was stop raising write
+  /// exits. Unknown bases are ignored.
+  void untrack(Gpa base);
+
+  /// The object migrated (allocator reuse / checkpoint-restore layout
+  /// change): one call retargets the page permission map.
+  void move_object(Gpa old_base, Gpa new_base, u32 size) {
+    untrack(old_base);
+    track(new_base, size);
+  }
+
+  /// Drop every object and re-permit every page.
+  void clear();
+
+  /// Object-granular hit test: does a write at `gpa` land INSIDE a
+  /// tracked object (not merely on a page one shares)?
+  bool hits_object(Gpa gpa) const;
+
+  /// Page-granular: is this page carrying at least one monitored object?
+  bool monitored_page(Gpa gpa) const;
+
+  std::size_t tracked_objects() const { return objects_.size(); }
+  std::size_t protected_pages() const { return pages_.size(); }
+
+ private:
+  hv::Hypervisor& hv_;
+  std::map<u32, u32> pages_;       ///< page number -> object refcount
+  std::map<Gpa, u32> objects_;     ///< base -> size
+};
+
+/// Auditor that keeps the map aligned with the live task list and judges
+/// the write exits the filtered intercept set admits.
+class KernelObjectWatch final : public Auditor {
+ public:
+  struct Config {
+    bool watch_task_list = true;
+    bool watch_syscall_table = true;
+    /// Periodic rescan (task churn allocates/frees/moves task_structs).
+    SimTime rescan_period = 500'000'000;  // 0.5 s
+  };
+
+  KernelObjectWatch(os::OsLayout layout, Config cfg)
+      : layout_(layout), cfg_(cfg) {}
+  explicit KernelObjectWatch(os::OsLayout layout)
+      : KernelObjectWatch(layout, Config{}) {}
+
+  std::string name() const override { return "KObjWatch"; }
+  EventMask subscriptions() const override {
+    return event_bit(EventKind::kMemAccess);
+  }
+  SimTime timer_period() const override { return cfg_.rescan_period; }
+
+  void on_attach(AuditContext& ctx) override;
+  void on_event(const Event& e, AuditContext& ctx) override;
+  void on_timer(SimTime now, AuditContext& ctx) override;
+
+  const KernelObjectMap* map() const { return map_.get(); }
+  u64 tamper_writes() const { return tampers_; }
+  u64 rescans() const { return rescans_; }
+
+ private:
+  /// Diff the live task list against the tracked set; track spawns,
+  /// untrack exits — moved objects fall out as one untrack + one track.
+  void rescan_tasks(AuditContext& ctx);
+  u32 rd32(AuditContext& ctx, Gva gva) const;
+
+  os::OsLayout layout_;
+  Config cfg_;
+  std::unique_ptr<KernelObjectMap> map_;
+  std::set<Gpa> task_objects_;  ///< task_struct bases currently tracked
+  Gpa syscall_table_gpa_ = 0;
+  u32 syscall_table_size_ = 0;
+  u64 tampers_ = 0;
+  u64 rescans_ = 0;
+};
+
+}  // namespace hypertap::vmi

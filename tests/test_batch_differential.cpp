@@ -1,0 +1,304 @@
+// Batched-vs-unit differential harness: batching is a TRANSPORT
+// optimization and must be observationally invisible. Three layers of
+// proof, strongest last:
+//
+//  1. JournalWriter batch_bytes changes only the store's append-call
+//     granularity — segment names, segment bytes, and store_digest are
+//     byte-identical to the unit writer, across rotations and mid-run
+//     flushes.
+//  2. Replayer::replay_batched drives runs of event records through
+//     EventMultiplexer::deliver_batch and reproduces the recorded alarm
+//     stream byte-for-byte at any batch size.
+//  3. A full fault-injection campaign grid run with journal batching on
+//     vs off — each at threads=1 and threads=8 — produces byte-identical
+//     canonical artifacts: outcome table, merged telemetry snapshots
+//     (JSON and Prometheus), merged journal, and its digest.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hypertap.hpp"
+#include "exec/sharded_campaign.hpp"
+#include "fi/campaign.hpp"
+#include "fi/locations.hpp"
+#include "journal/journal.hpp"
+#include "journal/replay.hpp"
+
+namespace hypertap {
+namespace {
+
+using journal::JournalWriter;
+using journal::MemoryJournalStore;
+
+Event sample_event(u64 seq) {
+  Event e;
+  e.kind = seq % 5 == 0 ? EventKind::kSyscall : EventKind::kProcessSwitch;
+  e.reason = hav::ExitReason::kCrAccess;
+  e.vcpu = static_cast<int>(seq % 2);
+  e.time = static_cast<SimTime>(1000 + seq * 17);
+  e.seq = seq;
+  e.reg_cr3 = 0x1000u + static_cast<u32>(seq);
+  e.cr3_old = 7;
+  e.cr3_new = 8;
+  e.sc_nr = static_cast<u8>(seq % 100);
+  return e;
+}
+
+/// Drive the same record sequence through a writer: events with periodic
+/// timers and alarms, sized to cross several rotations at 1 KiB segments.
+void write_session(JournalWriter& w, int records) {
+  for (int i = 1; i <= records; ++i) {
+    w.append_event(sample_event(static_cast<u64>(i)));
+    if (i % 7 == 0) {
+      w.append_timer(static_cast<SimTime>(i) * 13, "echo");
+    }
+    if (i % 11 == 0) {
+      w.append_alarm(Alarm{static_cast<SimTime>(i) * 19, "echo", "tick",
+                           "n=" + std::to_string(i), i % 2, 0});
+    }
+  }
+}
+
+void expect_stores_identical(const MemoryJournalStore& a,
+                             const MemoryJournalStore& b,
+                             const std::string& what) {
+  ASSERT_EQ(a.segments(), b.segments()) << what;
+  for (const auto& seg : a.segments()) {
+    EXPECT_EQ(a.read(seg), b.read(seg)) << what << ": segment " << seg;
+  }
+  EXPECT_EQ(journal::store_digest(a), journal::store_digest(b)) << what;
+}
+
+TEST(BatchDifferential, JournalStoreBytesAreIdenticalBatchedVsUnit) {
+  MemoryJournalStore unit_store;
+  {
+    JournalWriter::Options opts;
+    opts.segment_bytes = 1024;  // force several rotations
+    JournalWriter w(unit_store, opts);
+    write_session(w, 200);
+  }
+  ASSERT_GT(unit_store.segments().size(), 1u) << "rotation must occur";
+
+  for (const std::size_t batch : {std::size_t{512}, std::size_t{4096},
+                                  std::size_t{1u << 20}}) {
+    MemoryJournalStore batched_store;
+    {
+      JournalWriter::Options opts;
+      opts.segment_bytes = 1024;
+      opts.batch_bytes = batch;
+      JournalWriter w(batched_store, opts);
+      write_session(w, 200);
+    }  // destructor flushes the pending tail
+    expect_stores_identical(unit_store, batched_store,
+                            "batch_bytes=" + std::to_string(batch));
+  }
+}
+
+TEST(BatchDifferential, MidRunFlushExposesTheIdenticalPrefix) {
+  MemoryJournalStore unit_store, batched_store;
+  JournalWriter unit(unit_store);
+  JournalWriter::Options opts;
+  opts.batch_bytes = 1u << 16;
+  JournalWriter batched(batched_store, opts);
+
+  write_session(unit, 50);
+  write_session(batched, 50);
+  // Before the flush the batching writer may legitimately be behind...
+  batched.flush();
+  unit.flush();
+  // ...but a flush is a read barrier: the stores converge byte-for-byte.
+  expect_stores_identical(unit_store, batched_store, "after mid-run flush");
+
+  write_session(unit, 30);
+  write_session(batched, 30);
+  batched.flush();
+  unit.flush();
+  expect_stores_identical(unit_store, batched_store, "after second flush");
+  EXPECT_EQ(unit.records(), batched.records());
+  EXPECT_EQ(unit.bytes_written(), batched.bytes_written());
+}
+
+// ------------------------- batched replay oracle -------------------------
+
+/// Deterministic auditor whose alarms depend on event ORDER and the
+/// context clock — anything the batched path could plausibly perturb.
+class EchoAuditor final : public Auditor {
+ public:
+  std::string name() const override { return "echo"; }
+  EventMask subscriptions() const override {
+    return event_bit(EventKind::kProcessSwitch) |
+           event_bit(EventKind::kSyscall);
+  }
+  void on_event(const Event& e, AuditContext& ctx) override {
+    if (++n_ % 3 == 0) {
+      ctx.alarms().raise(Alarm{e.time, name(), "echo",
+                               "seq=" + std::to_string(e.seq) +
+                                   " now=" + std::to_string(ctx.now()),
+                               e.vcpu, 0});
+    }
+  }
+  void on_timer(SimTime now, AuditContext& ctx) override {
+    ctx.alarms().raise(
+        Alarm{now, name(), "tick", "n=" + std::to_string(n_), -1, 0});
+  }
+
+ private:
+  u64 n_ = 0;
+};
+
+struct Pipeline {
+  std::unique_ptr<os::Vm> vm;
+  std::unique_ptr<AlarmSink> alarms;
+  std::unique_ptr<OsStateDerivation> deriv;
+  std::unique_ptr<AuditContext> ctx;
+  std::unique_ptr<EventMultiplexer> em;
+  std::unique_ptr<EchoAuditor> auditor;
+};
+
+Pipeline make_pipeline() {
+  Pipeline p;
+  hv::MachineConfig mc;
+  mc.num_vcpus = 2;
+  mc.phys_mem_bytes = 8ull << 20;
+  os::KernelConfig kc;
+  p.vm = std::make_unique<os::Vm>(mc, kc);
+  p.vm->kernel.boot();
+  p.alarms = std::make_unique<AlarmSink>();
+  p.deriv = std::make_unique<OsStateDerivation>(p.vm->machine.hypervisor(),
+                                                p.vm->kernel.layout());
+  p.ctx = std::make_unique<AuditContext>(p.vm->machine.hypervisor(), *p.deriv,
+                                         *p.alarms);
+  p.em = std::make_unique<EventMultiplexer>();
+  p.auditor = std::make_unique<EchoAuditor>();
+  p.em->register_auditor(p.auditor.get(), *p.ctx);
+  return p;
+}
+
+void record_session(MemoryJournalStore& store) {
+  Pipeline p = make_pipeline();
+  JournalWriter w(store);
+  p.alarms->subscribe([&w](const Alarm& a) { w.append_alarm(a); });
+  arch::Vcpu& vcpu = p.vm->machine.hypervisor().vcpu(0);
+  // Pin ctx.now() to the record cursor exactly like Replayer::run does, so
+  // the `now=` echoed into alarm details is replayable. A batched replay
+  // that advanced the cursor per BATCH instead of per EVENT would diverge
+  // here — that is the property this harness exists to catch.
+  SimTime cursor = 0;
+  p.ctx->set_clock([&cursor]() { return cursor; });
+  for (u64 i = 1; i <= 60; ++i) {
+    const Event e = sample_event(i);
+    w.append_event(e);
+    cursor = e.time;
+    p.em->deliver(vcpu, e, *p.ctx);
+    if (i % 9 == 0) {
+      const SimTime now = static_cast<SimTime>(1000 + i * 17);
+      w.append_timer(now, "echo");
+      cursor = now;
+      p.em->dispatch_timer(p.auditor.get(), now, *p.ctx);
+    }
+  }
+}
+
+TEST(BatchDifferential, BatchedReplayMatchesTheRecordingAtAnyBatchSize) {
+  MemoryJournalStore store;
+  record_session(store);
+
+  Pipeline unit = make_pipeline();
+  journal::Replayer unit_rp(store);
+  const auto want = unit_rp.replay(*unit.em, *unit.ctx,
+                                   unit.vm->machine.hypervisor().vcpu(0));
+  ASSERT_TRUE(want.matches_recording);
+  ASSERT_FALSE(want.alarms.empty());
+
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{7}, std::size_t{64}}) {
+    SCOPED_TRACE("batch=" + std::to_string(batch));
+    Pipeline fresh = make_pipeline();
+    journal::Replayer rp(store);
+    const auto res = rp.replay_batched(
+        *fresh.em, *fresh.ctx, fresh.vm->machine.hypervisor().vcpu(0), batch);
+    EXPECT_TRUE(res.matches_recording)
+        << "diverged: " << res.divergence.describe();
+    EXPECT_EQ(res.events, want.events);
+    EXPECT_EQ(res.timers, want.timers);
+    ASSERT_EQ(res.alarms.size(), want.alarms.size());
+    for (std::size_t i = 0; i < res.alarms.size(); ++i) {
+      EXPECT_EQ(journal::alarm_bytes(res.alarms[i]),
+                journal::alarm_bytes(want.alarms[i]))
+          << "alarm " << i << " must be byte-identical";
+    }
+  }
+}
+
+// --------------------------- campaign differential -----------------------
+
+const std::vector<os::KernelLocation>& locs() {
+  static const auto l = fi::generate_locations(2014);
+  return l;
+}
+
+/// The small_grid of test_parallel_determinism, parameterized by journal
+/// batching: every 5th cell of a stride-3 grid with shortened windows.
+std::vector<fi::RunConfig> small_grid(std::size_t journal_batch_bytes) {
+  const auto full = fi::build_grid(locs(), 3, 2014);
+  std::vector<fi::RunConfig> grid;
+  for (std::size_t i = 0; i < full.size() && grid.size() < 8; i += 5) {
+    fi::RunConfig cfg = full[i];
+    cfg.detect_threshold = 2'000'000'000;
+    cfg.propagation_window = 4'000'000'000;
+    cfg.max_workload_time = 4'000'000'000;
+    cfg.journal_batch_bytes = journal_batch_bytes;
+    grid.push_back(cfg);
+  }
+  return grid;
+}
+
+exec::CampaignReport run_arm(int threads, std::size_t journal_batch_bytes) {
+  exec::CampaignOptions opts;
+  opts.threads = threads;
+  opts.reseed_base = 77;
+  opts.per_job_telemetry = true;
+  opts.per_job_journal = true;
+  exec::ShardedCampaignRunner runner(locs(), opts);
+  return runner.run(small_grid(journal_batch_bytes));
+}
+
+TEST(BatchDifferential, CampaignArtifactsAreByteIdenticalBatchedVsUnit) {
+  const auto want = run_arm(/*threads=*/1, /*journal_batch_bytes=*/0);
+  ASSERT_EQ(want.jobs_run, want.jobs.size());
+  ASSERT_FALSE(want.outcome_table.empty());
+  ASSERT_GT(want.merged_journal_records, 0u);
+
+  struct Arm {
+    int threads;
+    std::size_t batch;
+  };
+  for (const Arm arm : {Arm{1, 4096}, Arm{8, 0}, Arm{8, 4096}}) {
+    SCOPED_TRACE("threads=" + std::to_string(arm.threads) +
+                 " batch=" + std::to_string(arm.batch));
+    const auto got = run_arm(arm.threads, arm.batch);
+    ASSERT_EQ(got.jobs.size(), want.jobs.size());
+
+    EXPECT_EQ(got.outcome_table, want.outcome_table);
+    EXPECT_EQ(got.merged_metrics_json, want.merged_metrics_json);
+    EXPECT_EQ(got.merged_metrics_prometheus, want.merged_metrics_prometheus);
+    EXPECT_EQ(got.merged_journal_records, want.merged_journal_records);
+    EXPECT_EQ(got.merged_journal_digest, want.merged_journal_digest)
+        << "journal batching must never change journal CONTENT";
+
+    for (std::size_t i = 0; i < got.jobs.size(); ++i) {
+      const auto& a = want.jobs[i];
+      const auto& b = got.jobs[i];
+      EXPECT_EQ(b.result.outcome, a.result.outcome) << "job " << i;
+      EXPECT_EQ(b.result.first_alarm, a.result.first_alarm) << "job " << i;
+      EXPECT_EQ(b.result.full_alarm, a.result.full_alarm) << "job " << i;
+      EXPECT_EQ(b.result.journal_records, a.result.journal_records)
+          << "job " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hypertap
